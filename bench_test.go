@@ -1,0 +1,442 @@
+// Benchmark harness: one benchmark per experiment in DESIGN.md's
+// experiment index (E1..E13). Each benchmark reports its headline
+// numbers via b.ReportMetric so that
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every table and figure of the paper's evaluation. The
+// campaign-style experiments (DPA, TVLA, privacy) run a fixed-size
+// campaign once per -benchtime iteration; cmd/scalab and cmd/sweeptab
+// run the full-size versions and print the tables.
+package medsec_test
+
+import (
+	"testing"
+
+	"medsec/internal/area"
+	"medsec/internal/coproc"
+	"medsec/internal/core"
+	"medsec/internal/ec"
+	"medsec/internal/fault"
+	"medsec/internal/gf2m"
+	"medsec/internal/modn"
+	"medsec/internal/power"
+	"medsec/internal/privacy"
+	"medsec/internal/protocol"
+	"medsec/internal/puf"
+	"medsec/internal/radio"
+	"medsec/internal/rng"
+	"medsec/internal/sca"
+)
+
+// BenchmarkE1_ChipOperatingPoint measures the headline chip numbers
+// (§6: 50.4 µW, 5.1 µJ per point multiplication, 9.8 PM/s at
+// 847.5 kHz / 1 V) end to end through the core API.
+func BenchmarkE1_ChipOperatingPoint(b *testing.B) {
+	cfg := core.DefaultConfig(1)
+	cfg.Power.NoiseSigma = 0
+	chip, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := chip.GenerateScalar()
+	g := chip.Curve().Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chip.PointMul(k, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(chip.Last.EnergyJ*1e6, "uJ/PM")
+	b.ReportMetric(chip.Last.AvgPowerW*1e6, "uW")
+	b.ReportMetric(1/chip.Last.DurationS, "PM/s@847.5kHz")
+	b.ReportMetric(float64(chip.Last.Cycles), "cycles/PM")
+}
+
+// dpaTarget builds the §7 device under test.
+func dpaTarget(rpc bool, seed uint64) *sca.Target {
+	curve := ec.K163()
+	key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(seed).Uint64)
+	pcfg := power.ProtectedChip(seed)
+	pcfg.NoiseSigma = sca.LabNoiseSigma
+	return sca.NewTarget(curve, key,
+		coproc.ProgramOptions{RPC: rpc, XOnly: true},
+		coproc.DefaultTiming(), pcfg, seed+99)
+}
+
+// BenchmarkE2_DPA_NoRPC: DPA succeeds with ~200 traces when the
+// randomized-projective-coordinates countermeasure is disabled.
+func BenchmarkE2_DPA_NoRPC(b *testing.B) {
+	var traces float64
+	for i := 0; i < b.N; i++ {
+		tgt := dpaTarget(false, uint64(i)+1)
+		n, res, err := sca.TracesToSuccess(tgt,
+			[]int{25, 50, 100, 150, 200, 300, 450, 700}, 6,
+			sca.CPAOptions{}, rng.NewDRBG(uint64(i)+50).Uint64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n < 0 {
+			b.Fatalf("DPA without RPC failed: %v vs %v", res.Recovered, res.True)
+		}
+		traces = float64(n)
+	}
+	b.ReportMetric(traces, "traces-to-success")
+}
+
+// BenchmarkE2_DPA_RPCKnownRandomness: the white-box sanity check —
+// countermeasure on, randomness known, attack succeeds.
+func BenchmarkE2_DPA_RPCKnownRandomness(b *testing.B) {
+	var traces float64
+	for i := 0; i < b.N; i++ {
+		tgt := dpaTarget(true, uint64(i)+11)
+		n, res, err := sca.TracesToSuccess(tgt,
+			[]int{50, 100, 200, 400, 700, 1200}, 6,
+			sca.CPAOptions{KnownMasks: true}, rng.NewDRBG(uint64(i)+60).Uint64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n < 0 {
+			b.Fatalf("white-box attack with known randomness failed: %v vs %v",
+				res.Recovered, res.True)
+		}
+		traces = float64(n)
+	}
+	b.ReportMetric(traces, "traces-to-success")
+}
+
+// BenchmarkE2_DPA_RPCSecretRandomness: countermeasure on, randomness
+// secret — the attack must fail (the paper pushes to 20 000 traces;
+// one bench iteration uses 4 000, cmd/scalab runs the full figure).
+func BenchmarkE2_DPA_RPCSecretRandomness(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		tgt := dpaTarget(true, uint64(i)+21)
+		camp, err := tgt.AcquireCampaign(4000, 160, 155, rng.NewDRBG(uint64(i)+70).Uint64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sca.CPA(camp, sca.CPAOptions{Bits: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Success() {
+			b.Fatal("DPA succeeded against enabled RPC")
+		}
+		acc = res.BitAccuracy()
+	}
+	b.ReportMetric(acc, "bit-accuracy(~0.5=fail)")
+}
+
+// BenchmarkE3_Timing: ladder cycle count is key-independent; the
+// double-and-add baseline's latency pins the key's Hamming weight.
+func BenchmarkE3_Timing(b *testing.B) {
+	curve := ec.K163()
+	var rep *sca.TimingReport
+	for i := 0; i < b.N; i++ {
+		rep = sca.TimingAttack(curve, coproc.DefaultTiming(), 500, rng.NewDRBG(uint64(i)+1).Uint64)
+	}
+	b.ReportMetric(rep.LadderVariance, "ladder-cycle-variance")
+	b.ReportMetric(rep.DAHWCorrelation, "DA-latency/HW-corr")
+	b.ReportMetric(float64(rep.DAMaxCycles-rep.DAMinCycles), "DA-cycle-spread")
+}
+
+// BenchmarkE4_DigitSweep: the §5 area/latency/power/energy trade-off;
+// the optimum area-energy product under the latency constraint is the
+// chip's d = 4.
+func BenchmarkE4_DigitSweep(b *testing.B) {
+	var opt int
+	for i := 0; i < b.N; i++ {
+		rows, err := area.DigitSweep([]int{1, 2, 4, 8, 16, 32}, power.DefaultClockHz, 0.11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err = area.OptimalDigit(rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(opt), "optimal-digit-size")
+}
+
+// BenchmarkE5_RegisterPressure: the ladder loop fits in six 163-bit
+// registers (vs 8 for prime-field Co-Z [6]).
+func BenchmarkE5_RegisterPressure(b *testing.B) {
+	var loop int
+	for i := 0; i < b.N; i++ {
+		prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
+		loop, _ = prog.RegisterPressure()
+	}
+	b.ReportMetric(float64(loop), "ladder-registers")
+	b.ReportMetric(float64(area.CoZRegisters), "coz-registers[6]")
+	b.ReportMetric(area.RegisterStorageGE(area.CoZRegisters, 163)/area.RegisterStorageGE(area.MPLRegisters, 163), "coz/mpl-storage-ratio")
+}
+
+// BenchmarkE6_GateCounts: §4's implementation-size comparison (SHA-1
+// 5 527 GE vs ECC ~12 kGE).
+func BenchmarkE6_GateCounts(b *testing.B) {
+	var ecc, sha float64
+	for i := 0; i < b.N; i++ {
+		for _, m := range area.ModuleGateCounts() {
+			switch m.Module {
+			case "ECC co-processor (d=4)":
+				ecc = m.GE
+			case "SHA-1":
+				sha = m.GE
+			}
+		}
+	}
+	b.ReportMetric(ecc, "ECC-GE")
+	b.ReportMetric(sha, "SHA1-GE")
+	b.ReportMetric(ecc/sha, "ECC/SHA1-ratio")
+}
+
+// BenchmarkE7_EnergyCrossover: secret-key vs public-key device energy
+// as a function of the distance to the trust infrastructure [4, 5].
+func BenchmarkE7_EnergyCrossover(b *testing.B) {
+	m := radio.DefaultModel()
+	costs := radio.PaperCosts()
+	var cross float64
+	for i := 0; i < b.N; i++ {
+		d, err := m.Crossover(radio.SymmetricKDC(), radio.PublicKeyLocal(), costs, 0, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross = d
+	}
+	b.ReportMetric(cross, "crossover-m")
+	b.ReportMetric(m.DeviceEnergy(radio.SymmetricKDC(), 1, costs)*1e6, "AES+KDC@1m-uJ")
+	b.ReportMetric(m.DeviceEnergy(radio.PublicKeyLocal(), 1, costs)*1e6, "ECC-local-uJ")
+}
+
+// BenchmarkE8_PrivacyGame: Schnorr tags are traceable (advantage 1);
+// Peeters–Hermans resists the wide-insider adversary (advantage ~0).
+func BenchmarkE8_PrivacyGame(b *testing.B) {
+	var schnorrAdv, phAdv float64
+	for i := 0; i < b.N; i++ {
+		s, err := privacy.RunLinkingGame(privacy.GameConfig{Protocol: privacy.Schnorr, Rounds: 30, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := privacy.RunLinkingGame(privacy.GameConfig{Protocol: privacy.PeetersHermans, Rounds: 30, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		schnorrAdv, phAdv = s.Advantage, p.Advantage
+	}
+	b.ReportMetric(schnorrAdv, "schnorr-advantage")
+	b.ReportMetric(phAdv, "ph-advantage")
+}
+
+// BenchmarkE9_SPAAblation: single-trace SPA accuracy across the
+// circuit-level design points of §6.
+func BenchmarkE9_SPAAblation(b *testing.B) {
+	curve := ec.K163()
+	key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
+	mk := func(mut func(*power.Config)) *sca.Target {
+		cfg := power.ProtectedChip(2)
+		mut(&cfg)
+		return sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: true, XOnly: true},
+			coproc.DefaultTiming(), cfg, 333)
+	}
+	var unbal, gated, prot, profiled float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sca.SPA(mk(func(c *power.Config) { c.BalancedMux = false }), curve.Generator(), uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sca.SPA(mk(func(c *power.Config) { c.DataDepClockGating = true }), curve.Generator(), uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r3, err := sca.SPA(mk(func(c *power.Config) {}), curve.Generator(), uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r4, err := sca.SPAProfiled(mk(func(c *power.Config) {}), curve.Generator(), 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unbal, gated, prot, profiled = r1.Accuracy(), r2.Accuracy(), r3.Accuracy(), r4.Accuracy()
+	}
+	b.ReportMetric(unbal, "acc-unbalanced-mux")
+	b.ReportMetric(gated, "acc-datadep-gating")
+	b.ReportMetric(prot, "acc-protected-1trace")
+	b.ReportMetric(profiled, "acc-protected-profiled")
+}
+
+// BenchmarkE10_LogicStyles: WDDL/SABL consume data-independent power
+// at a 3-4x cost over CMOS.
+func BenchmarkE10_LogicStyles(b *testing.B) {
+	curve := ec.K163()
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
+	run := func(style power.LogicStyle) float64 {
+		cfg := power.ProtectedChip(1)
+		cfg.Style = style
+		cfg.NoiseSigma = 0
+		model := power.NewModel(cfg)
+		meter := power.NewMeter(model)
+		cpu := coproc.NewCPU(coproc.DefaultTiming())
+		cpu.Rand = rng.NewDRBG(3).Uint64
+		cpu.Probe = meter.Probe()
+		cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+		k := sca.AlgorithmOneScalar(curve, rng.NewDRBG(9).Uint64)
+		if _, err := cpu.Run(prog, k); err != nil {
+			b.Fatal(err)
+		}
+		return meter.EnergyJ()
+	}
+	var cmos, wddl, sabl float64
+	for i := 0; i < b.N; i++ {
+		cmos, wddl, sabl = run(power.CMOS), run(power.WDDL), run(power.SABL)
+	}
+	b.ReportMetric(cmos*1e6, "CMOS-uJ/PM")
+	b.ReportMetric(wddl*1e6, "WDDL-uJ/PM")
+	b.ReportMetric(sabl*1e6, "SABL-uJ/PM")
+	b.ReportMetric(wddl/cmos, "WDDL/CMOS")
+}
+
+// BenchmarkE11_AbortOrdering: the §4 energy rule — authenticate the
+// server first so a rogue session wastes half the point
+// multiplications.
+func BenchmarkE11_AbortOrdering(b *testing.B) {
+	var first, last float64
+	for i := 0; i < b.N; i++ {
+		curve := ec.K163()
+		src := rng.NewDRBG(uint64(i) + 1).Uint64
+		mul := &protocol.SoftwareMultiplier{Curve: curve, Rand: src}
+		rdr, err := protocol.NewReader(curve, mul, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tag, err := protocol.NewTag(curve, mul, src, rdr.Pub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rdr.Register(tag.Pub)
+		good, err := protocol.RunMutualAuth(tag, rdr, true, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bad, err := protocol.RunMutualAuth(tag, rdr, false, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		costs := radio.PaperCosts()
+		m := radio.DefaultModel()
+		first = m.LedgerEnergy(good.DeviceLedger, radio.LocalRange, costs) * 1e6
+		last = m.LedgerEnergy(bad.DeviceLedger, radio.LocalRange, costs) * 1e6
+	}
+	b.ReportMetric(first, "server-first-waste-uJ")
+	b.ReportMetric(last, "id-first-waste-uJ")
+	b.ReportMetric(last/first, "waste-ratio")
+}
+
+// BenchmarkE12_TVLA: fixed-vs-random-key leakage assessment —
+// unprotected leaks massively, the protected chip stays under the
+// 4.5 threshold at the same trace count.
+func BenchmarkE12_TVLA(b *testing.B) {
+	curve := ec.K163()
+	var unprot, prot float64
+	for i := 0; i < b.N; i++ {
+		key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(uint64(i)+1).Uint64)
+		src := rng.NewDRBG(uint64(i) + 5).Uint64
+		gen := func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) }
+		pcfg := power.ProtectedChip(uint64(i) + 1)
+		pcfg.NoiseSigma = sca.LabNoiseSigma
+
+		tU := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: false, XOnly: true},
+			coproc.DefaultTiming(), pcfg, 11)
+		rU, err := sca.TVLA(tU, sca.FixedPoint(curve), 200, 160, 157, gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tP := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: true, XOnly: true},
+			coproc.DefaultTiming(), pcfg, 12)
+		rP, err := sca.TVLA(tP, sca.FixedPoint(curve), 200, 160, 157, gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unprot, prot = rU.MaxT, rP.MaxT
+	}
+	b.ReportMetric(unprot, "maxT-unprotected")
+	b.ReportMetric(prot, "maxT-protected")
+	b.ReportMetric(sca.TVLAThreshold, "threshold")
+}
+
+// BenchmarkE14_FaultCampaign: random single-bit glitches against the
+// ladder — output validation must catch every corrupted result
+// (Escaped == 0), the active-attack half of the paper's threat model.
+func BenchmarkE14_FaultCampaign(b *testing.B) {
+	curve := ec.K163()
+	var detected, benign float64
+	for i := 0; i < b.N; i++ {
+		rep, err := fault.Campaign(curve, coproc.DefaultTiming(), 10, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Escaped != 0 {
+			b.Fatalf("%d faulty results escaped validation", rep.Escaped)
+		}
+		detected, benign = float64(rep.Detected), float64(rep.Benign)
+	}
+	b.ReportMetric(detected, "faults-detected")
+	b.ReportMetric(benign, "faults-benign")
+	b.ReportMetric(0, "faults-escaped")
+}
+
+// BenchmarkE16_PUF: key-storage alternative metrics — stable key
+// reconstruction across noisy power-ups, ~50% inter-device distance.
+func BenchmarkE16_PUF(b *testing.B) {
+	var intra, inter float64
+	ok := 0.0
+	for i := 0; i < b.N; i++ {
+		dev := puf.New(puf.CellsNeeded, uint64(i)+1)
+		other := puf.New(puf.CellsNeeded, uint64(i)+1000)
+		r1, r2, r3 := dev.Read(), dev.Read(), other.Read()
+		intra = puf.HammingFraction(r1, r2)
+		inter = puf.HammingFraction(r1, r3)
+		key, enr, err := puf.Enroll(dev, uint64(i)+7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok = 1
+		for j := 0; j < 20; j++ {
+			got, err := puf.Reconstruct(dev, enr)
+			if err != nil || got != key {
+				ok = 0
+			}
+		}
+	}
+	b.ReportMetric(intra, "intra-distance")
+	b.ReportMetric(inter, "inter-distance")
+	b.ReportMetric(ok, "key-stability")
+}
+
+// BenchmarkE13_SecurityLevelScaling: the introduction's "longer key
+// length translates in a larger computational load", measured as
+// bit-serial field-multiplication cost across NIST binary field sizes.
+func BenchmarkE13_SecurityLevelScaling(b *testing.B) {
+	fields := []*gf2m.Field{
+		gf2m.MustField(131, []int{8, 3, 2, 0}),
+		gf2m.NISTK163Field(),
+		gf2m.MustField(233, []int{74, 0}),
+		gf2m.MustField(283, []int{12, 7, 5, 0}),
+	}
+	src := rng.NewDRBG(1).Uint64
+	var ops [4]float64
+	for i := 0; i < b.N; i++ {
+		for fi, f := range fields {
+			x, y := f.Rand(src), f.Rand(src)
+			x = f.Mul(x, y)
+			// Ladder cost in MALU cycles at d=4 for this field size:
+			// ceil(m/4)+2 cycles per mult, 11 mults per bit, m bits.
+			ops[fi] = float64(f.M) * 11 * float64((f.M+3)/4+2)
+			_ = x
+		}
+	}
+	b.ReportMetric(ops[0], "cycles-m131")
+	b.ReportMetric(ops[1], "cycles-m163")
+	b.ReportMetric(ops[2], "cycles-m233")
+	b.ReportMetric(ops[3], "cycles-m283")
+}

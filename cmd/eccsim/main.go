@@ -1,0 +1,121 @@
+// Command eccsim runs point multiplications on the simulated
+// co-processor and reports the chip's operating point (experiment E1):
+// cycles, latency, throughput, average power and energy, for any
+// combination of the design knobs the paper discusses.
+//
+// Usage:
+//
+//	eccsim [-n 10] [-d 4] [-clock 847500] [-vdd 1.0] [-rpc=true]
+//	       [-style cmos|wddl|sabl] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"medsec/internal/coproc"
+	"medsec/internal/core"
+	"medsec/internal/power"
+	"medsec/internal/rng"
+	"medsec/internal/tabular"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eccsim: ")
+	var (
+		n         = flag.Int("n", 10, "number of point multiplications")
+		digit     = flag.Int("d", 4, "digit-serial multiplier width")
+		clock     = flag.Float64("clock", power.DefaultClockHz, "core clock in Hz")
+		vdd       = flag.Float64("vdd", 1.0, "core supply voltage")
+		rpc       = flag.Bool("rpc", true, "randomized projective coordinates")
+		style     = flag.String("style", "cmos", "logic style: cmos|wddl|sabl")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		noise     = flag.Float64("noise", 0, "measurement noise sigma (fraction of nominal cycle energy)")
+		breakdown = flag.Bool("breakdown", false, "print the per-component energy split")
+		dump      = flag.Int("dump", 0, "disassemble the first N microcode instructions")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*seed)
+	cfg.Timing.DigitSize = *digit
+	cfg.RPC = *rpc
+	cfg.Power.ClockHz = *clock
+	cfg.Power.Vdd = *vdd
+	cfg.Power.NoiseSigma = *noise
+	switch strings.ToLower(*style) {
+	case "cmos":
+		cfg.Power.Style = power.CMOS
+	case "wddl":
+		cfg.Power.Style = power.WDDL
+	case "sabl":
+		cfg.Power.Style = power.SABL
+	default:
+		log.Fatalf("unknown logic style %q", *style)
+	}
+
+	chip, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := chip.Curve().Generator()
+	for i := 0; i < *n; i++ {
+		k := chip.GenerateScalar()
+		if _, err := chip.PointMul(k, g); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("co-processor: %s, d=%d, RPC=%v, %s, %.1f kHz, Vdd=%.2f V\n\n",
+		chip.Curve().Name, *digit, *rpc, cfg.Power.Style, *clock/1e3, *vdd)
+	t := tabular.New("metric", "value", "paper (d=4 chip)")
+	t.Row("cycles / point mult", chip.Last.Cycles, "~86 480")
+	t.Row("latency", fmt.Sprintf("%.1f ms", chip.Last.DurationS*1e3), "102 ms")
+	t.Row("throughput", fmt.Sprintf("%.2f PM/s", 1/chip.Last.DurationS), "9.8 PM/s")
+	t.Row("average power", fmt.Sprintf("%.2f uW", chip.Last.AvgPowerW*1e6), "50.4 uW")
+	t.Row("energy / point mult", fmt.Sprintf("%.3f uJ", chip.Last.EnergyJ*1e6), "5.1 uJ")
+	t.Row("total energy (n ops)", fmt.Sprintf("%.2f uJ", chip.Total.EnergyJ*1e6), "-")
+	t.Render(os.Stdout)
+
+	if *breakdown {
+		fmt.Println("\nenergy breakdown (one point multiplication):")
+		cfg2 := cfg
+		cfg2.Power.NoiseSigma = 0
+		printBreakdown(cfg2)
+	}
+	if *dump > 0 {
+		fmt.Printf("\nmicrocode (first %d instructions):\n", *dump)
+		prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: *rpc})
+		fmt.Print(prog.Listing(cfg.Timing, *dump))
+	}
+}
+
+func printBreakdown(cfg core.Config) {
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: cfg.RPC})
+	model := power.NewModel(cfg.Power)
+	bm := power.NewBreakdownMeter(model)
+	cpu := coproc.NewCPU(cfg.Timing)
+	cpu.Rand = rng.NewDRBG(99).Uint64
+	cpu.Probe = bm.Probe()
+	curve := cfg.Curve
+	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+	k := curve.Order.RandNonZero(rng.NewDRBG(98).Uint64)
+	if _, err := cpu.Run(prog, k); err != nil {
+		log.Fatal(err)
+	}
+	c := bm.Totals()
+	total := c.Total()
+	t := tabular.New("component", "energy [uJ]", "share")
+	row := func(name string, v float64) {
+		t.Row(name, fmt.Sprintf("%.3f", v*1e6), fmt.Sprintf("%.1f%%", v/total*100))
+	}
+	row("leakage + clock spine", c.Leakage)
+	row("clock tree (registers)", c.Clock)
+	row("datapath switching", c.Datapath)
+	row("mux control network", c.Control)
+	t.Row("total", fmt.Sprintf("%.3f", total*1e6), "100%")
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,236 @@
+// Command sweeptab regenerates the paper's design-space tables:
+//
+//	sweeptab digit    – E4: MALU digit-size sweep (area/latency/power/
+//	                    energy, area-energy optimum at d = 4)
+//	sweeptab gates    – E6: implementation-size comparison (SHA-1 vs
+//	                    ECC vs AES)
+//	sweeptab radio    – E7: secret-key vs public-key device energy vs
+//	                    distance to the trust infrastructure
+//	sweeptab privacy  – E8: linking-game advantages (Schnorr vs
+//	                    Peeters–Hermans)
+//	sweeptab regs     – E5: register pressure MPL vs Co-Z
+//	sweeptab security – E13: field-size vs point-multiplication cost
+//	sweeptab counter  – the conclusion: countermeasure cost vs SPA outcome
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"medsec/internal/area"
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/power"
+	"medsec/internal/privacy"
+	"medsec/internal/radio"
+	"medsec/internal/rng"
+	"medsec/internal/sca"
+	"medsec/internal/tabular"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweeptab: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "digit":
+		digitCmd(os.Args[2:])
+	case "gates":
+		gatesCmd()
+	case "radio":
+		radioCmd(os.Args[2:])
+	case "privacy":
+		privacyCmd(os.Args[2:])
+	case "regs":
+		regsCmd()
+	case "security":
+		securityCmd()
+	case "counter":
+		counterCmd()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sweeptab <digit|gates|radio|privacy|regs|security|counter> [flags]")
+	os.Exit(2)
+}
+
+// counterCmd prints the paper's thesis as one table: what each
+// countermeasure costs in energy and what single-trace SPA achieves
+// against the design point.
+func counterCmd() {
+	curve := ec.K163()
+	key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
+	type design struct {
+		name string
+		rpc  bool
+		mut  func(*power.Config)
+	}
+	designs := []design{
+		{"no countermeasures at all", false, func(c *power.Config) {
+			c.BalancedMux = false
+			c.DataDepClockGating = true
+			c.InputIsolation = false
+			c.GlitchFree = false
+		}},
+		{"unbalanced muxes only", true, func(c *power.Config) { c.BalancedMux = false }},
+		{"data-dependent clock gating", true, func(c *power.Config) { c.DataDepClockGating = true }},
+		{"the paper's chip (protected CMOS)", true, func(c *power.Config) {}},
+		{"protected + WDDL", true, func(c *power.Config) { c.Style = power.WDDL }},
+		{"protected + SABL", true, func(c *power.Config) { c.Style = power.SABL }},
+	}
+	t := tabular.New("design point", "energy/PM [uJ]", "vs chip", "1-trace SPA acc", "RPC")
+	base := 0.0
+	for _, d := range designs {
+		cfg := power.ProtectedChip(1)
+		d.mut(&cfg)
+		energy := measureEnergy(curve, cfg, d.rpc)
+		if d.name == "the paper's chip (protected CMOS)" {
+			base = energy
+		}
+		tgt := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: d.rpc, XOnly: true},
+			coproc.DefaultTiming(), cfg, 777)
+		res, err := sca.SPA(tgt, curve.Generator(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel := "-"
+		if base > 0 {
+			rel = fmt.Sprintf("%.2fx", energy/base)
+		}
+		t.Row(d.name, fmt.Sprintf("%.2f", energy*1e6), rel,
+			fmt.Sprintf("%.3f", res.Accuracy()), d.rpc)
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\n\"Making a device secure adds an extra design dimension. Indeed, for the")
+	fmt.Println("design of medical devices, a trade-off between security, power and energy")
+	fmt.Println("needs to be made.\" — the paper's conclusion, as a table")
+}
+
+func measureEnergy(curve *ec.Curve, cfg power.Config, rpc bool) float64 {
+	cfg.NoiseSigma = 0
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: rpc})
+	model := power.NewModel(cfg)
+	meter := power.NewMeter(model)
+	cpu := coproc.NewCPU(coproc.DefaultTiming())
+	cpu.Rand = rng.NewDRBG(5).Uint64
+	cpu.Probe = meter.Probe()
+	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+	k := sca.AlgorithmOneScalar(curve, rng.NewDRBG(6).Uint64)
+	if _, err := cpu.Run(prog, k); err != nil {
+		log.Fatal(err)
+	}
+	return meter.EnergyJ()
+}
+
+func digitCmd(args []string) {
+	fs := flag.NewFlagSet("digit", flag.ExitOnError)
+	latency := fs.Float64("latency", 0.11, "latency constraint in seconds per point multiplication")
+	fs.Parse(args)
+	rows, err := area.DigitSweep([]int{1, 2, 4, 8, 16, 32}, power.DefaultClockHz, *latency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := tabular.New("d", "area [GE]", "cycles/PM", "latency [ms]", "power [uW]", "energy [uJ]", "area*energy", "meets latency")
+	for _, r := range rows {
+		t.Row(r.D, fmt.Sprintf("%.0f", r.AreaGE), r.Cycles,
+			fmt.Sprintf("%.1f", r.LatencyS*1e3),
+			fmt.Sprintf("%.1f", r.PowerW*1e6),
+			fmt.Sprintf("%.2f", r.EnergyJ*1e6),
+			fmt.Sprintf("%.0f", r.AreaEnergy), r.MeetsLatency)
+	}
+	t.Render(os.Stdout)
+	opt, err := area.OptimalDigit(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimal area-energy product within the latency constraint: d = %d (paper: d = 4)\n", opt)
+}
+
+func gatesCmd() {
+	t := tabular.New("module", "gates [GE]", "source")
+	for _, m := range area.ModuleGateCounts() {
+		t.Row(m.Module, fmt.Sprintf("%.0f", m.GE), m.Source)
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\npaper §4: \"the smallest SHA-1 implementation [12] uses 5527 gates,")
+	fmt.Println("while an ECC core uses about 12k gates [10]\"")
+}
+
+func radioCmd(args []string) {
+	fs := flag.NewFlagSet("radio", flag.ExitOnError)
+	fs.Parse(args)
+	m := radio.DefaultModel()
+	costs := radio.PaperCosts()
+	sym := radio.SymmetricKDC()
+	pk := radio.PublicKeyLocal()
+	rows := m.SweepScenarios(sym, pk, costs, []float64{0.5, 1, 2, 5, 10, 15, 20, 30, 50, 80})
+	t := tabular.New("backhaul [m]", sym.Name+" [uJ]", pk.Name+" [uJ]", "cheapest")
+	for _, r := range rows {
+		t.Row(fmt.Sprintf("%.1f", r.Meters),
+			fmt.Sprintf("%.1f", r.EnergyA*1e6),
+			fmt.Sprintf("%.1f", r.EnergyB*1e6), r.Cheapest)
+	}
+	t.Render(os.Stdout)
+	if d, err := m.Crossover(sym, pk, costs, 0, 100); err == nil {
+		fmt.Printf("\ncrossover distance: %.1f m — \"the conclusions depend on ... the wireless distance\" [4,5]\n", d)
+	}
+}
+
+func privacyCmd(args []string) {
+	fs := flag.NewFlagSet("privacy", flag.ExitOnError)
+	rounds := fs.Int("rounds", 100, "game rounds")
+	seed := fs.Uint64("seed", 1, "seed")
+	fs.Parse(args)
+	t := tabular.New("protocol", "adversary", "rounds won", "advantage")
+	s, err := privacy.RunLinkingGame(privacy.GameConfig{Protocol: privacy.Schnorr, Rounds: *rounds, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.Row("Schnorr", "wide", fmt.Sprintf("%d/%d", s.Correct, s.Rounds), fmt.Sprintf("%.2f", s.Advantage))
+	p, err := privacy.RunLinkingGame(privacy.GameConfig{Protocol: privacy.PeetersHermans, Rounds: *rounds, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.Row("Peeters-Hermans", "wide-insider", fmt.Sprintf("%d/%d", p.Correct, p.Rounds), fmt.Sprintf("%.2f", p.Advantage))
+	c, err := privacy.RunLinkingGame(privacy.GameConfig{Protocol: privacy.PeetersHermans, Rounds: *rounds / 4, Seed: *seed, CorruptReader: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.Row("Peeters-Hermans", "corrupt reader (sanity)", fmt.Sprintf("%d/%d", c.Correct, c.Rounds), fmt.Sprintf("%.2f", c.Advantage))
+	t.Render(os.Stdout)
+}
+
+func regsCmd() {
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
+	loop, ram := prog.RegisterPressure()
+	t := tabular.New("algorithm", "163-bit registers", "storage [GE]")
+	t.Row("MPL x-only (this chip)", loop, fmt.Sprintf("%.0f", area.RegisterStorageGE(loop, 163)))
+	t.Row("prime-field Co-Z [6]", area.CoZRegisters, fmt.Sprintf("%.0f", area.RegisterStorageGE(area.CoZRegisters, 163)))
+	t.Render(os.Stdout)
+	fmt.Printf("\nladder loop RAM usage: %d words (post-processing only)\n", ram)
+}
+
+func securityCmd() {
+	t := tabular.New("field", "security [bit]", "MALU cycles/PM (d=4)", "relative")
+	type fld struct {
+		m   int
+		sec int
+	}
+	base := 0.0
+	for _, f := range []fld{{131, 65}, {163, 80}, {233, 112}, {283, 128}} {
+		cycles := float64(f.m) * 11 * float64((f.m+3)/4+2)
+		if base == 0 {
+			base = cycles
+		}
+		t.Row(fmt.Sprintf("GF(2^%d)", f.m), f.sec, fmt.Sprintf("%.0f", cycles), fmt.Sprintf("%.2fx", cycles/base))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\npaper §1: \"longer key length translates in a larger computational load\"")
+}

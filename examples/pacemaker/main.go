@@ -1,0 +1,108 @@
+// Pacemaker: a mutual-authentication session between an implanted
+// pacemaker and a clinician's programmer, demonstrating the paper's
+// Section 4 protocol-engineering rules:
+//
+//   - mutual authentication, data authentication and encryption are
+//     all required (a corrupted therapy command endangers the patient);
+//   - the server authenticates FIRST, so a rogue programmer cannot
+//     drain the implant's battery through failed sessions;
+//   - the heavy computation runs on the 5.1 µJ co-processor, and the
+//     example prices everything against the pacemaker's battery.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"medsec/internal/core"
+	"medsec/internal/protocol"
+	"medsec/internal/radio"
+	"medsec/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	chip, err := core.New(core.DefaultConfig(2026))
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve := chip.Curve()
+	src := rng.NewDRBG(99).Uint64
+	programmerMul := &protocol.SoftwareMultiplier{Curve: curve, Rand: src}
+
+	programmer, err := protocol.NewReader(curve, programmerMul, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pacemaker, err := protocol.NewTag(curve, chip, src, programmer.Pub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	programmer.Register(pacemaker.Pub)
+
+	m := radio.DefaultModel()
+	costs := radio.PaperCosts()
+
+	// --- Honest session: mutual auth, then sealed telemetry. ---
+	fmt.Println("== honest clinician session (server authenticates first) ==")
+	res, err := protocol.RunMutualAuth(pacemaker, programmer, true, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed: %v (stage %s), identified as DB[%d]\n",
+		res.Completed, res.AbortStage, res.TagIndex)
+	sessionJ := m.LedgerEnergy(res.DeviceLedger, radio.LocalRange, costs)
+	fmt.Printf("device: %d PMs, %d bits TX -> %.1f uJ per session\n",
+		res.DeviceLedger.PointMuls, res.DeviceLedger.TxBits, sessionJ*1e6)
+
+	var nonce [16]byte
+	nonce[15] = 1
+	vitals := []byte("HR=061bpm;BATT=2.71V;LEAD_IMP=540ohm;MODE=DDD")
+	led := res.DeviceLedger
+	sealed, err := protocol.Telemetry(res.SessionKey, nonce, vitals, &led)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opened, err := protocol.OpenTelemetry(res.SessionKey, nonce, sealed, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("telemetry delivered intact: %q\n", opened)
+
+	// A tampered therapy command must be rejected.
+	sealed[4] ^= 0x01
+	if _, err := protocol.OpenTelemetry(res.SessionKey, nonce, sealed, nil); err != nil {
+		fmt.Printf("tampered telemetry rejected: %v\n\n", err)
+	} else {
+		log.Fatal("tampered telemetry accepted — data authentication broken")
+	}
+
+	// --- Rogue programmer: the ordering rule in action. ---
+	fmt.Println("== rogue programmer attack: session ordering comparison ==")
+	goodOrder, err := protocol.RunMutualAuth(pacemaker, programmer, true, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	badOrder, err := protocol.RunMutualAuth(pacemaker, programmer, false, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	goodJ := m.LedgerEnergy(goodOrder.DeviceLedger, radio.LocalRange, costs)
+	badJ := m.LedgerEnergy(badOrder.DeviceLedger, radio.LocalRange, costs)
+	fmt.Printf("server-first ordering:        %d PMs wasted, %.1f uJ\n",
+		goodOrder.DeviceLedger.PointMuls, goodJ*1e6)
+	fmt.Printf("identification-first (naive): %d PMs wasted, %.1f uJ\n",
+		badOrder.DeviceLedger.PointMuls, badJ*1e6)
+	fmt.Printf("the paper's rule saves %.0f%% of the drained energy per rogue attempt\n\n",
+		(1-goodJ/badJ)*100)
+
+	// --- Battery-lifetime perspective (paper §1: 5-15 year battery). ---
+	const batteryJ = 0.8 * 3600 // ~0.8 Wh usable security budget share
+	sessionsPerDay := 4.0
+	perDay := sessionsPerDay * sessionJ
+	years := batteryJ / perDay / 365
+	fmt.Printf("security budget %.0f J, %.0f sessions/day at %.1f uJ -> %.0f years of sessions\n",
+		batteryJ, sessionsPerDay, sessionJ*1e6, years)
+	fmt.Println("(the cryptography is not the battery bottleneck — the paper's design goal)")
+}

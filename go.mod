@@ -1,0 +1,3 @@
+module medsec
+
+go 1.22

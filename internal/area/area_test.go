@@ -1,0 +1,128 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestECCProcessorAreaMatchesCitedFigure(t *testing.T) {
+	// §4: "an ECC core uses about 12k gates [10]" — our model is
+	// fitted to that figure at the chip's d = 4.
+	g := DefaultGateModel()
+	ge := g.ECCProcessorGE(4)
+	if math.Abs(ge-12000) > 600 {
+		t.Fatalf("ECC processor at d=4: %.0f GE, want ~12 000", ge)
+	}
+	// SHA-1 must be smaller than ECC, but over half the size of AES's
+	// ballpark — "protocol designers tend to believe that hash
+	// functions are very cheap in hardware ... no longer true".
+	mods := ModuleGateCounts()
+	byName := map[string]float64{}
+	for _, m := range mods {
+		byName[m.Module] = m.GE
+	}
+	if byName["SHA-1"] != 5527 {
+		t.Fatal("SHA-1 must carry the cited 5 527 GE figure")
+	}
+	if byName["SHA-1"] <= byName["AES-128 (compact)"] {
+		t.Fatal("the §4 point requires SHA-1 to be larger than a compact AES")
+	}
+	if byName["PRESENT-80"] >= byName["AES-128 (compact)"] {
+		t.Fatal("PRESENT must undercut compact AES (its whole point)")
+	}
+	if byName["SHA-1"] >= byName["ECC co-processor (d=4)"] {
+		t.Fatal("ECC core must be larger than SHA-1")
+	}
+}
+
+func TestAreaMonotoneInDigitSize(t *testing.T) {
+	g := DefaultGateModel()
+	prev := 0.0
+	for d := 1; d <= 32; d *= 2 {
+		a := g.ECCProcessorGE(d)
+		if a <= prev {
+			t.Fatalf("area not increasing at d=%d", d)
+		}
+		prev = a
+	}
+}
+
+func TestDigitSweepShape(t *testing.T) {
+	// E4: latency falls with d, power and area rise with d, energy
+	// falls then flattens; the optimum area-energy product under the
+	// chip's latency constraint is d = 4 — the paper's design choice.
+	rows, err := DigitSweep([]int{1, 2, 4, 8, 16, 32}, 847500, 0.11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LatencyS >= rows[i-1].LatencyS {
+			t.Fatalf("latency not decreasing at d=%d", rows[i].D)
+		}
+		if rows[i].PowerW <= rows[i-1].PowerW {
+			t.Fatalf("power not increasing at d=%d", rows[i].D)
+		}
+		if rows[i].AreaGE <= rows[i-1].AreaGE {
+			t.Fatalf("area not increasing at d=%d", rows[i].D)
+		}
+	}
+	opt, err := OptimalDigit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 4 {
+		for _, r := range rows {
+			t.Logf("d=%-3d area=%6.0fGE cycles=%7d lat=%.4fs P=%.1fuW E=%.2fuJ AE=%.0f meets=%v",
+				r.D, r.AreaGE, r.Cycles, r.LatencyS, r.PowerW*1e6, r.EnergyJ*1e6, r.AreaEnergy, r.MeetsLatency)
+		}
+		t.Fatalf("optimal digit size %d, want 4 (the paper's choice)", opt)
+	}
+	// d = 4 row must reproduce the chip's operating point.
+	for _, r := range rows {
+		if r.D == 4 {
+			if math.Abs(r.PowerW-50.4e-6) > 0.5e-6 {
+				t.Fatalf("d=4 power %.2f µW, want 50.4", r.PowerW*1e6)
+			}
+			if math.Abs(r.EnergyJ-5.1e-6) > 0.2e-6 {
+				t.Fatalf("d=4 energy %.2f µJ, want ~5.1", r.EnergyJ*1e6)
+			}
+		}
+	}
+	// d = 1 and d = 2 must violate the latency constraint (that is
+	// why the optimum is not the smallest multiplier).
+	if rows[0].MeetsLatency || rows[1].MeetsLatency {
+		t.Fatal("d=1/d=2 should miss the chip's latency constraint")
+	}
+}
+
+func TestDigitSweepValidation(t *testing.T) {
+	if _, err := DigitSweep([]int{4}, 0, 1); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+	if _, err := DigitSweep([]int{0}, 847500, 1); err == nil {
+		t.Fatal("digit size 0 accepted")
+	}
+	if _, err := DigitSweep([]int{99}, 847500, 1); err == nil {
+		t.Fatal("digit size 99 accepted")
+	}
+	rows, err := DigitSweep([]int{1}, 847500, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimalDigit(rows); err == nil {
+		t.Fatal("impossible latency constraint satisfied")
+	}
+}
+
+func TestRegisterStorageComparison(t *testing.T) {
+	// E5: MPL x-only needs 6 registers, prime-field Co-Z needs 8 —
+	// a 25% register-file saving.
+	mpl := RegisterStorageGE(MPLRegisters, 163)
+	coz := RegisterStorageGE(CoZRegisters, 163)
+	if mpl >= coz {
+		t.Fatal("MPL register file should be smaller than Co-Z")
+	}
+	if math.Abs(coz/mpl-8.0/6.0) > 1e-9 {
+		t.Fatalf("register ratio %.3f, want 8/6", coz/mpl)
+	}
+}

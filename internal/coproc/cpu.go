@@ -1,0 +1,367 @@
+package coproc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"medsec/internal/gf2m"
+	"medsec/internal/modn"
+)
+
+// CycleEvent describes the microarchitectural activity of one clock
+// cycle. The power model (internal/power) turns these counts into
+// instantaneous power; the SCA layer correlates them with hypotheses.
+// The same event struct is reused across cycles — probes must not
+// retain it.
+type CycleEvent struct {
+	// Cycle is the global cycle index (0-based).
+	Cycle int
+	// InstrIndex is the index of the executing instruction.
+	InstrIndex int
+	// Op is the executing opcode.
+	Op Op
+	// Iteration is the ladder iteration (-1 outside the loop).
+	Iteration int
+	// KeyBit is the scalar bit index controlling this cycle's muxes,
+	// -1 when the cycle is not key-controlled.
+	KeyBit int
+	// CtrlSel is the mux select value (the key bit) on key-controlled
+	// cycles.
+	CtrlSel uint
+	// WriteHD / Write01 are the destination register's bit flips and
+	// 0->1 transitions on this cycle (0 on non-writeback cycles).
+	WriteHD, Write01 int
+	// SwapHD is the Hamming distance between the two CSWAP operands.
+	// With Fig. 3's register-updating scheme the swap is a logical
+	// renaming through multiplexers and costs no register writes; a
+	// naive design that physically exchanges the registers pays
+	// 2*SwapHD data toggles whenever the swap fires. The power model
+	// decides which design is being simulated.
+	SwapHD int
+	// BusHW is the Hamming weight presented on the operand buses.
+	BusHW int
+	// AccHD / Acc01 are the MALU accumulator's flips on digit cycles.
+	AccHD, Acc01 int
+	// DigitHW is the Hamming weight of the current multiplier digit.
+	DigitHW int
+	// RegsClocked is the number of 163-bit registers receiving a
+	// clock edge this cycle (clock-tree load).
+	RegsClocked int
+}
+
+// Probe receives one callback per simulated clock cycle.
+type Probe func(ev *CycleEvent)
+
+// CPU is the co-processor execution model. Zero value is not usable:
+// construct with NewCPU.
+type CPU struct {
+	Timing Timing
+	// Rand feeds the OpLoadRnd TRNG port. Required when running RPC
+	// programs.
+	Rand func() uint64
+	// Probe, when non-nil, is invoked every cycle.
+	Probe Probe
+	// MaxCycles stops execution early when positive — the SCA
+	// acquisition path uses it to capture only the first ladder
+	// iterations instead of simulating all ~86k cycles per trace.
+	MaxCycles int
+
+	Regs   [NumRegs]gf2m.Element
+	Consts [NumConsts]gf2m.Element
+	RAM    [NumRAM]gf2m.Element
+
+	cycle int
+	ev    CycleEvent
+}
+
+// NewCPU returns a CPU with the given timing.
+func NewCPU(t Timing) *CPU {
+	return &CPU{Timing: t}
+}
+
+// SetOperandConstants loads the constant ROM for a point
+// multiplication on base point (x, y) over a curve with parameter b.
+func (c *CPU) SetOperandConstants(x, b, y gf2m.Element) {
+	c.Consts = [NumConsts]gf2m.Element{x, b, y, gf2m.One(), gf2m.Zero()}
+}
+
+// ErrStopped is returned when MaxCycles aborted the run (expected
+// during SCA trace acquisition).
+var ErrStopped = errors.New("coproc: execution stopped at MaxCycles")
+
+func (c *CPU) readOperand(a uint8) (gf2m.Element, error) {
+	switch {
+	case a < NumRegs:
+		return c.Regs[a], nil
+	case a >= constBase && a < constBase+NumConsts:
+		return c.Consts[a-constBase], nil
+	case a >= ramBase && a < ramBase+NumRAM:
+		return c.RAM[a-ramBase], nil
+	default:
+		return gf2m.Element{}, fmt.Errorf("coproc: invalid operand address %d", a)
+	}
+}
+
+func (c *CPU) writeOperand(a uint8, v gf2m.Element) (old gf2m.Element, err error) {
+	switch {
+	case a < NumRegs:
+		old = c.Regs[a]
+		c.Regs[a] = v
+	case a >= ramBase && a < ramBase+NumRAM:
+		old = c.RAM[a-ramBase]
+		c.RAM[a-ramBase] = v
+	default:
+		return gf2m.Element{}, fmt.Errorf("coproc: invalid write address %d", a)
+	}
+	return old, nil
+}
+
+// tick emits one cycle to the probe and advances the clock. It
+// returns false when MaxCycles is reached.
+func (c *CPU) tick() bool {
+	c.ev.Cycle = c.cycle
+	if c.Probe != nil {
+		c.Probe(&c.ev)
+	}
+	c.cycle++
+	return c.MaxCycles <= 0 || c.cycle < c.MaxCycles
+}
+
+// resetEvent clears the per-cycle fields and stamps instruction
+// context.
+func (c *CPU) resetEvent(idx int, in *Instr) {
+	c.ev = CycleEvent{
+		InstrIndex: idx,
+		Op:         in.Op,
+		Iteration:  in.Iteration,
+		KeyBit:     -1,
+	}
+}
+
+// extractDigit returns bits [j*d, (j+1)*d) of e as a small integer.
+func extractDigit(e gf2m.Element, j, d int) uint64 {
+	lo := j * d
+	var v uint64
+	for i := 0; i < d; i++ {
+		v |= uint64(e.Bit(lo+i)) << i
+	}
+	return v
+}
+
+// mulSmall returns a * digit mod f where digit is a polynomial of
+// degree < d (d <= 61): the MALU's per-cycle partial product.
+func mulSmall(a gf2m.Element, digit uint64) gf2m.Element {
+	var acc gf2m.Element
+	for i := 0; digit != 0; i++ {
+		if digit&1 == 1 {
+			acc = gf2m.Add(acc, gf2m.ShlMod(a, uint(i)))
+		}
+		digit >>= 1
+	}
+	return acc
+}
+
+// runMALU executes a MUL or SQR through the digit-serial multiplier,
+// emitting the load cycle(s), one cycle per digit (MSD first), and the
+// writeback cycle. Returns (result, ok) where ok=false means the run
+// hit MaxCycles.
+func (c *CPU) runMALU(idx int, in *Instr, a, b gf2m.Element) (gf2m.Element, bool, error) {
+	t := c.Timing
+	if t.DigitSize <= 0 || t.DigitSize > 61 {
+		return gf2m.Element{}, false, fmt.Errorf("coproc: unsupported digit size %d", t.DigitSize)
+	}
+	// Operand-load cycles (MulOverhead-1 of them; the final overhead
+	// cycle is the writeback).
+	for k := 0; k < t.MulOverhead-1; k++ {
+		c.resetEvent(idx, in)
+		c.ev.BusHW = a.Weight() + b.Weight()
+		c.ev.RegsClocked = 2 // MALU operand latches
+		if !c.tick() {
+			return gf2m.Element{}, false, nil
+		}
+	}
+	var acc gf2m.Element
+	digits := t.Digits()
+	for j := digits - 1; j >= 0; j-- {
+		digit := extractDigit(b, j, t.DigitSize)
+		next := gf2m.Add(gf2m.ShlMod(acc, uint(t.DigitSize)), mulSmall(a, digit))
+		c.resetEvent(idx, in)
+		c.ev.AccHD = gf2m.HammingDistance(acc, next)
+		c.ev.Acc01 = zeroToOne(acc, next)
+		c.ev.DigitHW = bits.OnesCount64(digit)
+		c.ev.BusHW = c.ev.DigitHW // the digit bus toggles with the operand
+		c.ev.RegsClocked = 1      // accumulator
+		acc = next
+		if !c.tick() {
+			return gf2m.Element{}, false, nil
+		}
+	}
+	// Writeback cycle.
+	old, err := c.readOperand(in.Rd)
+	if err != nil {
+		return gf2m.Element{}, false, err
+	}
+	c.resetEvent(idx, in)
+	c.ev.WriteHD = gf2m.HammingDistance(old, acc)
+	c.ev.Write01 = zeroToOne(old, acc)
+	c.ev.RegsClocked = 1
+	if _, err := c.writeOperand(in.Rd, acc); err != nil {
+		return gf2m.Element{}, false, err
+	}
+	ok := c.tick()
+	return acc, ok, nil
+}
+
+// zeroToOne counts 0->1 transitions in the update old -> new: the
+// transitions a static CMOS gate draws supply current for.
+func zeroToOne(old, new gf2m.Element) int {
+	n := 0
+	for i := 0; i < gf2m.Words; i++ {
+		n += bits.OnesCount64(^old[i] & new[i])
+	}
+	return n
+}
+
+// RandNonZeroElement draws a nonzero field element exactly the way the
+// OpLoadRnd port does: three words from src, normalized, redrawn on
+// zero. The SCA layer's "randomness known to the attacker" white-box
+// mode re-derives the RPC masks with this function.
+func RandNonZeroElement(src func() uint64) gf2m.Element {
+	for {
+		e := gf2m.FromWords(src(), src(), src())
+		if !e.IsZero() {
+			return e
+		}
+	}
+}
+
+// Run executes the program against the given scalar. It returns the
+// total cycle count. If MaxCycles stops the run early it returns
+// ErrStopped (the registers then hold the in-flight state, which is
+// exactly what trace acquisition wants).
+func (c *CPU) Run(p *Program, key modn.Scalar) (int, error) {
+	c.cycle = 0
+	for idx := range p.Instrs {
+		in := &p.Instrs[idx]
+		switch in.Op {
+		case OpNop:
+			c.resetEvent(idx, in)
+			if !c.tick() {
+				return c.cycle, ErrStopped
+			}
+
+		case OpAdd, OpMove, OpLoadConst, OpLoadRnd:
+			var v gf2m.Element
+			var busHW int
+			switch in.Op {
+			case OpAdd:
+				a, err := c.readOperand(in.Ra)
+				if err != nil {
+					return c.cycle, err
+				}
+				b, err := c.readOperand(in.Rb)
+				if err != nil {
+					return c.cycle, err
+				}
+				v = gf2m.Add(a, b)
+				busHW = a.Weight() + b.Weight()
+			case OpMove:
+				a, err := c.readOperand(in.Ra)
+				if err != nil {
+					return c.cycle, err
+				}
+				v = a
+				busHW = a.Weight()
+			case OpLoadConst:
+				a, err := c.readOperand(in.Ra)
+				if err != nil {
+					return c.cycle, err
+				}
+				v = a
+				busHW = a.Weight()
+			case OpLoadRnd:
+				if c.Rand == nil {
+					return c.cycle, errors.New("coproc: OpLoadRnd requires a TRNG source")
+				}
+				v = RandNonZeroElement(c.Rand)
+				busHW = v.Weight()
+			}
+			old, err := c.writeOperand(in.Rd, v)
+			if err != nil {
+				return c.cycle, err
+			}
+			c.resetEvent(idx, in)
+			c.ev.WriteHD = gf2m.HammingDistance(old, v)
+			c.ev.Write01 = zeroToOne(old, v)
+			c.ev.BusHW = busHW
+			c.ev.RegsClocked = 1
+			if !c.tick() {
+				return c.cycle, ErrStopped
+			}
+
+		case OpCSwap:
+			if in.KeyBit < 0 {
+				return c.cycle, errors.New("coproc: CSWAP without key bit")
+			}
+			sel := key.Bit(in.KeyBit)
+			a, err := c.readOperand(in.Rd)
+			if err != nil {
+				return c.cycle, err
+			}
+			b, err := c.readOperand(in.Ra)
+			if err != nil {
+				return c.cycle, err
+			}
+			c.resetEvent(idx, in)
+			c.ev.KeyBit = in.KeyBit
+			c.ev.CtrlSel = sel
+			c.ev.SwapHD = gf2m.HammingDistance(a, b)
+			c.ev.RegsClocked = 2
+			if sel == 1 {
+				// Functionally the swap always takes effect; whether it
+				// is a physical register exchange or a mux renaming is
+				// a circuit-level choice the power model charges for.
+				if _, err := c.writeOperand(in.Rd, b); err != nil {
+					return c.cycle, err
+				}
+				if _, err := c.writeOperand(in.Ra, a); err != nil {
+					return c.cycle, err
+				}
+			}
+			if !c.tick() {
+				return c.cycle, ErrStopped
+			}
+
+		case OpMul, OpSqr:
+			a, err := c.readOperand(in.Ra)
+			if err != nil {
+				return c.cycle, err
+			}
+			b := a
+			if in.Op == OpMul {
+				if b, err = c.readOperand(in.Rb); err != nil {
+					return c.cycle, err
+				}
+			}
+			_, ok, err := c.runMALU(idx, in, a, b)
+			if err != nil {
+				return c.cycle, err
+			}
+			if !ok {
+				return c.cycle, ErrStopped
+			}
+
+		default:
+			return c.cycle, fmt.Errorf("coproc: unknown opcode %v", in.Op)
+		}
+	}
+	return c.cycle, nil
+}
+
+// ResultX returns the affine x result register after a completed run.
+func (c *CPU) ResultX(p *Program) gf2m.Element { return c.Regs[p.ResultX] }
+
+// ResultY returns the affine y result register after a completed run
+// of a y-recovery program.
+func (c *CPU) ResultY(p *Program) gf2m.Element { return c.Regs[p.ResultY] }

@@ -1,0 +1,148 @@
+package coproc
+
+import (
+	"errors"
+
+	"medsec/internal/modn"
+)
+
+// BuildDoubleAndAddProgram generates microcode for the textbook
+// left-to-right affine double-and-add scalar multiplication — the
+// paper's insecure baseline. Unlike the ladder, the instruction
+// stream itself depends on the key: an add block is emitted only for
+// set key bits, so both the total cycle count (timing attack, §7) and
+// the per-iteration trace shape (SPA) leak the scalar.
+//
+// The accumulator starts at the base point after the most significant
+// set bit. Requirements: k > 0, and the curve must have a = 1 (both
+// NIST binary curves here do; the constant ROM's ONE doubles as the
+// curve coefficient). The doubling/addition formulas are the affine
+// group law; each needs one Itoh–Tsujii inversion through the MALU,
+// which is exactly why real designs prefer projective ladders.
+//
+// Precondition (overwhelming for random scalars): the accumulator
+// never equals ±P at an addition step and never reaches the order-2
+// point; the straight-line microcode has no exceptional-case handling.
+func BuildDoubleAndAddProgram(k modn.Scalar) (*Program, error) {
+	if k.IsZero() {
+		return nil, errors.New("coproc: double-and-add needs a nonzero scalar")
+	}
+	p := &Program{}
+	emit := func(op Op, rd, ra, rb uint8, iter int) {
+		p.Instrs = append(p.Instrs, Instr{Op: op, Rd: rd, Ra: ra, Rb: rb, KeyBit: -1, Iteration: iter})
+	}
+	// Register allocation: r0 = x, r1 = y (accumulator); r2, r3, r4,
+	// r5 scratch.
+	top := k.BitLen() - 1
+	emit(OpLoadConst, 0, ConstX, 0, -1)
+	emit(OpLoadConst, 1, ConstY, 0, -1)
+
+	double := func(iter int) {
+		// lambda = x + y/x
+		emit(OpMove, 3, 0, 0, iter)
+		emitInversionIter(p, 3, 4, 5, iter)
+		emit(OpMul, 2, 1, 3, iter)        // y/x
+		emit(OpAdd, 2, 2, 0, iter)        // lambda
+		emit(OpSqr, 3, 2, 0, iter)        // lambda^2
+		emit(OpAdd, 3, 3, 2, iter)        // + lambda
+		emit(OpAdd, 3, 3, ConstOne, iter) // + a  (a = 1)
+		emit(OpSqr, 4, 0, 0, iter)        // x^2
+		emit(OpAdd, 2, 2, ConstOne, iter)
+		emit(OpMul, 2, 2, 3, iter)  // (lambda+1)*x3
+		emit(OpAdd, 1, 4, 2, iter)  // y3
+		emit(OpMove, 0, 3, 0, iter) // x3
+	}
+	add := func(iter int) {
+		// lambda = (y + yP) / (x + xP)
+		emit(OpAdd, 2, 1, ConstY, iter)
+		emit(OpAdd, 3, 0, ConstX, iter)
+		emitInversionIter(p, 3, 4, 5, iter)
+		emit(OpMul, 2, 2, 3, iter)      // lambda
+		emit(OpSqr, 3, 2, 0, iter)      // lambda^2
+		emit(OpAdd, 3, 3, 2, iter)      // + lambda
+		emit(OpAdd, 3, 3, 0, iter)      // + x
+		emit(OpAdd, 3, 3, ConstX, iter) // + xP
+		emit(OpAdd, 3, 3, ConstOne, iter)
+		emit(OpAdd, 4, 0, 3, iter) // x + x3
+		emit(OpMul, 4, 2, 4, iter)
+		emit(OpAdd, 4, 4, 3, iter)
+		emit(OpAdd, 1, 4, 1, iter) // y3
+		emit(OpMove, 0, 3, 0, iter)
+	}
+
+	for i := top - 1; i >= 0; i-- {
+		double(i)
+		if k.Bit(i) == 1 {
+			add(i)
+		}
+	}
+	p.ResultX, p.ResultY = 0, 1
+	return p, nil
+}
+
+// emitInversionIter is emitInversion with an iteration label so trace
+// segmentation works for the double-and-add program too.
+func emitInversionIter(p *Program, target, scratch1, scratch2 uint8, iter int) {
+	start := len(p.Instrs)
+	emitInversion(p, target, scratch1, scratch2)
+	for i := start; i < len(p.Instrs); i++ {
+		p.Instrs[i].Iteration = iter
+	}
+}
+
+// DoubleAndAddKeyFromShape reads the scalar straight out of the
+// *structure* of a double-and-add program under a known timing: every
+// processed bit contributes a fixed-length double block, and set bits
+// additionally contribute an add block, so per-iteration segment
+// lengths reveal the key bit — the canonical single-trace SPA on an
+// unprotected implementation (no power model even needed; with one
+// the attacker sees exactly these segments). It returns the recovered
+// scalar bits, most significant processed bit first.
+func DoubleAndAddKeyFromShape(p *Program, t Timing) []uint {
+	// Cycle length of an iteration with only a double vs double+add.
+	lengths := map[int]int{}
+	order := []int{}
+	for _, sp := range p.Spans(t) {
+		if sp.Iteration < 0 {
+			continue
+		}
+		if _, seen := lengths[sp.Iteration]; !seen {
+			order = append(order, sp.Iteration)
+		}
+		lengths[sp.Iteration] += sp.End - sp.Start
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	// Reference lengths from two tiny known-key programs: k=2 gives a
+	// double-only iteration, k=3 a double+add iteration.
+	refD, _ := BuildDoubleAndAddProgram(modn.FromUint64(2))
+	refDA, _ := BuildDoubleAndAddProgram(modn.FromUint64(3))
+	doubleLen := iterationCycles(refD, t)
+	addLen := iterationCycles(refDA, t)
+	bits := make([]uint, 0, len(order))
+	for _, it := range order {
+		switch lengths[it] {
+		case doubleLen:
+			bits = append(bits, 0)
+		case addLen:
+			bits = append(bits, 1)
+		default:
+			// Unknown shape: refuse rather than guess.
+			return nil
+		}
+	}
+	return bits
+}
+
+// iterationCycles returns the cycle length of the single iteration of
+// a one-iteration program.
+func iterationCycles(p *Program, t Timing) int {
+	total := 0
+	for _, sp := range p.Spans(t) {
+		if sp.Iteration >= 0 {
+			total += sp.End - sp.Start
+		}
+	}
+	return total
+}

@@ -1,0 +1,97 @@
+package ec
+
+import (
+	"math/rand"
+	"testing"
+
+	"medsec/internal/modn"
+)
+
+func TestScalarMulBlindedMatchesPlain(t *testing.T) {
+	c := K163()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		k := c.Order.RandNonZero(r.Uint64)
+		p := c.RandomPoint(r.Uint64)
+		want, err := c.ScalarMulLadder(k, p, LadderOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ScalarMulBlinded(k, p, r.Uint64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("blinded scalar mult wrong for k=%v", k)
+		}
+	}
+	// k = 0 -> O (blinding still processes m*n, which is 0 mod n).
+	if p, err := c.ScalarMulBlinded(modn.Zero(), c.Generator(), r.Uint64); err != nil || !p.Inf {
+		t.Fatalf("blinded 0*G = %v (err %v)", p, err)
+	}
+}
+
+func TestBlindedBitPatternChanges(t *testing.T) {
+	// The countermeasure's point: the processed scalar bits differ
+	// across executions for the same k.
+	c := K163()
+	r := rand.New(rand.NewSource(2))
+	k := c.Order.RandNonZero(r.Uint64)
+	k1, err := c.Order.AddMulSmall(k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := c.Order.AddMulSmall(k, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Equal(k2) {
+		t.Fatal("different blinding factors gave the same blinded scalar")
+	}
+	if k1.BitLen() <= 163 {
+		t.Fatalf("blinded scalar only %d bits; blinding inert", k1.BitLen())
+	}
+	if k1.BitLen() > BlindedLadderBits {
+		t.Fatal("blinded scalar exceeds the fixed ladder length")
+	}
+}
+
+func TestScalarMulBlindedValidation(t *testing.T) {
+	c := K163()
+	r := rand.New(rand.NewSource(3))
+	if _, err := c.ScalarMulBlinded(modn.One(), c.Generator(), nil); err == nil {
+		t.Fatal("nil randomness accepted")
+	}
+	if _, err := c.ScalarMulBlinded(c.Order.N(), c.Generator(), r.Uint64); err == nil {
+		t.Fatal("unreduced scalar accepted")
+	}
+	if _, err := c.ScalarMulBlinded(modn.One(), Infinity(), r.Uint64); err == nil {
+		t.Fatal("O accepted")
+	}
+}
+
+func TestAddMulSmallAgainstBig(t *testing.T) {
+	c := K163()
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		k := c.Order.Rand(r.Uint64)
+		f := r.Uint64() & 0xffffffff
+		got, err := c.Order.AddMulSmall(k, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check mod n: got mod n == k (since f*n vanishes).
+		if !c.Order.Reduce(got).Equal(k) {
+			t.Fatal("blinded scalar not congruent to k")
+		}
+	}
+	// Overflow detection needs a large modulus (a 163-bit n cannot
+	// overflow 256 bits with a 64-bit factor).
+	big, err := modn.NewModulus([modn.Words]uint64{0, 0, 0, 1 << 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.AddMulSmall(modn.Zero(), 4); err == nil {
+		t.Fatal("overflowing blinding factor accepted")
+	}
+}

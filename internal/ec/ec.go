@@ -1,0 +1,488 @@
+// Package ec implements elliptic curves over GF(2^163) in short
+// binary Weierstrass form
+//
+//	y^2 + x*y = x^3 + a*x^2 + b,
+//
+// the curve family of the paper's co-processor. It provides the NIST
+// Koblitz curve K-163 (the paper's curve: a = b = 1, 80-bit security,
+// "equivalent to 1024-bit RSA"), the affine group law, the x-only
+// Montgomery powering ladder of the paper's Algorithm 1 with
+// López–Dahab projective coordinates, y-recovery, and the two
+// countermeasures the algorithm level contributes:
+//
+//   - constant-structure ladder (timing / SPA), and
+//   - randomized projective coordinates (DPA).
+//
+// A deliberately leaky double-and-add baseline is included for the
+// timing-attack experiment (E3).
+package ec
+
+import (
+	"errors"
+	"fmt"
+
+	"medsec/internal/gf2m"
+	"medsec/internal/modn"
+)
+
+// Point is an affine curve point; Inf marks the point at infinity.
+type Point struct {
+	X, Y gf2m.Element
+	Inf  bool
+}
+
+// Infinity returns the point at infinity (the group identity).
+func Infinity() Point { return Point{Inf: true} }
+
+// Equal reports whether p and q are the same point.
+func (p Point) Equal(q Point) bool {
+	if p.Inf || q.Inf {
+		return p.Inf == q.Inf
+	}
+	return p.X.Equal(q.X) && p.Y.Equal(q.Y)
+}
+
+// Curve holds the domain parameters of a binary Weierstrass curve
+// whose base point generates a prime-order subgroup.
+type Curve struct {
+	Name     string
+	A, B     gf2m.Element
+	Gx, Gy   gf2m.Element
+	Order    *modn.Modulus // prime order of the base-point subgroup
+	Cofactor uint64
+}
+
+// K163 returns the NIST Koblitz curve K-163, the curve of the paper's
+// prototype chip (FIPS 186-3 [1]).
+func K163() *Curve {
+	return &Curve{
+		Name:     "K-163",
+		A:        gf2m.One(),
+		B:        gf2m.One(),
+		Gx:       gf2m.MustFromHex("2fe13c0537bbc11acaa07d793de4e6d5e5c94eee8"),
+		Gy:       gf2m.MustFromHex("289070fb05d38ff58321f2e800536d538ccdaa3d9"),
+		Order:    modn.MustModulusFromHex("4000000000000000000020108a2e0cc0d99f8a5ef"),
+		Cofactor: 2,
+	}
+}
+
+// B163 returns the NIST random binary curve B-163 over the same field,
+// used to confirm that nothing in the module depends on the Koblitz
+// structure.
+func B163() *Curve {
+	return &Curve{
+		Name:     "B-163",
+		A:        gf2m.One(),
+		B:        gf2m.MustFromHex("20a601907b8c953ca1481eb10512f78744a3205fd"),
+		Gx:       gf2m.MustFromHex("3f0eba16286a2d57ea0991168d4994637e8343e36"),
+		Gy:       gf2m.MustFromHex("0d51fbc6c71a0094fa2cdd545b11c5c0c797324f1"),
+		Order:    modn.MustModulusFromHex("40000000000000000000292fe77e70c12a4234c33"),
+		Cofactor: 2,
+	}
+}
+
+// Generator returns the curve's base point.
+func (c *Curve) Generator() Point { return Point{X: c.Gx, Y: c.Gy} }
+
+// OnCurve reports whether p satisfies y^2 + xy = x^3 + ax^2 + b.
+// The point at infinity is on the curve.
+func (c *Curve) OnCurve(p Point) bool {
+	if p.Inf {
+		return true
+	}
+	lhs := gf2m.Add(gf2m.Sqr(p.Y), gf2m.Mul(p.X, p.Y))
+	x2 := gf2m.Sqr(p.X)
+	rhs := gf2m.Add(gf2m.Add(gf2m.Mul(x2, p.X), gf2m.Mul(c.A, x2)), c.B)
+	return lhs.Equal(rhs)
+}
+
+// Neg returns -p = (x, x+y).
+func (c *Curve) Neg(p Point) Point {
+	if p.Inf {
+		return p
+	}
+	return Point{X: p.X, Y: gf2m.Add(p.X, p.Y)}
+}
+
+// Add returns p + q under the affine group law.
+func (c *Curve) Add(p, q Point) Point {
+	if p.Inf {
+		return q
+	}
+	if q.Inf {
+		return p
+	}
+	if p.X.Equal(q.X) {
+		if p.Y.Equal(q.Y) {
+			return c.Double(p)
+		}
+		// q == -p
+		return Infinity()
+	}
+	// lambda = (y1+y2)/(x1+x2)
+	lambda := gf2m.Div(gf2m.Add(p.Y, q.Y), gf2m.Add(p.X, q.X))
+	x3 := gf2m.Add(gf2m.Add(gf2m.Add(gf2m.Sqr(lambda), lambda), gf2m.Add(p.X, q.X)), c.A)
+	y3 := gf2m.Add(gf2m.Add(gf2m.Mul(lambda, gf2m.Add(p.X, x3)), x3), p.Y)
+	return Point{X: x3, Y: y3}
+}
+
+// Double returns 2p.
+func (c *Curve) Double(p Point) Point {
+	if p.Inf || p.X.IsZero() {
+		// x = 0 is the unique point of order two (y = sqrt(b)).
+		return Infinity()
+	}
+	lambda := gf2m.Add(p.X, gf2m.Div(p.Y, p.X))
+	x3 := gf2m.Add(gf2m.Add(gf2m.Sqr(lambda), lambda), c.A)
+	y3 := gf2m.Add(gf2m.Sqr(p.X), gf2m.Mul(gf2m.Add(lambda, gf2m.One()), x3))
+	return Point{X: x3, Y: y3}
+}
+
+// ScalarMulDoubleAndAdd computes k*p with the textbook left-to-right
+// double-and-add. The running time depends on both the bit length and
+// the Hamming weight of k — this is the *insecure baseline* of the
+// timing experiment (paper §7: timing attacks are prevented by the
+// Montgomery powering ladder, not by this).
+func (c *Curve) ScalarMulDoubleAndAdd(k modn.Scalar, p Point) Point {
+	r := Infinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		r = c.Double(r)
+		if k.Bit(i) == 1 {
+			r = c.Add(r, p)
+		}
+	}
+	return r
+}
+
+// DoubleAndAddOpCount returns the (doublings, additions) the leaky
+// baseline executes for scalar k — the quantity a timing attacker
+// observes. Exposed for the E3 timing experiment.
+func DoubleAndAddOpCount(k modn.Scalar) (doubles, adds int) {
+	if k.BitLen() == 0 {
+		return 0, 0
+	}
+	return k.BitLen(), k.Weight()
+}
+
+// LadderState is the projective state of the x-only Montgomery
+// powering ladder: (X0:Z0) represents x(R0) and (X1:Z1) represents
+// x(R1) with the invariant R1 - R0 = P throughout. The co-processor's
+// six working registers hold exactly this state plus two temporaries.
+type LadderState struct {
+	X0, Z0, X1, Z1 gf2m.Element
+}
+
+// NewLadderState initializes the complete ladder at (R0, R1) = (O, P)
+// where P has affine x-coordinate x. If lambda and mu are nonzero the
+// projective representations are randomized (the paper's randomized
+// projective coordinates DPA countermeasure); pass zero elements to
+// get the deterministic unit representation.
+func NewLadderState(x, lambda, mu gf2m.Element) LadderState {
+	s := LadderState{
+		X0: gf2m.One(), Z0: gf2m.Zero(), // O = (1 : 0)
+		X1: x, Z1: gf2m.One(),
+	}
+	if !lambda.IsZero() {
+		s.X0 = lambda // (lambda : 0) is still O
+	}
+	if !mu.IsZero() {
+		s.X1 = gf2m.Mul(s.X1, mu)
+		s.Z1 = mu
+	}
+	return s
+}
+
+// MAdd performs the x-only differential addition: given (Xa:Za) and
+// (Xb:Zb) representing x(A) and x(B) with x(B-A) = x (affine), it
+// returns the representation of x(A+B):
+//
+//	Z3 = (Xa*Zb + Xb*Za)^2
+//	X3 = x*Z3 + (Xa*Zb)*(Xb*Za)
+//
+// 4 field multiplications and 1 squaring — the operation counts the
+// co-processor microcode reproduces cycle for cycle.
+func MAdd(xa, za, xb, zb, x gf2m.Element) (x3, z3 gf2m.Element) {
+	t1 := gf2m.Mul(xa, zb)
+	t2 := gf2m.Mul(xb, za)
+	z3 = gf2m.Sqr(gf2m.Add(t1, t2))
+	x3 = gf2m.Add(gf2m.Mul(x, z3), gf2m.Mul(t1, t2))
+	return x3, z3
+}
+
+// MDouble performs the x-only doubling: given (X:Z) representing x(A)
+// it returns the representation of x(2A):
+//
+//	X' = X^4 + b*Z^4
+//	Z' = X^2 * Z^2
+//
+// 2 multiplications (one of them by the curve constant b) and 4
+// squarings.
+func MDouble(x, z, b gf2m.Element) (x2, z2 gf2m.Element) {
+	xx := gf2m.Sqr(x)
+	zz := gf2m.Sqr(z)
+	z2 = gf2m.Mul(xx, zz)
+	x2 = gf2m.Add(gf2m.Sqr(xx), gf2m.Mul(b, gf2m.Sqr(zz)))
+	return x2, z2
+}
+
+// Step advances the ladder by one scalar bit (paper Algorithm 1):
+//
+//	bit = 1:  R0 <- R0+R1, R1 <- 2*R1
+//	bit = 0:  R1 <- R0+R1, R0 <- 2*R0
+//
+// The software reference branches on the bit; the co-processor
+// realizes the same dataflow with conditional swaps whose control
+// signals are the subject of the circuit-level countermeasures.
+func (s *LadderState) Step(bit uint, x, b gf2m.Element) {
+	if bit == 1 {
+		s.X0, s.Z0 = MAdd(s.X0, s.Z0, s.X1, s.Z1, x)
+		s.X1, s.Z1 = MDouble(s.X1, s.Z1, b)
+	} else {
+		s.X1, s.Z1 = MAdd(s.X0, s.Z0, s.X1, s.Z1, x)
+		s.X0, s.Z0 = MDouble(s.X0, s.Z0, b)
+	}
+}
+
+// LadderBits is the fixed number of ladder iterations: every scalar is
+// processed MSB-first over the full 163-bit register, so the iteration
+// count — and with constant-cycle instructions the total cycle count —
+// is independent of the scalar value. This is the paper's algorithm-
+// plus-architecture timing countermeasure.
+const LadderBits = 163
+
+// LadderOptions configures a ladder scalar multiplication.
+type LadderOptions struct {
+	// Rand supplies uniform uint64 values for the randomized
+	// projective coordinates countermeasure. nil disables RPC (the
+	// weakened configuration of the paper's white-box DPA evaluation).
+	Rand func() uint64
+	// FixedLambda/FixedMu force specific randomization values; used by
+	// the "countermeasure enabled but randomness known to the
+	// attacker" white-box experiment of §7. Only honoured when Rand is
+	// nil and the values are nonzero.
+	FixedLambda, FixedMu gf2m.Element
+}
+
+func randNonZero(src func() uint64) gf2m.Element {
+	for {
+		e := gf2m.FromWords(src(), src(), src())
+		if !e.IsZero() {
+			return e
+		}
+	}
+}
+
+// ladderX runs the complete x-only ladder over all 163 bit positions
+// and returns the final projective state.
+func (c *Curve) ladderX(k modn.Scalar, x gf2m.Element, opt LadderOptions) LadderState {
+	var lambda, mu gf2m.Element
+	switch {
+	case opt.Rand != nil:
+		lambda = randNonZero(opt.Rand)
+		mu = randNonZero(opt.Rand)
+	default:
+		lambda, mu = opt.FixedLambda, opt.FixedMu
+	}
+	s := NewLadderState(x, lambda, mu)
+	for i := LadderBits - 1; i >= 0; i-- {
+		s.Step(k.Bit(i), x, c.B)
+	}
+	return s
+}
+
+// XOnlyScalarMul returns the affine x-coordinate of k*P given only the
+// affine x-coordinate of P. It reports ok = false when k*P is the
+// point at infinity. This is the operation the identification
+// protocol needs for d = xcoord(r*Y).
+func (c *Curve) XOnlyScalarMul(k modn.Scalar, x gf2m.Element, opt LadderOptions) (gf2m.Element, bool) {
+	s := c.ladderX(k, x, opt)
+	if s.Z0.IsZero() {
+		return gf2m.Zero(), false
+	}
+	return gf2m.Div(s.X0, s.Z0), true
+}
+
+// RecoverY recovers the affine result of the ladder including the
+// y-coordinate (paper Algorithm 1, "RecoverY(P, R)"), using the
+// López–Dahab recovery formula
+//
+//	y0 = (x0 + x) * [ (x0 + x)(x1 + x) + x^2 + y ] / x  +  y
+//
+// where (x, y) = P, x0 = x(kP) and x1 = x((k+1)P).
+func (c *Curve) RecoverY(p Point, x0, x1 gf2m.Element) Point {
+	t0 := gf2m.Add(x0, p.X)
+	t1 := gf2m.Add(x1, p.X)
+	acc := gf2m.Add(gf2m.Mul(t0, t1), gf2m.Add(gf2m.Sqr(p.X), p.Y))
+	y0 := gf2m.Add(gf2m.Div(gf2m.Mul(t0, acc), p.X), p.Y)
+	return Point{X: x0, Y: y0}
+}
+
+// ScalarMulLadder computes k*P with the Montgomery powering ladder,
+// including y-recovery. It requires p.X != 0 (the order-2 point and O
+// are rejected: the protocol layer never feeds them) and k reduced
+// modulo the group order.
+func (c *Curve) ScalarMulLadder(k modn.Scalar, p Point, opt LadderOptions) (Point, error) {
+	if p.Inf || p.X.IsZero() {
+		return Point{}, errors.New("ec: ladder requires a finite point with x != 0")
+	}
+	if k.Cmp(c.Order.N()) >= 0 {
+		return Point{}, errors.New("ec: scalar not reduced modulo the group order")
+	}
+	s := c.ladderX(k, p.X, opt)
+	switch {
+	case s.Z0.IsZero():
+		// k = 0 (mod ord(P)).
+		return Infinity(), nil
+	case s.Z1.IsZero():
+		// k+1 = 0, i.e. kP = -P.
+		return c.Neg(p), nil
+	}
+	x0 := gf2m.Div(s.X0, s.Z0)
+	x1 := gf2m.Div(s.X1, s.Z1)
+	return c.RecoverY(p, x0, x1), nil
+}
+
+// ScalarBaseMul computes k*G on the base point.
+func (c *Curve) ScalarBaseMul(k modn.Scalar, opt LadderOptions) (Point, error) {
+	return c.ScalarMulLadder(k, c.Generator(), opt)
+}
+
+// BlindedLadderBits is the fixed iteration count of the blinded
+// ladder: 163-bit order plus a 32-bit blinding factor plus headroom.
+const BlindedLadderBits = 200
+
+// ScalarMulBlinded computes k*P with scalar blinding on top of
+// randomized projective coordinates: the device actually processes
+// k' = k + m·n for a fresh 32-bit random m, so even the *bit pattern*
+// walked by the ladder changes per execution — an additional DPA
+// countermeasure beyond the paper's selected set (its "more details
+// about the countermeasures" family). Requires src non-nil.
+func (c *Curve) ScalarMulBlinded(k modn.Scalar, p Point, src func() uint64) (Point, error) {
+	if src == nil {
+		return Point{}, errors.New("ec: scalar blinding needs a randomness source")
+	}
+	if p.Inf || p.X.IsZero() {
+		return Point{}, errors.New("ec: ladder requires a finite point with x != 0")
+	}
+	if k.Cmp(c.Order.N()) >= 0 {
+		return Point{}, errors.New("ec: scalar not reduced modulo the group order")
+	}
+	factor := src()&0xffffffff | 1 // nonzero 32-bit blinding factor
+	kb, err := c.Order.AddMulSmall(k, factor)
+	if err != nil {
+		return Point{}, err
+	}
+	lambda := randNonZero(src)
+	mu := randNonZero(src)
+	s := NewLadderState(p.X, lambda, mu)
+	for i := BlindedLadderBits - 1; i >= 0; i-- {
+		s.Step(kb.Bit(i), p.X, c.B)
+	}
+	switch {
+	case s.Z0.IsZero():
+		return Infinity(), nil
+	case s.Z1.IsZero():
+		return c.Neg(p), nil
+	}
+	x0 := gf2m.Div(s.X0, s.Z0)
+	x1 := gf2m.Div(s.X1, s.Z1)
+	return c.RecoverY(p, x0, x1), nil
+}
+
+// SolveY returns a y-coordinate for the given x if one exists:
+// substituting z = y/x reduces the curve equation to
+// z^2 + z = x + a + b/x^2, solvable iff Tr(x + a + b/x^2) = 0.
+// For x = 0 the unique solution is y = sqrt(b).
+func (c *Curve) SolveY(x gf2m.Element) (gf2m.Element, bool) {
+	if x.IsZero() {
+		return gf2m.Sqrt(c.B), true
+	}
+	rhs := gf2m.Add(gf2m.Add(x, c.A), gf2m.Div(c.B, gf2m.Sqr(x)))
+	if gf2m.Trace(rhs) != 0 {
+		return gf2m.Zero(), false
+	}
+	z := gf2m.HalfTrace(rhs)
+	return gf2m.Mul(x, z), true
+}
+
+// RandomPoint returns a uniformly random point of the prime-order
+// subgroup (cofactor-cleared), never O and never the order-2 point.
+func (c *Curve) RandomPoint(src func() uint64) Point {
+	for {
+		x := gf2m.FromWords(src(), src(), src())
+		y, ok := c.SolveY(x)
+		if !ok {
+			continue
+		}
+		p := Point{X: x, Y: y}
+		// Clear the cofactor to land in the prime-order subgroup.
+		for h := c.Cofactor; h > 1; h >>= 1 {
+			p = c.Double(p)
+		}
+		if p.Inf || p.X.IsZero() {
+			continue
+		}
+		return p
+	}
+}
+
+// Compress encodes p as its x-coordinate plus one bit: the low bit of
+// z = y/x (standard binary-curve point compression). The point at
+// infinity and the order-2 point are not encodable.
+func (c *Curve) Compress(p Point) ([]byte, error) {
+	if p.Inf || p.X.IsZero() {
+		return nil, errors.New("ec: point not compressible")
+	}
+	z := gf2m.Div(p.Y, p.X)
+	out := make([]byte, 1+gf2m.ByteLen)
+	out[0] = byte(2 | z.Bit(0))
+	copy(out[1:], p.X.Bytes())
+	return out, nil
+}
+
+// Decompress recovers a point from its compressed encoding and
+// validates that it lies on the curve.
+func (c *Curve) Decompress(b []byte) (Point, error) {
+	if len(b) != 1+gf2m.ByteLen || b[0]&^1 != 2 {
+		return Point{}, errors.New("ec: malformed compressed point")
+	}
+	x := gf2m.FromBytes(b[1:])
+	if x.IsZero() {
+		return Point{}, errors.New("ec: x = 0 not decodable")
+	}
+	y, ok := c.SolveY(x)
+	if !ok {
+		return Point{}, errors.New("ec: no point with this x-coordinate")
+	}
+	z := gf2m.Div(y, x)
+	if z.Bit(0) != uint(b[0]&1) {
+		y = gf2m.Add(y, x) // the conjugate solution
+	}
+	return Point{X: x, Y: y}, nil
+}
+
+// Validate checks that p is a valid protocol input: on the curve, not
+// O, and in the prime-order subgroup. This is the fault-attack /
+// invalid-curve-attack guard the paper's threat analysis requires
+// before any secret-dependent computation.
+func (c *Curve) Validate(p Point) error {
+	if p.Inf {
+		return errors.New("ec: point at infinity")
+	}
+	if !c.OnCurve(p) {
+		return errors.New("ec: point not on curve")
+	}
+	q := c.ScalarMulDoubleAndAdd(c.Order.N(), p)
+	if !q.Inf {
+		return fmt.Errorf("ec: point not in the order-%s subgroup", c.Order.N())
+	}
+	return nil
+}
+
+// String renders a point for diagnostics.
+func (p Point) String() string {
+	if p.Inf {
+		return "(infinity)"
+	}
+	return fmt.Sprintf("(%s, %s)", p.X, p.Y)
+}

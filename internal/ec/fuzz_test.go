@@ -1,0 +1,40 @@
+package ec
+
+import "testing"
+
+// FuzzDecompress: arbitrary bytes must never panic, and anything the
+// decoder accepts must be a point on the curve that re-compresses to
+// the same encoding — the attack surface of every received protocol
+// message.
+func FuzzDecompress(f *testing.F) {
+	c := K163()
+	if enc, err := c.Compress(c.Generator()); err == nil {
+		f.Add(enc)
+		bad := append([]byte{}, enc...)
+		bad[0] = 0x04
+		f.Add(bad)
+	}
+	f.Add(make([]byte, 22))
+	f.Add([]byte{0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := c.Decompress(data)
+		if err != nil {
+			return
+		}
+		if !c.OnCurve(p) {
+			t.Fatal("decoder accepted an off-curve point")
+		}
+		enc, err := c.Compress(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != len(data) {
+			t.Fatal("length changed across round trip")
+		}
+		for i := range enc {
+			if enc[i] != data[i] {
+				t.Fatal("re-compression differs from accepted input")
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package ec
+
+import (
+	"errors"
+	"math/big"
+
+	"medsec/internal/gf2m"
+	"medsec/internal/modn"
+)
+
+// This file implements the Koblitz-curve machinery that motivates the
+// paper's curve choice ("Our ECC chip uses a Koblitz curve [1] defined
+// over F_2^163"): the Frobenius endomorphism τ(x, y) = (x², y²) is
+// almost free in hardware (two passes through the squarer), and
+// τ-adic non-adjacent-form (TNAF) expansions replace every point
+// doubling with a Frobenius application. The co-processor itself uses
+// the Montgomery ladder for its side-channel properties; TNAF is the
+// throughput-oriented alternative for the energy-rich reader side.
+
+// IsKoblitz reports whether the curve is a Koblitz (anomalous binary)
+// curve, i.e. has a, b ∈ {0, 1} with b = 1, so that the Frobenius map
+// is a curve endomorphism.
+func (c *Curve) IsKoblitz() bool {
+	return c.B.IsOne() && (c.A.IsZero() || c.A.IsOne())
+}
+
+// Frobenius applies τ(x, y) = (x², y²). On a Koblitz curve this is an
+// endomorphism satisfying τ² + 2 = µτ with µ = (-1)^(1-a).
+func (c *Curve) Frobenius(p Point) Point {
+	if p.Inf {
+		return p
+	}
+	return Point{X: gf2m.Sqr(p.X), Y: gf2m.Sqr(p.Y)}
+}
+
+// mu returns the trace µ of the Frobenius: +1 for a = 1 (K-163),
+// -1 for a = 0.
+func (c *Curve) mu() int {
+	if c.A.IsOne() {
+		return 1
+	}
+	return -1
+}
+
+// TNAF computes the τ-adic non-adjacent form of k for the given
+// Frobenius trace µ ∈ {+1, -1} (Solinas' algorithm): digits
+// u_i ∈ {0, ±1} with no two adjacent nonzeros, such that
+// k = Σ u_i · τ^i in Z[τ]. Without partial modular reduction the
+// expansion of an n-bit scalar has roughly 2n digits.
+func TNAF(k modn.Scalar, mu int) []int8 {
+	if mu != 1 && mu != -1 {
+		panic("ec: Frobenius trace must be ±1")
+	}
+	r0 := new(big.Int)
+	// Import the 256-bit scalar.
+	for i := modn.Words - 1; i >= 0; i-- {
+		r0.Lsh(r0, 64)
+		r0.Or(r0, new(big.Int).SetUint64(k[i]))
+	}
+	r1 := new(big.Int)
+	var digits []int8
+	two := big.NewInt(2)
+	four := big.NewInt(4)
+	tmp := new(big.Int)
+	for r0.Sign() != 0 || r1.Sign() != 0 {
+		var u int8
+		if r0.Bit(0) == 1 {
+			// u = 2 - ((r0 - 2*r1) mod 4), giving ±1.
+			tmp.Mul(r1, two)
+			tmp.Sub(r0, tmp)
+			tmp.Mod(tmp, four) // Go's Mod is non-negative
+			u = int8(2 - tmp.Int64())
+			r0.Sub(r0, big.NewInt(int64(u)))
+		}
+		digits = append(digits, u)
+		// (r0, r1) <- (r1 + µ*r0/2, -r0/2). r0 is even here, so the
+		// arithmetic right shift is exact division by two.
+		half := new(big.Int).Rsh(r0, 1)
+		newR0 := new(big.Int)
+		if mu == 1 {
+			newR0.Add(r1, half)
+		} else {
+			newR0.Sub(r1, half)
+		}
+		r1 = new(big.Int).Neg(half)
+		r0 = newR0
+	}
+	return digits
+}
+
+// TNAFIsValid checks the non-adjacency property (at most one of any
+// two consecutive digits is nonzero).
+func TNAFIsValid(digits []int8) bool {
+	for i := 1; i < len(digits); i++ {
+		if digits[i] != 0 && digits[i-1] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TNAFWeight returns the number of nonzero digits — the point-addition
+// count of a TNAF scalar multiplication (compare to HW(k) additions
+// plus bitlen(k) doublings for double-and-add).
+func TNAFWeight(digits []int8) int {
+	n := 0
+	for _, d := range digits {
+		if d != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ScalarMulTNAF computes k*P on a Koblitz curve via the τ-adic NAF:
+// Horner evaluation Q <- τ(Q); Q <- Q ± P per digit. It replaces all
+// doublings with (cheap) Frobenius applications. Not constant time —
+// reader-side use only.
+func (c *Curve) ScalarMulTNAF(k modn.Scalar, p Point) (Point, error) {
+	if !c.IsKoblitz() {
+		return Point{}, errors.New("ec: TNAF requires a Koblitz curve")
+	}
+	digits := TNAF(k, c.mu())
+	q := Infinity()
+	negP := c.Neg(p)
+	for i := len(digits) - 1; i >= 0; i-- {
+		q = c.Frobenius(q)
+		switch digits[i] {
+		case 1:
+			q = c.Add(q, p)
+		case -1:
+			q = c.Add(q, negP)
+		}
+	}
+	return q, nil
+}

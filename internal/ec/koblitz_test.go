@@ -1,0 +1,160 @@
+package ec
+
+import (
+	"math/rand"
+	"testing"
+
+	"medsec/internal/modn"
+)
+
+func TestIsKoblitz(t *testing.T) {
+	if !K163().IsKoblitz() {
+		t.Fatal("K-163 not recognized as Koblitz")
+	}
+	if B163().IsKoblitz() {
+		t.Fatal("B-163 wrongly recognized as Koblitz")
+	}
+}
+
+func TestFrobeniusIsEndomorphism(t *testing.T) {
+	c := K163()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		p := c.RandomPoint(r.Uint64)
+		tp := c.Frobenius(p)
+		if !c.OnCurve(tp) {
+			t.Fatal("Frobenius left the curve")
+		}
+		// Characteristic equation: τ²P + 2P = µτP (µ = 1 for a = 1).
+		t2p := c.Frobenius(tp)
+		twoP := c.Double(p)
+		lhs := c.Add(t2p, twoP)
+		if !lhs.Equal(tp) {
+			t.Fatalf("τ² + 2 != τ for point %v", p)
+		}
+		// Frobenius is additive: τ(P+Q) = τP + τQ.
+		q := c.RandomPoint(r.Uint64)
+		if !c.Frobenius(c.Add(p, q)).Equal(c.Add(tp, c.Frobenius(q))) {
+			t.Fatal("Frobenius not additive")
+		}
+	}
+	if !c.Frobenius(Infinity()).Inf {
+		t.Fatal("τ(O) != O")
+	}
+}
+
+func TestTNAFProperties(t *testing.T) {
+	c := K163()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		k := c.Order.RandNonZero(r.Uint64)
+		digits := TNAF(k, 1)
+		if !TNAFIsValid(digits) {
+			t.Fatalf("TNAF has adjacent nonzero digits for k=%v", k)
+		}
+		for _, d := range digits {
+			if d != 0 && d != 1 && d != -1 {
+				t.Fatalf("digit %d out of range", d)
+			}
+		}
+		// Expansion length ~ 2*163 for a full-size scalar.
+		if len(digits) > 2*170 {
+			t.Fatalf("TNAF suspiciously long: %d digits", len(digits))
+		}
+		// Average density ~ 1/3 (non-adjacency); allow generous band.
+		w := TNAFWeight(digits)
+		if w < len(digits)/6 || w > len(digits)/2+1 {
+			t.Fatalf("TNAF weight %d implausible for length %d", w, len(digits))
+		}
+	}
+	// Small scalars, both traces.
+	for _, mu := range []int{1, -1} {
+		for k := uint64(1); k <= 16; k++ {
+			if !TNAFIsValid(TNAF(modn.FromUint64(k), mu)) {
+				t.Fatalf("invalid TNAF for k=%d mu=%d", k, mu)
+			}
+		}
+	}
+	if len(TNAF(modn.Zero(), 1)) != 0 {
+		t.Fatal("TNAF(0) should be empty")
+	}
+}
+
+func TestTNAFPanicsOnBadTrace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TNAF accepted mu=0")
+		}
+	}()
+	TNAF(modn.One(), 0)
+}
+
+func TestScalarMulTNAFMatchesLadder(t *testing.T) {
+	c := K163()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		k := c.Order.RandNonZero(r.Uint64)
+		p := c.RandomPoint(r.Uint64)
+		want, err := c.ScalarMulLadder(k, p, LadderOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ScalarMulTNAF(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("TNAF scalar mult wrong for k=%v", k)
+		}
+	}
+	// Small cases including k = 0.
+	g := c.Generator()
+	for k := uint64(0); k <= 10; k++ {
+		got, err := c.ScalarMulTNAF(modn.FromUint64(k), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(c.ScalarMulDoubleAndAdd(modn.FromUint64(k), g)) {
+			t.Fatalf("TNAF wrong for k=%d", k)
+		}
+	}
+}
+
+func TestScalarMulTNAFRejectsNonKoblitz(t *testing.T) {
+	if _, err := B163().ScalarMulTNAF(modn.One(), B163().Generator()); err == nil {
+		t.Fatal("TNAF on B-163 accepted")
+	}
+}
+
+func TestTNAFAdditionCountBeatsDoubleAndAdd(t *testing.T) {
+	// The Koblitz pay-off: ~len/3 additions and zero doublings versus
+	// HW(k) additions plus bitlen doublings.
+	c := K163()
+	r := rand.New(rand.NewSource(4))
+	var tnafAdds, daAdds, daDoubles int
+	for i := 0; i < 20; i++ {
+		k := c.Order.RandNonZero(r.Uint64)
+		tnafAdds += TNAFWeight(TNAF(k, 1))
+		d, a := DoubleAndAddOpCount(k)
+		daDoubles += d
+		daAdds += a
+	}
+	// TNAF on ~326 digits: ~109 adds; DA: ~81 adds + 162 doubles.
+	if tnafAdds >= daAdds+daDoubles {
+		t.Fatalf("TNAF total group ops (%d adds) not below DA (%d adds + %d doubles)",
+			tnafAdds, daAdds, daDoubles)
+	}
+}
+
+func BenchmarkScalarMulTNAF(b *testing.B) {
+	c := K163()
+	r := rand.New(rand.NewSource(1))
+	k := c.Order.RandNonZero(r.Uint64)
+	g := c.Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ScalarMulTNAF(k, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

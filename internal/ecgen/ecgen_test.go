@@ -1,0 +1,197 @@
+package ecgen
+
+import (
+	"testing"
+
+	"medsec/internal/ec"
+	"medsec/internal/gf2m"
+	"medsec/internal/modn"
+	"medsec/internal/rng"
+)
+
+// sweepFields are the odd-degree fields of the security-level sweep.
+func sweepFields() []struct {
+	m    int
+	poly []int
+} {
+	return []struct {
+		m    int
+		poly []int
+	}{
+		{131, []int{8, 3, 2, 0}},
+		{163, []int{7, 6, 3, 0}},
+		{233, []int{74, 0}},
+		{283, []int{12, 7, 5, 0}},
+	}
+}
+
+func TestSyntheticCurveBasics(t *testing.T) {
+	for _, fc := range sweepFields() {
+		src := rng.NewDRBG(uint64(fc.m)).Uint64
+		c, p, err := SyntheticCurve(fc.m, fc.poly, src)
+		if err != nil {
+			t.Fatalf("m=%d: %v", fc.m, err)
+		}
+		if !c.OnCurve(p) {
+			t.Fatalf("m=%d: generated point off curve", fc.m)
+		}
+		if !c.OnCurve(Infinity()) {
+			t.Fatal("O not on curve")
+		}
+		// Group-law sanity.
+		if !c.Equal(c.Add(p, Infinity()), p) {
+			t.Fatalf("m=%d: identity broken", fc.m)
+		}
+		if !c.Add(p, c.Neg(p)).Inf {
+			t.Fatalf("m=%d: inverse broken", fc.m)
+		}
+		d := c.Double(p)
+		if !c.OnCurve(d) {
+			t.Fatalf("m=%d: doubling leaves curve", fc.m)
+		}
+		if !c.Equal(c.Add(p, p), d) {
+			t.Fatalf("m=%d: Add(p,p) != Double(p)", fc.m)
+		}
+		q, err := c.RandomPoint(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Equal(c.Add(p, q), c.Add(q, p)) {
+			t.Fatalf("m=%d: addition not commutative", fc.m)
+		}
+		s := c.Add(c.Add(p, q), d)
+		s2 := c.Add(p, c.Add(q, d))
+		if !c.Equal(s, s2) {
+			t.Fatalf("m=%d: addition not associative", fc.m)
+		}
+	}
+}
+
+func TestGenericLadderMatchesDoubleAndAdd(t *testing.T) {
+	for _, fc := range sweepFields() {
+		src := rng.NewDRBG(uint64(fc.m) + 7).Uint64
+		c, p, err := SyntheticCurve(fc.m, fc.poly, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			// Random scalar below min(2^m, 2^250): no order knowledge
+			// needed, and modn.Scalar caps at 256 bits.
+			maxBits := fc.m
+			if maxBits > 250 {
+				maxBits = 250
+			}
+			var k modn.Scalar
+			for w := 0; w*64 < maxBits; w++ {
+				k[w] = src()
+			}
+			if r := uint(maxBits) % 64; r != 0 {
+				k[(maxBits-1)/64] &= 1<<r - 1
+			}
+			want := c.ScalarMulDoubleAndAdd(k, p)
+			got, err := c.ScalarMulLadder(k, p, LadderOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.Equal(got, want) {
+				t.Fatalf("m=%d: ladder disagrees with double-and-add", fc.m)
+			}
+			// RPC invariance.
+			masked, err := c.ScalarMulLadder(k, p, LadderOptions{Rand: src})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.Equal(masked, want) {
+				t.Fatalf("m=%d: RPC changed the result", fc.m)
+			}
+		}
+	}
+}
+
+func TestGenericLadderAgreesWithFixedK163(t *testing.T) {
+	// The generic machinery at m=163 on the real K-163 parameters must
+	// agree with the optimized internal/ec path.
+	f := gf2m.NISTK163Field()
+	k163 := ec.K163()
+	c, err := NewCurve(f, f.FromElement(k163.A), f.FromElement(k163.B))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewDRBG(42).Uint64
+	g := Point{X: f.FromElement(k163.Gx), Y: f.FromElement(k163.Gy)}
+	if !c.OnCurve(g) {
+		t.Fatal("K-163 generator rejected by generic curve")
+	}
+	for i := 0; i < 3; i++ {
+		k := k163.Order.RandNonZero(src)
+		want, err := k163.ScalarMulLadder(k, k163.Generator(), ec.LadderOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ScalarMulLadder(k, g, LadderOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Inf || !f.ToElement(got.X).Equal(want.X) || !f.ToElement(got.Y).Equal(want.Y) {
+			t.Fatal("generic and fixed-path K-163 disagree")
+		}
+	}
+}
+
+func TestValidationAndEdges(t *testing.T) {
+	f := gf2m.NISTK163Field()
+	if _, err := NewCurve(nil, nil, nil); err == nil {
+		t.Fatal("nil field accepted")
+	}
+	if _, err := NewCurve(f, f.One(), f.Zero()); err == nil {
+		t.Fatal("singular curve accepted")
+	}
+	c, _ := NewCurve(f, f.One(), f.One())
+	if _, err := c.ScalarMulLadder(modn.One(), Infinity(), LadderOptions{}); err == nil {
+		t.Fatal("ladder accepted O")
+	}
+	if _, _, err := SyntheticCurve(8, []int{4, 3, 1, 0}, rng.NewDRBG(1).Uint64); err == nil {
+		t.Fatal("even-degree synthetic curve accepted")
+	}
+	// k = 0 -> O; k near 2^(m+1) rejected.
+	src := rng.NewDRBG(2).Uint64
+	cc, p, err := SyntheticCurve(131, []int{8, 3, 2, 0}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, err := cc.ScalarMulLadder(modn.Zero(), p, LadderOptions{}); err != nil || !q.Inf {
+		t.Fatalf("0*P: %v %v", q, err)
+	}
+	var huge modn.Scalar
+	huge[3] = 1 << 63
+	if _, err := cc.ScalarMulLadder(huge, p, LadderOptions{}); err == nil {
+		t.Fatal("oversized scalar accepted")
+	}
+}
+
+func BenchmarkGenericLadderByFieldSize(b *testing.B) {
+	// E13 with real arithmetic: wall time per point multiplication as
+	// the field grows.
+	for _, fc := range sweepFields() {
+		b.Run(formatM(fc.m), func(b *testing.B) {
+			src := rng.NewDRBG(uint64(fc.m)).Uint64
+			c, p, err := SyntheticCurve(fc.m, fc.poly, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var k modn.Scalar
+			k[0] = src() | 1
+			k[1] = src()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.ScalarMulLadder(k, p, LadderOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func formatM(m int) string {
+	return "m=" + string(rune('0'+m/100)) + string(rune('0'+m/10%10)) + string(rune('0'+m%10))
+}

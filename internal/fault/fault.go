@@ -1,0 +1,151 @@
+// Package fault implements active (fault-injection) attack simulation
+// against the co-processor, and the detection countermeasures the
+// paper's threat analysis demands: the protocol layer already rejects
+// invalid inbound points (ec.Validate); this package covers the
+// outbound direction — a glitched point multiplication must never
+// release a faulty result, because faulty ECC outputs are the raw
+// material of Bellcore-style and invalid-curve key-extraction attacks.
+//
+// The injector flips one chosen register bit at one chosen clock cycle
+// (a voltage/laser glitch at instruction granularity); the
+// countermeasure validates the result (on-curve and subgroup
+// membership) before it leaves the secure zone.
+package fault
+
+import (
+	"errors"
+
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/modn"
+	"medsec/internal/rng"
+)
+
+// Injection describes one fault: at clock cycle Cycle, flip bit Bit of
+// working register Reg.
+type Injection struct {
+	Cycle int
+	Reg   int
+	Bit   int
+}
+
+// Result classifies the outcome of one faulted run.
+type Result int
+
+// Outcomes of a faulted point multiplication.
+const (
+	// Benign: the fault did not change the final result (hit a dead
+	// value).
+	Benign Result = iota
+	// Detected: the result was corrupted and the output validation
+	// caught it.
+	Detected
+	// Escaped: the result was corrupted and validation passed — a
+	// countermeasure failure.
+	Escaped
+)
+
+func (r Result) String() string {
+	switch r {
+	case Benign:
+		return "benign"
+	case Detected:
+		return "detected"
+	case Escaped:
+		return "escaped"
+	default:
+		return "unknown"
+	}
+}
+
+// RunWithFault executes one point multiplication k*P with the given
+// injection and classifies the outcome under output validation.
+func RunWithFault(curve *ec.Curve, tim coproc.Timing, k modn.Scalar, p ec.Point, inj Injection, trngSeed uint64) (Result, error) {
+	if inj.Reg < 0 || inj.Reg >= coproc.NumRegs || inj.Bit < 0 || inj.Bit >= 163 {
+		return 0, errors.New("fault: injection target out of range")
+	}
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
+
+	// Reference (fault-free) run with the same TRNG stream.
+	ref := coproc.NewCPU(tim)
+	ref.Rand = rng.NewDRBG(trngSeed).Uint64
+	ref.SetOperandConstants(p.X, curve.B, p.Y)
+	if _, err := ref.Run(prog, k); err != nil {
+		return 0, err
+	}
+	want := ec.Point{X: ref.ResultX(prog), Y: ref.ResultY(prog)}
+
+	// Faulted run.
+	cpu := coproc.NewCPU(tim)
+	cpu.Rand = rng.NewDRBG(trngSeed).Uint64
+	cpu.SetOperandConstants(p.X, curve.B, p.Y)
+	injected := false
+	cpu.Probe = func(ev *coproc.CycleEvent) {
+		if !injected && ev.Cycle == inj.Cycle {
+			cpu.Regs[inj.Reg] = cpu.Regs[inj.Reg].SetBit(inj.Bit, cpu.Regs[inj.Reg].Bit(inj.Bit)^1)
+			injected = true
+		}
+	}
+	if _, err := cpu.Run(prog, k); err != nil {
+		return 0, err
+	}
+	if !injected {
+		return 0, errors.New("fault: injection cycle beyond program end")
+	}
+	got := ec.Point{X: cpu.ResultX(prog), Y: cpu.ResultY(prog)}
+
+	if got.Equal(want) {
+		return Benign, nil
+	}
+	if err := ValidateOutput(curve, got); err != nil {
+		return Detected, nil
+	}
+	return Escaped, nil
+}
+
+// ValidateOutput is the secure-zone exit check: the result must be a
+// finite point on the curve inside the prime-order subgroup.
+func ValidateOutput(curve *ec.Curve, p ec.Point) error {
+	return curve.Validate(p)
+}
+
+// CampaignReport aggregates a fault campaign.
+type CampaignReport struct {
+	Runs     int
+	Benign   int
+	Detected int
+	Escaped  int
+}
+
+// Campaign injects n random single-bit faults at uniformly random
+// cycles of the ladder phase and reports the outcome distribution. A
+// sound countermeasure shows Escaped == 0.
+func Campaign(curve *ec.Curve, tim coproc.Timing, n int, seed uint64) (*CampaignReport, error) {
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
+	start, end := prog.IterationWindow(tim, 162, 0)
+	d := rng.NewDRBG(seed)
+	rep := &CampaignReport{}
+	for i := 0; i < n; i++ {
+		k := curve.Order.RandNonZero(d.Uint64)
+		p := curve.RandomPoint(d.Uint64)
+		inj := Injection{
+			Cycle: start + d.Intn(end-start),
+			Reg:   d.Intn(coproc.NumRegs),
+			Bit:   d.Intn(163),
+		}
+		res, err := RunWithFault(curve, tim, k, p, inj, seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs++
+		switch res {
+		case Benign:
+			rep.Benign++
+		case Detected:
+			rep.Detected++
+		case Escaped:
+			rep.Escaped++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,54 @@
+package gf2m
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFromBytes: decoding arbitrary bytes must yield a canonical
+// element whose re-encoding round-trips (after canonicalization).
+func FuzzFromBytes(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Add(bytes.Repeat([]byte{0xff}, ByteLen))
+	f.Add(bytes.Repeat([]byte{0xff}, ByteLen+5))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := FromBytes(data)
+		if e.Degree() >= M {
+			t.Fatalf("non-canonical element decoded: degree %d", e.Degree())
+		}
+		again := FromBytes(e.Bytes())
+		if !again.Equal(e) {
+			t.Fatal("encode/decode not a round trip")
+		}
+		// Algebra stays consistent on fuzzed inputs.
+		if !Mul(e, One()).Equal(e) {
+			t.Fatal("identity broken on fuzzed element")
+		}
+		if !Add(e, e).IsZero() {
+			t.Fatal("characteristic-2 addition broken")
+		}
+		if !Sqr(e).Equal(Mul(e, e)) {
+			t.Fatal("squaring inconsistent")
+		}
+	})
+}
+
+// FuzzReduce: arbitrary 6-word polynomials must reduce to canonical
+// form consistently with multiply-then-reduce identities.
+func FuzzReduce(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), uint64(1<<5-1))
+	f.Fuzz(func(t *testing.T, c0, c1, c2, c3, c4, c5 uint64) {
+		// Keep within the degree bound reduce() documents (<= 324).
+		c5 &= 1<<5 - 1
+		r := Reduce([6]uint64{c0, c1, c2, c3, c4, c5})
+		if r.Degree() >= M {
+			t.Fatalf("reduce left degree %d", r.Degree())
+		}
+		// Reducing an already-reduced value is the identity.
+		if again := Reduce([6]uint64{r[0], r[1], r[2], 0, 0, 0}); !again.Equal(r) {
+			t.Fatal("reduce not idempotent on canonical values")
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package lightcrypto
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"testing"
+)
+
+// FuzzSHA1AgainstStdlib differentially fuzzes the from-scratch SHA-1
+// against crypto/sha1.
+func FuzzSHA1AgainstStdlib(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("abc"))
+	f.Add(bytes.Repeat([]byte{0x61}, 120))
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		got := SHA1Sum(msg)
+		want := sha1.Sum(msg)
+		if got != want {
+			t.Fatalf("SHA1 mismatch for %d-byte input", len(msg))
+		}
+	})
+}
+
+// FuzzOpenNeverAcceptsGarbage: Open on arbitrary ciphertext must
+// either fail or (for the unmodified sealed message) return the
+// original plaintext; flipped bytes must always be rejected.
+func FuzzOpenNeverAcceptsGarbage(f *testing.F) {
+	f.Add([]byte("payload"), uint8(0))
+	f.Add([]byte(""), uint8(3))
+	f.Fuzz(func(t *testing.T, msg []byte, flip uint8) {
+		key := make([]byte, 16)
+		key[0] = 7
+		a, err := NewAES(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonce := make([]byte, 16)
+		sealed, err := a.Seal(nonce, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Open(nonce, sealed)
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatal("honest seal did not open")
+		}
+		tampered := append([]byte{}, sealed...)
+		tampered[int(flip)%len(tampered)] ^= 0x80
+		if _, err := a.Open(nonce, tampered); err == nil {
+			t.Fatal("tampered message accepted")
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package lightcrypto
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// PRESENT-80 (Bogdanov et al., CHES 2007): the ultra-lightweight block
+// cipher of the paper's era and application class — ~1 570 GE, versus
+// ~3 400 GE for compact AES and 5 527 GE for SHA-1 [12]. Included as a
+// comparison point for the §4 implementation-size discussion: when the
+// paper says hash functions are no longer cheap relative to ciphers,
+// PRESENT is what "cheap cipher" means. 64-bit blocks, 80-bit keys,
+// 31 rounds.
+
+// PresentBlockSize is the PRESENT block size in bytes.
+const PresentBlockSize = 8
+
+// PresentKeySize is the PRESENT-80 key size in bytes.
+const PresentKeySize = 10
+
+// presentSbox is the 4-bit S-box.
+var presentSbox = [16]byte{
+	0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+	0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+}
+
+var presentSboxInv [16]byte
+
+func init() {
+	for i, v := range presentSbox {
+		presentSboxInv[v] = byte(i)
+	}
+}
+
+// Present is a PRESENT-80 instance with an expanded key schedule.
+type Present struct {
+	rk [32]uint64
+}
+
+// NewPresent expands an 80-bit key.
+func NewPresent(key []byte) (*Present, error) {
+	if len(key) != PresentKeySize {
+		return nil, errors.New("lightcrypto: PRESENT-80 requires a 10-byte key")
+	}
+	// Key register: 80 bits, hi holds bits 79..16, lo bits 15..0.
+	hi := binary.BigEndian.Uint64(key[:8])
+	lo := uint64(binary.BigEndian.Uint16(key[8:]))
+	p := new(Present)
+	for round := uint64(1); round <= 32; round++ {
+		p.rk[round-1] = hi // round key = leftmost 64 bits
+		if round == 32 {
+			break
+		}
+		// Rotate the 80-bit register (hi:64 | lo:16) left by 61:
+		// new bits 79..61 are old bits 18..0, new bits 60..0 are old
+		// bits 79..19.
+		k1 := (hi&7)<<61 | lo<<45 | hi>>19
+		k0 := (hi >> 3) & 0xFFFF
+		hi, lo = k1, k0
+		// S-box on the top nibble.
+		hi = hi&^(0xF<<60) | uint64(presentSbox[hi>>60])<<60
+		// XOR round counter into bits 19..15 of the register
+		// (bits 4..0 of the counter land at register bits 19..15:
+		// three low bits into hi's low end is wrong — bits 19..15 of
+		// the 80-bit register are hi bit 3..0 and lo bit 15).
+		rc := round
+		hi ^= rc >> 1
+		lo ^= (rc & 1) << 15
+	}
+	return p, nil
+}
+
+// pLayer applies the PRESENT bit permutation: bit i of the state moves
+// to position (16*i) mod 63 (bit 63 fixed).
+func pLayer(s uint64, inverse bool) uint64 {
+	var out uint64
+	for i := 0; i < 64; i++ {
+		var to int
+		if i == 63 {
+			to = 63
+		} else {
+			to = (16 * i) % 63
+		}
+		if inverse {
+			out |= (s >> to & 1) << i
+		} else {
+			out |= (s >> i & 1) << to
+		}
+	}
+	return out
+}
+
+func sLayer(s uint64, inv bool) uint64 {
+	var out uint64
+	for i := 0; i < 16; i++ {
+		nib := byte(s >> (4 * i) & 0xF)
+		if inv {
+			nib = presentSboxInv[nib]
+		} else {
+			nib = presentSbox[nib]
+		}
+		out |= uint64(nib) << (4 * i)
+	}
+	return out
+}
+
+// EncryptBlock encrypts one 8-byte block.
+func (p *Present) EncryptBlock(dst, src []byte) {
+	if len(src) < PresentBlockSize || len(dst) < PresentBlockSize {
+		panic("lightcrypto: short PRESENT block")
+	}
+	s := binary.BigEndian.Uint64(src)
+	for r := 0; r < 31; r++ {
+		s ^= p.rk[r]
+		s = sLayer(s, false)
+		s = pLayer(s, false)
+	}
+	s ^= p.rk[31]
+	binary.BigEndian.PutUint64(dst, s)
+}
+
+// DecryptBlock decrypts one 8-byte block.
+func (p *Present) DecryptBlock(dst, src []byte) {
+	if len(src) < PresentBlockSize || len(dst) < PresentBlockSize {
+		panic("lightcrypto: short PRESENT block")
+	}
+	s := binary.BigEndian.Uint64(src)
+	s ^= p.rk[31]
+	for r := 30; r >= 0; r-- {
+		s = pLayer(s, true)
+		s = sLayer(s, true)
+		s ^= p.rk[r]
+	}
+	binary.BigEndian.PutUint64(dst, s)
+}

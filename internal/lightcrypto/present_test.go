@@ -1,0 +1,129 @@
+package lightcrypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// TestPresentPublishedVectors checks the four test vectors of the
+// PRESENT paper (Bogdanov et al., CHES 2007, Appendix).
+func TestPresentPublishedVectors(t *testing.T) {
+	vectors := []struct{ key, pt, ct string }{
+		{"00000000000000000000", "0000000000000000", "5579c1387b228445"},
+		{"ffffffffffffffffffff", "0000000000000000", "e72c46c0f5945049"},
+		{"00000000000000000000", "ffffffffffffffff", "a112ffc72f68417b"},
+		{"ffffffffffffffffffff", "ffffffffffffffff", "3333dcd3213210d2"},
+	}
+	for i, v := range vectors {
+		key, _ := hex.DecodeString(v.key)
+		pt, _ := hex.DecodeString(v.pt)
+		want, _ := hex.DecodeString(v.ct)
+		p, err := NewPresent(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		p.EncryptBlock(got, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("vector %d: got %x want %x", i, got, want)
+		}
+		back := make([]byte, 8)
+		p.DecryptBlock(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("vector %d: decrypt failed", i)
+		}
+	}
+}
+
+func TestPresentRandomRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		key := make([]byte, PresentKeySize)
+		pt := make([]byte, PresentBlockSize)
+		r.Read(key)
+		r.Read(pt)
+		p, err := NewPresent(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := make([]byte, 8)
+		back := make([]byte, 8)
+		p.EncryptBlock(ct, pt)
+		if bytes.Equal(ct, pt) {
+			t.Fatal("identity encryption")
+		}
+		p.DecryptBlock(back, ct)
+		if !bytes.Equal(back, pt) {
+			t.Fatal("round trip failed")
+		}
+	}
+}
+
+func TestPresentKeyAvalanche(t *testing.T) {
+	// Flipping one key bit must change roughly half the ciphertext.
+	key := make([]byte, PresentKeySize)
+	pt := make([]byte, PresentBlockSize)
+	p1, _ := NewPresent(key)
+	key2 := append([]byte{}, key...)
+	key2[9] ^= 1
+	p2, _ := NewPresent(key2)
+	c1 := make([]byte, 8)
+	c2 := make([]byte, 8)
+	p1.EncryptBlock(c1, pt)
+	p2.EncryptBlock(c2, pt)
+	diff := 0
+	for i := range c1 {
+		x := c1[i] ^ c2[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff < 16 || diff > 48 {
+		t.Fatalf("key avalanche %d/64 bits; key schedule suspect", diff)
+	}
+}
+
+func TestPresentValidation(t *testing.T) {
+	if _, err := NewPresent(make([]byte, 9)); err == nil {
+		t.Fatal("short key accepted")
+	}
+	p, _ := NewPresent(make([]byte, PresentKeySize))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short block did not panic")
+		}
+	}()
+	p.EncryptBlock(make([]byte, 7), make([]byte, 8))
+}
+
+func TestPLayerIsAPermutationAndInverts(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		to := 63
+		if i != 63 {
+			to = (16 * i) % 63
+		}
+		if seen[to] {
+			t.Fatalf("pLayer maps two bits to %d", to)
+		}
+		seen[to] = true
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		v := r.Uint64()
+		if pLayer(pLayer(v, false), true) != v {
+			t.Fatal("pLayer inverse broken")
+		}
+	}
+}
+
+func BenchmarkPresentEncrypt(b *testing.B) {
+	p, _ := NewPresent(make([]byte, PresentKeySize))
+	blk := make([]byte, 8)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		p.EncryptBlock(blk, blk)
+	}
+}

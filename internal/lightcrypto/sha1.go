@@ -1,0 +1,119 @@
+package lightcrypto
+
+import "encoding/binary"
+
+// SHA1Size is the SHA-1 digest length in bytes.
+const SHA1Size = 20
+
+// SHA1 is a streaming SHA-1 hash. The zero value is ready to use.
+//
+// SHA-1 appears in the paper purely as an implementation-size
+// comparison point (the 5 527-gate RFID implementation of [12]); it is
+// not used for new protocol security in this module.
+type SHA1 struct {
+	h      [5]uint32
+	block  [64]byte
+	n      int    // bytes buffered in block
+	length uint64 // total bytes written
+	init   bool
+}
+
+func (d *SHA1) reset() {
+	d.h = [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	d.n = 0
+	d.length = 0
+	d.init = true
+}
+
+// Write absorbs p into the hash state. It never fails.
+func (d *SHA1) Write(p []byte) (int, error) {
+	if !d.init {
+		d.reset()
+	}
+	d.length += uint64(len(p))
+	total := len(p)
+	for len(p) > 0 {
+		c := copy(d.block[d.n:], p)
+		d.n += c
+		p = p[c:]
+		if d.n == 64 {
+			d.compress(d.block[:])
+			d.n = 0
+		}
+	}
+	return total, nil
+}
+
+func rotl32(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
+
+func (d *SHA1) compress(blk []byte) {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(blk[4*i:])
+	}
+	for i := 16; i < 80; i++ {
+		w[i] = rotl32(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+	}
+	a, b, c, e, f := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
+	dd := e
+	e = f
+	for i := 0; i < 80; i++ {
+		var fn, k uint32
+		switch {
+		case i < 20:
+			fn = (b & c) | (^b & dd)
+			k = 0x5A827999
+		case i < 40:
+			fn = b ^ c ^ dd
+			k = 0x6ED9EBA1
+		case i < 60:
+			fn = (b & c) | (b & dd) | (c & dd)
+			k = 0x8F1BBCDC
+		default:
+			fn = b ^ c ^ dd
+			k = 0xCA62C1D6
+		}
+		t := rotl32(a, 5) + fn + e + k + w[i]
+		e = dd
+		dd = c
+		c = rotl32(b, 30)
+		b = a
+		a = t
+	}
+	d.h[0] += a
+	d.h[1] += b
+	d.h[2] += c
+	d.h[3] += dd
+	d.h[4] += e
+}
+
+// Sum appends the digest of everything written so far to in and
+// returns the result; the hash state itself is not consumed.
+func (d *SHA1) Sum(in []byte) []byte {
+	if !d.init {
+		d.reset()
+	}
+	cp := *d // pad a copy so further writes remain possible
+	lenBits := cp.length * 8
+	cp.Write([]byte{0x80})
+	for cp.n != 56 {
+		cp.Write([]byte{0})
+	}
+	var lb [8]byte
+	binary.BigEndian.PutUint64(lb[:], lenBits)
+	cp.Write(lb[:])
+	var out [SHA1Size]byte
+	for i, v := range cp.h {
+		binary.BigEndian.PutUint32(out[4*i:], v)
+	}
+	return append(in, out[:]...)
+}
+
+// SHA1Sum returns the SHA-1 digest of msg.
+func SHA1Sum(msg []byte) [SHA1Size]byte {
+	var d SHA1
+	d.Write(msg)
+	var out [SHA1Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}

@@ -1,0 +1,128 @@
+package modn
+
+import (
+	"errors"
+	"math/bits"
+	"sync"
+)
+
+// Montgomery multiplication (CIOS) for odd moduli — the reduction
+// style a throughput-oriented software reader would use instead of the
+// binary long division of Mul. Kept as an independent second
+// implementation and cross-tested against Mul: two disagreeing
+// reduction paths cannot both be wrong the same way.
+
+// montCtx caches the Montgomery constants of a modulus.
+type montCtx struct {
+	n0inv uint64 // -n^-1 mod 2^64
+	r2    Scalar // R^2 mod n, R = 2^256
+}
+
+var (
+	montMu    sync.Mutex
+	montCache = map[[Words]uint64]*montCtx{}
+)
+
+// ErrEvenModulus is returned for Montgomery operations on even moduli.
+var ErrEvenModulus = errors.New("modn: Montgomery arithmetic requires an odd modulus")
+
+func (m *Modulus) mont() (*montCtx, error) {
+	if m.n[0]&1 == 0 {
+		return nil, ErrEvenModulus
+	}
+	montMu.Lock()
+	defer montMu.Unlock()
+	if c, ok := montCache[m.n]; ok {
+		return c, nil
+	}
+	c := &montCtx{}
+	// Newton iteration for n[0]^-1 mod 2^64 (5 iterations suffice).
+	inv := m.n[0]
+	for i := 0; i < 5; i++ {
+		inv *= 2 - m.n[0]*inv
+	}
+	c.n0inv = -inv
+	// R^2 mod n by 512 modular doublings of 1.
+	t := m.Reduce(One())
+	for i := 0; i < 2*Words*64; i++ {
+		t = m.Add(t, t)
+	}
+	c.r2 = t
+	montCache[m.n] = c
+	return c, nil
+}
+
+// MontMul returns a·b·R^-1 mod n (CIOS).
+func (m *Modulus) MontMul(a, b Scalar) (Scalar, error) {
+	ctx, err := m.mont()
+	if err != nil {
+		return Scalar{}, err
+	}
+	var t [Words + 2]uint64
+	for i := 0; i < Words; i++ {
+		// t += a[i] * b
+		var carry uint64
+		for j := 0; j < Words; j++ {
+			hi, lo := bits.Mul64(a[i], b[j])
+			lo, c1 := bits.Add64(lo, t[j], 0)
+			lo, c2 := bits.Add64(lo, carry, 0)
+			t[j] = lo
+			carry = hi + c1 + c2
+		}
+		var c uint64
+		t[Words], c = bits.Add64(t[Words], carry, 0)
+		t[Words+1] += c
+
+		// u = t[0] * n' mod 2^64; t += u*n; t >>= 64.
+		u := t[0] * ctx.n0inv
+		carry = 0
+		for j := 0; j < Words; j++ {
+			hi, lo := bits.Mul64(u, m.n[j])
+			lo, c1 := bits.Add64(lo, t[j], 0)
+			lo, c2 := bits.Add64(lo, carry, 0)
+			t[j] = lo
+			carry = hi + c1 + c2
+		}
+		t[Words], c = bits.Add64(t[Words], carry, 0)
+		t[Words+1] += c
+		// Shift down one word (t[0] is zero by construction of u).
+		copy(t[:], t[1:])
+		t[Words+1] = 0
+	}
+	var r Scalar
+	copy(r[:], t[:Words])
+	// At most one conditional subtraction (t < 2n).
+	if t[Words] != 0 || r.Cmp(m.n) >= 0 {
+		r, _ = subRaw(r, m.n)
+	}
+	return r, nil
+}
+
+// ToMont converts a into the Montgomery domain (a·R mod n).
+func (m *Modulus) ToMont(a Scalar) (Scalar, error) {
+	ctx, err := m.mont()
+	if err != nil {
+		return Scalar{}, err
+	}
+	return m.MontMul(a, ctx.r2)
+}
+
+// FromMont converts out of the Montgomery domain (a·R^-1 mod n).
+func (m *Modulus) FromMont(a Scalar) (Scalar, error) {
+	return m.MontMul(a, One())
+}
+
+// MulMont multiplies two ordinary-domain scalars through the
+// Montgomery pipeline — functionally identical to Mul, structurally
+// independent of it.
+func (m *Modulus) MulMont(a, b Scalar) (Scalar, error) {
+	am, err := m.ToMont(a)
+	if err != nil {
+		return Scalar{}, err
+	}
+	r, err := m.MontMul(am, b)
+	if err != nil {
+		return Scalar{}, err
+	}
+	return r, nil
+}

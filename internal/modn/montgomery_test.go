@@ -1,0 +1,99 @@
+package modn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMontMulMatchesMul(t *testing.T) {
+	m := k163()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := m.Rand(r.Uint64), m.Rand(r.Uint64)
+		want := m.Mul(a, b)
+		got, err := m.MulMont(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("MulMont(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestMontDomainRoundTrip(t *testing.T) {
+	m := k163()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a := m.Rand(r.Uint64)
+		am, err := m.ToMont(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := m.FromMont(am)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(a) {
+			t.Fatalf("Montgomery round trip failed for %v", a)
+		}
+	}
+}
+
+func TestMontMulEdges(t *testing.T) {
+	m := k163()
+	nm1 := m.Sub(m.N(), One())
+	got, err := m.MulMont(nm1, nm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(One()) {
+		t.Fatalf("(n-1)^2 via Montgomery = %v, want 1", got)
+	}
+	z, err := m.MulMont(Zero(), nm1)
+	if err != nil || !z.IsZero() {
+		t.Fatal("0 * x != 0 in Montgomery path")
+	}
+	o, err := m.MulMont(One(), nm1)
+	if err != nil || !o.Equal(nm1) {
+		t.Fatal("1 * x != x in Montgomery path")
+	}
+}
+
+func TestMontRejectsEvenModulus(t *testing.T) {
+	even, err := NewModulus([Words]uint64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := even.MontMul(One(), One()); err != ErrEvenModulus {
+		t.Fatal("even modulus accepted by Montgomery path")
+	}
+	if _, err := even.ToMont(One()); err != ErrEvenModulus {
+		t.Fatal("ToMont accepted even modulus")
+	}
+}
+
+func TestMontQuickAgreement(t *testing.T) {
+	m := k163()
+	f := func(a0, a1, a2, b0, b1, b2 uint64) bool {
+		a := m.Reduce(Scalar{a0, a1, a2, 0})
+		b := m.Reduce(Scalar{b0, b1, b2, 0})
+		got, err := m.MulMont(a, b)
+		return err == nil && got.Equal(m.Mul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMontMul(b *testing.B) {
+	m := k163()
+	r := rand.New(rand.NewSource(1))
+	x, _ := m.ToMont(m.Rand(r.Uint64))
+	y, _ := m.ToMont(m.Rand(r.Uint64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, _ = m.MontMul(x, y)
+	}
+}

@@ -1,0 +1,71 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/rng"
+)
+
+func TestComponentsSumToCycleEnergy(t *testing.T) {
+	cfg := ProtectedChip(1)
+	cfg.NoiseSigma = 0
+	m := NewModel(cfg)
+	events := []*coproc.CycleEvent{
+		{Op: coproc.OpNop},
+		{Op: coproc.OpAdd, RegsClocked: 1, BusHW: 40, Write01: 20, WriteHD: 35},
+		{Op: coproc.OpMul, RegsClocked: 1, AccHD: 80, Acc01: 40, DigitHW: 3, BusHW: 3},
+		{Op: coproc.OpCSwap, RegsClocked: 2, CtrlSel: 1, SwapHD: 70},
+		{Op: coproc.OpCSwap, RegsClocked: 2, CtrlSel: 0, SwapHD: 70},
+	}
+	for _, ev := range events {
+		c := m.CycleComponents(ev)
+		if math.Abs(c.Total()-m.CycleEnergy(ev)) > 1e-20 {
+			t.Fatalf("components do not sum to energy for %v", ev.Op)
+		}
+	}
+}
+
+func TestBreakdownOverPointMultiplication(t *testing.T) {
+	curve := ec.K163()
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
+	cfg := ProtectedChip(2)
+	cfg.NoiseSigma = 0
+	model := NewModel(cfg)
+	bm := NewBreakdownMeter(model)
+	cpu := coproc.NewCPU(coproc.DefaultTiming())
+	cpu.Rand = rng.NewDRBG(3).Uint64
+	cpu.Probe = bm.Probe()
+	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+	k := curve.Order.RandNonZero(rng.NewDRBG(4).Uint64)
+	if _, err := cpu.Run(prog, k); err != nil {
+		t.Fatal(err)
+	}
+	c := bm.Totals()
+	total := c.Total()
+	// Cross-check against the scalar meter: same total.
+	if math.Abs(total*1e6-5.14) > 0.1 {
+		t.Fatalf("breakdown total %.3f µJ, expected ~5.14", total*1e6)
+	}
+	// Every component contributes, and the noise term is zero.
+	if c.Leakage <= 0 || c.Clock <= 0 || c.Datapath <= 0 || c.Control <= 0 {
+		t.Fatalf("missing component: %+v", c)
+	}
+	if c.Noise != 0 {
+		t.Fatal("noise accumulated despite NoiseSigma = 0")
+	}
+	// Sanity on the split: leakage and datapath dominate at this
+	// operating point; control is a small slice (CSWAPs are 4 cycles
+	// of ~481 per iteration).
+	if c.Control/total > 0.1 {
+		t.Fatalf("control network at %.1f%% of energy; implausible", c.Control/total*100)
+	}
+	if c.Datapath/total < 0.2 {
+		t.Fatalf("datapath at %.1f%%; implausible", c.Datapath/total*100)
+	}
+	if bm.Cycles() != 86339 {
+		t.Fatalf("metered %d cycles", bm.Cycles())
+	}
+}

@@ -1,0 +1,162 @@
+package protocol
+
+import (
+	"testing"
+
+	"medsec/internal/ec"
+	"medsec/internal/modn"
+	"medsec/internal/rng"
+)
+
+// Adversarial message-handling tests: the reader is the exposed
+// surface of the deployment, so it must survive arbitrary garbage and
+// cross-protocol confusion without panicking or mis-identifying.
+
+func TestIdentifyRejectsGarbage(t *testing.T) {
+	_, rdr := testParties(t, 30)
+	cases := [][3][]byte{
+		{nil, nil, nil},
+		{[]byte{1, 2, 3}, make([]byte, scalarWire), make([]byte, scalarWire)},
+		{make([]byte, 22), make([]byte, scalarWire), make([]byte, scalarWire)},
+		{make([]byte, 23), make([]byte, scalarWire), make([]byte, scalarWire)},
+	}
+	for i, c := range cases {
+		if idx, err := rdr.Identify(c[0], c[1], c[2]); err == nil && idx >= 0 {
+			t.Fatalf("garbage case %d identified a tag", i)
+		}
+	}
+}
+
+func TestIdentifyRejectsNonCanonicalScalars(t *testing.T) {
+	tag, rdr := testParties(t, 31)
+	commit, err := tag.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenge := rdr.Challenge()
+	if _, err := tag.Respond(challenge); err != nil {
+		t.Fatal(err)
+	}
+	// A response >= n must be rejected outright (malleability guard).
+	overflow := tag.Curve.Order.N()
+	if _, err := rdr.Identify(commit, challenge, encodeScalar(overflow)); err == nil {
+		t.Fatal("unreduced response accepted")
+	}
+}
+
+func TestCrossProtocolConfusion(t *testing.T) {
+	// A Schnorr transcript fed into the Peeters–Hermans reader must
+	// not identify anyone, even when the Schnorr tag's public key is
+	// registered in the PH database (key-reuse misconfiguration).
+	curve := ec.K163()
+	src := rng.NewDRBG(32).Uint64
+	mul := &SoftwareMultiplier{Curve: curve, Rand: src}
+	rdr, err := NewReader(curve, mul, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stag, err := NewSchnorrTag(curve, mul, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdr.Register(stag.Pub)
+	commit, err := stag.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenge := rdr.Challenge()
+	response, err := stag.Respond(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, err := rdr.Identify(commit, challenge, response); err == nil && idx >= 0 {
+		t.Fatal("Schnorr transcript identified a PH tag (cross-protocol confusion)")
+	}
+}
+
+func TestChallengeReflection(t *testing.T) {
+	// A malicious reader sending the tag's own commitment bytes as a
+	// challenge must be handled like any other challenge value — no
+	// panic, and the (honest) reader still rejects the resulting
+	// transcript under a *different* fresh challenge.
+	tag, rdr := testParties(t, 33)
+	commit, err := tag.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the 22-byte commit to the 21-byte challenge width.
+	reflected := commit[:scalarWire]
+	resp, err := tag.Respond(reflected)
+	if err != nil {
+		// Rejection is fine (e.g. out-of-range), as long as nothing
+		// panicked.
+		return
+	}
+	if idx, err := rdr.Identify(commit, rdr.Challenge(), resp); err == nil && idx >= 0 {
+		t.Fatal("reflected-challenge transcript verified under a fresh challenge")
+	}
+}
+
+func TestWrongReaderKeyFailsIdentification(t *testing.T) {
+	// A tag provisioned against reader A must not identify at reader B
+	// (its d = xcoord(r·Y) uses the wrong Y).
+	curve := ec.K163()
+	src := rng.NewDRBG(34).Uint64
+	mul := &SoftwareMultiplier{Curve: curve, Rand: src}
+	readerA, err := NewReader(curve, mul, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readerB, err := NewReader(curve, mul, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := NewTag(curve, mul, src, readerA.Pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readerB.Register(tag.Pub)
+	if idx, err := RunIdentification(tag, readerB); err == nil && idx >= 0 {
+		t.Fatal("tag identified at a reader it was never provisioned for")
+	}
+}
+
+func TestSessionsAreUnlinkableAcrossRuns(t *testing.T) {
+	// Consecutive sessions of one tag must produce distinct
+	// commitments and responses (no ephemeral reuse).
+	tag, rdr := testParties(t, 35)
+	var commits, responses []string
+	for i := 0; i < 5; i++ {
+		c, err := tag.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tag.Respond(rdr.Challenge())
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits = append(commits, string(c))
+		responses = append(responses, string(r))
+	}
+	seenC := map[string]bool{}
+	seenR := map[string]bool{}
+	for i := range commits {
+		if seenC[commits[i]] || seenR[responses[i]] {
+			t.Fatal("session material repeated across runs")
+		}
+		seenC[commits[i]] = true
+		seenR[responses[i]] = true
+	}
+}
+
+func TestZeroChallengeAndZeroResponse(t *testing.T) {
+	tag, rdr := testParties(t, 36)
+	commit, err := tag.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s = 0 response: must not identify.
+	if idx, err := rdr.Identify(commit, rdr.Challenge(), encodeScalar(modn.Zero())); err == nil && idx >= 0 {
+		t.Fatal("zero response identified a tag")
+	}
+}

@@ -1,0 +1,153 @@
+package protocol
+
+import (
+	"errors"
+
+	"medsec/internal/ec"
+	"medsec/internal/lightcrypto"
+	"medsec/internal/modn"
+)
+
+// ECDSA over the co-processor's curve, hashing with SHA-1 (160-bit
+// digests fit the 163-bit group order without truncation). The
+// paper's introduction motivates it directly: "pacemakers can be
+// remotely updated or tuned. This wireless link can be eavesdropped,
+// or it can be used to interfere with the readings or settings" — so
+// firmware/settings updates must carry a manufacturer signature the
+// device verifies before applying.
+
+// SigningKey is an ECDSA key pair.
+type SigningKey struct {
+	Curve *ec.Curve
+	D     modn.Scalar
+	Pub   ec.Point
+}
+
+// Signature is an ECDSA signature pair (r, s).
+type Signature struct {
+	R, S modn.Scalar
+}
+
+// GenerateSigningKey draws a key pair.
+func GenerateSigningKey(curve *ec.Curve, mul PointMultiplier, src func() uint64) (*SigningKey, error) {
+	d := curve.Order.RandNonZero(src)
+	pub, err := mul.ScalarMul(d, curve.Generator())
+	if err != nil {
+		return nil, err
+	}
+	return &SigningKey{Curve: curve, D: d, Pub: pub}, nil
+}
+
+func hashToScalar(curve *ec.Curve, msg []byte) modn.Scalar {
+	digest := lightcrypto.SHA1Sum(msg)
+	e, _ := modn.FromBytes(digest[:]) // 20 bytes always fit
+	return curve.Order.Reduce(e)
+}
+
+// Sign produces an ECDSA signature over msg.
+func (k *SigningKey) Sign(mul PointMultiplier, msg []byte, src func() uint64) (Signature, error) {
+	e := hashToScalar(k.Curve, msg)
+	for {
+		kEph := k.Curve.Order.RandNonZero(src)
+		R, err := mul.ScalarMul(kEph, k.Curve.Generator())
+		if err != nil {
+			return Signature{}, err
+		}
+		if R.Inf {
+			continue
+		}
+		rInt, err := modn.FromBytes(R.X.Bytes())
+		if err != nil {
+			return Signature{}, err
+		}
+		r := k.Curve.Order.Reduce(rInt)
+		if r.IsZero() {
+			continue
+		}
+		// s = k^-1 (e + d*r)
+		s := k.Curve.Order.Mul(k.Curve.Order.Inv(kEph),
+			k.Curve.Order.Add(e, k.Curve.Order.Mul(k.D, r)))
+		if s.IsZero() {
+			continue
+		}
+		return Signature{R: r, S: s}, nil
+	}
+}
+
+// VerifySignature checks an ECDSA signature against pub.
+func VerifySignature(curve *ec.Curve, mul PointMultiplier, pub ec.Point, msg []byte, sig Signature) (bool, error) {
+	if sig.R.IsZero() || sig.S.IsZero() ||
+		sig.R.Cmp(curve.Order.N()) >= 0 || sig.S.Cmp(curve.Order.N()) >= 0 {
+		return false, nil
+	}
+	if err := curve.Validate(pub); err != nil {
+		return false, err
+	}
+	e := hashToScalar(curve, msg)
+	w := curve.Order.Inv(sig.S)
+	u1 := curve.Order.Mul(e, w)
+	u2 := curve.Order.Mul(sig.R, w)
+	var p1, p2 ec.Point
+	var err error
+	if u1.IsZero() {
+		p1 = ec.Infinity()
+	} else if p1, err = mul.ScalarMul(u1, curve.Generator()); err != nil {
+		return false, err
+	}
+	if p2, err = mul.ScalarMul(u2, pub); err != nil {
+		return false, err
+	}
+	X := curve.Add(p1, p2)
+	if X.Inf {
+		return false, nil
+	}
+	xInt, err := modn.FromBytes(X.X.Bytes())
+	if err != nil {
+		return false, err
+	}
+	return curve.Order.Reduce(xInt).Equal(sig.R), nil
+}
+
+// FirmwareUpdate is a signed settings/firmware payload for an
+// implanted device.
+type FirmwareUpdate struct {
+	Version uint32
+	Payload []byte
+	Sig     Signature
+}
+
+// SignFirmware signs version||payload with the manufacturer key.
+func SignFirmware(key *SigningKey, mul PointMultiplier, version uint32, payload []byte, src func() uint64) (*FirmwareUpdate, error) {
+	sig, err := key.Sign(mul, firmwareMessage(version, payload), src)
+	if err != nil {
+		return nil, err
+	}
+	return &FirmwareUpdate{Version: version, Payload: append([]byte(nil), payload...), Sig: sig}, nil
+}
+
+// ErrBadFirmware rejects unauthentic or stale updates.
+var ErrBadFirmware = errors.New("protocol: firmware update rejected")
+
+// AcceptFirmware is the device-side check: signature valid under the
+// manufacturer public key AND version strictly newer than the
+// currently installed one (anti-rollback).
+func AcceptFirmware(curve *ec.Curve, mul PointMultiplier, manufacturer ec.Point, installed uint32, up *FirmwareUpdate) error {
+	if up.Version <= installed {
+		return ErrBadFirmware
+	}
+	ok, err := VerifySignature(curve, mul, manufacturer, firmwareMessage(up.Version, up.Payload), up.Sig)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrBadFirmware
+	}
+	return nil
+}
+
+func firmwareMessage(version uint32, payload []byte) []byte {
+	msg := []byte{
+		byte(version >> 24), byte(version >> 16), byte(version >> 8), byte(version),
+	}
+	return append(msg, payload...)
+}

@@ -1,0 +1,144 @@
+package protocol
+
+import (
+	"testing"
+
+	"medsec/internal/ec"
+	"medsec/internal/modn"
+	"medsec/internal/rng"
+)
+
+func ecdsaSetup(t *testing.T, seed uint64) (*ec.Curve, PointMultiplier, *SigningKey, func() uint64) {
+	t.Helper()
+	curve := ec.K163()
+	src := rng.NewDRBG(seed).Uint64
+	mul := &SoftwareMultiplier{Curve: curve, Rand: src}
+	key, err := GenerateSigningKey(curve, mul, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return curve, mul, key, src
+}
+
+func TestECDSASignVerify(t *testing.T) {
+	curve, mul, key, src := ecdsaSetup(t, 1)
+	msgs := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("pacemaker settings: rate 60-130 bpm, output 2.5 V"),
+		make([]byte, 1000),
+	}
+	for _, msg := range msgs {
+		sig, err := key.Sign(mul, msg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := VerifySignature(curve, mul, key.Pub, msg, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("honest signature rejected for %d-byte message", len(msg))
+		}
+	}
+}
+
+func TestECDSASignatureIsRandomized(t *testing.T) {
+	_, mul, key, src := ecdsaSetup(t, 2)
+	msg := []byte("same message")
+	s1, err := key.Sign(mul, msg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := key.Sign(mul, msg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.R.Equal(s2.R) {
+		t.Fatal("ephemeral reuse: identical r for two signatures")
+	}
+}
+
+func TestECDSARejections(t *testing.T) {
+	curve, mul, key, src := ecdsaSetup(t, 3)
+	msg := []byte("therapy parameters v7")
+	sig, err := key.Sign(mul, msg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tampered message.
+	if ok, _ := VerifySignature(curve, mul, key.Pub, []byte("therapy parameters v8"), sig); ok {
+		t.Fatal("signature verified for altered message")
+	}
+	// Tampered r / s.
+	bad := sig
+	bad.R = curve.Order.Add(bad.R, modn.One())
+	if ok, _ := VerifySignature(curve, mul, key.Pub, msg, bad); ok {
+		t.Fatal("altered r accepted")
+	}
+	bad = sig
+	bad.S = curve.Order.Add(bad.S, modn.One())
+	if ok, _ := VerifySignature(curve, mul, key.Pub, msg, bad); ok {
+		t.Fatal("altered s accepted")
+	}
+	// Zero / overflow components.
+	if ok, _ := VerifySignature(curve, mul, key.Pub, msg, Signature{R: modn.Zero(), S: sig.S}); ok {
+		t.Fatal("r = 0 accepted")
+	}
+	if ok, _ := VerifySignature(curve, mul, key.Pub, msg, Signature{R: curve.Order.N(), S: sig.S}); ok {
+		t.Fatal("unreduced r accepted")
+	}
+	// Wrong public key.
+	_, _, other, _ := ecdsaSetup(t, 4)
+	if ok, _ := VerifySignature(curve, mul, other.Pub, msg, sig); ok {
+		t.Fatal("signature verified under wrong key")
+	}
+	// Invalid public key point (off curve) must error, not verify.
+	badPub := key.Pub
+	badPub.Y = curve.Gy
+	badPub.X = curve.Gx
+	badPub.Y = badPub.Y.SetBit(0, badPub.Y.Bit(0)^1)
+	if _, err := VerifySignature(curve, mul, badPub, msg, sig); err == nil {
+		t.Fatal("off-curve public key accepted")
+	}
+}
+
+func TestFirmwareUpdateFlow(t *testing.T) {
+	curve, mul, manufacturer, src := ecdsaSetup(t, 5)
+	payload := []byte("FW v2.1.0: lead impedance monitor fix")
+	up, err := SignFirmware(manufacturer, mul, 21, payload, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device at version 20 accepts.
+	if err := AcceptFirmware(curve, mul, manufacturer.Pub, 20, up); err != nil {
+		t.Fatalf("valid update rejected: %v", err)
+	}
+	// Anti-rollback: same or older version rejected even with a valid
+	// signature.
+	if err := AcceptFirmware(curve, mul, manufacturer.Pub, 21, up); err != ErrBadFirmware {
+		t.Fatal("replayed/rollback update accepted")
+	}
+	// Tampered payload rejected.
+	evil := *up
+	evil.Payload = append([]byte(nil), up.Payload...)
+	evil.Payload[0] ^= 1
+	if err := AcceptFirmware(curve, mul, manufacturer.Pub, 20, &evil); err != ErrBadFirmware {
+		t.Fatal("tampered payload accepted — the attack the paper's intro warns about")
+	}
+	// Version field is covered by the signature.
+	evil2 := *up
+	evil2.Version = 99
+	if err := AcceptFirmware(curve, mul, manufacturer.Pub, 20, &evil2); err != ErrBadFirmware {
+		t.Fatal("version substitution accepted")
+	}
+	// Attacker-signed update rejected.
+	_, _, attacker, asrc := ecdsaSetup(t, 6)
+	forged, err := SignFirmware(attacker, mul, 22, []byte("pwn"), asrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AcceptFirmware(curve, mul, manufacturer.Pub, 20, forged); err != ErrBadFirmware {
+		t.Fatal("attacker-signed firmware accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package protocol
+
+import (
+	"errors"
+
+	"medsec/internal/ec"
+	"medsec/internal/lightcrypto"
+	"medsec/internal/modn"
+)
+
+// ECIES-style hybrid encryption over K-163: ephemeral ECDH + SHA-1 KDF
+// + AES-CTR with CBC-MAC (the module's Seal). It covers the paper's
+// store-and-forward case — a sensor that must leave encrypted,
+// authenticated measurements for an energy-rich collector that is not
+// currently in range, so no interactive session key exists. Sender
+// cost: one point multiplication for the ephemeral key and one for the
+// shared secret.
+
+// HybridCiphertext is a sealed message addressed to a public key.
+type HybridCiphertext struct {
+	// Ephemeral is the sender's compressed ephemeral public key R = r·P.
+	Ephemeral []byte
+	// Sealed is the AES-CTR+CBC-MAC payload under the derived key.
+	Sealed []byte
+}
+
+// kdf derives the symmetric key and nonce from the shared x-coordinate
+// and the ephemeral encoding (binding the key to this ciphertext).
+func eciesKDF(sharedX, ephemeral []byte) (key [16]byte, nonce [16]byte) {
+	d1 := lightcrypto.SHA1Sum(append(append([]byte("medsec-ecies-k1"), sharedX...), ephemeral...))
+	d2 := lightcrypto.SHA1Sum(append(append([]byte("medsec-ecies-n1"), sharedX...), ephemeral...))
+	copy(key[:], d1[:16])
+	copy(nonce[:], d2[:16])
+	return key, nonce
+}
+
+// HybridEncrypt seals msg to the recipient public key.
+func HybridEncrypt(curve *ec.Curve, mul PointMultiplier, recipient ec.Point, msg []byte, src func() uint64, ledger *Ledger) (*HybridCiphertext, error) {
+	if err := curve.Validate(recipient); err != nil {
+		return nil, err
+	}
+	r := curve.Order.RandNonZero(src)
+	R, err := mul.ScalarMul(r, curve.Generator())
+	if err != nil {
+		return nil, err
+	}
+	eph, err := curve.Compress(R)
+	if err != nil {
+		return nil, err
+	}
+	sharedX, err := mul.XOnlyMul(r, recipient)
+	if err != nil {
+		return nil, err
+	}
+	key, nonce := eciesKDF(sharedX.Bytes(), eph)
+	a, err := lightcrypto.NewAES(key[:])
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := a.Seal(nonce[:], msg)
+	if err != nil {
+		return nil, err
+	}
+	if ledger != nil {
+		ledger.PointMuls += 2
+		ledger.AESBlocks += (len(msg)+15)/16*2 + 2
+		ledger.TxBits += 8 * (len(eph) + len(sealed))
+	}
+	return &HybridCiphertext{Ephemeral: eph, Sealed: sealed}, nil
+}
+
+// HybridDecrypt opens a HybridCiphertext with the recipient secret.
+func HybridDecrypt(curve *ec.Curve, mul PointMultiplier, secret modn.Scalar, ct *HybridCiphertext, ledger *Ledger) ([]byte, error) {
+	if ct == nil || len(ct.Ephemeral) == 0 {
+		return nil, errors.New("protocol: empty hybrid ciphertext")
+	}
+	R, err := curve.Decompress(ct.Ephemeral)
+	if err != nil {
+		return nil, err
+	}
+	if err := curve.Validate(R); err != nil {
+		return nil, err
+	}
+	sharedX, err := mul.XOnlyMul(secret, R)
+	if err != nil {
+		return nil, err
+	}
+	key, nonce := eciesKDF(sharedX.Bytes(), ct.Ephemeral)
+	a, err := lightcrypto.NewAES(key[:])
+	if err != nil {
+		return nil, err
+	}
+	if ledger != nil {
+		ledger.PointMuls++
+		ledger.RxBits += 8 * (len(ct.Ephemeral) + len(ct.Sealed))
+	}
+	return a.Open(nonce[:], ct.Sealed)
+}

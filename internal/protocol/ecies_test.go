@@ -1,0 +1,101 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+
+	"medsec/internal/ec"
+	"medsec/internal/rng"
+)
+
+func TestHybridEncryptDecryptRoundTrip(t *testing.T) {
+	curve := ec.K163()
+	src := rng.NewDRBG(40).Uint64
+	mul := &SoftwareMultiplier{Curve: curve, Rand: src}
+	secret := curve.Order.RandNonZero(src)
+	pub, err := mul.ScalarMul(secret, curve.Generator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range [][]byte{nil, []byte("x"), []byte("SPO2=97;HR=64;stored 03:12"), make([]byte, 500)} {
+		var sendLed, recvLed Ledger
+		ct, err := HybridEncrypt(curve, mul, pub, msg, src, &sendLed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := HybridDecrypt(curve, mul, secret, ct, &recvLed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round trip failed for %d-byte message", len(msg))
+		}
+		if sendLed.PointMuls != 2 {
+			t.Fatalf("sender did %d PMs, want 2", sendLed.PointMuls)
+		}
+		if recvLed.PointMuls != 1 {
+			t.Fatalf("recipient did %d PMs, want 1", recvLed.PointMuls)
+		}
+	}
+}
+
+func TestHybridCiphertextsAreRandomized(t *testing.T) {
+	curve := ec.K163()
+	src := rng.NewDRBG(41).Uint64
+	mul := &SoftwareMultiplier{Curve: curve, Rand: src}
+	secret := curve.Order.RandNonZero(src)
+	pub, _ := mul.ScalarMul(secret, curve.Generator())
+	msg := []byte("same plaintext")
+	c1, err := HybridEncrypt(curve, mul, pub, msg, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := HybridEncrypt(curve, mul, pub, msg, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(c1.Ephemeral, c2.Ephemeral) || bytes.Equal(c1.Sealed, c2.Sealed) {
+		t.Fatal("two encryptions of the same message are identical")
+	}
+}
+
+func TestHybridDecryptRejections(t *testing.T) {
+	curve := ec.K163()
+	src := rng.NewDRBG(42).Uint64
+	mul := &SoftwareMultiplier{Curve: curve, Rand: src}
+	secret := curve.Order.RandNonZero(src)
+	pub, _ := mul.ScalarMul(secret, curve.Generator())
+	ct, err := HybridEncrypt(curve, mul, pub, []byte("vitals"), src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong recipient key.
+	other := curve.Order.RandNonZero(src)
+	if _, err := HybridDecrypt(curve, mul, other, ct, nil); err == nil {
+		t.Fatal("decrypted with the wrong secret")
+	}
+	// Tampered payload / ephemeral.
+	bad := &HybridCiphertext{Ephemeral: ct.Ephemeral, Sealed: append([]byte{}, ct.Sealed...)}
+	bad.Sealed[0] ^= 1
+	if _, err := HybridDecrypt(curve, mul, secret, bad, nil); err == nil {
+		t.Fatal("tampered payload accepted")
+	}
+	bad2 := &HybridCiphertext{Ephemeral: append([]byte{}, ct.Ephemeral...), Sealed: ct.Sealed}
+	bad2.Ephemeral[2] ^= 1
+	if _, err := HybridDecrypt(curve, mul, secret, bad2, nil); err == nil {
+		t.Fatal("tampered ephemeral accepted")
+	}
+	// Empty / malformed.
+	if _, err := HybridDecrypt(curve, mul, secret, nil, nil); err == nil {
+		t.Fatal("nil ciphertext accepted")
+	}
+	if _, err := HybridDecrypt(curve, mul, secret, &HybridCiphertext{Ephemeral: []byte{1}}, nil); err == nil {
+		t.Fatal("malformed ephemeral accepted")
+	}
+	// Invalid recipient key on the encrypt side.
+	badPub := pub
+	badPub.Y = curve.Gx
+	if _, err := HybridEncrypt(curve, mul, badPub, []byte("m"), src, nil); err == nil {
+		t.Fatal("off-curve recipient accepted")
+	}
+}

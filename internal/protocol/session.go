@@ -1,0 +1,207 @@
+package protocol
+
+import (
+	"errors"
+
+	"medsec/internal/ec"
+	"medsec/internal/lightcrypto"
+)
+
+// Stage labels where a mutual-authentication session ended.
+const (
+	StageServerAuth     = "server-auth"
+	StageIdentification = "identification"
+	StageComplete       = "complete"
+)
+
+// MutualAuthResult reports a pacemaker-programmer session: who spent
+// what, whether it completed, and the established session key.
+type MutualAuthResult struct {
+	Completed bool
+	// AbortStage is the stage at which the session stopped
+	// (StageComplete when it succeeded).
+	AbortStage string
+	// TagIndex is the database index under which the reader
+	// identified the device (valid when Completed).
+	TagIndex int
+	// SessionKey is the AES-128 key both sides derived (valid when
+	// Completed).
+	SessionKey [16]byte
+	// DeviceLedger is the implant's operation count — the scarce
+	// resource the ordering rule protects.
+	DeviceLedger Ledger
+	// ServerLedger is the (energy-rich) programmer's count.
+	ServerLedger Ledger
+}
+
+// RunMutualAuth executes a mutual-authentication session between an
+// implanted device (a Peeters–Hermans tag) and a programmer (the
+// reader):
+//
+//  1. device sends A = a·P;
+//  2. programmer proves possession of y with W = y·A, which the
+//     device checks against a·Y (static-DH unilateral authentication);
+//  3. the device identifies itself with the Fig. 2 protocol;
+//  4. both derive a session key from xcoord(a·Y) = xcoord(y·A).
+//
+// serverFirst selects the paper's recommended ordering (step 2 before
+// step 3). With serverFirst=false the device identifies itself first —
+// the ordering the paper warns about, because a rogue programmer then
+// extracts the device's identification energy before failing.
+// rogueServer simulates a programmer that does not know y.
+func RunMutualAuth(dev *Tag, rdr *Reader, serverFirst, rogueServer bool) (*MutualAuthResult, error) {
+	res := &MutualAuthResult{TagIndex: -1}
+	devStart := dev.Ledger
+	rdrStart := rdr.Ledger
+
+	// Step 1: device ephemeral A = a·P.
+	a := dev.Curve.Order.RandNonZero(dev.Rand)
+	A, err := dev.Mul.ScalarMul(a, dev.Curve.Generator())
+	dev.Ledger.PointMuls++
+	dev.Ledger.TxBits += PointBits
+	if err != nil {
+		return nil, err
+	}
+
+	serverAuth := func() (bool, ec.Point, error) {
+		// Programmer computes W = y·A (or garbage if rogue).
+		var W ec.Point
+		rdr.Ledger.RxBits += PointBits
+		if rogueServer {
+			W = rdr.Curve.RandomPoint(rdr.Rand)
+		} else {
+			W, err = rdr.Mul.ScalarMul(rdr.Y, A)
+			rdr.Ledger.PointMuls++
+			if err != nil {
+				return false, ec.Point{}, err
+			}
+		}
+		rdr.Ledger.TxBits += PointBits
+		// Device checks W == a·Y.
+		dev.Ledger.RxBits += PointBits
+		want, err := dev.Mul.ScalarMul(a, dev.Y)
+		dev.Ledger.PointMuls++
+		if err != nil {
+			return false, ec.Point{}, err
+		}
+		return W.Equal(want), want, nil
+	}
+
+	identify := func() (int, error) {
+		commit, err := dev.Commit()
+		if err != nil {
+			return -1, err
+		}
+		challenge := rdr.Challenge()
+		response, err := dev.Respond(challenge)
+		if err != nil {
+			return -1, err
+		}
+		return rdr.Identify(commit, challenge, response)
+	}
+
+	finish := func(ok bool) *MutualAuthResult {
+		res.DeviceLedger = diffLedger(dev.Ledger, devStart)
+		res.ServerLedger = diffLedger(rdr.Ledger, rdrStart)
+		res.Completed = ok
+		return res
+	}
+
+	if serverFirst {
+		ok, shared, err := serverAuth()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Paper §4: "the protocol session stops immediately on the
+			// device when the server authentication fails."
+			res.AbortStage = StageServerAuth
+			return finish(false), nil
+		}
+		idx, err := identify()
+		if err != nil && !errors.Is(err, ErrUnknownTag) {
+			return nil, err
+		}
+		if idx < 0 {
+			res.AbortStage = StageIdentification
+			return finish(false), nil
+		}
+		res.TagIndex = idx
+		res.SessionKey = deriveKey(shared)
+		res.AbortStage = StageComplete
+		return finish(true), nil
+	}
+
+	// The discouraged ordering: identification first.
+	idx, err := identify()
+	if err != nil && !errors.Is(err, ErrUnknownTag) {
+		return nil, err
+	}
+	if idx < 0 {
+		res.AbortStage = StageIdentification
+		return finish(false), nil
+	}
+	ok, shared, err := serverAuth()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		res.AbortStage = StageServerAuth
+		return finish(false), nil
+	}
+	res.TagIndex = idx
+	res.SessionKey = deriveKey(shared)
+	res.AbortStage = StageComplete
+	return finish(true), nil
+}
+
+func diffLedger(now, before Ledger) Ledger {
+	return Ledger{
+		PointMuls: now.PointMuls - before.PointMuls,
+		ModMuls:   now.ModMuls - before.ModMuls,
+		AESBlocks: now.AESBlocks - before.AESBlocks,
+		TxBits:    now.TxBits - before.TxBits,
+		RxBits:    now.RxBits - before.RxBits,
+	}
+}
+
+func deriveKey(shared ec.Point) [16]byte {
+	digest := lightcrypto.SHA1Sum(shared.X.Bytes())
+	var key [16]byte
+	copy(key[:], digest[:16])
+	return key
+}
+
+// Telemetry seals a vital-signs payload under the session key
+// (AES-CTR + CBC-MAC; encryption plus data authentication, both of
+// which the paper's security analysis demands: "a modification on the
+// ciphertext may also lead to a corrupted therapy").
+func Telemetry(key [16]byte, nonce [16]byte, payload []byte, ledger *Ledger) ([]byte, error) {
+	a, err := lightcrypto.NewAES(key[:])
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := a.Seal(nonce[:], payload)
+	if err != nil {
+		return nil, err
+	}
+	if ledger != nil {
+		// CTR blocks + MAC blocks (length block + payload + nonce).
+		blocks := (len(payload)+15)/16 + (len(payload)+len(nonce)+15)/16 + 1
+		ledger.AESBlocks += blocks
+		ledger.TxBits += 8 * len(sealed)
+	}
+	return sealed, nil
+}
+
+// OpenTelemetry verifies and decrypts a Telemetry message.
+func OpenTelemetry(key [16]byte, nonce [16]byte, sealed []byte, ledger *Ledger) ([]byte, error) {
+	a, err := lightcrypto.NewAES(key[:])
+	if err != nil {
+		return nil, err
+	}
+	if ledger != nil {
+		ledger.RxBits += 8 * len(sealed)
+	}
+	return a.Open(nonce[:], sealed)
+}

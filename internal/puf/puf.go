@@ -1,0 +1,157 @@
+// Package puf simulates a Physically Unclonable Function — one of the
+// non-algorithmic primitives the paper's protocol level lists
+// ("Random Number Generators (RNG), secure storage, or Physically
+// Unclonable Functions (PUFs)") — and a fuzzy extractor that turns its
+// noisy fingerprint into a stable AES key, so an implant can avoid
+// storing its long-term secret in attackable non-volatile memory.
+//
+// The model is an SRAM PUF: each cell has a fixed manufacturing bias;
+// a power-up readout thresholds bias plus Gaussian noise, so re-reads
+// of the same device differ in a few percent of the bits
+// (intra-distance) while different devices differ in about half
+// (inter-distance). The fuzzy extractor is the classic code-offset
+// construction with a repetition code and a SHA-1 based key
+// derivation.
+package puf
+
+import (
+	"errors"
+
+	"medsec/internal/lightcrypto"
+	"medsec/internal/rng"
+)
+
+// SRAMPUF is one simulated device fingerprint.
+type SRAMPUF struct {
+	bias []float64
+	// Noise is the per-readout Gaussian noise sigma relative to the
+	// bias spread; ~0.12 gives the 3-6% intra-distance typical of
+	// real SRAM.
+	Noise float64
+	reads *rng.Gaussian
+}
+
+// New creates a device with the given number of cells. Distinct seeds
+// are distinct physical devices.
+func New(cells int, deviceSeed uint64) *SRAMPUF {
+	g := rng.NewGaussian(deviceSeed)
+	bias := make([]float64, cells)
+	for i := range bias {
+		bias[i] = g.Sample()
+	}
+	return &SRAMPUF{
+		bias:  bias,
+		Noise: 0.12,
+		reads: rng.NewGaussian(deviceSeed ^ 0x5bf03635),
+	}
+}
+
+// Cells returns the fingerprint width in bits.
+func (p *SRAMPUF) Cells() int { return len(p.bias) }
+
+// Read performs one power-up readout: bit i = sign(bias_i + noise).
+func (p *SRAMPUF) Read() []byte {
+	out := make([]byte, (len(p.bias)+7)/8)
+	for i, b := range p.bias {
+		v := b + p.Noise*p.reads.Sample()
+		if v > 0 {
+			out[i/8] |= 1 << (uint(i) & 7)
+		}
+	}
+	return out
+}
+
+// HammingFraction returns the fraction of differing bits between two
+// equal-length readouts.
+func HammingFraction(a, b []byte) float64 {
+	if len(a) != len(b) {
+		return 1
+	}
+	bits, diff := 0, 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+		bits += 8
+	}
+	return float64(diff) / float64(bits)
+}
+
+// Repetition is the error-correcting repetition factor of the fuzzy
+// extractor. With 15x repetition and ~5% bit noise, the majority vote
+// fails per key bit with probability < 1e-7.
+const Repetition = 15
+
+// KeyBits is the extracted key length.
+const KeyBits = 128
+
+// CellsNeeded is the fingerprint width the extractor consumes.
+const CellsNeeded = KeyBits * Repetition
+
+// Enrollment is the public helper data produced at manufacturing.
+type Enrollment struct {
+	// Helper is the code-offset: codeword XOR reference-readout. It
+	// is public; an attacker without the PUF learns nothing about the
+	// key from it (the codeword is as random as the readout).
+	Helper []byte
+}
+
+// Enroll derives a key from the device and emits helper data. Called
+// once, in the factory.
+func Enroll(p *SRAMPUF, keySeed uint64) ([16]byte, *Enrollment, error) {
+	if p.Cells() < CellsNeeded {
+		return [16]byte{}, nil, errors.New("puf: fingerprint too small for the extractor")
+	}
+	// Random key bits (the enrolled secret).
+	d := rng.NewDRBG(keySeed)
+	keyBits := make([]byte, KeyBits/8)
+	d.Read(keyBits)
+	// Codeword: each key bit repeated Repetition times.
+	codeword := make([]byte, (CellsNeeded+7)/8)
+	for i := 0; i < KeyBits; i++ {
+		bit := keyBits[i/8] >> (uint(i) & 7) & 1
+		for j := 0; j < Repetition; j++ {
+			pos := i*Repetition + j
+			codeword[pos/8] |= bit << (uint(pos) & 7)
+		}
+	}
+	ref := p.Read()
+	helper := make([]byte, len(codeword))
+	for i := range helper {
+		helper[i] = codeword[i] ^ ref[i]
+	}
+	return deriveKey(keyBits), &Enrollment{Helper: helper}, nil
+}
+
+// Reconstruct re-derives the key from a fresh noisy readout plus the
+// public helper data. Called at every power-up in the field.
+func Reconstruct(p *SRAMPUF, e *Enrollment) ([16]byte, error) {
+	if p.Cells() < CellsNeeded {
+		return [16]byte{}, errors.New("puf: fingerprint too small")
+	}
+	if len(e.Helper) < (CellsNeeded+7)/8 {
+		return [16]byte{}, errors.New("puf: malformed helper data")
+	}
+	read := p.Read()
+	keyBits := make([]byte, KeyBits/8)
+	for i := 0; i < KeyBits; i++ {
+		ones := 0
+		for j := 0; j < Repetition; j++ {
+			pos := i*Repetition + j
+			cw := (e.Helper[pos/8] ^ read[pos/8]) >> (uint(pos) & 7) & 1
+			ones += int(cw)
+		}
+		if ones > Repetition/2 {
+			keyBits[i/8] |= 1 << (uint(i) & 7)
+		}
+	}
+	return deriveKey(keyBits), nil
+}
+
+func deriveKey(bits []byte) [16]byte {
+	digest := lightcrypto.SHA1Sum(bits)
+	var key [16]byte
+	copy(key[:], digest[:16])
+	return key
+}

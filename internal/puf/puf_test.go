@@ -1,0 +1,104 @@
+package puf
+
+import "testing"
+
+func TestIntraAndInterDistance(t *testing.T) {
+	devA := New(CellsNeeded, 1)
+	devB := New(CellsNeeded, 2)
+	r1 := devA.Read()
+	r2 := devA.Read()
+	rB := devB.Read()
+	intra := HammingFraction(r1, r2)
+	inter := HammingFraction(r1, rB)
+	// Typical SRAM PUF: a few percent intra, ~50% inter.
+	if intra > 0.12 {
+		t.Fatalf("intra-distance %.3f too noisy", intra)
+	}
+	if intra == 0 {
+		t.Fatal("re-reads identical; noise model inert")
+	}
+	if inter < 0.40 || inter > 0.60 {
+		t.Fatalf("inter-distance %.3f, want ~0.5", inter)
+	}
+}
+
+func TestEnrollReconstructStableKey(t *testing.T) {
+	dev := New(CellsNeeded, 3)
+	key, enr, err := Enroll(dev, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key reconstruction must succeed across many noisy power-ups.
+	for i := 0; i < 50; i++ {
+		got, err := Reconstruct(dev, enr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != key {
+			t.Fatalf("power-up %d reconstructed a different key", i)
+		}
+	}
+}
+
+func TestCloneDeviceCannotReconstruct(t *testing.T) {
+	dev := New(CellsNeeded, 4)
+	key, enr, err := Enroll(dev, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := New(CellsNeeded, 5) // different silicon
+	got, err := Reconstruct(clone, enr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == key {
+		t.Fatal("a different device reconstructed the key; PUF is clonable")
+	}
+}
+
+func TestHelperDataAlonePredictsNothing(t *testing.T) {
+	// Two enrollments of the same device with different key seeds give
+	// different keys and different helpers — the helper is an offset,
+	// not an encryption of the fingerprint.
+	dev := New(CellsNeeded, 6)
+	k1, h1, err := Enroll(dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, h2, err := Enroll(dev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("distinct enrollments produced the same key")
+	}
+	if HammingFraction(h1.Helper, h2.Helper) < 0.3 {
+		t.Fatal("helper data barely changed across enrollments")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	small := New(10, 7)
+	if _, _, err := Enroll(small, 1); err == nil {
+		t.Fatal("undersized PUF enrolled")
+	}
+	dev := New(CellsNeeded, 8)
+	if _, err := Reconstruct(dev, &Enrollment{Helper: []byte{1, 2}}); err == nil {
+		t.Fatal("malformed helper accepted")
+	}
+	if _, err := Reconstruct(small, &Enrollment{Helper: make([]byte, CellsNeeded/8)}); err == nil {
+		t.Fatal("undersized PUF reconstructed")
+	}
+}
+
+func TestHammingFraction(t *testing.T) {
+	if HammingFraction([]byte{0xff}, []byte{0x00}) != 1 {
+		t.Fatal("all-different should be 1")
+	}
+	if HammingFraction([]byte{0xaa}, []byte{0xaa}) != 0 {
+		t.Fatal("identical should be 0")
+	}
+	if HammingFraction([]byte{1}, []byte{1, 2}) != 1 {
+		t.Fatal("length mismatch should read as maximal distance")
+	}
+}

@@ -1,0 +1,199 @@
+// Package radio is the first-order wireless energy model behind the
+// paper's protocol-level energy discussion: "the communication should
+// be minimized since wireless communication is power-hungry", and the
+// computation-vs-communication comparison of secret-key vs public-key
+// protocols whose "conclusions depend on the cryptographic algorithm,
+// the digital platform and the wireless distance over which the
+// communication occurs" [4, 5].
+//
+// The transceiver model is the standard first-order radio:
+//
+//	E_tx(k, d) = k * (E_elec + eps_amp * d^2)
+//	E_rx(k)    = k * E_elec
+//
+// with the classic sensor-network constants (50 nJ/bit electronics,
+// 100 pJ/bit/m² amplifier).
+package radio
+
+import (
+	"errors"
+	"math"
+
+	"medsec/internal/protocol"
+)
+
+// Model holds transceiver parameters.
+type Model struct {
+	// EElecJPerBit is the electronics energy per bit (TX and RX).
+	EElecJPerBit float64
+	// EAmpJPerBitM2 is the amplifier energy per bit per m².
+	EAmpJPerBitM2 float64
+}
+
+// DefaultModel returns the classic first-order radio constants.
+func DefaultModel() Model {
+	return Model{EElecJPerBit: 50e-9, EAmpJPerBitM2: 100e-12}
+}
+
+// TxEnergy returns the energy to transmit bits over distance meters.
+func (m Model) TxEnergy(bits int, meters float64) float64 {
+	return float64(bits) * (m.EElecJPerBit + m.EAmpJPerBitM2*meters*meters)
+}
+
+// RxEnergy returns the energy to receive bits.
+func (m Model) RxEnergy(bits int) float64 {
+	return float64(bits) * m.EElecJPerBit
+}
+
+// LedgerEnergy prices a protocol ledger: TX over the given distance,
+// RX at the electronics floor, computation from the per-operation
+// energies.
+func (m Model) LedgerEnergy(l protocol.Ledger, meters float64, costs ComputeCosts) float64 {
+	return m.TxEnergy(l.TxBits, meters) + m.RxEnergy(l.RxBits) +
+		float64(l.PointMuls)*costs.PointMulJ +
+		float64(l.ModMuls)*costs.ModMulJ +
+		float64(l.AESBlocks)*costs.AESBlockJ
+}
+
+// ComputeCosts holds per-operation computation energies on the device.
+type ComputeCosts struct {
+	// PointMulJ is one point multiplication on the co-processor — the
+	// paper's 5.1 µJ.
+	PointMulJ float64
+	// ModMulJ is one 163-bit modular multiplication (a handful of MALU
+	// passes; small relative to a PM).
+	ModMulJ float64
+	// AESBlockJ is one AES-128 block on a compact hardware core.
+	AESBlockJ float64
+}
+
+// PaperCosts returns the cost set anchored at the paper's measured
+// 5.1 µJ point multiplication.
+func PaperCosts() ComputeCosts {
+	return ComputeCosts{
+		PointMulJ: 5.1e-6,
+		ModMulJ:   0.02e-6,
+		AESBlockJ: 0.01e-6,
+	}
+}
+
+// AuthScenario describes one authentication option for the E7
+// crossover experiment: what the device must transmit/receive locally
+// and to/over the backhaul, plus its computation.
+type AuthScenario struct {
+	Name string
+	// LocalTxBits/LocalRxBits travel the short local link (fixed
+	// LocalRange meters).
+	LocalTxBits, LocalRxBits int
+	// BackhaulTxBits/BackhaulRxBits travel to the trust
+	// infrastructure, whose distance is the experiment's x-axis.
+	BackhaulTxBits, BackhaulRxBits int
+	// Ledger is the computation the device performs.
+	Ledger protocol.Ledger
+}
+
+// LocalRange is the fixed body-area link distance (meters).
+const LocalRange = 1.0
+
+// SymmetricKDC is the secret-key option: AES challenge-response, but
+// every session needs a ticket round trip with a key-distribution
+// server over the backhaul (the key-management cost the paper
+// attributes to secret-key protocols: "the problem of key distribution
+// and management").
+func SymmetricKDC() AuthScenario {
+	return AuthScenario{
+		Name:        "AES+KDC",
+		LocalTxBits: 128 + 128, // challenge response + MAC
+		LocalRxBits: 128,
+		// Ticket request + sealed ticket.
+		BackhaulTxBits: 256,
+		BackhaulRxBits: 512,
+		Ledger:         protocol.Ledger{AESBlocks: 8},
+	}
+}
+
+// PublicKeyLocal is the public-key option: the Fig. 2 identification
+// plus static-DH server authentication, entirely over the local link —
+// no online third party, at the price of four point multiplications on
+// the device.
+func PublicKeyLocal() AuthScenario {
+	return AuthScenario{
+		Name:        "ECC-local",
+		LocalTxBits: 2*protocol.PointBits + protocol.ScalarBits,
+		LocalRxBits: protocol.PointBits + protocol.ScalarBits,
+		Ledger:      protocol.Ledger{PointMuls: 4, ModMuls: 1},
+	}
+}
+
+// DeviceEnergy prices a scenario at the given backhaul distance.
+func (m Model) DeviceEnergy(s AuthScenario, backhaulMeters float64, costs ComputeCosts) float64 {
+	e := m.TxEnergy(s.LocalTxBits, LocalRange) + m.RxEnergy(s.LocalRxBits)
+	e += m.TxEnergy(s.BackhaulTxBits, backhaulMeters) + m.RxEnergy(s.BackhaulRxBits)
+	e += float64(s.Ledger.PointMuls)*costs.PointMulJ +
+		float64(s.Ledger.ModMuls)*costs.ModMulJ +
+		float64(s.Ledger.AESBlocks)*costs.AESBlockJ
+	return e
+}
+
+// Crossover finds the backhaul distance (meters, within [lo, hi]) at
+// which the two scenarios cost the same device energy, by bisection on
+// the difference. It returns an error when no crossover lies in the
+// bracket.
+func (m Model) Crossover(a, b AuthScenario, costs ComputeCosts, lo, hi float64) (float64, error) {
+	f := func(d float64) float64 {
+		return m.DeviceEnergy(a, d, costs) - m.DeviceEnergy(b, d, costs)
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 && fhi == 0 {
+		return 0, errors.New("radio: scenarios cost the same everywhere")
+	}
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, errors.New("radio: no crossover in bracket")
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9; i++ {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Sweep evaluates both scenarios at each distance and reports the rows
+// of the E7 table.
+type SweepRow struct {
+	Meters   float64
+	EnergyA  float64
+	EnergyB  float64
+	Cheapest string
+}
+
+// SweepScenarios prices both options over the given distances.
+func (m Model) SweepScenarios(a, b AuthScenario, costs ComputeCosts, meters []float64) []SweepRow {
+	rows := make([]SweepRow, 0, len(meters))
+	for _, d := range meters {
+		ea := m.DeviceEnergy(a, d, costs)
+		eb := m.DeviceEnergy(b, d, costs)
+		name := a.Name
+		if eb < ea {
+			name = b.Name
+		}
+		if math.Abs(ea-eb) < 1e-12 {
+			name = "tie"
+		}
+		rows = append(rows, SweepRow{Meters: d, EnergyA: ea, EnergyB: eb, Cheapest: name})
+	}
+	return rows
+}

@@ -1,0 +1,120 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"medsec/internal/protocol"
+)
+
+func TestTxRxEnergyShapes(t *testing.T) {
+	m := DefaultModel()
+	// TX grows quadratically with distance.
+	e1 := m.TxEnergy(1000, 1)
+	e10 := m.TxEnergy(1000, 10)
+	e20 := m.TxEnergy(1000, 20)
+	if e10 <= e1 || e20 <= e10 {
+		t.Fatal("TX energy not increasing with distance")
+	}
+	// Amplifier component scales with d^2.
+	amp10 := e10 - m.TxEnergy(1000, 0)
+	amp20 := e20 - m.TxEnergy(1000, 0)
+	if math.Abs(amp20/amp10-4) > 1e-9 {
+		t.Fatalf("amplifier term not quadratic: ratio %.3f", amp20/amp10)
+	}
+	// RX is distance-independent and linear in bits.
+	if m.RxEnergy(2000) != 2*m.RxEnergy(1000) {
+		t.Fatal("RX not linear in bits")
+	}
+	if m.TxEnergy(0, 100) != 0 || m.RxEnergy(0) != 0 {
+		t.Fatal("zero bits should cost zero")
+	}
+}
+
+func TestLedgerEnergy(t *testing.T) {
+	m := DefaultModel()
+	costs := PaperCosts()
+	l := protocol.Ledger{PointMuls: 2, ModMuls: 1, TxBits: 100, RxBits: 50}
+	e := m.LedgerEnergy(l, 5, costs)
+	want := m.TxEnergy(100, 5) + m.RxEnergy(50) + 2*costs.PointMulJ + costs.ModMulJ
+	if math.Abs(e-want) > 1e-15 {
+		t.Fatalf("ledger energy %.4g, want %.4g", e, want)
+	}
+}
+
+func TestPaperCostsAnchor(t *testing.T) {
+	if PaperCosts().PointMulJ != 5.1e-6 {
+		t.Fatal("point multiplication cost must be the paper's 5.1 µJ")
+	}
+}
+
+func TestCrossoverExistsAndOrdersCorrectly(t *testing.T) {
+	// E7: secret-key wins near the infrastructure, public-key wins far
+	// from it; the crossover sits at a plausible ward-scale distance.
+	m := DefaultModel()
+	costs := PaperCosts()
+	sym := SymmetricKDC()
+	pk := PublicKeyLocal()
+	d, err := m.Crossover(sym, pk, costs, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 3 || d > 60 {
+		t.Fatalf("crossover at %.1f m; expected single-digit-to-tens of meters", d)
+	}
+	// Ordering on each side of the crossover.
+	if m.DeviceEnergy(sym, d/2, costs) >= m.DeviceEnergy(pk, d/2, costs) {
+		t.Fatal("symmetric option should win below the crossover")
+	}
+	if m.DeviceEnergy(sym, d*2, costs) <= m.DeviceEnergy(pk, d*2, costs) {
+		t.Fatal("public-key option should win above the crossover")
+	}
+	// The ECC option's cost is distance-independent (local link only).
+	if m.DeviceEnergy(pk, 1, costs) != m.DeviceEnergy(pk, 90, costs) {
+		t.Fatal("ECC-local energy should not depend on backhaul distance")
+	}
+}
+
+func TestCrossoverBracketValidation(t *testing.T) {
+	m := DefaultModel()
+	costs := PaperCosts()
+	pk := PublicKeyLocal()
+	// A scenario against itself costs the same everywhere.
+	if _, err := m.Crossover(pk, pk, costs, 0, 100); err == nil {
+		t.Fatal("degenerate scenario pair accepted")
+	}
+	// A strictly dominated pair has no sign change in the bracket.
+	cheap := pk
+	cheap.Ledger.PointMuls = 0
+	if _, err := m.Crossover(pk, cheap, costs, 0, 100); err == nil {
+		t.Fatal("no-crossover bracket accepted")
+	}
+}
+
+func TestSweepScenarios(t *testing.T) {
+	m := DefaultModel()
+	costs := PaperCosts()
+	sym := SymmetricKDC()
+	pk := PublicKeyLocal()
+	rows := m.SweepScenarios(sym, pk, costs, []float64{1, 5, 10, 20, 40, 80})
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Cheapest must transition from the symmetric to the PK option
+	// exactly once.
+	transitions := 0
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cheapest != rows[i-1].Cheapest {
+			transitions++
+		}
+	}
+	if transitions != 1 {
+		t.Fatalf("%d cheapest-option transitions, want exactly 1", transitions)
+	}
+	if rows[0].Cheapest != sym.Name {
+		t.Fatalf("at 1 m the symmetric option should win, got %s", rows[0].Cheapest)
+	}
+	if rows[len(rows)-1].Cheapest != pk.Name {
+		t.Fatalf("at 80 m the PK option should win, got %s", rows[len(rows)-1].Cheapest)
+	}
+}

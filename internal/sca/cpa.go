@@ -1,0 +1,414 @@
+package sca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"medsec/internal/coproc"
+	"medsec/internal/gf2m"
+	"medsec/internal/rng"
+	"medsec/internal/trace"
+)
+
+// CPAOptions configures the correlation power attack of §7: a
+// white-box evaluation in which the attacker knows the microcode and
+// the leakage model and predicts every register write of a ladder
+// iteration under both key-bit guesses.
+type CPAOptions struct {
+	// Bits is the number of scalar bits to recover.
+	Bits int
+	// KnownMasks grants the attacker the device's RPC randomness —
+	// the §7 "countermeasure enabled but the randomness is known"
+	// white-box mode.
+	KnownMasks bool
+	// KnownPrefix is the scalar-bit prefix (from bit 162 downward) the
+	// attacker assumes. Paper Algorithm 1 writes the scalar as
+	// k = (1, k_{t-2}, ..., k_0): the leading one is a public
+	// convention, so the default prefix is {0, 1} (bit 162 of a
+	// reduced scalar is zero, bit 161 is the conventional leading 1).
+	KnownPrefix []uint
+}
+
+// DefaultKnownPrefix is the Algorithm 1 scalar convention.
+func DefaultKnownPrefix() []uint { return []uint{0, 1} }
+
+// CPAResult reports a correlation power attack.
+type CPAResult struct {
+	// FirstIter is the first attacked ladder iteration.
+	FirstIter int
+	// Recovered holds the recovered bits, most significant first.
+	Recovered []uint
+	// True holds the device's actual key bits at the same positions.
+	True []uint
+	// Scores holds, per bit, the winning and losing mean |rho|.
+	Scores [][2]float64
+}
+
+// CorrectBits counts positions where the recovered bit matches.
+func (r *CPAResult) CorrectBits() int {
+	n := 0
+	for i := range r.Recovered {
+		if r.Recovered[i] == r.True[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// CorrectPrefix counts leading correct bits before the first error.
+func (r *CPAResult) CorrectPrefix() int {
+	n := 0
+	for i := range r.Recovered {
+		if r.Recovered[i] != r.True[i] {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// BitAccuracy is the fraction of recovered bits that are correct.
+func (r *CPAResult) BitAccuracy() float64 {
+	if len(r.Recovered) == 0 {
+		return 0
+	}
+	return float64(r.CorrectBits()) / float64(len(r.Recovered))
+}
+
+// Success reports whether every targeted bit was recovered.
+func (r *CPAResult) Success() bool {
+	return len(r.Recovered) > 0 && r.CorrectBits() == len(r.Recovered)
+}
+
+// mirror is the attacker's value-level model of the co-processor's six
+// working registers. The white-box attacker knows the microcode, so it
+// can replay every register write of a ladder iteration and predict
+// the write's 0->1 transition count exactly.
+type mirror struct {
+	r [6]gf2m.Element // X0, Z0, X1, Z1, T0, T1 — same allocation as the microcode
+}
+
+// newMirror reproduces the microcode initialization. lambda/mu are the
+// RPC masks (zero values => unmasked model).
+func newMirror(x, lambda, mu gf2m.Element, rpc bool) mirror {
+	var m mirror
+	if rpc && !lambda.IsZero() && !mu.IsZero() {
+		m.r[0] = lambda
+		m.r[1] = gf2m.Zero()
+		m.r[4] = mu
+		m.r[2] = gf2m.Mul(x, mu)
+		m.r[3] = mu
+	} else {
+		m.r[0] = gf2m.One()
+		m.r[1] = gf2m.Zero()
+		m.r[2] = x
+		m.r[3] = gf2m.One()
+	}
+	return m
+}
+
+func zeroToOne(old, new gf2m.Element) float64 {
+	d := gf2m.Add(old, new)
+	// Positions flipping 0->1 are flips AND new.
+	n := 0
+	for i := 0; i < gf2m.Words; i++ {
+		n += popcount(d[i] & new[i])
+	}
+	return float64(n)
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// writePred is one predicted register write: the instruction offset
+// within the iteration's microcode and the predicted 0->1 count.
+type writePred struct {
+	offset int
+	w01    float64
+}
+
+// step advances the mirror through one ladder iteration with the given
+// key-bit guess, reporting each writing instruction's offset and
+// predicted 0->1 transitions. The instruction sequence mirrors
+// BuildLadderProgram exactly (asserted by tests against the real
+// microcode).
+func (m *mirror) step(bit uint, x, b gf2m.Element, collect func(writePred)) {
+	wr := func(offset int, dst int, v gf2m.Element) {
+		if collect != nil {
+			collect(writePred{offset: offset, w01: zeroToOne(m.r[dst], v)})
+		}
+		m.r[dst] = v
+	}
+	// 0,1: CSWAP (renaming; no write power in the protected design).
+	if bit == 1 {
+		m.r[0], m.r[2] = m.r[2], m.r[0]
+		m.r[1], m.r[3] = m.r[3], m.r[1]
+	}
+	// 2: MUL T0 = X0*Z1
+	wr(2, 4, gf2m.Mul(m.r[0], m.r[3]))
+	// 3: MUL T1 = X1*Z0
+	wr(3, 5, gf2m.Mul(m.r[2], m.r[1]))
+	// 4: ADD Z1 = T0+T1
+	wr(4, 3, gf2m.Add(m.r[4], m.r[5]))
+	// 5: SQR Z1 = Z1^2
+	wr(5, 3, gf2m.Sqr(m.r[3]))
+	// 6: MUL T0 = T0*T1
+	wr(6, 4, gf2m.Mul(m.r[4], m.r[5]))
+	// 7: MUL X1 = x*Z1
+	wr(7, 2, gf2m.Mul(x, m.r[3]))
+	// 8: ADD X1 = X1+T0
+	wr(8, 2, gf2m.Add(m.r[2], m.r[4]))
+	// 9: SQR X0 = X0^2
+	wr(9, 0, gf2m.Sqr(m.r[0]))
+	// 10: SQR Z0 = Z0^2
+	wr(10, 1, gf2m.Sqr(m.r[1]))
+	// 11: MUL T1 = X0*Z0
+	wr(11, 5, gf2m.Mul(m.r[0], m.r[1]))
+	// 12: SQR X0 = X0^2
+	wr(12, 0, gf2m.Sqr(m.r[0]))
+	// 13: SQR Z0 = Z0^2
+	wr(13, 1, gf2m.Sqr(m.r[1]))
+	// 14: MUL Z0 = b*Z0
+	wr(14, 1, gf2m.Mul(b, m.r[1]))
+	// 15: ADD X0 = X0+Z0
+	wr(15, 0, gf2m.Add(m.r[0], m.r[1]))
+	// 16: MOVE Z0 = T1
+	wr(16, 1, m.r[5])
+	// 17,18: CSWAP out.
+	if bit == 1 {
+		m.r[0], m.r[2] = m.r[2], m.r[0]
+		m.r[1], m.r[3] = m.r[3], m.r[1]
+	}
+}
+
+// iterWriteSamples returns, for one ladder iteration, the within-trace
+// sample index of each writing instruction's writeback cycle, indexed
+// by instruction offset within the iteration.
+func (c *Campaign) iterWriteSamples(iter int) map[int]int {
+	out := map[int]int{}
+	spans := c.Target.prog.Spans(c.Target.Timing)
+	// Locate the iteration's first instruction index.
+	first := -1
+	for _, sp := range spans {
+		if sp.Iteration == iter {
+			first = sp.Index
+			break
+		}
+	}
+	if first < 0 {
+		return out
+	}
+	for _, sp := range spans[first:] {
+		if sp.Iteration != iter {
+			break
+		}
+		offset := sp.Index - first
+		switch sp.Op {
+		case coproc.OpMul, coproc.OpSqr, coproc.OpAdd, coproc.OpMove:
+			out[offset] = sp.End - 1 - c.Start
+		}
+	}
+	return out
+}
+
+// CPA runs the iterative white-box correlation attack: per attacked
+// bit, it replays the iteration's microcode under both guesses,
+// predicts each register write's 0->1 transitions, correlates each
+// prediction with the measured power at that write's exact cycle, and
+// keeps the guess with the higher mean |rho|. One point
+// multiplication's worth of leading bits pins down the whole scalar in
+// practice; recovering a handful of bits per campaign is the standard
+// evaluation shortcut.
+func CPA(c *Campaign, opt CPAOptions) (*CPAResult, error) {
+	if opt.Bits <= 0 {
+		return nil, errors.New("sca: CPA needs a positive bit count")
+	}
+	if opt.KnownPrefix == nil {
+		opt.KnownPrefix = DefaultKnownPrefix()
+	}
+	firstAttacked := 162 - len(opt.KnownPrefix)
+	if c.FirstIter < firstAttacked || firstAttacked-opt.Bits+1 < c.LastIter {
+		return nil, fmt.Errorf("sca: campaign window (iters %d..%d) does not cover attacked bits %d..%d",
+			c.FirstIter, c.LastIter, firstAttacked, firstAttacked-opt.Bits+1)
+	}
+	n := c.Set.Len()
+	if n < 2 {
+		return nil, errors.New("sca: need at least two traces")
+	}
+	curve := c.Target.Curve
+
+	// Verify the known prefix actually matches the device key — the
+	// evaluation harness generates keys under the Algorithm 1
+	// convention, and a silent mismatch would invalidate the result.
+	for i, pb := range opt.KnownPrefix {
+		if c.Target.Key.Bit(162-i) != pb {
+			return nil, fmt.Errorf("sca: device key violates the assumed prefix at bit %d", 162-i)
+		}
+	}
+
+	// Attacker mirrors per trace, advanced through the known prefix.
+	mirrors := make([]mirror, n)
+	for i := range mirrors {
+		var lambda, mu gf2m.Element
+		if c.Target.prog.RPC && opt.KnownMasks {
+			lambda, mu = c.Target.Masks(uint64(i))
+		}
+		mirrors[i] = newMirror(c.Points[i].X, lambda, mu, c.Target.prog.RPC)
+		for _, pb := range opt.KnownPrefix {
+			mirrors[i].step(pb, c.Points[i].X, curve.B, nil)
+		}
+	}
+
+	res := &CPAResult{FirstIter: firstAttacked}
+	for b := 0; b < opt.Bits; b++ {
+		iter := firstAttacked - b
+		writeSamples := c.iterWriteSamples(iter)
+
+		var scores [2]float64
+		states := [2][]mirror{}
+		for guess := uint(0); guess <= 1; guess++ {
+			// Per-write hypothesis vectors.
+			preds := map[int][]float64{}
+			next := make([]mirror, n)
+			for i := range mirrors {
+				next[i] = mirrors[i]
+				next[i].step(guess, c.Points[i].X, curve.B, func(w writePred) {
+					preds[w.offset] = append(preds[w.offset], w.w01)
+				})
+			}
+			states[guess] = next
+			var sum float64
+			var cnt int
+			for offset, h := range preds {
+				col, ok := writeSamples[offset]
+				if !ok || col < 0 || col >= c.Set.SampleLen() {
+					continue
+				}
+				rho, err := trace.PearsonAt(c.Set, h, col)
+				if err != nil {
+					return nil, err
+				}
+				sum += math.Abs(rho)
+				cnt++
+			}
+			if cnt > 0 {
+				scores[guess] = sum / float64(cnt)
+			}
+		}
+		bit := uint(0)
+		if scores[1] > scores[0] {
+			bit = 1
+		}
+		res.Recovered = append(res.Recovered, bit)
+		res.True = append(res.True, c.Target.Key.Bit(iter))
+		res.Scores = append(res.Scores, [2]float64{scores[bit], scores[1-bit]})
+		mirrors = states[bit]
+	}
+	return res, nil
+}
+
+// SuccessRatePoint is one point of a success-rate curve.
+type SuccessRatePoint struct {
+	Traces      int
+	SuccessRate float64
+}
+
+// SuccessRateCurve estimates the DPA success rate (fraction of
+// independent trials recovering all targeted bits) at each campaign
+// size — the standard evaluation figure of the SCA literature. Each
+// trial uses an independent key and acquisition campaign.
+func SuccessRateCurve(mk func(trial uint64) *Target, sizes []int, bits, trials int, opt CPAOptions, pointSeed uint64) ([]SuccessRatePoint, error) {
+	if trials < 1 || len(sizes) == 0 {
+		return nil, errors.New("sca: need trials and sizes")
+	}
+	if opt.KnownPrefix == nil {
+		opt.KnownPrefix = DefaultKnownPrefix()
+	}
+	opt.Bits = bits
+	wins := make([]int, len(sizes))
+	maxN := sizes[len(sizes)-1]
+	firstIter := 162 - len(opt.KnownPrefix)
+	lastIter := firstIter - bits + 1
+	for trial := 0; trial < trials; trial++ {
+		t := mk(uint64(trial))
+		// Per-trial independent point stream.
+		d := rng.NewDRBG(pointSeed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15)
+		full, err := t.AcquireCampaign(maxN, firstIter, lastIter, d.Uint64)
+		if err != nil {
+			return nil, err
+		}
+		for si, n := range sizes {
+			sub := &Campaign{
+				Target:    full.Target,
+				Set:       &trace.Set{Traces: full.Set.Traces[:n]},
+				Points:    full.Points[:n],
+				Start:     full.Start,
+				End:       full.End,
+				FirstIter: full.FirstIter,
+				LastIter:  full.LastIter,
+			}
+			res, err := CPA(sub, opt)
+			if err != nil {
+				return nil, err
+			}
+			if res.Success() {
+				wins[si]++
+			}
+		}
+	}
+	out := make([]SuccessRatePoint, len(sizes))
+	for i, n := range sizes {
+		out[i] = SuccessRatePoint{Traces: n, SuccessRate: float64(wins[i]) / float64(trials)}
+	}
+	return out, nil
+}
+
+// TracesToSuccess evaluates the CPA at increasing campaign sizes and
+// returns the smallest size at which all targeted bits are recovered,
+// or -1 (plus the largest campaign's result) if even the largest
+// fails — the outcome the paper reports for the protected chip at
+// 20 000 traces.
+func TracesToSuccess(t *Target, sizes []int, bits int, opt CPAOptions, pointSrc func() uint64) (int, *CPAResult, error) {
+	if len(sizes) == 0 {
+		return -1, nil, errors.New("sca: no campaign sizes given")
+	}
+	if opt.KnownPrefix == nil {
+		opt.KnownPrefix = DefaultKnownPrefix()
+	}
+	opt.Bits = bits
+	maxN := sizes[len(sizes)-1]
+	firstIter := 162 - len(opt.KnownPrefix)
+	lastIter := firstIter - bits + 1
+	full, err := t.AcquireCampaign(maxN, firstIter, lastIter, pointSrc)
+	if err != nil {
+		return -1, nil, err
+	}
+	var last *CPAResult
+	for _, n := range sizes {
+		sub := &Campaign{
+			Target:    full.Target,
+			Set:       &trace.Set{Traces: full.Set.Traces[:n]},
+			Points:    full.Points[:n],
+			Start:     full.Start,
+			End:       full.End,
+			FirstIter: full.FirstIter,
+			LastIter:  full.LastIter,
+		}
+		res, err := CPA(sub, opt)
+		if err != nil {
+			return -1, nil, err
+		}
+		last = res
+		if res.Success() {
+			return n, res, nil
+		}
+	}
+	return -1, last, nil
+}

@@ -1,0 +1,83 @@
+package sca
+
+import (
+	"testing"
+
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/modn"
+	"medsec/internal/power"
+	"medsec/internal/rng"
+)
+
+func leakTarget(t *testing.T, mut func(*power.Config)) (*Target, *ec.Curve, func() modn.Scalar) {
+	t.Helper()
+	curve := ec.K163()
+	key := generateKey(curve, rng.NewDRBG(51).Uint64)
+	cfg := power.ProtectedChip(51)
+	cfg.NoiseSigma = 0.05
+	if mut != nil {
+		mut(&cfg)
+	}
+	tgt := NewTarget(curve, key, coproc.ProgramOptions{RPC: true, XOnly: true},
+		coproc.DefaultTiming(), cfg, 5151)
+	src := rng.NewDRBG(52).Uint64
+	gen := func() modn.Scalar { return generateKey(curve, src) }
+	return tgt, curve, gen
+}
+
+func TestLeakageMapAttributesUnbalancedMuxToCSwap(t *testing.T) {
+	tgt, curve, gen := leakTarget(t, func(c *power.Config) { c.BalancedMux = false })
+	m, err := LeakageMap(tgt, FixedPoint(curve), 60, 160, 157, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Leaks() {
+		t.Fatal("unbalanced mux design shows no leakage")
+	}
+	byOp := m.ByOp()
+	if byOp["CSWAP"] == 0 {
+		t.Fatalf("leak not attributed to the swap muxes: %v", byOp)
+	}
+	// The strongest point must be a key-controlled CSWAP cycle.
+	top := m.Points[0]
+	if top.Op != coproc.OpCSwap || top.KeyBit < 0 {
+		t.Fatalf("strongest leak at %v (op %v), expected a CSWAP cycle", top.Cycle, top.Op)
+	}
+}
+
+func TestLeakageMapCleanOnProtectedDesign(t *testing.T) {
+	tgt, curve, gen := leakTarget(t, func(c *power.Config) { c.ResidualImbalance = 0 })
+	m, err := LeakageMap(tgt, FixedPoint(curve), 60, 160, 157, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Leaks() {
+		t.Fatalf("protected design leaks at %d cycles (max |t| %.2f, top op %v)",
+			len(m.Points), m.MaxT, m.Points[0].Op)
+	}
+	if m.Samples == 0 {
+		t.Fatal("no samples assessed")
+	}
+}
+
+func TestLeakageMapGatingAttribution(t *testing.T) {
+	tgt, curve, gen := leakTarget(t, func(c *power.Config) { c.DataDepClockGating = true })
+	m, err := LeakageMap(tgt, FixedPoint(curve), 60, 160, 157, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Leaks() {
+		t.Fatal("data-dependent clock gating shows no leakage")
+	}
+	if m.ByOp()["CSWAP"] == 0 {
+		t.Fatal("gating leak not attributed to the gated swap cycles")
+	}
+}
+
+func TestLeakageMapValidation(t *testing.T) {
+	tgt, curve, gen := leakTarget(t, nil)
+	if _, err := LeakageMap(tgt, FixedPoint(curve), 2, 160, 157, gen); err == nil {
+		t.Fatal("tiny campaign accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package sca implements the side-channel evaluation workflow of the
+// paper's Fig. 4 — chip under study → instantaneous power acquisition
+// → statistical analysis → key recovery — against the co-processor
+// simulator:
+//
+//   - CPA/DPA (§7): iterative key-bit recovery from first-order
+//     correlation between predicted ladder intermediates and measured
+//     power, in the three settings the paper evaluates (no RPC;
+//     RPC with attacker-known randomness; RPC with secret randomness);
+//   - SPA (§6/§7): single-trace classification of the conditional-swap
+//     control activity, with and without the circuit-level
+//     countermeasures, plus the profiled variant that exploits the
+//     residual layout imbalance;
+//   - timing analysis (§7): cycle-count key dependence of the constant
+//     ladder vs the double-and-add baseline;
+//   - TVLA: fixed-vs-random Welch t-test leakage assessment.
+package sca
+
+import (
+	"errors"
+
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/gf2m"
+	"medsec/internal/modn"
+	"medsec/internal/power"
+	"medsec/internal/rng"
+	"medsec/internal/trace"
+)
+
+// LabNoiseSigma is the measurement-noise floor (as a fraction of the
+// nominal 59.47 pJ cycle energy) of the Fig. 4 acquisition setup. It
+// is calibrated so that the CPA against the RPC-disabled configuration
+// needs on the order of 200 traces, the figure the paper reports.
+const LabNoiseSigma = 1.0
+
+// AlgorithmOneScalar draws a uniform scalar in the fixed-length form
+// of the paper's Algorithm 1, k = (1, k_{t-2}, ..., k_0): bit 162
+// clear (every reduced scalar's is) and bit 161 — the conventional
+// leading one — set. Devices process scalars in this form so that the
+// position of the leading one, which the complete ladder would
+// otherwise expose through its degenerate (O, P) prefix state, is
+// public by construction.
+func AlgorithmOneScalar(curve *ec.Curve, src func() uint64) modn.Scalar {
+	for {
+		k := curve.Order.Rand(src)
+		if k.Bit(162) == 1 {
+			continue
+		}
+		k[161>>6] |= 1 << (161 & 63)
+		if !k.IsZero() && k.Cmp(curve.Order.N()) < 0 {
+			return k
+		}
+	}
+}
+
+// Target is the device under attack: a co-processor with a fixed
+// secret scalar, a microcode variant, and a circuit configuration.
+type Target struct {
+	Curve  *ec.Curve
+	Key    modn.Scalar
+	Opts   coproc.ProgramOptions
+	Timing coproc.Timing
+	Power  power.Config
+	// TRNGSeed seeds the device-internal mask generator. Each trace
+	// uses an independent per-trace substream.
+	TRNGSeed uint64
+
+	prog *coproc.Program
+}
+
+// NewTarget builds a target device.
+func NewTarget(curve *ec.Curve, key modn.Scalar, opts coproc.ProgramOptions, tim coproc.Timing, pcfg power.Config, trngSeed uint64) *Target {
+	return &Target{
+		Curve:    curve,
+		Key:      key,
+		Opts:     opts,
+		Timing:   tim,
+		Power:    pcfg,
+		TRNGSeed: trngSeed,
+		prog:     coproc.BuildLadderProgram(opts),
+	}
+}
+
+// Program returns the target's microcode.
+func (t *Target) Program() *coproc.Program { return t.prog }
+
+func (t *Target) traceSeed(idx uint64) uint64 {
+	return t.TRNGSeed ^ (idx+1)*0x9e3779b97f4a7c15
+}
+
+// Masks replays the device TRNG for trace idx and returns the RPC
+// masks (λ, µ) it loaded — the "countermeasure enabled but the
+// randomness is known" white-box mode of §7. Meaningless when the
+// program does not use RPC.
+func (t *Target) Masks(idx uint64) (lambda, mu gf2m.Element) {
+	d := rng.NewDRBG(t.traceSeed(idx))
+	lambda = coproc.RandNonZeroElement(d.Uint64)
+	mu = coproc.RandNonZeroElement(d.Uint64)
+	return lambda, mu
+}
+
+// Acquire runs one point multiplication on base point p and records
+// the power over cycle window [start, end) (end <= 0: full run).
+// idx individualizes the device TRNG stream and the measurement
+// noise, as consecutive oscilloscope captures would.
+func (t *Target) Acquire(p ec.Point, start, end int, idx uint64) (trace.Trace, error) {
+	return t.AcquireWithKey(t.Key, p, start, end, idx)
+}
+
+// AcquireWithKey acquires with an explicit scalar — the TVLA
+// fixed-vs-random-key campaign needs per-trace keys.
+func (t *Target) AcquireWithKey(key modn.Scalar, p ec.Point, start, end int, idx uint64) (trace.Trace, error) {
+	cpu := coproc.NewCPU(t.Timing)
+	cpu.Rand = rng.NewDRBG(t.traceSeed(idx)).Uint64
+	pcfg := t.Power
+	pcfg.Seed ^= (idx + 1) * 0xbf58476d1ce4e5b9
+	model := power.NewModel(pcfg)
+	col := trace.NewCollector(model, start, end)
+	cpu.Probe = col.Probe()
+	cpu.SetOperandConstants(p.X, t.Curve.B, p.Y)
+	if end > 0 {
+		cpu.MaxCycles = end
+	}
+	_, err := cpu.Run(t.prog, key)
+	if err != nil && !errors.Is(err, coproc.ErrStopped) {
+		return trace.Trace{}, err
+	}
+	return col.Take(), nil
+}
+
+// Campaign is an acquisition campaign: N traces over a fixed cycle
+// window with known (attacker-chosen or at least attacker-visible)
+// input points.
+type Campaign struct {
+	Target *Target
+	Set    *trace.Set
+	Points []ec.Point
+	// Start/End are the acquisition cycle window.
+	Start, End int
+	// FirstIter/LastIter are the ladder iterations the window covers
+	// (FirstIter is processed first, i.e. the larger index).
+	FirstIter, LastIter int
+}
+
+// AcquireCampaign collects n traces with fresh random base points,
+// windowed to ladder iterations firstIter..lastIter (inclusive,
+// firstIter >= lastIter). pointSrc drives the attacker's point
+// selection.
+func (t *Target) AcquireCampaign(n int, firstIter, lastIter int, pointSrc func() uint64) (*Campaign, error) {
+	start, end := t.prog.IterationWindow(t.Timing, firstIter, lastIter)
+	c := &Campaign{
+		Target:    t,
+		Set:       &trace.Set{},
+		Start:     start,
+		End:       end,
+		FirstIter: firstIter,
+		LastIter:  lastIter,
+	}
+	for i := 0; i < n; i++ {
+		p := t.Curve.RandomPoint(pointSrc)
+		tr, err := t.Acquire(p, start, end, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		c.Set.Add(tr)
+		c.Points = append(c.Points, p)
+	}
+	return c, nil
+}
+
+// iterationSampleRange maps ladder iteration iter to the sample index
+// range [a, b) within this campaign's traces.
+func (c *Campaign) iterationSampleRange(iter int) (int, int) {
+	s, e := c.Target.prog.IterationWindow(c.Target.Timing, iter, iter)
+	return s - c.Start, e - c.Start
+}
+
+// subSet returns a view of the campaign's traces restricted to sample
+// range [a, b) (slices share backing arrays; cheap).
+func (c *Campaign) subSet(a, b int) *trace.Set {
+	out := &trace.Set{}
+	for _, tr := range c.Set.Traces {
+		out.Add(trace.Trace{Samples: tr.Samples[a:b], Iter: tr.Iter[a:b]})
+	}
+	return out
+}

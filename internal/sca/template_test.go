@@ -1,0 +1,80 @@
+package sca
+
+import (
+	"testing"
+
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/power"
+	"medsec/internal/rng"
+)
+
+func TestTemplateAttackOnResidualImbalance(t *testing.T) {
+	// The §7 scenario: the profiled attack extracts the key from the
+	// protected chip's residual layout imbalance.
+	curve := ec.K163()
+	victimKey := generateKey(curve, rng.NewDRBG(71).Uint64)
+	cfg := power.ProtectedChip(71) // balanced muxes, residual imbalance present
+	profiler := NewTarget(curve, generateKey(curve, rng.NewDRBG(72).Uint64),
+		coproc.ProgramOptions{RPC: true, XOnly: true}, coproc.DefaultTiming(), cfg, 7171)
+	victim := NewTarget(curve, victimKey,
+		coproc.ProgramOptions{RPC: true, XOnly: true}, coproc.DefaultTiming(), cfg, 7272)
+
+	tm, err := BuildTemplate(profiler, curve.Generator(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The template must see the imbalance: class means differ, and
+	// averaging enough victim traces separates them.
+	if tm.Mean1 <= tm.Mean0 {
+		t.Fatalf("template classes inverted or merged: %v vs %v", tm.Mean0, tm.Mean1)
+	}
+	if tm.Separation(200) < 3 {
+		t.Fatalf("separation at 200 averages only %.2f sigma; leak model too weak", tm.Separation(200))
+	}
+	res, err := TemplateAttack(tm, victim, curve.Generator(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy() < 0.97 {
+		t.Fatalf("template attack accuracy %.3f; the §7 profiled attack should recover the key", res.Accuracy())
+	}
+}
+
+func TestTemplateAttackFailsWithoutImbalance(t *testing.T) {
+	curve := ec.K163()
+	cfg := power.ProtectedChip(73)
+	cfg.ResidualImbalance = 0
+	profiler := NewTarget(curve, generateKey(curve, rng.NewDRBG(74).Uint64),
+		coproc.ProgramOptions{RPC: true, XOnly: true}, coproc.DefaultTiming(), cfg, 7373)
+	victim := NewTarget(curve, generateKey(curve, rng.NewDRBG(75).Uint64),
+		coproc.ProgramOptions{RPC: true, XOnly: true}, coproc.DefaultTiming(), cfg, 7474)
+	tm, err := BuildTemplate(profiler, curve.Generator(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TemplateAttack(tm, victim, curve.Generator(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy() > 0.75 {
+		t.Fatalf("template attack succeeded (%.3f) with zero imbalance", res.Accuracy())
+	}
+}
+
+func TestTemplateValidation(t *testing.T) {
+	curve := ec.K163()
+	tgt := newDPATarget(t, true, 76)
+	if _, err := BuildTemplate(tgt, curve.Generator(), 1); err == nil {
+		t.Fatal("single-trace profiling accepted")
+	}
+	tm := &Template{Mean0: 0, Mean1: 1, Sigma: 0}
+	if sep := tm.Separation(10); sep != sepInf() {
+		t.Fatal("zero-sigma separation should be +Inf")
+	}
+	if _, err := TemplateAttack(tm, tgt, curve.Generator(), 0); err == nil {
+		t.Fatal("zero victim traces accepted")
+	}
+}
+
+func sepInf() float64 { return (&Template{Mean0: 0, Mean1: 1}).Separation(1) }

@@ -1,0 +1,90 @@
+// Package threshold implements Shamir secret sharing over the curve's
+// scalar field — the paper's pointer to threshold cryptography for
+// lightweight devices ("options … based on threshold cryptography
+// [18]: sharing a secret with devices that cannot store shares"): a
+// tag's long-term key can be split so that no single storage location
+// (device NVM, backend record, clinician token) holds it entirely.
+package threshold
+
+import (
+	"errors"
+	"fmt"
+
+	"medsec/internal/modn"
+)
+
+// Share is one point (x, y) on the sharing polynomial; X is the
+// share index (never zero — index zero is the secret itself).
+type Share struct {
+	X uint64
+	Y modn.Scalar
+}
+
+// Split shares secret into n shares with reconstruction threshold t
+// (any t of the n shares recover the secret; t-1 reveal nothing,
+// information-theoretically).
+func Split(secret modn.Scalar, m *modn.Modulus, t, n int, src func() uint64) ([]Share, error) {
+	if t < 1 || n < t {
+		return nil, errors.New("threshold: need 1 <= t <= n")
+	}
+	if uint64(n) >= 1<<32 {
+		return nil, errors.New("threshold: too many shares")
+	}
+	if secret.Cmp(m.N()) >= 0 {
+		return nil, errors.New("threshold: secret not reduced")
+	}
+	// Polynomial f(x) = secret + c1 x + ... + c_{t-1} x^{t-1}.
+	coeffs := make([]modn.Scalar, t)
+	coeffs[0] = secret
+	for i := 1; i < t; i++ {
+		coeffs[i] = m.Rand(src)
+	}
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		x := uint64(i + 1)
+		// Horner evaluation at x.
+		y := modn.Zero()
+		xs := modn.FromUint64(x)
+		for j := t - 1; j >= 0; j-- {
+			y = m.Add(m.Mul(y, xs), coeffs[j])
+		}
+		shares[i] = Share{X: x, Y: y}
+	}
+	return shares, nil
+}
+
+// Combine reconstructs the secret from exactly t distinct shares via
+// Lagrange interpolation at zero.
+func Combine(shares []Share, m *modn.Modulus) (modn.Scalar, error) {
+	if len(shares) == 0 {
+		return modn.Scalar{}, errors.New("threshold: no shares")
+	}
+	seen := map[uint64]bool{}
+	for _, s := range shares {
+		if s.X == 0 {
+			return modn.Scalar{}, errors.New("threshold: share index zero")
+		}
+		if seen[s.X] {
+			return modn.Scalar{}, fmt.Errorf("threshold: duplicate share index %d", s.X)
+		}
+		seen[s.X] = true
+	}
+	secret := modn.Zero()
+	for i, si := range shares {
+		// lambda_i = prod_{j != i} x_j / (x_j - x_i)  evaluated mod n.
+		num := modn.One()
+		den := modn.One()
+		xi := modn.FromUint64(si.X)
+		for j, sj := range shares {
+			if i == j {
+				continue
+			}
+			xj := modn.FromUint64(sj.X)
+			num = m.Mul(num, xj)
+			den = m.Mul(den, m.Sub(xj, xi))
+		}
+		lambda := m.Mul(num, m.Inv(den))
+		secret = m.Add(secret, m.Mul(si.Y, lambda))
+	}
+	return secret, nil
+}

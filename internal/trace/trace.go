@@ -1,0 +1,345 @@
+// Package trace implements power-trace acquisition from the
+// co-processor simulator and the statistics the side-channel workflow
+// of the paper's Fig. 4 needs: per-sample means/variances, Welch's
+// t-test (TVLA leakage assessment), difference of means (classic DPA),
+// and Pearson correlation (CPA).
+//
+// A Trace is the simulated counterpart of one oscilloscope capture:
+// one power sample per clock cycle over a configurable cycle window.
+package trace
+
+import (
+	"errors"
+	"math"
+
+	"medsec/internal/coproc"
+	"medsec/internal/power"
+)
+
+// Trace is one acquisition: power samples for consecutive clock
+// cycles, plus the ladder-iteration index of each sample so attacks
+// can segment by iteration.
+type Trace struct {
+	// Samples holds instantaneous power (watts), one per cycle.
+	Samples []float64
+	// Iter holds the ladder iteration of each sample (-1 outside the
+	// ladder loop). Aligned with Samples.
+	Iter []int32
+	// StartCycle is the global cycle index of Samples[0].
+	StartCycle int
+}
+
+// SegmentByIteration returns the half-open sample ranges
+// [start, end) of each ladder iteration present in the trace, keyed by
+// iteration index.
+func (t *Trace) SegmentByIteration() map[int][2]int {
+	seg := map[int][2]int{}
+	for i, it := range t.Iter {
+		if it < 0 {
+			continue
+		}
+		r, ok := seg[int(it)]
+		if !ok {
+			seg[int(it)] = [2]int{i, i + 1}
+			continue
+		}
+		r[1] = i + 1
+		seg[int(it)] = r
+	}
+	return seg
+}
+
+// Collector is a coproc.Probe that records a power trace through a
+// power model over a cycle window.
+type Collector struct {
+	Model *power.Model
+	// Start and End bound the recorded cycle window [Start, End);
+	// End <= 0 records to the end of the run.
+	Start, End int
+
+	trace Trace
+}
+
+// NewCollector creates a collector over the given model and window.
+func NewCollector(model *power.Model, start, end int) *Collector {
+	return &Collector{Model: model, Start: start, End: end}
+}
+
+// Probe returns the probe to attach to a CPU.
+func (c *Collector) Probe() coproc.Probe {
+	c.trace = Trace{StartCycle: c.Start}
+	return func(ev *coproc.CycleEvent) {
+		if ev.Cycle < c.Start || (c.End > 0 && ev.Cycle >= c.End) {
+			// The model still consumes noise samples outside the
+			// window so that windowing does not shift the noise
+			// stream; a real scope also keeps sampling.
+			_ = c.Model.CycleEnergy(ev)
+			return
+		}
+		c.trace.Samples = append(c.trace.Samples, c.Model.CyclePower(ev))
+		c.trace.Iter = append(c.trace.Iter, int32(ev.Iteration))
+	}
+}
+
+// Take returns the recorded trace and resets the collector.
+func (c *Collector) Take() Trace {
+	tr := c.trace
+	c.trace = Trace{}
+	return tr
+}
+
+// Set is a collection of equal-length traces (one acquisition
+// campaign).
+type Set struct {
+	Traces []Trace
+}
+
+// ErrEmptySet is returned by statistics over empty or misshapen sets.
+var ErrEmptySet = errors.New("trace: empty or ragged trace set")
+
+// Len returns the number of traces.
+func (s *Set) Len() int { return len(s.Traces) }
+
+// Add appends a trace.
+func (s *Set) Add(t Trace) { s.Traces = append(s.Traces, t) }
+
+// SampleLen returns the per-trace sample count, or 0 for an empty set.
+func (s *Set) SampleLen() int {
+	if len(s.Traces) == 0 {
+		return 0
+	}
+	return len(s.Traces[0].Samples)
+}
+
+// validate checks the set is non-empty and rectangular.
+func (s *Set) validate() error {
+	if len(s.Traces) == 0 || len(s.Traces[0].Samples) == 0 {
+		return ErrEmptySet
+	}
+	n := len(s.Traces[0].Samples)
+	for _, t := range s.Traces {
+		if len(t.Samples) != n {
+			return ErrEmptySet
+		}
+	}
+	return nil
+}
+
+// MeanTrace returns the per-sample mean across the set.
+func (s *Set) MeanTrace() ([]float64, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	n := s.SampleLen()
+	mean := make([]float64, n)
+	for _, t := range s.Traces {
+		for i, v := range t.Samples {
+			mean[i] += v
+		}
+	}
+	inv := 1 / float64(len(s.Traces))
+	for i := range mean {
+		mean[i] *= inv
+	}
+	return mean, nil
+}
+
+// meanVar returns per-sample mean and (population) variance.
+func (s *Set) meanVar() (mean, variance []float64, err error) {
+	mean, err = s.MeanTrace()
+	if err != nil {
+		return nil, nil, err
+	}
+	variance = make([]float64, len(mean))
+	for _, t := range s.Traces {
+		for i, v := range t.Samples {
+			d := v - mean[i]
+			variance[i] += d * d
+		}
+	}
+	inv := 1 / float64(len(s.Traces))
+	for i := range variance {
+		variance[i] *= inv
+	}
+	return mean, variance, nil
+}
+
+// WelchT computes the per-sample Welch t-statistic between two sets —
+// the TVLA fixed-vs-random leakage test. |t| > 4.5 is the customary
+// evidence-of-leakage threshold.
+func WelchT(a, b *Set) ([]float64, error) {
+	ma, va, err := a.meanVar()
+	if err != nil {
+		return nil, err
+	}
+	mb, vb, err := b.meanVar()
+	if err != nil {
+		return nil, err
+	}
+	if len(ma) != len(mb) {
+		return nil, ErrEmptySet
+	}
+	na, nb := float64(a.Len()), float64(b.Len())
+	out := make([]float64, len(ma))
+	for i := range ma {
+		denom := math.Sqrt(va[i]/na + vb[i]/nb)
+		if denom == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = (ma[i] - mb[i]) / denom
+	}
+	return out, nil
+}
+
+// DiffOfMeans computes the per-sample difference of means between the
+// traces selected by part (true) and the rest — the original DPA
+// statistic of Kocher, Jaffe and Jun [8].
+func DiffOfMeans(s *Set, part []bool) ([]float64, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if len(part) != s.Len() {
+		return nil, errors.New("trace: partition length mismatch")
+	}
+	n := s.SampleLen()
+	sum1 := make([]float64, n)
+	sum0 := make([]float64, n)
+	c1, c0 := 0, 0
+	for ti, t := range s.Traces {
+		if part[ti] {
+			c1++
+			for i, v := range t.Samples {
+				sum1[i] += v
+			}
+		} else {
+			c0++
+			for i, v := range t.Samples {
+				sum0[i] += v
+			}
+		}
+	}
+	if c1 == 0 || c0 == 0 {
+		return nil, errors.New("trace: degenerate partition")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = sum1[i]/float64(c1) - sum0[i]/float64(c0)
+	}
+	return out, nil
+}
+
+// Pearson computes the per-sample Pearson correlation between the
+// hypothesis vector h (one prediction per trace) and the measured
+// power — the CPA statistic.
+func Pearson(s *Set, h []float64) ([]float64, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if len(h) != s.Len() {
+		return nil, errors.New("trace: hypothesis length mismatch")
+	}
+	n := s.SampleLen()
+	nt := float64(s.Len())
+	var hMean float64
+	for _, v := range h {
+		hMean += v
+	}
+	hMean /= nt
+	var hVar float64
+	for _, v := range h {
+		d := v - hMean
+		hVar += d * d
+	}
+	mean, variance, err := s.meanVar()
+	if err != nil {
+		return nil, err
+	}
+	cov := make([]float64, n)
+	for ti, t := range s.Traces {
+		hd := h[ti] - hMean
+		for i, v := range t.Samples {
+			cov[i] += hd * (v - mean[i])
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		denom := math.Sqrt(hVar * variance[i] * nt)
+		if denom == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = cov[i] / denom
+	}
+	return out, nil
+}
+
+// PearsonAt computes the Pearson correlation between the hypothesis
+// vector h and the single sample column col — the CPA statistic at a
+// known point of interest (e.g. a specific writeback cycle).
+func PearsonAt(s *Set, h []float64, col int) (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	if len(h) != s.Len() {
+		return 0, errors.New("trace: hypothesis length mismatch")
+	}
+	if col < 0 || col >= s.SampleLen() {
+		return 0, errors.New("trace: column out of range")
+	}
+	n := float64(s.Len())
+	var sh, sx, shh, sxx, shx float64
+	for ti, t := range s.Traces {
+		x := t.Samples[col]
+		sh += h[ti]
+		sx += x
+		shh += h[ti] * h[ti]
+		sxx += x * x
+		shx += h[ti] * x
+	}
+	cov := shx - sh*sx/n
+	vh := shh - sh*sh/n
+	vx := sxx - sx*sx/n
+	if vh <= 0 || vx <= 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(vh*vx), nil
+}
+
+// MaxAbs returns the maximum absolute value in xs and its index;
+// (0, -1) for empty input.
+func MaxAbs(xs []float64) (float64, int) {
+	best, idx := 0.0, -1
+	for i, v := range xs {
+		if a := math.Abs(v); a > best {
+			best, idx = a, i
+		}
+	}
+	return best, idx
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

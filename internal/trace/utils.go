@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"errors"
+	"math"
+)
+
+// Decimate reduces a trace by averaging groups of `factor` samples —
+// the scope-side decimation a real acquisition pipeline applies when
+// the full sample rate exceeds what the statistics need. Iteration
+// labels follow the first sample of each group.
+func Decimate(t Trace, factor int) (Trace, error) {
+	if factor < 1 {
+		return Trace{}, errors.New("trace: decimation factor must be >= 1")
+	}
+	if factor == 1 {
+		return t, nil
+	}
+	n := len(t.Samples) / factor
+	out := Trace{
+		Samples:    make([]float64, n),
+		Iter:       make([]int32, n),
+		StartCycle: t.StartCycle,
+	}
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < factor; j++ {
+			s += t.Samples[i*factor+j]
+		}
+		out.Samples[i] = s / float64(factor)
+		out.Iter[i] = t.Iter[i*factor]
+	}
+	return out, nil
+}
+
+// Shift returns a copy of t delayed by `shift` samples (positive:
+// samples move to higher indices; the head is padded with the first
+// value). Used to model trigger jitter in alignment tests.
+func Shift(t Trace, shift int) Trace {
+	n := len(t.Samples)
+	out := Trace{
+		Samples:    make([]float64, n),
+		Iter:       append([]int32(nil), t.Iter...),
+		StartCycle: t.StartCycle,
+	}
+	for i := 0; i < n; i++ {
+		j := i - shift
+		switch {
+		case j < 0:
+			out.Samples[i] = t.Samples[0]
+		case j >= n:
+			out.Samples[i] = t.Samples[n-1]
+		default:
+			out.Samples[i] = t.Samples[j]
+		}
+	}
+	return out
+}
+
+// Align estimates the shift of t relative to ref by maximizing the
+// cross-correlation over [-maxShift, +maxShift], and returns the
+// re-aligned trace together with the detected shift. Real setups need
+// this because scope triggers jitter; the simulator's traces are
+// perfectly aligned, which the tests exploit as ground truth.
+func Align(ref, t Trace, maxShift int) (Trace, int, error) {
+	if len(ref.Samples) != len(t.Samples) || len(ref.Samples) == 0 {
+		return Trace{}, 0, errors.New("trace: alignment needs equal-length traces")
+	}
+	if maxShift < 0 || maxShift >= len(ref.Samples) {
+		return Trace{}, 0, errors.New("trace: invalid shift bound")
+	}
+	// Candidate d means "t is ref delayed by d": t[i+d] ~ ref[i].
+	best, bestShift := math.Inf(-1), 0
+	for d := -maxShift; d <= maxShift; d++ {
+		var c float64
+		for i := range ref.Samples {
+			j := i + d
+			if j < 0 || j >= len(t.Samples) {
+				continue
+			}
+			c += ref.Samples[i] * t.Samples[j]
+		}
+		if c > best {
+			best, bestShift = c, d
+		}
+	}
+	return Shift(t, -bestShift), bestShift, nil
+}
+
+// SNR computes the classic side-channel signal-to-noise ratio per
+// sample: Var over groups of the group means (signal) divided by the
+// mean over groups of the within-group variances (noise). labels
+// assigns each trace to a group (e.g. a predicted intermediate value
+// class).
+func SNR(s *Set, labels []int) ([]float64, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if len(labels) != s.Len() {
+		return nil, errors.New("trace: labels length mismatch")
+	}
+	groups := map[int][]int{}
+	for i, l := range labels {
+		groups[l] = append(groups[l], i)
+	}
+	if len(groups) < 2 {
+		return nil, errors.New("trace: SNR needs at least two groups")
+	}
+	n := s.SampleLen()
+	out := make([]float64, n)
+	for col := 0; col < n; col++ {
+		var means []float64
+		var noise float64
+		for _, idxs := range groups {
+			var m, v float64
+			for _, ti := range idxs {
+				m += s.Traces[ti].Samples[col]
+			}
+			m /= float64(len(idxs))
+			for _, ti := range idxs {
+				d := s.Traces[ti].Samples[col] - m
+				v += d * d
+			}
+			v /= float64(len(idxs))
+			means = append(means, m)
+			noise += v
+		}
+		noise /= float64(len(groups))
+		var gm, gv float64
+		for _, m := range means {
+			gm += m
+		}
+		gm /= float64(len(means))
+		for _, m := range means {
+			d := m - gm
+			gv += d * d
+		}
+		gv /= float64(len(means))
+		if noise == 0 {
+			if gv == 0 {
+				out[col] = 0
+			} else {
+				out[col] = math.Inf(1)
+			}
+			continue
+		}
+		out[col] = gv / noise
+	}
+	return out, nil
+}

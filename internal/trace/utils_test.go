@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"medsec/internal/rng"
+)
+
+func TestDecimate(t *testing.T) {
+	tr := Trace{
+		Samples: []float64{1, 3, 5, 7, 9, 11, 2},
+		Iter:    []int32{0, 0, 1, 1, 2, 2, 3},
+	}
+	out, err := Decimate(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 10}
+	if len(out.Samples) != 3 {
+		t.Fatalf("got %d samples", len(out.Samples))
+	}
+	for i, v := range want {
+		if out.Samples[i] != v {
+			t.Fatalf("sample %d = %v, want %v", i, out.Samples[i], v)
+		}
+	}
+	if out.Iter[0] != 0 || out.Iter[1] != 1 || out.Iter[2] != 2 {
+		t.Fatal("iteration labels wrong")
+	}
+	// Factor 1 is identity; factor 0 rejected.
+	if same, _ := Decimate(tr, 1); len(same.Samples) != len(tr.Samples) {
+		t.Fatal("factor 1 not identity")
+	}
+	if _, err := Decimate(tr, 0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+}
+
+func TestShiftAndAlign(t *testing.T) {
+	g := rng.NewGaussian(1)
+	n := 400
+	ref := Trace{Samples: make([]float64, n), Iter: make([]int32, n)}
+	for i := range ref.Samples {
+		ref.Samples[i] = g.Sample()
+	}
+	// A distinctive burst so correlation has something to lock onto.
+	for i := 100; i < 120; i++ {
+		ref.Samples[i] += 8
+	}
+	for _, trueShift := range []int{-7, -1, 0, 3, 12} {
+		shifted := Shift(ref, trueShift)
+		aligned, detected, err := Align(ref, shifted, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if detected != trueShift {
+			t.Fatalf("detected shift %d, want %d", detected, trueShift)
+		}
+		// After alignment the burst region must match exactly
+		// (interior samples are unaffected by edge padding).
+		for i := 150; i < 250; i++ {
+			if math.Abs(aligned.Samples[i]-ref.Samples[i]) > 1e-12 {
+				t.Fatalf("alignment failed at %d for shift %d", i, trueShift)
+			}
+		}
+	}
+	// Validation.
+	if _, _, err := Align(ref, Trace{Samples: []float64{1}}, 5); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := Align(ref, ref, n+1); err == nil {
+		t.Fatal("excessive shift bound accepted")
+	}
+}
+
+func TestSNRLocatesSignal(t *testing.T) {
+	g := rng.NewGaussian(2)
+	set := &Set{}
+	labels := make([]int, 600)
+	for i := 0; i < 600; i++ {
+		label := i % 3
+		labels[i] = label
+		tr := Trace{Samples: make([]float64, 5)}
+		for j := range tr.Samples {
+			tr.Samples[j] = g.Sample()
+		}
+		tr.Samples[2] += float64(label) * 2 // signal at sample 2
+		set.Add(tr)
+	}
+	snr, err := SNR(set, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, idx := MaxAbs(snr)
+	if idx != 2 {
+		t.Fatalf("SNR peak at sample %d, want 2", idx)
+	}
+	if best < 1 {
+		t.Fatalf("peak SNR %.2f too low for a 2-sigma signal", best)
+	}
+	for j, v := range snr {
+		if j != 2 && v > 0.2 {
+			t.Fatalf("noise-only sample %d has SNR %.2f", j, v)
+		}
+	}
+}
+
+func TestSNRValidation(t *testing.T) {
+	set := &Set{}
+	set.Add(Trace{Samples: []float64{1}})
+	set.Add(Trace{Samples: []float64{2}})
+	if _, err := SNR(set, []int{0}); err == nil {
+		t.Fatal("label length mismatch accepted")
+	}
+	if _, err := SNR(set, []int{0, 0}); err == nil {
+		t.Fatal("single group accepted")
+	}
+	// Zero noise, nonzero signal: +Inf.
+	snr, err := SNR(set, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(snr[0], 1) {
+		t.Fatalf("noise-free distinct groups should be +Inf, got %v", snr[0])
+	}
+}
