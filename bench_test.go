@@ -11,9 +11,11 @@
 package medsec_test
 
 import (
+	"fmt"
 	"testing"
 
 	"medsec/internal/area"
+	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/core"
 	"medsec/internal/ec"
@@ -362,6 +364,43 @@ func BenchmarkE12_TVLA(b *testing.B) {
 	b.ReportMetric(unprot, "maxT-unprotected")
 	b.ReportMetric(prot, "maxT-protected")
 	b.ReportMetric(sca.TVLAThreshold, "threshold")
+}
+
+// BenchmarkCampaignEngine pits the serial (1-worker) acquisition path
+// against the parallel campaign engine on the same 250-traces/set TVLA
+// campaign. The determinism contract (internal/campaign) guarantees
+// both runs produce bit-identical statistics — the reported maxT must
+// match across sub-benchmarks; only traces/s changes.
+func BenchmarkCampaignEngine(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		curve := ec.K163()
+		var maxT float64
+		var traces int
+		for i := 0; i < b.N; i++ {
+			key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
+			src := rng.NewDRBG(5).Uint64
+			gen := func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) }
+			pcfg := power.ProtectedChip(1)
+			pcfg.NoiseSigma = sca.LabNoiseSigma
+			tgt := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: true, XOnly: true},
+				coproc.DefaultTiming(), pcfg, 11)
+			tgt.Workers = workers
+			res, err := sca.TVLA(tgt, sca.FixedPoint(curve), 500, 160, 157, gen)
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxT = res.MaxT
+			traces += 2 * res.TracesPerSet
+		}
+		b.ReportMetric(maxT, "maxT(identical)")
+		b.ReportMetric(float64(traces)/b.Elapsed().Seconds(), "traces/s")
+	}
+	par := campaign.Workers(0)
+	if par < 2 {
+		par = 2 // even on one core, exercise the multi-worker path
+	}
+	b.Run("serial-1-worker", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d-workers", par), func(b *testing.B) { run(b, par) })
 }
 
 // BenchmarkE14_FaultCampaign: random single-bit glitches against the

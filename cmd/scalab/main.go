@@ -1,15 +1,22 @@
 // Command scalab runs the side-channel evaluation workflow of the
 // paper's Fig. 4 against the simulated co-processor:
 //
-//	scalab dpa    [-traces 20000] [-bits 6] [-rpc=true] [-known-masks=false]
-//	scalab spa    [-balanced=true] [-gating=false] [-profile 0]
+//	scalab dpa    [-traces 20000] [-bits 6] [-rpc=true] [-known-masks=false] [-workers 0]
+//	scalab spa    [-balanced=true] [-gating=false] [-profile 0] [-workers 0]
 //	scalab timing [-keys 1000]
-//	scalab tvla   [-traces 500] [-rpc=true]
+//	scalab tvla   [-traces 500] [-rpc=true] [-early=false] [-workers 0]
+//	scalab leakmap [-traces 200] [-workers 0]
 //
 // The dpa subcommand with default flags reproduces the §7 statement
 // that 20 000 traces do not reveal a single key bit when randomized
 // projective coordinates are enabled; with -rpc=false it finds the
 // ~200-trace success point.
+//
+// Acquisition campaigns fan out over the parallel campaign engine
+// (-workers 0 selects GOMAXPROCS); results are bit-identical for any
+// worker count, so -workers only changes wall-clock time. Campaign
+// throughput (traces/s and simulated cycles/s) is printed after the
+// dpa and tvla runs.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
@@ -69,6 +77,44 @@ func newTarget(rpc bool, seed uint64, mut func(*power.Config)) (*sca.Target, *ec
 		coproc.DefaultTiming(), pcfg, seed+99), curve
 }
 
+// workersFlag registers the shared -workers flag.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "acquisition workers (0 = GOMAXPROCS); any value gives bit-identical results")
+}
+
+// meter wires a progress line onto a target and accounts campaign
+// throughput: acquired trace count (via the engine's progress
+// callback) and wall-clock time.
+type meter struct {
+	start    time.Time
+	acquired int
+}
+
+func newMeter(tgt *sca.Target) *meter {
+	m := &meter{start: time.Now()}
+	tgt.Progress = func(done int) {
+		m.acquired = done
+		if done%200 == 0 {
+			fmt.Fprintf(os.Stderr, "\racquired %d traces...", done)
+		}
+	}
+	return m
+}
+
+// report prints campaign throughput: traces/s and simulated cycles/s
+// (cyclesPerTrace is the acquisition window end — every trace
+// simulates the ladder from cycle 0 through the window).
+func (m *meter) report(cyclesPerTrace int) {
+	fmt.Fprint(os.Stderr, "\r\033[K")
+	el := time.Since(m.start)
+	if m.acquired == 0 || el <= 0 {
+		return
+	}
+	sec := el.Seconds()
+	fmt.Printf("\ncampaign throughput: %d traces in %.2fs (%.0f traces/s, %.2e simulated cycles/s)\n",
+		m.acquired, sec, float64(m.acquired)/sec, float64(m.acquired)*float64(cyclesPerTrace)/sec)
+}
+
 func dpaCmd(args []string) {
 	fs := flag.NewFlagSet("dpa", flag.ExitOnError)
 	traces := fs.Int("traces", 20000, "maximum campaign size")
@@ -76,9 +122,11 @@ func dpaCmd(args []string) {
 	rpc := fs.Bool("rpc", true, "randomized projective coordinates enabled")
 	known := fs.Bool("known-masks", false, "white-box: attacker knows the RPC randomness")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	tgt, _ := newTarget(*rpc, *seed, nil)
+	tgt.Workers = *workers
 	sizes := []int{}
 	for _, s := range []int{25, 50, 100, 150, 200, 300, 450, 700, 1000, 2000, 4000, 8000, 12000, 20000} {
 		if s <= *traces {
@@ -90,6 +138,7 @@ func dpaCmd(args []string) {
 	}
 	fmt.Printf("DPA/CPA: RPC=%v known-masks=%v, recovering %d bits, up to %d traces\n",
 		*rpc, *known, *bits, *traces)
+	m := newMeter(tgt)
 	n, res, err := sca.TracesToSuccess(tgt, sizes, *bits,
 		sca.CPAOptions{KnownMasks: *known}, rng.NewDRBG(*seed+5).Uint64)
 	if err != nil {
@@ -107,6 +156,9 @@ func dpaCmd(args []string) {
 	t.Row("true bits", fmt.Sprint(res.True))
 	t.Row("bit accuracy", fmt.Sprintf("%.2f", res.BitAccuracy()))
 	t.Render(os.Stdout)
+	firstIter := 162 - len(sca.DefaultKnownPrefix())
+	_, end := tgt.Window(firstIter, firstIter-*bits+1)
+	m.report(end)
 }
 
 func spaCmd(args []string) {
@@ -115,6 +167,7 @@ func spaCmd(args []string) {
 	gating := fs.Bool("gating", false, "data-dependent clock gating")
 	profile := fs.Int("profile", 0, "profiling traces to average (0 = single trace)")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	tgt, curve := newTarget(true, *seed, func(c *power.Config) {
@@ -122,6 +175,7 @@ func spaCmd(args []string) {
 		c.DataDepClockGating = *gating
 		c.NoiseSigma = 0.03
 	})
+	tgt.Workers = *workers
 	var res *sca.SPAResult
 	var err error
 	if *profile > 1 {
@@ -167,6 +221,7 @@ func leakmapCmd(args []string) {
 	gating := fs.Bool("gating", false, "data-dependent clock gating")
 	residual := fs.Float64("residual", 0.004, "residual layout imbalance")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	tgt, curve := newTarget(true, *seed, func(c *power.Config) {
@@ -175,6 +230,7 @@ func leakmapCmd(args []string) {
 		c.ResidualImbalance = *residual
 		c.NoiseSigma = 0.05
 	})
+	tgt.Workers = *workers
 	src := rng.NewDRBG(*seed + 3).Uint64
 	m, err := sca.LeakageMap(tgt, sca.FixedPoint(curve), *traces, 160, 157,
 		func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) })
@@ -209,19 +265,32 @@ func tvlaCmd(args []string) {
 	fs := flag.NewFlagSet("tvla", flag.ExitOnError)
 	traces := fs.Int("traces", 500, "traces per set")
 	rpc := fs.Bool("rpc", true, "randomized projective coordinates enabled")
+	early := fs.Bool("early", false, "stop as soon as |t| crosses the threshold")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	tgt, curve := newTarget(*rpc, *seed, nil)
+	tgt.Workers = *workers
 	src := rng.NewDRBG(*seed + 9).Uint64
-	res, err := sca.TVLA(tgt, sca.FixedPoint(curve), *traces, 160, 157,
-		func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) })
+	randKey := func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) }
+	m := newMeter(tgt)
+	var res *sca.TVLAResult
+	var err error
+	if *early {
+		res, err = sca.TVLAUntil(tgt, sca.FixedPoint(curve), *traces, 10, 160, 157, randKey)
+	} else {
+		res, err = sca.TVLA(tgt, sca.FixedPoint(curve), *traces, 160, 157, randKey)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	t := tabular.New("metric", "value")
 	t.Row("RPC", *rpc)
 	t.Row("traces per set", res.TracesPerSet)
+	if res.EarlyStopped {
+		t.Row("early stop", "yes (threshold crossed)")
+	}
 	t.Row("max |t|", fmt.Sprintf("%.2f", res.MaxT))
 	t.Row("threshold", sca.TVLAThreshold)
 	t.Row("samples over threshold", res.LeakyPoints)
@@ -231,4 +300,5 @@ func tvlaCmd(args []string) {
 	}
 	t.Row("verdict", verdict)
 	t.Render(os.Stdout)
+	m.report(res.CyclesPerTrace)
 }

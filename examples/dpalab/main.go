@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 
+	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/power"
@@ -31,6 +32,9 @@ func main() {
 	lab := power.ProtectedChip(1)
 	lab.NoiseSigma = sca.LabNoiseSigma
 
+	// Acquisitions fan out over the parallel campaign engine; the
+	// results below are bit-identical for any worker count.
+	fmt.Printf("acquisition: parallel campaign engine, %d worker(s)\n\n", campaign.Workers(0))
 	target := func(rpc bool) *sca.Target {
 		return sca.NewTarget(curve, key,
 			coproc.ProgramOptions{RPC: rpc, XOnly: true},

@@ -1,0 +1,203 @@
+// Package campaign is the deterministic, parallel trace-acquisition
+// engine behind the side-channel experiments. The serial workflow —
+// one ~86 000-cycle simulator pass per trace, every trace retained in
+// a trace.Set before any statistic is computed — is replaced by a
+// three-stage pipeline:
+//
+//	prepare (serial, index order)  →  acquire (worker pool)  →  consume (serial, index order)
+//
+// Determinism contract (the property every test in internal/sca pins):
+//
+//   - prepare(idx) runs on a single dispatcher goroutine in strictly
+//     increasing index order, so it may draw from shared stateful RNG
+//     streams (attacker point selection, per-trace random keys) exactly
+//     as the serial loop did;
+//   - acquire(worker, idx, job) must be a pure function of (idx, job):
+//     every per-trace random substream (device TRNG, measurement noise)
+//     derives from the trace index, never from worker identity or
+//     scheduling. The worker id exists only so workers can own scratch
+//     state (a coproc CPU, reset per trace);
+//   - consume(idx, job, tr) runs on the caller's goroutine in strictly
+//     increasing index order, fed through a small reorder buffer.
+//
+// Under this contract the consumed sequence — and therefore every
+// streaming statistic folded over it — is bit-identical for any worker
+// count, while memory stays O(workers·window) instead of O(n·window).
+//
+// Early stopping: consume may return stop=true (e.g. |t| > 4.5 reached,
+// CPA scores separated) and the engine halts after that trace; the
+// consumed prefix is still identical across worker counts. Note that
+// after an early stop, prepare may already have run for up to
+// O(workers) indices past the stopping point — callers sharing an RNG
+// stream across separate campaigns should not combine that sharing
+// with early stopping.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+
+	"medsec/internal/trace"
+)
+
+// MaxWorkers caps the pool: campaign throughput saturates the memory
+// hierarchy well before this, and the reorder buffer grows with the
+// worker count.
+const MaxWorkers = 64
+
+// Workers resolves a requested worker count: values <= 0 select
+// GOMAXPROCS, and the result is clamped to [1, MaxWorkers].
+func Workers(requested int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > MaxWorkers {
+		w = MaxWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Config tunes one engine run.
+type Config struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS (capped at
+	// MaxWorkers).
+	Workers int
+	// Progress, when non-nil, is invoked from the consuming goroutine
+	// after each consumed trace with the absolute index+1 — campaign
+	// progress reporting for the long acquisitions.
+	Progress func(done int)
+}
+
+// PrepareFunc builds the job for trace idx. Called serially in index
+// order; may draw from shared stateful streams.
+type PrepareFunc[J any] func(idx int) (J, error)
+
+// AcquireFunc runs one simulated acquisition. Called concurrently;
+// must depend only on (idx, job). worker identifies the calling worker
+// for worker-owned scratch state.
+type AcquireFunc[J any] func(worker, idx int, job J) (trace.Trace, error)
+
+// ConsumeFunc folds one completed trace into the campaign statistics.
+// Called serially in index order; returning stop=true ends the run
+// after this trace.
+type ConsumeFunc[J any] func(idx int, job J, tr trace.Trace) (stop bool, err error)
+
+type item[J any] struct {
+	idx int
+	job J
+}
+
+type outcome[J any] struct {
+	idx int
+	job J
+	tr  trace.Trace
+	err error
+}
+
+// Run acquires traces for indices [from, to) — to < 0 means unbounded,
+// in which case consume MUST eventually stop the run. It returns the
+// number of traces consumed. Errors (from prepare, acquire, or
+// consume) surface in index order, so even failure is deterministic.
+func Run[J any](from, to int, cfg Config, prepare PrepareFunc[J], acquire AcquireFunc[J], consume ConsumeFunc[J]) (int, error) {
+	if to >= 0 && from >= to {
+		return 0, nil
+	}
+	workers := Workers(cfg.Workers)
+	if to >= 0 && workers > to-from {
+		workers = to - from
+	}
+
+	jobs := make(chan item[J], workers)
+	results := make(chan outcome[J], workers)
+	quit := make(chan struct{})
+
+	// Dispatcher: prepares jobs serially in index order.
+	go func() {
+		defer close(jobs)
+		for idx := from; to < 0 || idx < to; idx++ {
+			j, err := prepare(idx)
+			if err != nil {
+				// Deliver the error as this index's outcome so the
+				// consumer surfaces it in order.
+				select {
+				case results <- outcome[J]{idx: idx, err: err}:
+				case <-quit:
+				}
+				return
+			}
+			select {
+			case jobs <- item[J]{idx: idx, job: j}:
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	// Worker pool: each worker owns scratch state keyed by its id.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for it := range jobs {
+				tr, err := acquire(w, it.idx, it.job)
+				select {
+				case results <- outcome[J]{idx: it.idx, job: it.job, tr: tr, err: err}:
+				case <-quit:
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Consumer: reorder buffer feeding consume in index order. The
+	// buffer holds at most O(workers) traces: in-flight work is bounded
+	// by the two channel capacities plus the workers themselves.
+	pending := make(map[int]outcome[J], 3*workers+2)
+	cursor := from
+	consumed := 0
+	var runErr error
+
+	defer close(quit) // unblock dispatcher/workers parked on sends
+
+	for to < 0 || cursor < to {
+		if r, ok := pending[cursor]; ok {
+			delete(pending, cursor)
+			if r.err != nil {
+				runErr = r.err
+				break
+			}
+			stop, err := consume(cursor, r.job, r.tr)
+			cursor++
+			consumed++
+			if cfg.Progress != nil {
+				cfg.Progress(cursor)
+			}
+			if err != nil {
+				runErr = err
+				break
+			}
+			if stop {
+				break
+			}
+			continue
+		}
+		r, ok := <-results
+		if !ok {
+			// Producers exhausted with the cursor unreached: only
+			// possible when an error outcome was consumed already or
+			// the dispatcher stopped — nothing left to do.
+			break
+		}
+		pending[r.idx] = r
+	}
+	return consumed, runErr
+}

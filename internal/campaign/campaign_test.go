@@ -1,0 +1,298 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"medsec/internal/trace"
+)
+
+// fakeAcquire derives a small trace purely from the index — the
+// determinism contract — with an optional scheduling shake so the
+// reorder buffer actually reorders under -race.
+func fakeAcquire(shake bool) AcquireFunc[uint64] {
+	return func(worker, idx int, job uint64) (trace.Trace, error) {
+		if shake && idx%3 == 0 {
+			time.Sleep(time.Duration(idx%5) * 100 * time.Microsecond)
+		}
+		v := float64(idx)*1.5 + float64(job)
+		return trace.Trace{Samples: []float64{v, v * v}, Iter: []int32{0, 0}}, nil
+	}
+}
+
+// runAll collects the consumed (idx, job, sample0) sequence.
+func runAll(t *testing.T, workers, from, to int, shake bool) [][3]float64 {
+	t.Helper()
+	var seq [][3]float64
+	stream := uint64(7) // shared stateful "RNG" advanced by prepare
+	prepare := func(idx int) (uint64, error) {
+		stream = stream*6364136223846793005 + 1442695040888963407
+		return stream % 97, nil
+	}
+	consume := func(idx int, job uint64, tr trace.Trace) (bool, error) {
+		seq = append(seq, [3]float64{float64(idx), float64(job), tr.Samples[0]})
+		return false, nil
+	}
+	n, err := Run(from, to, Config{Workers: workers}, prepare, fakeAcquire(shake), consume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != to-from {
+		t.Fatalf("consumed %d, want %d", n, to-from)
+	}
+	return seq
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	want := runAll(t, 1, 0, 64, false)
+	for _, w := range []int{2, 3, 7, 16} {
+		got := runAll(t, w, 0, 64, true)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: consumed sequence diverged from serial", w)
+		}
+	}
+}
+
+func TestRunRangeOffset(t *testing.T) {
+	seq := runAll(t, 4, 10, 25, true)
+	if len(seq) != 15 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	for i, s := range seq {
+		if int(s[0]) != 10+i {
+			t.Fatalf("index order violated at %d: got idx %v", i, s[0])
+		}
+	}
+}
+
+func TestRunEarlyStopDeterministic(t *testing.T) {
+	const stopAt = 23
+	run := func(workers, to int) (int, []int) {
+		var order []int
+		consume := func(idx int, job uint64, tr trace.Trace) (bool, error) {
+			order = append(order, idx)
+			return idx == stopAt, nil
+		}
+		n, err := Run(0, to, Config{Workers: workers},
+			func(idx int) (uint64, error) { return uint64(idx), nil },
+			fakeAcquire(true), consume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, order
+	}
+	wantN, wantOrder := run(1, 1000)
+	if wantN != stopAt+1 {
+		t.Fatalf("serial early stop consumed %d, want %d", wantN, stopAt+1)
+	}
+	for _, w := range []int{2, 7, 16} {
+		// Bounded and unbounded runs must stop at the same trace.
+		for _, to := range []int{1000, -1} {
+			n, order := run(w, to)
+			if n != wantN || !reflect.DeepEqual(order, wantOrder) {
+				t.Fatalf("workers=%d to=%d: consumed %d traces, want %d", w, to, n, wantN)
+			}
+		}
+	}
+}
+
+func TestRunAcquireErrorSurfacesInOrder(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		var consumed []int
+		n, err := Run(0, 50, Config{Workers: w},
+			func(idx int) (int, error) { return idx, nil },
+			func(worker, idx int, job int) (trace.Trace, error) {
+				if idx == 17 {
+					return trace.Trace{}, boom
+				}
+				return trace.Trace{Samples: []float64{1}}, nil
+			},
+			func(idx int, job int, tr trace.Trace) (bool, error) {
+				consumed = append(consumed, idx)
+				return false, nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", w, err)
+		}
+		if n != 17 || len(consumed) != 17 {
+			t.Fatalf("workers=%d: consumed %d traces before the error, want 17", w, n)
+		}
+	}
+}
+
+func TestRunPrepareErrorSurfacesInOrder(t *testing.T) {
+	boom := errors.New("prep")
+	for _, w := range []int{1, 4} {
+		n, err := Run(0, 50, Config{Workers: w},
+			func(idx int) (int, error) {
+				if idx == 9 {
+					return 0, boom
+				}
+				return idx, nil
+			},
+			fakeAcquireInt,
+			func(idx int, job int, tr trace.Trace) (bool, error) { return false, nil })
+		if !errors.Is(err, boom) || n != 9 {
+			t.Fatalf("workers=%d: (n, err) = (%d, %v), want (9, prep)", w, n, err)
+		}
+	}
+}
+
+func fakeAcquireInt(worker, idx int, job int) (trace.Trace, error) {
+	return trace.Trace{Samples: []float64{float64(job)}}, nil
+}
+
+func TestRunConsumeErrorStops(t *testing.T) {
+	boom := errors.New("consume")
+	n, err := Run(0, 40, Config{Workers: 5},
+		func(idx int) (int, error) { return idx, nil },
+		fakeAcquireInt,
+		func(idx int, job int, tr trace.Trace) (bool, error) {
+			if idx == 12 {
+				return false, boom
+			}
+			return false, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failing trace was consumed (and counted) before the error.
+	if n != 13 {
+		t.Fatalf("n = %d, want 13", n)
+	}
+}
+
+func TestRunWorkerIdsAreStable(t *testing.T) {
+	// Worker-owned scratch: every acquire must see a worker id within
+	// the resolved pool, and two acquires on the same id must never
+	// overlap (each worker is a single goroutine).
+	const workers = 6
+	var active [workers]int32
+	var maxSeen int32
+	_, err := Run(0, 200, Config{Workers: workers},
+		func(idx int) (int, error) { return idx, nil },
+		func(worker, idx int, job int) (trace.Trace, error) {
+			if worker < 0 || worker >= workers {
+				return trace.Trace{}, fmt.Errorf("worker id %d out of range", worker)
+			}
+			if atomic.AddInt32(&active[worker], 1) != 1 {
+				return trace.Trace{}, errors.New("two acquisitions on one worker id")
+			}
+			if int32(worker) > atomic.LoadInt32(&maxSeen) {
+				atomic.StoreInt32(&maxSeen, int32(worker))
+			}
+			time.Sleep(50 * time.Microsecond)
+			atomic.AddInt32(&active[worker], -1)
+			return trace.Trace{Samples: []float64{0}}, nil
+		},
+		func(idx int, job int, tr trace.Trace) (bool, error) { return false, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProgressMonotone(t *testing.T) {
+	var done []int
+	_, err := Run(3, 20, Config{Workers: 4, Progress: func(d int) { done = append(done, d) }},
+		func(idx int) (int, error) { return idx, nil },
+		fakeAcquireInt,
+		func(idx int, job int, tr trace.Trace) (bool, error) { return false, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 17 || done[0] != 4 || done[len(done)-1] != 20 {
+		t.Fatalf("progress sequence %v", done)
+	}
+	for i := 1; i < len(done); i++ {
+		if done[i] != done[i-1]+1 {
+			t.Fatalf("progress not monotone: %v", done)
+		}
+	}
+}
+
+func TestRunStreamingIntoOnlineStats(t *testing.T) {
+	// End-to-end shape of the real pipeline: parallel acquisition
+	// streaming into an order-sensitive accumulator must be bit-equal
+	// to the serial fold.
+	fold := func(workers int) []float64 {
+		o := trace.NewOnlineStats()
+		_, err := Run(0, 128, Config{Workers: workers},
+			func(idx int) (uint64, error) { return uint64(idx * idx), nil },
+			fakeAcquire(true),
+			func(idx int, job uint64, tr trace.Trace) (bool, error) {
+				return false, o.Add(tr.Samples)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := o.Mean()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	want := fold(1)
+	for _, w := range []int{2, 8} {
+		if got := fold(w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: streaming mean not bit-identical to serial", w)
+		}
+	}
+}
+
+func TestRunEmptyAndDegenerateRanges(t *testing.T) {
+	n, err := Run(5, 5, Config{},
+		func(idx int) (int, error) { return 0, nil },
+		fakeAcquireInt,
+		func(idx int, job int, tr trace.Trace) (bool, error) { return false, nil })
+	if n != 0 || err != nil {
+		t.Fatalf("empty range: (%d, %v)", n, err)
+	}
+	n, err = Run(9, 3, Config{},
+		func(idx int) (int, error) { return 0, nil },
+		fakeAcquireInt,
+		func(idx int, job int, tr trace.Trace) (bool, error) { return false, nil })
+	if n != 0 || err != nil {
+		t.Fatalf("inverted range: (%d, %v)", n, err)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("explicit count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("auto resolution below 1")
+	}
+	if Workers(10_000) != MaxWorkers {
+		t.Fatal("cap not applied")
+	}
+}
+
+func TestRunNoGoroutineLeakOnEarlyStop(t *testing.T) {
+	// Stress teardown: many early-stopped runs; if workers or the
+	// dispatcher leaked on quit, -race and the runtime would notice the
+	// unbounded growth long before this finishes.
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := Run(0, -1, Config{Workers: 4},
+				func(idx int) (int, error) { return idx, nil },
+				fakeAcquireInt,
+				func(idx int, job int, tr trace.Trace) (bool, error) {
+					return idx >= 10+i, nil
+				})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

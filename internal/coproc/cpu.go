@@ -80,6 +80,23 @@ func NewCPU(t Timing) *CPU {
 	return &CPU{Timing: t}
 }
 
+// Reset restores the CPU to its power-on state — register file, RAM,
+// constant ROM and cycle counter zeroed — while keeping the configured
+// timing. The parallel campaign engine reuses one CPU per worker
+// across traces; Reset makes each acquisition start from exactly the
+// state a freshly constructed CPU would, which matters because write
+// power depends on the destination register's previous contents.
+func (c *CPU) Reset() {
+	c.Regs = [NumRegs]gf2m.Element{}
+	c.Consts = [NumConsts]gf2m.Element{}
+	c.RAM = [NumRAM]gf2m.Element{}
+	c.cycle = 0
+	c.ev = CycleEvent{}
+	c.Rand = nil
+	c.Probe = nil
+	c.MaxCycles = 0
+}
+
 // SetOperandConstants loads the constant ROM for a point
 // multiplication on base point (x, y) over a curve with parameter b.
 func (c *CPU) SetOperandConstants(x, b, y gf2m.Element) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"medsec/internal/coproc"
 	"medsec/internal/gf2m"
@@ -226,6 +227,12 @@ func (c *Campaign) iterWriteSamples(iter int) map[int]int {
 // multiplication's worth of leading bits pins down the whole scalar in
 // practice; recovering a handful of bits per campaign is the standard
 // evaluation shortcut.
+//
+// CPA is one of the attacks that genuinely needs a retained trace.Set:
+// recovering bit b requires re-correlating every trace after the bit
+// b-1 decision, so the statistic is inherently multi-pass and cannot
+// stream the traces away. Acquisition still fans out through the
+// parallel engine (AcquireCampaign); only the analysis is batch.
 func CPA(c *Campaign, opt CPAOptions) (*CPAResult, error) {
 	if opt.Bits <= 0 {
 		return nil, errors.New("sca: CPA needs a positive bit count")
@@ -286,7 +293,16 @@ func CPA(c *Campaign, opt CPAOptions) (*CPAResult, error) {
 			states[guess] = next
 			var sum float64
 			var cnt int
-			for offset, h := range preds {
+			// Iterate the offsets in instruction order: map iteration
+			// order would vary the floating-point summation order from
+			// run to run, breaking the bit-for-bit determinism contract.
+			offsets := make([]int, 0, len(preds))
+			for offset := range preds {
+				offsets = append(offsets, offset)
+			}
+			sort.Ints(offsets)
+			for _, offset := range offsets {
+				h := preds[offset]
 				col, ok := writeSamples[offset]
 				if !ok || col < 0 || col >= c.Set.SampleLen() {
 					continue
@@ -345,16 +361,7 @@ func SuccessRateCurve(mk func(trial uint64) *Target, sizes []int, bits, trials i
 			return nil, err
 		}
 		for si, n := range sizes {
-			sub := &Campaign{
-				Target:    full.Target,
-				Set:       &trace.Set{Traces: full.Set.Traces[:n]},
-				Points:    full.Points[:n],
-				Start:     full.Start,
-				End:       full.End,
-				FirstIter: full.FirstIter,
-				LastIter:  full.LastIter,
-			}
-			res, err := CPA(sub, opt)
+			res, err := CPA(full.Prefix(n), opt)
 			if err != nil {
 				return nil, err
 			}
@@ -375,6 +382,13 @@ func SuccessRateCurve(mk func(trial uint64) *Target, sizes []int, bits, trials i
 // or -1 (plus the largest campaign's result) if even the largest
 // fails — the outcome the paper reports for the protected chip at
 // 20 000 traces.
+//
+// The search is an early-stop campaign: it acquires (in parallel)
+// only up to the checkpoint that succeeds rather than the maximum
+// size up front. Because trace i is a pure function of index i, the
+// incrementally extended campaign is identical to a prefix of the
+// full one, so the returned result matches the over-acquiring
+// implementation exactly — it just stops simulating sooner.
 func TracesToSuccess(t *Target, sizes []int, bits int, opt CPAOptions, pointSrc func() uint64) (int, *CPAResult, error) {
 	if len(sizes) == 0 {
 		return -1, nil, errors.New("sca: no campaign sizes given")
@@ -383,25 +397,15 @@ func TracesToSuccess(t *Target, sizes []int, bits int, opt CPAOptions, pointSrc 
 		opt.KnownPrefix = DefaultKnownPrefix()
 	}
 	opt.Bits = bits
-	maxN := sizes[len(sizes)-1]
 	firstIter := 162 - len(opt.KnownPrefix)
 	lastIter := firstIter - bits + 1
-	full, err := t.AcquireCampaign(maxN, firstIter, lastIter, pointSrc)
-	if err != nil {
-		return -1, nil, err
-	}
+	camp := t.NewCampaign(firstIter, lastIter)
 	var last *CPAResult
 	for _, n := range sizes {
-		sub := &Campaign{
-			Target:    full.Target,
-			Set:       &trace.Set{Traces: full.Set.Traces[:n]},
-			Points:    full.Points[:n],
-			Start:     full.Start,
-			End:       full.End,
-			FirstIter: full.FirstIter,
-			LastIter:  full.LastIter,
+		if err := t.ExtendCampaign(camp, n, pointSrc); err != nil {
+			return -1, nil, err
 		}
-		res, err := CPA(sub, opt)
+		res, err := CPA(camp.Prefix(n), opt)
 		if err != nil {
 			return -1, nil, err
 		}

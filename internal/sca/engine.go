@@ -1,0 +1,101 @@
+package sca
+
+import (
+	"medsec/internal/campaign"
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/modn"
+	"medsec/internal/trace"
+)
+
+// This file glues the target device onto the parallel campaign engine
+// (internal/campaign). The engine's determinism contract maps onto the
+// acquisition model like this:
+//
+//   - everything a trace depends on besides its index is packed into
+//     an acqJob by a prepare callback that runs serially in index
+//     order — so shared attacker streams (point selection, random TVLA
+//     keys) are drawn in exactly the order the old serial loops drew
+//     them;
+//   - the device-side randomness (TRNG masks, measurement noise) never
+//     depended on acquisition order to begin with: Target derives both
+//     purely from the trace index (traceSeed / Power.Seed mixing), the
+//     same derivation the serial path used;
+//   - each worker owns one coproc.CPU, Reset before every trace; the
+//     power.Model and collector are instantiated per trace because the
+//     noise DRBG is part of the per-trace substream.
+//
+// Consequently a campaign is bit-identical for any worker count.
+
+// acqJob is one prepared acquisition: the scalar, the base point, and
+// the device/trace index dev that selects the TRNG and noise
+// substreams (it can differ from the engine index, e.g. TVLA
+// interleaves fixed/random acquisitions and SPA offsets the victim's
+// stream).
+type acqJob struct {
+	key   modn.Scalar
+	point ec.Point
+	dev   uint64
+}
+
+// engineConfig builds the campaign.Config for this target.
+func (t *Target) engineConfig() campaign.Config {
+	return campaign.Config{Workers: t.Workers, Progress: t.Progress}
+}
+
+// acquirerPool returns the engine's acquire callback over cycle window
+// [start, end): a pool of worker-owned CPUs, lazily constructed, each
+// Reset per trace.
+func (t *Target) acquirerPool(start, end int) campaign.AcquireFunc[acqJob] {
+	cpus := make([]*coproc.CPU, campaign.Workers(t.Workers))
+	return func(worker, idx int, j acqJob) (trace.Trace, error) {
+		cpu := cpus[worker]
+		if cpu == nil {
+			cpu = coproc.NewCPU(t.Timing)
+			cpus[worker] = cpu
+		}
+		return t.acquireOn(cpu, j.key, j.point, start, end, j.dev)
+	}
+}
+
+// fixedRandomPrepare builds the alternating fixed-key/random-key job
+// stream the TVLA-style campaigns use: even engine indices acquire
+// under the target's key, odd ones under a fresh scalar from randKey —
+// the same interleaving (and the same randKey call order) as the old
+// serial loops, so the key stream is reproduced exactly.
+func (t *Target) fixedRandomPrepare(p ec.Point, randKey func() modn.Scalar) campaign.PrepareFunc[acqJob] {
+	return func(idx int) (acqJob, error) {
+		j := acqJob{point: p, dev: uint64(idx)}
+		if idx%2 == 0 {
+			j.key = t.Key
+		} else {
+			j.key = randKey()
+		}
+		return j, nil
+	}
+}
+
+// welchConsume feeds the alternating fixed/random stream into a
+// streaming Welch accumulator. checkEvery > 0 enables the early-stop
+// predicate: after every checkEvery-th completed pair (but not before
+// minPairs pairs), the running t-curve is evaluated and the campaign
+// stops as soon as |t| exceeds TVLAThreshold.
+func welchConsume(w *trace.OnlineWelch, checkEvery, minPairs int) campaign.ConsumeFunc[acqJob] {
+	return func(idx int, j acqJob, tr trace.Trace) (bool, error) {
+		if idx%2 == 0 {
+			return false, w.AddA(tr.Samples)
+		}
+		if err := w.AddB(tr.Samples); err != nil {
+			return false, err
+		}
+		if checkEvery > 0 {
+			pairs := idx/2 + 1
+			if pairs >= minPairs && pairs%checkEvery == 0 {
+				if mx, _ := w.MaxT(); mx > TVLAThreshold {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 
+	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
@@ -39,27 +40,22 @@ type LeakMap struct {
 
 // LeakageMap runs a fixed-vs-random-key t-test over the given ladder
 // iteration window and attributes each significant cycle to the
-// microcode instruction executing there.
+// microcode instruction executing there. Like TVLA it streams the
+// campaign through the parallel engine into an online Welch
+// accumulator — no trace set is retained.
 func LeakageMap(t *Target, p ec.Point, nPerSet, firstIter, lastIter int, randKey func() modn.Scalar) (*LeakMap, error) {
 	if nPerSet < 10 {
 		return nil, errors.New("sca: leakage map needs at least 10 traces per set")
 	}
 	start, end := t.prog.IterationWindow(t.Timing, firstIter, lastIter)
-	fixed := &trace.Set{}
-	random := &trace.Set{}
-	for i := 0; i < nPerSet; i++ {
-		trF, err := t.AcquireWithKey(t.Key, p, start, end, uint64(2*i))
-		if err != nil {
-			return nil, err
-		}
-		fixed.Add(trF)
-		trR, err := t.AcquireWithKey(randKey(), p, start, end, uint64(2*i+1))
-		if err != nil {
-			return nil, err
-		}
-		random.Add(trR)
+	w := trace.NewOnlineWelch()
+	if _, err := campaign.Run(0, 2*nPerSet, t.engineConfig(),
+		t.fixedRandomPrepare(p, randKey),
+		t.acquirerPool(start, end),
+		welchConsume(w, 0, 0)); err != nil {
+		return nil, err
 	}
-	ts, err := trace.WelchT(fixed, random)
+	ts, err := w.T()
 	if err != nil {
 		return nil, err
 	}

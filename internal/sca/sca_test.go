@@ -120,6 +120,9 @@ func TestCPASucceedsWithKnownRandomness(t *testing.T) {
 }
 
 func TestCPAFailsWithSecretRandomness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign; skipped in -short mode")
+	}
 	// Paper §7: "When the countermeasure is enabled, and the
 	// randomness is unknown, the attack does not succeed." The test
 	// uses 1 500 traces; the benchmark harness pushes to 20 000.
@@ -144,6 +147,9 @@ func TestCPAFailsWithSecretRandomness(t *testing.T) {
 }
 
 func TestTracesToSuccessOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign; skipped in -short mode")
+	}
 	// The unprotected configuration must need more than a handful of
 	// traces (the noise floor is real) but succeed within a few
 	// hundred (the paper's ~200).
@@ -214,6 +220,9 @@ func TestSPABalancedDesignResists(t *testing.T) {
 }
 
 func TestSPAProfilingExploitsResidualImbalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign; skipped in -short mode")
+	}
 	// Paper §7: "We identified a complex attack that could extract the
 	// key since a small source of SPA leakage was detected ... he has
 	// to perform a complex profiling phase." Averaging traces defeats

@@ -3,6 +3,7 @@ package sca
 import (
 	"errors"
 
+	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/trace"
@@ -112,18 +113,24 @@ func spaAveraged(t *Target, p ec.Point, idx uint64, n int) (*SPAResult, error) {
 		return nil, errors.New("sca: need at least one trace")
 	}
 	start, end := t.prog.IterationWindow(t.Timing, 162, 0)
+	// Average through the campaign engine: the accumulation is summed
+	// in index order, so the averaged trace is bit-identical to the old
+	// serial loop for any worker count.
 	var acc []float64
-	for i := 0; i < n; i++ {
-		tr, err := t.Acquire(p, start, end, idx+uint64(i))
-		if err != nil {
-			return nil, err
-		}
+	prepare := func(i int) (acqJob, error) {
+		return acqJob{key: t.Key, point: p, dev: idx + uint64(i)}, nil
+	}
+	consume := func(i int, j acqJob, tr trace.Trace) (bool, error) {
 		if acc == nil {
 			acc = make([]float64, len(tr.Samples))
 		}
-		for j, v := range tr.Samples {
-			acc[j] += v
+		for s, v := range tr.Samples {
+			acc[s] += v
 		}
+		return false, nil
+	}
+	if _, err := campaign.Run(0, n, t.engineConfig(), prepare, t.acquirerPool(start, end), consume); err != nil {
+		return nil, err
 	}
 	inv := 1 / float64(n)
 	for j := range acc {

@@ -19,6 +19,7 @@ package sca
 import (
 	"errors"
 
+	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/gf2m"
@@ -65,6 +66,16 @@ type Target struct {
 	// TRNGSeed seeds the device-internal mask generator. Each trace
 	// uses an independent per-trace substream.
 	TRNGSeed uint64
+	// Workers sets the acquisition parallelism: campaigns fan
+	// simulator passes over this many workers (<= 0 selects
+	// GOMAXPROCS, capped at campaign.MaxWorkers). Results are
+	// bit-identical for any value — per-trace randomness derives from
+	// the trace index, and statistics consume traces in index order.
+	Workers int
+	// Progress, when non-nil, is invoked after each consumed campaign
+	// trace with the cumulative trace count — wire it to a progress
+	// reporter for the long acquisitions.
+	Progress func(done int)
 
 	prog *coproc.Program
 }
@@ -111,7 +122,17 @@ func (t *Target) Acquire(p ec.Point, start, end int, idx uint64) (trace.Trace, e
 // AcquireWithKey acquires with an explicit scalar — the TVLA
 // fixed-vs-random-key campaign needs per-trace keys.
 func (t *Target) AcquireWithKey(key modn.Scalar, p ec.Point, start, end int, idx uint64) (trace.Trace, error) {
-	cpu := coproc.NewCPU(t.Timing)
+	return t.acquireOn(coproc.NewCPU(t.Timing), key, p, start, end, idx)
+}
+
+// acquireOn runs one acquisition on the given CPU (reset first, so a
+// worker-owned CPU behaves exactly like a freshly constructed one).
+// The power model and its noise DRBG are instantiated per trace: both
+// the TRNG stream and the noise stream derive purely from idx, which
+// is what makes parallel campaigns bit-identical to serial ones.
+func (t *Target) acquireOn(cpu *coproc.CPU, key modn.Scalar, p ec.Point, start, end int, idx uint64) (trace.Trace, error) {
+	cpu.Reset()
+	cpu.Timing = t.Timing
 	cpu.Rand = rng.NewDRBG(t.traceSeed(idx)).Uint64
 	pcfg := t.Power
 	pcfg.Seed ^= (idx + 1) * 0xbf58476d1ce4e5b9
@@ -129,6 +150,13 @@ func (t *Target) AcquireWithKey(key modn.Scalar, p ec.Point, start, end int, idx
 	return col.Take(), nil
 }
 
+// Window exposes the acquisition cycle window covering ladder
+// iterations firstIter..lastIter — callers use it to convert trace
+// counts into simulated-cycle throughput figures.
+func (t *Target) Window(firstIter, lastIter int) (start, end int) {
+	return t.prog.IterationWindow(t.Timing, firstIter, lastIter)
+}
+
 // Campaign is an acquisition campaign: N traces over a fixed cycle
 // window with known (attacker-chosen or at least attacker-visible)
 // input points.
@@ -143,13 +171,11 @@ type Campaign struct {
 	FirstIter, LastIter int
 }
 
-// AcquireCampaign collects n traces with fresh random base points,
-// windowed to ladder iterations firstIter..lastIter (inclusive,
-// firstIter >= lastIter). pointSrc drives the attacker's point
-// selection.
-func (t *Target) AcquireCampaign(n int, firstIter, lastIter int, pointSrc func() uint64) (*Campaign, error) {
+// NewCampaign returns an empty campaign over the given ladder
+// iteration window; grow it with ExtendCampaign.
+func (t *Target) NewCampaign(firstIter, lastIter int) *Campaign {
 	start, end := t.prog.IterationWindow(t.Timing, firstIter, lastIter)
-	c := &Campaign{
+	return &Campaign{
 		Target:    t,
 		Set:       &trace.Set{},
 		Start:     start,
@@ -157,31 +183,60 @@ func (t *Target) AcquireCampaign(n int, firstIter, lastIter int, pointSrc func()
 		FirstIter: firstIter,
 		LastIter:  lastIter,
 	}
-	for i := 0; i < n; i++ {
-		p := t.Curve.RandomPoint(pointSrc)
-		tr, err := t.Acquire(p, start, end, uint64(i))
-		if err != nil {
-			return nil, err
-		}
-		c.Set.Add(tr)
-		c.Points = append(c.Points, p)
+}
+
+// AcquireCampaign collects n traces with fresh random base points,
+// windowed to ladder iterations firstIter..lastIter (inclusive,
+// firstIter >= lastIter). pointSrc drives the attacker's point
+// selection. Acquisition fans out over Target.Workers simulator
+// instances; the resulting campaign is bit-identical for any worker
+// count (see internal/campaign's determinism contract).
+func (t *Target) AcquireCampaign(n int, firstIter, lastIter int, pointSrc func() uint64) (*Campaign, error) {
+	c := t.NewCampaign(firstIter, lastIter)
+	if err := t.ExtendCampaign(c, n, pointSrc); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
 
-// iterationSampleRange maps ladder iteration iter to the sample index
-// range [a, b) within this campaign's traces.
-func (c *Campaign) iterationSampleRange(iter int) (int, int) {
-	s, e := c.Target.prog.IterationWindow(c.Target.Timing, iter, iter)
-	return s - c.Start, e - c.Start
+// ExtendCampaign grows c to n traces total, drawing the additional
+// base points from where pointSrc left off. The traces-to-success
+// searches use this to acquire incrementally up to each checkpoint
+// size instead of over-acquiring the maximum campaign up front;
+// because trace i is a pure function of index i, the extended campaign
+// is identical to one acquired at size n in a single call.
+func (t *Target) ExtendCampaign(c *Campaign, n int, pointSrc func() uint64) error {
+	from := c.Set.Len()
+	if n <= from {
+		return nil
+	}
+	prepare := func(idx int) (acqJob, error) {
+		return acqJob{key: t.Key, point: t.Curve.RandomPoint(pointSrc), dev: uint64(idx)}, nil
+	}
+	consume := func(idx int, j acqJob, tr trace.Trace) (bool, error) {
+		c.Set.Add(tr)
+		c.Points = append(c.Points, j.point)
+		return false, nil
+	}
+	_, err := campaign.Run(from, n, t.engineConfig(), prepare, t.acquirerPool(c.Start, c.End), consume)
+	return err
 }
 
-// subSet returns a view of the campaign's traces restricted to sample
-// range [a, b) (slices share backing arrays; cheap).
-func (c *Campaign) subSet(a, b int) *trace.Set {
-	out := &trace.Set{}
-	for _, tr := range c.Set.Traces {
-		out.Add(trace.Trace{Samples: tr.Samples[a:b], Iter: tr.Iter[a:b]})
+// Prefix returns a view of the campaign's first n traces — the
+// sub-campaign evaluated at a traces-to-success checkpoint. The view
+// shares trace storage with the parent (see trace.Set.Prefix for the
+// aliasing contract).
+func (c *Campaign) Prefix(n int) *Campaign {
+	if n > len(c.Points) {
+		n = len(c.Points)
 	}
-	return out
+	return &Campaign{
+		Target:    c.Target,
+		Set:       c.Set.Prefix(n),
+		Points:    c.Points[:n:n],
+		Start:     c.Start,
+		End:       c.End,
+		FirstIter: c.FirstIter,
+		LastIter:  c.LastIter,
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"medsec/internal/campaign"
 	"medsec/internal/ec"
 	"medsec/internal/trace"
 )
@@ -46,15 +47,20 @@ func BuildTemplate(profiler *Target, p ec.Point, nProfile int) (*Template, error
 	}
 	start, end := profiler.prog.IterationWindow(profiler.Timing, 162, 0)
 	cswaps := cswapSampleIndices(profiler, start)
+	// Profiling acquisitions fan out over the campaign engine; the
+	// labeled features are appended in index order, so the template is
+	// bit-identical to the old serial loop for any worker count. Each
+	// job carries its known profiling key so consume can label the
+	// features without re-deriving the key stream.
 	var f0, f1 []float64
-	for i := 0; i < nProfile; i++ {
+	prepare := func(i int) (acqJob, error) {
 		// The profiling device is under the attacker's total control:
-		// fresh known key per acquisition.
+		// fresh known key per acquisition. The key stream derives purely
+		// from the index, matching the old serial derivation.
 		k := AlgorithmOneScalar(profiler.Curve, rngSourceFor(profiler, uint64(i)))
-		tr, err := profiler.AcquireWithKey(k, p, start, end, uint64(1000+i))
-		if err != nil {
-			return nil, err
-		}
+		return acqJob{key: k, point: p, dev: uint64(1000 + i)}, nil
+	}
+	consume := func(i int, j acqJob, tr trace.Trace) (bool, error) {
 		for iter := 162; iter >= 0; iter-- {
 			idxs := cswaps[iter]
 			var v float64
@@ -62,12 +68,16 @@ func BuildTemplate(profiler *Target, p ec.Point, nProfile int) (*Template, error
 				v += tr.Samples[s]
 			}
 			v /= float64(len(idxs))
-			if k.Bit(iter) == 1 {
+			if j.key.Bit(iter) == 1 {
 				f1 = append(f1, v)
 			} else {
 				f0 = append(f0, v)
 			}
 		}
+		return false, nil
+	}
+	if _, err := campaign.Run(0, nProfile, profiler.engineConfig(), prepare, profiler.acquirerPool(start, end), consume); err != nil {
+		return nil, err
 	}
 	if len(f0) == 0 || len(f1) == 0 {
 		return nil, errors.New("sca: profiling produced a single class")

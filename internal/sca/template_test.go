@@ -10,6 +10,9 @@ import (
 )
 
 func TestTemplateAttackOnResidualImbalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign; skipped in -short mode")
+	}
 	// The §7 scenario: the profiled attack extracts the key from the
 	// protected chip's residual layout imbalance.
 	curve := ec.K163()
@@ -42,6 +45,9 @@ func TestTemplateAttackOnResidualImbalance(t *testing.T) {
 }
 
 func TestTemplateAttackFailsWithoutImbalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long campaign; skipped in -short mode")
+	}
 	curve := ec.K163()
 	cfg := power.ProtectedChip(73)
 	cfg.ResidualImbalance = 0

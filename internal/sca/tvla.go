@@ -3,6 +3,7 @@ package sca
 import (
 	"errors"
 
+	"medsec/internal/campaign"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
 	"medsec/internal/trace"
@@ -13,7 +14,8 @@ const TVLAThreshold = 4.5
 
 // TVLAResult reports a fixed-vs-random-key Welch t-test campaign.
 type TVLAResult struct {
-	// TracesPerSet is the number of traces in each of the two sets.
+	// TracesPerSet is the number of traces in each of the two sets
+	// (the actually acquired count when early stopping fired).
 	TracesPerSet int
 	// MaxT is the largest absolute t-statistic over the window.
 	MaxT float64
@@ -23,6 +25,16 @@ type TVLAResult struct {
 	LeakyPoints int
 	// Leaks reports whether any point exceeded the threshold.
 	Leaks bool
+	// TCurve is the full per-sample t-statistic curve — O(window), kept
+	// even though the campaign itself streams (determinism tests
+	// compare it bit for bit across worker counts).
+	TCurve []float64
+	// CyclesPerTrace is the number of simulator cycles each acquisition
+	// ran — campaign throughput accounting.
+	CyclesPerTrace int
+	// EarlyStopped reports that the early-stop predicate ended the
+	// campaign before the requested trace count.
+	EarlyStopped bool
 }
 
 // TVLA runs the fixed-vs-random-scalar leakage assessment over the
@@ -30,35 +42,60 @@ type TVLAResult struct {
 // the other a fresh random key per trace; both use the same public
 // base point, so any significant difference is key-dependent leakage.
 //
+// The campaign streams through the parallel acquisition engine into a
+// trace.OnlineWelch accumulator: memory is O(window) regardless of the
+// trace count, acquisition fans out over t.Workers simulator
+// instances, and the result is bit-identical for any worker count.
+//
 // randKey must draw scalars in the same fixed-length form the device
 // uses (paper Algorithm 1 writes k = (1, k_{t-2}, ..., k_0): the
 // leading one is part of the scalar encoding). Comparing fixed-form
 // against free-form scalars would flag the — public — position of the
 // leading one bit rather than genuine key leakage.
 func TVLA(t *Target, p ec.Point, nPerSet int, firstIter, lastIter int, randKey func() modn.Scalar) (*TVLAResult, error) {
+	return tvlaRun(t, p, nPerSet, 0, firstIter, lastIter, randKey)
+}
+
+// TVLAUntil is TVLA with the engine's early-stop predicate enabled: it
+// evaluates the streaming t-curve after every checkEvery-th completed
+// fixed/random pair (starting at the 10-pair minimum) and ends the
+// campaign as soon as |t| > TVLAThreshold — leaky designs are
+// convicted in tens of traces instead of the full budget. The stopping
+// point is deterministic for any worker count. Because the engine may
+// prepare a few indices past the stop, randKey's stream is advanced by
+// a bounded, scheduling-dependent amount once the campaign stops; do
+// not share randKey's source with a later campaign after an
+// early-stopped run.
+func TVLAUntil(t *Target, p ec.Point, maxPerSet, checkEvery int, firstIter, lastIter int, randKey func() modn.Scalar) (*TVLAResult, error) {
+	if checkEvery < 1 {
+		return nil, errors.New("sca: TVLAUntil needs a positive check interval")
+	}
+	return tvlaRun(t, p, maxPerSet, checkEvery, firstIter, lastIter, randKey)
+}
+
+func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter int, randKey func() modn.Scalar) (*TVLAResult, error) {
 	if nPerSet < 10 {
 		return nil, errors.New("sca: TVLA needs at least 10 traces per set")
 	}
 	start, end := t.prog.IterationWindow(t.Timing, firstIter, lastIter)
-	fixed := &trace.Set{}
-	random := &trace.Set{}
-	for i := 0; i < nPerSet; i++ {
-		trF, err := t.AcquireWithKey(t.Key, p, start, end, uint64(2*i))
-		if err != nil {
-			return nil, err
-		}
-		fixed.Add(trF)
-		trR, err := t.AcquireWithKey(randKey(), p, start, end, uint64(2*i+1))
-		if err != nil {
-			return nil, err
-		}
-		random.Add(trR)
-	}
-	ts, err := trace.WelchT(fixed, random)
+	w := trace.NewOnlineWelch()
+	consumed, err := campaign.Run(0, 2*nPerSet, t.engineConfig(),
+		t.fixedRandomPrepare(p, randKey),
+		t.acquirerPool(start, end),
+		welchConsume(w, checkEvery, 10))
 	if err != nil {
 		return nil, err
 	}
-	res := &TVLAResult{TracesPerSet: nPerSet}
+	ts, err := w.T()
+	if err != nil {
+		return nil, err
+	}
+	res := &TVLAResult{
+		TracesPerSet:   consumed / 2,
+		TCurve:         ts,
+		CyclesPerTrace: end,
+		EarlyStopped:   consumed < 2*nPerSet,
+	}
 	res.MaxT, res.MaxTSample = trace.MaxAbs(ts)
 	for _, v := range ts {
 		if v > TVLAThreshold || v < -TVLAThreshold {

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"errors"
+	"math"
+)
+
+// Streaming accumulators.
+//
+// The batch statistics in this package (WelchT, DiffOfMeans, Pearson)
+// hold every trace of a campaign in memory — O(n·window) — and make a
+// second pass to form the statistic. The TVLA/DPA/CPA mathematics are
+// all order-independent one-pass statistics, so large campaigns (the
+// paper's 20 000-trace regime) stream instead: each accumulator below
+// consumes one trace at a time, keeps O(window) state, and reproduces
+// the corresponding batch result to floating-point rounding (the
+// property tests assert agreement to 1e-12).
+//
+// Numerical notes: OnlineStats uses Welford's algorithm, which is
+// numerically *better* conditioned than the two-pass batch mean/var;
+// OnlineCPA keeps raw cross-moments, matching the batch PearsonAt
+// formula term for term. Feeding traces in a fixed order (the campaign
+// engine's determinism contract) makes every accumulator bit-for-bit
+// reproducible regardless of how many workers acquired the traces.
+
+// ErrSampleMismatch is returned when a streamed trace's sample count
+// disagrees with the accumulator's.
+var ErrSampleMismatch = errors.New("trace: streamed sample length mismatch")
+
+// OnlineStats maintains per-sample running mean and (population)
+// variance over a stream of equal-length traces — Welford's algorithm,
+// vectorized over the sample axis.
+type OnlineStats struct {
+	n    int
+	mean []float64
+	m2   []float64
+}
+
+// NewOnlineStats returns an empty accumulator; the sample length is
+// fixed by the first Add.
+func NewOnlineStats() *OnlineStats { return &OnlineStats{} }
+
+// Add consumes one trace's samples.
+func (o *OnlineStats) Add(samples []float64) error {
+	if o.mean == nil {
+		if len(samples) == 0 {
+			return ErrEmptySet
+		}
+		o.mean = make([]float64, len(samples))
+		o.m2 = make([]float64, len(samples))
+	}
+	if len(samples) != len(o.mean) {
+		return ErrSampleMismatch
+	}
+	o.n++
+	inv := 1 / float64(o.n)
+	for i, v := range samples {
+		d := v - o.mean[i]
+		o.mean[i] += d * inv
+		o.m2[i] += d * (v - o.mean[i])
+	}
+	return nil
+}
+
+// N returns the number of traces consumed.
+func (o *OnlineStats) N() int { return o.n }
+
+// SampleLen returns the per-trace sample count (0 before the first Add).
+func (o *OnlineStats) SampleLen() int { return len(o.mean) }
+
+// Mean returns a copy of the per-sample running mean.
+func (o *OnlineStats) Mean() ([]float64, error) {
+	if o.n == 0 {
+		return nil, ErrEmptySet
+	}
+	return append([]float64(nil), o.mean...), nil
+}
+
+// Variance returns a copy of the per-sample population variance —
+// the same normalization the batch meanVar uses.
+func (o *OnlineStats) Variance() ([]float64, error) {
+	if o.n == 0 {
+		return nil, ErrEmptySet
+	}
+	out := make([]float64, len(o.m2))
+	inv := 1 / float64(o.n)
+	for i, v := range o.m2 {
+		out[i] = v * inv
+	}
+	return out, nil
+}
+
+// OnlineWelch is the streaming two-population Welch t-test — the TVLA
+// fixed-vs-random assessment without retaining either trace set.
+type OnlineWelch struct {
+	A, B OnlineStats
+}
+
+// NewOnlineWelch returns an empty two-population accumulator.
+func NewOnlineWelch() *OnlineWelch { return &OnlineWelch{} }
+
+// AddA consumes one trace of the first population (e.g. fixed key).
+func (w *OnlineWelch) AddA(samples []float64) error { return w.A.Add(samples) }
+
+// AddB consumes one trace of the second population (e.g. random keys).
+func (w *OnlineWelch) AddB(samples []float64) error { return w.B.Add(samples) }
+
+// T returns the per-sample Welch t-statistic, matching the batch
+// WelchT: t = (mA-mB) / sqrt(vA/nA + vB/nB) with population variances,
+// and 0 where the denominator vanishes.
+func (w *OnlineWelch) T() ([]float64, error) {
+	if w.A.n == 0 || w.B.n == 0 {
+		return nil, ErrEmptySet
+	}
+	if w.A.SampleLen() != w.B.SampleLen() {
+		return nil, ErrEmptySet
+	}
+	na, nb := float64(w.A.n), float64(w.B.n)
+	out := make([]float64, w.A.SampleLen())
+	for i := range out {
+		va := w.A.m2[i] / na
+		vb := w.B.m2[i] / nb
+		denom := math.Sqrt(va/na + vb/nb)
+		if denom == 0 {
+			continue
+		}
+		out[i] = (w.A.mean[i] - w.B.mean[i]) / denom
+	}
+	return out, nil
+}
+
+// MaxT returns the largest |t| and its sample index ((0, -1) when
+// undefined) — the streaming early-stop predicate for TVLA campaigns.
+func (w *OnlineWelch) MaxT() (float64, int) {
+	ts, err := w.T()
+	if err != nil {
+		return 0, -1
+	}
+	return MaxAbs(ts)
+}
+
+// OnlineDoM is the streaming difference-of-means (classic Kocher DPA
+// statistic). The partition callback classifies each trace as it
+// arrives — selection-function DPA without retaining the set.
+type OnlineDoM struct {
+	part     func(idx int, samples []float64) bool
+	sum1     []float64
+	sum0     []float64
+	c1, c0   int
+	nextTidx int
+}
+
+// NewOnlineDoM returns an accumulator whose partition callback is
+// invoked once per streamed trace with the trace's arrival index.
+func NewOnlineDoM(part func(idx int, samples []float64) bool) *OnlineDoM {
+	return &OnlineDoM{part: part}
+}
+
+// Add consumes one trace, classifying it through the partition
+// callback.
+func (o *OnlineDoM) Add(samples []float64) error {
+	if o.sum1 == nil {
+		if len(samples) == 0 {
+			return ErrEmptySet
+		}
+		o.sum1 = make([]float64, len(samples))
+		o.sum0 = make([]float64, len(samples))
+	}
+	if len(samples) != len(o.sum1) {
+		return ErrSampleMismatch
+	}
+	idx := o.nextTidx
+	o.nextTidx++
+	if o.part != nil && o.part(idx, samples) {
+		o.c1++
+		for i, v := range samples {
+			o.sum1[i] += v
+		}
+		return nil
+	}
+	o.c0++
+	for i, v := range samples {
+		o.sum0[i] += v
+	}
+	return nil
+}
+
+// N returns the number of traces consumed.
+func (o *OnlineDoM) N() int { return o.nextTidx }
+
+// Diff returns the per-sample difference of means between the two
+// classes, matching the batch DiffOfMeans.
+func (o *OnlineDoM) Diff() ([]float64, error) {
+	if o.nextTidx == 0 {
+		return nil, ErrEmptySet
+	}
+	if o.c1 == 0 || o.c0 == 0 {
+		return nil, errors.New("trace: degenerate partition")
+	}
+	out := make([]float64, len(o.sum1))
+	for i := range out {
+		out[i] = o.sum1[i]/float64(o.c1) - o.sum0[i]/float64(o.c0)
+	}
+	return out, nil
+}
+
+// OnlineCPA is the streaming per-sample Pearson correlation between a
+// scalar hypothesis per trace and the measured power — one-pass CPA.
+// It keeps the raw cross-moments (Σh, Σh², Σx, Σx², Σhx per sample),
+// exactly the terms the batch PearsonAt forms, so the two agree to
+// rounding.
+type OnlineCPA struct {
+	n        int
+	sh, shh  float64
+	sx       []float64
+	sxx, shx []float64
+}
+
+// NewOnlineCPA returns an empty accumulator.
+func NewOnlineCPA() *OnlineCPA { return &OnlineCPA{} }
+
+// Add consumes one trace and its scalar hypothesis (e.g. a predicted
+// register write's 0→1 transition count).
+func (o *OnlineCPA) Add(h float64, samples []float64) error {
+	if o.sx == nil {
+		if len(samples) == 0 {
+			return ErrEmptySet
+		}
+		o.sx = make([]float64, len(samples))
+		o.sxx = make([]float64, len(samples))
+		o.shx = make([]float64, len(samples))
+	}
+	if len(samples) != len(o.sx) {
+		return ErrSampleMismatch
+	}
+	o.n++
+	o.sh += h
+	o.shh += h * h
+	for i, v := range samples {
+		o.sx[i] += v
+		o.sxx[i] += v * v
+		o.shx[i] += h * v
+	}
+	return nil
+}
+
+// N returns the number of (hypothesis, trace) pairs consumed.
+func (o *OnlineCPA) N() int { return o.n }
+
+// Corr returns the per-sample Pearson correlation, 0 where either
+// variance vanishes — the same convention as the batch Pearson.
+func (o *OnlineCPA) Corr() ([]float64, error) {
+	if o.n == 0 {
+		return nil, ErrEmptySet
+	}
+	n := float64(o.n)
+	vh := o.shh - o.sh*o.sh/n
+	out := make([]float64, len(o.sx))
+	if vh <= 0 {
+		return out, nil
+	}
+	for i := range out {
+		vx := o.sxx[i] - o.sx[i]*o.sx[i]/n
+		if vx <= 0 {
+			continue
+		}
+		cov := o.shx[i] - o.sh*o.sx[i]/n
+		out[i] = cov / math.Sqrt(vh*vx)
+	}
+	return out, nil
+}
+
+// CorrAt returns the correlation at a single sample column, matching
+// the batch PearsonAt.
+func (o *OnlineCPA) CorrAt(col int) (float64, error) {
+	if o.n == 0 {
+		return 0, ErrEmptySet
+	}
+	if col < 0 || col >= len(o.sx) {
+		return 0, errors.New("trace: column out of range")
+	}
+	n := float64(o.n)
+	vh := o.shh - o.sh*o.sh/n
+	vx := o.sxx[col] - o.sx[col]*o.sx[col]/n
+	if vh <= 0 || vx <= 0 {
+		return 0, nil
+	}
+	cov := o.shx[col] - o.sh*o.sx[col]/n
+	return cov / math.Sqrt(vh*vx), nil
+}

@@ -4,6 +4,13 @@
 // t-test (TVLA leakage assessment), difference of means (classic DPA),
 // and Pearson correlation (CPA).
 //
+// Each statistic exists in two forms: a batch form over a retained
+// trace Set (this file) and a streaming form (stream.go: OnlineStats,
+// OnlineWelch, OnlineDoM, OnlineCPA) that consumes one trace at a time
+// in O(window) memory. The streaming forms back the parallel campaign
+// engine in internal/campaign and agree with the batch forms to
+// floating-point rounding (cross-tested to 1e-12).
+//
 // A Trace is the simulated counterpart of one oscilloscope capture:
 // one power sample per clock cycle over a configurable cycle window.
 package trace
@@ -102,6 +109,24 @@ func (s *Set) Len() int { return len(s.Traces) }
 
 // Add appends a trace.
 func (s *Set) Add(t Trace) { s.Traces = append(s.Traces, t) }
+
+// Prefix returns a view of the first n traces (all of them when
+// n >= Len). The view ALIASES the receiver: the Trace headers and the
+// underlying sample slices are shared, so mutating samples through
+// either set is visible in both — callers computing summary statistics
+// over a prefix must not modify the parent concurrently. The view's
+// Traces slice is capacity-clamped, so Add on the view reallocates
+// instead of clobbering the parent's trace n (the bug the old ad-hoc
+// `Set{Traces: s.Traces[:n]}` pattern allowed).
+func (s *Set) Prefix(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(s.Traces) {
+		n = len(s.Traces)
+	}
+	return &Set{Traces: s.Traces[:n:n]}
+}
 
 // SampleLen returns the per-trace sample count, or 0 for an empty set.
 func (s *Set) SampleLen() int {
