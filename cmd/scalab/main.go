@@ -136,8 +136,8 @@ func dpaCmd(args []string) {
 	if len(sizes) == 0 || sizes[len(sizes)-1] != *traces {
 		sizes = append(sizes, *traces)
 	}
-	fmt.Printf("DPA/CPA: RPC=%v known-masks=%v, recovering %d bits, up to %d traces\n",
-		*rpc, *known, *bits, *traces)
+	fmt.Printf("DPA/CPA: RPC=%v known-masks=%v, recovering %d bits, up to %d traces, seed=%d\n",
+		*rpc, *known, *bits, *traces, *seed)
 	m := newMeter(tgt)
 	n, res, err := sca.TracesToSuccess(tgt, sizes, *bits,
 		sca.CPAOptions{KnownMasks: *known}, rng.NewDRBG(*seed+5).Uint64)
@@ -176,6 +176,7 @@ func spaCmd(args []string) {
 		c.NoiseSigma = 0.03
 	})
 	tgt.Workers = *workers
+	fmt.Printf("SPA: seed=%d\n", *seed)
 	var res *sca.SPAResult
 	var err error
 	if *profile > 1 {
@@ -203,6 +204,7 @@ func timingCmd(args []string) {
 	fs.Parse(args)
 
 	curve := ec.K163()
+	fmt.Printf("timing attack: %d keys, seed=%d\n", *keys, *seed)
 	rep := sca.TimingAttack(curve, coproc.DefaultTiming(), *keys, rng.NewDRBG(*seed).Uint64)
 	t := tabular.New("implementation", "cycle behaviour", "leak")
 	t.Row("Montgomery ladder (chip)",
@@ -237,8 +239,8 @@ func leakmapCmd(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("leakage map: %d cycles assessed, max |t| = %.2f, threshold %.1f\n\n",
-		m.Samples, m.MaxT, m.Threshold)
+	fmt.Printf("leakage map: seed=%d, %d cycles assessed, max |t| = %.2f, threshold %.1f\n\n",
+		*seed, m.Samples, m.MaxT, m.Threshold)
 	if !m.Leaks() {
 		fmt.Println("no significant key-dependent leakage located")
 		return
@@ -287,6 +289,7 @@ func tvlaCmd(args []string) {
 	}
 	t := tabular.New("metric", "value")
 	t.Row("RPC", *rpc)
+	t.Row("seed", *seed)
 	t.Row("traces per set", res.TracesPerSet)
 	if res.EarlyStopped {
 		t.Row("early stop", "yes (threshold crossed)")

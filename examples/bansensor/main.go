@@ -12,6 +12,7 @@ import (
 	"log"
 
 	"medsec/internal/core"
+	"medsec/internal/link"
 	"medsec/internal/protocol"
 	"medsec/internal/radio"
 	"medsec/internal/rng"
@@ -107,10 +108,11 @@ func main() {
 
 	// --- Store-and-forward: the phone is out of range overnight, so
 	// the ECG patch seals measurements to the server's public key with
-	// ECIES and uploads them in the morning. ---
+	// ECIES and uploads them in the morning — over a lossy body-area
+	// link, so the upload pays for every ARQ retransmission. ---
 	fmt.Println("\n== overnight store-and-forward (ECIES to the mini-server key) ==")
 	patch := sensors[0]
-	var nightLedger protocol.Ledger
+	var nightLedger, serverLedger protocol.Ledger
 	stored := make([]*protocol.HybridCiphertext, 0, 3)
 	for hour, v := range []string{"HR=54;02:00", "HR=51;03:00", "HR=57;04:00"} {
 		ct, err := protocol.HybridEncrypt(curve, patch.chip, server.Pub, []byte(v), patch.tag.Rand, &nightLedger)
@@ -120,14 +122,23 @@ func main() {
 		stored = append(stored, ct)
 		_ = hour
 	}
+	pair, err := link.NewPair(link.Lossy(0.2), link.DefaultARQ(), 777)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire := protocol.NewWire(pair)
 	for i, ct := range stored {
-		pt, err := protocol.HybridDecrypt(curve, serverMul, server.Y, ct, nil)
+		got, err := protocol.TransferHybrid(wire, &nightLedger, &serverLedger, ct)
+		if err != nil {
+			log.Fatalf("morning upload of record %d failed: %v", i, err)
+		}
+		pt, err := protocol.HybridDecrypt(curve, serverMul, server.Y, got, nil)
 		if err != nil {
 			log.Fatalf("server could not open stored record %d: %v", i, err)
 		}
 		fmt.Printf("server recovered record %d: %s\n", i, pt)
 	}
 	e := m.LedgerEnergy(nightLedger, radio.LocalRange, costs)
-	fmt.Printf("night batch: %d PMs, %d bits -> %.1f uJ total on the patch\n",
-		nightLedger.PointMuls, nightLedger.TxBits, e*1e6)
+	fmt.Printf("night batch: %d PMs, %d bits (%d retries on the 20%%-loss uplink) -> %.1f uJ total on the patch\n",
+		nightLedger.PointMuls, nightLedger.TxBits, pair.A().Stats().Retries, e*1e6)
 }

@@ -1,28 +1,35 @@
-// Package campaign is the deterministic, parallel trace-acquisition
-// engine behind the side-channel experiments. The serial workflow —
-// one ~86 000-cycle simulator pass per trace, every trace retained in
-// a trace.Set before any statistic is computed — is replaced by a
-// three-stage pipeline:
+// Package campaign is the deterministic, parallel acquisition engine
+// behind the repo's simulation experiments: side-channel trace
+// campaigns (internal/sca), fault-space sweeps (internal/fault) and
+// lossy-link session sweeps (internal/linksim). The serial workflow —
+// one simulator pass per sample, every sample retained before any
+// statistic is computed — is replaced by a three-stage pipeline:
 //
 //	prepare (serial, index order)  →  acquire (worker pool)  →  consume (serial, index order)
 //
-// Determinism contract (the property every test in internal/sca pins):
+// The engine is generic in both the job type J (what prepare hands to
+// a worker) and the result type R (what a worker hands back): a
+// trace.Trace for power acquisitions, a fault classification for
+// injection sweeps, a session outcome for link campaigns.
+//
+// Determinism contract (the property every test in internal/sca,
+// internal/fault and internal/linksim pins):
 //
 //   - prepare(idx) runs on a single dispatcher goroutine in strictly
 //     increasing index order, so it may draw from shared stateful RNG
 //     streams (attacker point selection, per-trace random keys) exactly
 //     as the serial loop did;
 //   - acquire(worker, idx, job) must be a pure function of (idx, job):
-//     every per-trace random substream (device TRNG, measurement noise)
-//     derives from the trace index, never from worker identity or
-//     scheduling. The worker id exists only so workers can own scratch
-//     state (a coproc CPU, reset per trace);
-//   - consume(idx, job, tr) runs on the caller's goroutine in strictly
+//     every per-sample random substream (device TRNG, measurement
+//     noise, channel faults) derives from the sample index, never from
+//     worker identity or scheduling. The worker id exists only so
+//     workers can own scratch state (a coproc CPU, reset per sample);
+//   - consume(idx, job, out) runs on the caller's goroutine in strictly
 //     increasing index order, fed through a small reorder buffer.
 //
 // Under this contract the consumed sequence — and therefore every
 // streaming statistic folded over it — is bit-identical for any worker
-// count, while memory stays O(workers·window) instead of O(n·window).
+// count, while memory stays O(workers·sample) instead of O(n·sample).
 //
 // Early stopping: consume may return stop=true (e.g. |t| > 4.5 reached,
 // CPA scores separated) and the engine halts after that trace; the
@@ -36,8 +43,6 @@ package campaign
 import (
 	"runtime"
 	"sync"
-
-	"medsec/internal/trace"
 )
 
 // MaxWorkers caps the pool: campaign throughput saturates the memory
@@ -72,37 +77,38 @@ type Config struct {
 	Progress func(done int)
 }
 
-// PrepareFunc builds the job for trace idx. Called serially in index
+// PrepareFunc builds the job for sample idx. Called serially in index
 // order; may draw from shared stateful streams.
 type PrepareFunc[J any] func(idx int) (J, error)
 
-// AcquireFunc runs one simulated acquisition. Called concurrently;
-// must depend only on (idx, job). worker identifies the calling worker
-// for worker-owned scratch state.
-type AcquireFunc[J any] func(worker, idx int, job J) (trace.Trace, error)
+// AcquireFunc runs one simulated acquisition and returns its result.
+// Called concurrently; must depend only on (idx, job). worker
+// identifies the calling worker for worker-owned scratch state.
+type AcquireFunc[J, R any] func(worker, idx int, job J) (R, error)
 
-// ConsumeFunc folds one completed trace into the campaign statistics.
+// ConsumeFunc folds one completed result into the campaign statistics.
 // Called serially in index order; returning stop=true ends the run
-// after this trace.
-type ConsumeFunc[J any] func(idx int, job J, tr trace.Trace) (stop bool, err error)
+// after this sample.
+type ConsumeFunc[J, R any] func(idx int, job J, out R) (stop bool, err error)
 
 type item[J any] struct {
 	idx int
 	job J
 }
 
-type outcome[J any] struct {
+type outcome[J, R any] struct {
 	idx int
 	job J
-	tr  trace.Trace
+	out R
 	err error
 }
 
-// Run acquires traces for indices [from, to) — to < 0 means unbounded,
-// in which case consume MUST eventually stop the run. It returns the
-// number of traces consumed. Errors (from prepare, acquire, or
-// consume) surface in index order, so even failure is deterministic.
-func Run[J any](from, to int, cfg Config, prepare PrepareFunc[J], acquire AcquireFunc[J], consume ConsumeFunc[J]) (int, error) {
+// Run acquires results for indices [from, to) — to < 0 means
+// unbounded, in which case consume MUST eventually stop the run. It
+// returns the number of samples consumed. Errors (from prepare,
+// acquire, or consume) surface in index order, so even failure is
+// deterministic.
+func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire AcquireFunc[J, R], consume ConsumeFunc[J, R]) (int, error) {
 	if to >= 0 && from >= to {
 		return 0, nil
 	}
@@ -112,7 +118,7 @@ func Run[J any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acquir
 	}
 
 	jobs := make(chan item[J], workers)
-	results := make(chan outcome[J], workers)
+	results := make(chan outcome[J, R], workers)
 	quit := make(chan struct{})
 
 	// Dispatcher: prepares jobs serially in index order.
@@ -124,7 +130,7 @@ func Run[J any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acquir
 				// Deliver the error as this index's outcome so the
 				// consumer surfaces it in order.
 				select {
-				case results <- outcome[J]{idx: idx, err: err}:
+				case results <- outcome[J, R]{idx: idx, err: err}:
 				case <-quit:
 				}
 				return
@@ -144,9 +150,9 @@ func Run[J any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acquir
 		go func(w int) {
 			defer wg.Done()
 			for it := range jobs {
-				tr, err := acquire(w, it.idx, it.job)
+				out, err := acquire(w, it.idx, it.job)
 				select {
-				case results <- outcome[J]{idx: it.idx, job: it.job, tr: tr, err: err}:
+				case results <- outcome[J, R]{idx: it.idx, job: it.job, out: out, err: err}:
 				case <-quit:
 					return
 				}
@@ -159,9 +165,10 @@ func Run[J any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acquir
 	}()
 
 	// Consumer: reorder buffer feeding consume in index order. The
-	// buffer holds at most O(workers) traces: in-flight work is bounded
-	// by the two channel capacities plus the workers themselves.
-	pending := make(map[int]outcome[J], 3*workers+2)
+	// buffer holds at most O(workers) results: in-flight work is
+	// bounded by the two channel capacities plus the workers
+	// themselves.
+	pending := make(map[int]outcome[J, R], 3*workers+2)
 	cursor := from
 	consumed := 0
 	var runErr error
@@ -175,7 +182,7 @@ func Run[J any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acquir
 				runErr = r.err
 				break
 			}
-			stop, err := consume(cursor, r.job, r.tr)
+			stop, err := consume(cursor, r.job, r.out)
 			cursor++
 			consumed++
 			if cfg.Progress != nil {

@@ -15,7 +15,7 @@ import (
 // fakeAcquire derives a small trace purely from the index — the
 // determinism contract — with an optional scheduling shake so the
 // reorder buffer actually reorders under -race.
-func fakeAcquire(shake bool) AcquireFunc[uint64] {
+func fakeAcquire(shake bool) AcquireFunc[uint64, trace.Trace] {
 	return func(worker, idx int, job uint64) (trace.Trace, error) {
 		if shake && idx%3 == 0 {
 			time.Sleep(time.Duration(idx%5) * 100 * time.Microsecond)
@@ -295,4 +295,46 @@ func TestRunNoGoroutineLeakOnEarlyStop(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+func TestRunGenericResultTypes(t *testing.T) {
+	// The engine is generic in the result type: a fault sweep returns
+	// classifications, a link sweep returns session outcomes. Pin that
+	// a non-trace result flows through the reorder buffer unchanged
+	// and in index order for several worker counts.
+	type verdict struct {
+		Idx  int
+		Tag  string
+		Bits int
+	}
+	run := func(workers int) []verdict {
+		var out []verdict
+		_, err := Run(0, 40, Config{Workers: workers},
+			func(idx int) (int, error) { return idx * 3, nil },
+			func(worker, idx int, job int) (verdict, error) {
+				if idx%4 == 0 {
+					time.Sleep(time.Duration(idx%3) * 50 * time.Microsecond)
+				}
+				return verdict{Idx: idx, Tag: fmt.Sprintf("j%d", job), Bits: job * 8}, nil
+			},
+			func(idx int, job int, v verdict) (bool, error) {
+				out = append(out, v)
+				return false, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 7} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: generic result sequence diverged", w)
+		}
+	}
+	for i, v := range want {
+		if v.Idx != i || v.Bits != i*24 {
+			t.Fatalf("result %d corrupted: %+v", i, v)
+		}
+	}
 }

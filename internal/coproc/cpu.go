@@ -71,8 +71,9 @@ type CPU struct {
 	Consts [NumConsts]gf2m.Element
 	RAM    [NumRAM]gf2m.Element
 
-	cycle int
-	ev    CycleEvent
+	cycle     int
+	randDraws int
+	ev        CycleEvent
 }
 
 // NewCPU returns a CPU with the given timing.
@@ -91,10 +92,18 @@ func (c *CPU) Reset() {
 	c.Consts = [NumConsts]gf2m.Element{}
 	c.RAM = [NumRAM]gf2m.Element{}
 	c.cycle = 0
+	c.randDraws = 0
 	c.ev = CycleEvent{}
 	c.Rand = nil
 	c.Probe = nil
 	c.MaxCycles = 0
+}
+
+// drawRand feeds OpLoadRnd while counting TRNG words so a Snapshot can
+// record how far into the stream the run has advanced.
+func (c *CPU) drawRand() uint64 {
+	c.randDraws++
+	return c.Rand()
 }
 
 // SetOperandConstants loads the constant ROM for a point
@@ -253,13 +262,98 @@ func RandNonZeroElement(src func() uint64) gf2m.Element {
 	}
 }
 
+// Snapshot captures the full architectural state of a run at an
+// instruction boundary: the register file, constant ROM, scratch RAM,
+// the global cycle counter, and how many TRNG words the run has drawn
+// so far. Resuming from a Snapshot with the same program, scalar and
+// TRNG stream reproduces the remainder of the run bit-identically —
+// the fault-sweep engine uses this to simulate only the suffix of the
+// program after each injection point instead of re-running the ~86k
+// cycle prefix for every point in the fault space.
+type Snapshot struct {
+	// Instr is the index of the next instruction to execute.
+	Instr int
+	// Cycle is the global cycle counter at the boundary.
+	Cycle int
+	// RandDraws is the number of TRNG words drawn so far; Resume
+	// fast-forwards a fresh stream by this many draws.
+	RandDraws int
+
+	Regs   [NumRegs]gf2m.Element
+	Consts [NumConsts]gf2m.Element
+	RAM    [NumRAM]gf2m.Element
+}
+
+// snapshot captures the state with nextInstr as the resume point.
+func (c *CPU) snapshot(nextInstr int) Snapshot {
+	return Snapshot{
+		Instr:     nextInstr,
+		Cycle:     c.cycle,
+		RandDraws: c.randDraws,
+		Regs:      c.Regs,
+		Consts:    c.Consts,
+		RAM:       c.RAM,
+	}
+}
+
 // Run executes the program against the given scalar. It returns the
 // total cycle count. If MaxCycles stops the run early it returns
 // ErrStopped (the registers then hold the in-flight state, which is
 // exactly what trace acquisition wants).
 func (c *CPU) Run(p *Program, key modn.Scalar) (int, error) {
 	c.cycle = 0
-	for idx := range p.Instrs {
+	c.randDraws = 0
+	return c.run(p, key, 0, nil)
+}
+
+// RunCheckpointed executes the whole program like Run while capturing
+// a Snapshot before every instruction for which keep(instrIndex,
+// startCycle) returns true (keep == nil keeps every boundary). The
+// snapshots are returned in execution order.
+func (c *CPU) RunCheckpointed(p *Program, key modn.Scalar, keep func(instrIndex, startCycle int) bool) ([]Snapshot, int, error) {
+	c.cycle = 0
+	c.randDraws = 0
+	var snaps []Snapshot
+	n, err := c.run(p, key, 0, func(idx int) {
+		if keep == nil || keep(idx, c.cycle) {
+			snaps = append(snaps, c.snapshot(idx))
+		}
+	})
+	return snaps, n, err
+}
+
+// Resume restores a Snapshot and executes the rest of the program.
+// The caller must install the same Timing and a fresh TRNG stream
+// seeded identically to the original run: Resume fast-forwards it by
+// snap.RandDraws words so OpLoadRnd sees exactly the values the full
+// run would. Probe and MaxCycles behave as in Run (cycle numbering is
+// global, continuing from snap.Cycle).
+func (c *CPU) Resume(p *Program, key modn.Scalar, snap Snapshot) (int, error) {
+	if snap.Instr < 0 || snap.Instr > len(p.Instrs) {
+		return 0, fmt.Errorf("coproc: snapshot instruction %d out of program range", snap.Instr)
+	}
+	if snap.RandDraws > 0 && c.Rand == nil {
+		return 0, errors.New("coproc: resume of a randomized run requires a TRNG source")
+	}
+	c.Regs = snap.Regs
+	c.Consts = snap.Consts
+	c.RAM = snap.RAM
+	c.cycle = snap.Cycle
+	c.randDraws = snap.RandDraws
+	for i := 0; i < snap.RandDraws; i++ {
+		c.Rand()
+	}
+	return c.run(p, key, snap.Instr, nil)
+}
+
+// run executes instructions [fromInstr, len(p.Instrs)) with the
+// current architectural state, invoking onInstr (when non-nil) at each
+// instruction boundary before it executes.
+func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx int)) (int, error) {
+	for idx := fromInstr; idx < len(p.Instrs); idx++ {
+		if onInstr != nil {
+			onInstr(idx)
+		}
 		in := &p.Instrs[idx]
 		switch in.Op {
 		case OpNop:
@@ -301,7 +395,7 @@ func (c *CPU) Run(p *Program, key modn.Scalar) (int, error) {
 				if c.Rand == nil {
 					return c.cycle, errors.New("coproc: OpLoadRnd requires a TRNG source")
 				}
-				v = RandNonZeroElement(c.Rand)
+				v = RandNonZeroElement(c.drawRand)
 				busHW = v.Weight()
 			}
 			old, err := c.writeOperand(in.Rd, v)

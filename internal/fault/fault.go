@@ -13,8 +13,9 @@
 package fault
 
 import (
-	"errors"
+	"fmt"
 
+	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
@@ -27,6 +28,34 @@ type Injection struct {
 	Cycle int
 	Reg   int
 	Bit   int
+}
+
+// InjectionError is the typed rejection of an injection whose target
+// lies outside the machine or the program: negative or past-the-end
+// cycles, register indices outside the file, bit positions outside the
+// field width. Callers sweeping generated fault spaces can distinguish
+// it from simulator failures with errors.As.
+type InjectionError struct {
+	Inj    Injection
+	Reason string
+}
+
+func (e *InjectionError) Error() string {
+	return fmt.Sprintf("fault: invalid injection (cycle %d, reg %d, bit %d): %s",
+		e.Inj.Cycle, e.Inj.Reg, e.Inj.Bit, e.Reason)
+}
+
+// validate rejects injections no physical glitch could correspond to.
+func (inj Injection) validate() error {
+	switch {
+	case inj.Cycle < 0:
+		return &InjectionError{Inj: inj, Reason: "negative cycle"}
+	case inj.Reg < 0 || inj.Reg >= coproc.NumRegs:
+		return &InjectionError{Inj: inj, Reason: "register outside the file"}
+	case inj.Bit < 0 || inj.Bit >= 163:
+		return &InjectionError{Inj: inj, Reason: "bit outside the field width"}
+	}
+	return nil
 }
 
 // Result classifies the outcome of one faulted run.
@@ -61,8 +90,8 @@ func (r Result) String() string {
 // RunWithFault executes one point multiplication k*P with the given
 // injection and classifies the outcome under output validation.
 func RunWithFault(curve *ec.Curve, tim coproc.Timing, k modn.Scalar, p ec.Point, inj Injection, trngSeed uint64) (Result, error) {
-	if inj.Reg < 0 || inj.Reg >= coproc.NumRegs || inj.Bit < 0 || inj.Bit >= 163 {
-		return 0, errors.New("fault: injection target out of range")
+	if err := inj.validate(); err != nil {
+		return 0, err
 	}
 	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
 
@@ -90,7 +119,7 @@ func RunWithFault(curve *ec.Curve, tim coproc.Timing, k modn.Scalar, p ec.Point,
 		return 0, err
 	}
 	if !injected {
-		return 0, errors.New("fault: injection cycle beyond program end")
+		return 0, &InjectionError{Inj: inj, Reason: "cycle beyond program end"}
 	}
 	got := ec.Point{X: cpu.ResultX(prog), Y: cpu.ResultY(prog)}
 
@@ -120,23 +149,49 @@ type CampaignReport struct {
 // Campaign injects n random single-bit faults at uniformly random
 // cycles of the ladder phase and reports the outcome distribution. A
 // sound countermeasure shows Escaped == 0.
+//
+// The sampling runs on the campaign engine: randomness is drawn
+// serially in sample order (so the report is bit-identical to the
+// historical serial loop for the same seed) while the simulations
+// themselves fan out across workers. Each sample draws a fresh scalar
+// and base point — for an exhaustive map of the fault space of one
+// fixed computation, use Sweep, which shares a single reference run
+// and resumes faulted runs from checkpoints.
 func Campaign(curve *ec.Curve, tim coproc.Timing, n int, seed uint64) (*CampaignReport, error) {
+	return CampaignWorkers(curve, tim, n, seed, 0)
+}
+
+// campaignJob is one random sample: a full computation plus one fault.
+type campaignJob struct {
+	k    modn.Scalar
+	p    ec.Point
+	inj  Injection
+	trng uint64
+}
+
+// CampaignWorkers is Campaign with an explicit worker count (<= 0
+// selects GOMAXPROCS). The report is identical for any worker count.
+func CampaignWorkers(curve *ec.Curve, tim coproc.Timing, n int, seed uint64, workers int) (*CampaignReport, error) {
 	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
 	start, end := prog.IterationWindow(tim, 162, 0)
 	d := rng.NewDRBG(seed)
 	rep := &CampaignReport{}
-	for i := 0; i < n; i++ {
-		k := curve.Order.RandNonZero(d.Uint64)
-		p := curve.RandomPoint(d.Uint64)
-		inj := Injection{
-			Cycle: start + d.Intn(end-start),
-			Reg:   d.Intn(coproc.NumRegs),
-			Bit:   d.Intn(163),
-		}
-		res, err := RunWithFault(curve, tim, k, p, inj, seed+uint64(i))
-		if err != nil {
-			return nil, err
-		}
+	prepare := func(idx int) (campaignJob, error) {
+		return campaignJob{
+			k: curve.Order.RandNonZero(d.Uint64),
+			p: curve.RandomPoint(d.Uint64),
+			inj: Injection{
+				Cycle: start + d.Intn(end-start),
+				Reg:   d.Intn(coproc.NumRegs),
+				Bit:   d.Intn(163),
+			},
+			trng: seed + uint64(idx),
+		}, nil
+	}
+	acquire := func(worker, idx int, job campaignJob) (Result, error) {
+		return RunWithFault(curve, tim, job.k, job.p, job.inj, job.trng)
+	}
+	consume := func(idx int, job campaignJob, res Result) (bool, error) {
 		rep.Runs++
 		switch res {
 		case Benign:
@@ -146,6 +201,10 @@ func Campaign(curve *ec.Curve, tim coproc.Timing, n int, seed uint64) (*Campaign
 		case Escaped:
 			rep.Escaped++
 		}
+		return false, nil
+	}
+	if _, err := campaign.Run(0, n, campaign.Config{Workers: workers}, prepare, acquire, consume); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

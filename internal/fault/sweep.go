@@ -1,0 +1,232 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"medsec/internal/campaign"
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/rng"
+)
+
+// Sweep is the exhaustive/stratified fault-space map. Where Campaign
+// samples random (computation, fault) pairs, Sweep fixes ONE
+// computation — one scalar, one base point, one TRNG stream, all
+// derived from the seed — and enumerates the (cycle × register × bit)
+// grid of single-bit faults over a ladder-iteration window, classifying
+// every injection as benign/detected/escaped under output validation.
+//
+// Two structural optimizations make exhaustive coverage affordable:
+//
+//   - one shared reference run per sweep (the historical code paid a
+//     full fault-free simulation per sample);
+//   - checkpoint/resume: the reference run is checkpointed at
+//     instruction boundaries (coproc.RunCheckpointed) and every faulted
+//     run resumes from the last checkpoint before its injection cycle
+//     (coproc.Resume), simulating only the suffix the fault can affect.
+//     For the late-iteration windows that matter for Bellcore-style
+//     attacks the suffix is a few dozen instructions, not the whole
+//     ladder.
+//
+// Determinism: jobs are enumerated in a fixed grid order and each
+// faulted run is a pure function of its injection (fresh CPU, fresh
+// TRNG stream fast-forwarded by the checkpoint), so the report is
+// bit-identical for any worker count.
+type SweepConfig struct {
+	// FromIter/ToIter bound the ladder-iteration window swept,
+	// numbered in processing order from 162 down to 0; FromIter must
+	// be >= ToIter. The zero value sweeps the final iteration — the
+	// suffix a Bellcore-style attacker targets and the cheapest to
+	// resume.
+	FromIter, ToIter int
+	// CycleStride/RegStride/BitStride stratify the grid: every Nth
+	// cycle of the window, every Nth register, every Nth bit. Values
+	// <= 0 mean 1 (exhaustive in that dimension).
+	CycleStride, RegStride, BitStride int
+	// Workers is the campaign pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Seed derives the swept computation: scalar, base point and the
+	// device TRNG stream.
+	Seed uint64
+	// Progress, when non-nil, is called serially after each consumed
+	// injection with (done, total).
+	Progress func(done, total int)
+}
+
+// Tally is one benign/detected/escaped count triple.
+type Tally struct {
+	Benign   int
+	Detected int
+	Escaped  int
+}
+
+// Runs returns the total injections behind the tally.
+func (t Tally) Runs() int { return t.Benign + t.Detected + t.Escaped }
+
+// OpTally is the per-instruction-class breakdown entry: how faults
+// injected while instructions of one opcode were executing fared.
+type OpTally struct {
+	Op coproc.Op
+	Tally
+}
+
+// SweepReport aggregates an exhaustive fault-space sweep.
+type SweepReport struct {
+	Tally
+	// Total is the grid size; Runs() == Total unless the sweep was
+	// stopped early.
+	Total int
+	// WindowStart/WindowEnd are the swept cycle interval [start, end).
+	WindowStart, WindowEnd int
+	// ByOp is the per-instruction-class breakdown, sorted by opcode.
+	ByOp []OpTally
+	// Escapes lists every injection whose corrupted result passed
+	// validation — the countermeasure's failure inventory (empty for a
+	// sound implementation).
+	Escapes []Injection
+}
+
+// String renders the report summary with the per-class breakdown.
+func (r *SweepReport) String() string {
+	s := fmt.Sprintf("sweep: %d injections over cycles [%d,%d): %d benign, %d detected, %d escaped",
+		r.Runs(), r.WindowStart, r.WindowEnd, r.Benign, r.Detected, r.Escaped)
+	for _, ot := range r.ByOp {
+		s += fmt.Sprintf("\n  %-8v %5d benign %5d detected %5d escaped",
+			ot.Op, ot.Benign, ot.Detected, ot.Escaped)
+	}
+	return s
+}
+
+// Sweep runs the exhaustive fault-space map described on SweepConfig.
+func Sweep(curve *ec.Curve, tim coproc.Timing, cfg SweepConfig) (*SweepReport, error) {
+	if cfg.FromIter < cfg.ToIter || cfg.ToIter < 0 || cfg.FromIter > 162 {
+		return nil, fmt.Errorf("fault: iteration window %d..%d invalid", cfg.FromIter, cfg.ToIter)
+	}
+	strideOr1 := func(s int) int {
+		if s <= 0 {
+			return 1
+		}
+		return s
+	}
+	cs, rs, bs := strideOr1(cfg.CycleStride), strideOr1(cfg.RegStride), strideOr1(cfg.BitStride)
+
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
+	start, end := prog.IterationWindow(tim, cfg.FromIter, cfg.ToIter)
+	spans := prog.Spans(tim)
+
+	// The swept computation, fixed for the whole grid.
+	d := rng.NewDRBG(cfg.Seed)
+	k := curve.Order.RandNonZero(d.Uint64)
+	p := curve.RandomPoint(d.Uint64)
+	trngSeed := cfg.Seed ^ 0xF1A7_5EED
+
+	// One reference run, checkpointed at every instruction boundary up
+	// to the window end (later checkpoints can never be resumed from).
+	ref := coproc.NewCPU(tim)
+	ref.Rand = rng.NewDRBG(trngSeed).Uint64
+	ref.SetOperandConstants(p.X, curve.B, p.Y)
+	snaps, _, err := ref.RunCheckpointed(prog, k, func(idx, cycle int) bool { return cycle < end })
+	if err != nil {
+		return nil, err
+	}
+	want := ec.Point{X: ref.ResultX(prog), Y: ref.ResultY(prog)}
+
+	// Grid enumeration: cycle-major, then register, then bit.
+	nCycles := (end - start + cs - 1) / cs
+	nRegs := (coproc.NumRegs + rs - 1) / rs
+	nBits := (163 + bs - 1) / bs
+	total := nCycles * nRegs * nBits
+	if total == 0 {
+		return nil, fmt.Errorf("fault: empty sweep grid")
+	}
+
+	rep := &SweepReport{Total: total, WindowStart: start, WindowEnd: end}
+	byOp := map[coproc.Op]*Tally{}
+
+	prepare := func(idx int) (Injection, error) {
+		c := idx / (nRegs * nBits)
+		r := (idx / nBits) % nRegs
+		b := idx % nBits
+		return Injection{Cycle: start + c*cs, Reg: r * rs, Bit: b * bs}, nil
+	}
+	acquire := func(worker, idx int, inj Injection) (Result, error) {
+		if err := inj.validate(); err != nil {
+			return 0, err
+		}
+		// Resume from the last checkpoint at or before the injection
+		// cycle. Checkpoint cycles are strictly increasing instruction
+		// starts, so binary search finds it.
+		si := sort.Search(len(snaps), func(i int) bool { return snaps[i].Cycle > inj.Cycle }) - 1
+		if si < 0 {
+			return 0, &InjectionError{Inj: inj, Reason: "cycle before program start"}
+		}
+		cpu := coproc.NewCPU(tim)
+		cpu.Rand = rng.NewDRBG(trngSeed).Uint64
+		cpu.SetOperandConstants(p.X, curve.B, p.Y)
+		injected := false
+		cpu.Probe = func(ev *coproc.CycleEvent) {
+			if !injected && ev.Cycle == inj.Cycle {
+				cpu.Regs[inj.Reg] = cpu.Regs[inj.Reg].SetBit(inj.Bit, cpu.Regs[inj.Reg].Bit(inj.Bit)^1)
+				injected = true
+			}
+		}
+		if _, err := cpu.Resume(prog, k, snaps[si]); err != nil {
+			return 0, err
+		}
+		if !injected {
+			return 0, &InjectionError{Inj: inj, Reason: "cycle beyond program end"}
+		}
+		got := ec.Point{X: cpu.ResultX(prog), Y: cpu.ResultY(prog)}
+		if got.Equal(want) {
+			return Benign, nil
+		}
+		if err := ValidateOutput(curve, got); err != nil {
+			return Detected, nil
+		}
+		return Escaped, nil
+	}
+	consume := func(idx int, inj Injection, res Result) (bool, error) {
+		op := opAtCycle(spans, inj.Cycle)
+		t := byOp[op]
+		if t == nil {
+			t = &Tally{}
+			byOp[op] = t
+		}
+		switch res {
+		case Benign:
+			rep.Benign++
+			t.Benign++
+		case Detected:
+			rep.Detected++
+			t.Detected++
+		case Escaped:
+			rep.Escaped++
+			t.Escaped++
+			rep.Escapes = append(rep.Escapes, inj)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(idx+1, total)
+		}
+		return false, nil
+	}
+
+	if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers}, prepare, acquire, consume); err != nil {
+		return nil, err
+	}
+	for op, t := range byOp {
+		rep.ByOp = append(rep.ByOp, OpTally{Op: op, Tally: *t})
+	}
+	sort.Slice(rep.ByOp, func(i, j int) bool { return rep.ByOp[i].Op < rep.ByOp[j].Op })
+	return rep, nil
+}
+
+// opAtCycle returns the opcode of the instruction executing at the
+// given cycle (spans are contiguous and sorted by Start).
+func opAtCycle(spans []coproc.InstrSpan, cycle int) coproc.Op {
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].End > cycle })
+	if i == len(spans) {
+		return spans[len(spans)-1].Op
+	}
+	return spans[i].Op
+}

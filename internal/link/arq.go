@@ -1,0 +1,332 @@
+package link
+
+import (
+	"errors"
+	"fmt"
+
+	"medsec/internal/rng"
+)
+
+// Event is one entry of a Pair's delivery transcript (recorded when
+// Pair.Record is true). The transcript is part of the determinism
+// contract: identical seed + configs + call sequence ⇒ identical
+// transcript.
+type Event struct {
+	Tick int
+	Dir  string // "A>B" or "B>A"
+	Kind string // data, ack, drop, trunc, corrupt, dup, deliver, ack-rx, timeout, budget
+	Seq  int
+	Try  int
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("t=%-6d %s %-8s seq=%d try=%d", e.Tick, e.Dir, e.Kind, e.Seq, e.Try)
+}
+
+// delivery is one copy of a frame that physically reached the peer.
+type delivery struct {
+	frame     []byte
+	truncated bool
+	corrupted bool
+	duplicate bool
+}
+
+// faultStream is the fault process of one channel direction.
+type faultStream struct {
+	cfg   ChannelConfig
+	d     *rng.DRBG
+	burst bool
+}
+
+// prob draws one Bernoulli decision from the stream.
+func (fs *faultStream) prob(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(fs.d.Uint64()>>11)*(1.0/(1<<53)) < p
+}
+
+// transmit pushes one frame through the fault model and returns the
+// delivered copies (0, 1 or 2).
+func (fs *faultStream) transmit(frame []byte) (out []delivery, dropped bool) {
+	// Gilbert–Elliott burst state advances once per frame.
+	if fs.burst {
+		if fs.prob(fs.cfg.BurstExitRate) {
+			fs.burst = false
+		}
+	} else if fs.prob(fs.cfg.BurstEnterRate) {
+		fs.burst = true
+	}
+	dropRate := fs.cfg.DropRate
+	if fs.burst {
+		dropRate = fs.cfg.BurstDropRate
+	}
+	if fs.prob(dropRate) {
+		return nil, true
+	}
+
+	del := delivery{frame: append([]byte(nil), frame...)}
+	if fs.prob(fs.cfg.TruncateRate) && len(del.frame) > 1 {
+		cut := 1 + fs.d.Intn(len(del.frame)-1)
+		del.frame = del.frame[:cut]
+		del.truncated = true
+		del.corrupted = true
+	}
+	if fs.cfg.BitFlipRate > 0 {
+		for i := range del.frame {
+			for b := 0; b < 8; b++ {
+				if fs.prob(fs.cfg.BitFlipRate) {
+					del.frame[i] ^= 1 << b
+					del.corrupted = true
+				}
+			}
+		}
+	}
+	out = []delivery{del}
+	if fs.prob(fs.cfg.DuplicateRate) {
+		dup := delivery{frame: append([]byte(nil), del.frame...),
+			truncated: del.truncated, corrupted: del.corrupted, duplicate: true}
+		out = append(out, dup)
+	}
+	return out, false
+}
+
+// Pair is a bidirectional point-to-point link: two Endpoints joined by
+// two independent fault streams and a shared virtual clock.
+type Pair struct {
+	arq ARQConfig
+	// Record enables the delivery transcript (Log).
+	Record bool
+	Log    []Event
+
+	clock int
+	a, b  Endpoint
+}
+
+// NewPair builds a link with the same channel model in both directions
+// and the given ARQ policy. All channel randomness derives from seed.
+func NewPair(cc ChannelConfig, ac ARQConfig, seed uint64) (*Pair, error) {
+	if err := cc.validate(); err != nil {
+		return nil, err
+	}
+	if err := ac.validate(); err != nil {
+		return nil, err
+	}
+	p := &Pair{arq: ac}
+	// Golden-ratio substream separation (runtime arithmetic wraps mod 2^64).
+	sub := func(n uint64) uint64 { return seed + n*0x9E3779B97F4A7C15 }
+	p.a = Endpoint{pair: p, name: "A", dir: "A>B",
+		out: &faultStream{cfg: cc, d: rng.NewDRBG(sub(1))},
+		jit: rng.NewDRBG(sub(3))}
+	p.b = Endpoint{pair: p, name: "B", dir: "B>A",
+		out: &faultStream{cfg: cc, d: rng.NewDRBG(sub(2))},
+		jit: rng.NewDRBG(sub(4))}
+	p.a.peer = &p.b
+	p.b.peer = &p.a
+	return p, nil
+}
+
+// NewLosslessPair returns the perfect-channel link: single-attempt
+// delivery, no retries ever needed. It is the baseline every energy
+// number in the repo was measured against before this package existed.
+func NewLosslessPair() *Pair {
+	p, err := NewPair(Lossless(), DefaultARQ(), 0)
+	if err != nil {
+		panic(err) // static configs; cannot fail
+	}
+	return p
+}
+
+// A and B return the two endpoints. By convention the protocol layer
+// gives A to the implant (tag) and B to the programmer (reader).
+func (p *Pair) A() *Endpoint { return &p.a }
+func (p *Pair) B() *Endpoint { return &p.b }
+
+// Elapsed returns the virtual time consumed so far: one tick per
+// frame byte of airtime plus every timeout/backoff wait.
+func (p *Pair) Elapsed() int { return p.clock }
+
+func (p *Pair) event(dir, kind string, seq, try int) {
+	if p.Record {
+		p.Log = append(p.Log, Event{Tick: p.clock, Dir: dir, Kind: kind, Seq: seq, Try: try})
+	}
+}
+
+// Endpoint is one side of a Pair. It implements Channel. Not safe for
+// concurrent use — the transport is a synchronous lockstep simulation.
+type Endpoint struct {
+	pair *Pair
+	peer *Endpoint
+	name string
+	dir  string
+	out  *faultStream // fault process for frames this endpoint transmits
+	jit  *rng.DRBG    // deterministic backoff jitter
+
+	seq         uint8 // next data sequence number to send
+	expect      uint8 // next data sequence number expected from peer
+	inbox       [][]byte
+	retriesUsed int
+	stats       Stats
+}
+
+// Stats implements Channel.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// RetriesLeft reports the remaining retry budget (negative budget
+// means unbounded and returns a negative number).
+func (e *Endpoint) RetriesLeft() int {
+	if e.pair.arq.RetryBudget < 0 {
+		return -1
+	}
+	return e.pair.arq.RetryBudget - e.retriesUsed
+}
+
+// backoffWait returns the virtual wait after attempt `try` (1-based):
+// capped binary exponential backoff plus deterministic jitter.
+func (e *Endpoint) backoffWait(try int) int {
+	a := e.pair.arq
+	w := a.BaseTimeout
+	for i := 1; i < try && w < a.MaxBackoff; i++ {
+		w *= 2
+	}
+	if w > a.MaxBackoff && a.MaxBackoff > 0 {
+		w = a.MaxBackoff
+	}
+	if a.JitterTicks > 0 {
+		w += e.jit.Intn(a.JitterTicks + 1)
+	}
+	return w
+}
+
+// Send implements Channel: frame the payload, transmit, await the
+// acknowledgement, and retry under the backoff policy until the frame
+// is acknowledged or the retry budget dies. The error on budget
+// exhaustion is a *BudgetError.
+func (e *Endpoint) Send(payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("link: payload %d bytes exceeds MaxPayload", len(payload))
+	}
+	frame := encodeFrame(typeData, e.seq, payload)
+	arq := e.pair.arq
+	for try := 1; ; try++ {
+		if try > arq.MaxTries {
+			e.pair.event(e.dir, "budget", int(e.seq), try-1)
+			return &BudgetError{Seq: int(e.seq), Tries: try - 1, Budget: false}
+		}
+		if try > 1 {
+			if arq.RetryBudget >= 0 && e.retriesUsed >= arq.RetryBudget {
+				e.pair.event(e.dir, "budget", int(e.seq), try-1)
+				return &BudgetError{Seq: int(e.seq), Tries: try - 1, Budget: true}
+			}
+			e.retriesUsed++
+			e.stats.Retries++
+		}
+
+		// Physical attempt: airtime + fault process.
+		e.stats.FramesSent++
+		e.stats.DataTxBits += 8 * len(payload)
+		e.stats.OverheadTxBits += OverheadBits
+		e.pair.clock += len(frame)
+		e.pair.event(e.dir, "data", int(e.seq), try)
+		deliveries, dropped := e.out.transmit(frame)
+		if dropped {
+			e.stats.Dropped++
+			e.pair.event(e.dir, "drop", int(e.seq), try)
+		}
+		acked := false
+		for _, del := range deliveries {
+			switch {
+			case del.duplicate:
+				e.stats.Duplicated++
+				e.pair.event(e.dir, "dup", int(e.seq), try)
+			case del.truncated:
+				e.stats.Truncated++
+				e.pair.event(e.dir, "trunc", int(e.seq), try)
+			case del.corrupted:
+				e.stats.Corrupted++
+				e.pair.event(e.dir, "corrupt", int(e.seq), try)
+			default:
+				e.stats.Delivered++
+				e.pair.event(e.dir, "deliver", int(e.seq), try)
+			}
+			if ackSeq, ok := e.peer.onData(del.frame); ok && ackSeq == e.seq {
+				acked = true
+			}
+		}
+		if acked {
+			e.seq++
+			return nil
+		}
+		// Timeout: wait (virtually) before the retransmission.
+		wait := e.backoffWait(try)
+		e.pair.clock += wait
+		e.pair.event(e.dir, "timeout", int(e.seq), try)
+	}
+}
+
+// onData processes a physically arriving frame addressed to e: bill
+// receive energy, CRC-check, deduplicate, buffer, and acknowledge.
+// It returns the sequence number it acknowledged (and whether that
+// acknowledgement survived the reverse channel back to the sender).
+func (e *Endpoint) onData(frame []byte) (ackSeq uint8, ackDelivered bool) {
+	n := len(frame)
+	oh := frameOverheadBytes
+	if n < oh {
+		oh = n
+	}
+	e.stats.OverheadRxBits += 8 * oh
+	e.stats.DataRxBits += 8 * (n - oh)
+
+	ftype, seq, payload, ok := decodeFrame(frame)
+	if !ok || ftype != typeData {
+		return 0, false // damaged or stray frame: no acknowledgement
+	}
+	if seq == e.expect {
+		e.inbox = append(e.inbox, append([]byte(nil), payload...))
+		e.expect++
+	}
+	// Acknowledge both fresh frames and duplicates (the duplicate's
+	// ACK may be the one that finally reaches the sender).
+	return seq, e.sendAck(seq)
+}
+
+// sendAck transmits an acknowledgement for seq through this endpoint's
+// outbound fault process and reports whether any copy reached the peer
+// intact.
+func (e *Endpoint) sendAck(seq uint8) bool {
+	ack := encodeFrame(typeAck, seq, nil)
+	e.stats.AckTxBits += 8 * len(ack)
+	e.pair.clock += len(ack)
+	e.pair.event(e.dir, "ack", int(seq), 0)
+	deliveries, _ := e.out.transmit(ack)
+	got := false
+	for _, del := range deliveries {
+		if e.peer.onAck(del.frame, seq) {
+			got = true
+		}
+	}
+	return got
+}
+
+// onAck processes an arriving acknowledgement frame.
+func (e *Endpoint) onAck(frame []byte, want uint8) bool {
+	e.stats.AckRxBits += 8 * len(frame)
+	ftype, seq, _, ok := decodeFrame(frame)
+	if !ok || ftype != typeAck || seq != want {
+		return false
+	}
+	e.pair.event(e.peer.dir, "ack-rx", int(seq), 0)
+	return true
+}
+
+// Recv implements Channel: pop the next delivered payload.
+func (e *Endpoint) Recv() ([]byte, error) {
+	if len(e.inbox) == 0 {
+		return nil, errors.New("link: no payload pending")
+	}
+	p := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return p, nil
+}
+
+var _ Channel = (*Endpoint)(nil)

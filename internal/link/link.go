@@ -1,0 +1,257 @@
+// Package link is the resilient wireless link layer under the
+// protocol sessions: a deterministic, seed-driven lossy/adversarial
+// channel model plus a CRC-framed ARQ (automatic repeat request)
+// transport with per-try timeouts, capped exponential backoff with
+// deterministic jitter, and a bounded retry budget.
+//
+// The paper's protocol-level energy rule — "the communication should
+// be minimized since wireless communication is power-hungry" — is only
+// meaningful if the communication count is honest. A perfect channel
+// silently assumes zero retransmissions; a real implant link drops and
+// corrupts frames, and every retransmission costs transmit energy the
+// battery pays for. This package makes the physical attempt counts
+// observable (Stats) so the protocol ledgers can price *actual*
+// transmissions, including retries.
+//
+// # Channel model
+//
+// Each direction of a Pair is an independent fault process driven by
+// its own DRBG substream. Per transmitted frame, in order:
+//
+//  1. the Gilbert–Elliott burst state advances (good ⇄ burst);
+//  2. the frame is dropped with the state's drop probability;
+//  3. a surviving frame may be truncated (cut short at a random byte);
+//  4. each surviving bit flips independently with BitFlipRate;
+//  5. the frame may be duplicated (delivered twice).
+//
+// # Determinism contract
+//
+// Everything — drop decisions, flip positions, truncation lengths,
+// backoff jitter — derives from the Pair's seed and the sequence of
+// Send calls. The transport is synchronous and single-goroutine:
+// identical seed + configs + call sequence ⇒ bit-identical delivery
+// transcript, Stats, retry counts and virtual clock, on any machine
+// and under any test parallelism. Time is virtual (ticks), so tests
+// never sleep and campaigns never race.
+//
+// # Energy accounting convention
+//
+// Stats separates payload bits from link overhead so the protocol
+// ledgers stay comparable with the perfect-channel baseline:
+//
+//   - DataTxBits counts 8×len(payload) per physical data-frame
+//     attempt (so retries multiply it); DataRxBits counts the payload
+//     portion of every frame that physically reaches the receiver's
+//     radio, intact or corrupted.
+//   - OverheadTxBits/OverheadRxBits count framing (header + CRC), and
+//     AckTxBits/AckRxBits count acknowledgement frames. These are
+//     REAL energy (cmd/linklab prices them) but are kept out of the
+//     protocol Ledger so that at loss = 0 the ARQ path reproduces the
+//     pre-existing perfect-channel ledgers bit for bit.
+package link
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ChannelConfig parametrizes the per-direction fault model. All rates
+// are probabilities in [0, 1].
+type ChannelConfig struct {
+	// DropRate is the iid frame-drop probability in the good state.
+	DropRate float64
+	// BitFlipRate is the per-bit flip probability on surviving frames.
+	BitFlipRate float64
+	// TruncateRate is the probability a surviving frame is cut short.
+	TruncateRate float64
+	// DuplicateRate is the probability a surviving frame is delivered
+	// twice (replay/echo).
+	DuplicateRate float64
+	// BurstEnterRate is the per-frame probability of entering the
+	// burst (bad) state; BurstExitRate of leaving it. In the burst
+	// state frames drop with BurstDropRate instead of DropRate.
+	BurstEnterRate float64
+	BurstExitRate  float64
+	BurstDropRate  float64
+}
+
+// Lossless returns the perfect-channel configuration: every frame is
+// delivered intact on the first attempt.
+func Lossless() ChannelConfig { return ChannelConfig{} }
+
+// Lossy returns an iid lossy preset: frames drop with rate p and a
+// light proportional bit-flip process corrupts survivors (p/1000 per
+// bit, so a typical protocol frame still mostly survives intact).
+func Lossy(p float64) ChannelConfig {
+	return ChannelConfig{DropRate: p, BitFlipRate: p / 1000}
+}
+
+// Bursty returns a Gilbert–Elliott preset layered on Lossy(p): bursts
+// arrive with rate p/4, last 1/exit ≈ 4 frames, and drop everything.
+func Bursty(p float64) ChannelConfig {
+	c := Lossy(p)
+	c.BurstEnterRate = p / 4
+	c.BurstExitRate = 0.25
+	c.BurstDropRate = 1.0
+	return c
+}
+
+// validate rejects rates outside [0, 1].
+func (c ChannelConfig) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropRate", c.DropRate}, {"BitFlipRate", c.BitFlipRate},
+		{"TruncateRate", c.TruncateRate}, {"DuplicateRate", c.DuplicateRate},
+		{"BurstEnterRate", c.BurstEnterRate}, {"BurstExitRate", c.BurstExitRate},
+		{"BurstDropRate", c.BurstDropRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("link: %s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// ARQConfig tunes the reliable transport.
+type ARQConfig struct {
+	// MaxTries caps physical attempts per frame (first try included).
+	MaxTries int
+	// RetryBudget caps cumulative retransmissions across an endpoint's
+	// lifetime — the session's retry energy budget. 0 disables retries
+	// entirely; negative means unbounded.
+	RetryBudget int
+	// BaseTimeout is the virtual-tick wait after an unacknowledged
+	// attempt; the wait doubles each try (capped at MaxBackoff) plus a
+	// deterministic jitter in [0, JitterTicks].
+	BaseTimeout int
+	MaxBackoff  int
+	JitterTicks int
+}
+
+// DefaultARQ returns the transport defaults: 8 tries per frame, a
+// 64-retransmission session budget, 32-tick base timeout with capped
+// binary exponential backoff and 8 ticks of jitter.
+func DefaultARQ() ARQConfig {
+	return ARQConfig{MaxTries: 8, RetryBudget: 64, BaseTimeout: 32, MaxBackoff: 1024, JitterTicks: 8}
+}
+
+func (a ARQConfig) validate() error {
+	if a.MaxTries < 1 {
+		return errors.New("link: MaxTries must be at least 1")
+	}
+	if a.BaseTimeout < 0 || a.MaxBackoff < 0 || a.JitterTicks < 0 {
+		return errors.New("link: negative timeout parameters")
+	}
+	return nil
+}
+
+// Stats are cumulative physical-layer counters for one endpoint. See
+// the package comment for the payload/overhead split.
+type Stats struct {
+	// FramesSent counts physical data-frame attempts; Retries counts
+	// attempts beyond each frame's first.
+	FramesSent int
+	Retries    int
+	// Delivered/Dropped/Corrupted/Truncated/Duplicated classify what
+	// the channel did to this endpoint's outbound data frames.
+	Delivered  int
+	Dropped    int
+	Corrupted  int
+	Truncated  int
+	Duplicated int
+
+	// DataTxBits/DataRxBits: payload bits, per attempt / per arrival.
+	DataTxBits int
+	DataRxBits int
+	// OverheadTxBits/OverheadRxBits: framing (header+CRC) bits.
+	OverheadTxBits int
+	OverheadRxBits int
+	// AckTxBits/AckRxBits: acknowledgement frames (sent by the peer's
+	// receive path on our behalf and vice versa).
+	AckTxBits int
+	AckRxBits int
+}
+
+// PhyTxBits returns every bit this endpoint's radio transmitted:
+// payload, framing and ACKs.
+func (s Stats) PhyTxBits() int { return s.DataTxBits + s.OverheadTxBits + s.AckTxBits }
+
+// PhyRxBits returns every bit this endpoint's radio received.
+func (s Stats) PhyRxBits() int { return s.DataRxBits + s.OverheadRxBits + s.AckRxBits }
+
+// BudgetError reports a Send that exhausted its retry allowance; the
+// session layer maps it to a labeled graceful abort.
+type BudgetError struct {
+	// Seq is the data-frame sequence number that could not be
+	// delivered; Tries the physical attempts spent on it.
+	Seq   int
+	Tries int
+	// Budget is true when the session-wide RetryBudget ran out,
+	// false when the per-frame MaxTries cap was hit.
+	Budget bool
+}
+
+func (e *BudgetError) Error() string {
+	if e.Budget {
+		return fmt.Sprintf("link: retry energy budget exhausted (seq %d after %d tries)", e.Seq, e.Tries)
+	}
+	return fmt.Sprintf("link: frame %d undelivered after %d tries", e.Seq, e.Tries)
+}
+
+// Channel is the transport the protocol session layer speaks: reliable
+// in-order payload delivery with observable physical cost. Send blocks
+// (in virtual time) until the payload is acknowledged or the retry
+// budget dies; Recv pops the next delivered payload.
+type Channel interface {
+	Send(payload []byte) error
+	Recv() ([]byte, error)
+	Stats() Stats
+}
+
+// Frame layout: 1 type byte, 1 sequence byte, 2 length bytes, payload,
+// 4 CRC bytes (CRC-32/IEEE over everything before it).
+const (
+	frameOverheadBytes = 8
+	typeData           = 0xD1
+	typeAck            = 0xA2
+
+	// OverheadBits is the framing cost per physical frame.
+	OverheadBits = 8 * frameOverheadBytes
+	// AckBits is the size of an acknowledgement frame (empty payload).
+	AckBits = 8 * frameOverheadBytes
+
+	// MaxPayload is the largest payload a single frame carries. The
+	// protocol messages (compressed points, scalars, sealed telemetry)
+	// are far below it.
+	MaxPayload = 1 << 14
+)
+
+func encodeFrame(ftype byte, seq uint8, payload []byte) []byte {
+	f := make([]byte, 0, frameOverheadBytes+len(payload))
+	f = append(f, ftype, seq, byte(len(payload)>>8), byte(len(payload)))
+	f = append(f, payload...)
+	crc := crc32.ChecksumIEEE(f)
+	return append(f, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+}
+
+// decodeFrame validates length and CRC; ok=false means the frame is
+// damaged (short, inconsistent, or failing the checksum).
+func decodeFrame(f []byte) (ftype byte, seq uint8, payload []byte, ok bool) {
+	if len(f) < frameOverheadBytes {
+		return 0, 0, nil, false
+	}
+	body, sum := f[:len(f)-4], f[len(f)-4:]
+	want := crc32.ChecksumIEEE(body)
+	got := uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+	if got != want {
+		return 0, 0, nil, false
+	}
+	n := int(body[2])<<8 | int(body[3])
+	if n != len(body)-4 {
+		return 0, 0, nil, false
+	}
+	return body[0], body[1], body[4 : 4+n], true
+}

@@ -1,0 +1,299 @@
+package link
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestLosslessRoundTrip(t *testing.T) {
+	p := NewLosslessPair()
+	a, b := p.A(), p.B()
+	msgs := [][]byte{[]byte("A=a*P"), []byte("W=y*A"), []byte("commit"), {}, []byte("s")}
+	for i, m := range msgs {
+		var src, dst *Endpoint
+		if i%2 == 0 {
+			src, dst = a, b
+		} else {
+			src, dst = b, a
+		}
+		if err := src.Send(m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		got, err := dst.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if !bytes.Equal(got, m) {
+			t.Fatalf("message %d corrupted on a lossless link", i)
+		}
+	}
+	// Perfect channel: exactly one attempt per frame, payload bits
+	// equal logical bits, zero retries.
+	sa := a.Stats()
+	if sa.Retries != 0 || sa.Dropped != 0 || sa.Corrupted != 0 {
+		t.Fatalf("lossless link showed channel faults: %+v", sa)
+	}
+	wantTx := 8 * (len(msgs[0]) + len(msgs[2]) + len(msgs[4]))
+	if sa.DataTxBits != wantTx {
+		t.Fatalf("A DataTxBits = %d, want %d", sa.DataTxBits, wantTx)
+	}
+	if sa.FramesSent != 3 || sa.Delivered != 3 {
+		t.Fatalf("A sent/delivered = %d/%d, want 3/3", sa.FramesSent, sa.Delivered)
+	}
+	// Framing and ACK overhead is real and accounted, just separately.
+	if sa.OverheadTxBits != 3*OverheadBits || sa.AckRxBits == 0 {
+		t.Fatalf("overhead accounting wrong: %+v", sa)
+	}
+	if p.Elapsed() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestRecvEmpty(t *testing.T) {
+	p := NewLosslessPair()
+	if _, err := p.A().Recv(); err == nil {
+		t.Fatal("Recv on empty inbox succeeded")
+	}
+}
+
+func TestLossyDeliveryWithRetries(t *testing.T) {
+	cc := Lossy(0.4)
+	ac := DefaultARQ()
+	ac.RetryBudget = 10_000
+	ac.MaxTries = 100
+	p, err := NewPair(cc, ac, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.A(), p.B()
+	payload := []byte("vitals: HR=61, lead impedance 540 ohm")
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := a.Send(payload); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload %d corrupted: ARQ delivered a damaged frame", i)
+		}
+	}
+	sa := a.Stats()
+	if sa.Retries == 0 || sa.Dropped == 0 {
+		t.Fatalf("40%% loss produced no retries/drops: %+v", sa)
+	}
+	// Attempt bookkeeping: every physical attempt is either dropped or
+	// arrives as exactly one non-duplicate copy.
+	if sa.FramesSent != sa.Dropped+sa.Delivered+sa.Corrupted+sa.Truncated {
+		t.Fatalf("attempt classification inconsistent: %+v", sa)
+	}
+	// Retries inflate the payload bits actually transmitted.
+	if sa.DataTxBits <= 8*len(payload)*n {
+		t.Fatalf("DataTxBits %d not inflated by retries", sa.DataTxBits)
+	}
+	// Without duplication, the receiver cannot hear more payload bits
+	// than were transmitted.
+	if b.Stats().DataRxBits > sa.DataTxBits {
+		t.Fatalf("receiver heard %d payload bits of %d transmitted", b.Stats().DataRxBits, sa.DataTxBits)
+	}
+}
+
+func TestCorruptionNeverSurfaces(t *testing.T) {
+	// Heavy bit-flip channel: the CRC must reject every damaged frame
+	// and the ARQ must still deliver the exact payload.
+	cc := ChannelConfig{BitFlipRate: 0.01}
+	ac := DefaultARQ()
+	ac.RetryBudget = -1
+	ac.MaxTries = 1000
+	p, err := NewPair(cc, ac, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("therapy: set mode DDD, rate 60")
+	for i := 0; i < 30; i++ {
+		if err := p.A().Send(payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.B().Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("corrupted frame surfaced through the CRC")
+		}
+	}
+	if p.A().Stats().Corrupted == 0 {
+		t.Fatal("1% bit-flip channel corrupted nothing; fault model inert?")
+	}
+}
+
+func TestTruncationAndDuplication(t *testing.T) {
+	cc := ChannelConfig{TruncateRate: 0.3, DuplicateRate: 0.3}
+	ac := DefaultARQ()
+	ac.RetryBudget = -1
+	ac.MaxTries = 1000
+	p, err := NewPair(cc, ac, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	for i := 0; i < 50; i++ {
+		if err := p.A().Send(payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.B().Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("delivery %d damaged", i)
+		}
+	}
+	sa := p.A().Stats()
+	if sa.Truncated == 0 || sa.Duplicated == 0 {
+		t.Fatalf("fault model inert: %+v", sa)
+	}
+	// Duplicated data frames must not duplicate payloads in the inbox.
+	if _, err := p.B().Recv(); err == nil {
+		t.Fatal("duplicate frame produced a duplicate payload")
+	}
+}
+
+func TestBurstLossRecovers(t *testing.T) {
+	cc := Bursty(0.3)
+	ac := DefaultARQ()
+	ac.RetryBudget = -1
+	ac.MaxTries = 10_000
+	p, err := NewPair(cc, ac, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := p.A().Send([]byte("m")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.B().Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.A().Stats().Dropped == 0 {
+		t.Fatal("bursty channel dropped nothing")
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	// A dead channel must fail fast with a typed error, not hang.
+	cc := ChannelConfig{DropRate: 1}
+	ac := DefaultARQ()
+	p, err := NewPair(cc, ac, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendErr := p.A().Send([]byte("hello?"))
+	var be *BudgetError
+	if !errors.As(sendErr, &be) {
+		t.Fatalf("error %v is not a *BudgetError", sendErr)
+	}
+	if be.Tries != ac.MaxTries {
+		t.Fatalf("gave up after %d tries, want MaxTries=%d", be.Tries, ac.MaxTries)
+	}
+	if be.Budget {
+		t.Fatal("per-frame cap misreported as session budget")
+	}
+	// Session-wide budget: smaller than MaxTries-1 so it binds first.
+	ac2 := DefaultARQ()
+	ac2.RetryBudget = 3
+	p2, _ := NewPair(cc, ac2, 1)
+	sendErr = p2.A().Send([]byte("hello?"))
+	if !errors.As(sendErr, &be) || !be.Budget {
+		t.Fatalf("session budget exhaustion not reported: %v", sendErr)
+	}
+	if p2.A().Stats().Retries != 3 {
+		t.Fatalf("spent %d retries, budget was 3", p2.A().Stats().Retries)
+	}
+	if p2.A().RetriesLeft() != 0 {
+		t.Fatalf("RetriesLeft = %d, want 0", p2.A().RetriesLeft())
+	}
+	// RetryBudget = 0 disables retries entirely.
+	ac3 := DefaultARQ()
+	ac3.RetryBudget = 0
+	p3, _ := NewPair(cc, ac3, 1)
+	if err := p3.A().Send([]byte("x")); err == nil {
+		t.Fatal("zero-budget send on a dead channel succeeded")
+	}
+	if p3.A().Stats().FramesSent != 1 {
+		t.Fatalf("zero budget allowed %d attempts", p3.A().Stats().FramesSent)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	ac := ARQConfig{MaxTries: 10, RetryBudget: -1, BaseTimeout: 16, MaxBackoff: 64, JitterTicks: 0}
+	p, err := NewPair(ChannelConfig{DropRate: 1}, ac, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.A()
+	if w1, w2 := e.backoffWait(1), e.backoffWait(2); w1 != 16 || w2 != 32 {
+		t.Fatalf("backoff(1,2) = %d,%d want 16,32", w1, w2)
+	}
+	if w := e.backoffWait(9); w != 64 {
+		t.Fatalf("backoff not capped: %d", w)
+	}
+	// The virtual clock pays for every timeout.
+	before := p.Elapsed()
+	_ = e.Send([]byte("x"))
+	if p.Elapsed()-before < 16+32+64 {
+		t.Fatalf("clock advanced only %d ticks across backoffs", p.Elapsed()-before)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewPair(ChannelConfig{DropRate: 1.5}, DefaultARQ(), 0); err == nil {
+		t.Fatal("DropRate > 1 accepted")
+	}
+	if _, err := NewPair(ChannelConfig{BitFlipRate: -0.1}, DefaultARQ(), 0); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := NewPair(Lossless(), ARQConfig{MaxTries: 0}, 0); err == nil {
+		t.Fatal("MaxTries 0 accepted")
+	}
+	if _, err := NewPair(Lossless(), ARQConfig{MaxTries: 1, BaseTimeout: -1}, 0); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+	p := NewLosslessPair()
+	if err := p.A().Send(make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	f := encodeFrame(typeData, 7, []byte("payload"))
+	ftype, seq, payload, ok := decodeFrame(f)
+	if !ok || ftype != typeData || seq != 7 || string(payload) != "payload" {
+		t.Fatalf("codec round trip failed: %v %v %q %v", ftype, seq, payload, ok)
+	}
+	// Any single bit flip must be caught.
+	for i := 0; i < len(f)*8; i += 7 {
+		g := append([]byte(nil), f...)
+		g[i/8] ^= 1 << (i % 8)
+		if _, _, _, ok := decodeFrame(g); ok {
+			t.Fatalf("bit flip at %d undetected", i)
+		}
+	}
+	// Truncations must be caught.
+	for cut := 0; cut < len(f); cut++ {
+		if _, _, _, ok := decodeFrame(f[:cut]); ok {
+			t.Fatalf("truncation to %d bytes undetected", cut)
+		}
+	}
+}
+
+func TestBudgetErrorString(t *testing.T) {
+	if (&BudgetError{Seq: 1, Tries: 8}).Error() == "" ||
+		(&BudgetError{Seq: 1, Tries: 8, Budget: true}).Error() == "" {
+		t.Fatal("empty error strings")
+	}
+}

@@ -1,0 +1,260 @@
+// Package linksim sweeps mutual-authentication sessions across a
+// (loss rate × distance) grid of lossy wireless channels and reports,
+// per grid cell, what the paper's protocol-level energy rule actually
+// costs on an imperfect link: completion probability, where aborted
+// sessions died, the retry distribution, and the device-side energy —
+// both the protocol ledger (payload bits, computation) and the full
+// physical radio cost including framing, acknowledgements and every
+// retransmission.
+//
+// The sweep runs on the deterministic campaign engine: each session's
+// channel randomness derives from (seed, cell, repetition) alone, so a
+// whole grid is bit-identical for any worker count and replayable from
+// the seed printed by cmd/linklab.
+package linksim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"medsec/internal/campaign"
+	"medsec/internal/ec"
+	"medsec/internal/link"
+	"medsec/internal/protocol"
+	"medsec/internal/radio"
+	"medsec/internal/rng"
+)
+
+// GridConfig parametrizes one sweep.
+type GridConfig struct {
+	// LossRates are the channel loss probabilities swept (one grid
+	// column per value).
+	LossRates []float64
+	// Distances are the TX distances in meters (one grid row per
+	// value) — the amplifier term of the radio model scales with d².
+	Distances []float64
+	// Reps is the number of sessions simulated per cell.
+	Reps int
+	// Bursty selects the Gilbert–Elliott channel preset instead of the
+	// iid one.
+	Bursty bool
+	// ARQ is the transport policy; the zero value selects
+	// link.DefaultARQ().
+	ARQ link.ARQConfig
+	// Workers is the campaign pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Seed drives every per-session substream.
+	Seed uint64
+	// Progress, when non-nil, is called serially after each consumed
+	// session with (done, total).
+	Progress func(done, total int)
+}
+
+// CellReport aggregates the sessions of one (loss, distance) cell.
+type CellReport struct {
+	Loss     float64
+	Distance float64
+	Sessions int
+	// Completed counts sessions that established a key; the rest
+	// aborted at AbortsByStage.
+	Completed     int
+	AbortsByStage map[string]int
+	// RetryP50/RetryP99 are percentiles of the device's per-session
+	// retransmission count.
+	RetryP50, RetryP99 int
+	// MeanLedgerJ is the mean device energy priced from the protocol
+	// Ledger (payload bits at distance + computation). MeanPhyJ adds
+	// the physical link overhead: framing, ACKs, and is therefore the
+	// number the battery actually pays.
+	MeanLedgerJ, MeanPhyJ float64
+}
+
+// CompletionRate returns the fraction of sessions that completed.
+func (c *CellReport) CompletionRate() float64 {
+	if c.Sessions == 0 {
+		return 0
+	}
+	return float64(c.Completed) / float64(c.Sessions)
+}
+
+// GridReport is the full sweep outcome, cells in row-major
+// (distance-major, then loss) order.
+type GridReport struct {
+	Cells []CellReport
+	// Sessions is the total session count across the grid.
+	Sessions int
+}
+
+// sessionOutcome is one simulated session, as the worker returns it.
+type sessionOutcome struct {
+	completed  bool
+	stage      string
+	devRetries int
+	devLedger  protocol.Ledger
+	phyTxBits  int
+	phyRxBits  int
+}
+
+// mix derives the per-session channel seed from (seed, cell, rep) by
+// SplitMix-style avalanche, so neighboring sessions get unrelated
+// streams.
+func mix(seed uint64, cell, rep int) uint64 {
+	z := seed ^ (uint64(cell) << 32) ^ uint64(rep)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Run executes the sweep.
+func Run(cfg GridConfig) (*GridReport, error) {
+	if len(cfg.LossRates) == 0 || len(cfg.Distances) == 0 || cfg.Reps <= 0 {
+		return nil, errors.New("linksim: empty grid")
+	}
+	arq := cfg.ARQ
+	if arq == (link.ARQConfig{}) {
+		arq = link.DefaultARQ()
+	}
+	curve := ec.K163()
+	nCells := len(cfg.Distances) * len(cfg.LossRates)
+	total := nCells * cfg.Reps
+
+	type job struct {
+		cell, rep int
+	}
+	// Per-cell accumulators, filled in consume (serial, index order).
+	cells := make([]CellReport, nCells)
+	retries := make([][]int, nCells)
+	model := radio.DefaultModel()
+	costs := radio.PaperCosts()
+	for i := range cells {
+		di, li := i/len(cfg.LossRates), i%len(cfg.LossRates)
+		cells[i] = CellReport{
+			Loss:          cfg.LossRates[li],
+			Distance:      cfg.Distances[di],
+			AbortsByStage: map[string]int{},
+		}
+	}
+
+	prepare := func(idx int) (job, error) {
+		return job{cell: idx / cfg.Reps, rep: idx % cfg.Reps}, nil
+	}
+	acquire := func(worker, idx int, j job) (sessionOutcome, error) {
+		// Derive the cell parameters from the config, not the shared
+		// report slice (which the consumer mutates concurrently).
+		loss := cfg.LossRates[j.cell%len(cfg.LossRates)]
+		cc := link.Lossy(loss)
+		if cfg.Bursty {
+			cc = link.Bursty(loss)
+		}
+		sseed := mix(cfg.Seed, j.cell, j.rep)
+		pair, err := link.NewPair(cc, arq, sseed)
+		if err != nil {
+			return sessionOutcome{}, err
+		}
+		// Fresh parties per session, keyed from the session seed so
+		// the whole run is a pure function of (seed, cell, rep).
+		src := rng.NewDRBG(sseed ^ 0xC0FFEE).Uint64
+		mul := &protocol.SoftwareMultiplier{Curve: curve, Rand: src}
+		rdr, err := protocol.NewReader(curve, mul, src)
+		if err != nil {
+			return sessionOutcome{}, err
+		}
+		dev, err := protocol.NewTag(curve, mul, src, rdr.Pub)
+		if err != nil {
+			return sessionOutcome{}, err
+		}
+		rdr.Register(dev.Pub)
+		res, err := protocol.RunMutualAuthSession(dev, rdr, protocol.SessionOptions{
+			Wire: protocol.NewWire(pair), ServerFirst: true,
+		})
+		if err != nil {
+			return sessionOutcome{}, err
+		}
+		st := pair.A().Stats()
+		return sessionOutcome{
+			completed:  res.Completed,
+			stage:      res.AbortStage,
+			devRetries: st.Retries,
+			devLedger:  res.DeviceLedger,
+			phyTxBits:  st.PhyTxBits(),
+			phyRxBits:  st.PhyRxBits(),
+		}, nil
+	}
+	consume := func(idx int, j job, out sessionOutcome) (bool, error) {
+		c := &cells[j.cell]
+		c.Sessions++
+		if out.completed {
+			c.Completed++
+		} else {
+			c.AbortsByStage[out.stage]++
+		}
+		retries[j.cell] = append(retries[j.cell], out.devRetries)
+		c.MeanLedgerJ += model.LedgerEnergy(out.devLedger, c.Distance, costs)
+		// Physical cost: every bit the device radio moved (payload +
+		// framing + ACKs) plus the same computation.
+		c.MeanPhyJ += model.TxEnergy(out.phyTxBits, c.Distance) + model.RxEnergy(out.phyRxBits) +
+			float64(out.devLedger.PointMuls)*costs.PointMulJ +
+			float64(out.devLedger.ModMuls)*costs.ModMulJ +
+			float64(out.devLedger.AESBlocks)*costs.AESBlockJ
+		if cfg.Progress != nil {
+			cfg.Progress(idx+1, total)
+		}
+		return false, nil
+	}
+
+	if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers}, prepare, acquire, consume); err != nil {
+		return nil, err
+	}
+
+	rep := &GridReport{Sessions: total}
+	for i := range cells {
+		c := &cells[i]
+		if c.Sessions > 0 {
+			c.MeanLedgerJ /= float64(c.Sessions)
+			c.MeanPhyJ /= float64(c.Sessions)
+		}
+		sort.Ints(retries[i])
+		c.RetryP50 = percentile(retries[i], 50)
+		c.RetryP99 = percentile(retries[i], 99)
+	}
+	rep.Cells = cells
+	return rep, nil
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted xs.
+func percentile(xs []int, p int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	rank := (p*len(xs) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(xs) {
+		rank = len(xs)
+	}
+	return xs[rank-1]
+}
+
+// Render formats the grid as an aligned table, one row per cell.
+func (r *GridReport) Render() string {
+	s := fmt.Sprintf("%8s %7s %9s %8s %8s %12s %12s  %s\n",
+		"loss", "dist(m)", "complete", "retryP50", "retryP99", "ledger(uJ)", "phy(uJ)", "aborts")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		aborts := ""
+		for _, st := range []string{protocol.StageServerAuth, protocol.StageIdentification, protocol.StageLink} {
+			if n := c.AbortsByStage[st]; n > 0 {
+				aborts += fmt.Sprintf("%s:%d ", st, n)
+			}
+		}
+		if aborts == "" {
+			aborts = "-"
+		}
+		s += fmt.Sprintf("%8.3f %7.1f %8.1f%% %8d %8d %12.2f %12.2f  %s\n",
+			c.Loss, c.Distance, 100*c.CompletionRate(), c.RetryP50, c.RetryP99,
+			c.MeanLedgerJ*1e6, c.MeanPhyJ*1e6, aborts)
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package linksim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"medsec/internal/link"
+	"medsec/internal/protocol"
+)
+
+// TestGridDeterminismAcrossWorkers pins the campaign contract for the
+// link sweep: the full grid report — completion counts, abort stages,
+// retry percentiles, energy means — is bit-identical for 1, 2 and 7
+// workers.
+func TestGridDeterminismAcrossWorkers(t *testing.T) {
+	cfg := GridConfig{
+		LossRates: []float64{0, 0.3},
+		Distances: []float64{2},
+		Reps:      4,
+		Seed:      5,
+	}
+	var ref *GridReport
+	for _, w := range []int{1, 2, 7} {
+		c := cfg
+		c.Workers = w
+		rep, err := Run(c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = rep
+			continue
+		}
+		if !reflect.DeepEqual(rep, ref) {
+			t.Fatalf("workers=%d report diverged:\n%+v\nvs\n%+v", w, rep, ref)
+		}
+	}
+}
+
+// TestGridSemantics checks the physics of the sweep: a lossless cell
+// completes every session with zero retries and a ledger equal to the
+// perfect-channel baseline; a dead channel completes nothing and
+// labels every abort as link exhaustion; loss can only add energy.
+func TestGridSemantics(t *testing.T) {
+	ac := link.DefaultARQ()
+	ac.MaxTries = 4
+	ac.RetryBudget = 8
+	rep, err := Run(GridConfig{
+		LossRates: []float64{0, 0.99},
+		Distances: []float64{1, 10},
+		Reps:      3,
+		ARQ:       ac,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 || rep.Sessions != 12 {
+		t.Fatalf("grid shape wrong: %d cells, %d sessions", len(rep.Cells), rep.Sessions)
+	}
+	byKey := map[[2]float64]*CellReport{}
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		byKey[[2]float64{c.Loss, c.Distance}] = c
+	}
+	clean := byKey[[2]float64{0, 1}]
+	if clean.Completed != clean.Sessions || clean.RetryP99 != 0 {
+		t.Fatalf("lossless cell imperfect: %+v", clean)
+	}
+	dead := byKey[[2]float64{0.99, 1}]
+	if dead.Completed != 0 {
+		t.Fatalf("99%% loss cell completed sessions under a tiny retry budget: %+v", dead)
+	}
+	if dead.AbortsByStage[protocol.StageLink] != dead.Sessions {
+		t.Fatalf("dead-cell aborts not labeled link-exhausted: %+v", dead.AbortsByStage)
+	}
+	if dead.RetryP50 == 0 {
+		t.Fatalf("dead cell shows no retries: %+v", dead)
+	}
+	// Physical cost always dominates the payload-only ledger cost
+	// (framing + ACKs are never free), and distance raises energy.
+	for _, c := range rep.Cells {
+		if c.Sessions > 0 && c.MeanPhyJ <= c.MeanLedgerJ && c.MeanLedgerJ > 0 {
+			t.Fatalf("phy energy %g not above ledger energy %g at loss=%g", c.MeanPhyJ, c.MeanLedgerJ, c.Loss)
+		}
+	}
+	if far, near := byKey[[2]float64{0, 10}], clean; far.MeanLedgerJ <= near.MeanLedgerJ {
+		t.Fatalf("distance does not raise energy: %g vs %g", far.MeanLedgerJ, near.MeanLedgerJ)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "loss") || !strings.Contains(out, protocol.StageLink) {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}
+
+// TestGridValidation rejects degenerate configurations.
+func TestGridValidation(t *testing.T) {
+	if _, err := Run(GridConfig{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := Run(GridConfig{LossRates: []float64{0}, Distances: []float64{1}}); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	if _, err := Run(GridConfig{LossRates: []float64{2}, Distances: []float64{1}, Reps: 1}); err == nil {
+		t.Fatal("out-of-range loss accepted")
+	}
+}
+
+// TestPercentile pins the nearest-rank definition.
+func TestPercentile(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(xs, 50); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := percentile(xs, 99); p != 10 {
+		t.Fatalf("p99 = %d", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Fatalf("empty percentile = %d", p)
+	}
+}

@@ -62,9 +62,11 @@ func HybridEncrypt(curve *ec.Curve, mul PointMultiplier, recipient ec.Point, msg
 		return nil, err
 	}
 	if ledger != nil {
+		// Computation only: radio bits are billed by the Wire that
+		// carries the ciphertext (TransferHybrid), so a lossy uplink
+		// charges the sender for every physical retransmission.
 		ledger.PointMuls += 2
 		ledger.AESBlocks += (len(msg)+15)/16*2 + 2
-		ledger.TxBits += 8 * (len(eph) + len(sealed))
 	}
 	return &HybridCiphertext{Ephemeral: eph, Sealed: sealed}, nil
 }
@@ -92,7 +94,6 @@ func HybridDecrypt(curve *ec.Curve, mul PointMultiplier, secret modn.Scalar, ct 
 	}
 	if ledger != nil {
 		ledger.PointMuls++
-		ledger.RxBits += 8 * (len(ct.Ephemeral) + len(ct.Sealed))
 	}
 	return a.Open(nonce[:], ct.Sealed)
 }

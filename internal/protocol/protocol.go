@@ -160,25 +160,25 @@ func NewTag(curve *ec.Curve, mul PointMultiplier, src func() uint64, y ec.Point)
 }
 
 // Commit starts a session: draw r, send R = r·P (compressed).
+//
+// Radio bits are billed by the Wire that carries the message, not
+// here, so a lossy link can charge the ledger for every physical
+// retransmission. The ledger counts only operations that completed:
+// a failed point multiplication performs no useful work and leaves
+// PointMuls untouched.
 func (t *Tag) Commit() ([]byte, error) {
 	t.r = t.Curve.Order.RandNonZero(t.Rand)
 	R, err := t.Mul.ScalarMul(t.r, t.Curve.Generator())
+	if err != nil {
+		return nil, err
+	}
 	t.Ledger.PointMuls++
-	if err != nil {
-		return nil, err
-	}
-	msg, err := t.Curve.Compress(R)
-	if err != nil {
-		return nil, err
-	}
-	t.Ledger.TxBits += PointBits
-	return msg, nil
+	return t.Curve.Compress(R)
 }
 
 // Respond answers the reader challenge e with s = d + x + e·r where
 // d = xcoord(r·Y) interpreted as an integer modulo the group order.
 func (t *Tag) Respond(challenge []byte) ([]byte, error) {
-	t.Ledger.RxBits += ScalarBits
 	e, err := decodeScalar(challenge)
 	if err != nil {
 		return nil, err
@@ -190,10 +190,10 @@ func (t *Tag) Respond(challenge []byte) ([]byte, error) {
 		return nil, errors.New("protocol: Respond before Commit")
 	}
 	dx, err := t.Mul.XOnlyMul(t.r, t.Y)
-	t.Ledger.PointMuls++
 	if err != nil {
 		return nil, err
 	}
+	t.Ledger.PointMuls++
 	d, err := modn.FromBytes(dx.Bytes())
 	if err != nil {
 		return nil, err
@@ -203,7 +203,6 @@ func (t *Tag) Respond(challenge []byte) ([]byte, error) {
 	t.Ledger.ModMuls++
 	s := t.Curve.Order.Add(t.Curve.Order.Add(d, t.X), er)
 	t.r = modn.Zero() // one-shot ephemeral
-	t.Ledger.TxBits += ScalarBits
 	return encodeScalar(s), nil
 }
 
@@ -238,10 +237,10 @@ func (r *Reader) Register(pub ec.Point) int {
 	return len(r.DB) - 1
 }
 
-// Challenge draws the session challenge e.
+// Challenge draws the session challenge e. Radio bits are billed by
+// the carrying Wire.
 func (r *Reader) Challenge() []byte {
 	e := r.Curve.Order.RandNonZero(r.Rand)
-	r.Ledger.TxBits += ScalarBits
 	return encodeScalar(e)
 }
 
@@ -254,7 +253,6 @@ var ErrUnknownTag = errors.New("protocol: tag not in database")
 //
 //	d' = xcoord(y·R);  X' = s·P - d'·P - e·R  must be in DB.
 func (r *Reader) Identify(commit, challenge, response []byte) (int, error) {
-	r.Ledger.RxBits += PointBits + ScalarBits
 	R, err := r.Curve.Decompress(commit)
 	if err != nil {
 		return -1, fmt.Errorf("protocol: bad commitment: %w", err)
@@ -274,10 +272,10 @@ func (r *Reader) Identify(commit, challenge, response []byte) (int, error) {
 		return -1, errors.New("protocol: response out of range")
 	}
 	dx, err := r.Mul.XOnlyMul(r.Y, R)
-	r.Ledger.PointMuls++
 	if err != nil {
 		return -1, err
 	}
+	r.Ledger.PointMuls++
 	d, err := modn.FromBytes(dx.Bytes())
 	if err != nil {
 		return -1, err
@@ -285,20 +283,20 @@ func (r *Reader) Identify(commit, challenge, response []byte) (int, error) {
 	d = r.Curve.Order.Reduce(d)
 
 	sP, err := r.Mul.ScalarMul(s, r.Curve.Generator())
-	r.Ledger.PointMuls++
 	if err != nil {
 		return -1, err
 	}
+	r.Ledger.PointMuls++
 	dP, err := r.Mul.ScalarMul(d, r.Curve.Generator())
-	r.Ledger.PointMuls++
 	if err != nil {
 		return -1, err
 	}
+	r.Ledger.PointMuls++
 	eR, err := r.Mul.ScalarMul(e, R)
-	r.Ledger.PointMuls++
 	if err != nil {
 		return -1, err
 	}
+	r.Ledger.PointMuls++
 	X := r.Curve.Add(sP, r.Curve.Neg(r.Curve.Add(dP, eR)))
 	for i, cand := range r.DB {
 		if cand.Equal(X) {
@@ -309,14 +307,40 @@ func (r *Reader) Identify(commit, challenge, response []byte) (int, error) {
 }
 
 // RunIdentification executes one complete Fig. 2 session between tag
-// and reader and returns the identified database index.
+// and reader over a perfect channel and returns the identified
+// database index. Its ledgers are the historical baseline every lossy
+// run is compared against.
 func RunIdentification(t *Tag, r *Reader) (int, error) {
+	return RunIdentificationWire(t, r, nil)
+}
+
+// RunIdentificationWire executes the Fig. 2 session with every message
+// carried by w (nil means a fresh lossless wire). Radio bits —
+// including retransmissions on a lossy link — are billed to the party
+// ledgers by the wire. A *link.BudgetError from the transport
+// propagates to the caller: the session cannot complete.
+func RunIdentificationWire(t *Tag, r *Reader, w *Wire) (int, error) {
+	if w == nil {
+		w = NewLosslessWire()
+	}
 	commit, err := t.Commit()
 	if err != nil {
 		return -1, err
 	}
+	commit, err = w.ToServer(&t.Ledger, &r.Ledger, commit)
+	if err != nil {
+		return -1, err
+	}
 	challenge := r.Challenge()
-	response, err := t.Respond(challenge)
+	gotChallenge, err := w.ToDevice(&r.Ledger, &t.Ledger, challenge)
+	if err != nil {
+		return -1, err
+	}
+	response, err := t.Respond(gotChallenge)
+	if err != nil {
+		return -1, err
+	}
+	response, err = w.ToServer(&t.Ledger, &r.Ledger, response)
 	if err != nil {
 		return -1, err
 	}

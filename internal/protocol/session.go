@@ -12,6 +12,11 @@ const (
 	StageServerAuth     = "server-auth"
 	StageIdentification = "identification"
 	StageComplete       = "complete"
+	// StageLink labels the graceful degradation path: the wireless
+	// link's retry budget died mid-session. The session stops cleanly —
+	// no hang, no half-established key — and the ledgers still price
+	// every bit the radio actually spent trying.
+	StageLink = "link-exhausted"
 )
 
 // MutualAuthResult reports a pacemaker-programmer session: who spent
@@ -49,56 +54,42 @@ type MutualAuthResult struct {
 // the ordering the paper warns about, because a rogue programmer then
 // extracts the device's identification energy before failing.
 // rogueServer simulates a programmer that does not know y.
+//
+// RunMutualAuth runs over a perfect channel; it is the historical
+// entry point and its ledgers are the baseline RunMutualAuthSession
+// reproduces bit for bit at zero loss.
 func RunMutualAuth(dev *Tag, rdr *Reader, serverFirst, rogueServer bool) (*MutualAuthResult, error) {
+	return RunMutualAuthSession(dev, rdr, SessionOptions{
+		ServerFirst: serverFirst, RogueServer: rogueServer,
+	})
+}
+
+// SessionOptions configures a mutual-authentication session run.
+type SessionOptions struct {
+	// Wire carries every protocol message; nil means a fresh lossless
+	// wire (the pre-link perfect channel).
+	Wire *Wire
+	// ServerFirst selects the paper's recommended ordering (server
+	// authentication before device identification).
+	ServerFirst bool
+	// RogueServer simulates a programmer that does not know y.
+	RogueServer bool
+}
+
+// RunMutualAuthSession executes the mutual-authentication session with
+// every message carried by the configured Wire, so the party ledgers
+// price actual radio transmissions — retries included. If the link's
+// retry budget dies mid-session the run degrades gracefully: it
+// returns a completed=false result labeled StageLink with a zero
+// session key, never an error and never a hang.
+func RunMutualAuthSession(dev *Tag, rdr *Reader, opt SessionOptions) (*MutualAuthResult, error) {
+	w := opt.Wire
+	if w == nil {
+		w = NewLosslessWire()
+	}
 	res := &MutualAuthResult{TagIndex: -1}
 	devStart := dev.Ledger
 	rdrStart := rdr.Ledger
-
-	// Step 1: device ephemeral A = a·P.
-	a := dev.Curve.Order.RandNonZero(dev.Rand)
-	A, err := dev.Mul.ScalarMul(a, dev.Curve.Generator())
-	dev.Ledger.PointMuls++
-	dev.Ledger.TxBits += PointBits
-	if err != nil {
-		return nil, err
-	}
-
-	serverAuth := func() (bool, ec.Point, error) {
-		// Programmer computes W = y·A (or garbage if rogue).
-		var W ec.Point
-		rdr.Ledger.RxBits += PointBits
-		if rogueServer {
-			W = rdr.Curve.RandomPoint(rdr.Rand)
-		} else {
-			W, err = rdr.Mul.ScalarMul(rdr.Y, A)
-			rdr.Ledger.PointMuls++
-			if err != nil {
-				return false, ec.Point{}, err
-			}
-		}
-		rdr.Ledger.TxBits += PointBits
-		// Device checks W == a·Y.
-		dev.Ledger.RxBits += PointBits
-		want, err := dev.Mul.ScalarMul(a, dev.Y)
-		dev.Ledger.PointMuls++
-		if err != nil {
-			return false, ec.Point{}, err
-		}
-		return W.Equal(want), want, nil
-	}
-
-	identify := func() (int, error) {
-		commit, err := dev.Commit()
-		if err != nil {
-			return -1, err
-		}
-		challenge := rdr.Challenge()
-		response, err := dev.Respond(challenge)
-		if err != nil {
-			return -1, err
-		}
-		return rdr.Identify(commit, challenge, response)
-	}
 
 	finish := func(ok bool) *MutualAuthResult {
 		res.DeviceLedger = diffLedger(dev.Ledger, devStart)
@@ -106,9 +97,80 @@ func RunMutualAuth(dev *Tag, rdr *Reader, serverFirst, rogueServer bool) (*Mutua
 		res.Completed = ok
 		return res
 	}
+	abortLink := func() *MutualAuthResult {
+		res.AbortStage = StageLink
+		res.SessionKey = [16]byte{}
+		return finish(false)
+	}
 
-	if serverFirst {
+	// Step 1: device ephemeral A = a·P, sent compressed.
+	a := dev.Curve.Order.RandNonZero(dev.Rand)
+	A, err := dev.Mul.ScalarMul(a, dev.Curve.Generator())
+	if err != nil {
+		return nil, err
+	}
+	dev.Ledger.PointMuls++
+	msgA, err := dev.Curve.Compress(A)
+	if err != nil {
+		return nil, err
+	}
+	gotA, err := w.ToServer(&dev.Ledger, &rdr.Ledger, msgA)
+	if linkDead(err) {
+		return abortLink(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	serverAuth := func() (bool, ec.Point, error) {
+		// Programmer computes W = y·A (or garbage if rogue, or if A
+		// does not parse as a curve point — it cannot do better).
+		var W ec.Point
+		Apt, perr := rdr.Curve.Decompress(gotA)
+		if perr == nil {
+			perr = rdr.Curve.Validate(Apt)
+		}
+		if opt.RogueServer || perr != nil {
+			W = rdr.Curve.RandomPoint(rdr.Rand)
+		} else {
+			var merr error
+			W, merr = rdr.Mul.ScalarMul(rdr.Y, Apt)
+			if merr != nil {
+				return false, ec.Point{}, merr
+			}
+			rdr.Ledger.PointMuls++
+		}
+		msgW, cerr := rdr.Curve.Compress(W)
+		if cerr != nil {
+			return false, ec.Point{}, cerr
+		}
+		gotW, terr := w.ToDevice(&rdr.Ledger, &dev.Ledger, msgW)
+		if terr != nil {
+			return false, ec.Point{}, terr
+		}
+		// Device checks W == a·Y (rejecting unparseable or off-curve W
+		// like any other failed proof).
+		want, merr := dev.Mul.ScalarMul(a, dev.Y)
+		if merr != nil {
+			return false, ec.Point{}, merr
+		}
+		dev.Ledger.PointMuls++
+		Wpt, perr := dev.Curve.Decompress(gotW)
+		if perr != nil {
+			return false, want, nil
+		}
+		return Wpt.Equal(want), want, nil
+	}
+
+	identify := func() (int, error) {
+		return RunIdentificationWire(dev, rdr, w)
+	}
+
+	if opt.ServerFirst {
 		ok, shared, err := serverAuth()
+		if linkDead(err) {
+			return abortLink(), nil
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -119,6 +181,9 @@ func RunMutualAuth(dev *Tag, rdr *Reader, serverFirst, rogueServer bool) (*Mutua
 			return finish(false), nil
 		}
 		idx, err := identify()
+		if linkDead(err) {
+			return abortLink(), nil
+		}
 		if err != nil && !errors.Is(err, ErrUnknownTag) {
 			return nil, err
 		}
@@ -134,6 +199,9 @@ func RunMutualAuth(dev *Tag, rdr *Reader, serverFirst, rogueServer bool) (*Mutua
 
 	// The discouraged ordering: identification first.
 	idx, err := identify()
+	if linkDead(err) {
+		return abortLink(), nil
+	}
 	if err != nil && !errors.Is(err, ErrUnknownTag) {
 		return nil, err
 	}
@@ -142,6 +210,9 @@ func RunMutualAuth(dev *Tag, rdr *Reader, serverFirst, rogueServer bool) (*Mutua
 		return finish(false), nil
 	}
 	ok, shared, err := serverAuth()
+	if linkDead(err) {
+		return abortLink(), nil
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,124 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"medsec/internal/link"
+)
+
+// Wire binds the two endpoints of a wireless link to the two parties
+// of a protocol session and owns the radio billing: every logical
+// message crosses the link's ARQ transport, and the parties' Ledgers
+// are charged with the *actual* payload bits the radio moved —
+// retransmissions included — not the single-copy logical size.
+//
+// On a lossless link the two coincide, which is the compatibility
+// contract this package keeps with its pre-link history: every energy
+// number previously produced by the perfect-channel session runners is
+// reproduced bit for bit by a Wire over link.Lossless(). Framing and
+// acknowledgement bits are real energy too, but they live in
+// link.Stats (PhyTxBits/PhyRxBits) so the protocol Ledger stays
+// comparable across channel models; cmd/linklab prices both.
+//
+// By convention Dev is the implanted device (link.Pair.A) and Srv the
+// programmer/reader (link.Pair.B).
+type Wire struct {
+	Dev link.Channel
+	Srv link.Channel
+}
+
+// NewWire wraps a configured link.Pair: A becomes the device side, B
+// the server side.
+func NewWire(p *link.Pair) *Wire {
+	return &Wire{Dev: p.A(), Srv: p.B()}
+}
+
+// NewLosslessWire returns the perfect-channel wire — the baseline
+// transport every pre-link energy figure was measured on.
+func NewLosslessWire() *Wire {
+	return NewWire(link.NewLosslessPair())
+}
+
+// transfer moves one logical message from one endpoint to the other,
+// billing the sender's TxBits and receiver's RxBits with the payload
+// bits the radio actually moved (per link.Stats deltas). The bits are
+// billed even when the send ultimately fails: energy spent on doomed
+// retransmissions is still spent.
+func (w *Wire) transfer(from, to link.Channel, fromLed, toLed *Ledger, payload []byte) ([]byte, error) {
+	txBefore := from.Stats().DataTxBits
+	rxBefore := to.Stats().DataRxBits
+	sendErr := from.Send(payload)
+	fromLed.TxBits += from.Stats().DataTxBits - txBefore
+	toLed.RxBits += to.Stats().DataRxBits - rxBefore
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	return to.Recv()
+}
+
+// ToServer sends a device→server message, billing both ledgers.
+func (w *Wire) ToServer(devLed, srvLed *Ledger, payload []byte) ([]byte, error) {
+	return w.transfer(w.Dev, w.Srv, devLed, srvLed, payload)
+}
+
+// ToDevice sends a server→device message, billing both ledgers.
+func (w *Wire) ToDevice(srvLed, devLed *Ledger, payload []byte) ([]byte, error) {
+	return w.transfer(w.Srv, w.Dev, srvLed, devLed, payload)
+}
+
+// linkDead reports whether err is the link transport giving up (retry
+// budget or per-frame try cap exhausted) — the graceful-degradation
+// signal the session layer maps to a labeled abort.
+func linkDead(err error) bool {
+	var be *link.BudgetError
+	return errors.As(err, &be)
+}
+
+// Hybrid ciphertext wire format: 2-byte big-endian ephemeral length,
+// ephemeral encoding, sealed payload.
+
+// EncodeHybrid flattens a HybridCiphertext for the wire.
+func EncodeHybrid(ct *HybridCiphertext) ([]byte, error) {
+	if ct == nil || len(ct.Ephemeral) == 0 {
+		return nil, errors.New("protocol: empty hybrid ciphertext")
+	}
+	if len(ct.Ephemeral) > 0xFFFF {
+		return nil, errors.New("protocol: ephemeral key too large")
+	}
+	out := make([]byte, 0, 2+len(ct.Ephemeral)+len(ct.Sealed))
+	out = append(out, byte(len(ct.Ephemeral)>>8), byte(len(ct.Ephemeral)))
+	out = append(out, ct.Ephemeral...)
+	return append(out, ct.Sealed...), nil
+}
+
+// DecodeHybrid parses the EncodeHybrid format.
+func DecodeHybrid(b []byte) (*HybridCiphertext, error) {
+	if len(b) < 2 {
+		return nil, errors.New("protocol: hybrid ciphertext too short")
+	}
+	n := int(b[0])<<8 | int(b[1])
+	if n == 0 || len(b) < 2+n {
+		return nil, fmt.Errorf("protocol: hybrid ciphertext truncated (ephemeral %d, have %d)", n, len(b)-2)
+	}
+	return &HybridCiphertext{
+		Ephemeral: append([]byte(nil), b[2:2+n]...),
+		Sealed:    append([]byte(nil), b[2+n:]...),
+	}, nil
+}
+
+// TransferHybrid ships a sealed hybrid ciphertext device→server over
+// the wire, billing both ledgers with the actual radio bits (see
+// Wire). It is the store-and-forward upload of the paper's body-area
+// sensor scenario, now priced over a real channel.
+func TransferHybrid(w *Wire, devLed, srvLed *Ledger, ct *HybridCiphertext) (*HybridCiphertext, error) {
+	enc, err := EncodeHybrid(ct)
+	if err != nil {
+		return nil, err
+	}
+	got, err := w.ToServer(devLed, srvLed, enc)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeHybrid(got)
+}

@@ -1,0 +1,299 @@
+package protocol
+
+import (
+	"testing"
+
+	"medsec/internal/ec"
+	"medsec/internal/link"
+	"medsec/internal/rng"
+)
+
+// newSessionParties builds a registered tag/reader pair from a single
+// seed so tests can compare sessions across transports with identical
+// key material and randomness.
+func newSessionParties(t *testing.T, seed uint64) (*Tag, *Reader) {
+	t.Helper()
+	curve := ec.K163()
+	src := rng.NewDRBG(seed).Uint64
+	mul := &SoftwareMultiplier{Curve: curve, Rand: src}
+	rdr, err := NewReader(curve, mul, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewTag(curve, mul, src, rdr.Pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdr.Register(dev.Pub)
+	return dev, rdr
+}
+
+// TestWireLossZeroLedgerEquality pins the compatibility contract: a
+// session over an explicit ARQ wire with zero loss produces exactly
+// the ledgers of the historical perfect-channel constants — payload
+// bits only, one attempt per message, framing kept out of the Ledger.
+func TestWireLossZeroLedgerEquality(t *testing.T) {
+	dev, rdr := newSessionParties(t, 21)
+	p, err := link.NewPair(link.Lossless(), link.DefaultARQ(), 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMutualAuthSession(dev, rdr, SessionOptions{
+		Wire: NewWire(p), ServerFirst: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.AbortStage != StageComplete {
+		t.Fatalf("lossless session did not complete: %+v", res)
+	}
+	// Device: A + commit + response out; W + challenge in; 4 point
+	// muls (A, a·Y, commit, respond), one modular mul.
+	wantDev := Ledger{
+		PointMuls: 4, ModMuls: 1,
+		TxBits: 2*PointBits + ScalarBits,
+		RxBits: PointBits + ScalarBits,
+	}
+	if res.DeviceLedger != wantDev {
+		t.Fatalf("device ledger %+v, want %+v", res.DeviceLedger, wantDev)
+	}
+	// Server: A + commit + response in; W + challenge out; 5 point
+	// muls (y·A, and 4 in Identify).
+	wantSrv := Ledger{
+		PointMuls: 5,
+		TxBits:    PointBits + ScalarBits,
+		RxBits:    2*PointBits + ScalarBits,
+	}
+	if res.ServerLedger != wantSrv {
+		t.Fatalf("server ledger %+v, want %+v", res.ServerLedger, wantSrv)
+	}
+	// And the wrapper (nil wire) must agree with the explicit wire.
+	dev2, rdr2 := newSessionParties(t, 21)
+	res2, err := RunMutualAuth(dev2, rdr2, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DeviceLedger != res.DeviceLedger || res2.ServerLedger != res.ServerLedger {
+		t.Fatalf("wrapper ledgers diverge: %+v vs %+v", res2, res)
+	}
+	if res2.SessionKey != res.SessionKey {
+		t.Fatal("same randomness, different session keys")
+	}
+	// The ARQ path at zero loss spends exactly one attempt per message
+	// and its framing stays out of the protocol ledger.
+	st := p.A().Stats()
+	if st.Retries != 0 || st.FramesSent != 3 {
+		t.Fatalf("lossless ARQ stats unexpected: %+v", st)
+	}
+	if st.DataTxBits != res.DeviceLedger.TxBits {
+		t.Fatalf("link payload bits %d != device ledger TxBits %d",
+			st.DataTxBits, res.DeviceLedger.TxBits)
+	}
+	if st.OverheadTxBits == 0 || st.PhyTxBits() <= st.DataTxBits {
+		t.Fatalf("framing energy not tracked: %+v", st)
+	}
+}
+
+// TestRogueServerAbortLedgers pins satellite semantics: a rogue-server
+// abort stops at server-auth with consistent ledgers and no session
+// key, whether the channel is perfect or lossy.
+func TestRogueServerAbortLedgers(t *testing.T) {
+	for _, lossy := range []bool{false, true} {
+		dev, rdr := newSessionParties(t, 33)
+		opts := SessionOptions{ServerFirst: true, RogueServer: true}
+		if lossy {
+			p, err := link.NewPair(link.Lossy(0.2), link.DefaultARQ(), 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Wire = NewWire(p)
+		}
+		res, err := RunMutualAuthSession(dev, rdr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed || res.AbortStage != StageServerAuth {
+			t.Fatalf("lossy=%v: rogue server not caught: %+v", lossy, res)
+		}
+		if res.SessionKey != ([16]byte{}) {
+			t.Fatalf("lossy=%v: aborted session leaked a key", lossy)
+		}
+		// The device spent exactly the ordering-rule minimum: A and
+		// a·Y, nothing of the identification run.
+		if res.DeviceLedger.PointMuls != 2 || res.DeviceLedger.ModMuls != 0 {
+			t.Fatalf("lossy=%v: device ledger %+v", lossy, res.DeviceLedger)
+		}
+		// Rogue server computes nothing.
+		if res.ServerLedger.PointMuls != 0 {
+			t.Fatalf("lossy=%v: rogue server ledger %+v", lossy, res.ServerLedger)
+		}
+		// Bits spent are at least the logical message sizes (retries
+		// only add).
+		if res.DeviceLedger.TxBits < PointBits || res.DeviceLedger.RxBits < PointBits {
+			t.Fatalf("lossy=%v: device bits %+v", lossy, res.DeviceLedger)
+		}
+	}
+}
+
+// TestWrongOrderingExtractsEnergyOverWire re-checks the paper's
+// ordering rule on a lossy link: identify-first lets a rogue
+// programmer extract strictly more device energy (point muls AND
+// transmitted bits) than server-first.
+func TestWrongOrderingExtractsEnergyOverWire(t *testing.T) {
+	run := func(serverFirst bool) Ledger {
+		dev, rdr := newSessionParties(t, 44)
+		p, err := link.NewPair(link.Lossy(0.15), link.DefaultARQ(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunMutualAuthSession(dev, rdr, SessionOptions{
+			Wire: NewWire(p), ServerFirst: serverFirst, RogueServer: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed {
+			t.Fatal("rogue session completed")
+		}
+		if res.SessionKey != ([16]byte{}) {
+			t.Fatal("aborted session leaked a key")
+		}
+		return res.DeviceLedger
+	}
+	good := run(true)
+	bad := run(false)
+	if good.PointMuls >= bad.PointMuls {
+		t.Fatalf("ordering rule inert: %d vs %d point muls", good.PointMuls, bad.PointMuls)
+	}
+	if good.TxBits >= bad.TxBits {
+		t.Fatalf("ordering rule inert on radio: %d vs %d tx bits", good.TxBits, bad.TxBits)
+	}
+}
+
+// TestRetryBudgetAbortGraceful pins the graceful-degradation path: on
+// a link whose retry budget dies mid-session, the session returns a
+// labeled StageLink abort — no hang, no error, no session key — and
+// the ledgers still price the energy the radio burned trying.
+func TestRetryBudgetAbortGraceful(t *testing.T) {
+	dev, rdr := newSessionParties(t, 55)
+	ac := link.DefaultARQ()
+	ac.RetryBudget = 4
+	p, err := link.NewPair(link.ChannelConfig{DropRate: 1}, ac, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMutualAuthSession(dev, rdr, SessionOptions{
+		Wire: NewWire(p), ServerFirst: true,
+	})
+	if err != nil {
+		t.Fatalf("budget exhaustion surfaced as an error: %v", err)
+	}
+	if res.Completed || res.AbortStage != StageLink {
+		t.Fatalf("dead link not labeled: %+v", res)
+	}
+	if res.SessionKey != ([16]byte{}) {
+		t.Fatal("half-established key leaked")
+	}
+	// The device paid for A's computation and for every doomed
+	// physical attempt, but nothing arrived anywhere.
+	if res.DeviceLedger.PointMuls != 1 {
+		t.Fatalf("device point muls = %d, want 1 (A only)", res.DeviceLedger.PointMuls)
+	}
+	if res.DeviceLedger.TxBits <= PointBits {
+		t.Fatalf("retries did not inflate TxBits: %+v", res.DeviceLedger)
+	}
+	if res.ServerLedger.RxBits != 0 || res.ServerLedger.PointMuls != 0 {
+		t.Fatalf("server received energy over a dead link: %+v", res.ServerLedger)
+	}
+	if p.A().RetriesLeft() != 0 {
+		t.Fatalf("retry budget not exhausted: %d left", p.A().RetriesLeft())
+	}
+
+	// RunIdentificationWire propagates the typed transport error to
+	// callers that drive the stages themselves.
+	dev2, rdr2 := newSessionParties(t, 56)
+	p2, _ := link.NewPair(link.ChannelConfig{DropRate: 1}, ac, 3)
+	if _, err := RunIdentificationWire(dev2, rdr2, NewWire(p2)); !linkDead(err) {
+		t.Fatalf("identification over dead link: %v", err)
+	}
+}
+
+// TestSessionDeterminismOverLossyWire replays a full lossy session
+// from the same seed and requires bit-identical results — the property
+// linksim's parallel campaigns rely on.
+func TestSessionDeterminismOverLossyWire(t *testing.T) {
+	run := func() (*MutualAuthResult, link.Stats, int) {
+		dev, rdr := newSessionParties(t, 77)
+		p, err := link.NewPair(link.Bursty(0.3), link.DefaultARQ(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunMutualAuthSession(dev, rdr, SessionOptions{
+			Wire: NewWire(p), ServerFirst: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, p.A().Stats(), p.Elapsed()
+	}
+	r1, s1, c1 := run()
+	r2, s2, c2 := run()
+	if *r1 != *r2 {
+		t.Fatalf("session results diverged:\n%+v\n%+v", r1, r2)
+	}
+	if s1 != s2 || c1 != c2 {
+		t.Fatalf("link stats or clock diverged: %+v/%d vs %+v/%d", s1, c1, s2, c2)
+	}
+}
+
+// TestHybridWireTransfer checks the store-and-forward upload: the
+// ciphertext survives the ARQ link bit-exact and the wire bills the
+// actual payload bits to both ledgers.
+func TestHybridWireTransfer(t *testing.T) {
+	curve := ec.K163()
+	src := rng.NewDRBG(88).Uint64
+	mul := &SoftwareMultiplier{Curve: curve, Rand: src}
+	secret := curve.Order.RandNonZero(src)
+	pub, err := mul.ScalarMul(secret, curve.Generator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("SpO2 97%, HR 62, motion low")
+	var devLed, srvLed Ledger
+	ct, err := HybridEncrypt(curve, mul, pub, msg, src, &devLed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := link.NewPair(link.Lossy(0.3), link.DefaultARQ(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TransferHybrid(NewWire(p), &devLed, &srvLed, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := HybridDecrypt(curve, mul, secret, got, &srvLed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != string(msg) {
+		t.Fatalf("payload corrupted: %q", plain)
+	}
+	logical := 8 * (2 + len(ct.Ephemeral) + len(ct.Sealed))
+	if devLed.TxBits < logical {
+		t.Fatalf("sender TxBits %d below logical size %d", devLed.TxBits, logical)
+	}
+	if srvLed.RxBits == 0 {
+		t.Fatal("receiver RxBits not billed")
+	}
+	// Codec corner cases.
+	if _, err := EncodeHybrid(nil); err == nil {
+		t.Fatal("nil ciphertext encoded")
+	}
+	if _, err := DecodeHybrid([]byte{0, 9, 1}); err == nil {
+		t.Fatal("truncated ciphertext decoded")
+	}
+	if _, err := DecodeHybrid(nil); err == nil {
+		t.Fatal("empty ciphertext decoded")
+	}
+}

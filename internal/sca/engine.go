@@ -46,7 +46,7 @@ func (t *Target) engineConfig() campaign.Config {
 // acquirerPool returns the engine's acquire callback over cycle window
 // [start, end): a pool of worker-owned CPUs, lazily constructed, each
 // Reset per trace.
-func (t *Target) acquirerPool(start, end int) campaign.AcquireFunc[acqJob] {
+func (t *Target) acquirerPool(start, end int) campaign.AcquireFunc[acqJob, trace.Trace] {
 	cpus := make([]*coproc.CPU, campaign.Workers(t.Workers))
 	return func(worker, idx int, j acqJob) (trace.Trace, error) {
 		cpu := cpus[worker]
@@ -80,7 +80,7 @@ func (t *Target) fixedRandomPrepare(p ec.Point, randKey func() modn.Scalar) camp
 // predicate: after every checkEvery-th completed pair (but not before
 // minPairs pairs), the running t-curve is evaluated and the campaign
 // stops as soon as |t| exceeds TVLAThreshold.
-func welchConsume(w *trace.OnlineWelch, checkEvery, minPairs int) campaign.ConsumeFunc[acqJob] {
+func welchConsume(w *trace.OnlineWelch, checkEvery, minPairs int) campaign.ConsumeFunc[acqJob, trace.Trace] {
 	return func(idx int, j acqJob, tr trace.Trace) (bool, error) {
 		if idx%2 == 0 {
 			return false, w.AddA(tr.Samples)
