@@ -1,0 +1,294 @@
+// Command benchlab measures the simulator-core hot paths and emits a
+// machine-readable before/after report (BENCH_simcore.json) for the
+// hot-path overhaul PR: Karatsuba GF(2^163) multiplication, the
+// precomputed MALU digit pipeline, batched probe delivery and pooled
+// campaign buffers.
+//
+//	benchlab [-o BENCH_simcore.json] [-quick] [-v]
+//
+// The "before" column is pinned: it was measured at the
+// pre-optimization baseline (schoolbook 9-clmul mul320, bit-serial
+// digit extraction, per-cycle probe closures, per-trace model/DRBG
+// allocation) on the reference CPU recorded in the report. The "after"
+// column is measured on the current tree at run time. The acceptance
+// criterion for the PR — >= 2x point-multiplication simulation
+// throughput — is evaluated and recorded in the report.
+//
+// The numbers quantify the software cost of simulating the paper's
+// hardware design points; the simulated hardware itself (cycle counts,
+// energy, traces) is bit-identical before and after, which is pinned
+// separately by coproc's TestGoldenTraceHash and the sca golden tests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"medsec/internal/campaign"
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/gf2m"
+	"medsec/internal/modn"
+	"medsec/internal/power"
+	"medsec/internal/rng"
+	"medsec/internal/sca"
+)
+
+// baselineCPU is the machine the "before" numbers were measured on.
+const baselineCPU = "Intel(R) Xeon(R) Processor @ 2.10GHz"
+
+// Result is one benchmark row of the report.
+type Result struct {
+	Name string `json:"name"`
+	Unit string `json:"unit"`
+	// Before is the pinned pre-optimization measurement; 0 means the
+	// benchmark did not exist at the baseline.
+	Before float64 `json:"before,omitempty"`
+	After  float64 `json:"after"`
+	// Speedup is before/after for ns- and alloc-like units (lower is
+	// better) and after/before for rate units (higher is better).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Report is the full BENCH_simcore.json document.
+type Report struct {
+	Suite       string `json:"suite"`
+	Description string `json:"description"`
+	BaselineCPU string `json:"baseline_cpu"`
+	CPU         string `json:"cpu"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Results     []Result `json:"results"`
+	Acceptance  struct {
+		PointMulSpeedupTarget   float64 `json:"pointmul_speedup_target"`
+		PointMulSpeedupMeasured float64 `json:"pointmul_speedup_measured"`
+		Pass                    bool    `json:"pass"`
+	} `json:"acceptance"`
+}
+
+var benchScalar = modn.MustScalarFromHex("2fe13c0537bbc11acaa07d793de4e6d5e5c94eee8")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchlab: ")
+	out := flag.String("o", "BENCH_simcore.json", "output report path (- for stdout)")
+	quick := flag.Bool("quick", false, "single-iteration smoke run (CI): skips statistical settling")
+	verbose := flag.Bool("v", false, "print each result as it is measured")
+	flag.Parse()
+
+	rep := &Report{
+		Suite: "simcore",
+		Description: "Simulator-core hot paths: field mul (Karatsuba vs schoolbook), " +
+			"MALU digit pipeline, full point-mul simulation, TVLA campaign throughput. " +
+			"'before' pinned at the pre-optimization baseline; device-visible behaviour " +
+			"is bit-identical across the rewrite (TestGoldenTraceHash).",
+		BaselineCPU: baselineCPU,
+		CPU:         runtime.GOARCH + "/" + cpuModel(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+
+	bench := func(name, unit string, before float64, f func(b *testing.B)) float64 {
+		r := testing.Benchmark(f)
+		after := float64(r.NsPerOp())
+		res := Result{Name: name, Unit: unit, Before: before, After: after}
+		if before > 0 && after > 0 {
+			res.Speedup = round3(before / after)
+		}
+		rep.Results = append(rep.Results, res)
+		if *verbose {
+			log.Printf("%-28s %12.1f %s (before %.1f, speedup %.2fx)", name, after, unit, before, res.Speedup)
+		}
+		return after
+	}
+
+	// --- gf2m micro-benchmarks. ---
+	d := rng.NewDRBG(0xbe0c)
+	randEl := func() gf2m.Element {
+		return gf2m.FromWords(d.Uint64(), d.Uint64(), d.Uint64()&(1<<35-1))
+	}
+	x, y := randEl(), randEl()
+	var sink gf2m.Element
+	var sink6 [6]uint64
+	bench("gf2m/Mul", "ns/op", 439.0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = gf2m.Mul(x, y)
+		}
+	})
+	bench("gf2m/MulNoReduce", "ns/op", 420.0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink6 = gf2m.MulNoReduce(x, y)
+		}
+	})
+	bench("gf2m/Sqr", "ns/op", 42.99, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = gf2m.Sqr(x)
+		}
+	})
+	bench("gf2m/Inv", "ns/op", 10833, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = gf2m.Inv(x)
+		}
+	})
+	bench("gf2m/Sqrt", "ns/op", 7137, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = gf2m.Sqrt(x)
+		}
+	})
+	bench("gf2m/ShlMod", "ns/op", 22.22, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = gf2m.ShlMod(x, 4)
+		}
+	})
+	_ = sink
+	_ = sink6
+
+	// --- coproc macro-benchmarks. ---
+	curve := ec.K163()
+	bench("coproc/RunMALU", "ns/op", 4334, func(b *testing.B) {
+		cpu := coproc.NewCPU(coproc.DefaultTiming())
+		cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+		dd := rng.NewDRBG(7)
+		cpu.Regs[0] = curve.RandomPoint(dd.Uint64).X
+		cpu.Regs[1] = curve.RandomPoint(dd.Uint64).Y
+		prog := &coproc.Program{Instrs: []coproc.Instr{
+			{Op: coproc.OpMul, Rd: 2, Ra: 0, Rb: 1, KeyBit: -1, Iteration: -1},
+		}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cpu.Run(prog, benchScalar); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pointMulNs := bench("coproc/PointMul", "ns/op", 9133347, func(b *testing.B) {
+		prog := coproc.BuildLadderProgram(coproc.ProgramOptions{XOnly: true})
+		cpu := coproc.NewCPU(coproc.DefaultTiming())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cpu.Reset()
+			cpu.Timing = coproc.DefaultTiming()
+			cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+			if _, err := cpu.Run(prog, benchScalar); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	bench("coproc/PointMulRPC", "ns/op", 8957776, func(b *testing.B) {
+		prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true, XOnly: true})
+		cpu := coproc.NewCPU(coproc.DefaultTiming())
+		drbg := rng.NewDRBG(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cpu.Reset()
+			cpu.Timing = coproc.DefaultTiming()
+			drbg.Reseed(uint64(i))
+			cpu.Rand = drbg.Uint64
+			cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+			if _, err := cpu.Run(prog, benchScalar); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// --- campaign throughput: the root BenchmarkCampaignEngine TVLA
+	// configuration (500 traces/set, iterations 160..157, protected
+	// RPC target, lab noise). ---
+	tvla := func(workers, nPerSet int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
+				src := rng.NewDRBG(5).Uint64
+				gen := func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) }
+				pcfg := power.ProtectedChip(1)
+				pcfg.NoiseSigma = sca.LabNoiseSigma
+				tgt := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: true, XOnly: true},
+					coproc.DefaultTiming(), pcfg, 11)
+				tgt.Workers = workers
+				if _, err := sca.TVLA(tgt, sca.FixedPoint(curve), nPerSet, 160, 157, gen); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	nPerSet := 500
+	if *quick {
+		nPerSet = 50
+	}
+	measureTVLA := func(name string, workers int, beforeTracesPerSec, beforeAllocsPerTrace float64) {
+		r := testing.Benchmark(tvla(workers, nPerSet))
+		traces := float64(2 * nPerSet)
+		tracesPerSec := traces / (float64(r.NsPerOp()) * 1e-9)
+		allocsPerTrace := float64(r.AllocsPerOp()) / traces
+		res := Result{Name: name + "/throughput", Unit: "traces/s", Before: beforeTracesPerSec, After: round3(tracesPerSec)}
+		if beforeTracesPerSec > 0 {
+			res.Speedup = round3(tracesPerSec / beforeTracesPerSec)
+		}
+		rep.Results = append(rep.Results, res)
+		resA := Result{Name: name + "/allocs", Unit: "allocs/trace", Before: beforeAllocsPerTrace, After: round3(allocsPerTrace)}
+		if allocsPerTrace > 0 && beforeAllocsPerTrace > 0 {
+			resA.Speedup = round3(beforeAllocsPerTrace / allocsPerTrace)
+		}
+		rep.Results = append(rep.Results, resA)
+		if *verbose {
+			log.Printf("%-28s %12.0f traces/s, %.2f allocs/trace", name, tracesPerSec, allocsPerTrace)
+		}
+	}
+	// Baseline: 2177 traces/s serial, 2145 at 2 workers; ~35 heap
+	// objects per trace (fresh DRBG + model + collector + growing
+	// sample slices + per-cycle probe overhead).
+	measureTVLA("campaign/TVLA-serial", 1, 2177, 35.0)
+	par := campaign.Workers(0)
+	if par < 2 {
+		par = 2
+	}
+	measureTVLA(fmt.Sprintf("campaign/TVLA-%dworkers", par), par, 2145, 35.0)
+
+	// --- Acceptance. ---
+	rep.Acceptance.PointMulSpeedupTarget = 2.0
+	rep.Acceptance.PointMulSpeedupMeasured = round3(9133347 / pointMulNs)
+	rep.Acceptance.Pass = rep.Acceptance.PointMulSpeedupMeasured >= rep.Acceptance.PointMulSpeedupTarget
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (point-mul speedup %.2fx, target %.1fx, pass=%v)",
+			*out, rep.Acceptance.PointMulSpeedupMeasured, rep.Acceptance.PointMulSpeedupTarget, rep.Acceptance.Pass)
+	}
+	if !rep.Acceptance.Pass && !*quick {
+		os.Exit(1)
+	}
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// cpuModel best-effort reads the CPU model name for the report header.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOOS
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if _, val, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return runtime.GOOS
+}

@@ -27,6 +27,7 @@ import (
 
 	"medsec/internal/link"
 	"medsec/internal/linksim"
+	"medsec/internal/profiling"
 )
 
 func main() {
@@ -41,7 +42,15 @@ func main() {
 	budget := fs.Int("budget", 64, "ARQ session retry budget (negative: unbounded)")
 	seed := fs.Uint64("seed", 1, "campaign seed (printed; reruns replay bit-identically)")
 	workers := fs.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	_ = fs.Parse(os.Args[1:])
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	loss, err := parseFloats(*lossStr)
 	if err != nil {

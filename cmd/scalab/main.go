@@ -30,6 +30,7 @@ import (
 	"medsec/internal/ec"
 	"medsec/internal/modn"
 	"medsec/internal/power"
+	"medsec/internal/profiling"
 	"medsec/internal/rng"
 	"medsec/internal/sca"
 	"medsec/internal/tabular"
@@ -82,6 +83,24 @@ func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "acquisition workers (0 = GOMAXPROCS); any value gives bit-identical results")
 }
 
+// profileFlags registers the shared -cpuprofile/-memprofile flags.
+// Pair with startProfiling right after fs.Parse.
+func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
+	cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpu, mem
+}
+
+// startProfiling begins the requested profiles and returns the stop
+// function the subcommand must defer.
+func startProfiling(cpu, mem *string) func() {
+	stop, err := profiling.Start(*cpu, *mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return stop
+}
+
 // meter wires a progress line onto a target and accounts campaign
 // throughput: acquired trace count (via the engine's progress
 // callback) and wall-clock time.
@@ -123,7 +142,9 @@ func dpaCmd(args []string) {
 	known := fs.Bool("known-masks", false, "white-box: attacker knows the RPC randomness")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
+	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
+	defer startProfiling(cpuProf, memProf)()
 
 	tgt, _ := newTarget(*rpc, *seed, nil)
 	tgt.Workers = *workers
@@ -168,7 +189,9 @@ func spaCmd(args []string) {
 	profile := fs.Int("profile", 0, "profiling traces to average (0 = single trace)")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
+	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
+	defer startProfiling(cpuProf, memProf)()
 
 	tgt, curve := newTarget(true, *seed, func(c *power.Config) {
 		c.BalancedMux = *balanced
@@ -201,7 +224,9 @@ func timingCmd(args []string) {
 	fs := flag.NewFlagSet("timing", flag.ExitOnError)
 	keys := fs.Int("keys", 1000, "random keys to measure")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
+	defer startProfiling(cpuProf, memProf)()
 
 	curve := ec.K163()
 	fmt.Printf("timing attack: %d keys, seed=%d\n", *keys, *seed)
@@ -224,7 +249,9 @@ func leakmapCmd(args []string) {
 	residual := fs.Float64("residual", 0.004, "residual layout imbalance")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
+	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
+	defer startProfiling(cpuProf, memProf)()
 
 	tgt, curve := newTarget(true, *seed, func(c *power.Config) {
 		c.BalancedMux = *balanced
@@ -270,7 +297,9 @@ func tvlaCmd(args []string) {
 	early := fs.Bool("early", false, "stop as soon as |t| crosses the threshold")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
+	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
+	defer startProfiling(cpuProf, memProf)()
 
 	tgt, curve := newTarget(*rpc, *seed, nil)
 	tgt.Workers = *workers

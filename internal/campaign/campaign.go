@@ -50,6 +50,41 @@ import (
 // worker count.
 const MaxWorkers = 64
 
+// BufferPool is a typed free list for the per-sample buffers that flow
+// through a campaign (power samples, iteration indices). Acquirers Get
+// a zero-length buffer, fill it, and hand the result to the consumer;
+// the consumer calls Put once the statistics have been folded. In
+// steady state every trace reuses a buffer retired a few indices
+// earlier, so the acquisition loop allocates ~nothing per trace no
+// matter how long the campaign runs.
+//
+// A Put buffer must not be used afterwards; Get truncates to length 0
+// but does not zero memory.
+type BufferPool[T any] struct {
+	p sync.Pool
+}
+
+// Get returns a zero-length buffer with capacity at least n.
+func (bp *BufferPool[T]) Get(n int) []T {
+	if v := bp.p.Get(); v != nil {
+		buf := *v.(*[]T)
+		if cap(buf) >= n {
+			return buf[:0]
+		}
+	}
+	return make([]T, 0, n)
+}
+
+// Put retires a buffer for reuse. Nil and zero-capacity buffers are
+// dropped.
+func (bp *BufferPool[T]) Put(buf []T) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	bp.p.Put(&buf)
+}
+
 // Workers resolves a requested worker count: values <= 0 select
 // GOMAXPROCS, and the result is clamped to [1, MaxWorkers].
 func Workers(requested int) int {

@@ -1,4 +1,8 @@
-package campaign
+// External test package: trace now imports campaign (for the pooled
+// per-trace buffers), so an in-package test can no longer use
+// trace.Trace as a result type without an import cycle. The dot-import
+// keeps the test bodies unchanged.
+package campaign_test
 
 import (
 	"errors"
@@ -9,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	. "medsec/internal/campaign"
 	"medsec/internal/trace"
 )
 

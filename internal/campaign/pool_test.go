@@ -1,0 +1,49 @@
+package campaign_test
+
+import (
+	"testing"
+
+	"medsec/internal/campaign"
+)
+
+func TestBufferPoolSemantics(t *testing.T) {
+	var bp campaign.BufferPool[float64]
+	b := bp.Get(100)
+	if len(b) != 0 {
+		t.Fatalf("Get returned length %d, want 0", len(b))
+	}
+	if cap(b) < 100 {
+		t.Fatalf("Get returned capacity %d, want >= 100", cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	bp.Put(b)
+	c := bp.Get(10)
+	if len(c) != 0 {
+		t.Fatalf("recycled buffer has length %d, want 0", len(c))
+	}
+	// Zero-capacity and nil buffers are silently dropped.
+	bp.Put(nil)
+	bp.Put([]float64{})
+	// Asking for more than the recycled capacity falls back to a fresh
+	// allocation of the requested size.
+	big := bp.Get(1 << 16)
+	if len(big) != 0 || cap(big) < 1<<16 {
+		t.Fatalf("oversized Get returned (len=%d, cap=%d)", len(big), cap(big))
+	}
+}
+
+func TestBufferPoolSteadyStateAllocs(t *testing.T) {
+	var bp campaign.BufferPool[float64]
+	seed := bp.Get(4096)
+	bp.Put(seed)
+	// One Get/fill/Put round trip in steady state must not allocate
+	// sample storage — only the small header box sync.Pool.Put needs.
+	allocs := testing.AllocsPerRun(100, func() {
+		b := bp.Get(4096)
+		b = append(b, 1, 2, 3)
+		bp.Put(b)
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state Get/Put allocates %.1f objects, want <= 2", allocs)
+	}
+}

@@ -53,6 +53,18 @@ type CycleEvent struct {
 // Probe receives one callback per simulated clock cycle.
 type Probe func(ev *CycleEvent)
 
+// BatchProbe receives the CycleEvents of whole instructions at a time:
+// the executor buffers each instruction's cycles and flushes the batch
+// at the instruction boundary (and at the end of the run, including
+// MaxCycles stops and errors). The event sequence is exactly the
+// per-cycle Probe stream — same events, same order, same field values
+// (pinned by TestGoldenTraceHash) — but the consumer amortizes one
+// indirect call over an instruction's worth of cycles instead of
+// paying it per cycle. The slice is reused across flushes: consumers
+// must fold the events before returning and must not retain the
+// slice.
+type BatchProbe func(evs []CycleEvent)
+
 // CPU is the co-processor execution model. Zero value is not usable:
 // construct with NewCPU.
 type CPU struct {
@@ -62,6 +74,11 @@ type CPU struct {
 	Rand func() uint64
 	// Probe, when non-nil, is invoked every cycle.
 	Probe Probe
+	// Batch, when non-nil, receives buffered events flushed per
+	// instruction — the fast path for power metering and trace
+	// acquisition. Probe and Batch may be set together; both then see
+	// the full stream.
+	Batch BatchProbe
 	// MaxCycles stops execution early when positive — the SCA
 	// acquisition path uses it to capture only the first ladder
 	// iterations instead of simulating all ~86k cycles per trace.
@@ -74,6 +91,9 @@ type CPU struct {
 	cycle     int
 	randDraws int
 	ev        CycleEvent
+	// batch is the reused event buffer behind Batch; its capacity
+	// survives Reset so steady-state acquisition does not reallocate.
+	batch []CycleEvent
 }
 
 // NewCPU returns a CPU with the given timing.
@@ -96,6 +116,8 @@ func (c *CPU) Reset() {
 	c.ev = CycleEvent{}
 	c.Rand = nil
 	c.Probe = nil
+	c.Batch = nil
+	c.batch = c.batch[:0]
 	c.MaxCycles = 0
 }
 
@@ -143,15 +165,26 @@ func (c *CPU) writeOperand(a uint8, v gf2m.Element) (old gf2m.Element, err error
 	return old, nil
 }
 
-// tick emits one cycle to the probe and advances the clock. It
+// tick emits one cycle to the probe(s) and advances the clock. It
 // returns false when MaxCycles is reached.
 func (c *CPU) tick() bool {
 	c.ev.Cycle = c.cycle
 	if c.Probe != nil {
 		c.Probe(&c.ev)
 	}
+	if c.Batch != nil {
+		c.batch = append(c.batch, c.ev)
+	}
 	c.cycle++
 	return c.MaxCycles <= 0 || c.cycle < c.MaxCycles
+}
+
+// flushBatch delivers and recycles the buffered batch events.
+func (c *CPU) flushBatch() {
+	if c.Batch != nil && len(c.batch) > 0 {
+		c.Batch(c.batch)
+		c.batch = c.batch[:0]
+	}
 }
 
 // resetEvent clears the per-cycle fields and stamps instruction
@@ -165,8 +198,22 @@ func (c *CPU) resetEvent(idx int, in *Instr) {
 	}
 }
 
-// extractDigit returns bits [j*d, (j+1)*d) of e as a small integer.
+// extractDigit returns bits [j*d, (j+1)*d) of e as a small integer,
+// reading whole words instead of single bits: the digit straddles at
+// most two words since d <= 61.
 func extractDigit(e gf2m.Element, j, d int) uint64 {
+	lo := j * d
+	w, s := lo>>6, uint(lo)&63
+	v := e[w] >> s
+	if s+uint(d) > 64 && w+1 < gf2m.Words {
+		v |= e[w+1] << (64 - s)
+	}
+	return v & (1<<uint(d) - 1)
+}
+
+// extractDigitRef is the original bit-loop extraction, kept as the
+// reference the tests cross-check the word-level path against.
+func extractDigitRef(e gf2m.Element, j, d int) uint64 {
 	lo := j * d
 	var v uint64
 	for i := 0; i < d; i++ {
@@ -176,7 +223,10 @@ func extractDigit(e gf2m.Element, j, d int) uint64 {
 }
 
 // mulSmall returns a * digit mod f where digit is a polynomial of
-// degree < d (d <= 61): the MALU's per-cycle partial product.
+// degree < d (d <= 61): the MALU's per-cycle partial product. It is
+// the reference implementation; runMALU uses the precomputed shift
+// table instead (same element values, O(d) shifted-operand work per
+// instruction instead of per digit cycle).
 func mulSmall(a gf2m.Element, digit uint64) gf2m.Element {
 	var acc gf2m.Element
 	for i := 0; digit != 0; i++ {
@@ -188,13 +238,27 @@ func mulSmall(a gf2m.Element, digit uint64) gf2m.Element {
 	return acc
 }
 
+// maxDigitSize bounds Timing.DigitSize; shift tables are stack arrays
+// of this size.
+const maxDigitSize = 61
+
 // runMALU executes a MUL or SQR through the digit-serial multiplier,
 // emitting the load cycle(s), one cycle per digit (MSD first), and the
 // writeback cycle. Returns (result, ok) where ok=false means the run
 // hit MaxCycles.
+//
+// The per-digit recurrence acc' = acc·x^d + a·digit is computed from a
+// shift table S[i] = a·x^i mod f precomputed once per instruction —
+// exactly the partial products the hardware MALU wires into its
+// digit-serial array — so each digit cycle pays one accumulator shift
+// plus at most d table XORs instead of rebuilding every shifted
+// operand. The accumulator values, and therefore the AccHD/Acc01
+// switching activity derived from them, are bit-identical to the
+// reference mulSmall path (pinned by TestGoldenTraceHash and the MALU
+// cross-check tests).
 func (c *CPU) runMALU(idx int, in *Instr, a, b gf2m.Element) (gf2m.Element, bool, error) {
 	t := c.Timing
-	if t.DigitSize <= 0 || t.DigitSize > 61 {
+	if t.DigitSize <= 0 || t.DigitSize > maxDigitSize {
 		return gf2m.Element{}, false, fmt.Errorf("coproc: unsupported digit size %d", t.DigitSize)
 	}
 	// Operand-load cycles (MulOverhead-1 of them; the final overhead
@@ -207,11 +271,23 @@ func (c *CPU) runMALU(idx int, in *Instr, a, b gf2m.Element) (gf2m.Element, bool
 			return gf2m.Element{}, false, nil
 		}
 	}
+	// Shift table: S[i] = a·x^i mod f for i < d, built incrementally
+	// (each entry is the previous shifted by one bit position mod f).
+	var shifts [maxDigitSize]gf2m.Element
+	shifts[0] = a
+	for i := 1; i < t.DigitSize; i++ {
+		shifts[i] = gf2m.ShlMod(shifts[i-1], 1)
+	}
 	var acc gf2m.Element
 	digits := t.Digits()
 	for j := digits - 1; j >= 0; j-- {
 		digit := extractDigit(b, j, t.DigitSize)
-		next := gf2m.Add(gf2m.ShlMod(acc, uint(t.DigitSize)), mulSmall(a, digit))
+		// Partial product a·digit as an XOR over the shift table (the
+		// set bits of the digit select rows of the MALU array).
+		next := gf2m.ShlMod(acc, uint(t.DigitSize))
+		for dg := digit; dg != 0; dg &= dg - 1 {
+			next = gf2m.Add(next, shifts[bits.TrailingZeros64(dg)])
+		}
 		c.resetEvent(idx, in)
 		c.ev.AccHD = gf2m.HammingDistance(acc, next)
 		c.ev.Acc01 = zeroToOne(acc, next)
@@ -348,8 +424,11 @@ func (c *CPU) Resume(p *Program, key modn.Scalar, snap Snapshot) (int, error) {
 
 // run executes instructions [fromInstr, len(p.Instrs)) with the
 // current architectural state, invoking onInstr (when non-nil) at each
-// instruction boundary before it executes.
+// instruction boundary before it executes. Batched probe events are
+// flushed per instruction; the deferred flush delivers the in-flight
+// partial instruction when execution stops early (MaxCycles, errors).
 func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx int)) (int, error) {
+	defer c.flushBatch()
 	for idx := fromInstr; idx < len(p.Instrs); idx++ {
 		if onInstr != nil {
 			onInstr(idx)
@@ -466,6 +545,7 @@ func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx i
 		default:
 			return c.cycle, fmt.Errorf("coproc: unknown opcode %v", in.Op)
 		}
+		c.flushBatch()
 	}
 	return c.cycle, nil
 }

@@ -1,0 +1,112 @@
+package coproc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"testing"
+
+	"medsec/internal/ec"
+	"medsec/internal/rng"
+)
+
+// goldenTraceHash is the SHA-256 over the full CycleEvent stream of
+// one protected (RPC) point multiplication on the K-163 generator with
+// a fixed scalar and TRNG seed. It was pinned on the pre-optimization
+// schoolbook/bit-serial simulator (PR 3) and is the repo's
+// bit-identical contract for the hot-path rewrites: Karatsuba field
+// multiplication, the precomputed MALU digit pipeline and the batched
+// probe delivery must all reproduce this exact stream, cycle by cycle,
+// field by field.
+const goldenTraceHash = "67f8b3da5321373cec770bf5d04d3c75dcddabe361aa72968385c1b9ac36e7f8"
+
+// eventHasher folds a CycleEvent stream into a canonical SHA-256:
+// every observable field, fixed order, fixed width.
+type eventHasher struct {
+	st  hash.Hash
+	buf [14 * 8]byte
+}
+
+func newEventHasher() *eventHasher {
+	return &eventHasher{st: sha256.New()}
+}
+
+func (e *eventHasher) add(ev *CycleEvent) {
+	le := binary.LittleEndian
+	le.PutUint64(e.buf[0:], uint64(ev.Cycle))
+	le.PutUint64(e.buf[8:], uint64(ev.InstrIndex))
+	le.PutUint64(e.buf[16:], uint64(ev.Op))
+	le.PutUint64(e.buf[24:], uint64(int64(ev.Iteration)))
+	le.PutUint64(e.buf[32:], uint64(int64(ev.KeyBit)))
+	le.PutUint64(e.buf[40:], uint64(ev.CtrlSel))
+	le.PutUint64(e.buf[48:], uint64(ev.WriteHD))
+	le.PutUint64(e.buf[56:], uint64(ev.Write01))
+	le.PutUint64(e.buf[64:], uint64(ev.SwapHD))
+	le.PutUint64(e.buf[72:], uint64(ev.BusHW))
+	le.PutUint64(e.buf[80:], uint64(ev.AccHD))
+	le.PutUint64(e.buf[88:], uint64(ev.Acc01))
+	le.PutUint64(e.buf[96:], uint64(ev.DigitHW))
+	le.PutUint64(e.buf[104:], uint64(ev.RegsClocked))
+	e.st.Write(e.buf[:])
+}
+
+func (e *eventHasher) sum() string {
+	return hex.EncodeToString(e.st.Sum(nil))
+}
+
+// goldenRun executes the pinned protected point multiplication with
+// the given probe wiring and returns (hash, cycles).
+func goldenRun(t *testing.T, attach func(cpu *CPU, eh *eventHasher)) (string, int) {
+	t.Helper()
+	curve := ec.K163()
+	prog := BuildLadderProgram(ProgramOptions{RPC: true, XOnly: true})
+	cpu := NewCPU(DefaultTiming())
+	cpu.Rand = rng.NewDRBG(42).Uint64
+	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+	eh := newEventHasher()
+	attach(cpu, eh)
+	n, err := cpu.Run(prog, benchScalar)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return eh.sum(), n
+}
+
+// TestGoldenTraceHash pins the full per-cycle event stream of a
+// protected point multiplication. If this test fails, an optimization
+// changed the simulator's observable microarchitectural behaviour —
+// which invalidates every power number, SCA result and golden ledger
+// in the repo. Fix the optimization, never the constant.
+func TestGoldenTraceHash(t *testing.T) {
+	check := func(t *testing.T, name string, attach func(cpu *CPU, eh *eventHasher)) {
+		t.Run(name, func(t *testing.T) {
+			got, cycles := goldenRun(t, attach)
+			if cycles == 0 {
+				t.Fatal("no cycles simulated")
+			}
+			if got != goldenTraceHash {
+				t.Fatalf("%s event stream hash changed:\n  got    %s\n  pinned %s\n(%d cycles)", name, got, goldenTraceHash, cycles)
+			}
+		})
+	}
+	// Per-cycle compat path.
+	check(t, "probe", func(cpu *CPU, eh *eventHasher) {
+		cpu.Probe = func(ev *CycleEvent) { eh.add(ev) }
+	})
+	// Batched delivery (one callback per retired instruction) must
+	// produce the exact same event sequence.
+	check(t, "batch", func(cpu *CPU, eh *eventHasher) {
+		cpu.Batch = func(evs []CycleEvent) {
+			for i := range evs {
+				eh.add(&evs[i])
+			}
+		}
+	})
+	// Both probes attached: the per-cycle stream is undisturbed by the
+	// batch buffer riding along.
+	check(t, "probe-with-batch-attached", func(cpu *CPU, eh *eventHasher) {
+		cpu.Probe = func(ev *CycleEvent) { eh.add(ev) }
+		cpu.Batch = func(evs []CycleEvent) {}
+	})
+}

@@ -55,12 +55,18 @@ func (c *Curve) ProjDouble(p ProjPoint) ProjPoint {
 	a := gf2m.Add(x2, p.Y)
 	cc := gf2m.Mul(p.Z, p.X)
 	z3 := gf2m.Sqr(cc)
-	x3 := gf2m.Add(gf2m.Add(gf2m.Sqr(a), gf2m.Mul(a, cc)), gf2m.Mul(c.A, z3))
+	// Lazy reduction: reduction mod f is GF(2)-linear, so the sums
+	// below accumulate unreduced 6-word products and reduce once —
+	// bit-identical to reducing per term (asserted by the package's
+	// affine cross-tests), one reduce instead of three.
+	xacc := gf2m.SqrNoReduce(a)
+	gf2m.MulAcc(&xacc, a, cc)
+	gf2m.MulAcc(&xacc, c.A, z3)
+	x3 := gf2m.Reduce(xacc)
 	x6 := gf2m.Mul(gf2m.Sqr(x2), x2)
-	y3 := gf2m.Add(
-		gf2m.Mul(gf2m.Sqr(p.Z), x6),
-		gf2m.Mul(gf2m.Mul(gf2m.Add(a, cc), cc), x3),
-	)
+	yacc := gf2m.MulNoReduce(gf2m.Sqr(p.Z), x6)
+	gf2m.MulAcc(&yacc, gf2m.Mul(gf2m.Add(a, cc), cc), x3)
+	y3 := gf2m.Reduce(yacc)
 	return ProjPoint{X: x3, Y: y3, Z: z3}
 }
 
@@ -94,19 +100,23 @@ func (c *Curve) ProjAddMixed(p ProjPoint, q Point) (ProjPoint, error) {
 	cc := gf2m.Mul(p.Z, b) // C = Z·B
 	z3 := gf2m.Sqr(cc)
 	b2 := gf2m.Sqr(b)
-	x3 := gf2m.Add(
-		gf2m.Add(gf2m.Sqr(a), gf2m.Mul(a, cc)),
-		gf2m.Add(gf2m.Mul(gf2m.Mul(p.Z, b2), b), gf2m.Mul(c.A, z3)),
-	)
+	// Lazy reduction (see ProjDouble): accumulate the four-term X3 and
+	// Y3 sums unreduced and fold once — identical results, 3 fewer
+	// reductions per sum.
+	xacc := gf2m.SqrNoReduce(a)
+	gf2m.MulAcc(&xacc, a, cc)
+	gf2m.MulAcc(&xacc, gf2m.Mul(p.Z, b2), b)
+	gf2m.MulAcc(&xacc, c.A, z3)
+	x3 := gf2m.Reduce(xacc)
 	// Y3 = A·Z·B·(X·Z·B² + X3) + Z²·B⁴·Y  — derived from
 	// y3 = λ(x1+x3)+x3+y1 with λ = A/C, scaled by Z3².
 	// Expanding: Y3 = A·X1·Z1²·B³ + A·X3·Z1·B + X3·Z3 + Y1·Z1²·B⁴.
 	azb := gf2m.Mul(gf2m.Mul(a, p.Z), b)
-	t1 := gf2m.Mul(gf2m.Mul(gf2m.Mul(p.X, z2), b2), gf2m.Mul(a, b)) // A·X1·Z1²·B³
-	t2 := gf2m.Mul(azb, x3)                                         // A·X3·Z1·B
-	t3 := gf2m.Mul(x3, z3)
-	t4 := gf2m.Mul(gf2m.Mul(p.Y, z2), gf2m.Sqr(b2)) // Y1·Z1²·B⁴
-	y3 := gf2m.Add(gf2m.Add(t1, t2), gf2m.Add(t3, t4))
+	yacc := gf2m.MulNoReduce(gf2m.Mul(gf2m.Mul(p.X, z2), b2), gf2m.Mul(a, b)) // A·X1·Z1²·B³
+	gf2m.MulAcc(&yacc, azb, x3)                                               // A·X3·Z1·B
+	gf2m.MulAcc(&yacc, x3, z3)
+	gf2m.MulAcc(&yacc, gf2m.Mul(p.Y, z2), gf2m.Sqr(b2)) // Y1·Z1²·B⁴
+	y3 := gf2m.Reduce(yacc)
 	return ProjPoint{X: x3, Y: y3, Z: z3}, nil
 }
 

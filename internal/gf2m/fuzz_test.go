@@ -34,6 +34,40 @@ func FuzzFromBytes(f *testing.F) {
 	})
 }
 
+// FuzzMulCross: the Karatsuba/windowed fixed-path multiplier (and its
+// precomputed and lazy-reduction variants) must agree with the generic
+// bit-serial field on arbitrary canonical operands. Seeds cover the
+// structural corners: zero, identity, all-ones, single top bit, the
+// comb window pattern, and the reduction-polynomial tail.
+func FuzzMulCross(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(1), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), uint64(1<<35-1), ^uint64(0), ^uint64(0), uint64(1<<35-1))
+	f.Add(uint64(0), uint64(0), uint64(1<<34), uint64(0xc9), uint64(0), uint64(1<<34))
+	f.Add(uint64(0x1111111111111111), uint64(0), uint64(0), uint64(0x8000000000000000), uint64(0x8000000000000000), uint64(1))
+	gen := NISTK163Field()
+	f.Fuzz(func(t *testing.T, a0, a1, a2, b0, b1, b2 uint64) {
+		a := Element{a0, a1, a2 & (1<<35 - 1)}
+		b := Element{b0, b1, b2 & (1<<35 - 1)}
+		want := gen.ToElement(gen.Mul(gen.FromElement(a), gen.FromElement(b)))
+		if got := Mul(a, b); !got.Equal(want) {
+			t.Fatalf("Mul diverged from generic field: got %v, want %v", got, want)
+		}
+		pa := Precompute(a)
+		if got := pa.Mul(b); !got.Equal(want) {
+			t.Fatal("Precomp.Mul diverged from generic field")
+		}
+		var acc [6]uint64
+		MulAcc(&acc, a, b)
+		if got := Reduce(acc); !got.Equal(want) {
+			t.Fatal("MulAcc+Reduce diverged from generic field")
+		}
+		if !Reduce(SqrNoReduce(a)).Equal(Sqr(a)) {
+			t.Fatal("SqrNoReduce+Reduce diverged from Sqr")
+		}
+	})
+}
+
 // FuzzReduce: arbitrary 6-word polynomials must reduce to canonical
 // form consistently with multiply-then-reduce identities.
 func FuzzReduce(f *testing.F) {

@@ -108,16 +108,31 @@ func (e Element) normalize() Element {
 	return e
 }
 
-// clmul64 returns the 128-bit carry-less product of x and y as
-// (hi, lo). It uses the standard 4-bit windowed comb with the
-// high-bits correction, and contains no data-dependent branches.
-func clmul64(x, y uint64) (hi, lo uint64) {
-	var u [16]uint64
+// wordTab is the 4-bit windowed comb table of one 64-bit operand:
+// entry i holds the truncated carry-less product i·x for the sixteen
+// 4-bit window values. Building it costs 7 shift/XOR pairs; a word
+// product then needs only the 16 comb lookups plus the high-bits
+// correction. Hoisting the table out of the word product is what lets
+// one operand's precomputation be shared across every word product
+// using that operand (the Karatsuba left-operand tables below).
+type wordTab [16]uint64
+
+// combTab builds the window table of x.
+func combTab(x uint64) wordTab {
+	var u wordTab
 	u[1] = x
 	for i := 2; i < 16; i += 2 {
 		u[i] = u[i/2] << 1
 		u[i+1] = u[i] ^ x
 	}
+	return u
+}
+
+// clmulTab returns the 128-bit carry-less product of x and y as
+// (hi, lo), given x's precomputed window table. It is the standard
+// 4-bit windowed comb with the high-bits correction, and contains no
+// data-dependent branches.
+func clmulTab(u *wordTab, x, y uint64) (hi, lo uint64) {
 	lo = u[y&0xf]
 	for i := uint(4); i < 64; i += 4 {
 		v := u[(y>>i)&0xf]
@@ -139,17 +154,134 @@ func clmul64(x, y uint64) (hi, lo uint64) {
 	return hi, lo
 }
 
-// mul320 computes the 6-word carry-less product of two 3-word operands
-// by schoolbook multiplication (9 word products).
-func mul320(a, b Element) [6]uint64 {
-	var c [6]uint64
-	for i := 0; i < Words; i++ {
-		for j := 0; j < Words; j++ {
-			hi, lo := clmul64(a[i], b[j])
-			c[i+j] ^= lo
-			c[i+j+1] ^= hi
-		}
+// clmulTabTop is clmulTab specialized for the top-word product of two
+// canonical elements: x and y both carry at most 35 bits (degrees
+// 128..162 live in word 2), so the windows above bit 35 of y and the
+// truncated-shift correction (which needs bits 61..63 of x) vanish.
+// This is a structural property of the element encoding, not of the
+// operand values, so the specialization stays branch-free with respect
+// to data.
+func clmulTabTop(u *wordTab, y uint64) (hi, lo uint64) {
+	lo = u[y&0xf]
+	for i := uint(4); i < 36; i += 4 {
+		v := u[(y>>i)&0xf]
+		lo ^= v << i
+		hi ^= v >> (64 - i)
 	}
+	return hi, lo
+}
+
+// clmul64 returns the 128-bit carry-less product of x and y, building
+// the window table on the fly (the one-shot path; multi-product
+// callers go through Precomp so the tables are built once).
+func clmul64(x, y uint64) (hi, lo uint64) {
+	u := combTab(x)
+	return clmulTab(&u, x, y)
+}
+
+// Precomp is the per-operand half of a 3-word Karatsuba
+// multiplication: the six left-operand words a0, a1, a2, a0^a1, a0^a2,
+// a1^a2 together with their window tables. Precomputing it once and
+// reusing it across multiplications by the same operand (Precomp.Mul)
+// skips the table construction entirely — the software analogue of
+// wiring one multiplicand into the MALU's partial-product array.
+type Precomp struct {
+	x [6]uint64
+	t [6]wordTab
+}
+
+// Precompute builds the Karatsuba tables of a.
+func Precompute(a Element) Precomp {
+	var p Precomp
+	p.x = [6]uint64{a[0], a[1], a[2], a[0] ^ a[1], a[0] ^ a[2], a[1] ^ a[2]}
+	for i, w := range p.x {
+		p.t[i] = combTab(w)
+	}
+	return p
+}
+
+// MulNoReduce returns the unreduced 6-word carry-less product p·b
+// using the 3-word Karatsuba decomposition of Dyka & Langendoerfer:
+// six word products instead of schoolbook's nine. With
+// A = a0 + a1·X + a2·X² over X = x^64 and Dij = (ai+aj)(bi+bj):
+//
+//	A·B = D00 + (D01+D00+D11)·X + (D02+D00+D11+D22)·X²
+//	          + (D12+D11+D22)·X³ + D22·X⁴
+func (p *Precomp) MulNoReduce(b Element) [6]uint64 {
+	h0, l0 := clmulTab(&p.t[0], p.x[0], b[0])
+	h1, l1 := clmulTab(&p.t[1], p.x[1], b[1])
+	h2, l2 := clmulTabTop(&p.t[2], b[2])
+	h01, l01 := clmulTab(&p.t[3], p.x[3], b[0]^b[1])
+	h02, l02 := clmulTab(&p.t[4], p.x[4], b[0]^b[2])
+	h12, l12 := clmulTab(&p.t[5], p.x[5], b[1]^b[2])
+
+	// Middle coefficients (each 128 bits).
+	m1l, m1h := l01^l0^l1, h01^h0^h1       // X term: a0b1+a1b0
+	m2l, m2h := l02^l0^l1^l2, h02^h0^h1^h2 // X² term: a0b2+a2b0+a1b1
+	m3l, m3h := l12^l1^l2, h12^h1^h2       // X³ term: a1b2+a2b1
+
+	return [6]uint64{
+		l0,
+		h0 ^ m1l,
+		m1h ^ m2l,
+		m2h ^ m3l,
+		m3h ^ l2,
+		h2,
+	}
+}
+
+// Mul returns the reduced product p·b.
+func (p *Precomp) Mul(b Element) Element {
+	return reduce(p.MulNoReduce(b))
+}
+
+// mul320 computes the 6-word carry-less product of two 3-word operands
+// via 3-word Karatsuba (6 word products, down from schoolbook's 9).
+// The window tables live in locals so the compiler keeps them on the
+// stack; long-lived per-operand tables go through Precomp instead.
+func mul320(a, b Element) [6]uint64 {
+	x01, x02, x12 := a[0]^a[1], a[0]^a[2], a[1]^a[2]
+	t0 := combTab(a[0])
+	t1 := combTab(a[1])
+	t2 := combTab(a[2])
+	t01 := combTab(x01)
+	t02 := combTab(x02)
+	t12 := combTab(x12)
+
+	h0, l0 := clmulTab(&t0, a[0], b[0])
+	h1, l1 := clmulTab(&t1, a[1], b[1])
+	h2, l2 := clmulTabTop(&t2, b[2])
+	h01, l01 := clmulTab(&t01, x01, b[0]^b[1])
+	h02, l02 := clmulTab(&t02, x02, b[0]^b[2])
+	h12, l12 := clmulTab(&t12, x12, b[1]^b[2])
+
+	m1l, m1h := l01^l0^l1, h01^h0^h1
+	m2l, m2h := l02^l0^l1^l2, h02^h0^h1^h2
+	m3l, m3h := l12^l1^l2, h12^h1^h2
+
+	return [6]uint64{l0, h0 ^ m1l, m1h ^ m2l, m2h ^ m3l, m3h ^ l2, h2}
+}
+
+// MulAcc accumulates the unreduced product a·b into acc: acc ^= a·b.
+// Reduction mod f(x) is GF(2)-linear, so a multi-term sum can be
+// accumulated unreduced and folded once at the end —
+// Reduce(Σ aᵢ·bᵢ) == Σ Mul(aᵢ, bᵢ) bit-for-bit. The curve layer's
+// projective formulas use this to pay one reduction per sum instead of
+// one per product.
+func MulAcc(acc *[6]uint64, a, b Element) {
+	c := mul320(a, b)
+	for i := range acc {
+		acc[i] ^= c[i]
+	}
+}
+
+// SqrNoReduce returns the unreduced 6-word carry-less square of e, for
+// lazy-reduction sums mixing squares with products.
+func SqrNoReduce(e Element) [6]uint64 {
+	var c [6]uint64
+	c[1], c[0] = spread64(e[0])
+	c[3], c[2] = spread64(e[1])
+	c[5], c[4] = spread64(e[2])
 	return c
 }
 
@@ -409,10 +541,19 @@ func ShlMod(e Element, s uint) Element {
 	if s == 0 {
 		return e
 	}
-	var c [6]uint64
-	c[0] = e[0] << s
-	c[1] = e[1]<<s | e[0]>>(64-s)
-	c[2] = e[2]<<s | e[1]>>(64-s)
-	c[3] = e[2] >> (64 - s)
-	return reduce(c)
+	c0 := e[0] << s
+	c1 := e[1]<<s | e[0]>>(64-s)
+	c2 := e[2]<<s | e[1]>>(64-s)
+	c3 := e[2] >> (64 - s)
+	// Specialized reduction: the overflow h = (e·x^s) >> 163 has degree
+	// at most 162+61-163 = 60, so it fits one word and a single fold of
+	// h·(x^7+x^6+x^3+1) — landing no higher than degree 67 — finishes
+	// the job. This is the general reduce() with h[1] = h[2] = 0 and no
+	// second folding round, so the result is bit-identical.
+	h := c2>>35 | c3<<29
+	return Element{
+		c0 ^ h ^ h<<3 ^ h<<6 ^ h<<7,
+		c1 ^ h>>61 ^ h>>58 ^ h>>57,
+		c2 & topMask,
+	}
 }

@@ -83,10 +83,20 @@ type AES struct {
 
 // NewAES expands a 16-byte key into an AES-128 instance.
 func NewAES(key []byte) (*AES, error) {
-	if len(key) != AESKeySize {
-		return nil, errors.New("lightcrypto: AES-128 requires a 16-byte key")
-	}
 	a := new(AES)
+	if err := a.Rekey(key); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Rekey re-expands the instance in place for a new 16-byte key. It
+// lets long-lived consumers (the campaign engine's per-worker DRBGs)
+// re-seed per sample without allocating a fresh cipher.
+func (a *AES) Rekey(key []byte) error {
+	if len(key) != AESKeySize {
+		return errors.New("lightcrypto: AES-128 requires a 16-byte key")
+	}
 	for i := 0; i < 4; i++ {
 		a.rk[i] = binary.BigEndian.Uint32(key[4*i:])
 	}
@@ -99,7 +109,7 @@ func NewAES(key []byte) (*AES, error) {
 		}
 		a.rk[i] = a.rk[i-4] ^ t
 	}
-	return a, nil
+	return nil
 }
 
 func subWord(w uint32) uint32 {

@@ -1,0 +1,100 @@
+package power
+
+import (
+	"testing"
+
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/rng"
+)
+
+// runBoth executes the same point multiplication twice — once through
+// the per-cycle Probe, once through the batch path — with identical
+// seeds, and returns the two meters plus the two breakdown meters.
+func runBoth(t *testing.T, cfg Config) (probe, batch *Meter, probeBD, batchBD *BreakdownMeter) {
+	t.Helper()
+	curve := ec.K163()
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
+	k := curve.Order.RandNonZero(rng.NewDRBG(99).Uint64)
+	run := func(attach func(cpu *coproc.CPU, m *Meter, bm *BreakdownMeter)) (*Meter, *BreakdownMeter) {
+		// Meter and BreakdownMeter observe through separate models so
+		// each consumes its own (identical) noise stream.
+		m := NewMeter(NewModel(cfg))
+		bm := NewBreakdownMeter(NewModel(cfg))
+		cpu := coproc.NewCPU(coproc.DefaultTiming())
+		cpu.Rand = rng.NewDRBG(7).Uint64
+		attach(cpu, m, bm)
+		cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+		if _, err := cpu.Run(prog, k); err != nil {
+			t.Fatal(err)
+		}
+		return m, bm
+	}
+	probe, probeBD = run(func(cpu *coproc.CPU, m *Meter, bm *BreakdownMeter) {
+		mp, bp := m.Probe(), bm.Probe()
+		cpu.Probe = func(ev *coproc.CycleEvent) { mp(ev); bp(ev) }
+	})
+	batch, batchBD = run(func(cpu *coproc.CPU, m *Meter, bm *BreakdownMeter) {
+		mb, bb := m.BatchProbe(), bm.BatchProbe()
+		cpu.Batch = func(evs []coproc.CycleEvent) { mb(evs); bb(evs) }
+	})
+	return probe, batch, probeBD, batchBD
+}
+
+// TestBatchProbeBitIdentical pins the batch fast path's contract: the
+// accumulated energy — noise stream included — must be bit-identical
+// to the per-cycle Probe's, for both the total meter and the
+// per-component breakdown.
+func TestBatchProbeBitIdentical(t *testing.T) {
+	for _, cfg := range []Config{ProtectedChip(5), UnprotectedChip(5)} {
+		p, b, pbd, bbd := runBoth(t, cfg)
+		if p.Cycles() != b.Cycles() || p.Cycles() == 0 {
+			t.Fatalf("cycle counts differ: probe %d, batch %d", p.Cycles(), b.Cycles())
+		}
+		if p.EnergyJ() != b.EnergyJ() {
+			t.Fatalf("batch meter energy %.18g != probe %.18g", b.EnergyJ(), p.EnergyJ())
+		}
+		if pbd.Totals() != bbd.Totals() {
+			t.Fatalf("batch breakdown %+v != probe %+v", bbd.Totals(), pbd.Totals())
+		}
+	}
+}
+
+// TestModelReinitMatchesNew pins the allocation-free re-init path: a
+// model recycled with Reinit must produce the exact same per-cycle
+// energy stream as a freshly constructed one, including the re-seeded
+// noise draws.
+func TestModelReinitMatchesNew(t *testing.T) {
+	evs := []coproc.CycleEvent{
+		{Op: coproc.OpMul, RegsClocked: 1, AccHD: 40, Acc01: 22, BusHW: 31, DigitHW: 3},
+		{Op: coproc.OpCSwap, RegsClocked: 0, CtrlSel: 1, SwapHD: 80},
+		{Op: coproc.OpAdd, RegsClocked: 1, WriteHD: 55, Write01: 29, BusHW: 90},
+	}
+	cfgA := ProtectedChip(111)
+	cfgB := UnprotectedChip(222)
+	recycled := NewModel(cfgA)
+	// Disturb the recycled model's noise stream so Reinit has real work.
+	for i := range evs {
+		_ = recycled.CycleEnergy(&evs[i])
+	}
+	recycled.Reinit(cfgB)
+	fresh := NewModel(cfgB)
+	if recycled.Config() != fresh.Config() {
+		t.Fatalf("Reinit config %+v != NewModel config %+v", recycled.Config(), fresh.Config())
+	}
+	for round := 0; round < 50; round++ {
+		for i := range evs {
+			got := recycled.CycleEnergy(&evs[i])
+			want := fresh.CycleEnergy(&evs[i])
+			if got != want {
+				t.Fatalf("round %d ev %d: recycled %.18g != fresh %.18g", round, i, got, want)
+			}
+		}
+	}
+	// Zero fields in the config get the same defaults as NewModel.
+	recycled.Reinit(Config{})
+	fresh = NewModel(Config{})
+	if recycled.Config() != fresh.Config() {
+		t.Fatalf("defaulting diverged: %+v vs %+v", recycled.Config(), fresh.Config())
+	}
+}

@@ -1,0 +1,51 @@
+// Package profiling wires the standard pprof profiles into the repo's
+// command-line labs. The campaign engine made acquisition throughput a
+// first-class concern; these hooks are how hot-path regressions are
+// localized (the README documents the workflow: run a lab with
+// -cpuprofile, open the profile with `go tool pprof`, look for the
+// field multiplication / MALU / probe-delivery frames).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile (when cpuPath != "") and arranges for a
+// heap profile (when memPath != ""). It returns a stop function that
+// must run before process exit — typically `defer stop()` right after
+// flag parsing — and finishes both profiles. Empty paths are no-ops,
+// so callers can pass flag values through unconditionally.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -43,6 +43,21 @@ func NewDRBG(seed uint64) *DRBG {
 	return &DRBG{aes: a}
 }
 
+// Reseed resets the generator in place to the state NewDRBG(seed)
+// would produce, without allocating. The campaign engine's per-worker
+// scratch DRBGs re-seed once per trace; allocation-free re-seeding is
+// what keeps the steady-state acquisition loop off the heap.
+func (d *DRBG) Reseed(seed uint64) {
+	var key [16]byte
+	binary.BigEndian.PutUint64(key[:8], seed)
+	binary.BigEndian.PutUint64(key[8:], seed^0x9e3779b97f4a7c15)
+	if err := d.aes.Rekey(key[:]); err != nil {
+		panic(err) // impossible: key is always 16 bytes
+	}
+	d.ctr = 0
+	d.n = 0
+}
+
 func (d *DRBG) refill() {
 	var blk [16]byte
 	binary.BigEndian.PutUint64(blk[8:], d.ctr)
@@ -98,7 +113,15 @@ type Xorshift struct {
 // NewXorshift seeds a generator; a zero seed is remapped to avoid the
 // all-zero fixed point.
 func NewXorshift(seed uint64) *Xorshift {
-	x := &Xorshift{s0: seed, s1: seed ^ 0x6a09e667f3bcc909}
+	x := &Xorshift{}
+	x.Reseed(seed)
+	return x
+}
+
+// Reseed resets the generator in place to the state NewXorshift(seed)
+// would produce (allocation-free re-seeding for pooled scratch state).
+func (x *Xorshift) Reseed(seed uint64) {
+	x.s0, x.s1 = seed, seed^0x6a09e667f3bcc909
 	if x.s0 == 0 && x.s1 == 0 {
 		x.s1 = 1
 	}
@@ -106,7 +129,6 @@ func NewXorshift(seed uint64) *Xorshift {
 	for i := 0; i < 8; i++ {
 		x.Uint64()
 	}
-	return x
 }
 
 // Uint64 returns the next value of the xorshift128+ sequence.
@@ -137,6 +159,19 @@ type Gaussian struct {
 // NewGaussian creates a Gaussian sampler over a seeded xorshift source.
 func NewGaussian(seed uint64) *Gaussian {
 	return &Gaussian{src: NewXorshift(seed)}
+}
+
+// Reseed resets the sampler in place to the state NewGaussian(seed)
+// would produce: same xorshift state, no cached spare. Allocation-free
+// (the embedded source is reused).
+func (g *Gaussian) Reseed(seed uint64) {
+	if g.src == nil {
+		g.src = NewXorshift(seed)
+	} else {
+		g.src.Reseed(seed)
+	}
+	g.spare = 0
+	g.hasSpare = false
 }
 
 // Sample returns one N(0, 1) draw.

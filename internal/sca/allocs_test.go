@@ -1,0 +1,77 @@
+package sca
+
+import (
+	"testing"
+
+	"medsec/internal/ec"
+	"medsec/internal/rng"
+)
+
+// TestAcquireSteadyStateAllocs pins the campaign hot path's allocation
+// budget: with worker-owned scratch state (re-seeded DRBG, re-inited
+// power model, pooled collector buffers, pre-bound probe closures), a
+// steady-state acquisition must not allocate beyond the two small
+// pool-header boxes Release pays when recycling the sample buffers.
+// This is the "cut steady-state allocations to ~zero per trace"
+// acceptance criterion; before the scratch rework the same loop cost
+// ~35 heap objects (CPU probes, fresh DRBG + model + collector and
+// growing sample slices per trace).
+func TestAcquireSteadyStateAllocs(t *testing.T) {
+	tgt := newDPATarget(t, true, 9)
+	p := tgt.Curve.RandomPoint(rng.NewDRBG(3).Uint64)
+	start, end := tgt.Window(162, 159) // small early window: fast runs
+	s := tgt.newScratch()
+	acquireRelease := func(idx uint64) {
+		tr, err := tgt.acquireOn(s, tgt.Key, p, start, end, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Samples) == 0 {
+			t.Fatal("empty acquisition")
+		}
+		tr.Release()
+	}
+	// Warm the pools and the scratch state.
+	for i := uint64(0); i < 3; i++ {
+		acquireRelease(i)
+	}
+	idx := uint64(100)
+	allocs := testing.AllocsPerRun(20, func() {
+		acquireRelease(idx)
+		idx++
+	})
+	if allocs > 4 {
+		t.Fatalf("steady-state acquisition allocates %.1f objects per trace, want <= 4", allocs)
+	}
+}
+
+// TestAcquireScratchReuseBitIdentical pins that one scratch state
+// reused across many traces reproduces exactly what fresh per-trace
+// state produces — the equivalence the allocation win rests on.
+func TestAcquireScratchReuseBitIdentical(t *testing.T) {
+	tgt := newDPATarget(t, true, 4)
+	p := tgt.Curve.RandomPoint(rng.NewDRBG(8).Uint64)
+	start, end := tgt.Window(162, 160)
+	s := tgt.newScratch()
+	for idx := uint64(0); idx < 6; idx++ {
+		reused, err := tgt.acquireOn(s, tgt.Key, p, start, end, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := tgt.AcquireWithKey(tgt.Key, ec.Point{X: p.X, Y: p.Y}, start, end, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reused.Samples) != len(fresh.Samples) || len(reused.Samples) == 0 {
+			t.Fatalf("idx %d: shape %d != %d", idx, len(reused.Samples), len(fresh.Samples))
+		}
+		for i := range fresh.Samples {
+			if reused.Samples[i] != fresh.Samples[i] {
+				t.Fatalf("idx %d sample %d: reused scratch %.18g != fresh %.18g",
+					idx, i, reused.Samples[i], fresh.Samples[i])
+			}
+		}
+		reused.Release()
+		fresh.Release()
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
+	"medsec/internal/power"
+	"medsec/internal/rng"
 	"medsec/internal/trace"
 )
 
@@ -43,18 +45,46 @@ func (t *Target) engineConfig() campaign.Config {
 	return campaign.Config{Workers: t.Workers, Progress: t.Progress}
 }
 
+// acqScratch is one worker's reusable acquisition state: a CPU, a
+// device-TRNG DRBG, a power model, and a batch collector, all re-seeded
+// / re-initialized in place per trace. The two func fields are bound
+// once at construction (binding a method value or building a probe
+// closure allocates; copying an existing func value does not), so the
+// steady-state acquisition loop performs zero heap allocations per
+// trace — the gain the campaign AllocsPerRun test pins.
+type acqScratch struct {
+	cpu     *coproc.CPU
+	drbg    *rng.DRBG
+	model   *power.Model
+	col     *trace.Collector
+	randFn  func() uint64
+	batchFn coproc.BatchProbe
+}
+
+func (t *Target) newScratch() *acqScratch {
+	s := &acqScratch{
+		cpu:   coproc.NewCPU(t.Timing),
+		drbg:  rng.NewDRBG(0),
+		model: power.NewModel(t.Power),
+	}
+	s.col = trace.NewCollector(s.model, 0, 0)
+	s.randFn = s.drbg.Uint64
+	s.batchFn = s.col.BatchProbe()
+	return s
+}
+
 // acquirerPool returns the engine's acquire callback over cycle window
-// [start, end): a pool of worker-owned CPUs, lazily constructed, each
-// Reset per trace.
+// [start, end): a pool of worker-owned scratch states, lazily
+// constructed, each re-initialized per trace.
 func (t *Target) acquirerPool(start, end int) campaign.AcquireFunc[acqJob, trace.Trace] {
-	cpus := make([]*coproc.CPU, campaign.Workers(t.Workers))
+	scratch := make([]*acqScratch, campaign.Workers(t.Workers))
 	return func(worker, idx int, j acqJob) (trace.Trace, error) {
-		cpu := cpus[worker]
-		if cpu == nil {
-			cpu = coproc.NewCPU(t.Timing)
-			cpus[worker] = cpu
+		s := scratch[worker]
+		if s == nil {
+			s = t.newScratch()
+			scratch[worker] = s
 		}
-		return t.acquireOn(cpu, j.key, j.point, start, end, j.dev)
+		return t.acquireOn(s, j.key, j.point, start, end, j.dev)
 	}
 }
 
@@ -82,10 +112,16 @@ func (t *Target) fixedRandomPrepare(p ec.Point, randKey func() modn.Scalar) camp
 // stops as soon as |t| exceeds TVLAThreshold.
 func welchConsume(w *trace.OnlineWelch, checkEvery, minPairs int) campaign.ConsumeFunc[acqJob, trace.Trace] {
 	return func(idx int, j acqJob, tr trace.Trace) (bool, error) {
+		// The accumulator folds the samples immediately; the trace is
+		// not retained, so its pooled buffers go back for reuse.
 		if idx%2 == 0 {
-			return false, w.AddA(tr.Samples)
+			err := w.AddA(tr.Samples)
+			tr.Release()
+			return false, err
 		}
-		if err := w.AddB(tr.Samples); err != nil {
+		err := w.AddB(tr.Samples)
+		tr.Release()
+		if err != nil {
 			return false, err
 		}
 		if checkEvery > 0 {

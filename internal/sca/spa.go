@@ -127,6 +127,7 @@ func spaAveraged(t *Target, p ec.Point, idx uint64, n int) (*SPAResult, error) {
 		for s, v := range tr.Samples {
 			acc[s] += v
 		}
+		tr.Release() // folded, not retained
 		return false, nil
 	}
 	if _, err := campaign.Run(0, n, t.engineConfig(), prepare, t.acquirerPool(start, end), consume); err != nil {

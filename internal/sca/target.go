@@ -122,23 +122,31 @@ func (t *Target) Acquire(p ec.Point, start, end int, idx uint64) (trace.Trace, e
 // AcquireWithKey acquires with an explicit scalar — the TVLA
 // fixed-vs-random-key campaign needs per-trace keys.
 func (t *Target) AcquireWithKey(key modn.Scalar, p ec.Point, start, end int, idx uint64) (trace.Trace, error) {
-	return t.acquireOn(coproc.NewCPU(t.Timing), key, p, start, end, idx)
+	return t.acquireOn(t.newScratch(), key, p, start, end, idx)
 }
 
-// acquireOn runs one acquisition on the given CPU (reset first, so a
-// worker-owned CPU behaves exactly like a freshly constructed one).
-// The power model and its noise DRBG are instantiated per trace: both
-// the TRNG stream and the noise stream derive purely from idx, which
-// is what makes parallel campaigns bit-identical to serial ones.
-func (t *Target) acquireOn(cpu *coproc.CPU, key modn.Scalar, p ec.Point, start, end int, idx uint64) (trace.Trace, error) {
+// acquireOn runs one acquisition on the given scratch state (reset in
+// place first, so a worker-owned scratch behaves exactly like freshly
+// constructed per-trace state). The device TRNG stream, the power
+// model and its noise DRBG are re-derived per trace purely from idx,
+// which is what makes parallel campaigns bit-identical to serial ones;
+// the re-derivation is in-place re-seeding (rng.DRBG.Reseed,
+// power.Model.Reinit), which is what makes the steady-state loop
+// allocation-free. Events reach the collector through the coproc batch
+// probe — one callback per retired instruction instead of one per
+// cycle — and samples land in pooled buffers (trace.Collector.Begin).
+func (t *Target) acquireOn(s *acqScratch, key modn.Scalar, p ec.Point, start, end int, idx uint64) (trace.Trace, error) {
+	cpu := s.cpu
 	cpu.Reset()
 	cpu.Timing = t.Timing
-	cpu.Rand = rng.NewDRBG(t.traceSeed(idx)).Uint64
+	s.drbg.Reseed(t.traceSeed(idx))
+	cpu.Rand = s.randFn
 	pcfg := t.Power
 	pcfg.Seed ^= (idx + 1) * 0xbf58476d1ce4e5b9
-	model := power.NewModel(pcfg)
-	col := trace.NewCollector(model, start, end)
-	cpu.Probe = col.Probe()
+	s.model.Reinit(pcfg)
+	s.col.Start, s.col.End = start, end
+	s.col.Begin()
+	cpu.Batch = s.batchFn
 	cpu.SetOperandConstants(p.X, t.Curve.B, p.Y)
 	if end > 0 {
 		cpu.MaxCycles = end
@@ -147,7 +155,7 @@ func (t *Target) acquireOn(cpu *coproc.CPU, key modn.Scalar, p ec.Point, start, 
 	if err != nil && !errors.Is(err, coproc.ErrStopped) {
 		return trace.Trace{}, err
 	}
-	return col.Take(), nil
+	return s.col.Take(), nil
 }
 
 // Window exposes the acquisition cycle window covering ladder

@@ -74,6 +74,7 @@ func BuildTemplate(profiler *Target, p ec.Point, nProfile int) (*Template, error
 				f0 = append(f0, v)
 			}
 		}
+		tr.Release() // folded, not retained
 		return false, nil
 	}
 	if _, err := campaign.Run(0, nProfile, profiler.engineConfig(), prepare, profiler.acquirerPool(start, end), consume); err != nil {

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/modn"
+	"medsec/internal/power"
+)
+
+// runCollector executes a fixed windowed acquisition and returns the
+// recorded trace. batch selects the delivery path (per-cycle Probe vs
+// per-instruction BatchProbe); everything else — seeds, window, noise
+// — is identical across the two.
+func runCollector(t *testing.T, batch bool, noiseSigma float64) Trace {
+	t.Helper()
+	curve := ec.K163()
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: false})
+	cfg := power.ProtectedChip(77)
+	cfg.NoiseSigma = noiseSigma
+	model := power.NewModel(cfg)
+	col := NewCollector(model, 150, 900)
+	cpu := coproc.NewCPU(coproc.DefaultTiming())
+	if batch {
+		cpu.Batch = col.BatchProbe()
+	} else {
+		cpu.Probe = col.Probe()
+	}
+	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+	cpu.MaxCycles = 2000
+	if _, err := cpu.Run(prog, modn.FromUint64(0xf00d)); err != coproc.ErrStopped {
+		t.Fatalf("expected early stop, got %v", err)
+	}
+	return col.Take()
+}
+
+// TestBatchCollectorBitIdentical pins the batch acquisition contract:
+// the recorded trace — including the noise draws consumed by cycles
+// OUTSIDE the window, which keep the noise stream aligned — must be
+// bit-identical to the per-cycle collector's.
+func TestBatchCollectorBitIdentical(t *testing.T) {
+	for _, sigma := range []float64{0, 0.03} {
+		want := runCollector(t, false, sigma)
+		got := runCollector(t, true, sigma)
+		if got.StartCycle != want.StartCycle {
+			t.Fatalf("sigma=%v: StartCycle %d != %d", sigma, got.StartCycle, want.StartCycle)
+		}
+		if len(got.Samples) != len(want.Samples) || len(got.Iter) != len(want.Iter) {
+			t.Fatalf("sigma=%v: shape (%d,%d) != (%d,%d)", sigma,
+				len(got.Samples), len(got.Iter), len(want.Samples), len(want.Iter))
+		}
+		for i := range want.Samples {
+			if got.Samples[i] != want.Samples[i] {
+				t.Fatalf("sigma=%v: sample %d: batch %.18g != probe %.18g", sigma, i, got.Samples[i], want.Samples[i])
+			}
+			if got.Iter[i] != want.Iter[i] {
+				t.Fatalf("sigma=%v: iter annotation %d differs", sigma, i)
+			}
+		}
+	}
+}
+
+// TestReleaseRecyclesBuffers pins the pooling contract: after a
+// Release, a Begin-acquired trace reuses capacity instead of
+// allocating, and the released header is cleared.
+func TestReleaseRecyclesBuffers(t *testing.T) {
+	tr := runCollector(t, true, 0)
+	if len(tr.Samples) == 0 {
+		t.Fatal("empty acquisition")
+	}
+	tr.Release()
+	if tr.Samples != nil || tr.Iter != nil {
+		t.Fatal("Release did not clear the trace header")
+	}
+	// A full Get/fill/Release cycle in steady state should cost at most
+	// the two small pool-header boxes sync.Pool.Put needs — no sample
+	// storage allocation.
+	model := power.NewModel(power.ProtectedChip(1))
+	col := NewCollector(model, 0, 0)
+	probe := col.BatchProbe()
+	evs := make([]coproc.CycleEvent, 64)
+	for i := range evs {
+		evs[i].Cycle = i
+	}
+	park := col.Take()
+	park.Release() // park the construction-time buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		col.Begin()
+		probe(evs)
+		tr := col.Take()
+		tr.Release()
+	})
+	if allocs > 4 {
+		t.Fatalf("steady-state collect/release allocates %.1f objects per trace, want <= 4", allocs)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"math"
 
+	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/power"
 )
@@ -34,6 +35,31 @@ type Trace struct {
 	Iter []int32
 	// StartCycle is the global cycle index of Samples[0].
 	StartCycle int
+}
+
+// Process-wide free lists for per-trace buffers. Traces recorded via
+// Collector.BatchProbe draw from these pools and return to them via
+// Release; in a steady-state streaming campaign every trace reuses a
+// buffer retired a few indices earlier, so acquisition allocates
+// ~nothing per trace.
+var (
+	samplePool campaign.BufferPool[float64]
+	iterPool   campaign.BufferPool[int32]
+)
+
+// batchInitCap sizes a pooled buffer's first allocation. Later Gets
+// reuse whatever capacity the campaign's traces actually needed.
+const batchInitCap = 4096
+
+// Release returns the trace's buffers to the shared pool and clears
+// the header. Only call it on traces that are NOT retained (streaming
+// statistics that have already folded the samples); a released trace
+// must not be read again. Releasing a trace recorded outside the
+// pooled path is harmless — its buffers simply join the pool.
+func (t *Trace) Release() {
+	samplePool.Put(t.Samples)
+	iterPool.Put(t.Iter)
+	t.Samples, t.Iter = nil, nil
 }
 
 // SegmentByIteration returns the half-open sample ranges
@@ -85,6 +111,44 @@ func (c *Collector) Probe() coproc.Probe {
 		}
 		c.trace.Samples = append(c.trace.Samples, c.Model.CyclePower(ev))
 		c.trace.Iter = append(c.trace.Iter, int32(ev.Iteration))
+	}
+}
+
+// BatchProbe returns the batch-mode probe to attach to a CPU — one
+// call per retired instruction instead of one closure invocation per
+// cycle (see coproc.BatchProbe). The recorded trace is bit-identical
+// to the per-cycle Probe's: the window test, the power model calls and
+// — crucially — the noise-stream draws for out-of-window cycles happen
+// in the same cycle order. Sample buffers come from a process-wide
+// pool; hand them back with Trace.Release once the trace has been
+// consumed.
+func (c *Collector) BatchProbe() coproc.BatchProbe {
+	c.Begin()
+	return func(evs []coproc.CycleEvent) {
+		for i := range evs {
+			ev := &evs[i]
+			if ev.Cycle < c.Start || (c.End > 0 && ev.Cycle >= c.End) {
+				// Keep the noise stream aligned with the unwindowed
+				// run (see Probe).
+				_ = c.Model.CycleEnergy(ev)
+				continue
+			}
+			c.trace.Samples = append(c.trace.Samples, c.Model.CyclePower(ev))
+			c.trace.Iter = append(c.trace.Iter, int32(ev.Iteration))
+		}
+	}
+}
+
+// Begin resets the collector for a fresh acquisition, drawing
+// zero-length sample buffers from the shared pool. The campaign
+// engine's per-worker scratch collectors call Begin once per trace and
+// reuse the probe closure returned by an earlier BatchProbe call, so
+// steady-state acquisition allocates nothing.
+func (c *Collector) Begin() {
+	c.trace = Trace{
+		StartCycle: c.Start,
+		Samples:    samplePool.Get(batchInitCap),
+		Iter:       iterPool.Get(batchInitCap),
 	}
 }
 
