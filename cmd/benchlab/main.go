@@ -1,23 +1,29 @@
 // Command benchlab measures the simulator-core hot paths and emits a
 // machine-readable before/after report (BENCH_simcore.json) for the
-// hot-path overhaul PR: Karatsuba GF(2^163) multiplication, the
-// precomputed MALU digit pipeline, batched probe delivery and pooled
-// campaign buffers.
+// hot-path overhaul PRs: Karatsuba GF(2^163) multiplication, the
+// precomputed MALU digit pipeline, batched probe delivery, pooled
+// campaign buffers, and — since the reduction-parallel campaign PR —
+// the sharded statistics reduction and the checkpointed/quiet
+// acquisition prologue.
 //
-//	benchlab [-o BENCH_simcore.json] [-quick] [-v]
+//	benchlab [-o BENCH_simcore.json] [-quick] [-shards S] [-v]
 //
-// The "before" column is pinned: it was measured at the
-// pre-optimization baseline (schoolbook 9-clmul mul320, bit-serial
-// digit extraction, per-cycle probe closures, per-trace model/DRBG
-// allocation) on the reference CPU recorded in the report. The "after"
-// column is measured on the current tree at run time. The acceptance
-// criterion for the PR — >= 2x point-multiplication simulation
-// throughput — is evaluated and recorded in the report.
+// Two kinds of "before" appear in the report. The micro/macro rows
+// (gf2m, coproc, the legacy TVLA rows) carry a PINNED before: the
+// measurement taken at the pre-optimization baseline on the reference
+// CPU recorded in the report. The campaign-plan rows
+// (campaign/TVLA-planned, campaign/CPA-t2s) measure their before AT
+// RUN TIME in this same binary, by disabling the new machinery
+// (Target.Shards = -1 selects the legacy serial consumer,
+// Target.NoPrologueSkip re-simulates every pre-window cycle through
+// the evented pipeline) — so their speedups compare two code paths on
+// the same silicon under the same load, not two machines.
 //
 // The numbers quantify the software cost of simulating the paper's
 // hardware design points; the simulated hardware itself (cycle counts,
 // energy, traces) is bit-identical before and after, which is pinned
-// separately by coproc's TestGoldenTraceHash and the sca golden tests.
+// separately by coproc's TestGoldenTraceHash, the quiet-prologue
+// suffix tests and the sca golden/determinism tests.
 package main
 
 import (
@@ -26,9 +32,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"medsec/internal/campaign"
 	"medsec/internal/coproc"
@@ -40,15 +48,19 @@ import (
 	"medsec/internal/sca"
 )
 
-// baselineCPU is the machine the "before" numbers were measured on.
+// baselineCPU is the machine the pinned "before" numbers were
+// measured on.
 const baselineCPU = "Intel(R) Xeon(R) Processor @ 2.10GHz"
 
 // Result is one benchmark row of the report.
 type Result struct {
 	Name string `json:"name"`
 	Unit string `json:"unit"`
-	// Before is the pinned pre-optimization measurement; 0 means the
-	// benchmark did not exist at the baseline.
+	// Before is the reference measurement: pinned at the
+	// pre-optimization baseline for the micro/macro rows, measured at
+	// run time on the legacy code path for the campaign-plan rows
+	// (see the package comment). 0 means the benchmark did not exist
+	// at the baseline.
 	Before float64 `json:"before,omitempty"`
 	After  float64 `json:"after"`
 	// Speedup is before/after for ns- and alloc-like units (lower is
@@ -62,12 +74,23 @@ type Report struct {
 	Description string `json:"description"`
 	BaselineCPU string `json:"baseline_cpu"`
 	CPU         string `json:"cpu"`
-	GoMaxProcs  int    `json:"gomaxprocs"`
-	Results     []Result `json:"results"`
-	Acceptance  struct {
+	// Environment stamp: the numbers are meaningless without it.
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	GitSHA     string   `json:"git_sha"`
+	Shards     int      `json:"shards"`
+	Results    []Result `json:"results"`
+	Acceptance struct {
 		PointMulSpeedupTarget   float64 `json:"pointmul_speedup_target"`
 		PointMulSpeedupMeasured float64 `json:"pointmul_speedup_measured"`
-		Pass                    bool    `json:"pass"`
+		// TVLA/CPA compare the planned sharded acquisition against the
+		// legacy path measured in this same run.
+		TVLASpeedupTarget   float64 `json:"tvla_speedup_target"`
+		TVLASpeedupMeasured float64 `json:"tvla_speedup_measured"`
+		CPASpeedupTarget    float64 `json:"cpa_speedup_target"`
+		CPASpeedupMeasured  float64 `json:"cpa_speedup_measured"`
+		Pass                bool    `json:"pass"`
 	} `json:"acceptance"`
 }
 
@@ -78,18 +101,26 @@ func main() {
 	log.SetPrefix("benchlab: ")
 	out := flag.String("o", "BENCH_simcore.json", "output report path (- for stdout)")
 	quick := flag.Bool("quick", false, "single-iteration smoke run (CI): skips statistical settling")
+	shards := flag.Int("shards", 0, "reduction shard count for the campaign workloads (0 = engine default, < 0 = legacy serial consumer)")
 	verbose := flag.Bool("v", false, "print each result as it is measured")
 	flag.Parse()
 
 	rep := &Report{
 		Suite: "simcore",
 		Description: "Simulator-core hot paths: field mul (Karatsuba vs schoolbook), " +
-			"MALU digit pipeline, full point-mul simulation, TVLA campaign throughput. " +
-			"'before' pinned at the pre-optimization baseline; device-visible behaviour " +
-			"is bit-identical across the rewrite (TestGoldenTraceHash).",
+			"MALU digit pipeline, full point-mul simulation, TVLA campaign throughput, " +
+			"sharded-reduction + checkpointed-prologue campaign plans. " +
+			"'before' pinned at the pre-optimization baseline for micro/macro rows and " +
+			"measured at run time on the legacy path for the campaign-plan rows; " +
+			"device-visible behaviour is bit-identical across every rewrite " +
+			"(TestGoldenTraceHash, TestPrologueSkipDeterminismBitIdentical).",
 		BaselineCPU: baselineCPU,
 		CPU:         runtime.GOARCH + "/" + cpuModel(),
+		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GitSHA:      gitSHA(),
+		Shards:      *shards,
 	}
 
 	bench := func(name, unit string, before float64, f func(b *testing.B)) float64 {
@@ -101,7 +132,7 @@ func main() {
 		}
 		rep.Results = append(rep.Results, res)
 		if *verbose {
-			log.Printf("%-28s %12.1f %s (before %.1f, speedup %.2fx)", name, after, unit, before, res.Speedup)
+			log.Printf("%-32s %12.1f %s (before %.1f, speedup %.2fx)", name, after, unit, before, res.Speedup)
 		}
 		return after
 	}
@@ -195,64 +226,152 @@ func main() {
 		}
 	})
 
-	// --- campaign throughput: the root BenchmarkCampaignEngine TVLA
-	// configuration (500 traces/set, iterations 160..157, protected
-	// RPC target, lab noise). ---
-	tvla := func(workers, nPerSet int) func(b *testing.B) {
+	// mkTarget builds one attack-campaign target; legacy selects the
+	// pre-PR acquisition path (serial consumer, full evented prologue).
+	mkTarget := func(rpc bool, seed uint64, legacy bool) *sca.Target {
+		key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
+		pcfg := power.ProtectedChip(1)
+		pcfg.NoiseSigma = sca.LabNoiseSigma
+		tgt := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: rpc, XOnly: true},
+			coproc.DefaultTiming(), pcfg, seed)
+		if legacy {
+			tgt.Shards = -1
+			tgt.NoPrologueSkip = true
+		} else {
+			tgt.Shards = *shards
+		}
+		return tgt
+	}
+
+	// --- legacy-comparable campaign throughput: the root
+	// BenchmarkCampaignEngine TVLA configuration (500 traces/set,
+	// iterations 160..157, protected RPC target, lab noise). The
+	// pinned before is the PR 3 baseline. ---
+	tvla := func(workers, nPerSet, firstIter, lastIter int, legacy bool) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
-				src := rng.NewDRBG(5).Uint64
-				gen := func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) }
-				pcfg := power.ProtectedChip(1)
-				pcfg.NoiseSigma = sca.LabNoiseSigma
-				tgt := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: true, XOnly: true},
-					coproc.DefaultTiming(), pcfg, 11)
+				tgt := mkTarget(true, 11, legacy)
 				tgt.Workers = workers
-				if _, err := sca.TVLA(tgt, sca.FixedPoint(curve), nPerSet, 160, 157, gen); err != nil {
+				src := rng.NewDRBG(5).Uint64
+				gen := func() modn.Scalar { return sca.AlgorithmOneScalar(tgt.Curve, src) }
+				if _, err := sca.TVLA(tgt, sca.FixedPoint(curve), nPerSet, firstIter, lastIter, gen); err != nil {
 					b.Fatal(err)
 				}
 			}
+		}
+	}
+	tvlaRate := func(workers, nPerSet, firstIter, lastIter int, legacy bool) (tracesPerSec, allocsPerTrace float64) {
+		r := testing.Benchmark(tvla(workers, nPerSet, firstIter, lastIter, legacy))
+		traces := float64(2 * nPerSet)
+		return traces / (float64(r.NsPerOp()) * 1e-9), float64(r.AllocsPerOp()) / traces
+	}
+	record := func(name, unit string, before, after float64, rate bool) {
+		res := Result{Name: name, Unit: unit, Before: round3(before), After: round3(after)}
+		if before > 0 && after > 0 {
+			if rate {
+				res.Speedup = round3(after / before)
+			} else {
+				res.Speedup = round3(before / after)
+			}
+		}
+		rep.Results = append(rep.Results, res)
+		if *verbose {
+			log.Printf("%-32s before %12.1f, after %12.1f %s (%.2fx)", name, before, after, unit, res.Speedup)
 		}
 	}
 	nPerSet := 500
 	if *quick {
 		nPerSet = 50
 	}
-	measureTVLA := func(name string, workers int, beforeTracesPerSec, beforeAllocsPerTrace float64) {
-		r := testing.Benchmark(tvla(workers, nPerSet))
-		traces := float64(2 * nPerSet)
-		tracesPerSec := traces / (float64(r.NsPerOp()) * 1e-9)
-		allocsPerTrace := float64(r.AllocsPerOp()) / traces
-		res := Result{Name: name + "/throughput", Unit: "traces/s", Before: beforeTracesPerSec, After: round3(tracesPerSec)}
-		if beforeTracesPerSec > 0 {
-			res.Speedup = round3(tracesPerSec / beforeTracesPerSec)
-		}
-		rep.Results = append(rep.Results, res)
-		resA := Result{Name: name + "/allocs", Unit: "allocs/trace", Before: beforeAllocsPerTrace, After: round3(allocsPerTrace)}
-		if allocsPerTrace > 0 && beforeAllocsPerTrace > 0 {
-			resA.Speedup = round3(beforeAllocsPerTrace / allocsPerTrace)
-		}
-		rep.Results = append(rep.Results, resA)
-		if *verbose {
-			log.Printf("%-28s %12.0f traces/s, %.2f allocs/trace", name, tracesPerSec, allocsPerTrace)
-		}
-	}
 	// Baseline: 2177 traces/s serial, 2145 at 2 workers; ~35 heap
 	// objects per trace (fresh DRBG + model + collector + growing
 	// sample slices + per-cycle probe overhead).
-	measureTVLA("campaign/TVLA-serial", 1, 2177, 35.0)
+	serRate, serAllocs := tvlaRate(1, nPerSet, 160, 157, false)
+	record("campaign/TVLA-serial/throughput", "traces/s", 2177, serRate, true)
+	record("campaign/TVLA-serial/allocs", "allocs/trace", 35.0, serAllocs, false)
 	par := campaign.Workers(0)
 	if par < 2 {
 		par = 2
 	}
-	measureTVLA(fmt.Sprintf("campaign/TVLA-%dworkers", par), par, 2145, 35.0)
+	parRate, parAllocs := tvlaRate(par, nPerSet, 160, 157, false)
+	record(fmt.Sprintf("campaign/TVLA-%dworkers/throughput", par), "traces/s", 2145, parRate, true)
+	record(fmt.Sprintf("campaign/TVLA-%dworkers/allocs", par), "allocs/trace", 35.0, parAllocs, false)
+
+	// --- PR acceptance rows: planned (sharded + prologue-skip)
+	// acquisition vs the legacy path, measured in THIS run. The TVLA
+	// window sits deep in the ladder (iterations 156..153), the regime
+	// where the paper's per-iteration assessments operate and where the
+	// pre-window prologue dominates the per-trace cycle budget. ---
+	w8 := campaign.Workers(8)
+	tvlaN := 300
+	if *quick {
+		tvlaN = 30
+	}
+	beforeRate, _ := tvlaRate(w8, tvlaN, 156, 153, true)
+	afterRate, _ := tvlaRate(w8, tvlaN, 156, 153, false)
+	record(fmt.Sprintf("campaign/TVLA-planned-%dworkers/throughput", w8), "traces/s", beforeRate, afterRate, true)
+	tvlaSpeedup := afterRate / beforeRate
+
+	// CPA traces-to-success: iterative key recovery on the unprotected
+	// configuration, attacking 4 bits below a known 6-bit prefix (the
+	// published-attack shape: the adversary extends a recovered
+	// prefix). The incremental search re-runs identically on both
+	// paths; the planned path only simulates the window cycles.
+	cpaSizes := []int{60, 120, 200, 300}
+	if *quick {
+		cpaSizes = []int{30, 60}
+	}
+	cpaRun := func(legacy bool) (time.Duration, int) {
+		tgt := mkTarget(false, 17, legacy)
+		tgt.Workers = w8
+		key := tgt.Key
+		prefix := make([]uint, 6)
+		for i := range prefix {
+			prefix[i] = key.Bit(162 - i)
+		}
+		src := rng.NewDRBG(29).Uint64
+		t0 := time.Now()
+		n, res, err := sca.TracesToSuccess(tgt, cpaSizes, 4, sca.CPAOptions{KnownPrefix: prefix}, src)
+		if err != nil {
+			log.Fatalf("CPA traces-to-success: %v", err)
+		}
+		if n < 0 && !*quick {
+			log.Fatalf("CPA never succeeded (best %d/%d bits)", res.CorrectBits(), len(res.Recovered))
+		}
+		return time.Since(t0), n
+	}
+	reps := 3
+	if *quick {
+		reps = 1
+	}
+	best := func(legacy bool) (time.Duration, int) {
+		bd, bn := cpaRun(legacy)
+		for i := 1; i < reps; i++ {
+			if d, n := cpaRun(legacy); d < bd {
+				bd, bn = d, n
+			}
+		}
+		return bd, bn
+	}
+	beforeDur, beforeN := best(true)
+	afterDur, afterN := best(false)
+	if beforeN != afterN {
+		log.Fatalf("CPA traces-to-success diverged: legacy %d traces, planned %d", beforeN, afterN)
+	}
+	record(fmt.Sprintf("campaign/CPA-t2s-%dworkers/runtime", w8), "ms", float64(beforeDur.Milliseconds()), float64(afterDur.Milliseconds()), false)
+	cpaSpeedup := float64(beforeDur) / float64(afterDur)
 
 	// --- Acceptance. ---
 	rep.Acceptance.PointMulSpeedupTarget = 2.0
 	rep.Acceptance.PointMulSpeedupMeasured = round3(9133347 / pointMulNs)
-	rep.Acceptance.Pass = rep.Acceptance.PointMulSpeedupMeasured >= rep.Acceptance.PointMulSpeedupTarget
+	rep.Acceptance.TVLASpeedupTarget = 1.8
+	rep.Acceptance.TVLASpeedupMeasured = round3(tvlaSpeedup)
+	rep.Acceptance.CPASpeedupTarget = 1.5
+	rep.Acceptance.CPASpeedupMeasured = round3(cpaSpeedup)
+	rep.Acceptance.Pass = rep.Acceptance.PointMulSpeedupMeasured >= rep.Acceptance.PointMulSpeedupTarget &&
+		rep.Acceptance.TVLASpeedupMeasured >= rep.Acceptance.TVLASpeedupTarget &&
+		rep.Acceptance.CPASpeedupMeasured >= rep.Acceptance.CPASpeedupTarget
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -265,8 +384,12 @@ func main() {
 		if err := os.WriteFile(*out, buf, 0o644); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("wrote %s (point-mul speedup %.2fx, target %.1fx, pass=%v)",
-			*out, rep.Acceptance.PointMulSpeedupMeasured, rep.Acceptance.PointMulSpeedupTarget, rep.Acceptance.Pass)
+		log.Printf("wrote %s (point-mul %.2fx/%.1fx, TVLA %.2fx/%.1fx, CPA %.2fx/%.1fx, pass=%v)",
+			*out,
+			rep.Acceptance.PointMulSpeedupMeasured, rep.Acceptance.PointMulSpeedupTarget,
+			rep.Acceptance.TVLASpeedupMeasured, rep.Acceptance.TVLASpeedupTarget,
+			rep.Acceptance.CPASpeedupMeasured, rep.Acceptance.CPASpeedupTarget,
+			rep.Acceptance.Pass)
 	}
 	if !rep.Acceptance.Pass && !*quick {
 		os.Exit(1)
@@ -291,4 +414,19 @@ func cpuModel() string {
 		}
 	}
 	return runtime.GOOS
+}
+
+// gitSHA best-effort stamps the working-tree revision ("unknown"
+// outside a git checkout, "-dirty" suffix when uncommitted changes are
+// present).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	sha := strings.TrimSpace(string(out))
+	if err := exec.Command("git", "diff", "--quiet", "HEAD").Run(); err != nil {
+		sha += "-dirty"
+	}
+	return sha
 }

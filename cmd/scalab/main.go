@@ -1,11 +1,11 @@
 // Command scalab runs the side-channel evaluation workflow of the
 // paper's Fig. 4 against the simulated co-processor:
 //
-//	scalab dpa    [-traces 20000] [-bits 6] [-rpc=true] [-known-masks=false] [-workers 0]
-//	scalab spa    [-balanced=true] [-gating=false] [-profile 0] [-workers 0]
+//	scalab dpa    [-traces 20000] [-bits 6] [-rpc=true] [-known-masks=false] [-workers 0] [-shards 0]
+//	scalab spa    [-balanced=true] [-gating=false] [-profile 0] [-workers 0] [-shards 0]
 //	scalab timing [-keys 1000]
-//	scalab tvla   [-traces 500] [-rpc=true] [-early=false] [-workers 0]
-//	scalab leakmap [-traces 200] [-workers 0]
+//	scalab tvla   [-traces 500] [-rpc=true] [-early=false] [-workers 0] [-shards 0]
+//	scalab leakmap [-traces 200] [-workers 0] [-shards 0]
 //
 // The dpa subcommand with default flags reproduces the §7 statement
 // that 20 000 traces do not reveal a single key bit when randomized
@@ -17,6 +17,16 @@
 // worker count, so -workers only changes wall-clock time. Campaign
 // throughput (traces/s and simulated cycles/s) is printed after the
 // dpa and tvla runs.
+//
+// -shards selects the reduction layout: 0 picks the engine default,
+// a positive value fixes the per-shard accumulator count, and a
+// negative value falls back to the legacy serial consumer. Results
+// are bit-identical across worker counts at any fixed shard count;
+// different shard counts reassociate the floating-point fold and so
+// agree only to rounding (see internal/campaign). Campaign headers
+// also report how many leading prologue cycles per trace the
+// checkpoint/quiet-prefix acquisition planner removes from the
+// evented pipeline.
 package main
 
 import (
@@ -83,6 +93,12 @@ func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "acquisition workers (0 = GOMAXPROCS); any value gives bit-identical results")
 }
 
+// shardsFlag registers the shared -shards flag (reduction layout for
+// the sharded campaign engine).
+func shardsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("shards", 0, "reduction shards (0 = engine default, < 0 = legacy serial consumer); statistics agree across shard counts to rounding")
+}
+
 // profileFlags registers the shared -cpuprofile/-memprofile flags.
 // Pair with startProfiling right after fs.Parse.
 func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
@@ -142,12 +158,14 @@ func dpaCmd(args []string) {
 	known := fs.Bool("known-masks", false, "white-box: attacker knows the RPC randomness")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
+	shards := shardsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
 	defer startProfiling(cpuProf, memProf)()
 
 	tgt, _ := newTarget(*rpc, *seed, nil)
 	tgt.Workers = *workers
+	tgt.Shards = *shards
 	sizes := []int{}
 	for _, s := range []int{25, 50, 100, 150, 200, 300, 450, 700, 1000, 2000, 4000, 8000, 12000, 20000} {
 		if s <= *traces {
@@ -157,8 +175,10 @@ func dpaCmd(args []string) {
 	if len(sizes) == 0 || sizes[len(sizes)-1] != *traces {
 		sizes = append(sizes, *traces)
 	}
-	fmt.Printf("DPA/CPA: RPC=%v known-masks=%v, recovering %d bits, up to %d traces, seed=%d\n",
-		*rpc, *known, *bits, *traces, *seed)
+	dpaFirstIter := 162 - len(sca.DefaultKnownPrefix())
+	fmt.Printf("DPA/CPA: RPC=%v known-masks=%v, recovering %d bits, up to %d traces, seed=%d, prologue cycles skipped per trace=%d\n",
+		*rpc, *known, *bits, *traces, *seed,
+		tgt.NewCampaign(dpaFirstIter, dpaFirstIter-*bits+1).PrologueCyclesSkipped())
 	m := newMeter(tgt)
 	n, res, err := sca.TracesToSuccess(tgt, sizes, *bits,
 		sca.CPAOptions{KnownMasks: *known}, rng.NewDRBG(*seed+5).Uint64)
@@ -177,8 +197,7 @@ func dpaCmd(args []string) {
 	t.Row("true bits", fmt.Sprint(res.True))
 	t.Row("bit accuracy", fmt.Sprintf("%.2f", res.BitAccuracy()))
 	t.Render(os.Stdout)
-	firstIter := 162 - len(sca.DefaultKnownPrefix())
-	_, end := tgt.Window(firstIter, firstIter-*bits+1)
+	_, end := tgt.Window(dpaFirstIter, dpaFirstIter-*bits+1)
 	m.report(end)
 }
 
@@ -189,6 +208,7 @@ func spaCmd(args []string) {
 	profile := fs.Int("profile", 0, "profiling traces to average (0 = single trace)")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
+	shards := shardsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
 	defer startProfiling(cpuProf, memProf)()
@@ -199,7 +219,12 @@ func spaCmd(args []string) {
 		c.NoiseSigma = 0.03
 	})
 	tgt.Workers = *workers
-	fmt.Printf("SPA: seed=%d\n", *seed)
+	tgt.Shards = *shards
+	// SPA averages the full ladder, so the only prologue the planner
+	// can remove is the short pre-ladder setup (load/format
+	// instructions before iteration 162).
+	fmt.Printf("SPA: seed=%d, prologue cycles skipped per trace=%d\n",
+		*seed, tgt.NewCampaign(162, 0).PrologueCyclesSkipped())
 	var res *sca.SPAResult
 	var err error
 	if *profile > 1 {
@@ -224,6 +249,10 @@ func timingCmd(args []string) {
 	fs := flag.NewFlagSet("timing", flag.ExitOnError)
 	keys := fs.Int("keys", 1000, "random keys to measure")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	// Accepted for interface uniformity: the timing attack measures
+	// whole-ladder cycle counts without the campaign engine, so the
+	// reduction layout has nothing to shard.
+	_ = shardsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
 	defer startProfiling(cpuProf, memProf)()
@@ -249,6 +278,7 @@ func leakmapCmd(args []string) {
 	residual := fs.Float64("residual", 0.004, "residual layout imbalance")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
+	shards := shardsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
 	defer startProfiling(cpuProf, memProf)()
@@ -260,14 +290,16 @@ func leakmapCmd(args []string) {
 		c.NoiseSigma = 0.05
 	})
 	tgt.Workers = *workers
+	tgt.Shards = *shards
 	src := rng.NewDRBG(*seed + 3).Uint64
 	m, err := sca.LeakageMap(tgt, sca.FixedPoint(curve), *traces, 160, 157,
 		func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) })
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("leakage map: seed=%d, %d cycles assessed, max |t| = %.2f, threshold %.1f\n\n",
-		*seed, m.Samples, m.MaxT, m.Threshold)
+	fmt.Printf("leakage map: seed=%d, %d cycles assessed, max |t| = %.2f, threshold %.1f, prologue cycles skipped per trace=%d\n\n",
+		*seed, m.Samples, m.MaxT, m.Threshold,
+		tgt.NewCampaign(160, 157).PrologueCyclesSkipped())
 	if !m.Leaks() {
 		fmt.Println("no significant key-dependent leakage located")
 		return
@@ -297,12 +329,14 @@ func tvlaCmd(args []string) {
 	early := fs.Bool("early", false, "stop as soon as |t| crosses the threshold")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
+	shards := shardsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
 	fs.Parse(args)
 	defer startProfiling(cpuProf, memProf)()
 
 	tgt, curve := newTarget(*rpc, *seed, nil)
 	tgt.Workers = *workers
+	tgt.Shards = *shards
 	src := rng.NewDRBG(*seed + 9).Uint64
 	randKey := func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) }
 	m := newMeter(tgt)
@@ -320,6 +354,7 @@ func tvlaCmd(args []string) {
 	t.Row("RPC", *rpc)
 	t.Row("seed", *seed)
 	t.Row("traces per set", res.TracesPerSet)
+	t.Row("prologue cycles skipped/trace", res.PrologueCyclesSkipped)
 	if res.EarlyStopped {
 		t.Row("early stop", "yes (threshold crossed)")
 	}

@@ -1,0 +1,291 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded reduction — the engine's fourth mode.
+//
+// Run feeds every result through one serial consumer, which keeps the
+// fold bit-exact but makes the reduction itself a serial bottleneck:
+// with fast acquisitions the workers park on the reorder buffer while
+// one goroutine folds. RunSharded removes the bottleneck by splitting
+// the reduction across S per-shard accumulators that are folded ON the
+// worker goroutines and merged once at the end.
+//
+// Determinism by construction, for any worker count:
+//
+//   - each index belongs to exactly one shard, chosen by INDEX ONLY:
+//     the campaign range [from, to) is cut into S contiguous blocks,
+//     so shard membership is a pure function of idx, never of worker
+//     identity or scheduling;
+//   - within a shard, folds happen in strictly increasing index order
+//     (a per-shard cursor plus a small pending map reorders completed
+//     results, exactly as Run's consumer does globally);
+//   - the per-shard accumulators are merged on the caller's goroutine
+//     in shard order 0, 1, …, S-1 after all folds finish.
+//
+// The reduction is therefore a fixed binary tree over the sample
+// indices, determined entirely by (from, to, S). Acquiring with 1
+// worker or 64 produces bit-identical merged statistics. S=1
+// reproduces the serial fold exactly; different S reassociate the
+// floating-point sums, so statistics agree across shard counts only to
+// rounding (the property tests pin 1e-12).
+//
+// What RunSharded gives up relative to Run: there is no early stop
+// (the range must be bounded — shards fold concurrently, so "stop
+// after sample k" has no well-defined meaning), and when multiple
+// samples fail, the error surfaced is the lowest-index error OBSERVED,
+// which unlike Run's is not guaranteed identical across worker counts.
+// Campaigns that need a streaming early-stop predicate (TVLAUntil's
+// |t| threshold, traces-to-success searches) keep the serial Run path.
+
+// DefaultShards is the shard count selected by ShardedConfig.Shards
+// <= 0. Eight shards keep the merge cost trivial while giving the
+// reduction enough independent accumulators that workers almost never
+// contend on a shard lock.
+const DefaultShards = 8
+
+// ShardedConfig tunes one sharded engine run.
+type ShardedConfig struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS (capped at
+	// MaxWorkers). The worker count never affects the merged result.
+	Workers int
+	// Shards is the number of reduction shards S; <= 0 selects
+	// DefaultShards. S is part of the experiment definition: changing
+	// it reassociates the floating-point reduction (results agree
+	// across S only to rounding).
+	Shards int
+	// Progress, when non-nil, is invoked with the total number of
+	// folded samples after each fold batch. Values are monotone but —
+	// unlike Run's — may skip intermediate counts, since folds from
+	// different shards are batched.
+	Progress func(done int)
+}
+
+// Sharding describes how a bounded index range [From, To) is cut into
+// contiguous shard blocks. Callers that build per-shard accumulators
+// keyed by global index (e.g. trace.NewOnlineDoMAt) use it to recover
+// each shard's index block.
+type Sharding struct {
+	From, To int
+	// Block is the nominal block length; shard s covers
+	// [From+s·Block, min(From+(s+1)·Block, To)).
+	Block int
+	// N is the number of (all non-empty) shards.
+	N int
+}
+
+// ShardingFor resolves a requested shard count over [from, to):
+// requested <= 0 selects DefaultShards, and the count is reduced so
+// every shard is non-empty. An empty range yields N == 0.
+func ShardingFor(from, to, requested int) Sharding {
+	n := to - from
+	if n <= 0 {
+		return Sharding{From: from, To: to, Block: 1, N: 0}
+	}
+	s := requested
+	if s <= 0 {
+		s = DefaultShards
+	}
+	if s > n {
+		s = n
+	}
+	block := (n + s - 1) / s
+	return Sharding{From: from, To: to, Block: block, N: (n + block - 1) / block}
+}
+
+// Shard returns the shard owning global index idx.
+func (sh Sharding) Shard(idx int) int { return (idx - sh.From) / sh.Block }
+
+// Bounds returns the half-open global index range [lo, hi) of shard s.
+func (sh Sharding) Bounds(s int) (lo, hi int) {
+	lo = sh.From + s*sh.Block
+	hi = lo + sh.Block
+	if hi > sh.To {
+		hi = sh.To
+	}
+	return lo, hi
+}
+
+// shardState is one reduction shard: an accumulator plus the reorder
+// machinery that serializes folds within the shard's index block.
+type shardState[J, R, A any] struct {
+	mu      sync.Mutex
+	acc     A
+	pending map[int]outcome[J, R]
+	cursor  int
+}
+
+// RunSharded acquires results for the bounded range [from, to) and
+// reduces them through per-shard accumulators (see the package-level
+// sharded-reduction notes above for the determinism argument).
+//
+//   - prepare and acquire have exactly Run's contracts (serial
+//     index-order preparation; acquisition a pure function of
+//     (idx, job));
+//   - newShard(s) builds shard s's accumulator; it is called eagerly
+//     on the caller's goroutine, in shard order, before acquisition
+//     starts;
+//   - fold(s, acc, idx, job, out) folds one result into shard s's
+//     accumulator. It is called on worker goroutines, but never
+//     concurrently for the same shard, and always in increasing idx
+//     order within a shard;
+//   - merge(s, acc) is called serially on the caller's goroutine in
+//     shard order once every sample has been folded — the final
+//     reduction over the shard bank.
+//
+// It returns the number of samples folded. On error the merge phase is
+// skipped and the lowest-index error observed is returned.
+func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
+	prepare PrepareFunc[J], acquire AcquireFunc[J, R],
+	newShard func(shard int) A,
+	fold func(shard int, acc A, idx int, job J, out R) error,
+	merge func(shard int, acc A) error) (int, error) {
+
+	if to < from {
+		return 0, fmt.Errorf("campaign: sharded range [%d, %d) is unbounded or inverted", from, to)
+	}
+	lay := ShardingFor(from, to, cfg.Shards)
+	if lay.N == 0 {
+		return 0, nil
+	}
+	workers := Workers(cfg.Workers)
+	if workers > to-from {
+		workers = to - from
+	}
+
+	// Build the shard bank deterministically before any acquisition.
+	states := make([]shardState[J, R, A], lay.N)
+	for s := range states {
+		lo, _ := lay.Bounds(s)
+		states[s].acc = newShard(s)
+		states[s].pending = make(map[int]outcome[J, R], 2*workers)
+		states[s].cursor = lo
+	}
+
+	jobs := make(chan item[J], workers)
+	quit := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(quit) }) }
+
+	// Lowest-index-observed error. Unlike Run's in-order error
+	// surfacing this is best-effort: concurrent shards may or may not
+	// have folded past a failing index when the run aborts.
+	var (
+		errMu   sync.Mutex
+		errIdx  int
+		bestErr error
+	)
+	fail := func(idx int, err error) {
+		errMu.Lock()
+		if bestErr == nil || idx < errIdx {
+			errIdx, bestErr = idx, err
+		}
+		errMu.Unlock()
+		stop()
+	}
+
+	// Monotone fold counter shared by Progress and the return value.
+	var (
+		doneMu sync.Mutex
+		done   int
+	)
+
+	// Dispatcher: prepares jobs serially in index order (same contract
+	// as Run's dispatcher).
+	go func() {
+		defer close(jobs)
+		for idx := from; idx < to; idx++ {
+			j, err := prepare(idx)
+			if err != nil {
+				fail(idx, err)
+				return
+			}
+			select {
+			case jobs <- item[J]{idx: idx, job: j}:
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	// Workers: acquire, then fold directly into the owning shard under
+	// its lock, draining the shard's reorder map in index order.
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				var it item[J]
+				var ok bool
+				select {
+				case it, ok = <-jobs:
+					if !ok {
+						return
+					}
+				case <-quit:
+					return
+				}
+				out, err := acquire(w, it.idx, it.job)
+				if err != nil {
+					fail(it.idx, err)
+					return
+				}
+				s := lay.Shard(it.idx)
+				st := &states[s]
+				folded := 0
+				st.mu.Lock()
+				st.pending[it.idx] = outcome[J, R]{idx: it.idx, job: it.job, out: out}
+				for {
+					r, ready := st.pending[st.cursor]
+					if !ready {
+						break
+					}
+					delete(st.pending, st.cursor)
+					if err := fold(s, st.acc, st.cursor, r.job, r.out); err != nil {
+						st.mu.Unlock()
+						fail(r.idx, err)
+						return
+					}
+					st.cursor++
+					folded++
+				}
+				st.mu.Unlock()
+				if folded > 0 {
+					doneMu.Lock()
+					done += folded
+					if cfg.Progress != nil {
+						// Called under the counter lock so observed
+						// values are monotone.
+						cfg.Progress(done)
+					}
+					doneMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop() // release a dispatcher parked on a send
+
+	doneMu.Lock()
+	folded := done
+	doneMu.Unlock()
+	errMu.Lock()
+	err := bestErr
+	errMu.Unlock()
+	if err != nil {
+		return folded, err
+	}
+
+	// Final reduction: merge the shard bank in shard order on this
+	// goroutine — the only place results from different shards meet.
+	for s := range states {
+		if err := merge(s, states[s].acc); err != nil {
+			return folded, err
+		}
+	}
+	return folded, nil
+}

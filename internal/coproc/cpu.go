@@ -83,6 +83,24 @@ type CPU struct {
 	// acquisition path uses it to capture only the first ladder
 	// iterations instead of simulating all ~86k cycles per trace.
 	MaxCycles int
+	// QuietCycles, when positive, executes every instruction that
+	// retires entirely before this cycle in "quiet" mode: the
+	// architectural effects (register writes, TRNG draws, MALU results)
+	// are identical, but no CycleEvents are computed or delivered to
+	// Probe/Batch. Quiet MUL/SQR use the one-shot field multiplier
+	// instead of the digit pipeline — same result element, none of the
+	// per-digit switching-activity bookkeeping. This is the acquisition
+	// fast path for the cycles before a trace window starts: an observer
+	// that was not recording them anyway only needs its noise stream
+	// advanced (power.Model.SkipCycles) to stay bit-identical.
+	//
+	// QuietCycles must lie on an instruction boundary (e.g. a value from
+	// Program.Spans/IterationWindow) and, when MaxCycles is set, satisfy
+	// QuietCycles <= MaxCycles; an instruction straddling the boundary
+	// falls back to normal (evented) execution for all its cycles, which
+	// would desynchronize an observer that skipped its noise stream to
+	// QuietCycles.
+	QuietCycles int
 
 	Regs   [NumRegs]gf2m.Element
 	Consts [NumConsts]gf2m.Element
@@ -119,6 +137,7 @@ func (c *CPU) Reset() {
 	c.Batch = nil
 	c.batch = c.batch[:0]
 	c.MaxCycles = 0
+	c.QuietCycles = 0
 }
 
 // drawRand feeds OpLoadRnd while counting TRNG words so a Snapshot can
@@ -390,12 +409,32 @@ func (c *CPU) RunCheckpointed(p *Program, key modn.Scalar, keep func(instrIndex,
 	c.cycle = 0
 	c.randDraws = 0
 	var snaps []Snapshot
-	n, err := c.run(p, key, 0, func(idx int) {
+	n, err := c.run(p, key, 0, func(idx int) bool {
 		if keep == nil || keep(idx, c.cycle) {
 			snaps = append(snaps, c.snapshot(idx))
 		}
+		return true
 	})
 	return snaps, n, err
+}
+
+// SnapshotPrefix executes only instructions [0, nInstr) and returns the
+// Snapshot at that boundary — the checkpointed-acquisition prologue.
+// A campaign over a fixed base point runs this once (with the campaign
+// reference key) for the longest prefix that is TRNG-independent and
+// whose key-bit decisions can be verified per trace
+// (Program.PrefixBoundary computes that prefix), then every acquisition
+// Resumes from the snapshot instead of re-simulating the prefix.
+func (c *CPU) SnapshotPrefix(p *Program, key modn.Scalar, nInstr int) (Snapshot, error) {
+	if nInstr < 0 || nInstr > len(p.Instrs) {
+		return Snapshot{}, fmt.Errorf("coproc: prefix boundary %d out of program range", nInstr)
+	}
+	c.cycle = 0
+	c.randDraws = 0
+	if _, err := c.run(p, key, 0, func(idx int) bool { return idx < nInstr }); err != nil {
+		return Snapshot{}, err
+	}
+	return c.snapshot(nInstr), nil
 }
 
 // Resume restores a Snapshot and executes the rest of the program.
@@ -424,16 +463,30 @@ func (c *CPU) Resume(p *Program, key modn.Scalar, snap Snapshot) (int, error) {
 
 // run executes instructions [fromInstr, len(p.Instrs)) with the
 // current architectural state, invoking onInstr (when non-nil) at each
-// instruction boundary before it executes. Batched probe events are
-// flushed per instruction; the deferred flush delivers the in-flight
-// partial instruction when execution stops early (MaxCycles, errors).
-func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx int)) (int, error) {
+// instruction boundary before it executes; onInstr returning false
+// stops cleanly at that boundary (SnapshotPrefix). Batched probe events
+// are flushed per instruction; the deferred flush delivers the
+// in-flight partial instruction when execution stops early (MaxCycles,
+// errors).
+func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx int) bool) (int, error) {
 	defer c.flushBatch()
 	for idx := fromInstr; idx < len(p.Instrs); idx++ {
-		if onInstr != nil {
-			onInstr(idx)
+		if onInstr != nil && !onInstr(idx) {
+			return c.cycle, nil
 		}
 		in := &p.Instrs[idx]
+		// Quiet prefix: instructions that retire entirely before
+		// QuietCycles execute architecturally with no event bookkeeping.
+		if c.QuietCycles > 0 && c.cycle < c.QuietCycles {
+			cost := c.Timing.InstrCycles(in.Op)
+			if c.cycle+cost <= c.QuietCycles && (c.MaxCycles <= 0 || c.cycle+cost <= c.MaxCycles) {
+				if err := c.quietExec(in, key); err != nil {
+					return c.cycle, err
+				}
+				c.cycle += cost
+				continue
+			}
+		}
 		switch in.Op {
 		case OpNop:
 			c.resetEvent(idx, in)
@@ -548,6 +601,90 @@ func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx i
 		c.flushBatch()
 	}
 	return c.cycle, nil
+}
+
+// quietExec performs one instruction's architectural effects without
+// any event bookkeeping — the QuietCycles fast path. Register writes,
+// conditional swaps and TRNG draws are exactly those of the evented
+// path; MUL/SQR results come from the one-shot field multiplier, which
+// the MALU cross-check tests pin to the digit-serial pipeline's result
+// element. The caller advances the cycle counter by the instruction's
+// static cost.
+func (c *CPU) quietExec(in *Instr, key modn.Scalar) error {
+	switch in.Op {
+	case OpNop:
+		return nil
+
+	case OpAdd:
+		a, err := c.readOperand(in.Ra)
+		if err != nil {
+			return err
+		}
+		b, err := c.readOperand(in.Rb)
+		if err != nil {
+			return err
+		}
+		_, err = c.writeOperand(in.Rd, gf2m.Add(a, b))
+		return err
+
+	case OpMove, OpLoadConst:
+		a, err := c.readOperand(in.Ra)
+		if err != nil {
+			return err
+		}
+		_, err = c.writeOperand(in.Rd, a)
+		return err
+
+	case OpLoadRnd:
+		if c.Rand == nil {
+			return errors.New("coproc: OpLoadRnd requires a TRNG source")
+		}
+		_, err := c.writeOperand(in.Rd, RandNonZeroElement(c.drawRand))
+		return err
+
+	case OpCSwap:
+		if in.KeyBit < 0 {
+			return errors.New("coproc: CSWAP without key bit")
+		}
+		if key.Bit(in.KeyBit) == 1 {
+			a, err := c.readOperand(in.Rd)
+			if err != nil {
+				return err
+			}
+			b, err := c.readOperand(in.Ra)
+			if err != nil {
+				return err
+			}
+			if _, err := c.writeOperand(in.Rd, b); err != nil {
+				return err
+			}
+			if _, err := c.writeOperand(in.Ra, a); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case OpMul, OpSqr:
+		a, err := c.readOperand(in.Ra)
+		if err != nil {
+			return err
+		}
+		var v gf2m.Element
+		if in.Op == OpSqr {
+			v = gf2m.Sqr(a)
+		} else {
+			b, err := c.readOperand(in.Rb)
+			if err != nil {
+				return err
+			}
+			v = gf2m.Mul(a, b)
+		}
+		_, err = c.writeOperand(in.Rd, v)
+		return err
+
+	default:
+		return fmt.Errorf("coproc: unknown opcode %v", in.Op)
+	}
 }
 
 // ResultX returns the affine x result register after a completed run.

@@ -1,0 +1,303 @@
+package coproc
+
+import (
+	"errors"
+	"testing"
+
+	"medsec/internal/ec"
+	"medsec/internal/rng"
+)
+
+// suffixHashEvented runs the pinned golden computation (same fixture as
+// TestGoldenTraceHash) through the full evented pipeline and hashes only
+// the events at cycle >= q — the reference the quiet-prologue fast path
+// must reproduce bit for bit. maxCycles > 0 additionally bounds the run
+// (ErrStopped expected), matching the SCA acquisition windows.
+func suffixHashEvented(t *testing.T, q, maxCycles int) string {
+	t.Helper()
+	curve := ec.K163()
+	prog := BuildLadderProgram(ProgramOptions{RPC: true, XOnly: true})
+	cpu := NewCPU(DefaultTiming())
+	cpu.Rand = rng.NewDRBG(42).Uint64
+	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+	cpu.MaxCycles = maxCycles
+	eh := newEventHasher()
+	cpu.Probe = func(ev *CycleEvent) {
+		if ev.Cycle >= q {
+			eh.add(ev)
+		}
+	}
+	_, err := cpu.Run(prog, benchScalar)
+	if maxCycles > 0 {
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("windowed run: got err %v, want ErrStopped", err)
+		}
+	} else if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return eh.sum()
+}
+
+// TestQuietPrefixSuffixBitIdentical pins the QuietCycles contract: with
+// the quiet prologue enabled, the event stream the probes see from
+// cycle q on is bit-identical to the full evented run's suffix — in
+// per-cycle, batched and dual probe wiring, with and without MaxCycles
+// bounding the window. The boundaries are span-aligned iteration-window
+// starts, exactly what the SCA acquisition planner feeds in.
+func TestQuietPrefixSuffixBitIdentical(t *testing.T) {
+	curve := ec.K163()
+	tim := DefaultTiming()
+	prog := BuildLadderProgram(ProgramOptions{RPC: true, XOnly: true})
+
+	run := func(t *testing.T, q, maxCycles int, attach func(cpu *CPU, eh *eventHasher)) string {
+		t.Helper()
+		cpu := NewCPU(tim)
+		cpu.Rand = rng.NewDRBG(42).Uint64
+		cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+		cpu.QuietCycles = q
+		cpu.MaxCycles = maxCycles
+		eh := newEventHasher()
+		attach(cpu, eh)
+		_, err := cpu.Run(prog, benchScalar)
+		if maxCycles > 0 {
+			if !errors.Is(err, ErrStopped) {
+				t.Fatalf("quiet windowed run: got err %v, want ErrStopped", err)
+			}
+		} else if err != nil {
+			t.Fatalf("quiet Run: %v", err)
+		}
+		return eh.sum()
+	}
+
+	start162, _ := prog.IterationWindow(tim, 162, 0)
+	start150, end150 := prog.IterationWindow(tim, 150, 147)
+	start10, _ := prog.IterationWindow(tim, 10, 0)
+	cases := []struct {
+		name         string
+		q, maxCycles int
+	}{
+		{"ladder-start", start162, 0},
+		{"deep-window", start150, 0},
+		{"deep-window-bounded", start150, end150},
+		{"near-end", start10, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := suffixHashEvented(t, tc.q, tc.maxCycles)
+			modes := map[string]func(cpu *CPU, eh *eventHasher){
+				"probe": func(cpu *CPU, eh *eventHasher) {
+					cpu.Probe = func(ev *CycleEvent) { eh.add(ev) }
+				},
+				"batch": func(cpu *CPU, eh *eventHasher) {
+					cpu.Batch = func(evs []CycleEvent) {
+						for i := range evs {
+							eh.add(&evs[i])
+						}
+					}
+				},
+				"dual": func(cpu *CPU, eh *eventHasher) {
+					cpu.Probe = func(ev *CycleEvent) { eh.add(ev) }
+					cpu.Batch = func(evs []CycleEvent) {}
+				},
+			}
+			for name, attach := range modes {
+				if got := run(t, tc.q, tc.maxCycles, attach); got != want {
+					t.Fatalf("%s: quiet suffix hash diverged from evented run\n  got  %s\n  want %s", name, got, want)
+				}
+			}
+			// A quiet run must deliver no events before q at all: hashing
+			// events with Cycle < q must accumulate nothing.
+			cpu := NewCPU(tim)
+			cpu.Rand = rng.NewDRBG(42).Uint64
+			cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+			cpu.QuietCycles = tc.q
+			cpu.MaxCycles = tc.maxCycles
+			leaked := 0
+			cpu.Probe = func(ev *CycleEvent) {
+				if ev.Cycle < tc.q {
+					leaked++
+				}
+			}
+			if _, err := cpu.Run(prog, benchScalar); err != nil && !errors.Is(err, ErrStopped) {
+				t.Fatal(err)
+			}
+			if leaked != 0 {
+				t.Fatalf("quiet run delivered %d events before cycle %d", leaked, tc.q)
+			}
+		})
+	}
+}
+
+// TestQuietFullRunMatchesEvented pins that quiet execution is
+// architecturally exact: silencing the entire program (QuietCycles =
+// total cycle count) produces the same result and cycle count as the
+// fully evented run under the same TRNG stream, for both the protected
+// and the unprotected microcode.
+func TestQuietFullRunMatchesEvented(t *testing.T) {
+	curve := ec.K163()
+	tim := DefaultTiming()
+	d := rng.NewDRBG(31)
+	k := curve.Order.RandNonZero(d.Uint64)
+	p := curve.RandomPoint(d.Uint64)
+	for _, opt := range []ProgramOptions{{RPC: true, XOnly: true}, {XOnly: true}, {RPC: true}, {}} {
+		prog := BuildLadderProgram(opt)
+
+		ev := NewCPU(tim)
+		ev.Rand = rng.NewDRBG(99).Uint64
+		ev.SetOperandConstants(p.X, curve.B, p.Y)
+		nEv, err := ev.Run(prog, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		qt := NewCPU(tim)
+		qt.Rand = rng.NewDRBG(99).Uint64
+		qt.SetOperandConstants(p.X, curve.B, p.Y)
+		qt.QuietCycles = prog.CycleCount(tim)
+		called := false
+		qt.Probe = func(*CycleEvent) { called = true }
+		nQt, err := qt.Run(prog, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if called {
+			t.Fatalf("%+v: fully quiet run delivered events", opt)
+		}
+		if nEv != nQt {
+			t.Fatalf("%+v: cycle counts differ: evented %d, quiet %d", opt, nEv, nQt)
+		}
+		if !ev.ResultX(prog).Equal(qt.ResultX(prog)) || !ev.ResultY(prog).Equal(qt.ResultY(prog)) {
+			t.Fatalf("%+v: quiet run result diverged", opt)
+		}
+	}
+}
+
+// TestPrefixBoundaryAndSnapshotPrefix pins the acquisition-prologue
+// contract on the unprotected (TRNG-free) microcode: PrefixBoundary
+// reaches a span-aligned limit exactly, reports the CSWAP key bits the
+// prefix consults, and a SnapshotPrefix + Resume reproduces the full
+// run's suffix — events, result and cycle count — bit for bit.
+func TestPrefixBoundaryAndSnapshotPrefix(t *testing.T) {
+	curve := ec.K163()
+	tim := DefaultTiming()
+	prog := BuildLadderProgram(ProgramOptions{XOnly: true})
+	d := rng.NewDRBG(17)
+	k := curve.Order.RandNonZero(d.Uint64)
+	p := curve.RandomPoint(d.Uint64)
+
+	limit, _ := prog.IterationWindow(tim, 156, 153)
+	nInstr, cycle, keyBits := prog.PrefixBoundary(tim, limit)
+	if cycle != limit {
+		t.Fatalf("span-aligned limit %d not reached exactly: boundary cycle %d", limit, cycle)
+	}
+	if nInstr <= 0 || nInstr >= len(prog.Instrs) {
+		t.Fatalf("degenerate prefix: %d instructions", nInstr)
+	}
+	// keyBits must be exactly the CSWAP key bits of the spans before the
+	// boundary, in execution order.
+	var want []int
+	for _, sp := range prog.Spans(tim) {
+		if sp.Index >= nInstr {
+			break
+		}
+		if sp.Op == OpCSwap && sp.KeyBit >= 0 {
+			want = append(want, sp.KeyBit)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("prefix through iteration 157 consults no key bits — window too shallow for the test")
+	}
+	if len(keyBits) != len(want) {
+		t.Fatalf("keyBits = %v, want %v", keyBits, want)
+	}
+	for i := range want {
+		if keyBits[i] != want[i] {
+			t.Fatalf("keyBits = %v, want %v", keyBits, want)
+		}
+	}
+
+	// Reference full run.
+	type ev struct {
+		Cycle, Instr int
+		Op           Op
+		WriteHD      int
+	}
+	ref := NewCPU(tim)
+	ref.SetOperandConstants(p.X, curve.B, p.Y)
+	var refEvents []ev
+	ref.Probe = func(e *CycleEvent) {
+		refEvents = append(refEvents, ev{e.Cycle, e.InstrIndex, e.Op, e.WriteHD})
+	}
+	total, err := ref.Run(prog, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prologue snapshot once, then resume.
+	pre := NewCPU(tim)
+	pre.SetOperandConstants(p.X, curve.B, p.Y)
+	snap, err := pre.SnapshotPrefix(prog, k, nInstr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Instr != nInstr || snap.Cycle != cycle {
+		t.Fatalf("snapshot at (%d, %d), want (%d, %d)", snap.Instr, snap.Cycle, nInstr, cycle)
+	}
+	cpu := NewCPU(tim)
+	cpu.SetOperandConstants(p.X, curve.B, p.Y)
+	var got []ev
+	cpu.Probe = func(e *CycleEvent) {
+		got = append(got, ev{e.Cycle, e.InstrIndex, e.Op, e.WriteHD})
+	}
+	n, err := cpu.Resume(prog, k, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total {
+		t.Fatalf("resume ended at cycle %d, want %d", n, total)
+	}
+	if !cpu.ResultX(prog).Equal(ref.ResultX(prog)) || !cpu.ResultY(prog).Equal(ref.ResultY(prog)) {
+		t.Fatal("resumed result diverged from full run")
+	}
+	wantEv := refEvents[cycle:]
+	if len(got) != len(wantEv) {
+		t.Fatalf("resume saw %d events, want %d", len(got), len(wantEv))
+	}
+	for i := range got {
+		if got[i] != wantEv[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], wantEv[i])
+		}
+	}
+}
+
+// TestPrefixBoundaryStopsAtTRNG pins that the boundary never crosses an
+// OpLoadRnd: on the RPC microcode (whose mask loads are trace-dependent)
+// the longest checkpointable prefix ends at the first TRNG read, no
+// matter how deep the requested limit is.
+func TestPrefixBoundaryStopsAtTRNG(t *testing.T) {
+	tim := DefaultTiming()
+	prog := BuildLadderProgram(ProgramOptions{RPC: true, XOnly: true})
+	nInstr, cycle, _ := prog.PrefixBoundary(tim, prog.CycleCount(tim))
+	spans := prog.Spans(tim)
+	firstRnd := -1
+	for _, sp := range spans {
+		if sp.Op == OpLoadRnd {
+			firstRnd = sp.Index
+			break
+		}
+	}
+	if firstRnd < 0 {
+		t.Fatal("RPC program without OpLoadRnd")
+	}
+	if nInstr != firstRnd {
+		t.Fatalf("boundary %d, want first OpLoadRnd at %d", nInstr, firstRnd)
+	}
+	if cycle != spans[firstRnd].Start {
+		t.Fatalf("boundary cycle %d, want %d", cycle, spans[firstRnd].Start)
+	}
+	for _, sp := range spans[:nInstr] {
+		if sp.Op == OpLoadRnd {
+			t.Fatalf("prefix contains OpLoadRnd at instruction %d", sp.Index)
+		}
+	}
+}

@@ -207,6 +207,20 @@ func (m *Model) Reinit(cfg Config) {
 	m.nominalJ = 59.47e-12
 }
 
+// SkipCycles advances the model's measurement-noise stream past n
+// simulated cycles without evaluating any energy: exactly the noise
+// draws n CycleEnergy/CycleComponents calls would consume (one Gaussian
+// sample per cycle when NoiseSigma > 0, none otherwise) are skipped via
+// rng.Gaussian.Skip. The quiet-prefix/checkpointed acquisition paths
+// call this for the cycles the CPU no longer reports, so the recorded
+// window's noise is bit-identical to a run that simulated — and
+// discarded — every prefix cycle.
+func (m *Model) SkipCycles(n int) {
+	if n > 0 && m.cfg.NoiseSigma > 0 {
+		m.noise.Skip(n)
+	}
+}
+
 // CycleEnergy returns the energy in joules consumed during the cycle
 // described by ev, including measurement noise.
 func (m *Model) CycleEnergy(ev *coproc.CycleEvent) float64 {

@@ -194,6 +194,37 @@ func (g *Gaussian) Sample() float64 {
 	return r * math.Cos(2*math.Pi*v)
 }
 
+// Skip advances the sampler past n Sample calls without computing the
+// Gaussian values, leaving the generator in exactly the state n calls
+// to Sample would: the same uniform draws are consumed from the
+// underlying source (including the u > 0 rejection loop) and the spare
+// cache ends in the same fresh/cached phase. Only the transcendental
+// work (log, sqrt, sin, cos) is elided — a skipped cycle costs two
+// xorshift draws per pair instead of a full Box–Muller evaluation.
+// The quiet-prefix acquisition path uses this to keep the measurement
+// noise stream of a windowed trace bit-identical to an unwindowed run
+// that simply discarded the out-of-window samples.
+func (g *Gaussian) Skip(n int) {
+	if n <= 0 {
+		return
+	}
+	if g.hasSpare {
+		g.hasSpare = false
+		n--
+	}
+	for ; n >= 2; n -= 2 {
+		// One fresh pair: u (with the zero-rejection loop) and v.
+		for g.src.Float64() == 0 {
+		}
+		g.src.Float64()
+	}
+	if n == 1 {
+		// Odd remainder: a real draw, so the spare cache holds exactly
+		// the value the next Sample call would return.
+		g.Sample()
+	}
+}
+
 // HealthTester implements the two continuous health tests of
 // NIST SP 800-90B (§4.4) over a stream of entropy-source samples:
 // the repetition count test and the adaptive proportion test. The

@@ -105,6 +105,31 @@ func (t *Target) fixedRandomPrepare(p ec.Point, randKey func() modn.Scalar) camp
 	}
 }
 
+// newWelchShard builds one reduction shard's Welch accumulator for
+// campaign.RunSharded.
+func newWelchShard(shard int) *trace.OnlineWelch { return trace.NewOnlineWelch() }
+
+// welchShardFold is the sharded counterpart of welchConsume: it folds
+// the alternating fixed/random stream into a per-shard Welch
+// accumulator on the worker goroutines. There is no early-stop
+// variant — that is precisely what the sharded reduction gives up.
+func welchShardFold(shard int, acc *trace.OnlineWelch, idx int, j acqJob, tr trace.Trace) error {
+	var err error
+	if idx%2 == 0 {
+		err = acc.AddA(tr.Samples)
+	} else {
+		err = acc.AddB(tr.Samples)
+	}
+	tr.Release()
+	return err
+}
+
+// welchShardMerge folds the per-shard accumulators into w in shard
+// order — the campaign's final reduction.
+func welchShardMerge(w *trace.OnlineWelch) func(shard int, acc *trace.OnlineWelch) error {
+	return func(shard int, acc *trace.OnlineWelch) error { return w.Merge(acc) }
+}
+
 // welchConsume feeds the alternating fixed/random stream into a
 // streaming Welch accumulator. checkEvery > 0 enables the early-stop
 // predicate: after every checkEvery-th completed pair (but not before

@@ -48,11 +48,25 @@ func LeakageMap(t *Target, p ec.Point, nPerSet, firstIter, lastIter int, randKey
 		return nil, errors.New("sca: leakage map needs at least 10 traces per set")
 	}
 	start, end := t.prog.IterationWindow(t.Timing, firstIter, lastIter)
+	plan, err := t.planFixedPoint(p, t.Key, start, end)
+	if err != nil {
+		return nil, err
+	}
 	w := trace.NewOnlineWelch()
-	if _, err := campaign.Run(0, 2*nPerSet, t.engineConfig(),
-		t.fixedRandomPrepare(p, randKey),
-		t.acquirerPool(start, end),
-		welchConsume(w, 0, 0)); err != nil {
+	if t.useSharded() {
+		// Same sharded Welch reduction as the full-budget TVLA: fold
+		// per shard on the workers, merge in shard order.
+		_, err = campaign.RunSharded(0, 2*nPerSet, t.shardedConfig(),
+			t.fixedRandomPrepare(p, randKey),
+			t.plannedAcquirerPool(plan),
+			newWelchShard, welchShardFold, welchShardMerge(w))
+	} else {
+		_, err = campaign.Run(0, 2*nPerSet, t.engineConfig(),
+			t.fixedRandomPrepare(p, randKey),
+			t.plannedAcquirerPool(plan),
+			welchConsume(w, 0, 0))
+	}
+	if err != nil {
 		return nil, err
 	}
 	ts, err := w.T()

@@ -1,0 +1,185 @@
+package sca
+
+import (
+	"errors"
+
+	"medsec/internal/campaign"
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/modn"
+	"medsec/internal/trace"
+)
+
+// Acquisition plans — the checkpointed/quiet prologue.
+//
+// A windowed acquisition records cycles [start, end), yet the old path
+// event-simulated every cycle from 0: the ladder prologue and all
+// iterations above the window ran through the full pipeline (cycle
+// events, power-model evaluation, noise draws) only for the collector
+// to discard them. An acqPlan removes that work in two layers while
+// keeping the recorded samples bit-identical:
+//
+//   - quiet prefix: cycles [0, start) execute architecturally but emit
+//     no events (coproc.CPU.QuietCycles). The field values are exactly
+//     the evented pipeline's; only the per-cycle bookkeeping and the
+//     power evaluation disappear. The measurement-noise stream is
+//     re-aligned with power.Model.SkipCycles, which replays the
+//     skipped draws' consumption pattern exactly;
+//   - checkpoint: for a campaign over a FIXED base point, the longest
+//     prefix that draws no TRNG words (Program.PrefixBoundary) is
+//     simulated once per campaign with a reference key and captured as
+//     a coproc.Snapshot. Every acquisition whose key agrees with the
+//     reference on the prefix's CSWAP bits Resumes from the snapshot —
+//     those cycles are not simulated at all, the hardware analogy
+//     being a scan-chain preload of the datapath state. Keys that
+//     disagree (TVLA's random set below the shared Algorithm 1 bits)
+//     fall back to the quiet full run, so the check is per trace and
+//     exact.
+//
+// Snapshot state depends on the base point (operand constants), so
+// campaigns with per-trace random points (CPA) get quiet-only plans.
+// Target.NoPrologueSkip disables both layers for A/B benchmarking and
+// paranoid re-verification.
+
+// acqPlan is one campaign's acquisition plan over a fixed cycle
+// window.
+type acqPlan struct {
+	start, end int
+	// quiet is the cycle boundary below which the CPU executes without
+	// event bookkeeping; equal to start when the plan skips the
+	// prologue, 0 otherwise.
+	quiet int
+	// snap, when non-nil, is the checkpoint at the end of the longest
+	// TRNG-independent instruction prefix, captured with the plan's
+	// fixed base point and reference key.
+	snap *coproc.Snapshot
+	// keyBits are the scalar bit indices the prefix's CSWAPs consulted;
+	// refBits are the reference key's values there. A per-trace key may
+	// use snap iff it matches refBits exactly.
+	keyBits []int
+	refBits []uint
+}
+
+// planWindow builds the point-independent plan for window [start, end):
+// quiet prologue only, no checkpoint. This is the plan for campaigns
+// whose base point varies per trace.
+func (t *Target) planWindow(start, end int) *acqPlan {
+	p := &acqPlan{start: start, end: end}
+	if !t.NoPrologueSkip && start > 0 {
+		p.quiet = start
+	}
+	return p
+}
+
+// planFixedPoint builds the plan for a fixed-base-point campaign,
+// adding the prologue checkpoint when the program admits one (non-RPC
+// microcode; RPC draws TRNG masks in its first instruction, so its
+// TRNG-independent prefix is empty and the quiet layer does all the
+// work).
+func (t *Target) planFixedPoint(pt ec.Point, refKey modn.Scalar, start, end int) (*acqPlan, error) {
+	plan := t.planWindow(start, end)
+	if plan.quiet == 0 {
+		return plan, nil
+	}
+	nInstr, cycle, keyBits := t.prog.PrefixBoundary(t.Timing, start)
+	if cycle == 0 {
+		return plan, nil
+	}
+	cpu := coproc.NewCPU(t.Timing)
+	cpu.SetOperandConstants(pt.X, t.Curve.B, pt.Y)
+	snap, err := cpu.SnapshotPrefix(t.prog, refKey, nInstr)
+	if err != nil {
+		return nil, err
+	}
+	plan.snap = &snap
+	plan.keyBits = keyBits
+	plan.refBits = make([]uint, len(keyBits))
+	for i, kb := range keyBits {
+		plan.refBits[i] = refKey.Bit(kb)
+	}
+	return plan, nil
+}
+
+// usable reports whether the checkpoint applies to an acquisition with
+// the given key: every CSWAP decision inside the snapshotted prefix
+// must match the reference run bit for bit.
+func (p *acqPlan) usable(key modn.Scalar) bool {
+	if p.snap == nil {
+		return false
+	}
+	for i, kb := range p.keyBits {
+		if key.Bit(kb) != p.refBits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// skippedCycles reports how many leading cycles per trace the plan
+// removes from the evented simulation pipeline (whether
+// checkpoint-restored or quietly executed).
+func (p *acqPlan) skippedCycles() int { return p.quiet }
+
+// acquirePlanned runs one acquisition under a plan on the given
+// scratch state. With a zero-skip plan it is behaviorally identical to
+// the historical full-pipeline path; with skipping enabled the
+// recorded window is still bit-identical (the coproc and sca test
+// suites pin sample equality against full runs).
+func (t *Target) acquirePlanned(s *acqScratch, key modn.Scalar, p ec.Point, plan *acqPlan, idx uint64) (trace.Trace, error) {
+	cpu := s.cpu
+	cpu.Reset()
+	cpu.Timing = t.Timing
+	s.drbg.Reseed(t.traceSeed(idx))
+	cpu.Rand = s.randFn
+	pcfg := t.Power
+	pcfg.Seed ^= (idx + 1) * 0xbf58476d1ce4e5b9
+	s.model.Reinit(pcfg)
+	s.col.Start, s.col.End = plan.start, plan.end
+	s.col.Begin()
+	cpu.Batch = s.batchFn
+	cpu.SetOperandConstants(p.X, t.Curve.B, p.Y)
+	if plan.end > 0 {
+		cpu.MaxCycles = plan.end
+	}
+	cpu.QuietCycles = plan.quiet
+	// The skipped prefix emits no cycle events, so the noise stream
+	// must be advanced past the draws those events would have consumed
+	// to keep the window bit-identical to a full evented run.
+	s.model.SkipCycles(plan.quiet)
+	var err error
+	if plan.usable(key) {
+		_, err = cpu.Resume(t.prog, key, *plan.snap)
+	} else {
+		_, err = cpu.Run(t.prog, key)
+	}
+	if err != nil && !errors.Is(err, coproc.ErrStopped) {
+		return trace.Trace{}, err
+	}
+	return s.col.Take(), nil
+}
+
+// plannedAcquirerPool returns the engine acquire callback executing a
+// plan: a pool of worker-owned scratch states, lazily constructed,
+// each re-initialized per trace.
+func (t *Target) plannedAcquirerPool(plan *acqPlan) campaign.AcquireFunc[acqJob, trace.Trace] {
+	scratch := make([]*acqScratch, campaign.Workers(t.Workers))
+	return func(worker, idx int, j acqJob) (trace.Trace, error) {
+		s := scratch[worker]
+		if s == nil {
+			s = t.newScratch()
+			scratch[worker] = s
+		}
+		return t.acquirePlanned(s, j.key, j.point, plan, j.dev)
+	}
+}
+
+// shardedConfig builds the campaign.ShardedConfig for this target.
+func (t *Target) shardedConfig() campaign.ShardedConfig {
+	return campaign.ShardedConfig{Workers: t.Workers, Shards: t.Shards, Progress: t.Progress}
+}
+
+// useSharded reports whether bounded statistics campaigns reduce
+// through the sharded engine (Target.Shards >= 0) or the legacy serial
+// consumer (negative Shards — kept for A/B benchmarking and bit-exact
+// reproduction of pre-sharding campaign results).
+func (t *Target) useSharded() bool { return t.Shards >= 0 }

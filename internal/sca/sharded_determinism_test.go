@@ -1,0 +1,212 @@
+package sca
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"medsec/internal/modn"
+	"medsec/internal/rng"
+)
+
+// PR 4 determinism pins: the sharded reduction must be bit-identical
+// across worker counts at a fixed shard count, reproduce the legacy
+// serial consumer exactly at S=1, and agree across shard counts to
+// floating-point rounding; the checkpointed/quiet acquisition prologue
+// must leave every recorded sample bit-identical to the historical
+// full-pipeline path.
+
+func tvlaWith(t *testing.T, workers, shards int, noSkip bool, firstIter, lastIter int) *TVLAResult {
+	t.Helper()
+	tgt := newDPATarget(t, false, 91)
+	tgt.Workers = workers
+	tgt.Shards = shards
+	tgt.NoPrologueSkip = noSkip
+	src := rng.NewDRBG(14).Uint64
+	randKey := func() modn.Scalar { return AlgorithmOneScalar(tgt.Curve, src) }
+	res, err := TVLA(tgt, FixedPoint(tgt.Curve), 20, firstIter, lastIter, randKey)
+	if err != nil {
+		t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+	}
+	return res
+}
+
+func TestTVLAShardedDeterminismAcrossWorkers(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		base := tvlaWith(t, 1, shards, false, 159, 157)
+		for _, w := range determinismWorkers[1:] {
+			res := tvlaWith(t, w, shards, false, 159, 157)
+			if !reflect.DeepEqual(res.TCurve, base.TCurve) {
+				t.Errorf("shards=%d workers=%d: t-curve differs bit-for-bit from single-worker run", shards, w)
+			}
+		}
+	}
+}
+
+// TestTVLAShardedSingleShardDeterminismMatchesLegacy pins that one
+// shard reproduces the legacy serial consumer (Shards < 0) bit for
+// bit: both fold every trace in global index order into one Welch
+// accumulator.
+func TestTVLAShardedSingleShardDeterminismMatchesLegacy(t *testing.T) {
+	legacy := tvlaWith(t, 3, -1, false, 159, 157)
+	oneShard := tvlaWith(t, 3, 1, false, 159, 157)
+	if !reflect.DeepEqual(oneShard.TCurve, legacy.TCurve) {
+		t.Fatal("Shards=1 t-curve differs from the legacy serial consumer")
+	}
+	if oneShard.TracesPerSet != legacy.TracesPerSet {
+		t.Fatalf("trace counts differ: %d vs %d", oneShard.TracesPerSet, legacy.TracesPerSet)
+	}
+}
+
+// TestTVLAShardCountAgreementToRounding pins the cross-shard-count
+// contract: different S reassociate the reduction, so t-curves agree
+// to ~1e-12 relative, not bit-for-bit.
+func TestTVLAShardCountAgreementToRounding(t *testing.T) {
+	base := tvlaWith(t, 2, 1, false, 159, 157)
+	for _, shards := range []int{4, 16} {
+		res := tvlaWith(t, 2, shards, false, 159, 157)
+		if len(res.TCurve) != len(base.TCurve) {
+			t.Fatalf("shards=%d: curve length %d vs %d", shards, len(res.TCurve), len(base.TCurve))
+		}
+		for i := range base.TCurve {
+			d := math.Abs(res.TCurve[i] - base.TCurve[i])
+			tol := 1e-9 * math.Max(1, math.Abs(base.TCurve[i]))
+			if d > tol {
+				t.Fatalf("shards=%d: t[%d] = %.17g vs %.17g (diff %g beyond rounding)", shards, i, res.TCurve[i], base.TCurve[i], d)
+			}
+		}
+	}
+}
+
+// TestPrologueSkipDeterminismBitIdentical pins the acquisition-plan
+// contract: the quiet prologue and the prefix checkpoint change HOW
+// the pre-window cycles are simulated, never WHAT the window records.
+// Campaign traces, TVLA t-curves and SPA features must be
+// bit-identical with the planner enabled and disabled, for both the
+// protected (RPC, quiet-only) and unprotected (checkpointable)
+// microcode — including a deep window where fixed-key traces resume
+// from the checkpoint while random-key traces fall back to the quiet
+// full run.
+func TestPrologueSkipDeterminismBitIdentical(t *testing.T) {
+	for _, rpc := range []bool{false, true} {
+		// Campaign acquisition (random base points, quiet-only plan).
+		camp := func(noSkip bool) *Campaign {
+			tgt := newDPATarget(t, rpc, 92)
+			tgt.Shards = -1 // isolate the prologue: identical serial consumer
+			tgt.NoPrologueSkip = noSkip
+			c, err := tgt.AcquireCampaign(12, 158, 156, rng.NewDRBG(21).Uint64)
+			if err != nil {
+				t.Fatalf("rpc=%v noSkip=%v: %v", rpc, noSkip, err)
+			}
+			return c
+		}
+		ref := camp(true)
+		opt := camp(false)
+		if !reflect.DeepEqual(campaignFingerprint(opt), campaignFingerprint(ref)) {
+			t.Errorf("rpc=%v: campaign traces differ between planned and full-pipeline acquisition", rpc)
+		}
+		if skipped := opt.PrologueCyclesSkipped(); skipped <= 0 {
+			t.Errorf("rpc=%v: planner skipped %d prologue cycles, want > 0", rpc, skipped)
+		}
+
+		// TVLA over a deep window (fixed point: checkpoint eligible on
+		// the non-RPC program, quiet-only on RPC).
+		tvla := func(noSkip bool) *TVLAResult {
+			tgt := newDPATarget(t, rpc, 93)
+			tgt.Shards = -1
+			tgt.NoPrologueSkip = noSkip
+			src := rng.NewDRBG(22).Uint64
+			randKey := func() modn.Scalar { return AlgorithmOneScalar(tgt.Curve, src) }
+			res, err := TVLA(tgt, FixedPoint(tgt.Curve), 15, 156, 154, randKey)
+			if err != nil {
+				t.Fatalf("rpc=%v noSkip=%v: %v", rpc, noSkip, err)
+			}
+			return res
+		}
+		tRef := tvla(true)
+		tOpt := tvla(false)
+		if !reflect.DeepEqual(tOpt.TCurve, tRef.TCurve) {
+			t.Errorf("rpc=%v: TVLA t-curve differs between planned and full-pipeline acquisition", rpc)
+		}
+		if tRef.PrologueCyclesSkipped != 0 {
+			t.Errorf("rpc=%v: NoPrologueSkip run reports %d skipped cycles", rpc, tRef.PrologueCyclesSkipped)
+		}
+		if tOpt.PrologueCyclesSkipped <= 0 {
+			t.Errorf("rpc=%v: planned TVLA reports %d skipped cycles, want > 0", rpc, tOpt.PrologueCyclesSkipped)
+		}
+
+		// SPA full-ladder averaging (short prologue, fixed key).
+		spa := func(noSkip bool) *SPAResult {
+			tgt := newDPATarget(t, rpc, 94)
+			tgt.Shards = -1
+			tgt.NoPrologueSkip = noSkip
+			p := tgt.Curve.RandomPoint(rng.NewDRBG(23).Uint64)
+			res, err := SPAProfiled(tgt, p, 6)
+			if err != nil {
+				t.Fatalf("rpc=%v noSkip=%v: %v", rpc, noSkip, err)
+			}
+			return res
+		}
+		sRef := spa(true)
+		sOpt := spa(false)
+		if !reflect.DeepEqual(sOpt.Features, sRef.Features) {
+			t.Errorf("rpc=%v: SPA features differ between planned and full-pipeline acquisition", rpc)
+		}
+	}
+}
+
+// TestShardedCampaignDeterminismAcrossWorkers pins the positional-write
+// campaign reduction: under the sharded engine the retained trace set
+// is identical for any worker count and identical to the legacy
+// serial-consumer path.
+func TestShardedCampaignDeterminismAcrossWorkers(t *testing.T) {
+	acquire := func(workers, shards int) *Campaign {
+		tgt := newDPATarget(t, false, 95)
+		tgt.Workers = workers
+		tgt.Shards = shards
+		c, err := tgt.AcquireCampaign(30, 160, 157, rng.NewDRBG(31).Uint64)
+		if err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+		}
+		return c
+	}
+	legacy := acquire(1, -1)
+	want := campaignFingerprint(legacy)
+	for _, w := range determinismWorkers {
+		for _, shards := range []int{1, 4} {
+			c := acquire(w, shards)
+			if !reflect.DeepEqual(campaignFingerprint(c), want) {
+				t.Errorf("workers=%d shards=%d: campaign traces differ from legacy serial acquisition", w, shards)
+			}
+			if !reflect.DeepEqual(c.Points, legacy.Points) {
+				t.Errorf("workers=%d shards=%d: campaign points differ from legacy serial acquisition", w, shards)
+			}
+		}
+	}
+}
+
+// TestTemplateShardedDeterminismMatchesLegacy pins that the sharded
+// template build (append-only features, concatenated in shard order)
+// reproduces the legacy serial template bit for bit.
+func TestTemplateShardedDeterminismMatchesLegacy(t *testing.T) {
+	build := func(workers, shards int) *Template {
+		tgt := newDPATarget(t, false, 96)
+		tgt.Workers = workers
+		tgt.Shards = shards
+		p := tgt.Curve.RandomPoint(rng.NewDRBG(41).Uint64)
+		tm, err := BuildTemplate(tgt, p, 6)
+		if err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+		}
+		return tm
+	}
+	legacy := build(1, -1)
+	for _, w := range determinismWorkers {
+		for _, shards := range []int{1, 4} {
+			tm := build(w, shards)
+			if *tm != *legacy {
+				t.Errorf("workers=%d shards=%d: template %+v differs from legacy serial %+v", w, shards, tm, legacy)
+			}
+		}
+	}
+}

@@ -113,24 +113,58 @@ func spaAveraged(t *Target, p ec.Point, idx uint64, n int) (*SPAResult, error) {
 		return nil, errors.New("sca: need at least one trace")
 	}
 	start, end := t.prog.IterationWindow(t.Timing, 162, 0)
-	// Average through the campaign engine: the accumulation is summed
-	// in index order, so the averaged trace is bit-identical to the old
-	// serial loop for any worker count.
+	// The full-ladder window still has a (short) prologue before
+	// iteration 162; the plan skips it. The base point and key are
+	// fixed, so the prefix checkpoint applies when the program admits
+	// one.
+	plan, err := t.planFixedPoint(p, t.Key, start, end)
+	if err != nil {
+		return nil, err
+	}
+	// Average through the campaign engine. Sharded mode sums per shard
+	// on the worker goroutines and adds the shard sums in shard order;
+	// serial mode sums in index order (bit-identical to the historical
+	// loop). The two agree to floating-point rounding.
 	var acc []float64
+	addInto := func(dst *[]float64, samples []float64) error {
+		if *dst == nil {
+			*dst = make([]float64, len(samples))
+		}
+		if len(samples) != len(*dst) {
+			return trace.ErrSampleMismatch
+		}
+		for s, v := range samples {
+			(*dst)[s] += v
+		}
+		return nil
+	}
 	prepare := func(i int) (acqJob, error) {
 		return acqJob{key: t.Key, point: p, dev: idx + uint64(i)}, nil
 	}
-	consume := func(i int, j acqJob, tr trace.Trace) (bool, error) {
-		if acc == nil {
-			acc = make([]float64, len(tr.Samples))
+	acquire := t.plannedAcquirerPool(plan)
+	if t.useSharded() {
+		_, err = campaign.RunSharded(0, n, t.shardedConfig(), prepare, acquire,
+			func(shard int) *[]float64 { return new([]float64) },
+			func(shard int, sum *[]float64, i int, j acqJob, tr trace.Trace) error {
+				err := addInto(sum, tr.Samples)
+				tr.Release() // folded, not retained
+				return err
+			},
+			func(shard int, sum *[]float64) error {
+				if *sum == nil {
+					return nil
+				}
+				return addInto(&acc, *sum)
+			})
+	} else {
+		consume := func(i int, j acqJob, tr trace.Trace) (bool, error) {
+			err := addInto(&acc, tr.Samples)
+			tr.Release() // folded, not retained
+			return false, err
 		}
-		for s, v := range tr.Samples {
-			acc[s] += v
-		}
-		tr.Release() // folded, not retained
-		return false, nil
+		_, err = campaign.Run(0, n, t.engineConfig(), prepare, acquire, consume)
 	}
-	if _, err := campaign.Run(0, n, t.engineConfig(), prepare, t.acquirerPool(start, end), consume); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	inv := 1 / float64(n)

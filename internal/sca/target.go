@@ -17,8 +17,6 @@
 package sca
 
 import (
-	"errors"
-
 	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
@@ -72,6 +70,25 @@ type Target struct {
 	// bit-identical for any value — per-trace randomness derives from
 	// the trace index, and statistics consume traces in index order.
 	Workers int
+	// Shards selects the reduction sharding of the bounded statistics
+	// campaigns (TVLA, leakage maps, SPA averaging, template
+	// profiling, campaign acquisition): 0 selects
+	// campaign.DefaultShards; a positive value is part of the
+	// experiment definition (statistics agree across shard counts only
+	// to floating-point rounding, though never across worker counts,
+	// which are always bit-identical at fixed Shards); a negative
+	// value selects the legacy serial consumer, which reproduces
+	// pre-sharding results bit for bit. Early-stop campaigns
+	// (TVLAUntil, traces-to-success searches) always use the serial
+	// consumer regardless of this field.
+	Shards int
+	// NoPrologueSkip disables the checkpointed/quiet acquisition
+	// prologue (see plan.go): every campaign trace then re-simulates
+	// all cycles before its window through the full evented pipeline,
+	// as the historical path did. The recorded samples are
+	// bit-identical either way; the knob exists for A/B benchmarking
+	// and re-verification.
+	NoPrologueSkip bool
 	// Progress, when non-nil, is invoked after each consumed campaign
 	// trace with the cumulative trace count — wire it to a progress
 	// reporter for the long acquisitions.
@@ -135,27 +152,11 @@ func (t *Target) AcquireWithKey(key modn.Scalar, p ec.Point, start, end int, idx
 // allocation-free. Events reach the collector through the coproc batch
 // probe — one callback per retired instruction instead of one per
 // cycle — and samples land in pooled buffers (trace.Collector.Begin).
+// Every pre-window cycle runs through the full evented pipeline — the
+// reference behavior the planned acquisition paths (plan.go) must
+// reproduce bit for bit.
 func (t *Target) acquireOn(s *acqScratch, key modn.Scalar, p ec.Point, start, end int, idx uint64) (trace.Trace, error) {
-	cpu := s.cpu
-	cpu.Reset()
-	cpu.Timing = t.Timing
-	s.drbg.Reseed(t.traceSeed(idx))
-	cpu.Rand = s.randFn
-	pcfg := t.Power
-	pcfg.Seed ^= (idx + 1) * 0xbf58476d1ce4e5b9
-	s.model.Reinit(pcfg)
-	s.col.Start, s.col.End = start, end
-	s.col.Begin()
-	cpu.Batch = s.batchFn
-	cpu.SetOperandConstants(p.X, t.Curve.B, p.Y)
-	if end > 0 {
-		cpu.MaxCycles = end
-	}
-	_, err := cpu.Run(t.prog, key)
-	if err != nil && !errors.Is(err, coproc.ErrStopped) {
-		return trace.Trace{}, err
-	}
-	return s.col.Take(), nil
+	return t.acquirePlanned(s, key, p, &acqPlan{start: start, end: end}, idx)
 }
 
 // Window exposes the acquisition cycle window covering ladder
@@ -213,21 +214,59 @@ func (t *Target) AcquireCampaign(n int, firstIter, lastIter int, pointSrc func()
 // size instead of over-acquiring the maximum campaign up front;
 // because trace i is a pure function of index i, the extended campaign
 // is identical to one acquired at size n in a single call.
+//
+// The campaign retains every trace, so the "reduction" is a positional
+// write: under the sharded engine (Target.Shards >= 0) each completed
+// acquisition lands directly in its own slot of the preallocated set
+// from the worker goroutine — trivially order-independent — instead of
+// filing through the serial reorder consumer. The base points vary per
+// trace, so the acquisition plan is quiet-prologue only (no
+// checkpoint; see plan.go).
 func (t *Target) ExtendCampaign(c *Campaign, n int, pointSrc func() uint64) error {
 	from := c.Set.Len()
 	if n <= from {
 		return nil
 	}
+	plan := t.planWindow(c.Start, c.End)
 	prepare := func(idx int) (acqJob, error) {
 		return acqJob{key: t.Key, point: t.Curve.RandomPoint(pointSrc), dev: uint64(idx)}, nil
 	}
-	consume := func(idx int, j acqJob, tr trace.Trace) (bool, error) {
-		c.Set.Add(tr)
-		c.Points = append(c.Points, j.point)
-		return false, nil
+	acquire := t.plannedAcquirerPool(plan)
+	if !t.useSharded() {
+		consume := func(idx int, j acqJob, tr trace.Trace) (bool, error) {
+			c.Set.Add(tr)
+			c.Points = append(c.Points, j.point)
+			return false, nil
+		}
+		_, err := campaign.Run(from, n, t.engineConfig(), prepare, acquire, consume)
+		return err
 	}
-	_, err := campaign.Run(from, n, t.engineConfig(), prepare, t.acquirerPool(c.Start, c.End), consume)
-	return err
+	c.Set.Traces = append(c.Set.Traces, make([]trace.Trace, n-from)...)
+	c.Points = append(c.Points, make([]ec.Point, n-from)...)
+	_, err := campaign.RunSharded(from, n, t.shardedConfig(), prepare, acquire,
+		func(shard int) struct{} { return struct{}{} },
+		func(shard int, _ struct{}, idx int, j acqJob, tr trace.Trace) error {
+			c.Set.Traces[idx] = tr
+			c.Points[idx] = j.point
+			return nil
+		},
+		func(shard int, _ struct{}) error { return nil })
+	if err != nil {
+		// Leave the campaign exactly as it was before the failed
+		// extension; partially filled slots are dropped.
+		c.Set.Traces = c.Set.Traces[:from]
+		c.Points = c.Points[:from]
+		return err
+	}
+	return nil
+}
+
+// PrologueCyclesSkipped reports how many leading cycles per trace the
+// campaign's acquisition plan removes from the evented simulation
+// pipeline (0 when Target.NoPrologueSkip is set or the window starts
+// at cycle 0) — campaign throughput accounting for progress headers.
+func (c *Campaign) PrologueCyclesSkipped() int {
+	return c.Target.planWindow(c.Start, c.End).skippedCycles()
 }
 
 // Prefix returns a view of the campaign's first n traces — the

@@ -47,20 +47,23 @@ func BuildTemplate(profiler *Target, p ec.Point, nProfile int) (*Template, error
 	}
 	start, end := profiler.prog.IterationWindow(profiler.Timing, 162, 0)
 	cswaps := cswapSampleIndices(profiler, start)
-	// Profiling acquisitions fan out over the campaign engine; the
-	// labeled features are appended in index order, so the template is
-	// bit-identical to the old serial loop for any worker count. Each
-	// job carries its known profiling key so consume can label the
-	// features without re-deriving the key stream.
-	var f0, f1 []float64
-	prepare := func(i int) (acqJob, error) {
-		// The profiling device is under the attacker's total control:
-		// fresh known key per acquisition. The key stream derives purely
-		// from the index, matching the old serial derivation.
-		k := AlgorithmOneScalar(profiler.Curve, rngSourceFor(profiler, uint64(i)))
-		return acqJob{key: k, point: p, dev: uint64(1000 + i)}, nil
+	// The profiling keys share only the public Algorithm 1 bits, and
+	// the full-ladder prefix before iteration 162 consults no key bits
+	// at all — so the prologue checkpoint (when the program admits
+	// one) applies to every profiling trace.
+	plan, err := profiler.planFixedPoint(p, profiler.Key, start, end)
+	if err != nil {
+		return nil, err
 	}
-	consume := func(i int, j acqJob, tr trace.Trace) (bool, error) {
+	// Profiling acquisitions fan out over the campaign engine; the
+	// labeled features are appended in index order. Sharded mode
+	// appends into per-shard slices and concatenates them in shard
+	// order — since every feature is appended, not summed, the sharded
+	// template is bit-identical to the serial one. Each job carries its
+	// known profiling key so the fold can label the features without
+	// re-deriving the key stream.
+	var f0, f1 []float64
+	extract := func(j acqJob, tr trace.Trace, f0, f1 *[]float64) {
 		for iter := 162; iter >= 0; iter-- {
 			idxs := cswaps[iter]
 			var v float64
@@ -69,15 +72,43 @@ func BuildTemplate(profiler *Target, p ec.Point, nProfile int) (*Template, error
 			}
 			v /= float64(len(idxs))
 			if j.key.Bit(iter) == 1 {
-				f1 = append(f1, v)
+				*f1 = append(*f1, v)
 			} else {
-				f0 = append(f0, v)
+				*f0 = append(*f0, v)
 			}
 		}
-		tr.Release() // folded, not retained
-		return false, nil
 	}
-	if _, err := campaign.Run(0, nProfile, profiler.engineConfig(), prepare, profiler.acquirerPool(start, end), consume); err != nil {
+	prepare := func(i int) (acqJob, error) {
+		// The profiling device is under the attacker's total control:
+		// fresh known key per acquisition. The key stream derives purely
+		// from the index, matching the old serial derivation.
+		k := AlgorithmOneScalar(profiler.Curve, rngSourceFor(profiler, uint64(i)))
+		return acqJob{key: k, point: p, dev: uint64(1000 + i)}, nil
+	}
+	acquire := profiler.plannedAcquirerPool(plan)
+	if profiler.useSharded() {
+		type classes struct{ f0, f1 []float64 }
+		_, err = campaign.RunSharded(0, nProfile, profiler.shardedConfig(), prepare, acquire,
+			func(shard int) *classes { return &classes{} },
+			func(shard int, cl *classes, i int, j acqJob, tr trace.Trace) error {
+				extract(j, tr, &cl.f0, &cl.f1)
+				tr.Release() // folded, not retained
+				return nil
+			},
+			func(shard int, cl *classes) error {
+				f0 = append(f0, cl.f0...)
+				f1 = append(f1, cl.f1...)
+				return nil
+			})
+	} else {
+		consume := func(i int, j acqJob, tr trace.Trace) (bool, error) {
+			extract(j, tr, &f0, &f1)
+			tr.Release() // folded, not retained
+			return false, nil
+		}
+		_, err = campaign.Run(0, nProfile, profiler.engineConfig(), prepare, acquire, consume)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if len(f0) == 0 || len(f1) == 0 {

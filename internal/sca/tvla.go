@@ -35,6 +35,11 @@ type TVLAResult struct {
 	// EarlyStopped reports that the early-stop predicate ended the
 	// campaign before the requested trace count.
 	EarlyStopped bool
+	// PrologueCyclesSkipped is the number of leading cycles per trace
+	// the acquisition plan removed from the evented simulation
+	// pipeline — checkpoint-restored or quietly executed (see
+	// Target.NoPrologueSkip).
+	PrologueCyclesSkipped int
 }
 
 // TVLA runs the fixed-vs-random-scalar leakage assessment over the
@@ -78,11 +83,31 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 		return nil, errors.New("sca: TVLA needs at least 10 traces per set")
 	}
 	start, end := t.prog.IterationWindow(t.Timing, firstIter, lastIter)
+	// The checkpoint is built against the fixed set's key; random-set
+	// traces whose prefix CSWAP bits differ fall back to the quiet
+	// full run per trace (plan.go).
+	plan, err := t.planFixedPoint(p, t.Key, start, end)
+	if err != nil {
+		return nil, err
+	}
+	acquire := t.plannedAcquirerPool(plan)
 	w := trace.NewOnlineWelch()
-	consumed, err := campaign.Run(0, 2*nPerSet, t.engineConfig(),
-		t.fixedRandomPrepare(p, randKey),
-		t.acquirerPool(start, end),
-		welchConsume(w, checkEvery, 10))
+	var consumed int
+	if checkEvery == 0 && t.useSharded() {
+		// Full-budget campaign: reduce through per-shard Welch
+		// accumulators folded on the worker goroutines and merged in
+		// shard order (campaign.RunSharded's determinism argument).
+		consumed, err = campaign.RunSharded(0, 2*nPerSet, t.shardedConfig(),
+			t.fixedRandomPrepare(p, randKey), acquire,
+			newWelchShard, welchShardFold, welchShardMerge(w))
+	} else {
+		// Early-stop campaigns stay on the serial consumer: "stop once
+		// |t| exceeds the threshold after pair k" needs a single
+		// in-order fold, which is exactly what sharding gives up.
+		consumed, err = campaign.Run(0, 2*nPerSet, t.engineConfig(),
+			t.fixedRandomPrepare(p, randKey), acquire,
+			welchConsume(w, checkEvery, 10))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -91,10 +116,11 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 		return nil, err
 	}
 	res := &TVLAResult{
-		TracesPerSet:   consumed / 2,
-		TCurve:         ts,
-		CyclesPerTrace: end,
-		EarlyStopped:   consumed < 2*nPerSet,
+		TracesPerSet:          consumed / 2,
+		TCurve:                ts,
+		CyclesPerTrace:        end,
+		EarlyStopped:          consumed < 2*nPerSet,
+		PrologueCyclesSkipped: plan.skippedCycles(),
 	}
 	res.MaxT, res.MaxTSample = trace.MaxAbs(ts)
 	for _, v := range ts {

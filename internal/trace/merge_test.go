@@ -1,0 +1,377 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// Merge property tests: splitting a stream into contiguous segments in
+// ANY way, folding each segment into its own accumulator, and merging
+// the per-segment accumulators in segment order must agree with the
+// single serial fold to 1e-12 *relative* accuracy — for random,
+// constant and huge-dynamic-range streams, on all four accumulators.
+// This is the contract the sharded campaign reduction
+// (campaign.RunSharded) leans on.
+
+// closeRelSlices compares with tolerance 1e-12 · max(1, |a|, |b|) per
+// element — the absolute streamTol would be meaningless for the
+// huge-dynamic-range streams whose moments are ~1e18.
+func closeRelSlices(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		tol := streamTol * math.Max(1, math.Max(math.Abs(got[i]), math.Abs(want[i])))
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s[%d]: merged %.17g vs serial %.17g (diff %g, tol %g)",
+				name, i, got[i], want[i], got[i]-want[i], tol)
+		}
+	}
+}
+
+// mergeStream builds n traces of m samples in one of three regimes:
+// "random" uniform in [-1, 1); "constant" all equal (zero variance —
+// the merge must not manufacture variance out of rounding); "huge"
+// alternating magnitudes ~1e9 and ~1e-9 (18 orders of dynamic range —
+// the adversarial case for moment combination).
+func mergeStream(kind string, n, m int, seed uint64) [][]float64 {
+	x := xorshift64(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		s := make([]float64, m)
+		for j := range s {
+			switch kind {
+			case "constant":
+				s[j] = 3.25
+			case "huge":
+				v := x.float() + 0.5
+				if (i+j)%2 == 0 {
+					s[j] = v * 1e9
+				} else {
+					s[j] = v * 1e-9
+				}
+			default:
+				s[j] = x.float()*2 - 1
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// mergeSplits enumerates contiguous segmentations of n items: the
+// trivial one, a maximally unbalanced one, halves, all-singletons and
+// rough thirds — "split any way" in practice.
+func mergeSplits(n int) [][]int {
+	sp := [][]int{{n}}
+	if n > 1 {
+		sp = append(sp, []int{1, n - 1}, []int{n / 2, n - n/2})
+		ones := make([]int, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		sp = append(sp, ones)
+	}
+	if n > 3 {
+		sp = append(sp, []int{n / 3, n / 3, n - 2*(n/3)})
+	}
+	return sp
+}
+
+var mergeShapes = []struct{ n, m int }{
+	{1, 5}, {2, 3}, {7, 4}, {40, 16},
+}
+
+var mergeKinds = []string{"random", "constant", "huge"}
+
+func TestOnlineStatsMergeDeterminismMatchesSerialFold(t *testing.T) {
+	for _, kind := range mergeKinds {
+		for _, sh := range mergeShapes {
+			data := mergeStream(kind, sh.n, sh.m, 0x5eed1)
+			serial := NewOnlineStats()
+			for _, s := range data {
+				if err := serial.Add(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wantMean, _ := serial.Mean()
+			wantVar, _ := serial.Variance()
+			for _, split := range mergeSplits(sh.n) {
+				merged := NewOnlineStats()
+				lo := 0
+				for _, seg := range split {
+					part := NewOnlineStats()
+					for _, s := range data[lo : lo+seg] {
+						if err := part.Add(s); err != nil {
+							t.Fatal(err)
+						}
+					}
+					lo += seg
+					if err := merged.Merge(part); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if merged.N() != serial.N() {
+					t.Fatalf("%s %dx%d split %v: N %d != %d", kind, sh.n, sh.m, split, merged.N(), serial.N())
+				}
+				gotMean, _ := merged.Mean()
+				gotVar, _ := merged.Variance()
+				closeRelSlices(t, kind+" mean", gotMean, wantMean)
+				closeRelSlices(t, kind+" variance", gotVar, wantVar)
+			}
+		}
+	}
+}
+
+func TestOnlineWelchMergeDeterminismMatchesSerialFold(t *testing.T) {
+	for _, kind := range mergeKinds {
+		for _, sh := range mergeShapes {
+			n := 2 * sh.n // need both populations
+			data := mergeStream(kind, n, sh.m, 0x5eed2)
+			serial := NewOnlineWelch()
+			add := func(w *OnlineWelch, idx int) error {
+				if idx%2 == 0 {
+					return w.AddA(data[idx])
+				}
+				return w.AddB(data[idx])
+			}
+			for i := range data {
+				if err := add(serial, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := serial.T()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, split := range mergeSplits(n) {
+				merged := NewOnlineWelch()
+				lo := 0
+				for _, seg := range split {
+					part := NewOnlineWelch()
+					for i := lo; i < lo+seg; i++ {
+						if err := add(part, i); err != nil {
+							t.Fatal(err)
+						}
+					}
+					lo += seg
+					if err := merged.Merge(part); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, err := merged.T()
+				if err != nil {
+					t.Fatal(err)
+				}
+				closeRelSlices(t, kind+" welch t", got, want)
+			}
+		}
+	}
+}
+
+func TestOnlineDoMMergeDeterminismMatchesSerialFold(t *testing.T) {
+	part := func(idx int, samples []float64) bool {
+		// Mix an index-based and a data-based clause so the partition
+		// exercises both inputs yet never degenerates to one class on
+		// the constant stream.
+		return (idx%3 == 0) != (samples[0] > 1e6)
+	}
+	for _, kind := range mergeKinds {
+		for _, sh := range mergeShapes {
+			if sh.n < 3 {
+				continue // degenerate single-class partitions
+			}
+			data := mergeStream(kind, sh.n, sh.m, 0x5eed3)
+			serial := NewOnlineDoM(part)
+			for _, s := range data {
+				if err := serial.Add(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := serial.Diff()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, split := range mergeSplits(sh.n) {
+				merged := NewOnlineDoM(nil)
+				lo := 0
+				for _, seg := range split {
+					// Each segment classifies under the GLOBAL arrival
+					// index — the NewOnlineDoMAt base — exactly like a
+					// shard covering index block [lo, lo+seg).
+					shard := NewOnlineDoMAt(part, lo)
+					for _, s := range data[lo : lo+seg] {
+						if err := shard.Add(s); err != nil {
+							t.Fatal(err)
+						}
+					}
+					lo += seg
+					if err := merged.Merge(shard); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if merged.N() != serial.N() {
+					t.Fatalf("%s split %v: N %d != %d", kind, split, merged.N(), serial.N())
+				}
+				got, err := merged.Diff()
+				if err != nil {
+					t.Fatal(err)
+				}
+				closeRelSlices(t, kind+" dom", got, want)
+			}
+		}
+	}
+}
+
+func TestOnlineCPAMergeDeterminismMatchesSerialFold(t *testing.T) {
+	for _, kind := range mergeKinds {
+		for _, sh := range mergeShapes {
+			data := mergeStream(kind, sh.n, sh.m, 0x5eed4)
+			hx := xorshift64(0x5eed5)
+			hyp := make([]float64, sh.n)
+			for i := range hyp {
+				hyp[i] = hx.float()*4 - 2
+			}
+			serial := NewOnlineCPA()
+			for i, s := range data {
+				if err := serial.Add(hyp[i], s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := serial.Corr()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, split := range mergeSplits(sh.n) {
+				merged := NewOnlineCPA()
+				lo := 0
+				for _, seg := range split {
+					part := NewOnlineCPA()
+					for i := lo; i < lo+seg; i++ {
+						if err := part.Add(hyp[i], data[i]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					lo += seg
+					if err := merged.Merge(part); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if merged.N() != serial.N() {
+					t.Fatalf("%s split %v: N %d != %d", kind, split, merged.N(), serial.N())
+				}
+				got, err := merged.Corr()
+				if err != nil {
+					t.Fatal(err)
+				}
+				closeRelSlices(t, kind+" corr", got, want)
+			}
+		}
+	}
+	// Constant hypothesis: zero hypothesis variance must yield all-zero
+	// correlations from both the serial and any merged fold.
+	data := mergeStream("random", 6, 3, 0x5eed6)
+	serial := NewOnlineCPA()
+	a, b := NewOnlineCPA(), NewOnlineCPA()
+	for i, s := range data {
+		serial.Add(7.5, s)
+		if i < 3 {
+			a.Add(7.5, s)
+		} else {
+			b.Add(7.5, s)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := serial.Corr()
+	got, _ := a.Corr()
+	closeRelSlices(t, "constant-hypothesis corr", got, want)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("constant hypothesis produced nonzero correlation at %d: %g", i, v)
+		}
+	}
+}
+
+// TestMergeEdgeCases pins the boundary behaviour every caller of the
+// sharded reduction relies on: nil/empty merges are no-ops, merging
+// into an empty accumulator deep-copies (the source can be mutated or
+// discarded afterwards), and sample-length mismatches surface as
+// ErrSampleMismatch.
+func TestMergeEdgeCases(t *testing.T) {
+	// No-ops.
+	s := NewOnlineStats()
+	if err := s.Add([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Merge(NewOnlineStats()); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 1 {
+		t.Fatalf("no-op merges changed N to %d", s.N())
+	}
+	m, _ := s.Mean()
+	if m[0] != 1 || m[1] != 2 {
+		t.Fatalf("no-op merges changed mean to %v", m)
+	}
+
+	// Mismatch.
+	o := NewOnlineStats()
+	o.Add([]float64{1, 2, 3})
+	if err := s.Merge(o); err != ErrSampleMismatch {
+		t.Fatalf("mismatched merge: err = %v, want ErrSampleMismatch", err)
+	}
+	c := NewOnlineCPA()
+	c.Add(1, []float64{1, 2})
+	c2 := NewOnlineCPA()
+	c2.Add(1, []float64{1, 2, 3})
+	if err := c.Merge(c2); err != ErrSampleMismatch {
+		t.Fatalf("mismatched CPA merge: err = %v, want ErrSampleMismatch", err)
+	}
+	d := NewOnlineDoM(nil)
+	d.Add([]float64{1})
+	d2 := NewOnlineDoM(nil)
+	d2.Add([]float64{1, 2})
+	if err := d.Merge(d2); err != ErrSampleMismatch {
+		t.Fatalf("mismatched DoM merge: err = %v, want ErrSampleMismatch", err)
+	}
+
+	// Merge into empty deep-copies: mutating the source afterwards must
+	// not leak into the destination.
+	src := NewOnlineStats()
+	src.Add([]float64{1, 2})
+	dst := NewOnlineStats()
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	src.Add([]float64{100, 200})
+	m, _ = dst.Mean()
+	if dst.N() != 1 || m[0] != 1 || m[1] != 2 {
+		t.Fatalf("empty-merge aliased source state: n=%d mean=%v", dst.N(), m)
+	}
+	csrc := NewOnlineCPA()
+	csrc.Add(2, []float64{4, 8})
+	cdst := NewOnlineCPA()
+	if err := cdst.Merge(csrc); err != nil {
+		t.Fatal(err)
+	}
+	csrc.Add(3, []float64{1, 1})
+	if cdst.N() != 1 || cdst.sx[0] != 4 || cdst.sx[1] != 8 {
+		t.Fatalf("empty CPA merge aliased source state: n=%d sx=%v", cdst.N(), cdst.sx)
+	}
+	dsrc := NewOnlineDoMAt(func(int, []float64) bool { return true }, 5)
+	dsrc.Add([]float64{6})
+	ddst := NewOnlineDoM(nil)
+	if err := ddst.Merge(dsrc); err != nil {
+		t.Fatal(err)
+	}
+	dsrc.Add([]float64{9})
+	if ddst.N() != 1 || ddst.sum1[0] != 6 {
+		t.Fatalf("empty DoM merge aliased source state: n=%d sum1=%v", ddst.N(), ddst.sum1)
+	}
+}

@@ -62,6 +62,45 @@ func (o *OnlineStats) Add(samples []float64) error {
 	return nil
 }
 
+// Merge folds another accumulator into o — Chan et al.'s pairwise
+// combination of Welford moments: for each sample,
+//
+//	n   = na + nb
+//	d   = mb - ma
+//	mean = ma + d·nb/n
+//	m2   = m2a + m2b + d²·na·nb/n
+//
+// After the merge, o describes exactly the union of the two streams
+// (to floating-point rounding; the property tests pin agreement with
+// the serial fold to 1e-12). other is not modified and may be reused or
+// discarded. Merging an empty accumulator is a no-op in either
+// direction. The shard-parallel campaign engine folds per-shard
+// accumulators on worker goroutines and Merges them in shard order —
+// a bank of lock-in integrators summed at the end of the sweep.
+func (o *OnlineStats) Merge(other *OnlineStats) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if o.n == 0 {
+		o.n = other.n
+		o.mean = append(o.mean[:0], other.mean...)
+		o.m2 = append(o.m2[:0], other.m2...)
+		return nil
+	}
+	if len(other.mean) != len(o.mean) {
+		return ErrSampleMismatch
+	}
+	na, nb := float64(o.n), float64(other.n)
+	n := na + nb
+	for i := range o.mean {
+		d := other.mean[i] - o.mean[i]
+		o.mean[i] += d * nb / n
+		o.m2[i] += other.m2[i] + d*d*na*nb/n
+	}
+	o.n += other.n
+	return nil
+}
+
 // N returns the number of traces consumed.
 func (o *OnlineStats) N() int { return o.n }
 
@@ -105,6 +144,19 @@ func (w *OnlineWelch) AddA(samples []float64) error { return w.A.Add(samples) }
 // AddB consumes one trace of the second population (e.g. random keys).
 func (w *OnlineWelch) AddB(samples []float64) error { return w.B.Add(samples) }
 
+// Merge folds another two-population accumulator into w (population A
+// with A, B with B) — see OnlineStats.Merge for the combination rule
+// and its accuracy contract.
+func (w *OnlineWelch) Merge(other *OnlineWelch) error {
+	if other == nil {
+		return nil
+	}
+	if err := w.A.Merge(&other.A); err != nil {
+		return err
+	}
+	return w.B.Merge(&other.B)
+}
+
 // T returns the per-sample Welch t-statistic, matching the batch
 // WelchT: t = (mA-mB) / sqrt(vA/nA + vB/nB) with population variances,
 // and 0 where the denominator vanishes.
@@ -143,17 +195,27 @@ func (w *OnlineWelch) MaxT() (float64, int) {
 // statistic). The partition callback classifies each trace as it
 // arrives — selection-function DPA without retaining the set.
 type OnlineDoM struct {
-	part     func(idx int, samples []float64) bool
-	sum1     []float64
-	sum0     []float64
-	c1, c0   int
-	nextTidx int
+	part   func(idx int, samples []float64) bool
+	sum1   []float64
+	sum0   []float64
+	c1, c0 int
+	base   int
+	count  int
 }
 
 // NewOnlineDoM returns an accumulator whose partition callback is
 // invoked once per streamed trace with the trace's arrival index.
 func NewOnlineDoM(part func(idx int, samples []float64) bool) *OnlineDoM {
 	return &OnlineDoM{part: part}
+}
+
+// NewOnlineDoMAt returns an accumulator whose partition callback sees
+// arrival indices starting at base — a shard of a larger campaign
+// covering the contiguous index block [base, base+n) classifies its
+// traces under the campaign's global indices, so merging the shards
+// reproduces the single-accumulator partition exactly.
+func NewOnlineDoMAt(part func(idx int, samples []float64) bool, base int) *OnlineDoM {
+	return &OnlineDoM{part: part, base: base}
 }
 
 // Add consumes one trace, classifying it through the partition
@@ -169,8 +231,8 @@ func (o *OnlineDoM) Add(samples []float64) error {
 	if len(samples) != len(o.sum1) {
 		return ErrSampleMismatch
 	}
-	idx := o.nextTidx
-	o.nextTidx++
+	idx := o.base + o.count
+	o.count++
 	if o.part != nil && o.part(idx, samples) {
 		o.c1++
 		for i, v := range samples {
@@ -185,13 +247,42 @@ func (o *OnlineDoM) Add(samples []float64) error {
 	return nil
 }
 
+// Merge folds another difference-of-means accumulator into o: class
+// sums and counts add. Intended as the final reduction over per-shard
+// accumulators whose index blocks partition the campaign (build them
+// with NewOnlineDoMAt and merge in shard order); further Adds after a
+// merge would continue from o's own base+count, which no longer
+// corresponds to a global arrival index.
+func (o *OnlineDoM) Merge(other *OnlineDoM) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	if o.count == 0 && o.sum1 == nil {
+		o.sum1 = append([]float64(nil), other.sum1...)
+		o.sum0 = append([]float64(nil), other.sum0...)
+		o.c1, o.c0, o.count = other.c1, other.c0, other.count
+		return nil
+	}
+	if len(other.sum1) != len(o.sum1) {
+		return ErrSampleMismatch
+	}
+	for i := range o.sum1 {
+		o.sum1[i] += other.sum1[i]
+		o.sum0[i] += other.sum0[i]
+	}
+	o.c1 += other.c1
+	o.c0 += other.c0
+	o.count += other.count
+	return nil
+}
+
 // N returns the number of traces consumed.
-func (o *OnlineDoM) N() int { return o.nextTidx }
+func (o *OnlineDoM) N() int { return o.count }
 
 // Diff returns the per-sample difference of means between the two
 // classes, matching the batch DiffOfMeans.
 func (o *OnlineDoM) Diff() ([]float64, error) {
-	if o.nextTidx == 0 {
+	if o.count == 0 {
 		return nil, ErrEmptySet
 	}
 	if o.c1 == 0 || o.c0 == 0 {
@@ -240,6 +331,37 @@ func (o *OnlineCPA) Add(h float64, samples []float64) error {
 		o.sx[i] += v
 		o.sxx[i] += v * v
 		o.shx[i] += h * v
+	}
+	return nil
+}
+
+// Merge folds another correlation accumulator into o. The state is raw
+// sums (Σh, Σh², Σx, Σx², Σhx), so the merge is exact elementwise
+// addition — the only rounding difference from a serial fold is the
+// reassociation of the sums themselves, which the property tests pin
+// to 1e-12. other is not modified.
+func (o *OnlineCPA) Merge(other *OnlineCPA) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if o.n == 0 {
+		o.n = other.n
+		o.sh, o.shh = other.sh, other.shh
+		o.sx = append(o.sx[:0], other.sx...)
+		o.sxx = append(o.sxx[:0], other.sxx...)
+		o.shx = append(o.shx[:0], other.shx...)
+		return nil
+	}
+	if len(other.sx) != len(o.sx) {
+		return ErrSampleMismatch
+	}
+	o.n += other.n
+	o.sh += other.sh
+	o.shh += other.shh
+	for i := range o.sx {
+		o.sx[i] += other.sx[i]
+		o.sxx[i] += other.sxx[i]
+		o.shx[i] += other.shx[i]
 	}
 	return nil
 }

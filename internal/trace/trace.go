@@ -18,6 +18,7 @@ package trace
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 
 	"medsec/internal/campaign"
 	"medsec/internal/coproc"
@@ -51,15 +52,43 @@ var (
 // reuse whatever capacity the campaign's traces actually needed.
 const batchInitCap = 4096
 
+// lastReleased remembers the backing array of the most recently
+// released sample buffer. Trace flows through consumers by value, so a
+// stale copy of an already-released header still points at the pooled
+// array; without a guard, releasing that copy would insert the same
+// buffer into the pool twice and two later acquisitions would record
+// into shared memory. Tracking the last release catches the realistic
+// double-release shape (the same trace released twice in a row through
+// copied headers) with one atomic word and no per-buffer bookkeeping.
+// Collector.Begin clears the sentinel when the pool hands the guarded
+// array back out, so steady-state reuse — release, re-acquire,
+// release again — is not mistaken for a double free.
+var lastReleased atomic.Pointer[float64]
+
 // Release returns the trace's buffers to the shared pool and clears
 // the header. Only call it on traces that are NOT retained (streaming
 // statistics that have already folded the samples); a released trace
 // must not be read again. Releasing a trace recorded outside the
 // pooled path is harmless — its buffers simply join the pool.
+//
+// Releasing the same trace twice (including through a copied header
+// whose slices still point at the retired buffers) is a no-op on the
+// second call rather than pool corruption.
 func (t *Trace) Release() {
-	samplePool.Put(t.Samples)
-	iterPool.Put(t.Iter)
+	s, it := t.Samples, t.Iter
 	t.Samples, t.Iter = nil, nil
+	if cap(s) > 0 {
+		p := &s[:cap(s)][0]
+		if lastReleased.Swap(p) == p {
+			// This backing array was the previous release and has not
+			// been re-acquired since: a double release. The buffers
+			// are already in the pool; putting them again would hand
+			// the same memory to two future traces.
+			return
+		}
+	}
+	samplePool.Put(s)
+	iterPool.Put(it)
 }
 
 // SegmentByIteration returns the half-open sample ranges
@@ -145,9 +174,15 @@ func (c *Collector) BatchProbe() coproc.BatchProbe {
 // reuse the probe closure returned by an earlier BatchProbe call, so
 // steady-state acquisition allocates nothing.
 func (c *Collector) Begin() {
+	s := samplePool.Get(batchInitCap)
+	if cap(s) > 0 {
+		// The pool handed this array back out; it is live again, so a
+		// future Release of it is legitimate (see lastReleased).
+		lastReleased.CompareAndSwap(&s[:cap(s)][0], nil)
+	}
 	c.trace = Trace{
 		StartCycle: c.Start,
-		Samples:    samplePool.Get(batchInitCap),
+		Samples:    s,
 		Iter:       iterPool.Get(batchInitCap),
 	}
 }
