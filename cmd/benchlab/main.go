@@ -7,6 +7,7 @@
 // acquisition prologue.
 //
 //	benchlab [-o BENCH_simcore.json] [-quick] [-shards S] [-v]
+//	         [-metrics out.json]
 //
 // Two kinds of "before" appear in the report. The micro/macro rows
 // (gf2m, coproc, the legacy TVLA rows) carry a PINNED before: the
@@ -18,6 +19,12 @@
 // Target.NoPrologueSkip re-simulates every pre-window cycle through
 // the evented pipeline) — so their speedups compare two code paths on
 // the same silicon under the same load, not two machines.
+//
+// The campaign/TVLA-obs row is the observability acceptance evidence:
+// it reruns the serial TVLA workload with a live obs.Registry attached
+// (every campaign_*/sca_* instrument hot) and compares throughput
+// against the uninstrumented run. The acceptance gate requires the
+// instrumented path to stay within a few percent of bare.
 //
 // The numbers quantify the software cost of simulating the paper's
 // hardware design points; the simulated hardware itself (cycle counts,
@@ -32,7 +39,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/exec"
 	"runtime"
 	"strings"
 	"testing"
@@ -43,6 +49,7 @@ import (
 	"medsec/internal/ec"
 	"medsec/internal/gf2m"
 	"medsec/internal/modn"
+	"medsec/internal/obs"
 	"medsec/internal/power"
 	"medsec/internal/rng"
 	"medsec/internal/sca"
@@ -90,6 +97,12 @@ type Report struct {
 		TVLASpeedupMeasured float64 `json:"tvla_speedup_measured"`
 		CPASpeedupTarget    float64 `json:"cpa_speedup_target"`
 		CPASpeedupMeasured  float64 `json:"cpa_speedup_measured"`
+		// ObsOverheadBudget / ObsOverheadMeasured gate the
+		// instrumentation tax: (bare - instrumented)/bare throughput on
+		// the serial TVLA workload. Negative measurements (instrumented
+		// faster, i.e. noise) count as zero overhead.
+		ObsOverheadBudget   float64 `json:"obs_overhead_budget"`
+		ObsOverheadMeasured float64 `json:"obs_overhead_measured"`
 		Pass                bool    `json:"pass"`
 	} `json:"acceptance"`
 }
@@ -99,17 +112,28 @@ var benchScalar = modn.MustScalarFromHex("2fe13c0537bbc11acaa07d793de4e6d5e5c94e
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchlab: ")
-	out := flag.String("o", "BENCH_simcore.json", "output report path (- for stdout)")
-	quick := flag.Bool("quick", false, "single-iteration smoke run (CI): skips statistical settling")
-	shards := flag.Int("shards", 0, "reduction shard count for the campaign workloads (0 = engine default, < 0 = legacy serial consumer)")
-	verbose := flag.Bool("v", false, "print each result as it is measured")
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchlab", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_simcore.json", "output report path (- for stdout)")
+	quick := fs.Bool("quick", false, "single-iteration smoke run (CI): skips statistical settling")
+	shards := fs.Int("shards", 0, "reduction shard count for the campaign workloads (0 = engine default, < 0 = legacy serial consumer)")
+	verbose := fs.Bool("v", false, "print each result as it is measured")
+	metrics := fs.String("metrics", "", "write a run manifest (flags + metric snapshot of the instrumented A/B run) to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	rep := &Report{
 		Suite: "simcore",
 		Description: "Simulator-core hot paths: field mul (Karatsuba vs schoolbook), " +
 			"MALU digit pipeline, full point-mul simulation, TVLA campaign throughput, " +
-			"sharded-reduction + checkpointed-prologue campaign plans. " +
+			"sharded-reduction + checkpointed-prologue campaign plans, obs-instrumentation overhead. " +
 			"'before' pinned at the pre-optimization baseline for micro/macro rows and " +
 			"measured at run time on the legacy path for the campaign-plan rows; " +
 			"device-visible behaviour is bit-identical across every rewrite " +
@@ -119,7 +143,7 @@ func main() {
 		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
-		GitSHA:      gitSHA(),
+		GitSHA:      obs.GitSHA(),
 		Shards:      *shards,
 	}
 
@@ -227,13 +251,15 @@ func main() {
 	})
 
 	// mkTarget builds one attack-campaign target; legacy selects the
-	// pre-PR acquisition path (serial consumer, full evented prologue).
-	mkTarget := func(rpc bool, seed uint64, legacy bool) *sca.Target {
+	// pre-PR acquisition path (serial consumer, full evented prologue);
+	// reg, when non-nil, attaches the obs instrumentation bundle.
+	mkTarget := func(rpc bool, seed uint64, legacy bool, reg *obs.Registry) *sca.Target {
 		key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
 		pcfg := power.ProtectedChip(1)
 		pcfg.NoiseSigma = sca.LabNoiseSigma
 		tgt := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: rpc, XOnly: true},
 			coproc.DefaultTiming(), pcfg, seed)
+		tgt.Metrics = reg
 		if legacy {
 			tgt.Shards = -1
 			tgt.NoPrologueSkip = true
@@ -247,11 +273,11 @@ func main() {
 	// BenchmarkCampaignEngine TVLA configuration (500 traces/set,
 	// iterations 160..157, protected RPC target, lab noise). The
 	// pinned before is the PR 3 baseline. ---
-	tvla := func(workers, nPerSet, firstIter, lastIter int, legacy bool) func(b *testing.B) {
+	tvla := func(workers, nPerSet, firstIter, lastIter int, legacy bool, reg *obs.Registry) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				tgt := mkTarget(true, 11, legacy)
+				tgt := mkTarget(true, 11, legacy, reg)
 				tgt.Workers = workers
 				src := rng.NewDRBG(5).Uint64
 				gen := func() modn.Scalar { return sca.AlgorithmOneScalar(tgt.Curve, src) }
@@ -261,8 +287,8 @@ func main() {
 			}
 		}
 	}
-	tvlaRate := func(workers, nPerSet, firstIter, lastIter int, legacy bool) (tracesPerSec, allocsPerTrace float64) {
-		r := testing.Benchmark(tvla(workers, nPerSet, firstIter, lastIter, legacy))
+	tvlaRate := func(workers, nPerSet, firstIter, lastIter int, legacy bool, reg *obs.Registry) (tracesPerSec, allocsPerTrace float64) {
+		r := testing.Benchmark(tvla(workers, nPerSet, firstIter, lastIter, legacy, reg))
 		traces := float64(2 * nPerSet)
 		return traces / (float64(r.NsPerOp()) * 1e-9), float64(r.AllocsPerOp()) / traces
 	}
@@ -287,16 +313,29 @@ func main() {
 	// Baseline: 2177 traces/s serial, 2145 at 2 workers; ~35 heap
 	// objects per trace (fresh DRBG + model + collector + growing
 	// sample slices + per-cycle probe overhead).
-	serRate, serAllocs := tvlaRate(1, nPerSet, 160, 157, false)
+	serRate, serAllocs := tvlaRate(1, nPerSet, 160, 157, false, nil)
 	record("campaign/TVLA-serial/throughput", "traces/s", 2177, serRate, true)
 	record("campaign/TVLA-serial/allocs", "allocs/trace", 35.0, serAllocs, false)
 	par := campaign.Workers(0)
 	if par < 2 {
 		par = 2
 	}
-	parRate, parAllocs := tvlaRate(par, nPerSet, 160, 157, false)
+	parRate, parAllocs := tvlaRate(par, nPerSet, 160, 157, false, nil)
 	record(fmt.Sprintf("campaign/TVLA-%dworkers/throughput", par), "traces/s", 2145, parRate, true)
 	record(fmt.Sprintf("campaign/TVLA-%dworkers/allocs", par), "allocs/trace", 35.0, parAllocs, false)
+
+	// --- Observability overhead A/B: the same serial TVLA workload
+	// with every campaign_*/sca_* instrument attached and hot. The
+	// "before" is the bare rate measured above; "after" is the
+	// instrumented rate. The acceptance gate bounds the tax. ---
+	obsReg := obs.New()
+	obsRate, obsAllocs := tvlaRate(1, nPerSet, 160, 157, false, obsReg)
+	record("campaign/TVLA-obs/throughput", "traces/s", serRate, obsRate, true)
+	record("campaign/TVLA-obs/allocs", "allocs/trace", serAllocs, obsAllocs, false)
+	obsOverhead := 0.0
+	if serRate > 0 && obsRate < serRate {
+		obsOverhead = (serRate - obsRate) / serRate
+	}
 
 	// --- PR acceptance rows: planned (sharded + prologue-skip)
 	// acquisition vs the legacy path, measured in THIS run. The TVLA
@@ -308,8 +347,8 @@ func main() {
 	if *quick {
 		tvlaN = 30
 	}
-	beforeRate, _ := tvlaRate(w8, tvlaN, 156, 153, true)
-	afterRate, _ := tvlaRate(w8, tvlaN, 156, 153, false)
+	beforeRate, _ := tvlaRate(w8, tvlaN, 156, 153, true, nil)
+	afterRate, _ := tvlaRate(w8, tvlaN, 156, 153, false, nil)
 	record(fmt.Sprintf("campaign/TVLA-planned-%dworkers/throughput", w8), "traces/s", beforeRate, afterRate, true)
 	tvlaSpeedup := afterRate / beforeRate
 
@@ -322,8 +361,8 @@ func main() {
 	if *quick {
 		cpaSizes = []int{30, 60}
 	}
-	cpaRun := func(legacy bool) (time.Duration, int) {
-		tgt := mkTarget(false, 17, legacy)
+	cpaRun := func(legacy bool) (time.Duration, int, error) {
+		tgt := mkTarget(false, 17, legacy, nil)
 		tgt.Workers = w8
 		key := tgt.Key
 		prefix := make([]uint, 6)
@@ -334,30 +373,43 @@ func main() {
 		t0 := time.Now()
 		n, res, err := sca.TracesToSuccess(tgt, cpaSizes, 4, sca.CPAOptions{KnownPrefix: prefix}, src)
 		if err != nil {
-			log.Fatalf("CPA traces-to-success: %v", err)
+			return 0, 0, fmt.Errorf("CPA traces-to-success: %v", err)
 		}
 		if n < 0 && !*quick {
-			log.Fatalf("CPA never succeeded (best %d/%d bits)", res.CorrectBits(), len(res.Recovered))
+			return 0, 0, fmt.Errorf("CPA never succeeded (best %d/%d bits)", res.CorrectBits(), len(res.Recovered))
 		}
-		return time.Since(t0), n
+		return time.Since(t0), n, nil
 	}
 	reps := 3
 	if *quick {
 		reps = 1
 	}
-	best := func(legacy bool) (time.Duration, int) {
-		bd, bn := cpaRun(legacy)
+	best := func(legacy bool) (time.Duration, int, error) {
+		bd, bn, err := cpaRun(legacy)
+		if err != nil {
+			return 0, 0, err
+		}
 		for i := 1; i < reps; i++ {
-			if d, n := cpaRun(legacy); d < bd {
+			d, n, err := cpaRun(legacy)
+			if err != nil {
+				return 0, 0, err
+			}
+			if d < bd {
 				bd, bn = d, n
 			}
 		}
-		return bd, bn
+		return bd, bn, nil
 	}
-	beforeDur, beforeN := best(true)
-	afterDur, afterN := best(false)
+	beforeDur, beforeN, err := best(true)
+	if err != nil {
+		return err
+	}
+	afterDur, afterN, err := best(false)
+	if err != nil {
+		return err
+	}
 	if beforeN != afterN {
-		log.Fatalf("CPA traces-to-success diverged: legacy %d traces, planned %d", beforeN, afterN)
+		return fmt.Errorf("CPA traces-to-success diverged: legacy %d traces, planned %d", beforeN, afterN)
 	}
 	record(fmt.Sprintf("campaign/CPA-t2s-%dworkers/runtime", w8), "ms", float64(beforeDur.Milliseconds()), float64(afterDur.Milliseconds()), false)
 	cpaSpeedup := float64(beforeDur) / float64(afterDur)
@@ -369,31 +421,46 @@ func main() {
 	rep.Acceptance.TVLASpeedupMeasured = round3(tvlaSpeedup)
 	rep.Acceptance.CPASpeedupTarget = 1.5
 	rep.Acceptance.CPASpeedupMeasured = round3(cpaSpeedup)
+	// Budget 5% in the report gate (single-run throughput measurements
+	// jitter by a few percent on loaded CI machines); the ≤1% design
+	// target is pinned statistically by the obs package benchmarks.
+	rep.Acceptance.ObsOverheadBudget = 0.05
+	rep.Acceptance.ObsOverheadMeasured = round3(obsOverhead)
 	rep.Acceptance.Pass = rep.Acceptance.PointMulSpeedupMeasured >= rep.Acceptance.PointMulSpeedupTarget &&
 		rep.Acceptance.TVLASpeedupMeasured >= rep.Acceptance.TVLASpeedupTarget &&
-		rep.Acceptance.CPASpeedupMeasured >= rep.Acceptance.CPASpeedupTarget
+		rep.Acceptance.CPASpeedupMeasured >= rep.Acceptance.CPASpeedupTarget &&
+		rep.Acceptance.ObsOverheadMeasured <= rep.Acceptance.ObsOverheadBudget
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
 	} else {
 		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		log.Printf("wrote %s (point-mul %.2fx/%.1fx, TVLA %.2fx/%.1fx, CPA %.2fx/%.1fx, pass=%v)",
+		log.Printf("wrote %s (point-mul %.2fx/%.1fx, TVLA %.2fx/%.1fx, CPA %.2fx/%.1fx, obs overhead %.1f%%/%.0f%%, pass=%v)",
 			*out,
 			rep.Acceptance.PointMulSpeedupMeasured, rep.Acceptance.PointMulSpeedupTarget,
 			rep.Acceptance.TVLASpeedupMeasured, rep.Acceptance.TVLASpeedupTarget,
 			rep.Acceptance.CPASpeedupMeasured, rep.Acceptance.CPASpeedupTarget,
+			100*rep.Acceptance.ObsOverheadMeasured, 100*rep.Acceptance.ObsOverheadBudget,
 			rep.Acceptance.Pass)
 	}
-	if !rep.Acceptance.Pass && !*quick {
-		os.Exit(1)
+	if *metrics != "" {
+		obsReg.Gauge("benchlab_tvla_bare_traces_per_sec").Set(serRate)
+		obsReg.Gauge("benchlab_tvla_obs_traces_per_sec").Set(obsRate)
+		if err := obs.NewManifest("benchlab", "simcore", 0, fs, obsReg).Write(*metrics); err != nil {
+			return err
+		}
 	}
+	if !rep.Acceptance.Pass && !*quick {
+		return fmt.Errorf("acceptance gate failed (see %s)", *out)
+	}
+	return nil
 }
 
 func round3(v float64) float64 {
@@ -414,19 +481,4 @@ func cpuModel() string {
 		}
 	}
 	return runtime.GOOS
-}
-
-// gitSHA best-effort stamps the working-tree revision ("unknown"
-// outside a git checkout, "-dirty" suffix when uncommitted changes are
-// present).
-func gitSHA() string {
-	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
-	if err != nil {
-		return "unknown"
-	}
-	sha := strings.TrimSpace(string(out))
-	if err := exec.Command("git", "diff", "--quiet", "HEAD").Run(); err != nil {
-		sha += "-dirty"
-	}
-	return sha
 }

@@ -26,19 +26,29 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eccsim: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eccsim", flag.ContinueOnError)
 	var (
-		n         = flag.Int("n", 10, "number of point multiplications")
-		digit     = flag.Int("d", 4, "digit-serial multiplier width")
-		clock     = flag.Float64("clock", power.DefaultClockHz, "core clock in Hz")
-		vdd       = flag.Float64("vdd", 1.0, "core supply voltage")
-		rpc       = flag.Bool("rpc", true, "randomized projective coordinates")
-		style     = flag.String("style", "cmos", "logic style: cmos|wddl|sabl")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
-		noise     = flag.Float64("noise", 0, "measurement noise sigma (fraction of nominal cycle energy)")
-		breakdown = flag.Bool("breakdown", false, "print the per-component energy split")
-		dump      = flag.Int("dump", 0, "disassemble the first N microcode instructions")
+		n         = fs.Int("n", 10, "number of point multiplications")
+		digit     = fs.Int("d", 4, "digit-serial multiplier width")
+		clock     = fs.Float64("clock", power.DefaultClockHz, "core clock in Hz")
+		vdd       = fs.Float64("vdd", 1.0, "core supply voltage")
+		rpc       = fs.Bool("rpc", true, "randomized projective coordinates")
+		style     = fs.String("style", "cmos", "logic style: cmos|wddl|sabl")
+		seed      = fs.Uint64("seed", 1, "experiment seed")
+		noise     = fs.Float64("noise", 0, "measurement noise sigma (fraction of nominal cycle energy)")
+		breakdown = fs.Bool("breakdown", false, "print the per-component energy split")
+		dump      = fs.Int("dump", 0, "disassemble the first N microcode instructions")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := core.DefaultConfig(*seed)
 	cfg.Timing.DigitSize = *digit
@@ -54,18 +64,18 @@ func main() {
 	case "sabl":
 		cfg.Power.Style = power.SABL
 	default:
-		log.Fatalf("unknown logic style %q", *style)
+		return fmt.Errorf("unknown logic style %q", *style)
 	}
 
 	chip, err := core.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	g := chip.Curve().Generator()
 	for i := 0; i < *n; i++ {
 		k := chip.GenerateScalar()
 		if _, err := chip.PointMul(k, g); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -84,16 +94,19 @@ func main() {
 		fmt.Println("\nenergy breakdown (one point multiplication):")
 		cfg2 := cfg
 		cfg2.Power.NoiseSigma = 0
-		printBreakdown(cfg2)
+		if err := printBreakdown(cfg2); err != nil {
+			return err
+		}
 	}
 	if *dump > 0 {
 		fmt.Printf("\nmicrocode (first %d instructions):\n", *dump)
 		prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: *rpc})
 		fmt.Print(prog.Listing(cfg.Timing, *dump))
 	}
+	return nil
 }
 
-func printBreakdown(cfg core.Config) {
+func printBreakdown(cfg core.Config) error {
 	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: cfg.RPC})
 	model := power.NewModel(cfg.Power)
 	bm := power.NewBreakdownMeter(model)
@@ -104,7 +117,7 @@ func printBreakdown(cfg core.Config) {
 	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
 	k := curve.Order.RandNonZero(rng.NewDRBG(98).Uint64)
 	if _, err := cpu.Run(prog, k); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	c := bm.Totals()
 	total := c.Total()
@@ -118,4 +131,5 @@ func printBreakdown(cfg core.Config) {
 	row("mux control network", c.Control)
 	t.Row("total", fmt.Sprintf("%.3f", total*1e6), "100%")
 	t.Render(os.Stdout)
+	return nil
 }

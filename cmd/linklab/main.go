@@ -7,6 +7,7 @@
 //
 //	linklab [-loss 0,0.1,0.3,0.5] [-dist 0.5,2] [-reps 20] [-bursty]
 //	        [-tries 8] [-budget 64] [-seed 1] [-workers 0]
+//	        [-metrics out.json]
 //
 // Sessions run server-authentication-first (the paper's ordering
 // rule) over the CRC-framed ARQ transport of internal/link. The grid
@@ -14,6 +15,10 @@
 // substream derives from (seed, cell, rep), so a run is bit-identical
 // for any worker count and replayable from the seed printed in the
 // header.
+//
+// With -metrics the sweep is instrumented (linksim_*, link_* and
+// campaign_* instruments) and a run manifest — seed, git SHA, flag
+// set, metric snapshot — is written as JSON for reportgen to fold.
 package main
 
 import (
@@ -27,13 +32,21 @@ import (
 
 	"medsec/internal/link"
 	"medsec/internal/linksim"
+	"medsec/internal/obs"
 	"medsec/internal/profiling"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("linklab: ")
-	fs := flag.NewFlagSet("linklab", flag.ExitOnError)
+	if err := run(os.Args[1:]); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("linklab", flag.ContinueOnError)
 	lossStr := fs.String("loss", "0,0.1,0.3,0.5", "comma-separated channel loss rates")
 	distStr := fs.String("dist", "0.5,2", "comma-separated TX distances in meters")
 	reps := fs.Int("reps", 20, "sessions per grid cell")
@@ -42,27 +55,35 @@ func main() {
 	budget := fs.Int("budget", 64, "ARQ session retry budget (negative: unbounded)")
 	seed := fs.Uint64("seed", 1, "campaign seed (printed; reruns replay bit-identically)")
 	workers := fs.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
+	metrics := fs.String("metrics", "", "write a run manifest (flags + metric snapshot) to this JSON file")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := fs.String("memprofile", "", "write a heap profile to this file on exit")
-	_ = fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer stopProf()
 
 	loss, err := parseFloats(*lossStr)
 	if err != nil {
-		log.Fatalf("-loss: %v", err)
+		return fmt.Errorf("-loss: %v", err)
 	}
 	dist, err := parseFloats(*distStr)
 	if err != nil {
-		log.Fatalf("-dist: %v", err)
+		return fmt.Errorf("-dist: %v", err)
 	}
 	arq := link.DefaultARQ()
 	arq.MaxTries = *tries
 	arq.RetryBudget = *budget
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.New()
+	}
 
 	kind := "iid"
 	if *bursty {
@@ -80,12 +101,22 @@ func main() {
 		ARQ:       arq,
 		Workers:   *workers,
 		Seed:      *seed,
+		Metrics:   reg,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	elapsed := time.Since(start).Seconds()
 	fmt.Print(rep.Render())
-	fmt.Printf("%d sessions in %.2fs\n", rep.Sessions, time.Since(start).Seconds())
+	fmt.Printf("%d sessions in %.2fs\n", rep.Sessions, elapsed)
+
+	if *metrics != "" {
+		if elapsed > 0 {
+			reg.Gauge("linklab_sessions_per_sec").Set(float64(rep.Sessions) / elapsed)
+		}
+		return obs.NewManifest("linklab", "grid", *seed, fs, reg).Write(*metrics)
+	}
+	return nil
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -27,6 +27,13 @@
 // also report how many leading prologue cycles per trace the
 // checkpoint/quiet-prefix acquisition planner removes from the
 // evented pipeline.
+//
+// Every subcommand accepts -metrics out.json: the run then carries a
+// live internal/obs registry through the acquisition stack and writes
+// a provenance manifest (environment stamp, resolved flag set, metric
+// snapshot) on success. Metrics observe, never perturb — results are
+// bit-identical with or without the flag. cmd/reportgen folds
+// manifests into REPORT.md tables.
 package main
 
 import (
@@ -39,40 +46,50 @@ import (
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
+	"medsec/internal/obs"
 	"medsec/internal/power"
 	"medsec/internal/profiling"
 	"medsec/internal/rng"
 	"medsec/internal/sca"
 	"medsec/internal/tabular"
+	"medsec/internal/trace"
 )
 
+// main is the binary's single exit point: every subcommand returns an
+// error instead of calling log.Fatal (which would skip deferred
+// cleanup — profile stops, metric manifests).
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scalab: ")
-	if len(os.Args) < 2 {
-		usage()
-	}
-	sub := os.Args[1]
-	args := os.Args[2:]
-	switch sub {
-	case "dpa":
-		dpaCmd(args)
-	case "spa":
-		spaCmd(args)
-	case "timing":
-		timingCmd(args)
-	case "tvla":
-		tvlaCmd(args)
-	case "leakmap":
-		leakmapCmd(args)
-	default:
-		usage()
+	if err := run(os.Args[1:]); err != nil {
+		log.Print(err)
+		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scalab <dpa|spa|timing|tvla|leakmap> [flags]")
-	os.Exit(2)
+func run(args []string) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "dpa":
+		return dpaCmd(rest)
+	case "spa":
+		return spaCmd(rest)
+	case "timing":
+		return timingCmd(rest)
+	case "tvla":
+		return tvlaCmd(rest)
+	case "leakmap":
+		return leakmapCmd(rest)
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: scalab <dpa|spa|timing|tvla|leakmap> [flags]")
 }
 
 func newTarget(rpc bool, seed uint64, mut func(*power.Config)) (*sca.Target, *ec.Curve) {
@@ -99,22 +116,38 @@ func shardsFlag(fs *flag.FlagSet) *int {
 	return fs.Int("shards", 0, "reduction shards (0 = engine default, < 0 = legacy serial consumer); statistics agree across shard counts to rounding")
 }
 
+// metricsFlag registers the shared -metrics flag.
+func metricsFlag(fs *flag.FlagSet) *string {
+	return fs.String("metrics", "", "write a run manifest (environment, flags, metric snapshot) to this JSON file")
+}
+
+// newRegistry returns a live registry when -metrics requested a
+// manifest, nil otherwise (the zero-overhead default: every obs method
+// on a nil registry is an allocation-free no-op).
+func newRegistry(path string) *obs.Registry {
+	if path == "" {
+		return nil
+	}
+	return obs.New()
+}
+
+// writeManifest stamps the shared buffer-pool gauges and writes the
+// run's provenance manifest. A no-op when -metrics was not given.
+func writeManifest(path, sub string, seed uint64, fs *flag.FlagSet, reg *obs.Registry) error {
+	if path == "" {
+		return nil
+	}
+	reg.Gauge("trace_sample_pool_hit_rate").Set(trace.SamplePoolStats().HitRate())
+	reg.Gauge("trace_iter_pool_hit_rate").Set(trace.IterPoolStats().HitRate())
+	return obs.NewManifest("scalab", sub, seed, fs, reg).Write(path)
+}
+
 // profileFlags registers the shared -cpuprofile/-memprofile flags.
-// Pair with startProfiling right after fs.Parse.
+// Pair with profiling.Start right after fs.Parse.
 func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
 	cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	return cpu, mem
-}
-
-// startProfiling begins the requested profiles and returns the stop
-// function the subcommand must defer.
-func startProfiling(cpu, mem *string) func() {
-	stop, err := profiling.Start(*cpu, *mem)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return stop
 }
 
 // meter wires a progress line onto a target and accounts campaign
@@ -123,10 +156,11 @@ func startProfiling(cpu, mem *string) func() {
 type meter struct {
 	start    time.Time
 	acquired int
+	reg      *obs.Registry
 }
 
-func newMeter(tgt *sca.Target) *meter {
-	m := &meter{start: time.Now()}
+func newMeter(tgt *sca.Target, reg *obs.Registry) *meter {
+	m := &meter{start: time.Now(), reg: reg}
 	tgt.Progress = func(done int) {
 		m.acquired = done
 		if done%200 == 0 {
@@ -138,7 +172,8 @@ func newMeter(tgt *sca.Target) *meter {
 
 // report prints campaign throughput: traces/s and simulated cycles/s
 // (cyclesPerTrace is the acquisition window end — every trace
-// simulates the ladder from cycle 0 through the window).
+// simulates the ladder from cycle 0 through the window). With a live
+// registry the figures also land in the manifest as gauges.
 func (m *meter) report(cyclesPerTrace int) {
 	fmt.Fprint(os.Stderr, "\r\033[K")
 	el := time.Since(m.start)
@@ -146,12 +181,14 @@ func (m *meter) report(cyclesPerTrace int) {
 		return
 	}
 	sec := el.Seconds()
+	m.reg.Gauge("traces_per_sec").Set(float64(m.acquired) / sec)
+	m.reg.Gauge("simulated_cycles_per_sec").Set(float64(m.acquired) * float64(cyclesPerTrace) / sec)
 	fmt.Printf("\ncampaign throughput: %d traces in %.2fs (%.0f traces/s, %.2e simulated cycles/s)\n",
 		m.acquired, sec, float64(m.acquired)/sec, float64(m.acquired)*float64(cyclesPerTrace)/sec)
 }
 
-func dpaCmd(args []string) {
-	fs := flag.NewFlagSet("dpa", flag.ExitOnError)
+func dpaCmd(args []string) error {
+	fs := flag.NewFlagSet("dpa", flag.ContinueOnError)
 	traces := fs.Int("traces", 20000, "maximum campaign size")
 	bits := fs.Int("bits", 6, "key bits to recover")
 	rpc := fs.Bool("rpc", true, "randomized projective coordinates enabled")
@@ -159,13 +196,22 @@ func dpaCmd(args []string) {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
+	metrics := metricsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
-	fs.Parse(args)
-	defer startProfiling(cpuProf, memProf)()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stop()
 
+	reg := newRegistry(*metrics)
 	tgt, _ := newTarget(*rpc, *seed, nil)
 	tgt.Workers = *workers
 	tgt.Shards = *shards
+	tgt.Metrics = reg
 	sizes := []int{}
 	for _, s := range []int{25, 50, 100, 150, 200, 300, 450, 700, 1000, 2000, 4000, 8000, 12000, 20000} {
 		if s <= *traces {
@@ -179,11 +225,11 @@ func dpaCmd(args []string) {
 	fmt.Printf("DPA/CPA: RPC=%v known-masks=%v, recovering %d bits, up to %d traces, seed=%d, prologue cycles skipped per trace=%d\n",
 		*rpc, *known, *bits, *traces, *seed,
 		tgt.NewCampaign(dpaFirstIter, dpaFirstIter-*bits+1).PrologueCyclesSkipped())
-	m := newMeter(tgt)
+	m := newMeter(tgt, reg)
 	n, res, err := sca.TracesToSuccess(tgt, sizes, *bits,
 		sca.CPAOptions{KnownMasks: *known}, rng.NewDRBG(*seed+5).Uint64)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t := tabular.New("outcome", "value")
 	if n >= 0 {
@@ -199,20 +245,29 @@ func dpaCmd(args []string) {
 	t.Render(os.Stdout)
 	_, end := tgt.Window(dpaFirstIter, dpaFirstIter-*bits+1)
 	m.report(end)
+	return writeManifest(*metrics, "dpa", *seed, fs, reg)
 }
 
-func spaCmd(args []string) {
-	fs := flag.NewFlagSet("spa", flag.ExitOnError)
+func spaCmd(args []string) error {
+	fs := flag.NewFlagSet("spa", flag.ContinueOnError)
 	balanced := fs.Bool("balanced", true, "balanced mux control encoding (Fig. 3)")
 	gating := fs.Bool("gating", false, "data-dependent clock gating")
 	profile := fs.Int("profile", 0, "profiling traces to average (0 = single trace)")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
+	metrics := metricsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
-	fs.Parse(args)
-	defer startProfiling(cpuProf, memProf)()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stop()
 
+	reg := newRegistry(*metrics)
 	tgt, curve := newTarget(true, *seed, func(c *power.Config) {
 		c.BalancedMux = *balanced
 		c.DataDepClockGating = *gating
@@ -220,20 +275,20 @@ func spaCmd(args []string) {
 	})
 	tgt.Workers = *workers
 	tgt.Shards = *shards
+	tgt.Metrics = reg
 	// SPA averages the full ladder, so the only prologue the planner
 	// can remove is the short pre-ladder setup (load/format
 	// instructions before iteration 162).
 	fmt.Printf("SPA: seed=%d, prologue cycles skipped per trace=%d\n",
 		*seed, tgt.NewCampaign(162, 0).PrologueCyclesSkipped())
 	var res *sca.SPAResult
-	var err error
 	if *profile > 1 {
 		res, err = sca.SPAProfiled(tgt, curve.Generator(), *profile)
 	} else {
 		res, err = sca.SPA(tgt, curve.Generator(), 0)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t := tabular.New("metric", "value")
 	t.Row("balanced mux encoding", *balanced)
@@ -243,23 +298,34 @@ func spaCmd(args []string) {
 	t.Row("bit accuracy", fmt.Sprintf("%.3f", res.Accuracy()))
 	t.Row("cluster separation (sigma)", fmt.Sprintf("%.2f", res.MeanAbsFeatureGap()))
 	t.Render(os.Stdout)
+	return writeManifest(*metrics, "spa", *seed, fs, reg)
 }
 
-func timingCmd(args []string) {
-	fs := flag.NewFlagSet("timing", flag.ExitOnError)
+func timingCmd(args []string) error {
+	fs := flag.NewFlagSet("timing", flag.ContinueOnError)
 	keys := fs.Int("keys", 1000, "random keys to measure")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	// Accepted for interface uniformity: the timing attack measures
 	// whole-ladder cycle counts without the campaign engine, so the
 	// reduction layout has nothing to shard.
 	_ = shardsFlag(fs)
+	metrics := metricsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
-	fs.Parse(args)
-	defer startProfiling(cpuProf, memProf)()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stop()
 
+	reg := newRegistry(*metrics)
 	curve := ec.K163()
 	fmt.Printf("timing attack: %d keys, seed=%d\n", *keys, *seed)
 	rep := sca.TimingAttack(curve, coproc.DefaultTiming(), *keys, rng.NewDRBG(*seed).Uint64)
+	reg.Counter("timing_keys_measured").Add(int64(*keys))
+	reg.Gauge("timing_ladder_cycles").Set(float64(rep.LadderCycles))
 	t := tabular.New("implementation", "cycle behaviour", "leak")
 	t.Row("Montgomery ladder (chip)",
 		fmt.Sprintf("constant %d cycles (variance %.0f)", rep.LadderCycles, rep.LadderVariance),
@@ -268,10 +334,11 @@ func timingCmd(args []string) {
 		fmt.Sprintf("%d..%d cycles", rep.DAMinCycles, rep.DAMaxCycles),
 		fmt.Sprintf("latency/HW corr %.3f, HW error %.2f bits", rep.DAHWCorrelation, rep.DARecoveredHWError))
 	t.Render(os.Stdout)
+	return writeManifest(*metrics, "timing", *seed, fs, reg)
 }
 
-func leakmapCmd(args []string) {
-	fs := flag.NewFlagSet("leakmap", flag.ExitOnError)
+func leakmapCmd(args []string) error {
+	fs := flag.NewFlagSet("leakmap", flag.ContinueOnError)
 	traces := fs.Int("traces", 200, "traces per set")
 	balanced := fs.Bool("balanced", true, "balanced mux control encoding")
 	gating := fs.Bool("gating", false, "data-dependent clock gating")
@@ -279,10 +346,18 @@ func leakmapCmd(args []string) {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
+	metrics := metricsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
-	fs.Parse(args)
-	defer startProfiling(cpuProf, memProf)()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stop()
 
+	reg := newRegistry(*metrics)
 	tgt, curve := newTarget(true, *seed, func(c *power.Config) {
 		c.BalancedMux = *balanced
 		c.DataDepClockGating = *gating
@@ -291,18 +366,19 @@ func leakmapCmd(args []string) {
 	})
 	tgt.Workers = *workers
 	tgt.Shards = *shards
+	tgt.Metrics = reg
 	src := rng.NewDRBG(*seed + 3).Uint64
 	m, err := sca.LeakageMap(tgt, sca.FixedPoint(curve), *traces, 160, 157,
 		func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) })
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("leakage map: seed=%d, %d cycles assessed, max |t| = %.2f, threshold %.1f, prologue cycles skipped per trace=%d\n\n",
 		*seed, m.Samples, m.MaxT, m.Threshold,
 		tgt.NewCampaign(160, 157).PrologueCyclesSkipped())
 	if !m.Leaks() {
 		fmt.Println("no significant key-dependent leakage located")
-		return
+		return writeManifest(*metrics, "leakmap", *seed, fs, reg)
 	}
 	t := tabular.New("rank", "cycle", "|t|", "instruction", "iteration", "key bit")
 	for i, p := range m.Points {
@@ -320,35 +396,44 @@ func leakmapCmd(args []string) {
 	for op, n := range m.ByOp() {
 		fmt.Printf("  %-6s %d leaky cycles\n", op, n)
 	}
+	return writeManifest(*metrics, "leakmap", *seed, fs, reg)
 }
 
-func tvlaCmd(args []string) {
-	fs := flag.NewFlagSet("tvla", flag.ExitOnError)
+func tvlaCmd(args []string) error {
+	fs := flag.NewFlagSet("tvla", flag.ContinueOnError)
 	traces := fs.Int("traces", 500, "traces per set")
 	rpc := fs.Bool("rpc", true, "randomized projective coordinates enabled")
 	early := fs.Bool("early", false, "stop as soon as |t| crosses the threshold")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
+	metrics := metricsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
-	fs.Parse(args)
-	defer startProfiling(cpuProf, memProf)()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stop()
 
+	reg := newRegistry(*metrics)
 	tgt, curve := newTarget(*rpc, *seed, nil)
 	tgt.Workers = *workers
 	tgt.Shards = *shards
+	tgt.Metrics = reg
 	src := rng.NewDRBG(*seed + 9).Uint64
 	randKey := func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) }
-	m := newMeter(tgt)
+	m := newMeter(tgt, reg)
 	var res *sca.TVLAResult
-	var err error
 	if *early {
 		res, err = sca.TVLAUntil(tgt, sca.FixedPoint(curve), *traces, 10, 160, 157, randKey)
 	} else {
 		res, err = sca.TVLA(tgt, sca.FixedPoint(curve), *traces, 160, 157, randKey)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t := tabular.New("metric", "value")
 	t.Row("RPC", *rpc)
@@ -368,4 +453,5 @@ func tvlaCmd(args []string) {
 	t.Row("verdict", verdict)
 	t.Render(os.Stdout)
 	m.report(res.CyclesPerTrace)
+	return writeManifest(*metrics, "tvla", *seed, fs, reg)
 }

@@ -33,38 +33,44 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweeptab: ")
-	if len(os.Args) < 2 {
-		usage()
-	}
-	switch os.Args[1] {
-	case "digit":
-		digitCmd(os.Args[2:])
-	case "gates":
-		gatesCmd()
-	case "radio":
-		radioCmd(os.Args[2:])
-	case "privacy":
-		privacyCmd(os.Args[2:])
-	case "regs":
-		regsCmd()
-	case "security":
-		securityCmd()
-	case "counter":
-		counterCmd()
-	default:
-		usage()
+	if err := run(os.Args[1:]); err != nil {
+		log.Print(err)
+		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sweeptab <digit|gates|radio|privacy|regs|security|counter> [flags]")
-	os.Exit(2)
+func run(args []string) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	switch args[0] {
+	case "digit":
+		return digitCmd(args[1:])
+	case "gates":
+		return gatesCmd()
+	case "radio":
+		return radioCmd(args[1:])
+	case "privacy":
+		return privacyCmd(args[1:])
+	case "regs":
+		return regsCmd()
+	case "security":
+		return securityCmd()
+	case "counter":
+		return counterCmd()
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: sweeptab <digit|gates|radio|privacy|regs|security|counter> [flags]")
 }
 
 // counterCmd prints the paper's thesis as one table: what each
 // countermeasure costs in energy and what single-trace SPA achieves
 // against the design point.
-func counterCmd() {
+func counterCmd() error {
 	curve := ec.K163()
 	key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
 	type design struct {
@@ -90,7 +96,10 @@ func counterCmd() {
 	for _, d := range designs {
 		cfg := power.ProtectedChip(1)
 		d.mut(&cfg)
-		energy := measureEnergy(curve, cfg, d.rpc)
+		energy, err := measureEnergy(curve, cfg, d.rpc)
+		if err != nil {
+			return err
+		}
 		if d.name == "the paper's chip (protected CMOS)" {
 			base = energy
 		}
@@ -98,7 +107,7 @@ func counterCmd() {
 			coproc.DefaultTiming(), cfg, 777)
 		res, err := sca.SPA(tgt, curve.Generator(), 0)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rel := "-"
 		if base > 0 {
@@ -111,9 +120,10 @@ func counterCmd() {
 	fmt.Println("\n\"Making a device secure adds an extra design dimension. Indeed, for the")
 	fmt.Println("design of medical devices, a trade-off between security, power and energy")
 	fmt.Println("needs to be made.\" — the paper's conclusion, as a table")
+	return nil
 }
 
-func measureEnergy(curve *ec.Curve, cfg power.Config, rpc bool) float64 {
+func measureEnergy(curve *ec.Curve, cfg power.Config, rpc bool) (float64, error) {
 	cfg.NoiseSigma = 0
 	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: rpc})
 	model := power.NewModel(cfg)
@@ -124,18 +134,20 @@ func measureEnergy(curve *ec.Curve, cfg power.Config, rpc bool) float64 {
 	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
 	k := sca.AlgorithmOneScalar(curve, rng.NewDRBG(6).Uint64)
 	if _, err := cpu.Run(prog, k); err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
-	return meter.EnergyJ()
+	return meter.EnergyJ(), nil
 }
 
-func digitCmd(args []string) {
-	fs := flag.NewFlagSet("digit", flag.ExitOnError)
+func digitCmd(args []string) error {
+	fs := flag.NewFlagSet("digit", flag.ContinueOnError)
 	latency := fs.Float64("latency", 0.11, "latency constraint in seconds per point multiplication")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	rows, err := area.DigitSweep([]int{1, 2, 4, 8, 16, 32}, power.DefaultClockHz, *latency)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t := tabular.New("d", "area [GE]", "cycles/PM", "latency [ms]", "power [uW]", "energy [uJ]", "area*energy", "meets latency")
 	for _, r := range rows {
@@ -148,12 +160,13 @@ func digitCmd(args []string) {
 	t.Render(os.Stdout)
 	opt, err := area.OptimalDigit(rows)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("\noptimal area-energy product within the latency constraint: d = %d (paper: d = 4)\n", opt)
+	return nil
 }
 
-func gatesCmd() {
+func gatesCmd() error {
 	t := tabular.New("module", "gates [GE]", "source")
 	for _, m := range area.ModuleGateCounts() {
 		t.Row(m.Module, fmt.Sprintf("%.0f", m.GE), m.Source)
@@ -161,11 +174,14 @@ func gatesCmd() {
 	t.Render(os.Stdout)
 	fmt.Println("\npaper §4: \"the smallest SHA-1 implementation [12] uses 5527 gates,")
 	fmt.Println("while an ECC core uses about 12k gates [10]\"")
+	return nil
 }
 
-func radioCmd(args []string) {
-	fs := flag.NewFlagSet("radio", flag.ExitOnError)
-	fs.Parse(args)
+func radioCmd(args []string) error {
+	fs := flag.NewFlagSet("radio", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	m := radio.DefaultModel()
 	costs := radio.PaperCosts()
 	sym := radio.SymmetricKDC()
@@ -181,33 +197,37 @@ func radioCmd(args []string) {
 	if d, err := m.Crossover(sym, pk, costs, 0, 100); err == nil {
 		fmt.Printf("\ncrossover distance: %.1f m — \"the conclusions depend on ... the wireless distance\" [4,5]\n", d)
 	}
+	return nil
 }
 
-func privacyCmd(args []string) {
-	fs := flag.NewFlagSet("privacy", flag.ExitOnError)
+func privacyCmd(args []string) error {
+	fs := flag.NewFlagSet("privacy", flag.ContinueOnError)
 	rounds := fs.Int("rounds", 100, "game rounds")
 	seed := fs.Uint64("seed", 1, "seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	t := tabular.New("protocol", "adversary", "rounds won", "advantage")
 	s, err := privacy.RunLinkingGame(privacy.GameConfig{Protocol: privacy.Schnorr, Rounds: *rounds, Seed: *seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t.Row("Schnorr", "wide", fmt.Sprintf("%d/%d", s.Correct, s.Rounds), fmt.Sprintf("%.2f", s.Advantage))
 	p, err := privacy.RunLinkingGame(privacy.GameConfig{Protocol: privacy.PeetersHermans, Rounds: *rounds, Seed: *seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t.Row("Peeters-Hermans", "wide-insider", fmt.Sprintf("%d/%d", p.Correct, p.Rounds), fmt.Sprintf("%.2f", p.Advantage))
 	c, err := privacy.RunLinkingGame(privacy.GameConfig{Protocol: privacy.PeetersHermans, Rounds: *rounds / 4, Seed: *seed, CorruptReader: true})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t.Row("Peeters-Hermans", "corrupt reader (sanity)", fmt.Sprintf("%d/%d", c.Correct, c.Rounds), fmt.Sprintf("%.2f", c.Advantage))
 	t.Render(os.Stdout)
+	return nil
 }
 
-func regsCmd() {
+func regsCmd() error {
 	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
 	loop, ram := prog.RegisterPressure()
 	t := tabular.New("algorithm", "163-bit registers", "storage [GE]")
@@ -215,9 +235,10 @@ func regsCmd() {
 	t.Row("prime-field Co-Z [6]", area.CoZRegisters, fmt.Sprintf("%.0f", area.RegisterStorageGE(area.CoZRegisters, 163)))
 	t.Render(os.Stdout)
 	fmt.Printf("\nladder loop RAM usage: %d words (post-processing only)\n", ram)
+	return nil
 }
 
-func securityCmd() {
+func securityCmd() error {
 	t := tabular.New("field", "security [bit]", "MALU cycles/PM (d=4)", "relative")
 	type fld struct {
 		m   int
@@ -233,4 +254,5 @@ func securityCmd() {
 	}
 	t.Render(os.Stdout)
 	fmt.Println("\npaper §1: \"longer key length translates in a larger computational load\"")
+	return nil
 }

@@ -43,6 +43,10 @@ package campaign
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"medsec/internal/obs"
 )
 
 // MaxWorkers caps the pool: campaign throughput saturates the memory
@@ -60,8 +64,37 @@ const MaxWorkers = 64
 //
 // A Put buffer must not be used afterwards; Get truncates to length 0
 // but does not zero memory.
+//
+// The pool self-accounts its effectiveness (PoolStats): hits are Gets
+// satisfied from a recycled buffer, misses are Gets that had to
+// allocate (empty pool or insufficient capacity). The two atomic adds
+// per Get are the only always-on instrumentation in the hot path —
+// they allocate nothing and cost nanoseconds against millisecond-scale
+// acquisitions.
 type BufferPool[T any] struct {
-	p sync.Pool
+	p      sync.Pool
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// PoolStats is a BufferPool effectiveness snapshot.
+type PoolStats struct {
+	// Hits counts Gets served from a recycled buffer; Misses counts
+	// Gets that allocated fresh storage.
+	Hits, Misses int64
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when the pool is unused.
+func (s PoolStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns the pool's cumulative hit/miss counts.
+func (bp *BufferPool[T]) Stats() PoolStats {
+	return PoolStats{Hits: bp.hits.Load(), Misses: bp.misses.Load()}
 }
 
 // Get returns a zero-length buffer with capacity at least n.
@@ -69,9 +102,11 @@ func (bp *BufferPool[T]) Get(n int) []T {
 	if v := bp.p.Get(); v != nil {
 		buf := *v.(*[]T)
 		if cap(buf) >= n {
+			bp.hits.Add(1)
 			return buf[:0]
 		}
 	}
+	bp.misses.Add(1)
 	return make([]T, 0, n)
 }
 
@@ -109,7 +144,21 @@ type Config struct {
 	// Progress, when non-nil, is invoked from the consuming goroutine
 	// after each consumed trace with the absolute index+1 — campaign
 	// progress reporting for the long acquisitions.
+	//
+	// Contract: progress values are strictly increasing, and on a
+	// successful bounded run (no error, no early stop) the final call
+	// always reports the total sample count, even if the engine's
+	// internal accounting would otherwise skip it.
 	Progress func(done int)
+	// Metrics, when non-nil, receives campaign instrumentation:
+	// counters campaign_prepared / campaign_acquired /
+	// campaign_consumed, gauge campaign_workers, and histogram
+	// campaign_worker_samples (per-worker sample counts observed at
+	// pool exit — a flatness check on work distribution). Instruments
+	// are resolved once per Run; the per-sample cost is one atomic add
+	// each, and a nil registry costs nothing (every obs method is a
+	// nil-safe no-op).
+	Metrics *obs.Registry
 }
 
 // PrepareFunc builds the job for sample idx. Called serially in index
@@ -152,6 +201,21 @@ func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acq
 		workers = to - from
 	}
 
+	// Resolve instruments once per run: the per-sample cost is a single
+	// atomic add per counter, and every call is a nil-safe no-op when
+	// cfg.Metrics is nil.
+	var (
+		mPrepared      = cfg.Metrics.Counter("campaign_prepared")
+		mAcquired      = cfg.Metrics.Counter("campaign_acquired")
+		mConsumed      = cfg.Metrics.Counter("campaign_consumed")
+		mWorkerSamples = cfg.Metrics.Histogram("campaign_worker_samples", []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6})
+		runStart       time.Time
+	)
+	cfg.Metrics.Gauge("campaign_workers").Set(float64(workers))
+	if cfg.Metrics != nil {
+		runStart = time.Now()
+	}
+
 	jobs := make(chan item[J], workers)
 	results := make(chan outcome[J, R], workers)
 	quit := make(chan struct{})
@@ -170,6 +234,7 @@ func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acq
 				}
 				return
 			}
+			mPrepared.Inc()
 			select {
 			case jobs <- item[J]{idx: idx, job: j}:
 			case <-quit:
@@ -178,20 +243,27 @@ func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acq
 		}
 	}()
 
-	// Worker pool: each worker owns scratch state keyed by its id.
+	// Worker pool: each worker owns scratch state keyed by its id. The
+	// per-worker sample count lands in campaign_worker_samples at pool
+	// exit — the histogram's spread is a flatness check on how evenly
+	// the dispatcher fed the pool.
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			samples := 0
 			for it := range jobs {
 				out, err := acquire(w, it.idx, it.job)
+				mAcquired.Inc()
+				samples++
 				select {
 				case results <- outcome[J, R]{idx: it.idx, job: it.job, out: out, err: err}:
 				case <-quit:
 					return
 				}
 			}
+			mWorkerSamples.Observe(float64(samples))
 		}(w)
 	}
 	go func() {
@@ -206,7 +278,9 @@ func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acq
 	pending := make(map[int]outcome[J, R], 3*workers+2)
 	cursor := from
 	consumed := 0
+	lastProgress := from // highest index+1 reported via cfg.Progress
 	var runErr error
+	stopped := false
 
 	defer close(quit) // unblock dispatcher/workers parked on sends
 
@@ -220,14 +294,17 @@ func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acq
 			stop, err := consume(cursor, r.job, r.out)
 			cursor++
 			consumed++
+			mConsumed.Inc()
 			if cfg.Progress != nil {
 				cfg.Progress(cursor)
+				lastProgress = cursor
 			}
 			if err != nil {
 				runErr = err
 				break
 			}
 			if stop {
+				stopped = true
 				break
 			}
 			continue
@@ -240,6 +317,16 @@ func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acq
 			break
 		}
 		pending[r.idx] = r
+	}
+	// Progress contract: a successful bounded run always reports the
+	// total as its final call. The consume loop already does so when it
+	// walks the full range; this covers any future restructuring of the
+	// loop (and documents the invariant the progress test pins).
+	if cfg.Progress != nil && runErr == nil && !stopped && to >= 0 && cursor == to && lastProgress != to {
+		cfg.Progress(to)
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("campaign_run_ns").Set(float64(time.Since(runStart).Nanoseconds()))
 	}
 	return consumed, runErr
 }

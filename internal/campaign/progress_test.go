@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+
+	"medsec/internal/obs"
+)
+
+// progressRecorder collects the sequence of Progress callbacks and
+// checks the contract both engines document: strictly increasing
+// values, and on a successful bounded run a final value equal to the
+// total sample count.
+type progressRecorder struct {
+	seq []int
+}
+
+func (p *progressRecorder) cb() func(int) {
+	return func(done int) { p.seq = append(p.seq, done) }
+}
+
+func (p *progressRecorder) verify(t *testing.T, total int, strict bool) {
+	t.Helper()
+	if len(p.seq) == 0 {
+		if total == 0 {
+			return
+		}
+		t.Fatalf("no Progress calls for total=%d", total)
+	}
+	prev := 0
+	for i, v := range p.seq {
+		if v <= prev {
+			t.Fatalf("Progress not monotone at call %d: %v", i, p.seq)
+		}
+		if strict && v != prev+1 {
+			t.Fatalf("Run Progress skipped values at call %d: %v", i, p.seq)
+		}
+		prev = v
+	}
+	if last := p.seq[len(p.seq)-1]; last != total {
+		t.Fatalf("final Progress = %d, want total %d (seq %v)", last, total, p.seq)
+	}
+}
+
+// TestProgressContract pins the satellite contract across the matrix
+// workers {1,2,7} x shards {1,4} (shards apply to RunSharded only):
+// the reported sequence is monotone and the final call reports the
+// full sample count on success — for any scheduling.
+func TestProgressContract(t *testing.T) {
+	const total = 53 // deliberately not a multiple of any worker/shard count
+	prepare := func(idx int) (int, error) { return idx, nil }
+	acquire := func(w, idx int, job int) (int, error) { return job * job, nil }
+
+	for _, workers := range []int{1, 2, 7} {
+		t.Run(fmt.Sprintf("run/workers=%d", workers), func(t *testing.T) {
+			var rec progressRecorder
+			consume := func(idx, job, out int) (bool, error) { return false, nil }
+			n, err := Run(0, total, Config{Workers: workers, Progress: rec.cb()}, prepare, acquire, consume)
+			if err != nil || n != total {
+				t.Fatalf("Run = (%d, %v), want (%d, nil)", n, err, total)
+			}
+			// Run's Progress additionally never skips values.
+			rec.verify(t, total, true)
+		})
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("sharded/workers=%d/shards=%d", workers, shards), func(t *testing.T) {
+				var rec progressRecorder
+				sum := 0
+				n, err := RunSharded(0, total,
+					ShardedConfig{Workers: workers, Shards: shards, Progress: rec.cb()},
+					prepare, acquire,
+					func(shard int) *int { v := 0; return &v },
+					func(shard int, acc *int, idx, job, out int) error { *acc += out; return nil },
+					func(shard int, acc *int) error { sum += *acc; return nil },
+				)
+				if err != nil || n != total {
+					t.Fatalf("RunSharded = (%d, %v), want (%d, nil)", n, err, total)
+				}
+				// Sharded progress may batch (skip counts) but must
+				// stay monotone and end on the total.
+				rec.verify(t, total, false)
+			})
+		}
+	}
+}
+
+// TestProgressContractEarlyStop: after consume stops the run, the last
+// reported value is the stopping index — no phantom final call.
+func TestProgressContractEarlyStop(t *testing.T) {
+	const stopAt = 9
+	var rec progressRecorder
+	n, err := Run(0, 1000, Config{Workers: 4, Progress: rec.cb()},
+		func(idx int) (int, error) { return idx, nil },
+		func(w, idx, job int) (int, error) { return job, nil },
+		func(idx, job, out int) (bool, error) { return idx == stopAt, nil },
+	)
+	if err != nil || n != stopAt+1 {
+		t.Fatalf("Run = (%d, %v), want (%d, nil)", n, err, stopAt+1)
+	}
+	rec.verify(t, stopAt+1, true)
+}
+
+// TestCampaignMetricsWiring: an instrumented run accounts every sample
+// exactly once at each stage, for both engines, and the disabled
+// default (nil registry) is exercised by every other test in this
+// package.
+func TestCampaignMetricsWiring(t *testing.T) {
+	const total = 40
+	prepare := func(idx int) (int, error) { return idx, nil }
+	acquire := func(w, idx, job int) (int, error) { return job, nil }
+
+	reg := obs.New()
+	n, err := Run(0, total, Config{Workers: 3, Metrics: reg}, prepare, acquire,
+		func(idx, job, out int) (bool, error) { return false, nil })
+	if err != nil || n != total {
+		t.Fatalf("Run = (%d, %v)", n, err)
+	}
+	for _, name := range []string{"campaign_prepared", "campaign_acquired", "campaign_consumed"} {
+		if got := reg.Counter(name).Value(); got != total {
+			t.Fatalf("%s = %d, want %d", name, got, total)
+		}
+	}
+	if got := reg.Gauge("campaign_workers").Value(); got != 3 {
+		t.Fatalf("campaign_workers = %v, want 3", got)
+	}
+	if reg.Gauge("campaign_run_ns").Value() <= 0 {
+		t.Fatal("campaign_run_ns not stamped")
+	}
+
+	sreg := obs.New()
+	n, err = RunSharded(0, total, ShardedConfig{Workers: 3, Shards: 4, Metrics: sreg},
+		prepare, acquire,
+		func(shard int) *int { v := 0; return &v },
+		func(shard int, acc *int, idx, job, out int) error { *acc += out; return nil },
+		func(shard int, acc *int) error { return nil },
+	)
+	if err != nil || n != total {
+		t.Fatalf("RunSharded = (%d, %v)", n, err)
+	}
+	for _, name := range []string{"campaign_prepared", "campaign_acquired", "campaign_folded"} {
+		if got := sreg.Counter(name).Value(); got != total {
+			t.Fatalf("%s = %d, want %d", name, got, total)
+		}
+	}
+	if got := sreg.Gauge("campaign_shards").Value(); got != 4 {
+		t.Fatalf("campaign_shards = %v, want 4", got)
+	}
+}
+
+// TestBufferPoolStats pins the pool's self-accounting: first Get is a
+// miss, recycled Gets are hits, and the hit rate reflects both.
+func TestBufferPoolStats(t *testing.T) {
+	var bp BufferPool[float64]
+	b := bp.Get(64)
+	bp.Put(b)
+	for i := 0; i < 9; i++ {
+		b = bp.Get(64)
+		bp.Put(b)
+	}
+	s := bp.Stats()
+	if s.Misses < 1 {
+		t.Fatalf("stats = %+v, want at least one miss", s)
+	}
+	if s.Hits+s.Misses != 10 {
+		t.Fatalf("stats = %+v, want 10 Gets accounted", s)
+	}
+	if hr := s.HitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate = %v, want in (0,1)", hr)
+	}
+	if (PoolStats{}).HitRate() != 0 {
+		t.Fatal("empty PoolStats hit rate not 0")
+	}
+}

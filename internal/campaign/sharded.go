@@ -3,6 +3,9 @@ package campaign
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"medsec/internal/obs"
 )
 
 // Sharded reduction — the engine's fourth mode.
@@ -61,7 +64,18 @@ type ShardedConfig struct {
 	// folded samples after each fold batch. Values are monotone but —
 	// unlike Run's — may skip intermediate counts, since folds from
 	// different shards are batched.
+	//
+	// Contract: on a successful run the final call always reports the
+	// full sample count to-from, even when the last fold batch was
+	// reported from a worker goroutine earlier.
 	Progress func(done int)
+	// Metrics, when non-nil, receives campaign instrumentation:
+	// counters campaign_prepared / campaign_acquired /
+	// campaign_folded, gauges campaign_workers / campaign_shards /
+	// campaign_merge_ns, and histogram campaign_fold_batch (drain
+	// batch sizes — how much reordering the shard cursors absorb).
+	// Nil is the zero-cost default.
+	Metrics *obs.Registry
 }
 
 // Sharding describes how a bounded index range [From, To) is cut into
@@ -156,6 +170,17 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 		workers = to - from
 	}
 
+	// Instruments, resolved once per run (nil-safe no-ops when
+	// cfg.Metrics is nil).
+	var (
+		mPrepared  = cfg.Metrics.Counter("campaign_prepared")
+		mAcquired  = cfg.Metrics.Counter("campaign_acquired")
+		mFolded    = cfg.Metrics.Counter("campaign_folded")
+		mFoldBatch = cfg.Metrics.Histogram("campaign_fold_batch", []float64{1, 2, 4, 8, 16, 32, 64, 128})
+	)
+	cfg.Metrics.Gauge("campaign_workers").Set(float64(workers))
+	cfg.Metrics.Gauge("campaign_shards").Set(float64(lay.N))
+
 	// Build the shard bank deterministically before any acquisition.
 	states := make([]shardState[J, R, A], lay.N)
 	for s := range states {
@@ -188,9 +213,12 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 	}
 
 	// Monotone fold counter shared by Progress and the return value.
+	// lastProgress records the highest value actually reported so the
+	// epilogue can honour the final-call contract without repeating it.
 	var (
-		doneMu sync.Mutex
-		done   int
+		doneMu       sync.Mutex
+		done         int
+		lastProgress int
 	)
 
 	// Dispatcher: prepares jobs serially in index order (same contract
@@ -203,6 +231,7 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 				fail(idx, err)
 				return
 			}
+			mPrepared.Inc()
 			select {
 			case jobs <- item[J]{idx: idx, job: j}:
 			case <-quit:
@@ -230,6 +259,7 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 					return
 				}
 				out, err := acquire(w, it.idx, it.job)
+				mAcquired.Inc()
 				if err != nil {
 					fail(it.idx, err)
 					return
@@ -255,12 +285,15 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 				}
 				st.mu.Unlock()
 				if folded > 0 {
+					mFolded.Add(int64(folded))
+					mFoldBatch.Observe(float64(folded))
 					doneMu.Lock()
 					done += folded
 					if cfg.Progress != nil {
 						// Called under the counter lock so observed
 						// values are monotone.
 						cfg.Progress(done)
+						lastProgress = done
 					}
 					doneMu.Unlock()
 				}
@@ -272,6 +305,7 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 
 	doneMu.Lock()
 	folded := done
+	reported := lastProgress
 	doneMu.Unlock()
 	errMu.Lock()
 	err := bestErr
@@ -280,12 +314,22 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 		return folded, err
 	}
 
+	// Progress contract: a successful run always ends with
+	// Progress(to-from). The last fold batch normally reports it from a
+	// worker goroutine; this epilogue call (now single-threaded — the
+	// pool is drained) closes the gap if it did not.
+	if cfg.Progress != nil && folded == to-from && reported != folded {
+		cfg.Progress(folded)
+	}
+
 	// Final reduction: merge the shard bank in shard order on this
 	// goroutine — the only place results from different shards meet.
+	mergeStart := time.Now()
 	for s := range states {
 		if err := merge(s, states[s].acc); err != nil {
 			return folded, err
 		}
 	}
+	cfg.Metrics.Gauge("campaign_merge_ns").Set(float64(time.Since(mergeStart).Nanoseconds()))
 	return folded, nil
 }

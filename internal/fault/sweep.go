@@ -7,6 +7,7 @@ import (
 	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
+	"medsec/internal/obs"
 	"medsec/internal/rng"
 )
 
@@ -62,6 +63,15 @@ type SweepConfig struct {
 	// Progress, when non-nil, is called serially after each consumed
 	// injection with (done, total).
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives sweep instrumentation: counters
+	// fault_injections (completed faulted runs),
+	// fault_checkpoint_resumed_cycles (simulation cycles skipped by
+	// resuming from the reference run's checkpoints) and the tally
+	// counters fault_benign / fault_detected / fault_escaped, plus a
+	// fault_grid_total gauge and the campaign_* engine instruments.
+	// Nil (the default) costs nothing; the report is bit-identical
+	// either way.
+	Metrics *obs.Registry
 }
 
 // Tally is one benign/detected/escaped count triple.
@@ -154,6 +164,12 @@ func Sweep(curve *ec.Curve, tim coproc.Timing, cfg SweepConfig) (*SweepReport, e
 	rep := &SweepReport{Total: total, WindowStart: start, WindowEnd: end}
 	byOp := map[coproc.Op]*Tally{}
 
+	// Instruments, resolved once per sweep (nil-safe no-ops when
+	// cfg.Metrics is nil).
+	mInjections := cfg.Metrics.Counter("fault_injections")
+	mResumedCycles := cfg.Metrics.Counter("fault_checkpoint_resumed_cycles")
+	cfg.Metrics.Gauge("fault_grid_total").Set(float64(total))
+
 	prepare := func(idx int) (Injection, error) {
 		c := idx / (nRegs * nBits)
 		r := (idx / nBits) % nRegs
@@ -171,6 +187,10 @@ func Sweep(curve *ec.Curve, tim coproc.Timing, cfg SweepConfig) (*SweepReport, e
 		if si < 0 {
 			return 0, &InjectionError{Inj: inj, Reason: "cycle before program start"}
 		}
+		mInjections.Inc()
+		// Every cycle before the resumed checkpoint is one the faulted
+		// run did not have to re-simulate — the sweep's headline saving.
+		mResumedCycles.Add(int64(snaps[si].Cycle))
 		cpu := coproc.NewCPU(tim)
 		cpu.Rand = rng.NewDRBG(trngSeed).Uint64
 		cpu.SetOperandConstants(p.X, curve.B, p.Y)
@@ -229,7 +249,7 @@ func Sweep(curve *ec.Curve, tim coproc.Timing, cfg SweepConfig) (*SweepReport, e
 			}
 			return false, nil
 		}
-		if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers}, prepare, acquire, consume); err != nil {
+		if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers, Metrics: cfg.Metrics}, prepare, acquire, consume); err != nil {
 			return nil, err
 		}
 	} else {
@@ -247,7 +267,7 @@ func Sweep(curve *ec.Curve, tim coproc.Timing, cfg SweepConfig) (*SweepReport, e
 		if cfg.Progress != nil {
 			progress = func(done int) { cfg.Progress(done, total) }
 		}
-		scfg := campaign.ShardedConfig{Workers: cfg.Workers, Shards: cfg.Shards, Progress: progress}
+		scfg := campaign.ShardedConfig{Workers: cfg.Workers, Shards: cfg.Shards, Progress: progress, Metrics: cfg.Metrics}
 		_, err := campaign.RunSharded(0, total, scfg, prepare, acquire,
 			func(shard int) *shardTally { return &shardTally{byOp: map[coproc.Op]*Tally{}} },
 			func(shard int, st *shardTally, idx int, inj Injection, res Result) error {
@@ -279,6 +299,10 @@ func Sweep(curve *ec.Curve, tim coproc.Timing, cfg SweepConfig) (*SweepReport, e
 		rep.ByOp = append(rep.ByOp, OpTally{Op: op, Tally: *t})
 	}
 	sort.Slice(rep.ByOp, func(i, j int) bool { return rep.ByOp[i].Op < rep.ByOp[j].Op })
+	// Outcome tallies (single Add per sweep, after the merge).
+	cfg.Metrics.Counter("fault_benign").Add(int64(rep.Benign))
+	cfg.Metrics.Counter("fault_detected").Add(int64(rep.Detected))
+	cfg.Metrics.Counter("fault_escaped").Add(int64(rep.Escaped))
 	return rep, nil
 }
 

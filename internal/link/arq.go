@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"medsec/internal/obs"
 	"medsec/internal/rng"
 )
 
@@ -91,6 +92,22 @@ func (fs *faultStream) transmit(frame []byte) (out []delivery, dropped bool) {
 	return out, false
 }
 
+// pairMetrics is a Pair's counter bundle, resolved once by Instrument.
+// The zero value (no registry) is fully inert: every obs method is a
+// nil-safe no-op.
+type pairMetrics struct {
+	// tries counts physical data-frame attempts (both directions);
+	// retries those beyond each frame's first; timeouts the
+	// unacknowledged attempts that waited out a backoff.
+	tries, retries, timeouts *obs.Counter
+	// budgetAborts counts Sends that died on MaxTries or RetryBudget.
+	budgetAborts *obs.Counter
+	// payloadTxBits / retransTxBits split transmitted payload bits into
+	// first-attempt and retransmission bits — the paper's "wasted
+	// transmit energy" number. ackTxBits counts acknowledgement frames.
+	payloadTxBits, retransTxBits, ackTxBits *obs.Counter
+}
+
 // Pair is a bidirectional point-to-point link: two Endpoints joined by
 // two independent fault streams and a shared virtual clock.
 type Pair struct {
@@ -101,6 +118,25 @@ type Pair struct {
 
 	clock int
 	a, b  Endpoint
+	met   pairMetrics
+}
+
+// Instrument attaches the link counters (link_tries, link_retries,
+// link_timeouts, link_budget_aborts, link_payload_tx_bits,
+// link_retrans_tx_bits, link_ack_tx_bits) to reg. Both endpoints share
+// the bundle; a nil registry leaves the pair uninstrumented (the
+// default, with zero overhead). Metrics observe, never perturb: the
+// delivery transcript and Stats are bit-identical either way.
+func (p *Pair) Instrument(reg *obs.Registry) {
+	p.met = pairMetrics{
+		tries:         reg.Counter("link_tries"),
+		retries:       reg.Counter("link_retries"),
+		timeouts:      reg.Counter("link_timeouts"),
+		budgetAborts:  reg.Counter("link_budget_aborts"),
+		payloadTxBits: reg.Counter("link_payload_tx_bits"),
+		retransTxBits: reg.Counter("link_retrans_tx_bits"),
+		ackTxBits:     reg.Counter("link_ack_tx_bits"),
+	}
 }
 
 // NewPair builds a link with the same channel model in both directions
@@ -208,24 +244,34 @@ func (e *Endpoint) Send(payload []byte) error {
 	}
 	frame := encodeFrame(typeData, e.seq, payload)
 	arq := e.pair.arq
+	met := &e.pair.met
 	for try := 1; ; try++ {
 		if try > arq.MaxTries {
 			e.pair.event(e.dir, "budget", int(e.seq), try-1)
+			met.budgetAborts.Inc()
 			return &BudgetError{Seq: int(e.seq), Tries: try - 1, Budget: false}
 		}
 		if try > 1 {
 			if arq.RetryBudget >= 0 && e.retriesUsed >= arq.RetryBudget {
 				e.pair.event(e.dir, "budget", int(e.seq), try-1)
+				met.budgetAborts.Inc()
 				return &BudgetError{Seq: int(e.seq), Tries: try - 1, Budget: true}
 			}
 			e.retriesUsed++
 			e.stats.Retries++
+			met.retries.Inc()
 		}
 
 		// Physical attempt: airtime + fault process.
 		e.stats.FramesSent++
 		e.stats.DataTxBits += 8 * len(payload)
 		e.stats.OverheadTxBits += OverheadBits
+		met.tries.Inc()
+		if try == 1 {
+			met.payloadTxBits.Add(int64(8 * len(payload)))
+		} else {
+			met.retransTxBits.Add(int64(8 * len(payload)))
+		}
 		e.pair.clock += len(frame)
 		e.pair.event(e.dir, "data", int(e.seq), try)
 		deliveries, dropped := e.out.transmit(frame)
@@ -249,7 +295,7 @@ func (e *Endpoint) Send(payload []byte) error {
 				e.stats.Delivered++
 				e.pair.event(e.dir, "deliver", int(e.seq), try)
 			}
-			if ackSeq, ok := e.peer.onData(del.frame); ok && ackSeq == e.seq {
+			if ackSeq, ok := e.peer.onData(del); ok && ackSeq == e.seq {
 				acked = true
 			}
 		}
@@ -261,6 +307,7 @@ func (e *Endpoint) Send(payload []byte) error {
 		wait := e.backoffWait(try)
 		e.pair.clock += wait
 		e.pair.event(e.dir, "timeout", int(e.seq), try)
+		met.timeouts.Inc()
 	}
 }
 
@@ -268,14 +315,26 @@ func (e *Endpoint) Send(payload []byte) error {
 // receive energy, CRC-check, deduplicate, buffer, and acknowledge.
 // It returns the sequence number it acknowledged (and whether that
 // acknowledgement survived the reverse channel back to the sender).
-func (e *Endpoint) onData(frame []byte) (ackSeq uint8, ackDelivered bool) {
+//
+// Billing: duplicate deliveries and truncated frames can never carry
+// first-time payload, so their bits are billed entirely to link
+// overhead — DataRxBits keeps meaning "payload bits of frames that
+// could have delivered payload". (Historically the payload portion of
+// duplicates was double-billed as payload, letting DataRxBits exceed
+// payload×attempts; the Stats regression test pins the fix.)
+func (e *Endpoint) onData(del delivery) (ackSeq uint8, ackDelivered bool) {
+	frame := del.frame
 	n := len(frame)
-	oh := frameOverheadBytes
-	if n < oh {
-		oh = n
+	if del.duplicate || del.truncated {
+		e.stats.OverheadRxBits += 8 * n
+	} else {
+		oh := frameOverheadBytes
+		if n < oh {
+			oh = n
+		}
+		e.stats.OverheadRxBits += 8 * oh
+		e.stats.DataRxBits += 8 * (n - oh)
 	}
-	e.stats.OverheadRxBits += 8 * oh
-	e.stats.DataRxBits += 8 * (n - oh)
 
 	ftype, seq, payload, ok := decodeFrame(frame)
 	if !ok || ftype != typeData {
@@ -296,6 +355,7 @@ func (e *Endpoint) onData(frame []byte) (ackSeq uint8, ackDelivered bool) {
 func (e *Endpoint) sendAck(seq uint8) bool {
 	ack := encodeFrame(typeAck, seq, nil)
 	e.stats.AckTxBits += 8 * len(ack)
+	e.pair.met.ackTxBits.Add(int64(8 * len(ack)))
 	e.pair.clock += len(ack)
 	e.pair.event(e.dir, "ack", int(seq), 0)
 	deliveries, _ := e.out.transmit(ack)

@@ -41,8 +41,10 @@
 //
 //   - DataTxBits counts 8×len(payload) per physical data-frame
 //     attempt (so retries multiply it); DataRxBits counts the payload
-//     portion of every frame that physically reaches the receiver's
-//     radio, intact or corrupted.
+//     portion of every full-length first-copy frame that physically
+//     reaches the receiver's radio, intact or bit-corrupted. Duplicate
+//     deliveries and truncated frames carry no billable payload — their
+//     bits are booked entirely under OverheadRxBits.
 //   - OverheadTxBits/OverheadRxBits count framing (header + CRC), and
 //     AckTxBits/AckRxBits count acknowledgement frames. These are
 //     REAL energy (cmd/linklab prices them) but are kept out of the
@@ -163,7 +165,9 @@ type Stats struct {
 	Truncated  int
 	Duplicated int
 
-	// DataTxBits/DataRxBits: payload bits, per attempt / per arrival.
+	// DataTxBits/DataRxBits: payload bits — per attempt on the
+	// transmit side; per full-length first-copy arrival on the receive
+	// side (duplicates and truncated frames bill to OverheadRxBits).
 	DataTxBits int
 	DataRxBits int
 	// OverheadTxBits/OverheadRxBits: framing (header+CRC) bits.

@@ -1,0 +1,192 @@
+package link
+
+import (
+	"testing"
+
+	"medsec/internal/obs"
+)
+
+// The receive-side billing regression suite (see onData): duplicate
+// deliveries and truncated frames must be billed to OverheadRxBits,
+// never DataRxBits. Historically the payload portion of a duplicate
+// was billed as payload a second time, so DataRxBits could exceed
+// payload×attempts.
+
+// TestDuplicateBilledAsOverhead: with DuplicateRate=1 every attempt
+// arrives twice; exactly one copy per attempt carries payload.
+func TestDuplicateBilledAsOverhead(t *testing.T) {
+	cc := ChannelConfig{DuplicateRate: 1}
+	p, err := NewPair(cc, DefaultARQ(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 32)
+	const sends = 5
+	for i := 0; i < sends; i++ {
+		if err := p.A().Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.B().Stats()
+	a := p.A().Stats()
+	// Every attempt delivered (no drops), so payload bits arrive once
+	// per physical attempt — the duplicate copies carry none.
+	if want := 8 * len(payload) * a.FramesSent; st.DataRxBits != want {
+		t.Fatalf("DataRxBits = %d, want %d (payload once per attempt; duplicates are overhead)", st.DataRxBits, want)
+	}
+	if st.DataRxBits > a.DataTxBits {
+		t.Fatalf("receiver billed %d payload bits but only %d were transmitted — duplicate double-billing is back", st.DataRxBits, a.DataTxBits)
+	}
+	// The duplicates' full frame bits (payload included) land in
+	// overhead: per attempt, one framed copy (8 bytes) + one whole
+	// duplicate frame.
+	frameLen := frameOverheadBytes + len(payload)
+	if want := 8 * (frameOverheadBytes + frameLen) * a.FramesSent; st.OverheadRxBits != want {
+		t.Fatalf("OverheadRxBits = %d, want %d", st.OverheadRxBits, want)
+	}
+	if a.Duplicated != a.FramesSent {
+		t.Fatalf("Duplicated = %d, want %d", a.Duplicated, a.FramesSent)
+	}
+}
+
+// TestTruncatedBilledAsOverhead: with TruncateRate=1 no frame ever
+// arrives whole, so no payload bits may be billed at all.
+func TestTruncatedBilledAsOverhead(t *testing.T) {
+	cc := ChannelConfig{TruncateRate: 1}
+	arq := ARQConfig{MaxTries: 3, RetryBudget: -1, BaseTimeout: 4}
+	p, err := NewPair(cc, arq, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.A().Send(make([]byte, 64))
+	if _, ok := err.(*BudgetError); !ok {
+		t.Fatalf("expected BudgetError on an all-truncating channel, got %v", err)
+	}
+	st := p.B().Stats()
+	if st.DataRxBits != 0 {
+		t.Fatalf("DataRxBits = %d for truncated-only arrivals, want 0", st.DataRxBits)
+	}
+	if st.OverheadRxBits == 0 {
+		t.Fatal("truncated arrivals billed nowhere")
+	}
+}
+
+// TestStatsMatchTranscript records a lossy adversarial run and checks
+// the Stats ledger against totals independently derived from the
+// delivery transcript — the counters and the event log must tell the
+// same story.
+func TestStatsMatchTranscript(t *testing.T) {
+	cc := ChannelConfig{DropRate: 0.2, TruncateRate: 0.15, DuplicateRate: 0.25}
+	p, err := NewPair(cc, ARQConfig{MaxTries: 16, RetryBudget: -1, BaseTimeout: 8, MaxBackoff: 64, JitterTicks: 4}, 1337)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Record = true
+	payload := make([]byte, 40)
+	const sends = 25
+	for i := 0; i < sends; i++ {
+		if err := p.A().Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fold the transcript (A>B direction) into independent totals.
+	var data, drops, dups, truncs, delivers, corrupts, acksTx, timeouts int
+	for _, ev := range p.Log {
+		switch {
+		case ev.Dir == "A>B" && ev.Kind == "data":
+			data++
+		case ev.Dir == "A>B" && ev.Kind == "drop":
+			drops++
+		case ev.Dir == "A>B" && ev.Kind == "dup":
+			dups++
+		case ev.Dir == "A>B" && ev.Kind == "trunc":
+			truncs++
+		case ev.Dir == "A>B" && ev.Kind == "deliver":
+			delivers++
+		case ev.Dir == "A>B" && ev.Kind == "corrupt":
+			corrupts++
+		case ev.Dir == "A>B" && ev.Kind == "timeout":
+			timeouts++
+		case ev.Dir == "B>A" && ev.Kind == "ack":
+			acksTx++
+		}
+	}
+
+	a, b := p.A().Stats(), p.B().Stats()
+	if a.FramesSent != data {
+		t.Fatalf("FramesSent = %d, transcript has %d data events", a.FramesSent, data)
+	}
+	if a.Dropped != drops || a.Duplicated != dups || a.Truncated != truncs || a.Delivered != delivers {
+		t.Fatalf("channel classification mismatch: stats {drop %d dup %d trunc %d deliver %d} vs transcript {%d %d %d %d}",
+			a.Dropped, a.Duplicated, a.Truncated, a.Delivered, drops, dups, truncs, delivers)
+	}
+	if a.Retries != data-sends {
+		t.Fatalf("Retries = %d, want attempts-frames = %d", a.Retries, data-sends)
+	}
+	// Tx billing: payload per attempt, framing per attempt.
+	if a.DataTxBits != 8*len(payload)*data {
+		t.Fatalf("DataTxBits = %d, want %d", a.DataTxBits, 8*len(payload)*data)
+	}
+	if a.OverheadTxBits != OverheadBits*data {
+		t.Fatalf("OverheadTxBits = %d, want %d", a.OverheadTxBits, OverheadBits*data)
+	}
+	// Rx billing: only full-length first copies (deliver + corrupt
+	// events) carry payload; dup/trunc arrivals are pure overhead.
+	if want := 8 * len(payload) * (delivers + corrupts); b.DataRxBits != want {
+		t.Fatalf("DataRxBits = %d, transcript-derived total %d", b.DataRxBits, want)
+	}
+	if b.DataRxBits > a.DataTxBits {
+		t.Fatal("receiver billed more payload bits than were transmitted")
+	}
+	// ACK billing: every ack event is one 8-byte frame.
+	if want := 8 * frameOverheadBytes * acksTx; b.AckTxBits != want {
+		t.Fatalf("AckTxBits = %d, transcript has %d acks (= %d bits)", b.AckTxBits, acksTx, want)
+	}
+}
+
+// TestPairInstrumentCounters: the obs bundle agrees with Stats, and
+// instrumenting does not perturb the transcript.
+func TestPairInstrumentCounters(t *testing.T) {
+	run := func(reg *obs.Registry) (*Pair, Stats) {
+		p, err := NewPair(ChannelConfig{DropRate: 0.3, DuplicateRate: 0.2}, ARQConfig{MaxTries: 16, RetryBudget: -1, BaseTimeout: 8}, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Record = true
+		p.Instrument(reg)
+		for i := 0; i < 10; i++ {
+			if err := p.A().Send(make([]byte, 24)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p, p.A().Stats()
+	}
+	bare, bareStats := run(nil)
+	reg := obs.New()
+	inst, instStats := run(reg)
+	if bareStats != instStats {
+		t.Fatalf("instrumentation perturbed Stats: %+v vs %+v", bareStats, instStats)
+	}
+	if len(bare.Log) != len(inst.Log) {
+		t.Fatalf("instrumentation perturbed the transcript: %d vs %d events", len(bare.Log), len(inst.Log))
+	}
+	if got := reg.Counter("link_tries").Value(); got != int64(instStats.FramesSent) {
+		t.Fatalf("link_tries = %d, Stats.FramesSent = %d", got, instStats.FramesSent)
+	}
+	if got := reg.Counter("link_retries").Value(); got != int64(instStats.Retries) {
+		t.Fatalf("link_retries = %d, Stats.Retries = %d", got, instStats.Retries)
+	}
+	payload := reg.Counter("link_payload_tx_bits").Value()
+	retrans := reg.Counter("link_retrans_tx_bits").Value()
+	if payload+retrans != int64(instStats.DataTxBits) {
+		t.Fatalf("payload %d + retrans %d != DataTxBits %d", payload, retrans, instStats.DataTxBits)
+	}
+	if payload != int64(8*24*10) {
+		t.Fatalf("link_payload_tx_bits = %d, want %d (first attempts only)", payload, 8*24*10)
+	}
+	// Both endpoints share the bundle; only B sends acks here.
+	if got := reg.Counter("link_ack_tx_bits").Value(); got != int64(inst.B().Stats().AckTxBits) {
+		t.Fatalf("link_ack_tx_bits = %d, B's AckTxBits = %d", got, inst.B().Stats().AckTxBits)
+	}
+}

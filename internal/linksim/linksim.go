@@ -21,6 +21,7 @@ import (
 	"medsec/internal/campaign"
 	"medsec/internal/ec"
 	"medsec/internal/link"
+	"medsec/internal/obs"
 	"medsec/internal/protocol"
 	"medsec/internal/radio"
 	"medsec/internal/rng"
@@ -49,6 +50,13 @@ type GridConfig struct {
 	// Progress, when non-nil, is called serially after each consumed
 	// session with (done, total).
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives sweep instrumentation: counters
+	// linksim_sessions / linksim_completed / linksim_aborts, the
+	// link_* ARQ counters aggregated across every simulated session
+	// (each per-session Pair is Instrumented with this registry), and
+	// the campaign_* engine instruments. The nil default costs
+	// nothing and the sweep results are bit-identical either way.
+	Metrics *obs.Registry
 }
 
 // CellReport aggregates the sessions of one (loss, distance) cell.
@@ -152,6 +160,10 @@ func Run(cfg GridConfig) (*GridReport, error) {
 		if err != nil {
 			return sessionOutcome{}, err
 		}
+		// Aggregate the ARQ counters of every session into the sweep
+		// registry (atomic adds commute: the totals are deterministic
+		// for any worker count even though sessions run concurrently).
+		pair.Instrument(cfg.Metrics)
 		// Fresh parties per session, keyed from the session seed so
 		// the whole run is a pure function of (seed, cell, rep).
 		src := rng.NewDRBG(sseed ^ 0xC0FFEE).Uint64
@@ -181,13 +193,19 @@ func Run(cfg GridConfig) (*GridReport, error) {
 			phyRxBits:  st.PhyRxBits(),
 		}, nil
 	}
+	mSessions := cfg.Metrics.Counter("linksim_sessions")
+	mCompleted := cfg.Metrics.Counter("linksim_completed")
+	mAborts := cfg.Metrics.Counter("linksim_aborts")
 	consume := func(idx int, j job, out sessionOutcome) (bool, error) {
 		c := &cells[j.cell]
 		c.Sessions++
+		mSessions.Inc()
 		if out.completed {
 			c.Completed++
+			mCompleted.Inc()
 		} else {
 			c.AbortsByStage[out.stage]++
+			mAborts.Inc()
 		}
 		retries[j.cell] = append(retries[j.cell], out.devRetries)
 		c.MeanLedgerJ += model.LedgerEnergy(out.devLedger, c.Distance, costs)
@@ -203,7 +221,7 @@ func Run(cfg GridConfig) (*GridReport, error) {
 		return false, nil
 	}
 
-	if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers}, prepare, acquire, consume); err != nil {
+	if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers, Metrics: cfg.Metrics}, prepare, acquire, consume); err != nil {
 		return nil, err
 	}
 

@@ -1,0 +1,18 @@
+package obs
+
+import "expvar"
+
+// PublishExpvar bridges the registry onto the standard expvar surface
+// under the given name: the published variable renders the live
+// Snapshot as JSON on every read, so any process that already serves
+// /debug/vars exposes the campaign metrics with zero extra plumbing.
+//
+// Publishing the same name twice is a no-op (expvar itself panics on
+// duplicates; long-running harnesses re-instrument freely). A nil
+// registry publishes an empty snapshot — still valid JSON.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

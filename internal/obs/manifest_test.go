@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestManifestRoundTrip pins the -metrics artifact contract: a written
+// manifest reads back with every provenance key intact and validates.
+func TestManifestRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("traces_acquired").Add(128)
+	r.Gauge("traces_per_sec").Set(2500)
+	fs := flag.NewFlagSet("tvla", flag.ContinueOnError)
+	fs.Int("traces", 64, "")
+	fs.Uint64("seed", 1, "")
+	if err := fs.Parse([]string{"-traces", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest("scalab", "tvla", 1, fs, r)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "scalab" || got.Subcommand != "tvla" || got.Seed != 1 {
+		t.Fatalf("identity fields corrupted: %+v", got)
+	}
+	if got.GoVersion == "" || got.GoMaxProcs == 0 || got.NumCPU == 0 || got.GitSHA == "" {
+		t.Fatalf("environment stamp incomplete: %+v", got)
+	}
+	if got.Flags["traces"] != "64" || got.Flags["seed"] != "1" {
+		t.Fatalf("flag set not captured: %v", got.Flags)
+	}
+	if got.Metrics.Counters["traces_acquired"] != 128 {
+		t.Fatalf("metric snapshot not round-tripped: %v", got.Metrics.Counters)
+	}
+	if got.Metrics.Gauges["traces_per_sec"] != 2500 {
+		t.Fatalf("gauge not round-tripped: %v", got.Metrics.Gauges)
+	}
+}
+
+// TestManifestValidateRejectsForeignJSON ensures truncated or foreign
+// JSON is rejected rather than silently folded into reports.
+func TestManifestValidateRejectsForeignJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus.json")
+	if err := os.WriteFile(path, []byte(`{"hello":"world"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err == nil {
+		t.Fatal("foreign JSON accepted as manifest")
+	} else if !strings.Contains(err.Error(), "missing required keys") {
+		t.Fatalf("wrong rejection: %v", err)
+	}
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestManifestSmokeFiles is the CI end-to-end gate: point
+// OBS_SMOKE_MANIFESTS at comma-separated manifest files written by a
+// real instrumented CLI run (e.g. `scalab tvla -traces 64 -metrics f`)
+// and this test validates each one — required provenance keys, the
+// expected tool identity, and a non-empty acquisition count. Skipped
+// when the variable is unset, so `go test ./...` stays hermetic.
+func TestManifestSmokeFiles(t *testing.T) {
+	spec := os.Getenv("OBS_SMOKE_MANIFESTS")
+	if spec == "" {
+		t.Skip("OBS_SMOKE_MANIFESTS not set")
+	}
+	for _, path := range strings.Split(spec, ",") {
+		m, err := ReadManifest(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Tool == "" {
+			t.Fatalf("%s: empty tool", path)
+		}
+		if len(m.Flags) == 0 {
+			t.Fatalf("%s: manifest carries no flag set", path)
+		}
+		var total int64
+		for _, v := range m.Metrics.Counters {
+			total += v
+		}
+		if total == 0 {
+			t.Fatalf("%s: all counters zero — the run was not instrumented", path)
+		}
+		if want := os.Getenv("OBS_SMOKE_TRACES"); want != "" {
+			if got := fmt.Sprint(m.Metrics.Counters["sca_traces_acquired"]); got != want {
+				t.Fatalf("%s: sca_traces_acquired = %s, want %s", path, got, want)
+			}
+		}
+		t.Logf("%s: %s %s seed=%d ok", path, m.Tool, m.Subcommand, m.Seed)
+	}
+}
+
+// TestManifestNilRegistry: a manifest over a nil registry is still a
+// valid provenance record (empty metrics, not null).
+func TestManifestNilRegistry(t *testing.T) {
+	m := NewManifest("linklab", "", 7, nil, nil)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("nil-registry manifest invalid: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err != nil {
+		t.Fatal(err)
+	}
+}

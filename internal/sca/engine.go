@@ -5,6 +5,7 @@ import (
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
+	"medsec/internal/obs"
 	"medsec/internal/power"
 	"medsec/internal/rng"
 	"medsec/internal/trace"
@@ -42,7 +43,33 @@ type acqJob struct {
 
 // engineConfig builds the campaign.Config for this target.
 func (t *Target) engineConfig() campaign.Config {
-	return campaign.Config{Workers: t.Workers, Progress: t.Progress}
+	return campaign.Config{Workers: t.Workers, Progress: t.Progress, Metrics: t.Metrics}
+}
+
+// acqMetrics is the per-campaign bundle of acquisition counters,
+// resolved once from Target.Metrics when a plan is built. The zero
+// value (nil counters, the Metrics == nil default) is fully inert:
+// every obs method is a nil-safe no-op costing zero allocations, so
+// the steady-state acquisition loop stays on its pinned alloc budget.
+type acqMetrics struct {
+	// traces counts completed acquisitions (fan-in over all workers).
+	traces *obs.Counter
+	// prologueSkipped accumulates the leading cycles per trace removed
+	// from the evented pipeline (quiet-executed or checkpoint-restored).
+	prologueSkipped *obs.Counter
+	// checkpointResumes / quietRuns split the prologue strategy per
+	// trace: resumed from a prefix snapshot vs quiet-executed from 0.
+	checkpointResumes *obs.Counter
+	quietRuns         *obs.Counter
+}
+
+func (t *Target) acqMetrics() acqMetrics {
+	return acqMetrics{
+		traces:            t.Metrics.Counter("sca_traces_acquired"),
+		prologueSkipped:   t.Metrics.Counter("sca_prologue_cycles_skipped"),
+		checkpointResumes: t.Metrics.Counter("sca_checkpoint_resumes"),
+		quietRuns:         t.Metrics.Counter("sca_quiet_runs"),
+	}
 }
 
 // acqScratch is one worker's reusable acquisition state: a CPU, a
@@ -134,8 +161,10 @@ func welchShardMerge(w *trace.OnlineWelch) func(shard int, acc *trace.OnlineWelc
 // streaming Welch accumulator. checkEvery > 0 enables the early-stop
 // predicate: after every checkEvery-th completed pair (but not before
 // minPairs pairs), the running t-curve is evaluated and the campaign
-// stops as soon as |t| exceeds TVLAThreshold.
-func welchConsume(w *trace.OnlineWelch, checkEvery, minPairs int) campaign.ConsumeFunc[acqJob, trace.Trace] {
+// stops as soon as |t| exceeds TVLAThreshold. checks (nil-safe) counts
+// the predicate evaluations — how many rounds an early-stopped
+// campaign needed.
+func welchConsume(w *trace.OnlineWelch, checkEvery, minPairs int, checks *obs.Counter) campaign.ConsumeFunc[acqJob, trace.Trace] {
 	return func(idx int, j acqJob, tr trace.Trace) (bool, error) {
 		// The accumulator folds the samples immediately; the trace is
 		// not retained, so its pooled buffers go back for reuse.
@@ -152,6 +181,7 @@ func welchConsume(w *trace.OnlineWelch, checkEvery, minPairs int) campaign.Consu
 		if checkEvery > 0 {
 			pairs := idx/2 + 1
 			if pairs >= minPairs && pairs%checkEvery == 0 {
+				checks.Inc()
 				if mx, _ := w.MaxT(); mx > TVLAThreshold {
 					return true, nil
 				}

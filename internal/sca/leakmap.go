@@ -64,7 +64,7 @@ func LeakageMap(t *Target, p ec.Point, nPerSet, firstIter, lastIter int, randKey
 		_, err = campaign.Run(0, 2*nPerSet, t.engineConfig(),
 			t.fixedRandomPrepare(p, randKey),
 			t.plannedAcquirerPool(plan),
-			welchConsume(w, 0, 0))
+			welchConsume(w, 0, 0, nil))
 	}
 	if err != nil {
 		return nil, err

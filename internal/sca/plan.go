@@ -58,13 +58,17 @@ type acqPlan struct {
 	// use snap iff it matches refBits exactly.
 	keyBits []int
 	refBits []uint
+	// met is the campaign's acquisition-counter bundle, resolved once
+	// at plan construction (zero value when Target.Metrics is nil —
+	// fully inert).
+	met acqMetrics
 }
 
 // planWindow builds the point-independent plan for window [start, end):
 // quiet prologue only, no checkpoint. This is the plan for campaigns
 // whose base point varies per trace.
 func (t *Target) planWindow(start, end int) *acqPlan {
-	p := &acqPlan{start: start, end: end}
+	p := &acqPlan{start: start, end: end, met: t.acqMetrics()}
 	if !t.NoPrologueSkip && start > 0 {
 		p.quiet = start
 	}
@@ -148,13 +152,19 @@ func (t *Target) acquirePlanned(s *acqScratch, key modn.Scalar, p ec.Point, plan
 	s.model.SkipCycles(plan.quiet)
 	var err error
 	if plan.usable(key) {
+		plan.met.checkpointResumes.Inc()
 		_, err = cpu.Resume(t.prog, key, *plan.snap)
 	} else {
+		if plan.quiet > 0 {
+			plan.met.quietRuns.Inc()
+		}
 		_, err = cpu.Run(t.prog, key)
 	}
 	if err != nil && !errors.Is(err, coproc.ErrStopped) {
 		return trace.Trace{}, err
 	}
+	plan.met.traces.Inc()
+	plan.met.prologueSkipped.Add(int64(plan.quiet))
 	return s.col.Take(), nil
 }
 
@@ -175,7 +185,7 @@ func (t *Target) plannedAcquirerPool(plan *acqPlan) campaign.AcquireFunc[acqJob,
 
 // shardedConfig builds the campaign.ShardedConfig for this target.
 func (t *Target) shardedConfig() campaign.ShardedConfig {
-	return campaign.ShardedConfig{Workers: t.Workers, Shards: t.Shards, Progress: t.Progress}
+	return campaign.ShardedConfig{Workers: t.Workers, Shards: t.Shards, Progress: t.Progress, Metrics: t.Metrics}
 }
 
 // useSharded reports whether bounded statistics campaigns reduce

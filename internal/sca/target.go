@@ -22,6 +22,7 @@ import (
 	"medsec/internal/ec"
 	"medsec/internal/gf2m"
 	"medsec/internal/modn"
+	"medsec/internal/obs"
 	"medsec/internal/power"
 	"medsec/internal/rng"
 	"medsec/internal/trace"
@@ -93,6 +94,17 @@ type Target struct {
 	// trace with the cumulative trace count — wire it to a progress
 	// reporter for the long acquisitions.
 	Progress func(done int)
+	// Metrics, when non-nil, receives acquisition instrumentation:
+	// counters sca_traces_acquired / sca_prologue_cycles_skipped /
+	// sca_checkpoint_resumes / sca_quiet_runs /
+	// sca_earlystop_checks, TVLA gauges (sca_tvla_pairs,
+	// sca_tvla_max_t, sca_tvla_early_stopped), plus the campaign_*
+	// engine instruments (the registry is forwarded into
+	// campaign.Config / ShardedConfig). Metrics observe, never
+	// perturb: acquisitions are bit-identical with or without a
+	// registry, and the nil default costs zero allocations per trace
+	// (the campaign AllocsPerRun pin covers this path).
+	Metrics *obs.Registry
 
 	prog *coproc.Program
 }
@@ -156,7 +168,7 @@ func (t *Target) AcquireWithKey(key modn.Scalar, p ec.Point, start, end int, idx
 // reference behavior the planned acquisition paths (plan.go) must
 // reproduce bit for bit.
 func (t *Target) acquireOn(s *acqScratch, key modn.Scalar, p ec.Point, start, end int, idx uint64) (trace.Trace, error) {
-	return t.acquirePlanned(s, key, p, &acqPlan{start: start, end: end}, idx)
+	return t.acquirePlanned(s, key, p, &acqPlan{start: start, end: end, met: t.acqMetrics()}, idx)
 }
 
 // Window exposes the acquisition cycle window covering ladder

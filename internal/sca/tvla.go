@@ -106,7 +106,7 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 		// in-order fold, which is exactly what sharding gives up.
 		consumed, err = campaign.Run(0, 2*nPerSet, t.engineConfig(),
 			t.fixedRandomPrepare(p, randKey), acquire,
-			welchConsume(w, checkEvery, 10))
+			welchConsume(w, checkEvery, 10, t.Metrics.Counter("sca_earlystop_checks")))
 	}
 	if err != nil {
 		return nil, err
@@ -129,6 +129,15 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 		}
 	}
 	res.Leaks = res.LeakyPoints > 0
+	// Campaign-level gauges: the analysis outcome alongside the
+	// per-trace counters (all nil-safe when t.Metrics is nil).
+	t.Metrics.Gauge("sca_tvla_pairs").Set(float64(res.TracesPerSet))
+	t.Metrics.Gauge("sca_tvla_max_t").Set(res.MaxT)
+	if res.EarlyStopped {
+		t.Metrics.Gauge("sca_tvla_early_stopped").Set(1)
+	} else {
+		t.Metrics.Gauge("sca_tvla_early_stopped").Set(0)
+	}
 	return res, nil
 }
 

@@ -52,6 +52,13 @@ var (
 // reuse whatever capacity the campaign's traces actually needed.
 const batchInitCap = 4096
 
+// SamplePoolStats and IterPoolStats expose the process-wide free
+// lists' hit/miss accounting (campaign.BufferPool.Stats) — the
+// observability layer stamps their hit rates into run manifests as
+// evidence the steady-state acquisition loop recycles its buffers.
+func SamplePoolStats() campaign.PoolStats { return samplePool.Stats() }
+func IterPoolStats() campaign.PoolStats   { return iterPool.Stats() }
+
 // lastReleased remembers the backing array of the most recently
 // released sample buffer. Trace flows through consumers by value, so a
 // stale copy of an already-released header still points at the pooled

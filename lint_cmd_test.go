@@ -1,0 +1,122 @@
+package medsec_test
+
+// The cmd/ hygiene lint: every lab CLI must follow the single-exit
+// discipline so that deferred cleanup (CPU profiles, output files,
+// metric manifests) actually runs on error paths. Concretely, for each
+// main package under cmd/:
+//
+//   - no log.Fatal / log.Fatalf / log.Fatalln anywhere (they call
+//     os.Exit, skipping defers);
+//   - os.Exit may appear only inside func main (and fs.Parse-style
+//     flag.ExitOnError sets are likewise forbidden — flag sets must use
+//     ContinueOnError so parse errors return);
+//   - a `func run(` entry point exists, returning error, so the
+//     process has exactly one exit point in main.
+//
+// This is enforced structurally (go/ast, stdlib only) rather than by
+// grep so comments and strings can mention the forbidden calls freely.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cmdGoFiles returns every .go file under cmd/, keyed by its
+// command directory.
+func cmdGoFiles(t *testing.T) map[string][]string {
+	t.Helper()
+	dirs, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatalf("reading cmd/: %v", err)
+	}
+	out := map[string][]string{}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		glob := filepath.Join("cmd", d.Name(), "*.go")
+		files, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) > 0 {
+			out[d.Name()] = files
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no command packages found under cmd/")
+	}
+	return out
+}
+
+// selCall matches a call expression of the form pkg.Name(...).
+func selCall(call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return id.Name == pkg && sel.Sel.Name == name
+}
+
+func TestCmdSingleExitDiscipline(t *testing.T) {
+	fset := token.NewFileSet()
+	for cmd, files := range cmdGoFiles(t) {
+		hasRun := false
+		for _, path := range files {
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if fn.Name.Name == "run" && fn.Recv == nil {
+					hasRun = true
+					if fn.Type.Results == nil || len(fn.Type.Results.List) == 0 {
+						t.Errorf("%s: func run must return error", fset.Position(fn.Pos()))
+					}
+				}
+				inMain := fn.Name.Name == "main" && fn.Recv == nil
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					pos := fset.Position(call.Pos())
+					for _, fatal := range []string{"Fatal", "Fatalf", "Fatalln"} {
+						if selCall(call, "log", fatal) {
+							t.Errorf("%s: log.%s skips deferred cleanup; return an error instead", pos, fatal)
+						}
+					}
+					if selCall(call, "os", "Exit") && !inMain {
+						t.Errorf("%s: os.Exit outside func main; the CLIs have a single exit point", pos)
+					}
+					return true
+				})
+			}
+			// flag.ExitOnError would exit mid-run on a bad flag,
+			// bypassing deferred profile/manifest writers.
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(src), "flag.ExitOnError") {
+				t.Errorf("%s: uses flag.ExitOnError; flag sets must use ContinueOnError", path)
+			}
+		}
+		if !hasRun {
+			t.Errorf("cmd/%s: no func run(...) error entry point", cmd)
+		}
+	}
+}
