@@ -46,11 +46,10 @@ import (
 
 	"medsec/internal/campaign"
 	"medsec/internal/coproc"
-	"medsec/internal/ec"
+	"medsec/internal/design"
 	"medsec/internal/gf2m"
 	"medsec/internal/modn"
 	"medsec/internal/obs"
-	"medsec/internal/power"
 	"medsec/internal/rng"
 	"medsec/internal/sca"
 )
@@ -202,10 +201,15 @@ func run(args []string) error {
 	_ = sink
 	_ = sink6
 
-	// --- coproc macro-benchmarks. ---
-	curve := ec.K163()
+	// --- coproc macro-benchmarks. The curve and timing come from the
+	// default design point — the same stack every lab CLI builds. ---
+	base, err := design.Defaults().Build()
+	if err != nil {
+		return err
+	}
+	curve := base.Curve
 	bench("coproc/RunMALU", "ns/op", 4334, func(b *testing.B) {
-		cpu := coproc.NewCPU(coproc.DefaultTiming())
+		cpu := coproc.NewCPU(base.Timing)
 		cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
 		dd := rng.NewDRBG(7)
 		cpu.Regs[0] = curve.RandomPoint(dd.Uint64).X
@@ -222,11 +226,11 @@ func run(args []string) error {
 	})
 	pointMulNs := bench("coproc/PointMul", "ns/op", 9133347, func(b *testing.B) {
 		prog := coproc.BuildLadderProgram(coproc.ProgramOptions{XOnly: true})
-		cpu := coproc.NewCPU(coproc.DefaultTiming())
+		cpu := coproc.NewCPU(base.Timing)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			cpu.Reset()
-			cpu.Timing = coproc.DefaultTiming()
+			cpu.Timing = base.Timing
 			cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
 			if _, err := cpu.Run(prog, benchScalar); err != nil {
 				b.Fatal(err)
@@ -235,12 +239,12 @@ func run(args []string) error {
 	})
 	bench("coproc/PointMulRPC", "ns/op", 8957776, func(b *testing.B) {
 		prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true, XOnly: true})
-		cpu := coproc.NewCPU(coproc.DefaultTiming())
+		cpu := coproc.NewCPU(base.Timing)
 		drbg := rng.NewDRBG(0)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			cpu.Reset()
-			cpu.Timing = coproc.DefaultTiming()
+			cpu.Timing = base.Timing
 			drbg.Reseed(uint64(i))
 			cpu.Rand = drbg.Uint64
 			cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
@@ -250,15 +254,25 @@ func run(args []string) error {
 		}
 	})
 
-	// mkTarget builds one attack-campaign target; legacy selects the
-	// pre-PR acquisition path (serial consumer, full evented prologue);
-	// reg, when non-nil, attaches the obs instrumentation bundle.
-	mkTarget := func(rpc bool, seed uint64, legacy bool, reg *obs.Registry) *sca.Target {
-		key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
-		pcfg := power.ProtectedChip(1)
-		pcfg.NoiseSigma = sca.LabNoiseSigma
-		tgt := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: rpc, XOnly: true},
-			coproc.DefaultTiming(), pcfg, seed)
+	// mkTarget builds one attack-campaign target through the design
+	// layer (lab-bench noise, x-only ladder, device key from stream 1);
+	// legacy selects the pre-PR acquisition path (serial consumer, full
+	// evented prologue); reg, when non-nil, attaches the obs
+	// instrumentation bundle.
+	mkTarget := func(rpc bool, seed uint64, legacy bool, reg *obs.Registry) (*sca.Target, error) {
+		p := design.Defaults()
+		p.RPC = rpc
+		p.XOnly = true
+		p.TRNGSeed = seed
+		p.NoiseSigma = design.LabNoiseSigma
+		st, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := st.Target(st.DeviceKey(1))
+		if err != nil {
+			return nil, err
+		}
 		tgt.Metrics = reg
 		if legacy {
 			tgt.Shards = -1
@@ -266,7 +280,7 @@ func run(args []string) error {
 		} else {
 			tgt.Shards = *shards
 		}
-		return tgt
+		return tgt, nil
 	}
 
 	// --- legacy-comparable campaign throughput: the root
@@ -277,7 +291,10 @@ func run(args []string) error {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				tgt := mkTarget(true, 11, legacy, reg)
+				tgt, err := mkTarget(true, 11, legacy, reg)
+				if err != nil {
+					b.Fatal(err)
+				}
 				tgt.Workers = workers
 				src := rng.NewDRBG(5).Uint64
 				gen := func() modn.Scalar { return sca.AlgorithmOneScalar(tgt.Curve, src) }
@@ -362,7 +379,10 @@ func run(args []string) error {
 		cpaSizes = []int{30, 60}
 	}
 	cpaRun := func(legacy bool) (time.Duration, int, error) {
-		tgt := mkTarget(false, 17, legacy, nil)
+		tgt, err := mkTarget(false, 17, legacy, nil)
+		if err != nil {
+			return 0, 0, err
+		}
 		tgt.Workers = w8
 		key := tgt.Key
 		prefix := make([]uint, 6)

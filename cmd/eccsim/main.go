@@ -6,7 +6,7 @@
 // Usage:
 //
 //	eccsim [-n 10] [-d 4] [-clock 847500] [-vdd 1.0] [-rpc=true]
-//	       [-style cmos|wddl|sabl] [-seed 1]
+//	       [-style cmos|wddl|sabl] [-seed 1] [-metrics out.json]
 package main
 
 import (
@@ -14,12 +14,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
-	"medsec/internal/coproc"
-	"medsec/internal/core"
-	"medsec/internal/power"
-	"medsec/internal/rng"
+	"medsec/internal/design"
+	"medsec/internal/obs"
 	"medsec/internal/tabular"
 )
 
@@ -36,38 +33,36 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("eccsim", flag.ContinueOnError)
 	var (
 		n         = fs.Int("n", 10, "number of point multiplications")
-		digit     = fs.Int("d", 4, "digit-serial multiplier width")
-		clock     = fs.Float64("clock", power.DefaultClockHz, "core clock in Hz")
-		vdd       = fs.Float64("vdd", 1.0, "core supply voltage")
+		digit     = fs.Int("d", design.DefaultDigitSize, "digit-serial multiplier width")
+		clock     = fs.Float64("clock", design.DefaultClockHz, "core clock in Hz")
+		vdd       = fs.Float64("vdd", design.DefaultVdd, "core supply voltage")
 		rpc       = fs.Bool("rpc", true, "randomized projective coordinates")
 		style     = fs.String("style", "cmos", "logic style: cmos|wddl|sabl")
 		seed      = fs.Uint64("seed", 1, "experiment seed")
 		noise     = fs.Float64("noise", 0, "measurement noise sigma (fraction of nominal cycle energy)")
 		breakdown = fs.Bool("breakdown", false, "print the per-component energy split")
 		dump      = fs.Int("dump", 0, "disassemble the first N microcode instructions")
+		metrics   = fs.String("metrics", "", "write a run manifest (environment, flags, metric snapshot) to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := core.DefaultConfig(*seed)
-	cfg.Timing.DigitSize = *digit
-	cfg.RPC = *rpc
-	cfg.Power.ClockHz = *clock
-	cfg.Power.Vdd = *vdd
-	cfg.Power.NoiseSigma = *noise
-	switch strings.ToLower(*style) {
-	case "cmos":
-		cfg.Power.Style = power.CMOS
-	case "wddl":
-		cfg.Power.Style = power.WDDL
-	case "sabl":
-		cfg.Power.Style = power.SABL
-	default:
-		return fmt.Errorf("unknown logic style %q", *style)
+	p := design.Defaults()
+	p.Seed = *seed
+	p.TRNGSeed = *seed
+	p.DigitSize = *digit
+	p.RPC = *rpc
+	p.ClockHz = *clock
+	p.VddV = *vdd
+	p.NoiseSigma = *noise
+	p.Logic = *style
+	st, err := p.Build()
+	if err != nil {
+		return err
 	}
 
-	chip, err := core.New(cfg)
+	chip, err := st.Chip()
 	if err != nil {
 		return err
 	}
@@ -80,7 +75,7 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("co-processor: %s, d=%d, RPC=%v, %s, %.1f kHz, Vdd=%.2f V\n\n",
-		chip.Curve().Name, *digit, *rpc, cfg.Power.Style, *clock/1e3, *vdd)
+		chip.Curve().Name, *digit, *rpc, st.Power.Style, *clock/1e3, *vdd)
 	t := tabular.New("metric", "value", "paper (d=4 chip)")
 	t.Row("cycles / point mult", chip.Last.Cycles, "~86 480")
 	t.Row("latency", fmt.Sprintf("%.1f ms", chip.Last.DurationS*1e3), "102 ms")
@@ -92,34 +87,34 @@ func run(args []string) error {
 
 	if *breakdown {
 		fmt.Println("\nenergy breakdown (one point multiplication):")
-		cfg2 := cfg
-		cfg2.Power.NoiseSigma = 0
-		if err := printBreakdown(cfg2); err != nil {
+		if err := printBreakdown(st); err != nil {
 			return err
 		}
 	}
 	if *dump > 0 {
 		fmt.Printf("\nmicrocode (first %d instructions):\n", *dump)
-		prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: *rpc})
-		fmt.Print(prog.Listing(cfg.Timing, *dump))
+		fmt.Print(st.Ladder().Listing(st.Timing, *dump))
+	}
+	if *metrics != "" {
+		reg := obs.New()
+		reg.Counter("eccsim_point_muls").Add(int64(*n))
+		reg.Gauge("eccsim_cycles_per_pm").Set(float64(chip.Last.Cycles))
+		reg.Gauge("eccsim_energy_per_pm_j").Set(chip.Last.EnergyJ)
+		reg.Gauge("eccsim_avg_power_w").Set(chip.Last.AvgPowerW)
+		reg.Gauge("eccsim_area_ge").Set(st.Area.TotalGE())
+		return obs.NewManifest("eccsim", "pm", *seed, fs, reg).Write(*metrics)
 	}
 	return nil
 }
 
-func printBreakdown(cfg core.Config) error {
-	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: cfg.RPC})
-	model := power.NewModel(cfg.Power)
-	bm := power.NewBreakdownMeter(model)
-	cpu := coproc.NewCPU(cfg.Timing)
-	cpu.Rand = rng.NewDRBG(99).Uint64
-	cpu.Probe = bm.Probe()
-	curve := cfg.Curve
-	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
-	k := curve.Order.RandNonZero(rng.NewDRBG(98).Uint64)
-	if _, err := cpu.Run(prog, k); err != nil {
+// printBreakdown meters one noise-free point multiplication with the
+// component-resolved meter, using the historical mask/key streams (99
+// and 98) so the split matches the chip's golden table.
+func printBreakdown(st *design.Stack) error {
+	c, _, err := st.MeasureBreakdown(st.RandomScalar(98), 99)
+	if err != nil {
 		return err
 	}
-	c := bm.Totals()
 	total := c.Total()
 	t := tabular.New("component", "energy [uJ]", "share")
 	row := func(name string, v float64) {

@@ -30,7 +30,7 @@ import (
 	"strings"
 	"time"
 
-	"medsec/internal/link"
+	"medsec/internal/design"
 	"medsec/internal/linksim"
 	"medsec/internal/obs"
 	"medsec/internal/profiling"
@@ -47,12 +47,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("linklab", flag.ContinueOnError)
-	lossStr := fs.String("loss", "0,0.1,0.3,0.5", "comma-separated channel loss rates")
-	distStr := fs.String("dist", "0.5,2", "comma-separated TX distances in meters")
+	lossStr := fs.String("loss", design.DefaultLossGrid, "comma-separated channel loss rates")
+	distStr := fs.String("dist", design.DefaultDistGrid, "comma-separated TX distances in meters")
 	reps := fs.Int("reps", 20, "sessions per grid cell")
 	bursty := fs.Bool("bursty", false, "Gilbert-Elliott burst channel instead of iid loss")
-	tries := fs.Int("tries", 8, "ARQ max tries per frame")
-	budget := fs.Int("budget", 64, "ARQ session retry budget (negative: unbounded)")
+	tries := fs.Int("tries", design.DefaultARQMaxTries, "ARQ max tries per frame")
+	budget := fs.Int("budget", design.DefaultARQRetryBudget, "ARQ session retry budget (negative: unbounded)")
 	seed := fs.Uint64("seed", 1, "campaign seed (printed; reruns replay bit-identically)")
 	workers := fs.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
 	metrics := fs.String("metrics", "", "write a run manifest (flags + metric snapshot) to this JSON file")
@@ -76,29 +76,28 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-dist: %v", err)
 	}
-	arq := link.DefaultARQ()
-	arq.MaxTries = *tries
-	arq.RetryBudget = *budget
+	pt := design.Defaults()
+	pt.Channel = design.ChannelIID
+	if *bursty {
+		pt.Channel = design.ChannelBursty
+	}
+	pt.ARQMaxTries = *tries
+	pt.ARQRetryBudget = *budget
 
 	var reg *obs.Registry
 	if *metrics != "" {
 		reg = obs.New()
 	}
 
-	kind := "iid"
-	if *bursty {
-		kind = "bursty"
-	}
 	fmt.Printf("linklab: seed=%d channel=%s tries=%d budget=%d reps=%d workers=%d\n",
-		*seed, kind, *tries, *budget, *reps, *workers)
+		*seed, pt.Channel, *tries, *budget, *reps, *workers)
 
 	start := time.Now()
 	rep, err := linksim.Run(linksim.GridConfig{
 		LossRates: loss,
 		Distances: dist,
 		Reps:      *reps,
-		Bursty:    *bursty,
-		ARQ:       arq,
+		Point:     pt,
 		Workers:   *workers,
 		Seed:      *seed,
 		Metrics:   reg,

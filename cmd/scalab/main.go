@@ -43,11 +43,10 @@ import (
 	"os"
 	"time"
 
-	"medsec/internal/coproc"
+	"medsec/internal/design"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
 	"medsec/internal/obs"
-	"medsec/internal/power"
 	"medsec/internal/profiling"
 	"medsec/internal/rng"
 	"medsec/internal/sca"
@@ -92,17 +91,29 @@ func usageError() error {
 	return fmt.Errorf("usage: scalab <dpa|spa|timing|tvla|leakmap> [flags]")
 }
 
-func newTarget(rpc bool, seed uint64, mut func(*power.Config)) (*sca.Target, *ec.Curve) {
-	curve := ec.K163()
-	key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(seed).Uint64)
-	pcfg := power.ProtectedChip(seed)
-	pcfg.NoiseSigma = sca.LabNoiseSigma
+// newTarget builds the lab's standard evaluation target through the
+// design layer: the protected chip at the white-box noise floor, key
+// derived from the experiment seed, trace schedule from seed+99. mut
+// adjusts circuit knobs on the design point before the build.
+func newTarget(rpc bool, seed uint64, mut func(*design.Point)) (*sca.Target, *ec.Curve, error) {
+	p := design.Defaults()
+	p.RPC = rpc
+	p.XOnly = true
+	p.Seed = seed
+	p.TRNGSeed = seed + 99
+	p.NoiseSigma = design.LabNoiseSigma
 	if mut != nil {
-		mut(&pcfg)
+		mut(&p)
 	}
-	return sca.NewTarget(curve, key,
-		coproc.ProgramOptions{RPC: rpc, XOnly: true},
-		coproc.DefaultTiming(), pcfg, seed+99), curve
+	st, err := p.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	tgt, err := st.Target(st.DeviceKey(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return tgt, st.Curve, nil
 }
 
 // workersFlag registers the shared -workers flag.
@@ -208,7 +219,10 @@ func dpaCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
-	tgt, _ := newTarget(*rpc, *seed, nil)
+	tgt, _, err := newTarget(*rpc, *seed, nil)
+	if err != nil {
+		return err
+	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
 	tgt.Metrics = reg
@@ -268,11 +282,14 @@ func spaCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
-	tgt, curve := newTarget(true, *seed, func(c *power.Config) {
-		c.BalancedMux = *balanced
-		c.DataDepClockGating = *gating
-		c.NoiseSigma = 0.03
+	tgt, curve, err := newTarget(true, *seed, func(p *design.Point) {
+		p.BalancedMux = *balanced
+		p.DataDepClockGating = *gating
+		p.NoiseSigma = design.DefaultNoiseSigma
 	})
+	if err != nil {
+		return err
+	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
 	tgt.Metrics = reg
@@ -321,9 +338,12 @@ func timingCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
-	curve := ec.K163()
+	st, err := design.Defaults().Build()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("timing attack: %d keys, seed=%d\n", *keys, *seed)
-	rep := sca.TimingAttack(curve, coproc.DefaultTiming(), *keys, rng.NewDRBG(*seed).Uint64)
+	rep := sca.TimingAttack(st.Curve, st.Timing, *keys, rng.NewDRBG(*seed).Uint64)
 	reg.Counter("timing_keys_measured").Add(int64(*keys))
 	reg.Gauge("timing_ladder_cycles").Set(float64(rep.LadderCycles))
 	t := tabular.New("implementation", "cycle behaviour", "leak")
@@ -342,7 +362,7 @@ func leakmapCmd(args []string) error {
 	traces := fs.Int("traces", 200, "traces per set")
 	balanced := fs.Bool("balanced", true, "balanced mux control encoding")
 	gating := fs.Bool("gating", false, "data-dependent clock gating")
-	residual := fs.Float64("residual", 0.004, "residual layout imbalance")
+	residual := fs.Float64("residual", design.DefaultResidualImbalance, "residual layout imbalance")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
@@ -358,12 +378,15 @@ func leakmapCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
-	tgt, curve := newTarget(true, *seed, func(c *power.Config) {
-		c.BalancedMux = *balanced
-		c.DataDepClockGating = *gating
-		c.ResidualImbalance = *residual
-		c.NoiseSigma = 0.05
+	tgt, curve, err := newTarget(true, *seed, func(p *design.Point) {
+		p.BalancedMux = *balanced
+		p.DataDepClockGating = *gating
+		p.ResidualImbalance = *residual
+		p.NoiseSigma = 0.05
 	})
+	if err != nil {
+		return err
+	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
 	tgt.Metrics = reg
@@ -419,7 +442,10 @@ func tvlaCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
-	tgt, curve := newTarget(*rpc, *seed, nil)
+	tgt, curve, err := newTarget(*rpc, *seed, nil)
+	if err != nil {
+		return err
+	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
 	tgt.Metrics = reg

@@ -11,6 +11,10 @@
 //	sweeptab regs     – E5: register pressure MPL vs Co-Z
 //	sweeptab security – E13: field-size vs point-multiplication cost
 //	sweeptab counter  – the conclusion: countermeasure cost vs SPA outcome
+//
+// Every subcommand accepts -metrics out.json to write a provenance
+// manifest (environment stamp, resolved flags, metric snapshot) for
+// reportgen to fold.
 package main
 
 import (
@@ -20,12 +24,10 @@ import (
 	"os"
 
 	"medsec/internal/area"
-	"medsec/internal/coproc"
-	"medsec/internal/ec"
-	"medsec/internal/power"
+	"medsec/internal/design"
+	"medsec/internal/obs"
 	"medsec/internal/privacy"
 	"medsec/internal/radio"
-	"medsec/internal/rng"
 	"medsec/internal/sca"
 	"medsec/internal/tabular"
 )
@@ -47,17 +49,17 @@ func run(args []string) error {
 	case "digit":
 		return digitCmd(args[1:])
 	case "gates":
-		return gatesCmd()
+		return gatesCmd(args[1:])
 	case "radio":
 		return radioCmd(args[1:])
 	case "privacy":
 		return privacyCmd(args[1:])
 	case "regs":
-		return regsCmd()
+		return regsCmd(args[1:])
 	case "security":
-		return securityCmd()
+		return securityCmd(args[1:])
 	case "counter":
-		return counterCmd()
+		return counterCmd(args[1:])
 	default:
 		return usageError()
 	}
@@ -67,45 +69,98 @@ func usageError() error {
 	return fmt.Errorf("usage: sweeptab <digit|gates|radio|privacy|regs|security|counter> [flags]")
 }
 
+// metricsFlag registers the shared -metrics flag.
+func metricsFlag(fs *flag.FlagSet) *string {
+	return fs.String("metrics", "", "write a run manifest (environment, flags, metric snapshot) to this JSON file")
+}
+
+// newRegistry returns a live registry when -metrics requested a
+// manifest, nil otherwise (every obs method on a nil registry is an
+// allocation-free no-op).
+func newRegistry(path string) *obs.Registry {
+	if path == "" {
+		return nil
+	}
+	return obs.New()
+}
+
+// writeManifest writes the run's provenance manifest; a no-op when
+// -metrics was not given. The tables themselves are seedless and
+// deterministic, so the stamped seed is 0 unless the subcommand has
+// its own.
+func writeManifest(path, sub string, seed uint64, fs *flag.FlagSet, reg *obs.Registry) error {
+	if path == "" {
+		return nil
+	}
+	return obs.NewManifest("sweeptab", sub, seed, fs, reg).Write(path)
+}
+
 // counterCmd prints the paper's thesis as one table: what each
 // countermeasure costs in energy and what single-trace SPA achieves
 // against the design point.
-func counterCmd() error {
-	curve := ec.K163()
-	key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
-	type design struct {
-		name string
-		rpc  bool
-		mut  func(*power.Config)
+func counterCmd(args []string) error {
+	fs := flag.NewFlagSet("counter", flag.ContinueOnError)
+	metrics := metricsFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	designs := []design{
-		{"no countermeasures at all", false, func(c *power.Config) {
-			c.BalancedMux = false
-			c.DataDepClockGating = true
-			c.InputIsolation = false
-			c.GlitchFree = false
+	reg := newRegistry(*metrics)
+
+	// The base point: the paper's chip with the historical counter
+	// seeds — power noise stream 1, SPA trace schedule 777, SPA
+	// program x-only like the deployed microcode.
+	basePt := design.Defaults()
+	basePt.Seed = 1
+	basePt.TRNGSeed = 777
+	basePt.XOnly = true
+	st0, err := basePt.Build()
+	if err != nil {
+		return err
+	}
+	key := st0.DeviceKey(1)
+
+	type variant struct {
+		name string
+		mut  func(*design.Point)
+	}
+	variants := []variant{
+		{"no countermeasures at all", func(p *design.Point) {
+			p.RPC = false
+			p.BalancedMux = false
+			p.DataDepClockGating = true
+			p.InputIsolation = false
+			p.GlitchFree = false
 		}},
-		{"unbalanced muxes only", true, func(c *power.Config) { c.BalancedMux = false }},
-		{"data-dependent clock gating", true, func(c *power.Config) { c.DataDepClockGating = true }},
-		{"the paper's chip (protected CMOS)", true, func(c *power.Config) {}},
-		{"protected + WDDL", true, func(c *power.Config) { c.Style = power.WDDL }},
-		{"protected + SABL", true, func(c *power.Config) { c.Style = power.SABL }},
+		{"unbalanced muxes only", func(p *design.Point) { p.BalancedMux = false }},
+		{"data-dependent clock gating", func(p *design.Point) { p.DataDepClockGating = true }},
+		{"the paper's chip (protected CMOS)", func(p *design.Point) {}},
+		{"protected + WDDL", func(p *design.Point) { p.Logic = "WDDL" }},
+		{"protected + SABL", func(p *design.Point) { p.Logic = "SABL" }},
 	}
 	t := tabular.New("design point", "energy/PM [uJ]", "vs chip", "1-trace SPA acc", "RPC")
 	base := 0.0
-	for _, d := range designs {
-		cfg := power.ProtectedChip(1)
-		d.mut(&cfg)
-		energy, err := measureEnergy(curve, cfg, d.rpc)
+	for _, v := range variants {
+		pt := basePt
+		v.mut(&pt)
+		st, err := pt.Build()
 		if err != nil {
 			return err
 		}
-		if d.name == "the paper's chip (protected CMOS)" {
+		// Energy is priced on the full ladder (y-recovery included)
+		// with the historical mask/key streams (5 and 6).
+		meas, err := st.MeasurePointMul(st.DeviceKey(6), 5)
+		if err != nil {
+			return err
+		}
+		energy := meas.EnergyJ
+		if v.name == "the paper's chip (protected CMOS)" {
 			base = energy
 		}
-		tgt := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: d.rpc, XOnly: true},
-			coproc.DefaultTiming(), cfg, 777)
-		res, err := sca.SPA(tgt, curve.Generator(), 0)
+		tgt, err := st.Target(key)
+		if err != nil {
+			return err
+		}
+		res, err := sca.SPA(tgt, st.Curve.Generator(), 0)
 		if err != nil {
 			return err
 		}
@@ -113,39 +168,26 @@ func counterCmd() error {
 		if base > 0 {
 			rel = fmt.Sprintf("%.2fx", energy/base)
 		}
-		t.Row(d.name, fmt.Sprintf("%.2f", energy*1e6), rel,
-			fmt.Sprintf("%.3f", res.Accuracy()), d.rpc)
+		t.Row(v.name, fmt.Sprintf("%.2f", energy*1e6), rel,
+			fmt.Sprintf("%.3f", res.Accuracy()), pt.RPC)
+		reg.Counter("sweeptab_rows").Inc()
 	}
 	t.Render(os.Stdout)
 	fmt.Println("\n\"Making a device secure adds an extra design dimension. Indeed, for the")
 	fmt.Println("design of medical devices, a trade-off between security, power and energy")
 	fmt.Println("needs to be made.\" — the paper's conclusion, as a table")
-	return nil
-}
-
-func measureEnergy(curve *ec.Curve, cfg power.Config, rpc bool) (float64, error) {
-	cfg.NoiseSigma = 0
-	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: rpc})
-	model := power.NewModel(cfg)
-	meter := power.NewMeter(model)
-	cpu := coproc.NewCPU(coproc.DefaultTiming())
-	cpu.Rand = rng.NewDRBG(5).Uint64
-	cpu.Probe = meter.Probe()
-	cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
-	k := sca.AlgorithmOneScalar(curve, rng.NewDRBG(6).Uint64)
-	if _, err := cpu.Run(prog, k); err != nil {
-		return 0, err
-	}
-	return meter.EnergyJ(), nil
+	return writeManifest(*metrics, "counter", 1, fs, reg)
 }
 
 func digitCmd(args []string) error {
 	fs := flag.NewFlagSet("digit", flag.ContinueOnError)
 	latency := fs.Float64("latency", 0.11, "latency constraint in seconds per point multiplication")
+	metrics := metricsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := area.DigitSweep([]int{1, 2, 4, 8, 16, 32}, power.DefaultClockHz, *latency)
+	reg := newRegistry(*metrics)
+	rows, err := area.DigitSweep([]int{1, 2, 4, 8, 16, 32}, design.DefaultClockHz, *latency)
 	if err != nil {
 		return err
 	}
@@ -156,6 +198,7 @@ func digitCmd(args []string) error {
 			fmt.Sprintf("%.1f", r.PowerW*1e6),
 			fmt.Sprintf("%.2f", r.EnergyJ*1e6),
 			fmt.Sprintf("%.0f", r.AreaEnergy), r.MeetsLatency)
+		reg.Counter("sweeptab_rows").Inc()
 	}
 	t.Render(os.Stdout)
 	opt, err := area.OptimalDigit(rows)
@@ -163,25 +206,35 @@ func digitCmd(args []string) error {
 		return err
 	}
 	fmt.Printf("\noptimal area-energy product within the latency constraint: d = %d (paper: d = 4)\n", opt)
-	return nil
+	reg.Gauge("sweeptab_optimal_d").Set(float64(opt))
+	return writeManifest(*metrics, "digit", 0, fs, reg)
 }
 
-func gatesCmd() error {
+func gatesCmd(args []string) error {
+	fs := flag.NewFlagSet("gates", flag.ContinueOnError)
+	metrics := metricsFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := newRegistry(*metrics)
 	t := tabular.New("module", "gates [GE]", "source")
 	for _, m := range area.ModuleGateCounts() {
 		t.Row(m.Module, fmt.Sprintf("%.0f", m.GE), m.Source)
+		reg.Counter("sweeptab_rows").Inc()
 	}
 	t.Render(os.Stdout)
 	fmt.Println("\npaper §4: \"the smallest SHA-1 implementation [12] uses 5527 gates,")
 	fmt.Println("while an ECC core uses about 12k gates [10]\"")
-	return nil
+	return writeManifest(*metrics, "gates", 0, fs, reg)
 }
 
 func radioCmd(args []string) error {
 	fs := flag.NewFlagSet("radio", flag.ContinueOnError)
+	metrics := metricsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg := newRegistry(*metrics)
 	m := radio.DefaultModel()
 	costs := radio.PaperCosts()
 	sym := radio.SymmetricKDC()
@@ -192,21 +245,25 @@ func radioCmd(args []string) error {
 		t.Row(fmt.Sprintf("%.1f", r.Meters),
 			fmt.Sprintf("%.1f", r.EnergyA*1e6),
 			fmt.Sprintf("%.1f", r.EnergyB*1e6), r.Cheapest)
+		reg.Counter("sweeptab_rows").Inc()
 	}
 	t.Render(os.Stdout)
 	if d, err := m.Crossover(sym, pk, costs, 0, 100); err == nil {
 		fmt.Printf("\ncrossover distance: %.1f m — \"the conclusions depend on ... the wireless distance\" [4,5]\n", d)
+		reg.Gauge("sweeptab_crossover_m").Set(d)
 	}
-	return nil
+	return writeManifest(*metrics, "radio", 0, fs, reg)
 }
 
 func privacyCmd(args []string) error {
 	fs := flag.NewFlagSet("privacy", flag.ContinueOnError)
 	rounds := fs.Int("rounds", 100, "game rounds")
 	seed := fs.Uint64("seed", 1, "seed")
+	metrics := metricsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg := newRegistry(*metrics)
 	t := tabular.New("protocol", "adversary", "rounds won", "advantage")
 	s, err := privacy.RunLinkingGame(privacy.GameConfig{Protocol: privacy.Schnorr, Rounds: *rounds, Seed: *seed})
 	if err != nil {
@@ -224,21 +281,38 @@ func privacyCmd(args []string) error {
 	}
 	t.Row("Peeters-Hermans", "corrupt reader (sanity)", fmt.Sprintf("%d/%d", c.Correct, c.Rounds), fmt.Sprintf("%.2f", c.Advantage))
 	t.Render(os.Stdout)
-	return nil
+	reg.Counter("sweeptab_game_rounds").Add(int64(s.Rounds + p.Rounds + c.Rounds))
+	return writeManifest(*metrics, "privacy", *seed, fs, reg)
 }
 
-func regsCmd() error {
-	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
-	loop, ram := prog.RegisterPressure()
+func regsCmd(args []string) error {
+	fs := flag.NewFlagSet("regs", flag.ContinueOnError)
+	metrics := metricsFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := newRegistry(*metrics)
+	st, err := design.Defaults().Build()
+	if err != nil {
+		return err
+	}
+	loop, ram := st.Ladder().RegisterPressure()
 	t := tabular.New("algorithm", "163-bit registers", "storage [GE]")
 	t.Row("MPL x-only (this chip)", loop, fmt.Sprintf("%.0f", area.RegisterStorageGE(loop, 163)))
 	t.Row("prime-field Co-Z [6]", area.CoZRegisters, fmt.Sprintf("%.0f", area.RegisterStorageGE(area.CoZRegisters, 163)))
 	t.Render(os.Stdout)
 	fmt.Printf("\nladder loop RAM usage: %d words (post-processing only)\n", ram)
-	return nil
+	reg.Gauge("sweeptab_loop_regs").Set(float64(loop))
+	return writeManifest(*metrics, "regs", 0, fs, reg)
 }
 
-func securityCmd() error {
+func securityCmd(args []string) error {
+	fs := flag.NewFlagSet("security", flag.ContinueOnError)
+	metrics := metricsFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := newRegistry(*metrics)
 	t := tabular.New("field", "security [bit]", "MALU cycles/PM (d=4)", "relative")
 	type fld struct {
 		m   int
@@ -251,8 +325,9 @@ func securityCmd() error {
 			base = cycles
 		}
 		t.Row(fmt.Sprintf("GF(2^%d)", f.m), f.sec, fmt.Sprintf("%.0f", cycles), fmt.Sprintf("%.2fx", cycles/base))
+		reg.Counter("sweeptab_rows").Inc()
 	}
 	t.Render(os.Stdout)
 	fmt.Println("\npaper §1: \"longer key length translates in a larger computational load\"")
-	return nil
+	return writeManifest(*metrics, "security", 0, fs, reg)
 }

@@ -12,7 +12,7 @@ import (
 	"log"
 
 	"medsec/internal/core"
-	"medsec/internal/link"
+	"medsec/internal/design"
 	"medsec/internal/protocol"
 	"medsec/internal/radio"
 	"medsec/internal/rng"
@@ -28,7 +28,10 @@ type sensor struct {
 func main() {
 	log.SetFlags(0)
 
-	curve := core.DefaultConfig(0).Curve
+	// Every sensor runs the paper's prototype design point; only the
+	// per-device seeds differ.
+	base := design.Defaults().MustBuild()
+	curve := base.Curve
 	src := rng.NewDRBG(555).Uint64
 	serverMul := &protocol.SoftwareMultiplier{Curve: curve, Rand: src}
 	server, err := protocol.NewReader(curve, serverMul, src)
@@ -39,7 +42,14 @@ func main() {
 	names := []string{"ecg-patch", "insulin-pump", "pulse-oximeter"}
 	var sensors []*sensor
 	for i, name := range names {
-		chip, err := core.New(core.DefaultConfig(uint64(1000 + i)))
+		p := design.Defaults()
+		p.Seed = uint64(1000 + i)
+		p.TRNGSeed = uint64(1000 + i)
+		st, err := p.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		chip, err := st.Chip()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,8 +62,8 @@ func main() {
 		sensors = append(sensors, &sensor{name: name, chip: chip, tag: tag})
 	}
 
-	m := radio.DefaultModel()
-	costs := radio.PaperCosts()
+	m := base.Radio
+	costs := base.Costs
 
 	fmt.Println("== morning round: every sensor authenticates and reports ==")
 	t := tabular.New("sensor", "identified", "PMs", "TX bits", "session energy [uJ]", "chip energy [uJ]")
@@ -81,7 +91,7 @@ func main() {
 		if _, err := protocol.OpenTelemetry(res.SessionKey, nonce, sealed, nil); err != nil {
 			log.Fatalf("%s: server could not open telemetry: %v", s.name, err)
 		}
-		e := m.LedgerEnergy(led, radio.LocalRange, costs)
+		e := m.LedgerEnergy(led, base.Point.DistanceM, costs)
 		t.Row(s.name, fmt.Sprintf("DB[%d]", res.TagIndex), led.PointMuls, led.TxBits,
 			fmt.Sprintf("%.1f", e*1e6), fmt.Sprintf("%.1f", s.chip.Total.EnergyJ*1e6))
 	}
@@ -122,7 +132,14 @@ func main() {
 		stored = append(stored, ct)
 		_ = hour
 	}
-	pair, err := link.NewPair(link.Lossy(0.2), link.DefaultARQ(), 777)
+	np := design.Defaults()
+	np.Channel = design.ChannelIID
+	np.Loss = 0.2
+	nst, err := np.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair, err := nst.Pair(777)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -138,7 +155,7 @@ func main() {
 		}
 		fmt.Printf("server recovered record %d: %s\n", i, pt)
 	}
-	e := m.LedgerEnergy(nightLedger, radio.LocalRange, costs)
+	e := m.LedgerEnergy(nightLedger, base.Point.DistanceM, costs)
 	fmt.Printf("night batch: %d PMs, %d bits (%d retries on the 20%%-loss uplink) -> %.1f uJ total on the patch\n",
 		nightLedger.PointMuls, nightLedger.TxBits, pair.A().Stats().Retries, e*1e6)
 }

@@ -16,9 +16,7 @@ import (
 	"log"
 
 	"medsec/internal/campaign"
-	"medsec/internal/coproc"
-	"medsec/internal/ec"
-	"medsec/internal/power"
+	"medsec/internal/design"
 	"medsec/internal/rng"
 	"medsec/internal/sca"
 	"medsec/internal/tabular"
@@ -27,18 +25,34 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	curve := ec.K163()
-	key := sca.AlgorithmOneScalar(curve, rng.NewDRBG(1).Uint64)
-	lab := power.ProtectedChip(1)
-	lab.NoiseSigma = sca.LabNoiseSigma
+	// The chip under study is the default design point on the lab
+	// bench: x-only traces, bench-grade measurement noise.
+	labPt := design.Defaults()
+	labPt.TRNGSeed = 777
+	labPt.XOnly = true
+	labPt.NoiseSigma = design.LabNoiseSigma
+	labSt, err := labPt.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve := labSt.Curve
+	key := labSt.DeviceKey(1)
 
 	// Acquisitions fan out over the parallel campaign engine; the
 	// results below are bit-identical for any worker count.
 	fmt.Printf("acquisition: parallel campaign engine, %d worker(s)\n\n", campaign.Workers(0))
 	target := func(rpc bool) *sca.Target {
-		return sca.NewTarget(curve, key,
-			coproc.ProgramOptions{RPC: rpc, XOnly: true},
-			coproc.DefaultTiming(), lab, 777)
+		p := labPt
+		p.RPC = rpc
+		st, err := p.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tgt, err := st.Target(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return tgt
 	}
 
 	fmt.Println("== DPA (CPA) against the first 6 key bits ==")
@@ -85,11 +99,20 @@ func main() {
 
 	fmt.Println("\n== single-trace SPA vs circuit-level design points (Fig. 3) ==")
 	t2 := tabular.New("circuit design", "bit accuracy", "verdict")
-	spa := func(name string, mut func(*power.Config)) {
-		cfg := power.ProtectedChip(5)
-		mut(&cfg)
-		tgt := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: true, XOnly: true},
-			coproc.DefaultTiming(), cfg, 888)
+	spa := func(name string, mut func(*design.Point)) {
+		p := design.Defaults()
+		p.Seed = 5
+		p.TRNGSeed = 888
+		p.XOnly = true
+		mut(&p)
+		st, err := p.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tgt, err := st.Target(key)
+		if err != nil {
+			log.Fatal(err)
+		}
 		r, err := sca.SPA(tgt, curve.Generator(), 0)
 		if err != nil {
 			log.Fatal(err)
@@ -100,14 +123,24 @@ func main() {
 		}
 		t2.Row(name, fmt.Sprintf("%.3f", r.Accuracy()), verdict)
 	}
-	spa("unbalanced mux selects", func(c *power.Config) { c.BalancedMux = false })
-	spa("data-dependent clock gating", func(c *power.Config) { c.DataDepClockGating = true })
-	spa("protected (balanced, constant clocks)", func(c *power.Config) {})
+	spa("unbalanced mux selects", func(p *design.Point) { p.BalancedMux = false })
+	spa("data-dependent clock gating", func(p *design.Point) { p.DataDepClockGating = true })
+	spa("protected (balanced, constant clocks)", func(p *design.Point) {})
 	t2.Render(log.Writer())
 
 	fmt.Println("\n== the residual layout imbalance (profiled SPA, §7) ==")
-	prot := sca.NewTarget(curve, key, coproc.ProgramOptions{RPC: true, XOnly: true},
-		coproc.DefaultTiming(), power.ProtectedChip(6), 999)
+	protPt := design.Defaults()
+	protPt.Seed = 6
+	protPt.TRNGSeed = 999
+	protPt.XOnly = true
+	protSt, err := protPt.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prot, err := protSt.Target(key)
+	if err != nil {
+		log.Fatal(err)
+	}
 	prof, err := sca.SPAProfiled(prot, curve.Generator(), 300)
 	if err != nil {
 		log.Fatal(err)

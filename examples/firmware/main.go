@@ -12,7 +12,7 @@ import (
 	"log"
 
 	"medsec/internal/battery"
-	"medsec/internal/core"
+	"medsec/internal/design"
 	"medsec/internal/protocol"
 	"medsec/internal/rng"
 )
@@ -20,7 +20,14 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	chip, err := core.New(core.DefaultConfig(7))
+	pt := design.Defaults()
+	pt.Seed = 7
+	pt.TRNGSeed = 7
+	st, err := pt.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip, err := st.Chip()
 	if err != nil {
 		log.Fatal(err)
 	}

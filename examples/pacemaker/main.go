@@ -14,17 +14,26 @@ import (
 	"fmt"
 	"log"
 
-	"medsec/internal/core"
-	"medsec/internal/link"
+	"medsec/internal/battery"
+	"medsec/internal/design"
 	"medsec/internal/protocol"
-	"medsec/internal/radio"
 	"medsec/internal/rng"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	chip, err := core.New(core.DefaultConfig(2026))
+	// The implant is the paper's prototype design point: K-163 ladder
+	// with RPC on the d=4 MALU, protected CMOS at 847.5 kHz, priced
+	// against the pacemaker cell.
+	pt := design.Defaults()
+	pt.Seed = 2026
+	pt.TRNGSeed = 2026
+	st, err := pt.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip, err := st.Chip()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,8 +51,8 @@ func main() {
 	}
 	programmer.Register(pacemaker.Pub)
 
-	m := radio.DefaultModel()
-	costs := radio.PaperCosts()
+	m := st.Radio
+	costs := st.Costs
 
 	// --- Honest session: mutual auth, then sealed telemetry. ---
 	fmt.Println("== honest clinician session (server authenticates first) ==")
@@ -53,7 +62,7 @@ func main() {
 	}
 	fmt.Printf("completed: %v (stage %s), identified as DB[%d]\n",
 		res.Completed, res.AbortStage, res.TagIndex)
-	sessionJ := m.LedgerEnergy(res.DeviceLedger, radio.LocalRange, costs)
+	sessionJ := m.LedgerEnergy(res.DeviceLedger, st.Point.DistanceM, costs)
 	fmt.Printf("device: %d PMs, %d bits TX -> %.1f uJ per session\n",
 		res.DeviceLedger.PointMuls, res.DeviceLedger.TxBits, sessionJ*1e6)
 
@@ -89,8 +98,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	goodJ := m.LedgerEnergy(goodOrder.DeviceLedger, radio.LocalRange, costs)
-	badJ := m.LedgerEnergy(badOrder.DeviceLedger, radio.LocalRange, costs)
+	goodJ := m.LedgerEnergy(goodOrder.DeviceLedger, st.Point.DistanceM, costs)
+	badJ := m.LedgerEnergy(badOrder.DeviceLedger, st.Point.DistanceM, costs)
 	fmt.Printf("server-first ordering:        %d PMs wasted, %.1f uJ\n",
 		goodOrder.DeviceLedger.PointMuls, goodJ*1e6)
 	fmt.Printf("identification-first (naive): %d PMs wasted, %.1f uJ\n",
@@ -102,7 +111,14 @@ func main() {
 	// internal/link retransmits dropped frames, and every retry is
 	// battery drain the perfect-channel numbers above never showed. ---
 	fmt.Println("== lossy ward link: retransmissions are battery drain too ==")
-	pair, err := link.NewPair(link.Bursty(0.25), link.DefaultARQ(), 7)
+	lossyPt := pt
+	lossyPt.Channel = design.ChannelBursty
+	lossyPt.Loss = 0.25
+	lst, err := lossyPt.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair, err := lst.Pair(7)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,23 +128,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := pair.A().Stats()
+	linkStats := pair.A().Stats()
 	fmt.Printf("completed: %v (stage %s), %d device retries\n",
-		lossy.Completed, lossy.AbortStage, st.Retries)
-	lossyJ := m.LedgerEnergy(lossy.DeviceLedger, radio.LocalRange, costs)
-	phyRadioJ := m.TxEnergy(st.PhyTxBits(), radio.LocalRange) + m.RxEnergy(st.PhyRxBits())
+		lossy.Completed, lossy.AbortStage, linkStats.Retries)
+	lossyJ := m.LedgerEnergy(lossy.DeviceLedger, st.Point.DistanceM, costs)
+	phyRadioJ := m.TxEnergy(linkStats.PhyTxBits(), st.Point.DistanceM) + m.RxEnergy(linkStats.PhyRxBits())
 	fmt.Printf("payload bits TX %d (perfect link: %d) -> session %.1f uJ (was %.1f uJ)\n",
 		lossy.DeviceLedger.TxBits, res.DeviceLedger.TxBits, lossyJ*1e6, sessionJ*1e6)
 	fmt.Printf("with framing+ACK overhead the radio alone costs %.1f uJ\n", phyRadioJ*1e6)
 	fmt.Println("(sweep loss x distance -> completion/retries/energy with cmd/linklab)")
 	fmt.Println()
 
-	// --- Battery-lifetime perspective (paper §1: 5-15 year battery). ---
-	const batteryJ = 0.8 * 3600 // ~0.8 Wh usable security budget share
+	// --- Battery-lifetime perspective (paper §1: 5-15 year battery),
+	// priced against the design point's cell model: a 20 kJ LiI cell
+	// with 1%/year self-discharge and 1% of capacity allotted to
+	// security. ---
+	cell := st.Battery
 	sessionsPerDay := 4.0
-	perDay := sessionsPerDay * sessionJ
-	years := batteryJ / perDay / 365
+	years, err := cell.SecurityLifetimeYears(battery.Workload{
+		SessionsPerDay: sessionsPerDay,
+		SessionEnergyJ: sessionJ,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("security budget %.0f J, %.0f sessions/day at %.1f uJ -> %.0f years of sessions\n",
-		batteryJ, sessionsPerDay, sessionJ*1e6, years)
+		cell.CapacityJ*cell.SecurityBudgetFraction, sessionsPerDay, sessionJ*1e6, years)
 	fmt.Println("(the cryptography is not the battery bottleneck — the paper's design goal)")
 }

@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"log"
 
-	"medsec/internal/core"
+	"medsec/internal/design"
 	"medsec/internal/protocol"
 	"medsec/internal/rng"
 )
@@ -17,8 +17,15 @@ func main() {
 
 	// The prototype chip: K-163 Montgomery ladder, d=4 MALU,
 	// randomized projective coordinates, protected CMOS circuit,
-	// 847.5 kHz at 1 V.
-	chip, err := core.New(core.DefaultConfig(42))
+	// 847.5 kHz at 1 V — the default point of the design space.
+	pt := design.Defaults()
+	pt.Seed = 42
+	pt.TRNGSeed = 42
+	st, err := pt.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip, err := st.Chip()
 	if err != nil {
 		log.Fatal(err)
 	}

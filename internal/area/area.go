@@ -53,6 +53,41 @@ func (g GateModel) ECCProcessorGE(d int) float64 {
 	return g.RegFileGE + g.ControlGE + g.MALUGE(d)
 }
 
+// Estimate is a per-module area breakdown of one co-processor design
+// point. The secure-zone datapath (register file and MALU) pays the
+// logic-style multiplier; the microcode sequencer stays standard CMOS
+// — it handles no key-dependent data, so it needs no protected cells.
+type Estimate struct {
+	// DigitSize is the MALU digit width the estimate was taken at.
+	DigitSize int
+	// LogicFactor is the style area multiplier applied to the datapath
+	// (1 for CMOS, see power.LogicStyle.AreaFactor).
+	LogicFactor float64
+	// RegFileGE, MALUGE are the style-scaled datapath blocks.
+	RegFileGE float64
+	MALUGE    float64
+	// ControlGE is the unscaled sequencer/I/O block.
+	ControlGE float64
+}
+
+// TotalGE returns the summed gate count.
+func (e Estimate) TotalGE() float64 {
+	return e.RegFileGE + e.MALUGE + e.ControlGE
+}
+
+// Estimate prices a design point: digit size d with the datapath built
+// in a logic style costing logicFactor times CMOS area. At factor 1
+// the total equals ECCProcessorGE(d).
+func (g GateModel) Estimate(d int, logicFactor float64) Estimate {
+	return Estimate{
+		DigitSize:   d,
+		LogicFactor: logicFactor,
+		RegFileGE:   g.RegFileGE * logicFactor,
+		MALUGE:      g.MALUGE(d) * logicFactor,
+		ControlGE:   g.ControlGE,
+	}
+}
+
 // Power model for the sweep: dynamic power grows with the number of
 // datapath bits switching per cycle, i.e. linearly in d, on top of a
 // fixed clock/leakage floor. Calibrated to the chip's 50.4 µW at

@@ -1,0 +1,70 @@
+package design
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// pointJSON is the wire shape of a Point. The alias sidesteps the
+// custom UnmarshalJSON so the overlay decode below doesn't recurse.
+type pointJSON Point
+
+// UnmarshalJSON decodes a point as an overlay on Defaults(): a grid
+// file only states the knobs it sweeps, inherits the paper's
+// prototype for the rest, and is validated on the way in — with
+// unknown fields rejected so a typoed knob name can't silently no-op.
+func (p *Point) UnmarshalJSON(data []byte) error {
+	overlay := pointJSON(Defaults())
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&overlay); err != nil {
+		return fmt.Errorf("design: decoding point: %w", err)
+	}
+	pt := Point(overlay)
+	if err := pt.Validate(); err != nil {
+		return err
+	}
+	*p = pt
+	return nil
+}
+
+// MarshalJSON stamps the complete point — every knob explicit, so a
+// manifest-stamped point round-trips to the identical stack even if
+// Defaults() later changes.
+func (p Point) MarshalJSON() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(pointJSON(p))
+}
+
+// LoadGrid reads a JSON array of design points from path. Each
+// element overlays Defaults(); errors name the offending array index
+// and knob.
+func LoadGrid(path string) ([]Point, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseGrid(data)
+}
+
+// ParseGrid decodes a JSON array of design points.
+func ParseGrid(data []byte) ([]Point, error) {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("design: grid must be a JSON array of points: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("design: grid is empty")
+	}
+	pts := make([]Point, len(raw))
+	for i, msg := range raw {
+		if err := json.Unmarshal(msg, &pts[i]); err != nil {
+			return nil, fmt.Errorf("design: grid point %d: %w", i, err)
+		}
+	}
+	return pts, nil
+}

@@ -1,0 +1,107 @@
+package design
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPointJSONRoundTrip(t *testing.T) {
+	p := Defaults()
+	p.Name = "wddl-d8"
+	p.DigitSize = 8
+	p.Logic = "WDDL"
+	p.Channel = ChannelBursty
+	p.Loss = 0.25
+	p.RPC = false
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Point
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip changed the point:\n got %+v\nwant %+v", back, p)
+	}
+}
+
+// A grid file states only the knobs it sweeps; the rest comes from
+// Defaults().
+func TestUnmarshalOverlaysDefaults(t *testing.T) {
+	var p Point
+	if err := json.Unmarshal([]byte(`{"digit_size": 16, "logic": "SABL"}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	want := Defaults()
+	want.DigitSize = 16
+	want.Logic = "SABL"
+	if p != want {
+		t.Fatalf("overlay decode:\n got %+v\nwant %+v", p, want)
+	}
+}
+
+func TestUnmarshalRejectsBadKnobs(t *testing.T) {
+	var p Point
+	err := json.Unmarshal([]byte(`{"digit_size": 99}`), &p)
+	if err == nil || !strings.Contains(err.Error(), "DigitSize") {
+		t.Fatalf("out-of-range digit: err=%v", err)
+	}
+	err = json.Unmarshal([]byte(`{"digit_sze": 8}`), &p)
+	if err == nil || !strings.Contains(err.Error(), "digit_sze") {
+		t.Fatalf("typoed knob must be rejected, err=%v", err)
+	}
+}
+
+func TestMarshalRefusesInvalidPoint(t *testing.T) {
+	p := Defaults()
+	p.Logic = "TTL"
+	if _, err := json.Marshal(p); err == nil || !strings.Contains(err.Error(), "Logic") {
+		t.Fatalf("marshal of invalid point: err=%v", err)
+	}
+}
+
+func TestLoadGrid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.json")
+	body := `[
+  {"name": "base"},
+  {"name": "fast", "digit_size": 16},
+  {"name": "hard", "logic": "wddl", "rpc": true}
+]`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := LoadGrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[1].DigitSize != 16 || pts[2].Logic != "wddl" {
+		t.Fatalf("grid: %+v", pts)
+	}
+	// Every loaded point builds.
+	for i, p := range pts {
+		if _, err := p.Build(); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+	}
+}
+
+func TestLoadGridNamesOffendingIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(path, []byte(`[{}, {"curve": "P-256"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadGrid(path)
+	if err == nil || !strings.Contains(err.Error(), "point 1") || !strings.Contains(err.Error(), "Curve") {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := ParseGrid([]byte(`[]`)); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := ParseGrid([]byte(`{"digit_size": 4}`)); err == nil {
+		t.Fatal("non-array grid accepted")
+	}
+}

@@ -19,12 +19,9 @@ import (
 	"sort"
 
 	"medsec/internal/campaign"
-	"medsec/internal/ec"
-	"medsec/internal/link"
+	"medsec/internal/design"
 	"medsec/internal/obs"
 	"medsec/internal/protocol"
-	"medsec/internal/radio"
-	"medsec/internal/rng"
 )
 
 // GridConfig parametrizes one sweep.
@@ -37,12 +34,11 @@ type GridConfig struct {
 	Distances []float64
 	// Reps is the number of sessions simulated per cell.
 	Reps int
-	// Bursty selects the Gilbert–Elliott channel preset instead of the
-	// iid one.
-	Bursty bool
-	// ARQ is the transport policy; the zero value selects
-	// link.DefaultARQ().
-	ARQ link.ARQConfig
+	// Point is the base design point every cell builds on: channel
+	// kind (iid or bursty), ARQ policy, curve, radio model. Loss and
+	// DistanceM are overridden per cell from the grid axes. The zero
+	// value selects design.Defaults() on an iid channel.
+	Point design.Point
 	// Workers is the campaign pool size; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Seed drives every per-session substream.
@@ -94,127 +90,79 @@ type GridReport struct {
 	Sessions int
 }
 
-// sessionOutcome is one simulated session, as the worker returns it.
-type sessionOutcome struct {
-	completed  bool
-	stage      string
-	devRetries int
-	devLedger  protocol.Ledger
-	phyTxBits  int
-	phyRxBits  int
-}
-
-// mix derives the per-session channel seed from (seed, cell, rep) by
-// SplitMix-style avalanche, so neighboring sessions get unrelated
-// streams.
-func mix(seed uint64, cell, rep int) uint64 {
-	z := seed ^ (uint64(cell) << 32) ^ uint64(rep)
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
 // Run executes the sweep.
 func Run(cfg GridConfig) (*GridReport, error) {
 	if len(cfg.LossRates) == 0 || len(cfg.Distances) == 0 || cfg.Reps <= 0 {
 		return nil, errors.New("linksim: empty grid")
 	}
-	arq := cfg.ARQ
-	if arq == (link.ARQConfig{}) {
-		arq = link.DefaultARQ()
+	base := cfg.Point
+	if base == (design.Point{}) {
+		base = design.Defaults()
+		base.Channel = design.ChannelIID
 	}
-	curve := ec.K163()
 	nCells := len(cfg.Distances) * len(cfg.LossRates)
 	total := nCells * cfg.Reps
 
 	type job struct {
 		cell, rep int
 	}
-	// Per-cell accumulators, filled in consume (serial, index order).
+	// Per-cell accumulators, filled in consume (serial, index order),
+	// plus one built stack per cell (loss/distance overridden from the
+	// grid axes; everything else from the base point).
 	cells := make([]CellReport, nCells)
+	stacks := make([]*design.Stack, nCells)
 	retries := make([][]int, nCells)
-	model := radio.DefaultModel()
-	costs := radio.PaperCosts()
 	for i := range cells {
 		di, li := i/len(cfg.LossRates), i%len(cfg.LossRates)
+		pt := base
+		pt.Loss = cfg.LossRates[li]
+		pt.DistanceM = cfg.Distances[di]
+		st, err := pt.Build()
+		if err != nil {
+			return nil, err
+		}
+		stacks[i] = st
 		cells[i] = CellReport{
-			Loss:          cfg.LossRates[li],
-			Distance:      cfg.Distances[di],
+			Loss:          pt.Loss,
+			Distance:      pt.DistanceM,
 			AbortsByStage: map[string]int{},
 		}
 	}
+	model := stacks[0].Radio
+	costs := stacks[0].Costs
 
 	prepare := func(idx int) (job, error) {
 		return job{cell: idx / cfg.Reps, rep: idx % cfg.Reps}, nil
 	}
-	acquire := func(worker, idx int, j job) (sessionOutcome, error) {
-		// Derive the cell parameters from the config, not the shared
-		// report slice (which the consumer mutates concurrently).
-		loss := cfg.LossRates[j.cell%len(cfg.LossRates)]
-		cc := link.Lossy(loss)
-		if cfg.Bursty {
-			cc = link.Bursty(loss)
-		}
-		sseed := mix(cfg.Seed, j.cell, j.rep)
-		pair, err := link.NewPair(cc, arq, sseed)
-		if err != nil {
-			return sessionOutcome{}, err
-		}
-		// Aggregate the ARQ counters of every session into the sweep
-		// registry (atomic adds commute: the totals are deterministic
-		// for any worker count even though sessions run concurrently).
-		pair.Instrument(cfg.Metrics)
-		// Fresh parties per session, keyed from the session seed so
-		// the whole run is a pure function of (seed, cell, rep).
-		src := rng.NewDRBG(sseed ^ 0xC0FFEE).Uint64
-		mul := &protocol.SoftwareMultiplier{Curve: curve, Rand: src}
-		rdr, err := protocol.NewReader(curve, mul, src)
-		if err != nil {
-			return sessionOutcome{}, err
-		}
-		dev, err := protocol.NewTag(curve, mul, src, rdr.Pub)
-		if err != nil {
-			return sessionOutcome{}, err
-		}
-		rdr.Register(dev.Pub)
-		res, err := protocol.RunMutualAuthSession(dev, rdr, protocol.SessionOptions{
-			Wire: protocol.NewWire(pair), ServerFirst: true,
-		})
-		if err != nil {
-			return sessionOutcome{}, err
-		}
-		st := pair.A().Stats()
-		return sessionOutcome{
-			completed:  res.Completed,
-			stage:      res.AbortStage,
-			devRetries: st.Retries,
-			devLedger:  res.DeviceLedger,
-			phyTxBits:  st.PhyTxBits(),
-			phyRxBits:  st.PhyRxBits(),
-		}, nil
+	acquire := func(worker, idx int, j job) (design.SessionOutcome, error) {
+		// One fresh pair + party set per session, a pure function of
+		// (seed, cell, rep); the sweep registry aggregates the ARQ
+		// counters of every session (atomic adds commute, so the
+		// totals are deterministic for any worker count).
+		return stacks[j.cell].RunAuthSession(design.MixSeed(cfg.Seed, j.cell, j.rep), cfg.Metrics)
 	}
 	mSessions := cfg.Metrics.Counter("linksim_sessions")
 	mCompleted := cfg.Metrics.Counter("linksim_completed")
 	mAborts := cfg.Metrics.Counter("linksim_aborts")
-	consume := func(idx int, j job, out sessionOutcome) (bool, error) {
+	consume := func(idx int, j job, out design.SessionOutcome) (bool, error) {
 		c := &cells[j.cell]
 		c.Sessions++
 		mSessions.Inc()
-		if out.completed {
+		if out.Completed {
 			c.Completed++
 			mCompleted.Inc()
 		} else {
-			c.AbortsByStage[out.stage]++
+			c.AbortsByStage[out.Stage]++
 			mAborts.Inc()
 		}
-		retries[j.cell] = append(retries[j.cell], out.devRetries)
-		c.MeanLedgerJ += model.LedgerEnergy(out.devLedger, c.Distance, costs)
+		retries[j.cell] = append(retries[j.cell], out.Retries)
+		c.MeanLedgerJ += model.LedgerEnergy(out.Ledger, c.Distance, costs)
 		// Physical cost: every bit the device radio moved (payload +
 		// framing + ACKs) plus the same computation.
-		c.MeanPhyJ += model.TxEnergy(out.phyTxBits, c.Distance) + model.RxEnergy(out.phyRxBits) +
-			float64(out.devLedger.PointMuls)*costs.PointMulJ +
-			float64(out.devLedger.ModMuls)*costs.ModMulJ +
-			float64(out.devLedger.AESBlocks)*costs.AESBlockJ
+		c.MeanPhyJ += model.TxEnergy(out.PhyTxBits, c.Distance) + model.RxEnergy(out.PhyRxBits) +
+			float64(out.Ledger.PointMuls)*costs.PointMulJ +
+			float64(out.Ledger.ModMuls)*costs.ModMulJ +
+			float64(out.Ledger.AESBlocks)*costs.AESBlockJ
 		if cfg.Progress != nil {
 			cfg.Progress(idx+1, total)
 		}

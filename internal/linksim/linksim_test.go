@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"medsec/internal/link"
+	"medsec/internal/design"
 	"medsec/internal/protocol"
 )
 
@@ -43,14 +43,15 @@ func TestGridDeterminismAcrossWorkers(t *testing.T) {
 // perfect-channel baseline; a dead channel completes nothing and
 // labels every abort as link exhaustion; loss can only add energy.
 func TestGridSemantics(t *testing.T) {
-	ac := link.DefaultARQ()
-	ac.MaxTries = 4
-	ac.RetryBudget = 8
+	pt := design.Defaults()
+	pt.Channel = design.ChannelIID
+	pt.ARQMaxTries = 4
+	pt.ARQRetryBudget = 8
 	rep, err := Run(GridConfig{
 		LossRates: []float64{0, 0.99},
 		Distances: []float64{1, 10},
 		Reps:      3,
-		ARQ:       ac,
+		Point:     pt,
 		Seed:      11,
 	})
 	if err != nil {

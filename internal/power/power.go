@@ -22,6 +22,9 @@
 package power
 
 import (
+	"fmt"
+	"strings"
+
 	"medsec/internal/coproc"
 	"medsec/internal/rng"
 )
@@ -53,6 +56,35 @@ func (s LogicStyle) String() string {
 		return "SABL"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseStyle maps a (case-insensitive) style name to its LogicStyle.
+func ParseStyle(name string) (LogicStyle, error) {
+	switch strings.ToLower(name) {
+	case "cmos":
+		return CMOS, nil
+	case "wddl":
+		return WDDL, nil
+	case "sabl":
+		return SABL, nil
+	default:
+		return CMOS, fmt.Errorf("power: unknown logic style %q (want cmos, wddl or sabl)", name)
+	}
+}
+
+// AreaFactor returns the gate-area multiplier of the style relative to
+// standard CMOS — the Section 6 costs: WDDL roughly 3x (complementary
+// precharged pairs), SABL roughly 2x (full-custom dynamic differential
+// cells).
+func (s LogicStyle) AreaFactor() float64 {
+	switch s {
+	case WDDL:
+		return 3.0
+	case SABL:
+		return 2.0
+	default:
+		return 1.0
 	}
 }
 
