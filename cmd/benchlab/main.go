@@ -34,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"medsec/internal/campaign"
+	"medsec/internal/cliutil"
 	"medsec/internal/coproc"
 	"medsec/internal/design"
 	"medsec/internal/gf2m"
@@ -111,13 +113,15 @@ var benchScalar = modn.MustScalarFromHex("2fe13c0537bbc11acaa07d793de4e6d5e5c94e
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchlab: ")
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("benchlab", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_simcore.json", "output report path (- for stdout)")
 	quick := fs.Bool("quick", false, "single-iteration smoke run (CI): skips statistical settling")
@@ -273,6 +277,7 @@ func run(args []string) error {
 		if err != nil {
 			return nil, err
 		}
+		tgt.Ctx = ctx
 		tgt.Metrics = reg
 		if legacy {
 			tgt.Shards = -1

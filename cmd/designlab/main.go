@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +47,7 @@ import (
 	"strings"
 
 	"medsec/internal/campaign"
+	"medsec/internal/cliutil"
 	"medsec/internal/design"
 	"medsec/internal/modn"
 	"medsec/internal/obs"
@@ -57,7 +59,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("designlab: ")
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
@@ -76,7 +80,7 @@ type result struct {
 	CPATraces  int // traces to disclosure; -1 = never succeeded; -2 = not attacked
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("designlab", flag.ContinueOnError)
 	var (
 		gridFile    = fs.String("grid", "", "JSON file holding an array of design points (overrides -d/-logic/-rpc)")
@@ -134,7 +138,7 @@ func run(args []string) error {
 		return evalPoint(stacks[idx], idx, *seed, *reps, *tvlaN, sizes)
 	}
 	_, err = campaign.RunSharded(0, len(pts),
-		campaign.ShardedConfig{Workers: *workers, Shards: *shards},
+		campaign.ShardedConfig{Workers: *workers, Shards: *shards, Ctx: ctx},
 		func(idx int) (int, error) { return idx, nil },
 		func(worker, idx int, _ int) (result, error) { return eval(idx) },
 		func(shard int) int { return shard },

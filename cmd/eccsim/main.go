@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"medsec/internal/cliutil"
 	"medsec/internal/design"
 	"medsec/internal/obs"
 	"medsec/internal/tabular"
@@ -23,13 +25,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eccsim: ")
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eccsim", flag.ContinueOnError)
 	var (
 		n         = fs.Int("n", 10, "number of point multiplications")
@@ -68,6 +72,11 @@ func run(args []string) error {
 	}
 	g := chip.Curve().Generator()
 	for i := 0; i < *n; i++ {
+		// The simulator runs one point multiplication at a time, so
+		// interruption lands on the operation boundary.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		k := chip.GenerateScalar()
 		if _, err := chip.PointMul(k, g); err != nil {
 			return err

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"medsec/internal/cliutil"
 	"medsec/internal/design"
 	"medsec/internal/linksim"
 	"medsec/internal/obs"
@@ -39,13 +41,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("linklab: ")
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("linklab", flag.ContinueOnError)
 	lossStr := fs.String("loss", design.DefaultLossGrid, "comma-separated channel loss rates")
 	distStr := fs.String("dist", design.DefaultDistGrid, "comma-separated TX distances in meters")
@@ -100,6 +104,7 @@ func run(args []string) error {
 		Point:     pt,
 		Workers:   *workers,
 		Seed:      *seed,
+		Ctx:       ctx,
 		Metrics:   reg,
 	})
 	if err != nil {

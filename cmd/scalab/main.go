@@ -2,9 +2,11 @@
 // paper's Fig. 4 against the simulated co-processor:
 //
 //	scalab dpa    [-traces 20000] [-bits 6] [-rpc=true] [-known-masks=false] [-workers 0] [-shards 0]
+//	              [-checkpoint ck.msckpt] [-checkpoint-interval 1000] [-resume]
 //	scalab spa    [-balanced=true] [-gating=false] [-profile 0] [-workers 0] [-shards 0]
 //	scalab timing [-keys 1000]
 //	scalab tvla   [-traces 500] [-rpc=true] [-early=false] [-workers 0] [-shards 0]
+//	              [-checkpoint ck.msckpt] [-checkpoint-interval 1000] [-resume]
 //	scalab leakmap [-traces 200] [-workers 0] [-shards 0]
 //
 // The dpa subcommand with default flags reproduces the §7 statement
@@ -28,6 +30,17 @@
 // checkpoint/quiet-prefix acquisition planner removes from the
 // evented pipeline.
 //
+// The dpa and tvla campaigns are crash-safe: with -checkpoint the run
+// writes durable accumulator snapshots (internal/store format) every
+// -checkpoint-interval traces and once more on SIGINT/SIGTERM, which
+// scalab treats as graceful cancellation rather than death. Rerunning
+// the same command with -resume continues from the snapshot and
+// produces the byte-identical final report an uninterrupted run would
+// have printed; a -resume against a checkpoint from a different seed,
+// design point, campaign kind or code revision is refused by name.
+// Growing -traces between runs extends a completed serial campaign
+// in a new process.
+//
 // Every subcommand accepts -metrics out.json: the run then carries a
 // live internal/obs registry through the acquisition stack and writes
 // a provenance manifest (environment stamp, resolved flag set, metric
@@ -37,12 +50,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"medsec/internal/campaign"
+	"medsec/internal/cliutil"
 	"medsec/internal/design"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
@@ -50,38 +68,43 @@ import (
 	"medsec/internal/profiling"
 	"medsec/internal/rng"
 	"medsec/internal/sca"
+	"medsec/internal/store"
 	"medsec/internal/tabular"
 	"medsec/internal/trace"
 )
 
 // main is the binary's single exit point: every subcommand returns an
 // error instead of calling log.Fatal (which would skip deferred
-// cleanup — profile stops, metric manifests).
+// cleanup — profile stops, metric manifests, final checkpoints). The
+// signal context turns SIGINT/SIGTERM into campaign cancellation, so
+// a killed run unwinds through those same deferred writers.
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scalab: ")
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) < 1 {
 		return usageError()
 	}
 	sub, rest := args[0], args[1:]
 	switch sub {
 	case "dpa":
-		return dpaCmd(rest)
+		return dpaCmd(ctx, rest)
 	case "spa":
-		return spaCmd(rest)
+		return spaCmd(ctx, rest)
 	case "timing":
 		return timingCmd(rest)
 	case "tvla":
-		return tvlaCmd(rest)
+		return tvlaCmd(ctx, rest)
 	case "leakmap":
-		return leakmapCmd(rest)
+		return leakmapCmd(ctx, rest)
 	default:
 		return usageError()
 	}
@@ -94,8 +117,10 @@ func usageError() error {
 // newTarget builds the lab's standard evaluation target through the
 // design layer: the protected chip at the white-box noise floor, key
 // derived from the experiment seed, trace schedule from seed+99. mut
-// adjusts circuit knobs on the design point before the build.
-func newTarget(rpc bool, seed uint64, mut func(*design.Point)) (*sca.Target, *ec.Curve, error) {
+// adjusts circuit knobs on the design point before the build. The
+// resolved point is returned alongside the target — it is the
+// provenance record checkpoint headers pin a campaign to.
+func newTarget(rpc bool, seed uint64, mut func(*design.Point)) (*sca.Target, *ec.Curve, design.Point, error) {
 	p := design.Defaults()
 	p.RPC = rpc
 	p.XOnly = true
@@ -107,13 +132,13 @@ func newTarget(rpc bool, seed uint64, mut func(*design.Point)) (*sca.Target, *ec
 	}
 	st, err := p.Build()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, p, err
 	}
 	tgt, err := st.Target(st.DeviceKey(seed))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, p, err
 	}
-	return tgt, st.Curve, nil
+	return tgt, st.Curve, p, nil
 }
 
 // workersFlag registers the shared -workers flag.
@@ -130,6 +155,58 @@ func shardsFlag(fs *flag.FlagSet) *int {
 // metricsFlag registers the shared -metrics flag.
 func metricsFlag(fs *flag.FlagSet) *string {
 	return fs.String("metrics", "", "write a run manifest (environment, flags, metric snapshot) to this JSON file")
+}
+
+// checkpointFlags registers the shared crash-safety flags of the
+// long-campaign subcommands (dpa, tvla).
+func checkpointFlags(fs *flag.FlagSet) (path *string, every *int, resume *bool) {
+	path = fs.String("checkpoint", "", "write durable campaign checkpoints to this file (atomic replace; final write on SIGINT/SIGTERM)")
+	every = fs.Int("checkpoint-interval", design.DefaultCheckpointInterval, "acquired traces between periodic checkpoint writes")
+	resume = fs.Bool("resume", false, "continue the campaign from the -checkpoint file when it exists")
+	return path, every, resume
+}
+
+// newCheckpoint builds the campaign checkpoint config from the flag
+// triple, stamping the provenance header that chains the file to this
+// exact campaign: tool, kind, seed, code revision and the full
+// resolved design point. Returns nil (checkpointing off) when no
+// -checkpoint path was given.
+func newCheckpoint(path string, every int, resume bool, kind string, seed uint64, pt design.Point) (*sca.CampaignCheckpoint, error) {
+	if path == "" {
+		if resume {
+			return nil, errors.New("-resume needs -checkpoint")
+		}
+		return nil, nil
+	}
+	pj, err := json.Marshal(pt)
+	if err != nil {
+		return nil, err
+	}
+	return &sca.CampaignCheckpoint{
+		Path:   path,
+		Every:  every,
+		Resume: resume,
+		Header: store.Header{
+			Tool:   "scalab",
+			Kind:   kind,
+			Seed:   seed,
+			GitSHA: obs.GitSHA(),
+			Point:  pj,
+		},
+	}, nil
+}
+
+// interruptedHint rewrites the engine's cancellation sentinel into an
+// actionable message: where the final checkpoint landed and how to
+// continue. Non-interrupt errors pass through untouched.
+func interruptedHint(err error, ck *sca.CampaignCheckpoint) error {
+	if err == nil || !errors.Is(err, campaign.ErrInterrupted) {
+		return err
+	}
+	if ck == nil {
+		return fmt.Errorf("%w (rerun with -checkpoint to make campaigns resumable)", err)
+	}
+	return fmt.Errorf("%w: checkpoint written to %s; rerun with -resume to continue", err, ck.Path)
 }
 
 // newRegistry returns a live registry when -metrics requested a
@@ -198,7 +275,7 @@ func (m *meter) report(cyclesPerTrace int) {
 		m.acquired, sec, float64(m.acquired)/sec, float64(m.acquired)*float64(cyclesPerTrace)/sec)
 }
 
-func dpaCmd(args []string) error {
+func dpaCmd(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("dpa", flag.ContinueOnError)
 	traces := fs.Int("traces", 20000, "maximum campaign size")
 	bits := fs.Int("bits", 6, "key bits to recover")
@@ -208,6 +285,7 @@ func dpaCmd(args []string) error {
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
 	metrics := metricsFlag(fs)
+	ckPath, ckEvery, ckResume := checkpointFlags(fs)
 	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -219,13 +297,27 @@ func dpaCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
-	tgt, _, err := newTarget(*rpc, *seed, nil)
+	// Deferred so an interrupted campaign still records its manifest —
+	// the run happened and consumed its budget even if it was cut
+	// short. The campaign's own error wins over a manifest I/O error.
+	defer func() {
+		if werr := writeManifest(*metrics, "dpa", *seed, fs, reg); err == nil {
+			err = werr
+		}
+	}()
+	tgt, _, pt, err := newTarget(*rpc, *seed, nil)
 	if err != nil {
 		return err
 	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
 	tgt.Metrics = reg
+	tgt.Ctx = ctx
+	ck, err := newCheckpoint(*ckPath, *ckEvery, *ckResume, "dpa", *seed, pt)
+	if err != nil {
+		return err
+	}
+	tgt.Ckpt = ck
 	sizes := []int{}
 	for _, s := range []int{25, 50, 100, 150, 200, 300, 450, 700, 1000, 2000, 4000, 8000, 12000, 20000} {
 		if s <= *traces {
@@ -243,7 +335,7 @@ func dpaCmd(args []string) error {
 	n, res, err := sca.TracesToSuccess(tgt, sizes, *bits,
 		sca.CPAOptions{KnownMasks: *known}, rng.NewDRBG(*seed+5).Uint64)
 	if err != nil {
-		return err
+		return interruptedHint(err, ck)
 	}
 	t := tabular.New("outcome", "value")
 	if n >= 0 {
@@ -259,10 +351,10 @@ func dpaCmd(args []string) error {
 	t.Render(os.Stdout)
 	_, end := tgt.Window(dpaFirstIter, dpaFirstIter-*bits+1)
 	m.report(end)
-	return writeManifest(*metrics, "dpa", *seed, fs, reg)
+	return nil
 }
 
-func spaCmd(args []string) error {
+func spaCmd(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("spa", flag.ContinueOnError)
 	balanced := fs.Bool("balanced", true, "balanced mux control encoding (Fig. 3)")
 	gating := fs.Bool("gating", false, "data-dependent clock gating")
@@ -282,7 +374,12 @@ func spaCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
-	tgt, curve, err := newTarget(true, *seed, func(p *design.Point) {
+	defer func() {
+		if werr := writeManifest(*metrics, "spa", *seed, fs, reg); err == nil {
+			err = werr
+		}
+	}()
+	tgt, curve, _, err := newTarget(true, *seed, func(p *design.Point) {
 		p.BalancedMux = *balanced
 		p.DataDepClockGating = *gating
 		p.NoiseSigma = design.DefaultNoiseSigma
@@ -293,6 +390,7 @@ func spaCmd(args []string) error {
 	tgt.Workers = *workers
 	tgt.Shards = *shards
 	tgt.Metrics = reg
+	tgt.Ctx = ctx
 	// SPA averages the full ladder, so the only prologue the planner
 	// can remove is the short pre-ladder setup (load/format
 	// instructions before iteration 162).
@@ -315,10 +413,10 @@ func spaCmd(args []string) error {
 	t.Row("bit accuracy", fmt.Sprintf("%.3f", res.Accuracy()))
 	t.Row("cluster separation (sigma)", fmt.Sprintf("%.2f", res.MeanAbsFeatureGap()))
 	t.Render(os.Stdout)
-	return writeManifest(*metrics, "spa", *seed, fs, reg)
+	return nil
 }
 
-func timingCmd(args []string) error {
+func timingCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("timing", flag.ContinueOnError)
 	keys := fs.Int("keys", 1000, "random keys to measure")
 	seed := fs.Uint64("seed", 1, "experiment seed")
@@ -338,6 +436,11 @@ func timingCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
+	defer func() {
+		if werr := writeManifest(*metrics, "timing", *seed, fs, reg); err == nil {
+			err = werr
+		}
+	}()
 	st, err := design.Defaults().Build()
 	if err != nil {
 		return err
@@ -354,10 +457,10 @@ func timingCmd(args []string) error {
 		fmt.Sprintf("%d..%d cycles", rep.DAMinCycles, rep.DAMaxCycles),
 		fmt.Sprintf("latency/HW corr %.3f, HW error %.2f bits", rep.DAHWCorrelation, rep.DARecoveredHWError))
 	t.Render(os.Stdout)
-	return writeManifest(*metrics, "timing", *seed, fs, reg)
+	return nil
 }
 
-func leakmapCmd(args []string) error {
+func leakmapCmd(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("leakmap", flag.ContinueOnError)
 	traces := fs.Int("traces", 200, "traces per set")
 	balanced := fs.Bool("balanced", true, "balanced mux control encoding")
@@ -378,7 +481,12 @@ func leakmapCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
-	tgt, curve, err := newTarget(true, *seed, func(p *design.Point) {
+	defer func() {
+		if werr := writeManifest(*metrics, "leakmap", *seed, fs, reg); err == nil {
+			err = werr
+		}
+	}()
+	tgt, curve, _, err := newTarget(true, *seed, func(p *design.Point) {
 		p.BalancedMux = *balanced
 		p.DataDepClockGating = *gating
 		p.ResidualImbalance = *residual
@@ -390,6 +498,7 @@ func leakmapCmd(args []string) error {
 	tgt.Workers = *workers
 	tgt.Shards = *shards
 	tgt.Metrics = reg
+	tgt.Ctx = ctx
 	src := rng.NewDRBG(*seed + 3).Uint64
 	m, err := sca.LeakageMap(tgt, sca.FixedPoint(curve), *traces, 160, 157,
 		func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) })
@@ -401,7 +510,7 @@ func leakmapCmd(args []string) error {
 		tgt.NewCampaign(160, 157).PrologueCyclesSkipped())
 	if !m.Leaks() {
 		fmt.Println("no significant key-dependent leakage located")
-		return writeManifest(*metrics, "leakmap", *seed, fs, reg)
+		return nil
 	}
 	t := tabular.New("rank", "cycle", "|t|", "instruction", "iteration", "key bit")
 	for i, p := range m.Points {
@@ -419,10 +528,10 @@ func leakmapCmd(args []string) error {
 	for op, n := range m.ByOp() {
 		fmt.Printf("  %-6s %d leaky cycles\n", op, n)
 	}
-	return writeManifest(*metrics, "leakmap", *seed, fs, reg)
+	return nil
 }
 
-func tvlaCmd(args []string) error {
+func tvlaCmd(ctx context.Context, args []string) (err error) {
 	fs := flag.NewFlagSet("tvla", flag.ContinueOnError)
 	traces := fs.Int("traces", 500, "traces per set")
 	rpc := fs.Bool("rpc", true, "randomized projective coordinates enabled")
@@ -431,6 +540,7 @@ func tvlaCmd(args []string) error {
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
 	metrics := metricsFlag(fs)
+	ckPath, ckEvery, ckResume := checkpointFlags(fs)
 	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -442,13 +552,31 @@ func tvlaCmd(args []string) error {
 	defer stop()
 
 	reg := newRegistry(*metrics)
-	tgt, curve, err := newTarget(*rpc, *seed, nil)
+	defer func() {
+		if werr := writeManifest(*metrics, "tvla", *seed, fs, reg); err == nil {
+			err = werr
+		}
+	}()
+	tgt, curve, pt, err := newTarget(*rpc, *seed, nil)
 	if err != nil {
 		return err
 	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
 	tgt.Metrics = reg
+	tgt.Ctx = ctx
+	// The early-stop variant folds through a different consumer and
+	// stops at a different watermark, so its checkpoints are a
+	// distinct kind: a -resume must replay the same campaign flavor.
+	kind := "tvla"
+	if *early {
+		kind = "tvla-until"
+	}
+	ck, err := newCheckpoint(*ckPath, *ckEvery, *ckResume, kind, *seed, pt)
+	if err != nil {
+		return err
+	}
+	tgt.Ckpt = ck
 	src := rng.NewDRBG(*seed + 9).Uint64
 	randKey := func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) }
 	m := newMeter(tgt, reg)
@@ -459,7 +587,7 @@ func tvlaCmd(args []string) error {
 		res, err = sca.TVLA(tgt, sca.FixedPoint(curve), *traces, 160, 157, randKey)
 	}
 	if err != nil {
-		return err
+		return interruptedHint(err, ck)
 	}
 	t := tabular.New("metric", "value")
 	t.Row("RPC", *rpc)
@@ -479,5 +607,5 @@ func tvlaCmd(args []string) error {
 	t.Row("verdict", verdict)
 	t.Render(os.Stdout)
 	m.report(res.CyclesPerTrace)
-	return writeManifest(*metrics, "tvla", *seed, fs, reg)
+	return nil
 }

@@ -18,12 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"medsec/internal/area"
+	"medsec/internal/cliutil"
 	"medsec/internal/design"
 	"medsec/internal/obs"
 	"medsec/internal/privacy"
@@ -35,13 +37,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweeptab: ")
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) < 1 {
 		return usageError()
 	}
@@ -59,7 +63,10 @@ func run(args []string) error {
 	case "security":
 		return securityCmd(args[1:])
 	case "counter":
-		return counterCmd(args[1:])
+		// The only sweeptab table that runs acquisition campaigns
+		// (per-variant single-trace SPA) and so the only one worth
+		// interrupting mid-flight.
+		return counterCmd(ctx, args[1:])
 	default:
 		return usageError()
 	}
@@ -98,7 +105,7 @@ func writeManifest(path, sub string, seed uint64, fs *flag.FlagSet, reg *obs.Reg
 // counterCmd prints the paper's thesis as one table: what each
 // countermeasure costs in energy and what single-trace SPA achieves
 // against the design point.
-func counterCmd(args []string) error {
+func counterCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("counter", flag.ContinueOnError)
 	metrics := metricsFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -160,6 +167,7 @@ func counterCmd(args []string) error {
 		if err != nil {
 			return err
 		}
+		tgt.Ctx = ctx
 		res, err := sca.SPA(tgt, st.Curve.Generator(), 0)
 		if err != nil {
 			return err

@@ -41,6 +41,8 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -48,6 +50,13 @@ import (
 
 	"medsec/internal/obs"
 )
+
+// ErrInterrupted is returned by Run/RunSharded when the configured
+// context is cancelled (SIGINT/SIGTERM in the CLIs). The final
+// checkpoint hook has already run by the time it is returned: the
+// caller's accumulator state is exactly the reported watermark, ready
+// to be persisted or discarded.
+var ErrInterrupted = errors.New("campaign: interrupted")
 
 // MaxWorkers caps the pool: campaign throughput saturates the memory
 // hierarchy well before this, and the reorder buffer grows with the
@@ -159,6 +168,29 @@ type Config struct {
 	// each, and a nil registry costs nothing (every obs method is a
 	// nil-safe no-op).
 	Metrics *obs.Registry
+	// Ctx, when non-nil, makes the run interruptible: on cancellation
+	// the engine stops feeding the pool, calls the Checkpoint hook one
+	// final time at the exact consumed watermark, and returns
+	// ErrInterrupted. A nil Ctx (the default) is never checked.
+	Ctx context.Context
+	// ResumeFrom resumes a checkpointed run: the first ResumeFrom
+	// indices of the range were already consumed by a previous
+	// process. prepare still runs for them, serially and in index
+	// order, so shared stateful RNG streams (random keys, attacker
+	// point selection) advance exactly as in an uninterrupted run —
+	// but their jobs are discarded without acquisition or consumption.
+	// The return value counts only newly consumed samples.
+	ResumeFrom int
+	// Checkpoint, when non-nil, is called on the consuming goroutine
+	// with the current watermark w — indices [from, from+w) consumed,
+	// every streaming statistic folded over exactly that prefix —
+	// whenever w crosses a CheckpointEvery multiple, and once more on
+	// interrupt. A hook error aborts the run.
+	Checkpoint func(watermark int) error
+	// CheckpointEvery is the consumed-trace interval between periodic
+	// Checkpoint calls; <= 0 disables them (the interrupt-path call
+	// still happens).
+	CheckpointEvery int
 }
 
 // PrepareFunc builds the job for sample idx. Called serially in index
@@ -193,12 +225,18 @@ type outcome[J, R any] struct {
 // acquire, or consume) surface in index order, so even failure is
 // deterministic.
 func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire AcquireFunc[J, R], consume ConsumeFunc[J, R]) (int, error) {
-	if to >= 0 && from >= to {
+	if cfg.ResumeFrom < 0 {
+		cfg.ResumeFrom = 0
+	}
+	// start is the first index actually acquired; [from, start) is the
+	// resumed prefix, replayed through prepare only.
+	start := from + cfg.ResumeFrom
+	if to >= 0 && start >= to {
 		return 0, nil
 	}
 	workers := Workers(cfg.Workers)
-	if to >= 0 && workers > to-from {
-		workers = to - from
+	if to >= 0 && workers > to-start {
+		workers = to - start
 	}
 
 	// Resolve instruments once per run: the per-sample cost is a single
@@ -235,6 +273,11 @@ func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acq
 				return
 			}
 			mPrepared.Inc()
+			if idx < start {
+				// Resumed prefix: prepare ran (the shared RNG streams
+				// must advance), the job is not re-acquired.
+				continue
+			}
 			select {
 			case jobs <- item[J]{idx: idx, job: j}:
 			case <-quit:
@@ -276,15 +319,31 @@ func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acq
 	// bounded by the two channel capacities plus the workers
 	// themselves.
 	pending := make(map[int]outcome[J, R], 3*workers+2)
-	cursor := from
+	cursor := start
 	consumed := 0
-	lastProgress := from // highest index+1 reported via cfg.Progress
+	lastProgress := start // highest index+1 reported via cfg.Progress
 	var runErr error
 	stopped := false
+	interrupted := false
+	var ctxDone <-chan struct{}
+	if cfg.Ctx != nil {
+		ctxDone = cfg.Ctx.Done()
+	}
 
 	defer close(quit) // unblock dispatcher/workers parked on sends
 
+loop:
 	for to < 0 || cursor < to {
+		// Non-blocking cancellation check between consumes (a nil
+		// ctxDone never fires).
+		select {
+		case <-ctxDone:
+			interrupted = true
+		default:
+		}
+		if interrupted {
+			break
+		}
 		if r, ok := pending[cursor]; ok {
 			delete(pending, cursor)
 			if r.err != nil {
@@ -307,16 +366,37 @@ func Run[J, R any](from, to int, cfg Config, prepare PrepareFunc[J], acquire Acq
 				stopped = true
 				break
 			}
+			if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 && (cursor-from)%cfg.CheckpointEvery == 0 {
+				if err := cfg.Checkpoint(cursor - from); err != nil {
+					runErr = err
+					break
+				}
+			}
 			continue
 		}
-		r, ok := <-results
-		if !ok {
-			// Producers exhausted with the cursor unreached: only
-			// possible when an error outcome was consumed already or
-			// the dispatcher stopped — nothing left to do.
-			break
+		select {
+		case r, ok := <-results:
+			if !ok {
+				// Producers exhausted with the cursor unreached: only
+				// possible when an error outcome was consumed already
+				// or the dispatcher stopped — nothing left to do.
+				break loop
+			}
+			pending[r.idx] = r
+		case <-ctxDone:
+			interrupted = true
+			break loop
 		}
-		pending[r.idx] = r
+	}
+	if interrupted && runErr == nil {
+		// Final checkpoint at the exact consumed watermark, then
+		// surface the interruption.
+		runErr = ErrInterrupted
+		if cfg.Checkpoint != nil {
+			if err := cfg.Checkpoint(cursor - from); err != nil {
+				runErr = err
+			}
+		}
 	}
 	// Progress contract: a successful bounded run always reports the
 	// total as its final call. The consume loop already does so when it

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -76,6 +77,33 @@ type ShardedConfig struct {
 	// batch sizes — how much reordering the shard cursors absorb).
 	// Nil is the zero-cost default.
 	Metrics *obs.Registry
+	// Ctx, when non-nil, makes the run interruptible: on cancellation
+	// the pool drains, the Checkpoint hook runs one final time with
+	// the per-shard cursors, and RunSharded returns ErrInterrupted
+	// (the merge phase is skipped). A nil Ctx is never checked.
+	Ctx context.Context
+	// Resume holds per-shard global cursors from a checkpoint: shard s
+	// has already folded indices [lo_s, Resume[s]) in a previous
+	// process. prepare replays the folded indices in order (shared RNG
+	// streams advance identically); acquire and fold skip them. The
+	// length must equal the resolved shard count and every cursor must
+	// lie inside its shard's block — the caller validates the layout
+	// via the checkpoint header before trusting the cursors.
+	Resume []int
+	// Checkpoint, when non-nil together with CheckpointEvery > 0, is
+	// called whenever the total folded count (resumed + new) crosses a
+	// CheckpointEvery multiple, and once more after an interrupt. The
+	// hook receives a consistent snapshot of the per-shard cursors,
+	// taken and held under every shard lock in shard order — the
+	// accumulators the caller closes over are exactly the folded
+	// prefixes [lo_s, cursors[s]) for the whole call. Periodic calls
+	// arrive on a worker goroutine (all folding pauses meanwhile; keep
+	// the hook short), the interrupt call on the caller's. A hook
+	// error aborts the run.
+	Checkpoint func(cursors []int) error
+	// CheckpointEvery is the folded-trace interval between periodic
+	// Checkpoint calls; <= 0 disables them.
+	CheckpointEvery int
 }
 
 // Sharding describes how a bounded index range [From, To) is cut into
@@ -165,9 +193,32 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 	if lay.N == 0 {
 		return 0, nil
 	}
+
+	// Resume cursors: default to each shard's block start (nothing
+	// folded yet); a checkpoint overrides them.
+	resumeAt := make([]int, lay.N)
+	resumed := 0
+	for s := range resumeAt {
+		lo, _ := lay.Bounds(s)
+		resumeAt[s] = lo
+	}
+	if cfg.Resume != nil {
+		if len(cfg.Resume) != lay.N {
+			return 0, fmt.Errorf("campaign: resume has %d cursors, layout has %d shards", len(cfg.Resume), lay.N)
+		}
+		for s, c := range cfg.Resume {
+			lo, hi := lay.Bounds(s)
+			if c < lo || c > hi {
+				return 0, fmt.Errorf("campaign: resume cursor %d for shard %d outside its block [%d,%d)", c, s, lo, hi)
+			}
+			resumeAt[s] = c
+			resumed += c - lo
+		}
+	}
+
 	workers := Workers(cfg.Workers)
-	if workers > to-from {
-		workers = to - from
+	if remaining := to - from - resumed; workers > remaining && remaining > 0 {
+		workers = remaining
 	}
 
 	// Instruments, resolved once per run (nil-safe no-ops when
@@ -184,16 +235,53 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 	// Build the shard bank deterministically before any acquisition.
 	states := make([]shardState[J, R, A], lay.N)
 	for s := range states {
-		lo, _ := lay.Bounds(s)
 		states[s].acc = newShard(s)
 		states[s].pending = make(map[int]outcome[J, R], 2*workers)
-		states[s].cursor = lo
+		states[s].cursor = resumeAt[s]
 	}
 
 	jobs := make(chan item[J], workers)
 	quit := make(chan struct{})
 	var stopOnce sync.Once
 	stop := func() { stopOnce.Do(func() { close(quit) }) }
+
+	// Cancellation watcher: translate a context cancellation into the
+	// engine's own stop signal. quit doubles as the watcher's exit.
+	if cfg.Ctx != nil {
+		go func() {
+			select {
+			case <-cfg.Ctx.Done():
+				stop()
+			case <-quit:
+			}
+		}()
+	}
+
+	// snapshot hands the Checkpoint hook a consistent view: every
+	// shard lock is taken (in shard order) and HELD across the hook,
+	// so the per-shard accumulators are exactly the cursor prefixes
+	// for the whole call. ckptMu serializes snapshots; it is never
+	// taken while holding doneMu or any shard lock, and workers never
+	// hold a shard lock while taking doneMu, so the lock order
+	// (ckptMu → st.mu…) cannot invert against the fold path
+	// (st.mu → release → doneMu).
+	var ckptMu sync.Mutex
+	snapshot := func() error {
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
+		for s := range states {
+			states[s].mu.Lock()
+		}
+		cursors := make([]int, len(states))
+		for s := range states {
+			cursors[s] = states[s].cursor
+		}
+		err := cfg.Checkpoint(cursors)
+		for s := len(states) - 1; s >= 0; s-- {
+			states[s].mu.Unlock()
+		}
+		return err
+	}
 
 	// Lowest-index-observed error. Unlike Run's in-order error
 	// surfacing this is best-effort: concurrent shards may or may not
@@ -212,13 +300,18 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 		stop()
 	}
 
-	// Monotone fold counter shared by Progress and the return value.
-	// lastProgress records the highest value actually reported so the
-	// epilogue can honour the final-call contract without repeating it.
+	// Monotone fold counter shared by Progress and the return value
+	// (new folds only; resumed folds were counted by the previous
+	// process). lastProgress records the highest value actually
+	// reported so the epilogue can honour the final-call contract
+	// without repeating it; lastCkpt tracks the total (resumed + new)
+	// at the last periodic checkpoint so exactly one worker snapshots
+	// each crossed CheckpointEvery multiple.
 	var (
 		doneMu       sync.Mutex
 		done         int
 		lastProgress int
+		lastCkpt     = resumed
 	)
 
 	// Dispatcher: prepares jobs serially in index order (same contract
@@ -232,6 +325,12 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 				return
 			}
 			mPrepared.Inc()
+			if idx < resumeAt[lay.Shard(idx)] {
+				// Resumed prefix of this shard's block: prepare ran
+				// (shared RNG streams must advance), the job is not
+				// re-acquired.
+				continue
+			}
 			select {
 			case jobs <- item[J]{idx: idx, job: j}:
 			case <-quit:
@@ -287,15 +386,31 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 				if folded > 0 {
 					mFolded.Add(int64(folded))
 					mFoldBatch.Observe(float64(folded))
+					ckptDue := false
 					doneMu.Lock()
 					done += folded
+					total := resumed + done
 					if cfg.Progress != nil {
 						// Called under the counter lock so observed
-						// values are monotone.
-						cfg.Progress(done)
-						lastProgress = done
+						// values are monotone. Resumed runs report
+						// absolute totals, like the serial engine.
+						cfg.Progress(total)
+						lastProgress = total
+					}
+					if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
+						total/cfg.CheckpointEvery > lastCkpt/cfg.CheckpointEvery {
+						lastCkpt = total
+						ckptDue = true
 					}
 					doneMu.Unlock()
+					if ckptDue {
+						// Snapshot outside doneMu: the shard locks the
+						// snapshot takes must never nest inside it.
+						if err := snapshot(); err != nil {
+							fail(to, err)
+							return
+						}
+					}
 				}
 			}
 		}(w)
@@ -313,13 +428,24 @@ func RunSharded[J, R, A any](from, to int, cfg ShardedConfig,
 	if err != nil {
 		return folded, err
 	}
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		// Interrupted: write the final checkpoint at the exact
+		// per-shard cursors (the pool is drained, so the snapshot is
+		// the last word) and skip the merge — resumption rebuilds it.
+		if cfg.Checkpoint != nil {
+			if err := snapshot(); err != nil {
+				return folded, err
+			}
+		}
+		return folded, ErrInterrupted
+	}
 
 	// Progress contract: a successful run always ends with
 	// Progress(to-from). The last fold batch normally reports it from a
 	// worker goroutine; this epilogue call (now single-threaded — the
 	// pool is drained) closes the gap if it did not.
-	if cfg.Progress != nil && folded == to-from && reported != folded {
-		cfg.Progress(folded)
+	if cfg.Progress != nil && resumed+folded == to-from && reported != resumed+folded {
+		cfg.Progress(resumed + folded)
 	}
 
 	// Final reduction: merge the shard bank in shard order on this

@@ -1,0 +1,30 @@
+// Package cliutil holds the small pieces shared by every cmd/ binary
+// that do not belong to any domain package: signal-driven graceful
+// shutdown.
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on the first SIGINT or
+// SIGTERM. Every cmd main installs it and threads the context through
+// its campaigns, so an interrupted run unwinds through the normal
+// error path — deferred writers (profiles, manifests, checkpoints)
+// still run — instead of dying mid-write.
+//
+// After the first signal the handler uninstalls itself: a second ^C
+// falls through to the runtime's default disposition and kills the
+// process immediately, the escape hatch for a shutdown path that is
+// itself stuck.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}

@@ -99,6 +99,13 @@ const (
 	// DefaultBitrateBps is the nominal body-area radio bitrate used to
 	// convert PHY bits into air time for latency accounting.
 	DefaultBitrateBps = 250e3
+	// DefaultCheckpointInterval is the number of acquired traces
+	// between periodic campaign-checkpoint writes (the lab CLIs'
+	// -checkpoint-interval flag): frequent enough that a killed
+	// paper-scale campaign loses minutes, not hours, rare enough that
+	// the atomic write-fsync-rename never shows up in the throughput
+	// accounting.
+	DefaultCheckpointInterval = 1000
 )
 
 // Point is one coordinate in the design space: every knob of the

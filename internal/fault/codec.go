@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"medsec/internal/coproc"
+	"medsec/internal/trace"
+)
+
+// Binary codecs for the sweep tallies, sharing the trace package's
+// frame envelope (version byte, kind byte, length prefix, CRC-32) so a
+// checkpoint file is one uniform sequence of frames regardless of
+// which campaign produced it. Kinds 16/17 are from the non-trace
+// range the envelope reserves for other packages.
+
+// Frame kinds used by this package (see trace.EncodeFrame).
+const (
+	KindTally       byte = 16
+	KindSweepReport byte = 17
+)
+
+// MarshalBinary serializes the benign/detected/escaped triple.
+func (t *Tally) MarshalBinary() ([]byte, error) {
+	p := make([]byte, 0, 24)
+	p = appendTally(p, *t)
+	return trace.EncodeFrame(KindTally, p), nil
+}
+
+// UnmarshalBinary restores the triple from MarshalBinary output.
+// Corrupt input returns an error wrapping trace.ErrCodec.
+func (t *Tally) UnmarshalBinary(data []byte) error {
+	payload, err := trace.DecodeFrame(data, KindTally)
+	if err != nil {
+		return err
+	}
+	if len(payload) != 24 {
+		return fmt.Errorf("%w: tally payload is %d bytes, want 24", trace.ErrCodec, len(payload))
+	}
+	got, err := readTally(payload)
+	if err != nil {
+		return err
+	}
+	*t = got
+	return nil
+}
+
+// MarshalBinary serializes a full sweep report — tallies, grid
+// bounds, per-opcode breakdown and the escape inventory.
+func (r *SweepReport) MarshalBinary() ([]byte, error) {
+	p := make([]byte, 0, 64+25*len(r.ByOp)+24*len(r.Escapes))
+	p = appendTally(p, r.Tally)
+	p = binary.LittleEndian.AppendUint64(p, uint64(int64(r.Total)))
+	p = binary.LittleEndian.AppendUint64(p, uint64(int64(r.WindowStart)))
+	p = binary.LittleEndian.AppendUint64(p, uint64(int64(r.WindowEnd)))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(r.ByOp)))
+	for _, ot := range r.ByOp {
+		p = append(p, byte(ot.Op))
+		p = appendTally(p, ot.Tally)
+	}
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(r.Escapes)))
+	for _, inj := range r.Escapes {
+		p = binary.LittleEndian.AppendUint64(p, uint64(int64(inj.Cycle)))
+		p = binary.LittleEndian.AppendUint64(p, uint64(int64(inj.Reg)))
+		p = binary.LittleEndian.AppendUint64(p, uint64(int64(inj.Bit)))
+	}
+	return trace.EncodeFrame(KindSweepReport, p), nil
+}
+
+// UnmarshalBinary restores a sweep report from MarshalBinary output,
+// validating internal consistency (the escape inventory must match
+// the escaped count). Corrupt input returns an error wrapping
+// trace.ErrCodec.
+func (r *SweepReport) UnmarshalBinary(data []byte) error {
+	payload, err := trace.DecodeFrame(data, KindSweepReport)
+	if err != nil {
+		return err
+	}
+	var next SweepReport
+	off := 0
+	need := func(n int, what string) error {
+		if off+n > len(payload) || n < 0 {
+			return fmt.Errorf("%w: truncated %s at offset %d", trace.ErrCodec, what, off)
+		}
+		return nil
+	}
+	if err := need(48, "report header"); err != nil {
+		return err
+	}
+	if next.Tally, err = readTally(payload[off:]); err != nil {
+		return err
+	}
+	off += 24
+	next.Total = int(int64(binary.LittleEndian.Uint64(payload[off:])))
+	next.WindowStart = int(int64(binary.LittleEndian.Uint64(payload[off+8:])))
+	next.WindowEnd = int(int64(binary.LittleEndian.Uint64(payload[off+16:])))
+	off += 24
+	if next.Total < 0 || next.Total > math.MaxInt32 || next.WindowEnd < next.WindowStart {
+		return fmt.Errorf("%w: implausible sweep bounds (total %d, window [%d,%d))",
+			trace.ErrCodec, next.Total, next.WindowStart, next.WindowEnd)
+	}
+	if err := need(4, "opcode breakdown length"); err != nil {
+		return err
+	}
+	nOps := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	if err := need(25*nOps, "opcode breakdown"); err != nil {
+		return err
+	}
+	for i := 0; i < nOps; i++ {
+		op := coproc.Op(payload[off])
+		t, err := readTally(payload[off+1:])
+		if err != nil {
+			return err
+		}
+		if i > 0 && op <= next.ByOp[i-1].Op {
+			return fmt.Errorf("%w: opcode breakdown not sorted", trace.ErrCodec)
+		}
+		next.ByOp = append(next.ByOp, OpTally{Op: op, Tally: t})
+		off += 25
+	}
+	if err := need(4, "escape inventory length"); err != nil {
+		return err
+	}
+	nEsc := int(binary.LittleEndian.Uint32(payload[off:]))
+	off += 4
+	if nEsc != next.Escaped {
+		return fmt.Errorf("%w: escape inventory has %d entries, escaped tally is %d",
+			trace.ErrCodec, nEsc, next.Escaped)
+	}
+	if err := need(24*nEsc, "escape inventory"); err != nil {
+		return err
+	}
+	for i := 0; i < nEsc; i++ {
+		next.Escapes = append(next.Escapes, Injection{
+			Cycle: int(int64(binary.LittleEndian.Uint64(payload[off:]))),
+			Reg:   int(int64(binary.LittleEndian.Uint64(payload[off+8:]))),
+			Bit:   int(int64(binary.LittleEndian.Uint64(payload[off+16:]))),
+		})
+		off += 24
+	}
+	if off != len(payload) {
+		return fmt.Errorf("%w: %d trailing payload bytes", trace.ErrCodec, len(payload)-off)
+	}
+	*r = next
+	return nil
+}
+
+func appendTally(p []byte, t Tally) []byte {
+	p = binary.LittleEndian.AppendUint64(p, uint64(int64(t.Benign)))
+	p = binary.LittleEndian.AppendUint64(p, uint64(int64(t.Detected)))
+	p = binary.LittleEndian.AppendUint64(p, uint64(int64(t.Escaped)))
+	return p
+}
+
+// readTally decodes 24 bytes of tally; the caller guarantees length.
+func readTally(p []byte) (Tally, error) {
+	t := Tally{
+		Benign:   int(int64(binary.LittleEndian.Uint64(p))),
+		Detected: int(int64(binary.LittleEndian.Uint64(p[8:]))),
+		Escaped:  int(int64(binary.LittleEndian.Uint64(p[16:]))),
+	}
+	if t.Benign < 0 || t.Detected < 0 || t.Escaped < 0 ||
+		t.Benign > math.MaxInt32 || t.Detected > math.MaxInt32 || t.Escaped > math.MaxInt32 {
+		return Tally{}, fmt.Errorf("%w: implausible tally %+v", trace.ErrCodec, t)
+	}
+	return t, nil
+}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -72,6 +73,11 @@ type SweepConfig struct {
 	// Nil (the default) costs nothing; the report is bit-identical
 	// either way.
 	Metrics *obs.Registry
+	// Ctx, when non-nil, makes the sweep interruptible: on cancellation
+	// (SIGINT/SIGTERM in the CLIs) the engine drains its worker pool
+	// and Sweep returns campaign.ErrInterrupted. A nil Ctx (the
+	// default) is never checked.
+	Ctx context.Context
 }
 
 // Tally is one benign/detected/escaped count triple.
@@ -249,7 +255,7 @@ func Sweep(curve *ec.Curve, tim coproc.Timing, cfg SweepConfig) (*SweepReport, e
 			}
 			return false, nil
 		}
-		if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers, Metrics: cfg.Metrics}, prepare, acquire, consume); err != nil {
+		if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers, Metrics: cfg.Metrics, Ctx: cfg.Ctx}, prepare, acquire, consume); err != nil {
 			return nil, err
 		}
 	} else {
@@ -267,7 +273,7 @@ func Sweep(curve *ec.Curve, tim coproc.Timing, cfg SweepConfig) (*SweepReport, e
 		if cfg.Progress != nil {
 			progress = func(done int) { cfg.Progress(done, total) }
 		}
-		scfg := campaign.ShardedConfig{Workers: cfg.Workers, Shards: cfg.Shards, Progress: progress, Metrics: cfg.Metrics}
+		scfg := campaign.ShardedConfig{Workers: cfg.Workers, Shards: cfg.Shards, Progress: progress, Metrics: cfg.Metrics, Ctx: cfg.Ctx}
 		_, err := campaign.RunSharded(0, total, scfg, prepare, acquire,
 			func(shard int) *shardTally { return &shardTally{byOp: map[coproc.Op]*Tally{}} },
 			func(shard int, st *shardTally, idx int, inj Injection, res Result) error {

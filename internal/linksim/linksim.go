@@ -14,6 +14,7 @@
 package linksim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -46,6 +47,10 @@ type GridConfig struct {
 	// Progress, when non-nil, is called serially after each consumed
 	// session with (done, total).
 	Progress func(done, total int)
+	// Ctx, when non-nil, makes the sweep interruptible: on
+	// cancellation Run drains in-flight sessions and returns
+	// campaign.ErrInterrupted.
+	Ctx context.Context
 	// Metrics, when non-nil, receives sweep instrumentation: counters
 	// linksim_sessions / linksim_completed / linksim_aborts, the
 	// link_* ARQ counters aggregated across every simulated session
@@ -169,7 +174,7 @@ func Run(cfg GridConfig) (*GridReport, error) {
 		return false, nil
 	}
 
-	if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers, Metrics: cfg.Metrics}, prepare, acquire, consume); err != nil {
+	if _, err := campaign.Run(0, total, campaign.Config{Workers: cfg.Workers, Metrics: cfg.Metrics, Ctx: cfg.Ctx}, prepare, acquire, consume); err != nil {
 		return nil, err
 	}
 

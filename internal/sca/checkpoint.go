@@ -1,0 +1,230 @@
+package sca
+
+import (
+	"fmt"
+	"os"
+
+	"medsec/internal/campaign"
+	"medsec/internal/store"
+	"medsec/internal/trace"
+)
+
+// CampaignCheckpoint configures durable crash-safe checkpointing for
+// the checkpoint-aware campaigns (TVLA / TVLAUntil and the
+// TracesToSuccess search). Set it on Target.Ckpt; a nil value (the
+// default) disables checkpointing entirely.
+//
+// The campaign writes a store.Checkpoint to Path whenever its folded
+// watermark crosses an Every multiple and once more when the run is
+// interrupted via Target.Ctx, so a killed process loses at most Every
+// traces of work. With Resume set, the campaign first loads Path (a
+// missing file is a clean start, not an error), refuses it unless the
+// provenance header matches the current run — same tool, kind, seed,
+// git SHA, design point and index range — and then continues from the
+// stored watermark. Resumed campaigns are bit-identical to
+// uninterrupted ones: the engine replays the prepare stream over the
+// already-folded prefix so shared RNG streams advance exactly as they
+// did the first time (see campaign.Config.ResumeFrom).
+type CampaignCheckpoint struct {
+	// Path is the checkpoint file. Writes are atomic (temp + fsync +
+	// rename), so the file is always either the previous checkpoint or
+	// the new one, never a torn mix.
+	Path string
+	// Every is the folded-trace interval between periodic checkpoint
+	// writes; <= 0 writes only the interrupt-path and completion
+	// checkpoints.
+	Every int
+	// Header carries the provenance the checkpoint is chained to:
+	// Tool, Kind, Seed, GitSHA and the resolved design Point. The
+	// campaign fills the range fields (From/To/Shards/Watermark/
+	// Cursors/Complete) itself.
+	Header store.Header
+	// Resume asks the campaign to continue from Path if it exists.
+	Resume bool
+}
+
+// enabled reports whether checkpoint writes are configured (nil-safe).
+func (c *CampaignCheckpoint) enabled() bool { return c != nil && c.Path != "" }
+
+// campHeader binds the provenance header to a campaign's index range.
+func (c *CampaignCheckpoint) campHeader(from, to, shards int) store.Header {
+	h := c.Header
+	h.From, h.To, h.Shards = from, to, shards
+	h.Watermark, h.Cursors, h.Complete = 0, nil, false
+	return h
+}
+
+// load reads and validates the checkpoint when Resume is set. A
+// missing file — the first run of a campaign that will be checkpointed
+// — returns (nil, nil).
+func (c *CampaignCheckpoint) load(from, to, shards int) (*store.Checkpoint, error) {
+	if !c.enabled() || !c.Resume {
+		return nil, nil
+	}
+	ck, err := store.Read(c.Path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if err := ck.Header.Match(c.campHeader(from, to, shards)); err != nil {
+		return nil, fmt.Errorf("sca: checkpoint %s does not belong to this campaign: %w", c.Path, err)
+	}
+	return ck, nil
+}
+
+// write persists one checkpoint atomically.
+func (c *CampaignCheckpoint) write(h store.Header, blobs map[string][]byte) error {
+	return store.Write(c.Path, &store.Checkpoint{Header: h, Blobs: blobs})
+}
+
+// tvlaSerial runs the serial-consumer TVLA engine leg with optional
+// checkpoint/resume and returns the total folded trace count,
+// including any prefix restored from a checkpoint.
+func (t *Target) tvlaSerial(w *trace.OnlineWelch, to, checkEvery int, prepare campaign.PrepareFunc[acqJob], acquire campaign.AcquireFunc[acqJob, trace.Trace]) (int, error) {
+	ck := t.Ckpt
+	resumed := 0
+	prev, err := ck.load(0, to, 0)
+	if err != nil {
+		return 0, err
+	}
+	if prev != nil {
+		if err := w.UnmarshalBinary(prev.Blobs["welch"]); err != nil {
+			return 0, fmt.Errorf("sca: checkpoint %s welch blob: %w", ck.Path, err)
+		}
+		if prev.Header.Complete && (prev.Header.Watermark < prev.Header.To || prev.Header.To == to) {
+			// A finished campaign: either it early-stopped (the verdict
+			// stands regardless of the requested budget) or it covered
+			// exactly this range. The engine has nothing to add.
+			return prev.Header.Watermark, nil
+		}
+		// Complete checkpoints of a SMALLER full campaign fall through:
+		// that is the cross-process extension case — the serial fold
+		// continues from the stored watermark up to the new budget.
+		resumed = prev.Header.Watermark
+	}
+	cfg := t.engineConfig()
+	writeAt := func(mark int, complete bool) error {
+		blob, err := w.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		h := ck.campHeader(0, to, 0)
+		h.Watermark, h.Complete = mark, complete
+		return ck.write(h, map[string][]byte{"welch": blob})
+	}
+	if ck.enabled() {
+		cfg.ResumeFrom = resumed
+		cfg.CheckpointEvery = ck.Every
+		// The hook runs on the consuming goroutine: w is exactly the
+		// folded prefix [0, mark) when it fires.
+		cfg.Checkpoint = func(mark int) error { return writeAt(mark, false) }
+	}
+	consumed, err := campaign.Run(0, to, cfg, prepare, acquire,
+		welchConsume(w, checkEvery, 10, t.Metrics.Counter("sca_earlystop_checks")))
+	total := consumed + resumed
+	if err != nil {
+		return total, err
+	}
+	if ck.enabled() {
+		if err := writeAt(total, true); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// tvlaSharded runs the sharded-reduction TVLA engine leg with optional
+// checkpoint/resume and returns the total folded trace count,
+// including any prefix restored from a checkpoint. Periodic
+// checkpoints store the per-shard accumulators plus the per-shard
+// cursors; the completion checkpoint stores the merged accumulator.
+func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, prepare campaign.PrepareFunc[acqJob], acquire campaign.AcquireFunc[acqJob, trace.Trace]) (int, error) {
+	ck := t.Ckpt
+	lay := campaign.ShardingFor(0, to, t.Shards)
+	prev, err := ck.load(0, to, lay.N)
+	if err != nil {
+		return 0, err
+	}
+	resumed := 0
+	var restored []*trace.OnlineWelch
+	if prev != nil {
+		if prev.Header.Complete {
+			if err := w.UnmarshalBinary(prev.Blobs["welch"]); err != nil {
+				return 0, fmt.Errorf("sca: checkpoint %s welch blob: %w", ck.Path, err)
+			}
+			return prev.Header.Watermark, nil
+		}
+		if len(prev.Header.Cursors) != lay.N {
+			return 0, fmt.Errorf("sca: checkpoint %s has %d shard cursors, campaign has %d shards",
+				ck.Path, len(prev.Header.Cursors), lay.N)
+		}
+		restored = make([]*trace.OnlineWelch, lay.N)
+		for s := range restored {
+			acc := trace.NewOnlineWelch()
+			if err := acc.UnmarshalBinary(prev.Blobs[fmt.Sprintf("welch.%d", s)]); err != nil {
+				return 0, fmt.Errorf("sca: checkpoint %s shard %d blob: %w", ck.Path, s, err)
+			}
+			restored[s] = acc
+		}
+		resumed = prev.Header.Watermark
+	}
+	scfg := t.shardedConfig()
+	// The shard bank is retained so the checkpoint hook — which runs
+	// holding every shard lock (campaign.ShardedConfig.Checkpoint) —
+	// can snapshot accumulators consistent with the cursor vector.
+	accs := make([]*trace.OnlineWelch, lay.N)
+	newShard := func(s int) *trace.OnlineWelch {
+		acc := trace.NewOnlineWelch()
+		if restored != nil {
+			acc = restored[s]
+		}
+		accs[s] = acc
+		return acc
+	}
+	if ck.enabled() {
+		if prev != nil {
+			scfg.Resume = prev.Header.Cursors
+		}
+		scfg.CheckpointEvery = ck.Every
+		scfg.Checkpoint = func(cursors []int) error {
+			blobs := make(map[string][]byte, lay.N)
+			mark := 0
+			for s, acc := range accs {
+				blob, err := acc.MarshalBinary()
+				if err != nil {
+					return err
+				}
+				blobs[fmt.Sprintf("welch.%d", s)] = blob
+				lo, _ := lay.Bounds(s)
+				mark += cursors[s] - lo
+			}
+			h := ck.campHeader(0, to, lay.N)
+			h.Watermark, h.Cursors = mark, cursors
+			return ck.write(h, blobs)
+		}
+	}
+	folded, err := campaign.RunSharded(0, to, scfg, prepare, acquire,
+		newShard, welchShardFold, welchShardMerge(w))
+	total := folded + resumed
+	if err != nil {
+		return total, err
+	}
+	if ck.enabled() {
+		blob, err := w.MarshalBinary()
+		if err != nil {
+			return total, err
+		}
+		h := ck.campHeader(0, to, lay.N)
+		h.Watermark, h.Complete = total, true
+		h.Cursors = make([]int, lay.N)
+		for s := range h.Cursors {
+			_, h.Cursors[s] = lay.Bounds(s)
+		}
+		if err := ck.write(h, map[string][]byte{"welch": blob}); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

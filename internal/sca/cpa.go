@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"medsec/internal/coproc"
+	"medsec/internal/ec"
 	"medsec/internal/gf2m"
 	"medsec/internal/rng"
 	"medsec/internal/trace"
@@ -389,6 +390,16 @@ func SuccessRateCurve(mk func(trial uint64) *Target, sizes []int, bits, trials i
 // incrementally extended campaign is identical to a prefix of the
 // full one, so the returned result matches the over-acquiring
 // implementation exactly — it just stops simulating sooner.
+//
+// With Target.Ckpt configured, the search persists the acquired trace
+// set after every evaluated size — so a killed process loses at most
+// one size step of acquisition — and, with Resume set, continues a
+// previous process's search: the stored set is restored and the
+// attacker's point stream is re-derived by replaying pointSrc over the
+// restored prefix, which also positions the stream for further
+// extension. A Complete checkpoint (the search finished) skips
+// acquisition entirely and re-evaluates the analysis at the stored
+// watermark.
 func TracesToSuccess(t *Target, sizes []int, bits int, opt CPAOptions, pointSrc func() uint64) (int, *CPAResult, error) {
 	if len(sizes) == 0 {
 		return -1, nil, errors.New("sca: no campaign sizes given")
@@ -400,8 +411,72 @@ func TracesToSuccess(t *Target, sizes []int, bits int, opt CPAOptions, pointSrc 
 	firstIter := 162 - len(opt.KnownPrefix)
 	lastIter := firstIter - bits + 1
 	camp := t.NewCampaign(firstIter, lastIter)
+
+	ck := t.Ckpt
+	maxN := sizes[len(sizes)-1]
+	resumedN := 0
+	complete := false
+	prev, err := ck.load(0, maxN, 0)
+	if err != nil {
+		return -1, nil, err
+	}
+	if prev != nil {
+		if err := camp.Set.UnmarshalBinary(prev.Blobs["set"]); err != nil {
+			return -1, nil, fmt.Errorf("sca: checkpoint %s trace set: %w", ck.Path, err)
+		}
+		if camp.Set.Len() != prev.Header.Watermark {
+			return -1, nil, fmt.Errorf("sca: checkpoint %s trace set holds %d traces, watermark says %d",
+				ck.Path, camp.Set.Len(), prev.Header.Watermark)
+		}
+		// Re-derive the attacker's point stream: points are drawn
+		// serially in index order (one RandomPoint call per trace), so
+		// replaying the source over the restored prefix regenerates
+		// Points exactly and leaves pointSrc positioned for the next
+		// extension.
+		camp.Points = make([]ec.Point, prev.Header.Watermark)
+		for i := range camp.Points {
+			camp.Points[i] = t.Curve.RandomPoint(pointSrc)
+		}
+		resumedN = prev.Header.Watermark
+		complete = prev.Header.Complete
+	}
+	writeAt := func(n int, done bool) error {
+		if !ck.enabled() {
+			return nil
+		}
+		blob, err := camp.Set.Prefix(n).MarshalBinary()
+		if err != nil {
+			return err
+		}
+		h := ck.campHeader(0, maxN, 0)
+		h.Watermark, h.Complete = n, done
+		return ck.write(h, map[string][]byte{"set": blob})
+	}
+	if complete {
+		// A finished search: success at the watermark reproduces the
+		// successful size, failure reproduces the exhausted search —
+		// either way no acquisition is needed.
+		res, err := CPA(camp.Prefix(resumedN), opt)
+		if err != nil {
+			return -1, nil, err
+		}
+		if res.Success() {
+			return resumedN, res, nil
+		}
+		return -1, res, nil
+	}
 	var last *CPAResult
 	for _, n := range sizes {
+		if n < resumedN {
+			// A non-Complete checkpoint at watermark w means every size
+			// <= w was already evaluated (and failed) by the previous
+			// process. The watermark size itself is re-evaluated — the
+			// analysis is deterministic, so this merely reproduces the
+			// stored failure (and keeps `last` populated) without
+			// re-acquiring anything (ExtendCampaign to <= Len is a
+			// no-op).
+			continue
+		}
 		if err := t.ExtendCampaign(camp, n, pointSrc); err != nil {
 			return -1, nil, err
 		}
@@ -411,8 +486,17 @@ func TracesToSuccess(t *Target, sizes []int, bits int, opt CPAOptions, pointSrc 
 		}
 		last = res
 		if res.Success() {
+			if err := writeAt(n, true); err != nil {
+				return -1, nil, err
+			}
 			return n, res, nil
 		}
+		if err := writeAt(n, false); err != nil {
+			return -1, nil, err
+		}
+	}
+	if err := writeAt(camp.Set.Len(), true); err != nil {
+		return -1, nil, err
 	}
 	return -1, last, nil
 }

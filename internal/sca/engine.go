@@ -43,7 +43,7 @@ type acqJob struct {
 
 // engineConfig builds the campaign.Config for this target.
 func (t *Target) engineConfig() campaign.Config {
-	return campaign.Config{Workers: t.Workers, Progress: t.Progress, Metrics: t.Metrics}
+	return campaign.Config{Workers: t.Workers, Progress: t.Progress, Metrics: t.Metrics, Ctx: t.Ctx}
 }
 
 // acqMetrics is the per-campaign bundle of acquisition counters,

@@ -185,7 +185,7 @@ func (t *Target) plannedAcquirerPool(plan *acqPlan) campaign.AcquireFunc[acqJob,
 
 // shardedConfig builds the campaign.ShardedConfig for this target.
 func (t *Target) shardedConfig() campaign.ShardedConfig {
-	return campaign.ShardedConfig{Workers: t.Workers, Shards: t.Shards, Progress: t.Progress, Metrics: t.Metrics}
+	return campaign.ShardedConfig{Workers: t.Workers, Shards: t.Shards, Progress: t.Progress, Metrics: t.Metrics, Ctx: t.Ctx}
 }
 
 // useSharded reports whether bounded statistics campaigns reduce

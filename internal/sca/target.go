@@ -17,6 +17,8 @@
 package sca
 
 import (
+	"context"
+
 	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
@@ -105,6 +107,16 @@ type Target struct {
 	// registry, and the nil default costs zero allocations per trace
 	// (the campaign AllocsPerRun pin covers this path).
 	Metrics *obs.Registry
+	// Ctx, when non-nil, makes every campaign over this target
+	// interruptible: on cancellation (SIGINT/SIGTERM in the CLIs) the
+	// engine drains its worker pool, writes a final checkpoint if Ckpt
+	// is configured, and the campaign returns campaign.ErrInterrupted.
+	// A nil Ctx (the default) is never checked.
+	Ctx context.Context
+	// Ckpt, when non-nil, enables durable checkpoint/resume for the
+	// checkpoint-aware campaigns (TVLA / TVLAUntil, TracesToSuccess).
+	// See CampaignCheckpoint.
+	Ckpt *CampaignCheckpoint
 
 	prog *coproc.Program
 }
@@ -250,8 +262,16 @@ func (t *Target) ExtendCampaign(c *Campaign, n int, pointSrc func() uint64) erro
 			c.Points = append(c.Points, j.point)
 			return false, nil
 		}
-		_, err := campaign.Run(from, n, t.engineConfig(), prepare, acquire, consume)
-		return err
+		if _, err := campaign.Run(from, n, t.engineConfig(), prepare, acquire, consume); err != nil {
+			// Leave the campaign exactly as it was before the failed
+			// (or interrupted) extension; the consumed partial prefix
+			// is dropped — extensions checkpoint only at size
+			// boundaries (TracesToSuccess).
+			c.Set.Traces = c.Set.Traces[:from]
+			c.Points = c.Points[:from]
+			return err
+		}
+		return nil
 	}
 	c.Set.Traces = append(c.Set.Traces, make([]trace.Trace, n-from)...)
 	c.Points = append(c.Points, make([]ec.Point, n-from)...)

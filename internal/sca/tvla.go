@@ -3,7 +3,6 @@ package sca
 import (
 	"errors"
 
-	"medsec/internal/campaign"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
 	"medsec/internal/trace"
@@ -91,22 +90,22 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 		return nil, err
 	}
 	acquire := t.plannedAcquirerPool(plan)
+	prepare := t.fixedRandomPrepare(p, randKey)
 	w := trace.NewOnlineWelch()
-	var consumed int
+	// total counts every folded trace, including a prefix restored from
+	// a checkpoint (Target.Ckpt) — the count an uninterrupted run of
+	// the same campaign would have reached.
+	var total int
 	if checkEvery == 0 && t.useSharded() {
 		// Full-budget campaign: reduce through per-shard Welch
 		// accumulators folded on the worker goroutines and merged in
 		// shard order (campaign.RunSharded's determinism argument).
-		consumed, err = campaign.RunSharded(0, 2*nPerSet, t.shardedConfig(),
-			t.fixedRandomPrepare(p, randKey), acquire,
-			newWelchShard, welchShardFold, welchShardMerge(w))
+		total, err = t.tvlaSharded(w, 2*nPerSet, prepare, acquire)
 	} else {
 		// Early-stop campaigns stay on the serial consumer: "stop once
 		// |t| exceeds the threshold after pair k" needs a single
 		// in-order fold, which is exactly what sharding gives up.
-		consumed, err = campaign.Run(0, 2*nPerSet, t.engineConfig(),
-			t.fixedRandomPrepare(p, randKey), acquire,
-			welchConsume(w, checkEvery, 10, t.Metrics.Counter("sca_earlystop_checks")))
+		total, err = t.tvlaSerial(w, 2*nPerSet, checkEvery, prepare, acquire)
 	}
 	if err != nil {
 		return nil, err
@@ -116,10 +115,10 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 		return nil, err
 	}
 	res := &TVLAResult{
-		TracesPerSet:          consumed / 2,
+		TracesPerSet:          total / 2,
 		TCurve:                ts,
 		CyclesPerTrace:        end,
-		EarlyStopped:          consumed < 2*nPerSet,
+		EarlyStopped:          total < 2*nPerSet,
 		PrologueCyclesSkipped: plan.skippedCycles(),
 	}
 	res.MaxT, res.MaxTSample = trace.MaxAbs(ts)

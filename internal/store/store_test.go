@@ -1,0 +1,316 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"medsec/internal/trace"
+)
+
+func sampleCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	w := trace.NewOnlineWelch()
+	for i := 0; i < 6; i++ {
+		s := []float64{float64(i), float64(i) * 0.5}
+		var err error
+		if i%2 == 0 {
+			err = w.AddA(s)
+		} else {
+			err = w.AddB(s)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Checkpoint{
+		Header: Header{
+			Tool:      "scalab",
+			Kind:      "tvla",
+			Seed:      42,
+			GitSHA:    "abc1234",
+			Point:     json.RawMessage(`{"digit_size":4}`),
+			Watermark: 6,
+			From:      0,
+			To:        40,
+		},
+		Blobs: map[string][]byte{"welch": blob, "aux": trace.EncodeFrame(200, []byte("x"))},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := sampleCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "sub.ckpt")
+	if err := Write(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !headerEqual(got.Header, ck.Header) {
+		t.Fatalf("header drifted: %+v vs %+v", got.Header, ck.Header)
+	}
+	if len(got.Blobs) != 2 || !bytes.Equal(got.Blobs["welch"], ck.Blobs["welch"]) || !bytes.Equal(got.Blobs["aux"], ck.Blobs["aux"]) {
+		t.Fatalf("blobs drifted: %v", got.Blobs)
+	}
+	var w trace.OnlineWelch
+	if err := w.UnmarshalBinary(got.Blobs["welch"]); err != nil {
+		t.Fatal(err)
+	}
+	if w.A.N() != 3 || w.B.N() != 3 {
+		t.Fatalf("restored welch counts %d/%d", w.A.N(), w.B.N())
+	}
+
+	// Deterministic encoding: same state, same bytes.
+	b1, _ := ck.Encode()
+	b2, _ := got.Encode()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("re-encoding a decoded checkpoint changed the bytes")
+	}
+}
+
+// headerEqual compares headers field-wise (Header contains a
+// json.RawMessage slice, so == is not usable directly).
+func headerEqual(a, b Header) bool {
+	if len(a.Cursors) != len(b.Cursors) {
+		return false
+	}
+	for i := range a.Cursors {
+		if a.Cursors[i] != b.Cursors[i] {
+			return false
+		}
+	}
+	return a.Tool == b.Tool && a.Kind == b.Kind && a.Seed == b.Seed &&
+		a.GitSHA == b.GitSHA && jsonEqual(a.Point, b.Point) &&
+		a.Watermark == b.Watermark && a.From == b.From && a.To == b.To &&
+		a.Shards == b.Shards && a.Complete == b.Complete
+}
+
+// TestWriteAtomicReplace: overwriting an existing checkpoint must
+// leave no temp litter, and the new contents must fully replace the
+// old ones.
+func TestWriteAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "camp.ckpt")
+	ck := sampleCheckpoint(t)
+	if err := Write(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.Header.Watermark = 12
+	if err := Write(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Watermark != 12 {
+		t.Fatalf("watermark %d after rewrite", got.Header.Watermark)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after rewrites (temp file leaked?)", len(entries))
+	}
+}
+
+func TestReadMissingFilePassesThroughOSError(t *testing.T) {
+	_, err := Read(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing file error %v is not os.IsNotExist", err)
+	}
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		t.Fatal("missing file misreported as corruption")
+	}
+}
+
+// TestDecodeRejectsCorruption: truncations and single-bit flips over
+// the whole file must surface as *CorruptError, never a panic or a
+// silently wrong checkpoint.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := sampleCheckpoint(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(mut []byte) {
+		t.Helper()
+		ck, err := Decode(mut)
+		if err == nil {
+			// A flip inside the header JSON can keep the JSON valid
+			// only if it also kept the CRC valid — impossible for a
+			// single flip. So any accepted mutation is a bug.
+			t.Fatalf("corrupt checkpoint accepted: %+v", ck.Header)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("corruption returned %T %v, not *CorruptError", err, err)
+		}
+	}
+	for l := 0; l < len(data); l++ {
+		check(data[:l])
+	}
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			check(mut)
+		}
+	}
+	// Version-bumped header frame.
+	mut := append([]byte(nil), data...)
+	mut[len(Magic)] = 99
+	check(mut)
+	// Trailing garbage after the last frame.
+	check(append(append([]byte(nil), data...), 0xEE))
+}
+
+func TestDecodeRejectsInconsistentHeaders(t *testing.T) {
+	cases := []Header{
+		{From: 10, To: 5},                        // inverted range
+		{From: 0, To: 10, Watermark: 11},         // watermark past the end
+		{From: 0, To: 10, Watermark: -1},         // negative watermark
+		{From: 4, To: 10, Cursors: []int{2}},     // cursor before range
+		{From: 0, To: 10, Cursors: []int{5, 11}}, // cursor past range
+	}
+	for _, h := range cases {
+		ck := &Checkpoint{Header: h}
+		data, err := ck.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(data); err == nil {
+			t.Fatalf("inconsistent header accepted: %+v", h)
+		} else {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("inconsistent header returned %T, not *CorruptError", err)
+			}
+		}
+	}
+}
+
+func TestHeaderMatch(t *testing.T) {
+	base := func() Header {
+		return Header{
+			Tool: "scalab", Kind: "tvla", Seed: 7, GitSHA: "abc",
+			Point: json.RawMessage(`{"digit_size": 4}`),
+			From:  0, To: 100, Shards: 0,
+		}
+	}
+	h := base()
+	if err := h.Match(base()); err != nil {
+		t.Fatalf("identical headers mismatch: %v", err)
+	}
+	// JSON comparison is by compacted bytes: whitespace is immaterial.
+	cur := base()
+	cur.Point = json.RawMessage(`{"digit_size":4}`)
+	if err := h.Match(cur); err != nil {
+		t.Fatalf("whitespace-only point difference refused: %v", err)
+	}
+	// Serial extension: growing To is the cross-process extend case.
+	cur = base()
+	cur.To = 200
+	if err := h.Match(cur); err != nil {
+		t.Fatalf("serial extension refused: %v", err)
+	}
+	// Shrinking is not.
+	cur = base()
+	cur.To = 50
+	wantMismatch(t, h.Match(cur), "range end")
+
+	mutations := []struct {
+		field string
+		mut   func(*Header)
+	}{
+		{"tool", func(h *Header) { h.Tool = "sweeptab" }},
+		{"kind", func(h *Header) { h.Kind = "dpa" }},
+		{"seed", func(h *Header) { h.Seed = 8 }},
+		{"git SHA", func(h *Header) { h.GitSHA = "def" }},
+		{"design point", func(h *Header) { h.Point = json.RawMessage(`{"digit_size":8}`) }},
+		{"range start", func(h *Header) { h.From = 2 }},
+		{"shard count", func(h *Header) { h.Shards = 4 }},
+	}
+	for _, m := range mutations {
+		cur := base()
+		m.mut(&cur)
+		wantMismatch(t, h.Match(cur), m.field)
+	}
+
+	// Sharded checkpoints refuse To drift in either direction.
+	hs := base()
+	hs.Shards = 4
+	hs.Cursors = []int{25, 50, 75, 90}
+	cur = base()
+	cur.Shards = 4
+	cur.To = 200
+	wantMismatch(t, hs.Match(cur), "range end")
+}
+
+func wantMismatch(t *testing.T, err error, field string) {
+	t.Helper()
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("got %v, want *MismatchError on %s", err, field)
+	}
+	if me.Field != field {
+		t.Fatalf("mismatch named field %q, want %q", me.Field, field)
+	}
+}
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the checkpoint
+// decoder: it must either decode cleanly or return a *CorruptError —
+// no panics, no silent partial state. Runs in the CI fuzz-short job.
+func FuzzCheckpointDecode(f *testing.F) {
+	w := trace.NewOnlineWelch()
+	w.AddA([]float64{1, 2})
+	w.AddB([]float64{3, 4})
+	blob, _ := w.MarshalBinary()
+	valid, _ := (&Checkpoint{
+		Header: Header{Tool: "scalab", Kind: "tvla", Seed: 1, From: 0, To: 8, Watermark: 2},
+		Blobs:  map[string][]byte{"welch": blob},
+	}).Encode()
+	f.Add(valid)
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	// Truncations, bit flips and a version bump as corpus seeds.
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	bumped := append([]byte(nil), valid...)
+	bumped[len(Magic)] = 2
+	f.Add(bumped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decoder returned %T %v, not *CorruptError", err, err)
+			}
+			return
+		}
+		// Accepted input must re-encode and re-decode stably, and any
+		// welch blob must itself decode or report trace.ErrCodec.
+		if _, err := ck.Encode(); err != nil {
+			t.Fatalf("accepted checkpoint fails to re-encode: %v", err)
+		}
+		for _, b := range ck.Blobs {
+			var w2 trace.OnlineWelch
+			if err := w2.UnmarshalBinary(b); err != nil && !errors.Is(err, trace.ErrCodec) {
+				t.Fatalf("blob decode returned %T %v, not trace.ErrCodec", err, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,459 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Binary codecs for the streaming accumulators — the serialization
+// boundary of the durable campaign store (internal/store).
+//
+// Every blob is one self-describing frame:
+//
+//	offset 0      byte   codec version (currently 1)
+//	offset 1      byte   kind (which accumulator state follows)
+//	offset 2      uint32 payload length L, little-endian
+//	offset 6      payload (L bytes, kind-specific, little-endian)
+//	offset 6+L    uint32 CRC-32 (IEEE) over bytes [0, 6+L)
+//
+// Integers are fixed-width little-endian; float64 values are their
+// IEEE-754 bit patterns, so encode → decode round-trips every
+// accumulator bit for bit (including NaN payloads). A decoded
+// accumulator therefore Merges and folds exactly like the in-memory
+// original — the property the checkpoint/resume contract rests on
+// (asserted to 1e-12, and in fact exact, by the merge property tests).
+//
+// Decoding is defensive: any truncation, length inconsistency, CRC
+// mismatch, unknown version/kind, or internally inconsistent state
+// (class counts that do not sum, a trace count without samples)
+// returns an error wrapping ErrCodec — never a panic, never a
+// silently corrupt accumulator. The checkpoint fuzz target
+// (internal/store) leans on this.
+
+// CodecVersion is the current accumulator wire-format version. Bump it
+// when a payload layout changes; decoders reject other versions.
+const CodecVersion = 1
+
+// Frame kinds. Kinds 1–15 are reserved for package trace; other
+// packages framing their state with EncodeFrame (internal/fault's
+// sweep tallies) use kinds from 16 up.
+const (
+	KindOnlineStats byte = 1
+	KindOnlineWelch byte = 2
+	KindOnlineDoM   byte = 3
+	KindOnlineCPA   byte = 4
+	KindSet         byte = 5
+)
+
+// ErrCodec is wrapped by every accumulator decoding failure, so
+// callers can distinguish corrupt input from I/O errors with
+// errors.Is.
+var ErrCodec = errors.New("trace: malformed accumulator encoding")
+
+const frameHeaderLen = 6 // version + kind + uint32 payload length
+
+// EncodeFrame wraps a payload in the versioned, length-prefixed,
+// CRC-32-framed envelope described in the package codec notes.
+func EncodeFrame(kind byte, payload []byte) []byte {
+	out := make([]byte, 0, frameHeaderLen+len(payload)+4)
+	out = append(out, CodecVersion, kind)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// DecodeFrame validates a frame's envelope (version, kind, length,
+// CRC) and returns its payload. The frame must span data exactly;
+// trailing bytes are a corruption signal, not an extension point.
+func DecodeFrame(data []byte, kind byte) ([]byte, error) {
+	if len(data) < frameHeaderLen+4 {
+		return nil, fmt.Errorf("%w: frame truncated at %d bytes", ErrCodec, len(data))
+	}
+	if data[0] != CodecVersion {
+		return nil, fmt.Errorf("%w: version %d, decoder speaks %d", ErrCodec, data[0], CodecVersion)
+	}
+	if data[1] != kind {
+		return nil, fmt.Errorf("%w: kind %d, want %d", ErrCodec, data[1], kind)
+	}
+	l := binary.LittleEndian.Uint32(data[2:6])
+	if uint64(len(data)) != frameHeaderLen+uint64(l)+4 {
+		return nil, fmt.Errorf("%w: payload length %d disagrees with frame size %d", ErrCodec, l, len(data))
+	}
+	body := data[:frameHeaderLen+l]
+	want := binary.LittleEndian.Uint32(data[frameHeaderLen+l:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCodec, want, got)
+	}
+	return body[frameHeaderLen:], nil
+}
+
+// payloadReader walks a payload with sticky error state: the first
+// out-of-bounds read poisons every later one, so decoders check err
+// once at the end.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrCodec, what, r.off)
+	}
+}
+
+func (r *payloadReader) uint64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *payloadReader) uint32(what string) uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *payloadReader) float64(what string) float64 {
+	return math.Float64frombits(r.uint64(what))
+}
+
+// floats reads n float64 values. The remaining-length check precedes
+// the allocation, so a corrupt length cannot provoke an allocation
+// bomb — the slice is never larger than the input that carried it.
+func (r *payloadReader) floats(n int, what string) []float64 {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+8*n > len(r.b) || 8*n < 0 {
+		r.fail(what)
+		return nil
+	}
+	if n == 0 {
+		// Keep nil, not an empty slice: the accumulators use a nil
+		// buffer as the "sample length not yet fixed" sentinel.
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+	}
+	return out
+}
+
+func (r *payloadReader) int32s(n int, what string) []int32 {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+4*n > len(r.b) || 4*n < 0 {
+		r.fail(what)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
+	}
+	return out
+}
+
+// done reports decoding success: no sticky error and no trailing
+// payload bytes.
+func (r *payloadReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCodec, len(r.b)-r.off)
+	}
+	return nil
+}
+
+func appendFloats(dst []byte, v []float64) []byte {
+	for _, f := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	return dst
+}
+
+// countLen validates the (count, sample length) pair every accumulator
+// carries: a fed accumulator always has samples, an empty one never
+// does.
+func countLen(n uint64, l uint32) error {
+	if n > math.MaxInt32 {
+		return fmt.Errorf("%w: implausible trace count %d", ErrCodec, n)
+	}
+	if (n == 0) != (l == 0) {
+		return fmt.Errorf("%w: trace count %d inconsistent with sample length %d", ErrCodec, n, l)
+	}
+	return nil
+}
+
+// MarshalBinary serializes the accumulator (see the package codec
+// notes for the frame layout).
+func (o *OnlineStats) MarshalBinary() ([]byte, error) {
+	p := make([]byte, 0, 12+16*len(o.mean))
+	p = binary.LittleEndian.AppendUint64(p, uint64(o.n))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(o.mean)))
+	p = appendFloats(p, o.mean)
+	p = appendFloats(p, o.m2)
+	return EncodeFrame(KindOnlineStats, p), nil
+}
+
+// UnmarshalBinary restores the accumulator from MarshalBinary output,
+// replacing the receiver's state. Corrupt input returns an error
+// wrapping ErrCodec and leaves the receiver untouched.
+func (o *OnlineStats) UnmarshalBinary(data []byte) error {
+	payload, err := DecodeFrame(data, KindOnlineStats)
+	if err != nil {
+		return err
+	}
+	r := &payloadReader{b: payload}
+	n := r.uint64("trace count")
+	l := r.uint32("sample length")
+	mean := r.floats(int(l), "mean vector")
+	m2 := r.floats(int(l), "m2 vector")
+	if err := r.done(); err != nil {
+		return err
+	}
+	if err := countLen(n, l); err != nil {
+		return err
+	}
+	o.n = int(n)
+	o.mean = mean
+	o.m2 = m2
+	return nil
+}
+
+// MarshalBinary serializes the two-population accumulator as a frame
+// whose payload is the two length-prefixed OnlineStats frames.
+func (w *OnlineWelch) MarshalBinary() ([]byte, error) {
+	a, err := w.A.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	b, err := w.B.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	p := make([]byte, 0, 8+len(a)+len(b))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(a)))
+	p = append(p, a...)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(b)))
+	p = append(p, b...)
+	return EncodeFrame(KindOnlineWelch, p), nil
+}
+
+// UnmarshalBinary restores the two-population accumulator.
+func (w *OnlineWelch) UnmarshalBinary(data []byte) error {
+	payload, err := DecodeFrame(data, KindOnlineWelch)
+	if err != nil {
+		return err
+	}
+	r := &payloadReader{b: payload}
+	la := r.uint32("population A length")
+	if r.err == nil && (int(la) < 0 || r.off+int(la) > len(r.b)) {
+		r.fail("population A frame")
+	}
+	var ablob []byte
+	if r.err == nil {
+		ablob = r.b[r.off : r.off+int(la)]
+		r.off += int(la)
+	}
+	lb := r.uint32("population B length")
+	if r.err == nil && (int(lb) < 0 || r.off+int(lb) > len(r.b)) {
+		r.fail("population B frame")
+	}
+	var bblob []byte
+	if r.err == nil {
+		bblob = r.b[r.off : r.off+int(lb)]
+		r.off += int(lb)
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	var next OnlineWelch
+	if err := next.A.UnmarshalBinary(ablob); err != nil {
+		return err
+	}
+	if err := next.B.UnmarshalBinary(bblob); err != nil {
+		return err
+	}
+	*w = next
+	return nil
+}
+
+// MarshalBinary serializes the difference-of-means accumulator. The
+// partition callback is NOT part of the encoding — it is code, not
+// state; a decoded accumulator has a nil partition and must be rebound
+// with SetPartition before further Adds (Merge and Diff need no
+// callback).
+func (o *OnlineDoM) MarshalBinary() ([]byte, error) {
+	p := make([]byte, 0, 36+16*len(o.sum1))
+	p = binary.LittleEndian.AppendUint64(p, uint64(o.count))
+	p = binary.LittleEndian.AppendUint64(p, uint64(o.c1))
+	p = binary.LittleEndian.AppendUint64(p, uint64(o.c0))
+	p = binary.LittleEndian.AppendUint64(p, uint64(o.base))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(o.sum1)))
+	p = appendFloats(p, o.sum1)
+	p = appendFloats(p, o.sum0)
+	return EncodeFrame(KindOnlineDoM, p), nil
+}
+
+// UnmarshalBinary restores the difference-of-means accumulator with a
+// nil partition callback (see MarshalBinary).
+func (o *OnlineDoM) UnmarshalBinary(data []byte) error {
+	payload, err := DecodeFrame(data, KindOnlineDoM)
+	if err != nil {
+		return err
+	}
+	r := &payloadReader{b: payload}
+	count := r.uint64("trace count")
+	c1 := r.uint64("class-1 count")
+	c0 := r.uint64("class-0 count")
+	base := int64(r.uint64("base index"))
+	l := r.uint32("sample length")
+	sum1 := r.floats(int(l), "class-1 sums")
+	sum0 := r.floats(int(l), "class-0 sums")
+	if err := r.done(); err != nil {
+		return err
+	}
+	if err := countLen(count, l); err != nil {
+		return err
+	}
+	if c1+c0 != count || c1 > count || c0 > count {
+		return fmt.Errorf("%w: class counts %d+%d disagree with trace count %d", ErrCodec, c1, c0, count)
+	}
+	if base < math.MinInt32 || base > math.MaxInt32 {
+		return fmt.Errorf("%w: implausible base index %d", ErrCodec, base)
+	}
+	o.part = nil
+	o.count = int(count)
+	o.c1, o.c0 = int(c1), int(c0)
+	o.base = int(base)
+	o.sum1, o.sum0 = sum1, sum0
+	return nil
+}
+
+// SetPartition rebinds the partition callback — required before a
+// deserialized accumulator (whose callback is nil, classifying
+// everything as class 0) consumes further traces. The callback sees
+// arrival indices continuing from base + N().
+func (o *OnlineDoM) SetPartition(part func(idx int, samples []float64) bool) { o.part = part }
+
+// MarshalBinary serializes the correlation accumulator.
+func (o *OnlineCPA) MarshalBinary() ([]byte, error) {
+	p := make([]byte, 0, 28+24*len(o.sx))
+	p = binary.LittleEndian.AppendUint64(p, uint64(o.n))
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(o.sh))
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(o.shh))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(o.sx)))
+	p = appendFloats(p, o.sx)
+	p = appendFloats(p, o.sxx)
+	p = appendFloats(p, o.shx)
+	return EncodeFrame(KindOnlineCPA, p), nil
+}
+
+// UnmarshalBinary restores the correlation accumulator.
+func (o *OnlineCPA) UnmarshalBinary(data []byte) error {
+	payload, err := DecodeFrame(data, KindOnlineCPA)
+	if err != nil {
+		return err
+	}
+	r := &payloadReader{b: payload}
+	n := r.uint64("pair count")
+	sh := r.float64("hypothesis sum")
+	shh := r.float64("hypothesis square sum")
+	l := r.uint32("sample length")
+	sx := r.floats(int(l), "sample sums")
+	sxx := r.floats(int(l), "sample square sums")
+	shx := r.floats(int(l), "cross sums")
+	if err := r.done(); err != nil {
+		return err
+	}
+	if err := countLen(n, l); err != nil {
+		return err
+	}
+	o.n = int(n)
+	o.sh, o.shh = sh, shh
+	o.sx, o.sxx, o.shx = sx, sxx, shx
+	return nil
+}
+
+// MarshalBinary serializes a retained trace set — the durable form of
+// the multi-pass campaigns (CPA keeps every trace). Pooled buffers are
+// copied out; the encoding owns its memory.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	size := 4
+	for _, tr := range s.Traces {
+		size += 16 + 8*len(tr.Samples) + 4*len(tr.Iter)
+	}
+	p := make([]byte, 0, size)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(s.Traces)))
+	for _, tr := range s.Traces {
+		p = binary.LittleEndian.AppendUint64(p, uint64(int64(tr.StartCycle)))
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(tr.Samples)))
+		p = appendFloats(p, tr.Samples)
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(tr.Iter)))
+		for _, it := range tr.Iter {
+			p = binary.LittleEndian.AppendUint32(p, uint32(it))
+		}
+	}
+	return EncodeFrame(KindSet, p), nil
+}
+
+// UnmarshalBinary restores a trace set from MarshalBinary output. The
+// restored traces own unpooled buffers; releasing them simply donates
+// the memory to the pool.
+func (s *Set) UnmarshalBinary(data []byte) error {
+	payload, err := DecodeFrame(data, KindSet)
+	if err != nil {
+		return err
+	}
+	r := &payloadReader{b: payload}
+	n := r.uint32("trace count")
+	if int(n) < 0 {
+		return fmt.Errorf("%w: implausible trace count %d", ErrCodec, n)
+	}
+	traces := []Trace{}
+	for i := 0; i < int(n) && r.err == nil; i++ {
+		start := int64(r.uint64("start cycle"))
+		ns := r.uint32("sample length")
+		samples := r.floats(int(ns), "samples")
+		ni := r.uint32("iteration length")
+		iter := r.int32s(int(ni), "iterations")
+		if r.err != nil {
+			break
+		}
+		if start < math.MinInt32 || start > math.MaxInt32 {
+			return fmt.Errorf("%w: implausible start cycle %d", ErrCodec, start)
+		}
+		traces = append(traces, Trace{Samples: samples, Iter: iter, StartCycle: int(start)})
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	s.Traces = traces
+	return nil
+}

@@ -295,6 +295,135 @@ func TestOnlineCPAMergeDeterminismMatchesSerialFold(t *testing.T) {
 	}
 }
 
+// TestMergeAfterCodecRoundTripMatchesSerialFold is the checkpoint
+// variant of the split-any-way property: fold each segment, encode →
+// decode the per-segment accumulator (the disk round trip a resumed
+// campaign performs), then merge. The result must match the in-memory
+// merge bit for bit — the codec is lossless — and therefore the
+// serial fold to the same 1e-12 the in-memory property pins, for all
+// four accumulators and all three stream regimes.
+func TestMergeAfterCodecRoundTripMatchesSerialFold(t *testing.T) {
+	part := func(idx int, samples []float64) bool {
+		return (idx%3 == 0) != (samples[0] > 1e6)
+	}
+	for _, kind := range mergeKinds {
+		for _, sh := range mergeShapes {
+			if sh.n < 3 {
+				continue // degenerate single-class DoM partitions
+			}
+			data := mergeStream(kind, sh.n, sh.m, 0x5eed7)
+			hx := xorshift64(0x5eed8)
+			hyp := make([]float64, sh.n)
+			for i := range hyp {
+				hyp[i] = hx.float()*4 - 2
+			}
+
+			serialStats, serialWelch := NewOnlineStats(), NewOnlineWelch()
+			serialDoM, serialCPA := NewOnlineDoM(part), NewOnlineCPA()
+			for i, s := range data {
+				if err := serialStats.Add(s); err != nil {
+					t.Fatal(err)
+				}
+				if i%2 == 0 {
+					serialWelch.AddA(s)
+				} else {
+					serialWelch.AddB(s)
+				}
+				if err := serialDoM.Add(s); err != nil {
+					t.Fatal(err)
+				}
+				if err := serialCPA.Add(hyp[i], s); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for _, split := range mergeSplits(sh.n) {
+				mStats, mWelch := NewOnlineStats(), NewOnlineWelch()
+				mDoM, mCPA := NewOnlineDoM(nil), NewOnlineCPA()
+				lo := 0
+				for _, seg := range split {
+					pStats, pWelch := NewOnlineStats(), NewOnlineWelch()
+					pDoM, pCPA := NewOnlineDoMAt(part, lo), NewOnlineCPA()
+					for i := lo; i < lo+seg; i++ {
+						pStats.Add(data[i])
+						if i%2 == 0 {
+							pWelch.AddA(data[i])
+						} else {
+							pWelch.AddB(data[i])
+						}
+						pDoM.Add(data[i])
+						pCPA.Add(hyp[i], data[i])
+					}
+					lo += seg
+
+					// Disk round trip, then merge the decoded copy.
+					var rStats OnlineStats
+					var rWelch OnlineWelch
+					var rDoM OnlineDoM
+					var rCPA OnlineCPA
+					codecCycle(t, pStats, &rStats)
+					codecCycle(t, pWelch, &rWelch)
+					codecCycle(t, pDoM, &rDoM)
+					codecCycle(t, pCPA, &rCPA)
+					if err := mStats.Merge(&rStats); err != nil {
+						t.Fatal(err)
+					}
+					if err := mWelch.Merge(&rWelch); err != nil {
+						t.Fatal(err)
+					}
+					if err := mDoM.Merge(&rDoM); err != nil {
+						t.Fatal(err)
+					}
+					if err := mCPA.Merge(&rCPA); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				gotMean, _ := mStats.Mean()
+				wantMean, _ := serialStats.Mean()
+				closeRelSlices(t, kind+" codec stats mean", gotMean, wantMean)
+				gotVar, _ := mStats.Variance()
+				wantVar, _ := serialStats.Variance()
+				closeRelSlices(t, kind+" codec stats variance", gotVar, wantVar)
+
+				gotT, err := mWelch.T()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantT, _ := serialWelch.T()
+				closeRelSlices(t, kind+" codec welch t", gotT, wantT)
+
+				gotD, err := mDoM.Diff()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantD, _ := serialDoM.Diff()
+				closeRelSlices(t, kind+" codec dom diff", gotD, wantD)
+
+				gotC, err := mCPA.Corr()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantC, _ := serialCPA.Corr()
+				closeRelSlices(t, kind+" codec cpa corr", gotC, wantC)
+			}
+		}
+	}
+}
+
+// codecCycle pushes src through its binary encoding into dst —
+// the property tests' stand-in for a checkpoint write + resume read.
+func codecCycle(t *testing.T, src, dst marshaler) {
+	t.Helper()
+	blob, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestMergeEdgeCases pins the boundary behaviour every caller of the
 // sharded reduction relies on: nil/empty merges are no-ops, merging
 // into an empty accumulator deep-copies (the source can be mutated or

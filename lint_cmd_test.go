@@ -11,7 +11,11 @@ package medsec_test
 //     flag.ExitOnError sets are likewise forbidden — flag sets must use
 //     ContinueOnError so parse errors return);
 //   - a `func run(` entry point exists, returning error, so the
-//     process has exactly one exit point in main.
+//     process has exactly one exit point in main;
+//   - main installs cliutil.SignalContext, so SIGINT/SIGTERM cancel
+//     campaigns through the normal error path (final checkpoints,
+//     manifests and profiles still get written) instead of killing
+//     the process mid-write.
 //
 // This is enforced structurally (go/ast, stdlib only) rather than by
 // grep so comments and strings can mention the forbidden calls freely.
@@ -71,6 +75,7 @@ func TestCmdSingleExitDiscipline(t *testing.T) {
 	fset := token.NewFileSet()
 	for cmd, files := range cmdGoFiles(t) {
 		hasRun := false
+		hasSignalCtx := false
 		for _, path := range files {
 			f, err := parser.ParseFile(fset, path, nil, 0)
 			if err != nil {
@@ -102,6 +107,9 @@ func TestCmdSingleExitDiscipline(t *testing.T) {
 					if selCall(call, "os", "Exit") && !inMain {
 						t.Errorf("%s: os.Exit outside func main; the CLIs have a single exit point", pos)
 					}
+					if inMain && selCall(call, "cliutil", "SignalContext") {
+						hasSignalCtx = true
+					}
 					return true
 				})
 			}
@@ -117,6 +125,9 @@ func TestCmdSingleExitDiscipline(t *testing.T) {
 		}
 		if !hasRun {
 			t.Errorf("cmd/%s: no func run(...) error entry point", cmd)
+		}
+		if !hasSignalCtx {
+			t.Errorf("cmd/%s: main does not install cliutil.SignalContext; SIGINT/SIGTERM must cancel gracefully", cmd)
 		}
 	}
 }

@@ -47,15 +47,16 @@ func TestCmdRosterPinned(t *testing.T) {
 // "d" is a grid *axis list* (designlab), not a single operating
 // point.
 var sharedKnobFlags = map[string][]string{
-	"loss":     {"String", "Float64"},
-	"dist":     {"String", "Float64"},
-	"tries":    {"Int"},
-	"budget":   {"Int"},
-	"clock":    {"Float64"},
-	"vdd":      {"Float64"},
-	"residual": {"Float64"},
-	"channel":  {"String"},
-	"d":        {"Int"},
+	"loss":                {"String", "Float64"},
+	"dist":                {"String", "Float64"},
+	"tries":               {"Int"},
+	"budget":              {"Int"},
+	"clock":               {"Float64"},
+	"vdd":                 {"Float64"},
+	"residual":            {"Float64"},
+	"channel":             {"String"},
+	"d":                   {"Int"},
+	"checkpoint-interval": {"Int"},
 }
 
 func TestSharedFlagDefaultsComeFromDesign(t *testing.T) {
