@@ -17,7 +17,7 @@
 //	designlab [-grid points.json] [-d 1,4,8] [-logic cmos,wddl,sabl]
 //	          [-rpc on,off] [-channel iid] [-loss 0.1] [-dist 2]
 //	          [-reps 8] [-tvla 40] [-cpa 50,100,200] [-seed 1]
-//	          [-workers 0] [-shards 0] [-manifest-dir DIR]
+//	          [-workers 0] [-shards 0] [-lanes 8] [-manifest-dir DIR]
 //
 // Without -grid the built-in grid is the cross product of -d × -logic
 // × -rpc (digit width × circuit style × algorithmic countermeasure),
@@ -28,7 +28,8 @@
 //
 // Evaluation fans out over the sharded campaign engine: every metric
 // of point i derives from (seed, i) alone, so the table and frontier
-// are byte-identical for any -workers value. With -manifest-dir one
+// are byte-identical for any -workers or -lanes value. With
+// -manifest-dir one
 // run manifest is written per frontier point, carrying the full point
 // JSON and its measured metrics — the provenance trail reportgen
 // folds into reports.
@@ -96,6 +97,7 @@ func run(ctx context.Context, args []string) error {
 		seed        = fs.Uint64("seed", 1, "campaign seed (reruns replay bit-identically)")
 		workers     = fs.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
 		shards      = fs.Int("shards", 0, "reduction shards (0 = engine default)")
+		lanes       = fs.Int("lanes", design.DefaultLanes, "traces per interpreter pass (1 = serial per-trace path); any value gives bit-identical results")
 		manifestDir = fs.String("manifest-dir", "", "write one run manifest per frontier point into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -135,7 +137,7 @@ func run(ctx context.Context, args []string) error {
 	// so the table is byte-identical for any worker count.
 	results := make([]result, len(pts))
 	eval := func(idx int) (result, error) {
-		return evalPoint(stacks[idx], idx, *seed, *reps, *tvlaN, sizes)
+		return evalPoint(stacks[idx], idx, *seed, *reps, *tvlaN, *lanes, sizes)
 	}
 	_, err = campaign.RunSharded(0, len(pts),
 		campaign.ShardedConfig{Workers: *workers, Shards: *shards, Ctx: ctx},
@@ -260,7 +262,7 @@ func buildGrid(gridFile, dList, logicList, rpcList, channel string, loss, dist f
 // evalPoint measures one design point's full cost vector. Every
 // substream derives from (seed, idx), so the result is a pure
 // function of the point and the seed.
-func evalPoint(st *design.Stack, idx int, seed uint64, reps, tvlaN int, cpaSizes []int) (result, error) {
+func evalPoint(st *design.Stack, idx int, seed uint64, reps, tvlaN, lanes int, cpaSizes []int) (result, error) {
 	var r result
 	key := st.DeviceKey(seed)
 	pm, err := st.MeasurePointMul(key, design.MixSeed(seed, idx, 1))
@@ -311,6 +313,7 @@ func evalPoint(st *design.Stack, idx int, seed uint64, reps, tvlaN int, cpaSizes
 	}
 	if tvlaN > 0 {
 		tgt.Workers = 1
+		tgt.Lanes = lanes
 		src := rng.NewDRBG(design.MixSeed(seed, idx, 3)).Uint64
 		gen := func() modn.Scalar { return sca.AlgorithmOneScalar(st.Curve, src) }
 		tv, err := sca.TVLA(tgt, sca.FixedPoint(st.Curve), tvlaN, 160, 157, gen)
@@ -325,6 +328,7 @@ func evalPoint(st *design.Stack, idx int, seed uint64, reps, tvlaN int, cpaSizes
 			return r, nil
 		}
 		tgt2.Workers = 1
+		tgt2.Lanes = lanes
 		n, _, err := sca.TracesToSuccess(tgt2, cpaSizes, 4, sca.CPAOptions{},
 			rng.NewDRBG(design.MixSeed(seed, idx, 7)).Uint64)
 		if err != nil {

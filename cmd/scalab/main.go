@@ -1,13 +1,13 @@
 // Command scalab runs the side-channel evaluation workflow of the
 // paper's Fig. 4 against the simulated co-processor:
 //
-//	scalab dpa    [-traces 20000] [-bits 6] [-rpc=true] [-known-masks=false] [-workers 0] [-shards 0]
+//	scalab dpa    [-traces 20000] [-bits 6] [-rpc=true] [-known-masks=false] [-workers 0] [-shards 0] [-lanes 8]
 //	              [-checkpoint ck.msckpt] [-checkpoint-interval 1000] [-resume]
-//	scalab spa    [-balanced=true] [-gating=false] [-profile 0] [-workers 0] [-shards 0]
+//	scalab spa    [-balanced=true] [-gating=false] [-profile 0] [-workers 0] [-shards 0] [-lanes 8]
 //	scalab timing [-keys 1000]
-//	scalab tvla   [-traces 500] [-rpc=true] [-early=false] [-workers 0] [-shards 0]
+//	scalab tvla   [-traces 500] [-rpc=true] [-early=false] [-workers 0] [-shards 0] [-lanes 8]
 //	              [-checkpoint ck.msckpt] [-checkpoint-interval 1000] [-resume]
-//	scalab leakmap [-traces 200] [-workers 0] [-shards 0]
+//	scalab leakmap [-traces 200] [-workers 0] [-shards 0] [-lanes 8]
 //
 // The dpa subcommand with default flags reproduces the §7 statement
 // that 20 000 traces do not reveal a single key bit when randomized
@@ -29,6 +29,14 @@
 // also report how many leading prologue cycles per trace the
 // checkpoint/quiet-prefix acquisition planner removes from the
 // evented pipeline.
+//
+// -lanes selects lane-batched acquisition: one decoded instruction
+// stream retires this many traces per interpreter pass
+// (coproc.LaneCPU), amortizing microcode decode and dispatch. Results
+// are bit-identical at any lane count — like -workers, the flag only
+// changes wall-clock time. The default is the measured saturation
+// point (design.DefaultLanes); -lanes 1 restores the serial per-trace
+// interpreter.
 //
 // The dpa and tvla campaigns are crash-safe: with -checkpoint the run
 // writes durable accumulator snapshots (internal/store format) every
@@ -150,6 +158,12 @@ func workersFlag(fs *flag.FlagSet) *int {
 // the sharded campaign engine).
 func shardsFlag(fs *flag.FlagSet) *int {
 	return fs.Int("shards", 0, "reduction shards (0 = engine default, < 0 = legacy serial consumer); statistics agree across shard counts to rounding")
+}
+
+// lanesFlag registers the shared -lanes flag (lane-batched
+// acquisition width).
+func lanesFlag(fs *flag.FlagSet) *int {
+	return fs.Int("lanes", design.DefaultLanes, "traces per interpreter pass (1 = serial per-trace path); any value gives bit-identical results")
 }
 
 // metricsFlag registers the shared -metrics flag.
@@ -284,6 +298,7 @@ func dpaCmd(ctx context.Context, args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
+	lanes := lanesFlag(fs)
 	metrics := metricsFlag(fs)
 	ckPath, ckEvery, ckResume := checkpointFlags(fs)
 	cpuProf, memProf := profileFlags(fs)
@@ -311,6 +326,7 @@ func dpaCmd(ctx context.Context, args []string) (err error) {
 	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
+	tgt.Lanes = *lanes
 	tgt.Metrics = reg
 	tgt.Ctx = ctx
 	ck, err := newCheckpoint(*ckPath, *ckEvery, *ckResume, "dpa", *seed, pt)
@@ -362,6 +378,7 @@ func spaCmd(ctx context.Context, args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
+	lanes := lanesFlag(fs)
 	metrics := metricsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -389,6 +406,7 @@ func spaCmd(ctx context.Context, args []string) (err error) {
 	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
+	tgt.Lanes = *lanes
 	tgt.Metrics = reg
 	tgt.Ctx = ctx
 	// SPA averages the full ladder, so the only prologue the planner
@@ -422,8 +440,10 @@ func timingCmd(args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	// Accepted for interface uniformity: the timing attack measures
 	// whole-ladder cycle counts without the campaign engine, so the
-	// reduction layout has nothing to shard.
+	// reduction layout has nothing to shard and no trace stream to
+	// lane-batch.
 	_ = shardsFlag(fs)
+	_ = lanesFlag(fs)
 	metrics := metricsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -469,6 +489,7 @@ func leakmapCmd(ctx context.Context, args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
+	lanes := lanesFlag(fs)
 	metrics := metricsFlag(fs)
 	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -497,6 +518,7 @@ func leakmapCmd(ctx context.Context, args []string) (err error) {
 	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
+	tgt.Lanes = *lanes
 	tgt.Metrics = reg
 	tgt.Ctx = ctx
 	src := rng.NewDRBG(*seed + 3).Uint64
@@ -539,6 +561,7 @@ func tvlaCmd(ctx context.Context, args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
+	lanes := lanesFlag(fs)
 	metrics := metricsFlag(fs)
 	ckPath, ckEvery, ckResume := checkpointFlags(fs)
 	cpuProf, memProf := profileFlags(fs)
@@ -563,6 +586,7 @@ func tvlaCmd(ctx context.Context, args []string) (err error) {
 	}
 	tgt.Workers = *workers
 	tgt.Shards = *shards
+	tgt.Lanes = *lanes
 	tgt.Metrics = reg
 	tgt.Ctx = ctx
 	// The early-stop variant folds through a different consumer and

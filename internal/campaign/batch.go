@@ -1,0 +1,591 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Batched acquisition — the lane-oriented form of the engine.
+//
+// Run and RunSharded hand every sample to the acquirer one at a time.
+// With a lane-batched simulator (coproc.LaneCPU) one interpreter pass
+// executes N traces at once, so the engine must hand workers
+// contiguous runs of jobs instead. AcquireBatchFunc is that contract,
+// and RunBatch/RunShardedBatch are Run/RunSharded with the dispatcher
+// grouping consecutive indices into batches of at most `lanes`.
+//
+// Determinism is inherited, not re-argued: acquisition remains a pure
+// function of (idx, job) — the batch exists only to amortize simulator
+// setup, and every per-sample random substream still derives from the
+// sample index. Batch grouping is therefore unobservable in the
+// results, which is what makes checkpoint/resume safe: a resumed run
+// regroups the remaining indices from the checkpoint cursor, and the
+// consumed/folded sequence is bit-identical to the uninterrupted run's
+// (pinned by the sca determinism tests at lanes x workers x shards).
+//
+// Within a sharded run, batches never cross shard boundaries, so shard
+// membership stays a pure function of the index.
+
+// AcquireBatchFunc acquires results for the contiguous index run
+// [start, start+len(jobs)), writing out[i] for index start+i. Called
+// concurrently; must depend only on the indices and jobs — worker
+// exists for worker-owned scratch (a lane CPU bank). len(out) ==
+// len(jobs) >= 1; an error poisons the whole batch.
+type AcquireBatchFunc[J, R any] func(worker, start int, jobs []J, out []R) error
+
+// Lanes resolves a requested batch width: values <= 0 select 1
+// (serial), and the result is capped at MaxLanes.
+func Lanes(requested int) int {
+	l := requested
+	if l <= 0 {
+		l = 1
+	}
+	if l > MaxLanes {
+		l = MaxLanes
+	}
+	return l
+}
+
+// MaxLanes caps the batch width. Beyond this the lane bank's working
+// set outgrows the cache levels that make batching profitable.
+const MaxLanes = 64
+
+type batchItem[J any] struct {
+	start int
+	jobs  []J
+}
+
+type batchOutcome[J, R any] struct {
+	start int
+	jobs  []J
+	out   []R
+	err   error
+}
+
+// batchBufs recycles the job/result slices that flow from dispatcher
+// to workers to consumer, so a long campaign allocates per-batch
+// buffers only during warmup.
+type batchBufs[J, R any] struct {
+	jobs sync.Pool
+	outs sync.Pool
+}
+
+func (b *batchBufs[J, R]) get(lanes int) ([]J, []R) {
+	var js []J
+	if v := b.jobs.Get(); v != nil {
+		js = (*v.(*[]J))[:0]
+	}
+	if cap(js) < lanes {
+		js = make([]J, 0, lanes)
+	}
+	var os []R
+	if v := b.outs.Get(); v != nil {
+		os = (*v.(*[]R))[:0]
+	}
+	if cap(os) < lanes {
+		os = make([]R, 0, lanes)
+	}
+	return js, os
+}
+
+func (b *batchBufs[J, R]) put(js []J, os []R) {
+	if cap(js) > 0 {
+		js = js[:0]
+		b.jobs.Put(&js)
+	}
+	if cap(os) > 0 {
+		os = os[:0]
+		b.outs.Put(&os)
+	}
+}
+
+// RunBatch is Run with batched acquisition: indices [from, to) are
+// prepared serially in order, grouped into contiguous batches of at
+// most lanes, acquired batch-at-a-time on the worker pool, and
+// consumed serially in index order. All of Config's facilities —
+// Progress, Metrics, Ctx, ResumeFrom, Checkpoint/CheckpointEvery and
+// early stop — behave exactly as in Run, at per-sample granularity.
+// lanes <= 1 degrades to batches of one (same engine, same results).
+func RunBatch[J, R any](from, to int, lanes int, cfg Config,
+	prepare PrepareFunc[J], acquire AcquireBatchFunc[J, R], consume ConsumeFunc[J, R]) (int, error) {
+
+	if to < 0 {
+		return 0, fmt.Errorf("campaign: batched range [%d, %d) must be bounded", from, to)
+	}
+	lanes = Lanes(lanes)
+	if cfg.ResumeFrom < 0 {
+		cfg.ResumeFrom = 0
+	}
+	start := from + cfg.ResumeFrom
+	if start >= to {
+		return 0, nil
+	}
+	workers := Workers(cfg.Workers)
+	if batches := (to - start + lanes - 1) / lanes; workers > batches {
+		workers = batches
+	}
+
+	var (
+		mPrepared  = cfg.Metrics.Counter("campaign_prepared")
+		mAcquired  = cfg.Metrics.Counter("campaign_acquired")
+		mConsumed  = cfg.Metrics.Counter("campaign_consumed")
+		mBatchFill = cfg.Metrics.Histogram("campaign_batch_fill", batchFillBuckets(lanes))
+		mUnderfill = cfg.Metrics.Counter("campaign_batch_underfill")
+	)
+	cfg.Metrics.Gauge("campaign_workers").Set(float64(workers))
+	cfg.Metrics.Gauge("campaign_lanes").Set(float64(lanes))
+
+	var bufs batchBufs[J, R]
+	jobs := make(chan batchItem[J], workers)
+	results := make(chan batchOutcome[J, R], workers)
+	quit := make(chan struct{})
+
+	// Dispatcher: serial prepare in index order, batching from the
+	// resume point so a resumed run regroups the remaining range.
+	go func() {
+		defer close(jobs)
+		batch, _ := bufs.get(lanes)
+		bStart := start
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			mBatchFill.Observe(float64(len(batch)))
+			if len(batch) < lanes {
+				mUnderfill.Inc()
+			}
+			select {
+			case jobs <- batchItem[J]{start: bStart, jobs: batch}:
+				return true
+			case <-quit:
+				return false
+			}
+		}
+		for idx := from; idx < to; idx++ {
+			j, err := prepare(idx)
+			if err != nil {
+				select {
+				case results <- batchOutcome[J, R]{start: idx, err: err}:
+				case <-quit:
+				}
+				return
+			}
+			mPrepared.Inc()
+			if idx < start {
+				continue // resumed prefix: streams advance, no acquisition
+			}
+			if len(batch) == 0 {
+				bStart = idx
+			}
+			batch = append(batch, j)
+			if len(batch) == lanes {
+				if !flush() {
+					return
+				}
+				batch, _ = bufs.get(lanes)
+			}
+		}
+		flush()
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for it := range jobs {
+				_, out := bufs.get(lanes)
+				out = out[:len(it.jobs)]
+				err := acquire(w, it.start, it.jobs, out)
+				mAcquired.Add(int64(len(it.jobs)))
+				select {
+				case results <- batchOutcome[J, R]{start: it.start, jobs: it.jobs, out: out, err: err}:
+				case <-quit:
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Consumer: reorder completed batches by start index and feed
+	// consume per sample, exactly as Run's consumer does per trace.
+	pending := make(map[int]batchOutcome[J, R], 3*workers+2)
+	cursor := start
+	consumed := 0
+	lastProgress := start
+	var runErr error
+	stopped := false
+	interrupted := false
+	var ctxDone <-chan struct{}
+	if cfg.Ctx != nil {
+		ctxDone = cfg.Ctx.Done()
+	}
+
+	defer close(quit)
+
+loop:
+	for cursor < to {
+		select {
+		case <-ctxDone:
+			interrupted = true
+		default:
+		}
+		if interrupted {
+			break
+		}
+		if b, ok := pending[cursor]; ok {
+			delete(pending, cursor)
+			if b.err != nil {
+				runErr = b.err
+				break
+			}
+			for i := range b.jobs {
+				stop, err := consume(cursor, b.jobs[i], b.out[i])
+				cursor++
+				consumed++
+				mConsumed.Inc()
+				if cfg.Progress != nil {
+					cfg.Progress(cursor)
+					lastProgress = cursor
+				}
+				if err != nil {
+					runErr = err
+					break loop
+				}
+				if stop {
+					stopped = true
+					break loop
+				}
+				if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 && (cursor-from)%cfg.CheckpointEvery == 0 {
+					if err := cfg.Checkpoint(cursor - from); err != nil {
+						runErr = err
+						break loop
+					}
+				}
+			}
+			bufs.put(b.jobs, b.out)
+			continue
+		}
+		select {
+		case b, ok := <-results:
+			if !ok {
+				break loop
+			}
+			pending[b.start] = b
+		case <-ctxDone:
+			interrupted = true
+			break loop
+		}
+	}
+	if interrupted && runErr == nil {
+		runErr = ErrInterrupted
+		if cfg.Checkpoint != nil {
+			if err := cfg.Checkpoint(cursor - from); err != nil {
+				runErr = err
+			}
+		}
+	}
+	if cfg.Progress != nil && runErr == nil && !stopped && cursor == to && lastProgress != to {
+		cfg.Progress(to)
+	}
+	return consumed, runErr
+}
+
+// batchFillBuckets builds histogram buckets resolving each possible
+// batch fill up to the lane count.
+func batchFillBuckets(lanes int) []float64 {
+	bs := make([]float64, 0, 8)
+	for b := 1; b <= lanes; b *= 2 {
+		bs = append(bs, float64(b))
+	}
+	if bs[len(bs)-1] != float64(lanes) {
+		bs = append(bs, float64(lanes))
+	}
+	return bs
+}
+
+// RunShardedBatch is RunSharded with batched acquisition: the range is
+// cut into the same contiguous shard blocks (ShardingFor — lanes play
+// no part in shard membership), and within each shard the dispatcher
+// groups consecutive indices into batches of at most lanes, starting
+// at the shard's resume cursor. Batches never cross a shard boundary.
+// Folds still happen per sample, in increasing index order within each
+// shard, so the merged statistics are bit-identical to RunSharded's
+// for any lane count.
+func RunShardedBatch[J, R, A any](from, to int, lanes int, cfg ShardedConfig,
+	prepare PrepareFunc[J], acquire AcquireBatchFunc[J, R],
+	newShard func(shard int) A,
+	fold func(shard int, acc A, idx int, job J, out R) error,
+	merge func(shard int, acc A) error) (int, error) {
+
+	if to < from {
+		return 0, fmt.Errorf("campaign: sharded range [%d, %d) is unbounded or inverted", from, to)
+	}
+	lanes = Lanes(lanes)
+	lay := ShardingFor(from, to, cfg.Shards)
+	if lay.N == 0 {
+		return 0, nil
+	}
+
+	resumeAt := make([]int, lay.N)
+	resumed := 0
+	for s := range resumeAt {
+		lo, _ := lay.Bounds(s)
+		resumeAt[s] = lo
+	}
+	if cfg.Resume != nil {
+		if len(cfg.Resume) != lay.N {
+			return 0, fmt.Errorf("campaign: resume has %d cursors, layout has %d shards", len(cfg.Resume), lay.N)
+		}
+		for s, c := range cfg.Resume {
+			lo, hi := lay.Bounds(s)
+			if c < lo || c > hi {
+				return 0, fmt.Errorf("campaign: resume cursor %d for shard %d outside its block [%d,%d)", c, s, lo, hi)
+			}
+			resumeAt[s] = c
+			resumed += c - lo
+		}
+	}
+
+	workers := Workers(cfg.Workers)
+	if remaining := to - from - resumed; remaining > 0 {
+		if batches := (remaining + lanes - 1) / lanes; workers > batches {
+			workers = batches
+		}
+	}
+
+	var (
+		mPrepared  = cfg.Metrics.Counter("campaign_prepared")
+		mAcquired  = cfg.Metrics.Counter("campaign_acquired")
+		mFolded    = cfg.Metrics.Counter("campaign_folded")
+		mFoldBatch = cfg.Metrics.Histogram("campaign_fold_batch", []float64{1, 2, 4, 8, 16, 32, 64, 128})
+		mBatchFill = cfg.Metrics.Histogram("campaign_batch_fill", batchFillBuckets(lanes))
+		mUnderfill = cfg.Metrics.Counter("campaign_batch_underfill")
+	)
+	cfg.Metrics.Gauge("campaign_workers").Set(float64(workers))
+	cfg.Metrics.Gauge("campaign_shards").Set(float64(lay.N))
+	cfg.Metrics.Gauge("campaign_lanes").Set(float64(lanes))
+
+	states := make([]shardState[J, R, A], lay.N)
+	for s := range states {
+		states[s].acc = newShard(s)
+		states[s].pending = make(map[int]outcome[J, R], 2*workers*lanes)
+		states[s].cursor = resumeAt[s]
+	}
+
+	var bufs batchBufs[J, R]
+	jobs := make(chan batchItem[J], workers)
+	quit := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(quit) }) }
+
+	if cfg.Ctx != nil {
+		go func() {
+			select {
+			case <-cfg.Ctx.Done():
+				stop()
+			case <-quit:
+			}
+		}()
+	}
+
+	var ckptMu sync.Mutex
+	snapshot := func() error {
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
+		for s := range states {
+			states[s].mu.Lock()
+		}
+		cursors := make([]int, len(states))
+		for s := range states {
+			cursors[s] = states[s].cursor
+		}
+		err := cfg.Checkpoint(cursors)
+		for s := len(states) - 1; s >= 0; s-- {
+			states[s].mu.Unlock()
+		}
+		return err
+	}
+
+	var (
+		errMu   sync.Mutex
+		errIdx  int
+		bestErr error
+	)
+	fail := func(idx int, err error) {
+		errMu.Lock()
+		if bestErr == nil || idx < errIdx {
+			errIdx, bestErr = idx, err
+		}
+		errMu.Unlock()
+		stop()
+	}
+
+	var (
+		doneMu       sync.Mutex
+		done         int
+		lastProgress int
+		lastCkpt     = resumed
+	)
+
+	// Dispatcher: serial prepare in index order; batches accumulate per
+	// consecutive run and flush at the lane limit or a shard boundary.
+	go func() {
+		defer close(jobs)
+		batch, _ := bufs.get(lanes)
+		bStart := 0
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			mBatchFill.Observe(float64(len(batch)))
+			if len(batch) < lanes {
+				mUnderfill.Inc()
+			}
+			select {
+			case jobs <- batchItem[J]{start: bStart, jobs: batch}:
+				batch, _ = bufs.get(lanes)
+				return true
+			case <-quit:
+				return false
+			}
+		}
+		for idx := from; idx < to; idx++ {
+			j, err := prepare(idx)
+			if err != nil {
+				fail(idx, err)
+				return
+			}
+			mPrepared.Inc()
+			if idx < resumeAt[lay.Shard(idx)] {
+				continue
+			}
+			if len(batch) > 0 && (idx != bStart+len(batch) || lay.Shard(idx) != lay.Shard(bStart)) {
+				// The consecutive run broke (resumed gap or shard
+				// boundary): flush what we have.
+				if !flush() {
+					return
+				}
+			}
+			if len(batch) == 0 {
+				bStart = idx
+			}
+			batch = append(batch, j)
+			if len(batch) == lanes {
+				if !flush() {
+					return
+				}
+			}
+		}
+		flush()
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				var it batchItem[J]
+				var ok bool
+				select {
+				case it, ok = <-jobs:
+					if !ok {
+						return
+					}
+				case <-quit:
+					return
+				}
+				_, out := bufs.get(lanes)
+				out = out[:len(it.jobs)]
+				err := acquire(w, it.start, it.jobs, out)
+				mAcquired.Add(int64(len(it.jobs)))
+				if err != nil {
+					fail(it.start, err)
+					return
+				}
+				s := lay.Shard(it.start)
+				st := &states[s]
+				folded := 0
+				st.mu.Lock()
+				for i := range it.jobs {
+					st.pending[it.start+i] = outcome[J, R]{idx: it.start + i, job: it.jobs[i], out: out[i]}
+				}
+				for {
+					r, ready := st.pending[st.cursor]
+					if !ready {
+						break
+					}
+					delete(st.pending, st.cursor)
+					if err := fold(s, st.acc, st.cursor, r.job, r.out); err != nil {
+						st.mu.Unlock()
+						fail(r.idx, err)
+						return
+					}
+					st.cursor++
+					folded++
+				}
+				st.mu.Unlock()
+				bufs.put(it.jobs, out)
+				if folded > 0 {
+					mFolded.Add(int64(folded))
+					mFoldBatch.Observe(float64(folded))
+					ckptDue := false
+					doneMu.Lock()
+					done += folded
+					total := resumed + done
+					if cfg.Progress != nil {
+						cfg.Progress(total)
+						lastProgress = total
+					}
+					if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
+						total/cfg.CheckpointEvery > lastCkpt/cfg.CheckpointEvery {
+						lastCkpt = total
+						ckptDue = true
+					}
+					doneMu.Unlock()
+					if ckptDue {
+						if err := snapshot(); err != nil {
+							fail(to, err)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop()
+
+	doneMu.Lock()
+	folded := done
+	reported := lastProgress
+	doneMu.Unlock()
+	errMu.Lock()
+	err := bestErr
+	errMu.Unlock()
+	if err != nil {
+		return folded, err
+	}
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		if cfg.Checkpoint != nil {
+			if err := snapshot(); err != nil {
+				return folded, err
+			}
+		}
+		return folded, ErrInterrupted
+	}
+	if cfg.Progress != nil && resumed+folded == to-from && reported != resumed+folded {
+		cfg.Progress(resumed + folded)
+	}
+	for s := range states {
+		if err := merge(s, states[s].acc); err != nil {
+			return folded, err
+		}
+	}
+	return folded, nil
+}

@@ -1,0 +1,196 @@
+package campaign_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	. "medsec/internal/campaign"
+	"medsec/internal/trace"
+)
+
+// fakeAcquireBatch is fakeAcquire lifted to the batch contract: each
+// lane's result is still a pure function of its index and job.
+func fakeAcquireBatch(shake bool) AcquireBatchFunc[uint64, trace.Trace] {
+	serial := fakeAcquire(shake)
+	return func(worker, start int, jobs []uint64, out []trace.Trace) error {
+		for i := range jobs {
+			tr, err := serial(worker, start+i, jobs[i])
+			if err != nil {
+				return err
+			}
+			out[i] = tr
+		}
+		return nil
+	}
+}
+
+func batchPrepare() PrepareFunc[uint64] {
+	stream := uint64(7)
+	return func(idx int) (uint64, error) {
+		stream = stream*6364136223846793005 + 1442695040888963407
+		return stream % 97, nil
+	}
+}
+
+// runAllBatch collects the consumed (idx, job, sample0) sequence
+// through RunBatch.
+func runAllBatch(t *testing.T, workers, lanes, from, to, resume int) [][3]float64 {
+	t.Helper()
+	var seq [][3]float64
+	consume := func(idx int, job uint64, tr trace.Trace) (bool, error) {
+		seq = append(seq, [3]float64{float64(idx), float64(job), tr.Samples[0]})
+		return false, nil
+	}
+	n, err := RunBatch(from, to, lanes, Config{Workers: workers, ResumeFrom: resume},
+		batchPrepare(), fakeAcquireBatch(workers > 1), consume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != to-from-resume {
+		t.Fatalf("consumed %d, want %d", n, to-from-resume)
+	}
+	return seq
+}
+
+// TestRunBatchMatchesRunAcrossLanes pins the batched engine's
+// determinism contract: the consumed sequence is identical to Run's
+// for every lanes x workers combination, including lane counts that do
+// not divide the trace count.
+func TestRunBatchMatchesRunAcrossLanes(t *testing.T) {
+	want := runAll(t, 1, 0, 64, false)
+	for _, lanes := range []int{1, 2, 3, 4, 8} {
+		for _, w := range []int{1, 2, 7} {
+			got := runAllBatch(t, w, lanes, 0, 64, 0)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("lanes=%d workers=%d: consumed sequence diverged from serial Run", lanes, w)
+			}
+		}
+	}
+}
+
+// TestRunBatchResumeRegroups pins resume safety: resuming mid-range —
+// at an offset that is not a multiple of the lane count, so every
+// batch boundary shifts — consumes exactly the suffix of the
+// uninterrupted sequence.
+func TestRunBatchResumeRegroups(t *testing.T) {
+	want := runAll(t, 1, 0, 64, false)
+	for _, resume := range []int{1, 7, 33} {
+		got := runAllBatch(t, 3, 4, 0, 64, resume)
+		if !reflect.DeepEqual(got, want[resume:]) {
+			t.Fatalf("resume=%d: suffix diverged", resume)
+		}
+	}
+}
+
+// TestRunBatchEarlyStop pins per-sample early stop: the consumed
+// prefix ends exactly at the stop index even when the stop lands
+// mid-batch.
+func TestRunBatchEarlyStop(t *testing.T) {
+	const stopAt = 23
+	for _, lanes := range []int{1, 4, 8} {
+		var consumed []int
+		consume := func(idx int, job uint64, tr trace.Trace) (bool, error) {
+			consumed = append(consumed, idx)
+			return idx == stopAt, nil
+		}
+		n, err := RunBatch(0, 64, lanes, Config{Workers: 3},
+			batchPrepare(), fakeAcquireBatch(true), consume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != stopAt+1 || len(consumed) != stopAt+1 || consumed[len(consumed)-1] != stopAt {
+			t.Fatalf("lanes=%d: stopped after %d consumed (last %d), want %d", lanes, n, consumed[len(consumed)-1], stopAt+1)
+		}
+	}
+}
+
+// shardedFold runs a sum-reduction over the fake acquisition through
+// either RunSharded or RunShardedBatch and returns the merged
+// per-shard sums (shard order).
+func shardedFold(t *testing.T, workers, shards, lanes, from, to int, resume []int, init []float64, batched bool) []float64 {
+	t.Helper()
+	lay := ShardingFor(from, to, shards)
+	sums := make([]float64, lay.N)
+	var merged []float64
+	newShard := func(s int) *float64 {
+		if init != nil {
+			// Restore the checkpointed accumulator state, as a real
+			// resume does before folding the remaining indices.
+			sums[s] = init[s]
+		}
+		return &sums[s]
+	}
+	fold := func(s int, acc *float64, idx int, job uint64, tr trace.Trace) error {
+		*acc += tr.Samples[0] * float64(idx+1)
+		if idx%3 == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		return nil
+	}
+	merge := func(s int, acc *float64) error {
+		merged = append(merged, *acc)
+		return nil
+	}
+	cfg := ShardedConfig{Workers: workers, Shards: shards, Resume: resume}
+	var err error
+	if batched {
+		_, err = RunShardedBatch(from, to, lanes, cfg, batchPrepare(), fakeAcquireBatch(false), newShard, fold, merge)
+	} else {
+		_, err = RunSharded(from, to, cfg, batchPrepare(), fakeAcquire(false), newShard, fold, merge)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+// TestRunShardedBatchMatchesRunSharded pins the sharded batch path:
+// merged per-shard reductions are bit-identical to RunSharded's for
+// every lanes x workers x shards combination (same shard blocks, same
+// in-shard fold order).
+func TestRunShardedBatchMatchesRunSharded(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		want := shardedFold(t, 1, shards, 0, 0, 61, nil, nil, false)
+		for _, lanes := range []int{1, 3, 8} {
+			for _, w := range []int{1, 2, 7} {
+				got := shardedFold(t, w, shards, lanes, 0, 61, nil, nil, true)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d lanes=%d workers=%d: merged reduction diverged", shards, lanes, w)
+				}
+			}
+		}
+	}
+}
+
+// TestRunShardedBatchResume pins mid-shard resume: cursors at
+// arbitrary offsets inside each block (not lane-aligned) restore the
+// checkpointed accumulator state, regroup the remaining indices, and
+// still merge bit-identically to the uninterrupted run.
+func TestRunShardedBatchResume(t *testing.T) {
+	const from, to, shards = 0, 61, 4
+	want := shardedFold(t, 1, shards, 0, from, to, nil, nil, false)
+	lay := ShardingFor(from, to, shards)
+	resume := make([]int, lay.N)
+	for s := range resume {
+		lo, hi := lay.Bounds(s)
+		resume[s] = lo + (s*3+1)%(hi-lo)
+	}
+	// Compute the checkpointed accumulator state: the fold of each
+	// shard's already-consumed prefix, in index order — what a real
+	// checkpoint blob would restore.
+	prefix := make([]float64, lay.N)
+	serial := fakeAcquire(false)
+	prep := batchPrepare()
+	for idx := from; idx < to; idx++ {
+		job, _ := prep(idx)
+		if s := lay.Shard(idx); idx < resume[s] {
+			tr, _ := serial(0, idx, job)
+			prefix[s] += tr.Samples[0] * float64(idx+1)
+		}
+	}
+	got := shardedFold(t, 3, shards, 4, from, to, resume, prefix, true)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed merge diverged: got %v want %v", got, want)
+	}
+}

@@ -1,0 +1,499 @@
+package coproc
+
+import (
+	"errors"
+	"fmt"
+
+	"math/bits"
+
+	"medsec/internal/gf2m"
+	"medsec/internal/modn"
+)
+
+// This file implements lane-batched execution: one decoded instruction
+// stream driving N independent traces ("lanes") in lockstep. Campaigns
+// run thousands of identical instruction sequences that differ only in
+// data (keys, base points, TRNG masks, noise), so the decode, dispatch
+// and per-instruction bookkeeping of the interpreter — identical across
+// traces — can be paid once per instruction instead of once per trace.
+// This is the software analogue of a multi-DUT acquisition harness: one
+// pattern generator clocking N chips, each with its own scan-chain
+// preloaded state and its own probe channel.
+//
+// The contract is strict bit-identity per lane: every lane's CycleEvent
+// stream (field values, cycle numbering, ordering) is exactly the
+// stream a serial CPU run of that trace would produce, pinned per
+// opcode and for full point multiplications by the lane_test.go
+// property tests.
+
+// numSlots is the size of the unified operand file a lane carries:
+// registers, scratch RAM, then the constant ROM. Decode resolves the
+// sparse ISA addresses (registers at 0, constants at 8, RAM at 16)
+// into this dense space once per program, so the execution loop indexes
+// a flat array with no address arithmetic or validity checks.
+const (
+	slotRegs   = 0
+	slotRAM    = slotRegs + NumRegs
+	slotConsts = slotRAM + NumRAM
+	numSlots   = slotConsts + NumConsts
+	// writableSlots bounds the slots an instruction may write: the
+	// constant ROM sits above it.
+	writableSlots = slotConsts
+)
+
+// laneInstr is one decoded instruction: operands resolved to dense
+// slot indices, static cycle cost attached.
+type laneInstr struct {
+	op         Op
+	rd, ra, rb uint8
+	keyBit     int
+	iteration  int
+	cost       int
+}
+
+// laneProgram is a decoded program cached on the LaneCPU.
+type laneProgram struct {
+	src    *Program
+	timing Timing
+	instrs []laneInstr
+}
+
+// decodeSlot resolves an ISA operand address to a dense slot index.
+func decodeSlot(a uint8) (uint8, error) {
+	switch {
+	case a < NumRegs:
+		return slotRegs + a, nil
+	case a >= constBase && a < constBase+NumConsts:
+		return slotConsts + (a - constBase), nil
+	case a >= ramBase && a < ramBase+NumRAM:
+		return slotRAM + (a - ramBase), nil
+	default:
+		return 0, fmt.Errorf("coproc: invalid operand address %d", a)
+	}
+}
+
+func decodeProgram(p *Program, t Timing) (*laneProgram, error) {
+	d := &laneProgram{src: p, timing: t, instrs: make([]laneInstr, len(p.Instrs))}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		li := laneInstr{op: in.Op, keyBit: in.KeyBit, iteration: in.Iteration, cost: t.InstrCycles(in.Op)}
+		var err error
+		switch in.Op {
+		case OpNop:
+		case OpMove, OpLoadConst, OpLoadRnd:
+			if li.rd, err = decodeSlot(in.Rd); err == nil && in.Op != OpLoadRnd {
+				li.ra, err = decodeSlot(in.Ra)
+			}
+		case OpAdd, OpMul:
+			if li.rd, err = decodeSlot(in.Rd); err == nil {
+				if li.ra, err = decodeSlot(in.Ra); err == nil {
+					li.rb, err = decodeSlot(in.Rb)
+				}
+			}
+		case OpSqr:
+			if li.rd, err = decodeSlot(in.Rd); err == nil {
+				li.ra, err = decodeSlot(in.Ra)
+			}
+		case OpCSwap:
+			if in.KeyBit < 0 {
+				err = errors.New("coproc: CSWAP without key bit")
+			} else if li.rd, err = decodeSlot(in.Rd); err == nil {
+				li.ra, err = decodeSlot(in.Ra)
+			}
+		default:
+			err = fmt.Errorf("coproc: unknown opcode %v", in.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("coproc: decode instr %d: %w", i, err)
+		}
+		switch in.Op {
+		case OpNop:
+		case OpCSwap:
+			if li.rd >= writableSlots || li.ra >= writableSlots {
+				return nil, fmt.Errorf("coproc: decode instr %d: CSWAP on read-only operand", i)
+			}
+		default:
+			if li.rd >= writableSlots {
+				return nil, fmt.Errorf("coproc: decode instr %d: write to read-only operand", i)
+			}
+		}
+		d.instrs[i] = li
+	}
+	return d, nil
+}
+
+// LaneRun configures one lane of a batched execution: one trace's
+// scalar, TRNG stream, operand constants, event sink and optional
+// prologue snapshot.
+type LaneRun struct {
+	// Key is the lane's scalar.
+	Key modn.Scalar
+	// Rand feeds the lane's OpLoadRnd port (required for RPC programs
+	// and for resuming randomized runs).
+	Rand func() uint64
+	// Sink receives the lane's CycleEvents, one call per evented cycle,
+	// in cycle order — exactly the per-cycle Probe stream a serial CPU
+	// would deliver for this trace. The event struct is reused across
+	// cycles; the sink must not retain it. A nil Sink discards events.
+	Sink func(*CycleEvent)
+	// Consts is the lane's operand constant ROM (see OperandConstants).
+	// Ignored when Resume is set (the snapshot carries the ROM).
+	Consts [NumConsts]gf2m.Element
+	// Resume, when non-nil, starts the lane from a prefix snapshot
+	// instead of the power-on state, exactly like CPU.Resume: the
+	// snapshot must lie at or before the quiet boundary so every lane
+	// reaches lockstep at the same instruction.
+	Resume *Snapshot
+}
+
+// OperandConstants builds the constant-ROM image for a point
+// multiplication on base point (x, y) over a curve with parameter b —
+// the batch-run counterpart of CPU.SetOperandConstants.
+func OperandConstants(x, b, y gf2m.Element) [NumConsts]gf2m.Element {
+	return [NumConsts]gf2m.Element{x, b, y, gf2m.One(), gf2m.Zero()}
+}
+
+// laneState is the per-lane architectural and delivery state.
+type laneState struct {
+	slots     [numSlots]gf2m.Element
+	key       modn.Scalar
+	rand      func() uint64
+	sink      func(*CycleEvent)
+	randDraws int
+	ev        CycleEvent
+}
+
+func (ls *laneState) drawRand() uint64 {
+	ls.randDraws++
+	return ls.rand()
+}
+
+// LaneCPU executes a program over N lanes at once. Configure Timing,
+// MaxCycles and QuietCycles exactly as on a serial CPU (they are
+// shared: the ladder's control flow is key- and data-independent, so
+// every lane retires the same instruction at the same cycle), then
+// call Run with one LaneRun per trace. The zero value is usable.
+type LaneCPU struct {
+	Timing Timing
+	// MaxCycles and QuietCycles carry the CPU semantics, shared by all
+	// lanes.
+	MaxCycles   int
+	QuietCycles int
+
+	prog  *laneProgram
+	lanes []laneState
+	cycle int
+}
+
+// NewLaneCPU returns a batch runner with the given timing.
+func NewLaneCPU(t Timing) *LaneCPU { return &LaneCPU{Timing: t} }
+
+// Cycle returns the shared cycle counter after a Run.
+func (lc *LaneCPU) Cycle() int { return lc.cycle }
+
+// Result returns lane l's register file slot for an ISA register
+// address (e.g. Program.ResultX) after a completed run.
+func (lc *LaneCPU) Result(l int, reg uint8) gf2m.Element {
+	return lc.lanes[l].slots[slotRegs+reg]
+}
+
+// decoded returns the cached decode of p, refreshing it when the
+// program or timing changed since the last Run (the campaign scratch
+// reuses one LaneCPU across thousands of batches of the same program).
+func (lc *LaneCPU) decoded(p *Program) (*laneProgram, error) {
+	if lc.prog != nil && lc.prog.src == p && lc.prog.timing == lc.Timing {
+		return lc.prog, nil
+	}
+	d, err := decodeProgram(p, lc.Timing)
+	if err != nil {
+		return nil, err
+	}
+	lc.prog = d
+	return d, nil
+}
+
+// Run executes p over the given lanes and returns the shared final
+// cycle count. Semantics per lane are exactly CPU.Run (or CPU.Resume
+// for lanes with a snapshot): same architectural effects, same event
+// stream, ErrStopped when MaxCycles ends the run early.
+func (lc *LaneCPU) Run(p *Program, runs []LaneRun) (int, error) {
+	if len(runs) == 0 {
+		return 0, errors.New("coproc: lane run needs at least one lane")
+	}
+	d, err := lc.decoded(p)
+	if err != nil {
+		return 0, err
+	}
+	// Locate the lockstep entry: the first instruction that executes
+	// evented. Everything before it is quiet (architectural effects
+	// only), which each lane can replay independently — including lanes
+	// that shortcut part of the prefix through a snapshot.
+	entry, entryCycle := 0, 0
+	for entry < len(d.instrs) {
+		cost := d.instrs[entry].cost
+		if lc.QuietCycles <= 0 || entryCycle >= lc.QuietCycles ||
+			entryCycle+cost > lc.QuietCycles ||
+			(lc.MaxCycles > 0 && entryCycle+cost > lc.MaxCycles) {
+			break
+		}
+		entry++
+		entryCycle += cost
+	}
+
+	// Lane setup + independent quiet prefix.
+	if cap(lc.lanes) < len(runs) {
+		lc.lanes = make([]laneState, len(runs))
+	}
+	lc.lanes = lc.lanes[:len(runs)]
+	for l := range runs {
+		r := &runs[l]
+		ls := &lc.lanes[l]
+		*ls = laneState{key: r.Key, rand: r.Rand, sink: r.Sink}
+		from := 0
+		if snap := r.Resume; snap != nil {
+			if snap.Instr < 0 || snap.Instr > entry {
+				return 0, fmt.Errorf("coproc: lane %d snapshot instruction %d outside quiet prefix [0,%d]", l, snap.Instr, entry)
+			}
+			if snap.RandDraws > 0 && ls.rand == nil {
+				return 0, errors.New("coproc: resume of a randomized run requires a TRNG source")
+			}
+			copy(ls.slots[slotRegs:slotRegs+NumRegs], snap.Regs[:])
+			copy(ls.slots[slotRAM:slotRAM+NumRAM], snap.RAM[:])
+			copy(ls.slots[slotConsts:slotConsts+NumConsts], snap.Consts[:])
+			for i := 0; i < snap.RandDraws; i++ {
+				ls.rand()
+			}
+			ls.randDraws = snap.RandDraws
+			from = snap.Instr
+		} else {
+			copy(ls.slots[slotConsts:slotConsts+NumConsts], r.Consts[:])
+		}
+		for idx := from; idx < entry; idx++ {
+			if err := lc.quietExecLane(ls, &d.instrs[idx]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	lc.cycle = entryCycle
+	return lc.runEvented(d, entry)
+}
+
+// quietExecLane mirrors CPU.quietExec against a lane's slot file.
+func (lc *LaneCPU) quietExecLane(ls *laneState, in *laneInstr) error {
+	switch in.op {
+	case OpNop:
+	case OpAdd:
+		ls.slots[in.rd] = gf2m.Add(ls.slots[in.ra], ls.slots[in.rb])
+	case OpMove, OpLoadConst:
+		ls.slots[in.rd] = ls.slots[in.ra]
+	case OpLoadRnd:
+		if ls.rand == nil {
+			return errors.New("coproc: OpLoadRnd requires a TRNG source")
+		}
+		ls.slots[in.rd] = RandNonZeroElement(ls.drawRand)
+	case OpCSwap:
+		if ls.key.Bit(in.keyBit) == 1 {
+			ls.slots[in.rd], ls.slots[in.ra] = ls.slots[in.ra], ls.slots[in.rd]
+		}
+	case OpSqr:
+		ls.slots[in.rd] = gf2m.Sqr(ls.slots[in.ra])
+	case OpMul:
+		ls.slots[in.rd] = gf2m.Mul(ls.slots[in.ra], ls.slots[in.rb])
+	}
+	return nil
+}
+
+// runEvented executes instructions [entry, end) in lockstep. Per
+// instruction, every lane retires all its cycles (lane-major order:
+// the per-lane event streams are what must be ordered, and they are;
+// interleaving across lanes is unobservable since each lane has its
+// own sink), then the shared clock advances by the instruction cost.
+func (lc *LaneCPU) runEvented(d *laneProgram, entry int) (int, error) {
+	for idx := entry; idx < len(d.instrs); idx++ {
+		in := &d.instrs[idx]
+		// Quiet gaps after the entry point cannot occur (QuietCycles is
+		// a single prefix), but keep the serial CPU's guard for parity
+		// with oversized QuietCycles values.
+		if lc.QuietCycles > 0 && lc.cycle < lc.QuietCycles &&
+			lc.cycle+in.cost <= lc.QuietCycles &&
+			(lc.MaxCycles <= 0 || lc.cycle+in.cost <= lc.MaxCycles) {
+			for l := range lc.lanes {
+				if err := lc.quietExecLane(&lc.lanes[l], in); err != nil {
+					return lc.cycle, err
+				}
+			}
+			lc.cycle += in.cost
+			continue
+		}
+		// Number of event cycles this instruction retires before a
+		// MaxCycles stop (same for every lane).
+		budget := in.cost
+		stopped := false
+		if lc.MaxCycles > 0 && lc.cycle+budget > lc.MaxCycles {
+			budget = lc.MaxCycles - lc.cycle
+			stopped = true
+		}
+		for l := range lc.lanes {
+			if err := lc.execLane(&lc.lanes[l], idx, in, budget); err != nil {
+				return lc.cycle, err
+			}
+		}
+		lc.cycle += budget
+		if stopped {
+			return lc.cycle, ErrStopped
+		}
+	}
+	return lc.cycle, nil
+}
+
+// emit stamps the cycle number and delivers the lane's event.
+func (ls *laneState) emit(cycle int) {
+	ls.ev.Cycle = cycle
+	if ls.sink != nil {
+		ls.sink(&ls.ev)
+	}
+}
+
+// resetEvent mirrors CPU.resetEvent.
+func (ls *laneState) resetEvent(idx int, in *laneInstr) {
+	ls.ev = CycleEvent{
+		InstrIndex: idx,
+		Op:         in.op,
+		Iteration:  in.iteration,
+		KeyBit:     -1,
+	}
+}
+
+// execLane retires one instruction on one lane, emitting exactly
+// budget cycles (budget < cost only when MaxCycles truncates the
+// instruction, in which case the architectural write is withheld just
+// like the serial executor's early return).
+func (lc *LaneCPU) execLane(ls *laneState, idx int, in *laneInstr, budget int) error {
+	switch in.op {
+	case OpNop:
+		if budget > 0 {
+			ls.resetEvent(idx, in)
+			ls.emit(lc.cycle)
+		}
+
+	case OpAdd, OpMove, OpLoadConst, OpLoadRnd:
+		if budget <= 0 {
+			return nil
+		}
+		var v gf2m.Element
+		var busHW int
+		switch in.op {
+		case OpAdd:
+			a, b := ls.slots[in.ra], ls.slots[in.rb]
+			v = gf2m.Add(a, b)
+			busHW = a.Weight() + b.Weight()
+		case OpMove, OpLoadConst:
+			v = ls.slots[in.ra]
+			busHW = v.Weight()
+		case OpLoadRnd:
+			if ls.rand == nil {
+				return errors.New("coproc: OpLoadRnd requires a TRNG source")
+			}
+			v = RandNonZeroElement(ls.drawRand)
+			busHW = v.Weight()
+		}
+		old := ls.slots[in.rd]
+		ls.slots[in.rd] = v
+		ls.resetEvent(idx, in)
+		ls.ev.WriteHD = gf2m.HammingDistance(old, v)
+		ls.ev.Write01 = zeroToOne(old, v)
+		ls.ev.BusHW = busHW
+		ls.ev.RegsClocked = 1
+		ls.emit(lc.cycle)
+
+	case OpCSwap:
+		if budget <= 0 {
+			return nil
+		}
+		sel := ls.key.Bit(in.keyBit)
+		a, b := ls.slots[in.rd], ls.slots[in.ra]
+		ls.resetEvent(idx, in)
+		ls.ev.KeyBit = in.keyBit
+		ls.ev.CtrlSel = sel
+		ls.ev.SwapHD = gf2m.HammingDistance(a, b)
+		ls.ev.RegsClocked = 2
+		if sel == 1 {
+			ls.slots[in.rd], ls.slots[in.ra] = b, a
+		}
+		ls.emit(lc.cycle)
+
+	case OpMul, OpSqr:
+		a := ls.slots[in.ra]
+		b := a
+		if in.op == OpMul {
+			b = ls.slots[in.rb]
+		}
+		return lc.runMALULane(ls, idx, in, a, b, budget)
+	}
+	return nil
+}
+
+// runMALULane mirrors CPU.runMALU per lane: load cycle(s), one cycle
+// per digit (MSD first) through the precomputed shift table, then the
+// writeback cycle — same accumulator recurrence, same event fields.
+func (lc *LaneCPU) runMALULane(ls *laneState, idx int, in *laneInstr, a, b gf2m.Element, budget int) error {
+	t := lc.Timing
+	if t.DigitSize <= 0 || t.DigitSize > maxDigitSize {
+		return fmt.Errorf("coproc: unsupported digit size %d", t.DigitSize)
+	}
+	cycle := lc.cycle
+	for k := 0; k < t.MulOverhead-1; k++ {
+		if budget <= 0 {
+			return nil
+		}
+		ls.resetEvent(idx, in)
+		ls.ev.BusHW = a.Weight() + b.Weight()
+		ls.ev.RegsClocked = 2
+		ls.emit(cycle)
+		cycle++
+		budget--
+	}
+	var shifts [maxDigitSize]gf2m.Element
+	shifts[0] = a
+	for i := 1; i < t.DigitSize; i++ {
+		shifts[i] = gf2m.ShlMod(shifts[i-1], 1)
+	}
+	var acc gf2m.Element
+	d := t.DigitSize
+	// One reset serves the whole digit loop: every cycle emits the same
+	// constant fields (instr, op, iteration, RegsClocked = 1, zeroed
+	// write/swap counters) and only the accumulator fields vary, so
+	// updating those in place delivers the identical event stream
+	// without rewriting the struct each cycle.
+	ls.resetEvent(idx, in)
+	ls.ev.RegsClocked = 1
+	for j := t.Digits() - 1; j >= 0; j-- {
+		if budget <= 0 {
+			return nil
+		}
+		digit := extractDigit(b, j, d)
+		next := gf2m.ShlMod(acc, uint(d))
+		for dg := digit; dg != 0; dg &= dg - 1 {
+			next = gf2m.Add(next, shifts[bits.TrailingZeros64(dg)])
+		}
+		ls.ev.AccHD = gf2m.HammingDistance(acc, next)
+		ls.ev.Acc01 = zeroToOne(acc, next)
+		ls.ev.DigitHW = bits.OnesCount64(digit)
+		ls.ev.BusHW = ls.ev.DigitHW
+		acc = next
+		ls.emit(cycle)
+		cycle++
+		budget--
+	}
+	if budget <= 0 {
+		return nil
+	}
+	old := ls.slots[in.rd]
+	ls.resetEvent(idx, in)
+	ls.ev.WriteHD = gf2m.HammingDistance(old, acc)
+	ls.ev.Write01 = zeroToOne(old, acc)
+	ls.ev.RegsClocked = 1
+	ls.slots[in.rd] = acc
+	ls.emit(cycle)
+	return nil
+}

@@ -115,6 +115,16 @@ func (e Element) normalize() Element {
 // correction. Hoisting the table out of the word product is what lets
 // one operand's precomputation be shared across every word product
 // using that operand (the Karatsuba left-operand tables below).
+//
+// The window width is pinned at 4 by measurement, not convention: the
+// configuration sweep in mulsweep_test.go (BenchmarkMulSweep; numbers
+// in its header and in BENCH_simcore.json's gf2m/Mul row) puts the
+// 2-bit window ~1.4x slower (twice the lookups) and the 8-bit window
+// ~6x slower (a 256-entry table build per operand word amortizes only
+// after ~10 reuses, which one-shot multiplication never reaches).
+// Likewise one level of 3-word Karatsuba (6 word products) beats
+// schoolbook's 9 by ~15% — and there is no deeper recursion to sweep:
+// the next level would split single words.
 type wordTab [16]uint64
 
 // combTab builds the window table of x.
@@ -390,9 +400,52 @@ func Inv(e Element) Element {
 // Div returns e / f = e * f^-1.
 func Div(e, f Element) Element { return Mul(e, Inv(f)) }
 
+// sqrtCompact maps a byte to the 4-bit compaction of its even-position
+// bits — the inverse of sqrSpread restricted to one parity class.
+var sqrtCompact [256]byte
+
+// sqrtXTab holds the multiplication tables of the constant
+// sqrt(x) = x^(2^(m-1)), built once at init from the repeated-squaring
+// definition (the only place that definition is still evaluated).
+var sqrtXTab Precomp
+
+func init() {
+	for b := 0; b < 256; b++ {
+		var c byte
+		for i := 0; i < 4; i++ {
+			c |= byte(b>>(2*i)&1) << i
+		}
+		sqrtCompact[b] = c
+	}
+	sqrtXTab = Precompute(sqrN(Element{2, 0, 0}, M-1))
+}
+
+// compactEven compresses the even-position bits of w into 32 bits (the
+// inverse of spread64's interleave). Odd positions are the even
+// positions of w >> 1.
+func compactEven(w uint64) uint64 {
+	return uint64(sqrtCompact[byte(w)]) |
+		uint64(sqrtCompact[byte(w>>8)])<<4 |
+		uint64(sqrtCompact[byte(w>>16)])<<8 |
+		uint64(sqrtCompact[byte(w>>24)])<<12 |
+		uint64(sqrtCompact[byte(w>>32)])<<16 |
+		uint64(sqrtCompact[byte(w>>40)])<<20 |
+		uint64(sqrtCompact[byte(w>>48)])<<24 |
+		uint64(sqrtCompact[byte(w>>56)])<<28
+}
+
 // Sqrt returns the square root of e, which always exists and is unique
-// in a binary field: sqrt(e) = e^(2^(m-1)).
-func Sqrt(e Element) Element { return sqrN(e, M-1) }
+// in a binary field. Splitting e = E(x²) + x·O(x²) into its even- and
+// odd-position coefficients gives sqrt(e) = E(x) + sqrt(x)·O(x): two
+// bit-compactions and one multiplication by the precomputed constant
+// sqrt(x), instead of the m-1 = 162 squarings of the e^(2^(m-1))
+// definition. The root is unique, so the value is identical to the
+// repeated-squaring path (pinned by TestSqrtMatchesRepeatedSquaring).
+func Sqrt(e Element) Element {
+	even := Element{compactEven(e[0]) | compactEven(e[1])<<32, compactEven(e[2]), 0}
+	odd := Element{compactEven(e[0]>>1) | compactEven(e[1]>>1)<<32, compactEven(e[2] >> 1), 0}
+	return Add(even, sqrtXTab.Mul(odd))
+}
 
 // traceVec has bit i set iff Tr(x^i) = 1; the trace of an arbitrary
 // element is then the parity of (e AND traceVec). Computed once at

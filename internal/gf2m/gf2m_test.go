@@ -162,6 +162,22 @@ func TestSqrt(t *testing.T) {
 	}
 }
 
+// TestSqrtMatchesRepeatedSquaring pins the even/odd-split Sqrt against
+// the definitional e^(2^(m-1)) chain: the square root is unique, so
+// the two must agree on every input bit for bit.
+func TestSqrtMatchesRepeatedSquaring(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for i := 0; i < 300; i++ {
+		a := randElement(r)
+		if got, want := Sqrt(a), sqrN(a, M-1); !got.Equal(want) {
+			t.Fatalf("Sqrt(%v) = %v, repeated squaring gives %v", a, got, want)
+		}
+	}
+	if !Sqrt(Zero()).IsZero() || !Sqrt(One()).IsOne() {
+		t.Fatal("Sqrt must fix 0 and 1")
+	}
+}
+
 func TestTraceProperties(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	zeros, ones := 0, 0

@@ -22,12 +22,12 @@ func structuredElements() []Element {
 	es := []Element{
 		Zero(),
 		One(),
-		{^uint64(0), ^uint64(0), 1<<35 - 1},            // all ones, canonical
-		{0, 0, 1 << 34},                                // x^162
-		{0xc9, 0, 1 << 34},                             // x^162 + reduction tail
-		{^uint64(0), 0, 0},                             // dense low word
-		{0, ^uint64(0), 0},                             // dense middle word
-		{0, 0, 1<<35 - 1},                              // dense top word
+		{^uint64(0), ^uint64(0), 1<<35 - 1}, // all ones, canonical
+		{0, 0, 1 << 34},                     // x^162
+		{0xc9, 0, 1 << 34},                  // x^162 + reduction tail
+		{^uint64(0), 0, 0},                  // dense low word
+		{0, ^uint64(0), 0},                  // dense middle word
+		{0, 0, 1<<35 - 1},                   // dense top word
 		{0x8000000000000000, 0x8000000000000000, 1},    // word-boundary bits
 		{0x1111111111111111, 0x1111111111111111, 0x11}, // comb mask pattern
 	}

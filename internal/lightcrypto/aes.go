@@ -75,6 +75,20 @@ func gmul(a, b byte) byte {
 	return r
 }
 
+// mul2 and mul3 tabulate gmul(·, 2) and gmul(·, 3): MixColumns is on
+// the DRBG hot path (every campaign trace rekeys and runs several AES
+// blocks), and a table lookup replaces the eight-iteration shift-and-
+// add loop per coefficient. Filled at init from gmul itself, so the
+// values cannot drift from the definitional multiply.
+var mul2, mul3 [256]byte
+
+func init() {
+	for i := 0; i < 256; i++ {
+		mul2[i] = gmul(byte(i), 2)
+		mul3[i] = gmul(byte(i), 3)
+	}
+}
+
 // AES is an AES-128 block cipher instance with an expanded key
 // schedule.
 type AES struct {
@@ -164,10 +178,10 @@ func (s *state) invShiftRows() {
 func (s *state) mixColumns() {
 	for c := 0; c < 4; c++ {
 		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
-		s[4*c+0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
-		s[4*c+1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
-		s[4*c+2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
-		s[4*c+3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+		s[4*c+0] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
+		s[4*c+1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
+		s[4*c+2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
+		s[4*c+3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
 	}
 }
 

@@ -355,6 +355,91 @@ func (m *Model) CycleComponents(ev *coproc.CycleEvent) Components {
 	return out
 }
 
+// CycleBaseEnergy returns the cycle's energy in joules excluding the
+// measurement-noise term, as a single scalar. It is the lane-batched
+// acquisition path's fast form of CycleComponents: same component
+// expressions, summed in the same association order as
+// Components.Total (leakage, clock, datapath, control left to right),
+// so that callers adding a separately drawn noise term reproduce
+// CycleEnergy bit-for-bit. Pinned against CycleComponents across
+// styles and configurations by TestCycleBaseEnergyMatchesComponents.
+func (m *Model) CycleBaseEnergy(ev *coproc.CycleEvent) float64 {
+	scale := unitEnergyJ * m.cfg.Vdd * m.cfg.Vdd
+	leak := leakageUnits * scale
+
+	regs := float64(ev.RegsClocked)
+	clockMul := 1.0
+	switch m.cfg.Style {
+	case WDDL:
+		clockMul = wddlClockMul
+	case SABL:
+		clockMul = sablClockMul
+	}
+	if m.cfg.DataDepClockGating && ev.Op == coproc.OpCSwap {
+		regs = float64(ev.RegsClocked) * float64(ev.CtrlSel)
+	}
+	clock := regs * clockPerReg * clockMul * scale
+
+	var datapath float64
+	switch m.cfg.Style {
+	case CMOS:
+		data := float64(ev.Write01+ev.Acc01) * dataUnit
+		if m.cfg.InputIsolation {
+			data += float64(ev.BusHW) * busIsolated
+		} else {
+			data += float64(ev.BusHW) * busUnit
+		}
+		if !m.cfg.GlitchFree {
+			data += glitchFactor * float64(ev.AccHD+ev.WriteHD)
+		}
+		datapath = data * scale
+	case WDDL:
+		datapath = wddlDataUnits * scale
+	case SABL:
+		datapath = sablDataUnits * scale
+	}
+
+	var control float64
+	if ev.Op == coproc.OpCSwap {
+		if m.cfg.BalancedMux {
+			control = NumMuxLines * ctrlLineUnit * (1 + m.cfg.ResidualImbalance*float64(ev.CtrlSel)) * scale
+		} else {
+			control = NumMuxLines * ctrlLineUnit * float64(ev.CtrlSel) * scale
+			if m.cfg.Style == CMOS {
+				datapath += float64(2*ev.SwapHD) * dataUnit * float64(ev.CtrlSel) * scale
+			}
+		}
+	}
+	return ((leak + clock) + datapath) + control
+}
+
+// NoiseEnabled reports whether the configuration draws measurement
+// noise (one Gaussian sample per metered cycle).
+func (m *Model) NoiseEnabled() bool { return m.cfg.NoiseSigma > 0 }
+
+// ClockHz returns the configured core clock frequency.
+func (m *Model) ClockHz() float64 { return m.cfg.ClockHz }
+
+// FillNoise writes the next len(dst) measurement-noise energy terms in
+// joules into dst: exactly the Noise component the next len(dst)
+// CycleComponents calls would produce, drawn from the same Gaussian
+// stream (rng.Gaussian.Fill) and scaled by the same expression in the
+// same order. When NoiseSigma is 0 it zeroes dst without consuming any
+// draws, matching CycleComponents' skip. The lane-batched sink calls
+// this once per block of cycles instead of sampling per cycle.
+func (m *Model) FillNoise(dst []float64) {
+	if m.cfg.NoiseSigma <= 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	m.noise.Fill(dst)
+	for i, v := range dst {
+		dst[i] = v * m.cfg.NoiseSigma * m.nominalJ
+	}
+}
+
 // BreakdownMeter accumulates per-component energy over a run.
 type BreakdownMeter struct {
 	model  *Model

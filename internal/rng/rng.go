@@ -189,9 +189,48 @@ func (g *Gaussian) Sample() float64 {
 	}
 	v = g.src.Float64()
 	r := math.Sqrt(-2 * math.Log(u))
-	g.spare = r * math.Sin(2*math.Pi*v)
+	// Sincos shares one argument reduction between the pair. Both
+	// results are bit-identical to separate Sin/Cos calls (the pure-Go
+	// kernels evaluate the same polynomials on the same reduced
+	// argument), so the emitted stream is unchanged.
+	s, c := math.Sincos(2 * math.Pi * v)
+	g.spare = r * s
 	g.hasSpare = true
-	return r * math.Cos(2*math.Pi*v)
+	return r * c
+}
+
+// Fill writes len(dst) consecutive Sample draws into dst, leaving the
+// sampler in exactly the state len(dst) Sample calls would. It is the
+// batch form of Sample for the lane-batched acquisition path: one call
+// per block of cycles instead of one per cycle, with the Box–Muller
+// pair loop kept branch-light. The arithmetic is the same expressions
+// in the same order as Sample (including the u > 0 rejection loop and
+// the cos-then-sin pair phase), so the emitted sequence is
+// bit-identical (pinned by TestGaussianFillMatchesSample).
+func (g *Gaussian) Fill(dst []float64) {
+	i := 0
+	if g.hasSpare && len(dst) > 0 {
+		dst[0] = g.spare
+		g.hasSpare = false
+		i++
+	}
+	for ; i+1 < len(dst); i += 2 {
+		var u float64
+		for {
+			u = g.src.Float64()
+			if u > 0 {
+				break
+			}
+		}
+		v := g.src.Float64()
+		r := math.Sqrt(-2 * math.Log(u))
+		s, c := math.Sincos(2 * math.Pi * v)
+		dst[i] = r * c
+		dst[i+1] = r * s
+	}
+	if i < len(dst) {
+		dst[i] = g.Sample()
+	}
 }
 
 // Skip advances the sampler past n Sample calls without computing the
@@ -214,9 +253,12 @@ func (g *Gaussian) Skip(n int) {
 	}
 	for ; n >= 2; n -= 2 {
 		// One fresh pair: u (with the zero-rejection loop) and v.
-		for g.src.Float64() == 0 {
+		// Float64() is zero exactly when the top 53 bits of the raw
+		// draw are, so the rejection test runs on integers — same
+		// draws consumed, no float conversion.
+		for g.src.Uint64()>>11 == 0 {
 		}
-		g.src.Float64()
+		g.src.Uint64()
 	}
 	if n == 1 {
 		// Odd remainder: a real draw, so the spare cache holds exactly

@@ -214,3 +214,52 @@ func BenchmarkGaussianSample(b *testing.B) {
 		g.Sample()
 	}
 }
+
+// TestGaussianFillMatchesSample pins the batch Fill path against the
+// per-call Sample loop: for every block size (odd and even, so both
+// spare-cache phases are crossed mid-block) the emitted values and the
+// final generator state must be bit-identical.
+func TestGaussianFillMatchesSample(t *testing.T) {
+	for _, sizes := range [][]int{{1}, {2}, {3}, {7, 1, 4}, {5, 8, 1, 1, 2}, {64, 63}} {
+		a, b := NewGaussian(42), NewGaussian(42)
+		for _, n := range sizes {
+			got := make([]float64, n)
+			a.Fill(got)
+			for i := 0; i < n; i++ {
+				if want := b.Sample(); got[i] != want {
+					t.Fatalf("sizes %v: Fill[%d] = %v, Sample = %v", sizes, i, got[i], want)
+				}
+			}
+		}
+		// The generators must leave Fill and Sample in the same phase.
+		if a.Sample() != b.Sample() {
+			t.Fatalf("sizes %v: generator state diverged after Fill", sizes)
+		}
+	}
+}
+
+// TestGaussianSkipIntegerFastPath re-pins Skip against real Sample
+// calls now that the rejection test runs on raw integer draws.
+func TestGaussianSkipIntegerFastPath(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 100} {
+		a, b := NewGaussian(7), NewGaussian(7)
+		a.Skip(n)
+		for i := 0; i < n; i++ {
+			b.Sample()
+		}
+		for i := 0; i < 4; i++ {
+			if a.Sample() != b.Sample() {
+				t.Fatalf("Skip(%d) diverged from %d Sample calls", n, n)
+			}
+		}
+	}
+}
+
+func BenchmarkGaussianFill256(b *testing.B) {
+	g := NewGaussian(1)
+	buf := make([]float64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Fill(buf)
+	}
+}

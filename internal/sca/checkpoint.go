@@ -82,7 +82,7 @@ func (c *CampaignCheckpoint) write(h store.Header, blobs map[string][]byte) erro
 // tvlaSerial runs the serial-consumer TVLA engine leg with optional
 // checkpoint/resume and returns the total folded trace count,
 // including any prefix restored from a checkpoint.
-func (t *Target) tvlaSerial(w *trace.OnlineWelch, to, checkEvery int, prepare campaign.PrepareFunc[acqJob], acquire campaign.AcquireFunc[acqJob, trace.Trace]) (int, error) {
+func (t *Target) tvlaSerial(w *trace.OnlineWelch, to, checkEvery int, plan *acqPlan, prepare campaign.PrepareFunc[acqJob]) (int, error) {
 	ck := t.Ckpt
 	resumed := 0
 	prev, err := ck.load(0, to, 0)
@@ -121,7 +121,7 @@ func (t *Target) tvlaSerial(w *trace.OnlineWelch, to, checkEvery int, prepare ca
 		// folded prefix [0, mark) when it fires.
 		cfg.Checkpoint = func(mark int) error { return writeAt(mark, false) }
 	}
-	consumed, err := campaign.Run(0, to, cfg, prepare, acquire,
+	consumed, err := t.runPlanned(0, to, cfg, plan, prepare,
 		welchConsume(w, checkEvery, 10, t.Metrics.Counter("sca_earlystop_checks")))
 	total := consumed + resumed
 	if err != nil {
@@ -140,7 +140,7 @@ func (t *Target) tvlaSerial(w *trace.OnlineWelch, to, checkEvery int, prepare ca
 // including any prefix restored from a checkpoint. Periodic
 // checkpoints store the per-shard accumulators plus the per-shard
 // cursors; the completion checkpoint stores the merged accumulator.
-func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, prepare campaign.PrepareFunc[acqJob], acquire campaign.AcquireFunc[acqJob, trace.Trace]) (int, error) {
+func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, plan *acqPlan, prepare campaign.PrepareFunc[acqJob]) (int, error) {
 	ck := t.Ckpt
 	lay := campaign.ShardingFor(0, to, t.Shards)
 	prev, err := ck.load(0, to, lay.N)
@@ -205,7 +205,7 @@ func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, prepare campaign.Prep
 			return ck.write(h, blobs)
 		}
 	}
-	folded, err := campaign.RunSharded(0, to, scfg, prepare, acquire,
+	folded, err := runShardedPlanned(t, 0, to, scfg, plan, prepare,
 		newShard, welchShardFold, welchShardMerge(w))
 	total := folded + resumed
 	if err != nil {

@@ -1,0 +1,159 @@
+package sca
+
+import (
+	"errors"
+
+	"medsec/internal/campaign"
+	"medsec/internal/coproc"
+	"medsec/internal/power"
+	"medsec/internal/rng"
+	"medsec/internal/trace"
+)
+
+// Lane-batched acquisition: one decoded instruction stream driving N
+// traces at once (coproc.LaneCPU), amortizing the interpreter's decode
+// and dispatch across the batch. Each lane still owns the full
+// per-trace device state — TRNG DRBG, power model with its noise
+// substream, collector — re-seeded per trace exactly like the serial
+// scratch, so a lane's recorded trace is bit-identical to the serial
+// path's for the same index. The campaign engine's batch legs
+// (campaign.RunBatch / RunShardedBatch) preserve the consumption order
+// and checkpoint semantics of the serial legs, so every campaign
+// statistic is bit-identical at any lane count; Target.Lanes merely
+// selects the throughput trade-off.
+
+// laneSlot is one lane's reusable per-trace device state: the
+// counterpart of acqScratch minus the CPU (the LaneCPU is shared by
+// the whole batch). Both func fields are bound once at construction so
+// the steady-state batch loop allocates nothing per trace.
+type laneSlot struct {
+	drbg   *rng.DRBG
+	model  *power.Model
+	col    *trace.Collector
+	randFn func() uint64
+	sinkFn coproc.Probe
+}
+
+func (t *Target) newLaneSlot() *laneSlot {
+	s := &laneSlot{
+		drbg:  rng.NewDRBG(0),
+		model: power.NewModel(t.Power),
+	}
+	s.col = trace.NewCollector(s.model, 0, 0)
+	s.randFn = s.drbg.Uint64
+	s.sinkFn = s.col.LaneSink()
+	return s
+}
+
+// laneScratch is one worker's batched acquisition state: a shared
+// LaneCPU plus one laneSlot per lane.
+type laneScratch struct {
+	lc    *coproc.LaneCPU
+	slots []*laneSlot
+	runs  []coproc.LaneRun
+}
+
+func (t *Target) newLaneScratch(lanes int) *laneScratch {
+	s := &laneScratch{
+		lc:    coproc.NewLaneCPU(t.Timing),
+		slots: make([]*laneSlot, lanes),
+		runs:  make([]coproc.LaneRun, lanes),
+	}
+	for i := range s.slots {
+		s.slots[i] = t.newLaneSlot()
+	}
+	return s
+}
+
+// acquireBatchPlanned is acquirePlanned lifted to a batch: per lane the
+// same per-trace re-seeding, window setup, noise-stream alignment and
+// checkpoint-vs-quiet decision as the serial path, then one LaneCPU
+// run retires the whole batch in lockstep.
+func (t *Target) acquireBatchPlanned(s *laneScratch, plan *acqPlan, jobs []acqJob, out []trace.Trace) error {
+	n := len(jobs)
+	for i := 0; i < n; i++ {
+		j := &jobs[i]
+		sl := s.slots[i]
+		sl.drbg.Reseed(t.traceSeed(j.dev))
+		pcfg := t.Power
+		pcfg.Seed ^= (j.dev + 1) * 0xbf58476d1ce4e5b9
+		sl.model.Reinit(pcfg)
+		sl.col.Start, sl.col.End = plan.start, plan.end
+		sl.col.Begin()
+		// The skipped prefix emits no cycle events, so each lane's noise
+		// stream must be advanced past the draws those events would have
+		// consumed (same alignment as acquirePlanned).
+		sl.model.SkipCycles(plan.quiet)
+		r := &s.runs[i]
+		*r = coproc.LaneRun{Key: j.key, Rand: sl.randFn, Sink: sl.sinkFn}
+		if plan.usable(j.key) {
+			plan.met.checkpointResumes.Inc()
+			r.Resume = plan.snap
+		} else {
+			if plan.quiet > 0 {
+				plan.met.quietRuns.Inc()
+			}
+			r.Consts = coproc.OperandConstants(j.point.X, t.Curve.B, j.point.Y)
+		}
+	}
+	lc := s.lc
+	lc.Timing = t.Timing
+	lc.MaxCycles = 0
+	if plan.end > 0 {
+		lc.MaxCycles = plan.end
+	}
+	lc.QuietCycles = plan.quiet
+	if _, err := lc.Run(t.prog, s.runs[:n]); err != nil && !errors.Is(err, coproc.ErrStopped) {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		plan.met.traces.Inc()
+		plan.met.prologueSkipped.Add(int64(plan.quiet))
+		out[i] = s.slots[i].col.Take()
+	}
+	return nil
+}
+
+// plannedBatchAcquirerPool is plannedAcquirerPool's batch counterpart:
+// a pool of worker-owned lane scratch states, lazily constructed.
+func (t *Target) plannedBatchAcquirerPool(plan *acqPlan, lanes int) campaign.AcquireBatchFunc[acqJob, trace.Trace] {
+	scratch := make([]*laneScratch, campaign.Workers(t.Workers))
+	return func(worker, start int, jobs []acqJob, out []trace.Trace) error {
+		s := scratch[worker]
+		if s == nil {
+			s = t.newLaneScratch(lanes)
+			scratch[worker] = s
+		}
+		return t.acquireBatchPlanned(s, plan, jobs, out)
+	}
+}
+
+// laneCount resolves Target.Lanes (<= 1 selects the serial per-trace
+// path).
+func (t *Target) laneCount() int { return campaign.Lanes(t.Lanes) }
+
+// runPlanned dispatches a serial-consumer campaign leg over a plan:
+// the lane-batched engine when Target.Lanes > 1, the per-trace engine
+// otherwise. Results are bit-identical either way (the lane and batch
+// test suites pin this); only throughput differs.
+func (t *Target) runPlanned(from, to int, cfg campaign.Config, plan *acqPlan,
+	prepare campaign.PrepareFunc[acqJob], consume campaign.ConsumeFunc[acqJob, trace.Trace]) (int, error) {
+	if lanes := t.laneCount(); lanes > 1 {
+		return campaign.RunBatch(from, to, lanes, cfg, prepare, t.plannedBatchAcquirerPool(plan, lanes), consume)
+	}
+	return campaign.Run(from, to, cfg, prepare, t.plannedAcquirerPool(plan), consume)
+}
+
+// runShardedPlanned is runPlanned for the sharded-reduction legs. (A
+// free function because Go methods cannot take the accumulator type
+// parameter.)
+func runShardedPlanned[A any](t *Target, from, to int, cfg campaign.ShardedConfig, plan *acqPlan,
+	prepare campaign.PrepareFunc[acqJob],
+	newShard func(shard int) A,
+	fold func(shard int, acc A, idx int, job acqJob, out trace.Trace) error,
+	merge func(shard int, acc A) error) (int, error) {
+	if lanes := t.laneCount(); lanes > 1 {
+		return campaign.RunShardedBatch(from, to, lanes, cfg, prepare, t.plannedBatchAcquirerPool(plan, lanes), newShard, fold, merge)
+	}
+	return campaign.RunSharded(from, to, cfg, prepare, t.plannedAcquirerPool(plan), newShard, fold, merge)
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"sort"
 
-	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
@@ -56,14 +55,12 @@ func LeakageMap(t *Target, p ec.Point, nPerSet, firstIter, lastIter int, randKey
 	if t.useSharded() {
 		// Same sharded Welch reduction as the full-budget TVLA: fold
 		// per shard on the workers, merge in shard order.
-		_, err = campaign.RunSharded(0, 2*nPerSet, t.shardedConfig(),
+		_, err = runShardedPlanned(t, 0, 2*nPerSet, t.shardedConfig(), plan,
 			t.fixedRandomPrepare(p, randKey),
-			t.plannedAcquirerPool(plan),
 			newWelchShard, welchShardFold, welchShardMerge(w))
 	} else {
-		_, err = campaign.Run(0, 2*nPerSet, t.engineConfig(),
+		_, err = t.runPlanned(0, 2*nPerSet, t.engineConfig(), plan,
 			t.fixedRandomPrepare(p, randKey),
-			t.plannedAcquirerPool(plan),
 			welchConsume(w, 0, 0, nil))
 	}
 	if err != nil {

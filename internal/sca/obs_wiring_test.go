@@ -73,6 +73,55 @@ func TestMetricsObserveNeverPerturb(t *testing.T) {
 	}
 }
 
+// TestLaneBatchMetrics pins the lane-batched campaign's
+// instrumentation: the campaign_lanes gauge reports the configured
+// lane count, the batch-fill histogram accounts every dispatched
+// batch (including the final underfilled one when lanes does not
+// divide the trace count), and the sca acquisition counters stay
+// exact — all without perturbing the statistics.
+func TestLaneBatchMetrics(t *testing.T) {
+	const nPerSet = 15 // 30 traces: 7 full batches of 4 + 1 batch of 2
+	run := func(lanes int, reg *obs.Registry) *TVLAResult {
+		tgt := newDPATarget(t, false, 91)
+		tgt.Workers = 3
+		tgt.Shards = -1
+		tgt.Lanes = lanes
+		tgt.Metrics = reg
+		src := rng.NewDRBG(13).Uint64
+		randKey := func() modn.Scalar { return AlgorithmOneScalar(tgt.Curve, src) }
+		res, err := TVLA(tgt, FixedPoint(tgt.Curve), nPerSet, 160, 158, randKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	bare := run(4, nil)
+	reg := obs.New()
+	inst := run(4, reg)
+	if !reflect.DeepEqual(bare.TCurve, inst.TCurve) {
+		t.Fatal("lane metrics perturbed the campaign: t-curves differ")
+	}
+
+	if got := reg.Gauge("campaign_lanes").Value(); got != 4 {
+		t.Fatalf("campaign_lanes = %v, want 4", got)
+	}
+	total := int64(2 * nPerSet)
+	if got := reg.Counter("sca_traces_acquired").Value(); got != total {
+		t.Fatalf("sca_traces_acquired = %d, want %d", got, total)
+	}
+	fill := reg.Histogram("campaign_batch_fill", nil)
+	if got := fill.Count(); got != 8 {
+		t.Fatalf("campaign_batch_fill count = %d, want 8 batches", got)
+	}
+	if got := fill.Sum(); got != float64(total) {
+		t.Fatalf("campaign_batch_fill sum = %v, want %d traces", got, total)
+	}
+	if got := reg.Counter("campaign_batch_underfill").Value(); got != 1 {
+		t.Fatalf("campaign_batch_underfill = %d, want 1 (30 %% 4 != 0)", got)
+	}
+}
+
 // TestEarlyStopCheckCounter: TVLAUntil accounts its predicate
 // evaluations, and an early-stopped run flags the gauge.
 func TestEarlyStopCheckCounter(t *testing.T) {

@@ -3,7 +3,6 @@ package sca
 import (
 	"errors"
 
-	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/trace"
@@ -141,9 +140,8 @@ func spaAveraged(t *Target, p ec.Point, idx uint64, n int) (*SPAResult, error) {
 	prepare := func(i int) (acqJob, error) {
 		return acqJob{key: t.Key, point: p, dev: idx + uint64(i)}, nil
 	}
-	acquire := t.plannedAcquirerPool(plan)
 	if t.useSharded() {
-		_, err = campaign.RunSharded(0, n, t.shardedConfig(), prepare, acquire,
+		_, err = runShardedPlanned(t, 0, n, t.shardedConfig(), plan, prepare,
 			func(shard int) *[]float64 { return new([]float64) },
 			func(shard int, sum *[]float64, i int, j acqJob, tr trace.Trace) error {
 				err := addInto(sum, tr.Samples)
@@ -162,7 +160,7 @@ func spaAveraged(t *Target, p ec.Point, idx uint64, n int) (*SPAResult, error) {
 			tr.Release() // folded, not retained
 			return false, err
 		}
-		_, err = campaign.Run(0, n, t.engineConfig(), prepare, acquire, consume)
+		_, err = t.runPlanned(0, n, t.engineConfig(), plan, prepare, consume)
 	}
 	if err != nil {
 		return nil, err

@@ -19,7 +19,6 @@ package sca
 import (
 	"context"
 
-	"medsec/internal/campaign"
 	"medsec/internal/coproc"
 	"medsec/internal/ec"
 	"medsec/internal/gf2m"
@@ -73,6 +72,14 @@ type Target struct {
 	// bit-identical for any value — per-trace randomness derives from
 	// the trace index, and statistics consume traces in index order.
 	Workers int
+	// Lanes selects lane-batched acquisition: campaigns execute this
+	// many traces per interpreter pass (coproc.LaneCPU), amortizing
+	// microcode decode and dispatch across the batch. <= 1 selects the
+	// serial per-trace path; design.DefaultLanes is the stack default.
+	// Campaign results are bit-identical for any lane count — batching
+	// changes only which interpreter retires a trace's cycles, never
+	// the per-trace data streams or the statistics' fold order.
+	Lanes int
 	// Shards selects the reduction sharding of the bounded statistics
 	// campaigns (TVLA, leakage maps, SPA averaging, template
 	// profiling, campaign acquisition): 0 selects
@@ -255,14 +262,13 @@ func (t *Target) ExtendCampaign(c *Campaign, n int, pointSrc func() uint64) erro
 	prepare := func(idx int) (acqJob, error) {
 		return acqJob{key: t.Key, point: t.Curve.RandomPoint(pointSrc), dev: uint64(idx)}, nil
 	}
-	acquire := t.plannedAcquirerPool(plan)
 	if !t.useSharded() {
 		consume := func(idx int, j acqJob, tr trace.Trace) (bool, error) {
 			c.Set.Add(tr)
 			c.Points = append(c.Points, j.point)
 			return false, nil
 		}
-		if _, err := campaign.Run(from, n, t.engineConfig(), prepare, acquire, consume); err != nil {
+		if _, err := t.runPlanned(from, n, t.engineConfig(), plan, prepare, consume); err != nil {
 			// Leave the campaign exactly as it was before the failed
 			// (or interrupted) extension; the consumed partial prefix
 			// is dropped — extensions checkpoint only at size
@@ -275,7 +281,7 @@ func (t *Target) ExtendCampaign(c *Campaign, n int, pointSrc func() uint64) erro
 	}
 	c.Set.Traces = append(c.Set.Traces, make([]trace.Trace, n-from)...)
 	c.Points = append(c.Points, make([]ec.Point, n-from)...)
-	_, err := campaign.RunSharded(from, n, t.shardedConfig(), prepare, acquire,
+	_, err := runShardedPlanned(t, from, n, t.shardedConfig(), plan, prepare,
 		func(shard int) struct{} { return struct{}{} },
 		func(shard int, _ struct{}, idx int, j acqJob, tr trace.Trace) error {
 			c.Set.Traces[idx] = tr

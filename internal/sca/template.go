@@ -4,7 +4,6 @@ import (
 	"errors"
 	"math"
 
-	"medsec/internal/campaign"
 	"medsec/internal/ec"
 	"medsec/internal/trace"
 )
@@ -85,10 +84,9 @@ func BuildTemplate(profiler *Target, p ec.Point, nProfile int) (*Template, error
 		k := AlgorithmOneScalar(profiler.Curve, rngSourceFor(profiler, uint64(i)))
 		return acqJob{key: k, point: p, dev: uint64(1000 + i)}, nil
 	}
-	acquire := profiler.plannedAcquirerPool(plan)
 	if profiler.useSharded() {
 		type classes struct{ f0, f1 []float64 }
-		_, err = campaign.RunSharded(0, nProfile, profiler.shardedConfig(), prepare, acquire,
+		_, err = runShardedPlanned(profiler, 0, nProfile, profiler.shardedConfig(), plan, prepare,
 			func(shard int) *classes { return &classes{} },
 			func(shard int, cl *classes, i int, j acqJob, tr trace.Trace) error {
 				extract(j, tr, &cl.f0, &cl.f1)
@@ -106,7 +104,7 @@ func BuildTemplate(profiler *Target, p ec.Point, nProfile int) (*Template, error
 			tr.Release() // folded, not retained
 			return false, nil
 		}
-		_, err = campaign.Run(0, nProfile, profiler.engineConfig(), prepare, acquire, consume)
+		_, err = profiler.runPlanned(0, nProfile, profiler.engineConfig(), plan, prepare, consume)
 	}
 	if err != nil {
 		return nil, err

@@ -89,7 +89,6 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 	if err != nil {
 		return nil, err
 	}
-	acquire := t.plannedAcquirerPool(plan)
 	prepare := t.fixedRandomPrepare(p, randKey)
 	w := trace.NewOnlineWelch()
 	// total counts every folded trace, including a prefix restored from
@@ -100,12 +99,12 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 		// Full-budget campaign: reduce through per-shard Welch
 		// accumulators folded on the worker goroutines and merged in
 		// shard order (campaign.RunSharded's determinism argument).
-		total, err = t.tvlaSharded(w, 2*nPerSet, prepare, acquire)
+		total, err = t.tvlaSharded(w, 2*nPerSet, plan, prepare)
 	} else {
 		// Early-stop campaigns stay on the serial consumer: "stop once
 		// |t| exceeds the threshold after pair k" needs a single
 		// in-order fold, which is exactly what sharding gives up.
-		total, err = t.tvlaSerial(w, 2*nPerSet, checkEvery, prepare, acquire)
+		total, err = t.tvlaSerial(w, 2*nPerSet, checkEvery, plan, prepare)
 	}
 	if err != nil {
 		return nil, err

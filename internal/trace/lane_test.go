@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"testing"
+
+	"medsec/internal/coproc"
+	"medsec/internal/ec"
+	"medsec/internal/power"
+	"medsec/internal/rng"
+)
+
+// TestLaneSinkMatchesBatchProbe pins the lane sink's contract: over a
+// real point multiplication and a recording window that leaves
+// out-of-window cycles on both sides, the trace it records must be
+// bit-identical to the serial BatchProbe path's — noise stream
+// included — for every logic style and for zero noise.
+func TestLaneSinkMatchesBatchProbe(t *testing.T) {
+	curve := ec.K163()
+	prog := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true, XOnly: true})
+	tim := coproc.DefaultTiming()
+	start, end := prog.IterationWindow(tim, 160, 158)
+
+	cfgs := []power.Config{power.ProtectedChip(5), power.UnprotectedChip(5)}
+	wddl := power.ProtectedChip(5)
+	wddl.Style = power.WDDL
+	quietCfg := power.ProtectedChip(5)
+	quietCfg.NoiseSigma = 0
+	cfgs = append(cfgs, wddl, quietCfg)
+
+	k := curve.Order.RandNonZero(rng.NewDRBG(99).Uint64)
+	run := func(cfg power.Config, attach func(cpu *coproc.CPU, col *Collector)) Trace {
+		model := power.NewModel(cfg)
+		col := NewCollector(model, start, end)
+		cpu := coproc.NewCPU(tim)
+		cpu.Rand = rng.NewDRBG(7).Uint64
+		cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+		attach(cpu, col)
+		if _, err := cpu.Run(prog, k); err != nil {
+			t.Fatal(err)
+		}
+		return col.Take()
+	}
+	for ci, cfg := range cfgs {
+		want := run(cfg, func(cpu *coproc.CPU, col *Collector) { cpu.Batch = col.BatchProbe() })
+		got := run(cfg, func(cpu *coproc.CPU, col *Collector) { cpu.Probe = col.LaneSink() })
+		if len(got.Samples) != len(want.Samples) || len(want.Samples) != end-start {
+			t.Fatalf("cfg %d: lane %d samples, serial %d, window %d", ci, len(got.Samples), len(want.Samples), end-start)
+		}
+		for i := range want.Samples {
+			if got.Samples[i] != want.Samples[i] {
+				t.Fatalf("cfg %d sample %d: lane %.18g != serial %.18g", ci, i, got.Samples[i], want.Samples[i])
+			}
+			if got.Iter[i] != want.Iter[i] {
+				t.Fatalf("cfg %d sample %d: iteration %d != %d", ci, i, got.Iter[i], want.Iter[i])
+			}
+		}
+		got.Release()
+		want.Release()
+	}
+}

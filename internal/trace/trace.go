@@ -118,6 +118,11 @@ func (t *Trace) SegmentByIteration() map[int][2]int {
 	return seg
 }
 
+// noiseRingLen is the block size of the lane sink's measurement-noise
+// ring: one power.Model.FillNoise call per 256 cycles instead of one
+// Gaussian sample per cycle.
+const noiseRingLen = 256
+
 // Collector is a coproc.Probe that records a power trace through a
 // power model over a cycle window.
 type Collector struct {
@@ -127,6 +132,11 @@ type Collector struct {
 	Start, End int
 
 	trace Trace
+
+	// Noise ring for the lane sink (see LaneSink); ringPos ==
+	// noiseRingLen means empty.
+	ring    [noiseRingLen]float64
+	ringPos int
 }
 
 // NewCollector creates a collector over the given model and window.
@@ -175,6 +185,38 @@ func (c *Collector) BatchProbe() coproc.BatchProbe {
 	}
 }
 
+// LaneSink returns the per-cycle sink for one lane of a
+// coproc.LaneCPU. It records the same trace Probe/BatchProbe would —
+// same window test, same sample values, same noise draws in the same
+// cycle order — but through the power model's fused scalar path: the
+// noise-free base energy per cycle plus a block-refilled noise ring.
+// Out-of-window cycles advance the ring cursor instead of evaluating
+// the model; together with the ring's end-of-trace overdraw this
+// leaves the noise source in a different final state than the serial
+// path, which is unobservable because every trace re-seeds its model
+// before acquiring. Call Begin before each trace, as with BatchProbe.
+// Bit-identity with the serial path is pinned by
+// TestLaneSinkMatchesBatchProbe.
+func (c *Collector) LaneSink() coproc.Probe {
+	c.Begin()
+	return func(ev *coproc.CycleEvent) {
+		var n float64
+		if c.Model.NoiseEnabled() {
+			if c.ringPos == noiseRingLen {
+				c.Model.FillNoise(c.ring[:])
+				c.ringPos = 0
+			}
+			n = c.ring[c.ringPos]
+			c.ringPos++
+		}
+		if ev.Cycle < c.Start || (c.End > 0 && ev.Cycle >= c.End) {
+			return
+		}
+		c.trace.Samples = append(c.trace.Samples, (c.Model.CycleBaseEnergy(ev)+n)*c.Model.ClockHz())
+		c.trace.Iter = append(c.trace.Iter, int32(ev.Iteration))
+	}
+}
+
 // Begin resets the collector for a fresh acquisition, drawing
 // zero-length sample buffers from the shared pool. The campaign
 // engine's per-worker scratch collectors call Begin once per trace and
@@ -192,6 +234,7 @@ func (c *Collector) Begin() {
 		Samples:    s,
 		Iter:       iterPool.Get(batchInitCap),
 	}
+	c.ringPos = noiseRingLen
 }
 
 // Take returns the recorded trace and resets the collector.

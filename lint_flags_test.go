@@ -2,7 +2,8 @@ package medsec_test
 
 // The flag-default drift lint: the design knobs shared by several lab
 // CLIs (channel loss, TX distance, ARQ policy, clock, Vdd, digit
-// width, residual imbalance) must take their flag defaults from the
+// width, residual imbalance, acquisition lane width) must take their
+// flag defaults from the
 // internal/design constants, never from a re-typed literal. Before
 // the design layer existed, eccsim and linklab each carried their own
 // copy of the paper's operating point, and a one-character typo in
@@ -57,6 +58,7 @@ var sharedKnobFlags = map[string][]string{
 	"channel":             {"String"},
 	"d":                   {"Int"},
 	"checkpoint-interval": {"Int"},
+	"lanes":               {"Int"},
 }
 
 func TestSharedFlagDefaultsComeFromDesign(t *testing.T) {
