@@ -120,9 +120,15 @@ func run(ctx context.Context, args []string) error {
 
 	// Build every stack up front so an invalid point fails the run
 	// before any campaign work, naming the offending point and knob.
+	// The shared build cache collapses the cost when a -grid file
+	// sweeps link operating points (loss, distance, seeds) over a few
+	// circuit identities: each distinct hardware configuration pays
+	// Point.Build once and every other grid cell gets a cheap
+	// specialized copy.
+	cache := design.NewCache()
 	stacks := make([]*design.Stack, len(pts))
 	for i := range pts {
-		st, err := pts[i].Build()
+		st, err := cache.Build(pts[i])
 		if err != nil {
 			return fmt.Errorf("point %d (%s): %v", i, pts[i].Name, err)
 		}

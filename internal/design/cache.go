@@ -1,0 +1,144 @@
+package design
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"medsec/internal/link"
+)
+
+// buildIdentity is a Point stripped to the knobs Build() actually
+// compiles into the shared, immutable parts of a Stack (microcode,
+// timing, power model, radio and battery models, gate-area estimate).
+// Two Points with equal buildIdentity differ only in "specialization"
+// knobs — name, channel/loss/distance, ARQ caps, seeds — which are
+// patched onto a copy of the shared build in a few struct writes.
+//
+// The identity is the Point itself with the specialization knobs
+// normalized to fixed valid values, so it stays comparable (a plain
+// Go map key, no serialization on the hot path) and automatically
+// covers every future build knob added to Point.
+func buildIdentity(p Point) Point {
+	p.Name = ""
+	p.Channel = ChannelPerfect
+	p.Loss = 0
+	p.DistanceM = DefaultDistanceM
+	p.ARQMaxTries = DefaultARQMaxTries
+	p.ARQRetryBudget = DefaultARQRetryBudget
+	p.Seed = 0
+	p.TRNGSeed = 0
+	return p
+}
+
+// specializeInto patches the specialization knobs of p onto a copy of
+// the shared build, written into caller-owned storage (no heap
+// allocation on the hot path). The result is bit-identical to
+// p.Build() (pinned by TestCacheBuildEquivalent).
+func specializeInto(dst, base *Stack, p Point) {
+	*dst = *base
+	dst.Point = p
+	dst.Power.Seed = p.Seed
+	dst.ARQ.MaxTries = p.ARQMaxTries
+	dst.ARQ.RetryBudget = p.ARQRetryBudget
+	switch p.Channel {
+	case ChannelIID:
+		dst.Channel = link.Lossy(p.Loss)
+	case ChannelBursty:
+		dst.Channel = link.Bursty(p.Loss)
+	default:
+		dst.Channel = link.Lossless()
+	}
+}
+
+// CacheStats is a point-in-time view of a Cache's effectiveness.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Size   int   `json:"size"`
+}
+
+// HitRate returns the fraction of Build calls served from the cache
+// (0 when the cache has never been asked).
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache memoizes Point.Build by build identity: among a fleet of 10^6
+// devices drawn from a few dozen hardware configurations, each
+// distinct configuration pays the full Build() exactly once and every
+// other device gets a cheap specialization copy. Safe for concurrent
+// use; results are bit-identical to the uncached Build.
+type Cache struct {
+	mu     sync.RWMutex
+	shared map[Point]*Stack
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty build cache.
+func NewCache() *Cache {
+	return &Cache{shared: make(map[Point]*Stack)}
+}
+
+// Build is Point.Build through the cache: a bad point fails with the
+// identical error either way, the expensive assembly runs once per
+// build identity. For per-device hot loops prefer BuildInto, which
+// skips this call's heap allocation.
+func (c *Cache) Build(p Point) (*Stack, error) {
+	dst := new(Stack)
+	if err := c.BuildInto(dst, p); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// BuildInto is Build writing into caller-owned storage. On a cache
+// hit — the steady state of a fleet sweep — it allocates nothing and
+// validates only the specialization knobs: a cached identity already
+// proves every build knob valid (an invalid build knob can never
+// produce a cached entry), so the full Validate walk runs on misses
+// alone, where Point.Build would have paid it anyway.
+func (c *Cache) BuildInto(dst *Stack, p Point) error {
+	id := buildIdentity(p)
+	c.mu.RLock()
+	base := c.shared[id]
+	c.mu.RUnlock()
+	if base == nil {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		built, err := id.Build()
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if prior := c.shared[id]; prior != nil {
+			base = prior // another goroutine won the race; keep its build
+		} else {
+			c.shared[id] = built
+			base = built
+		}
+		c.mu.Unlock()
+		c.misses.Add(1)
+	} else {
+		if err := p.validateSpecialization(); err != nil {
+			return err
+		}
+		c.hits.Add(1)
+	}
+	specializeInto(dst, base, p)
+	return nil
+}
+
+// Stats reports hit/miss counts and the number of distinct build
+// identities seen so far.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	size := len(c.shared)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Size: size}
+}

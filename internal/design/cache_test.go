@@ -1,0 +1,230 @@
+package design
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// cacheTestPoints spans every layer's knobs: channel models, curves,
+// microcode, architecture, circuit styles, battery, and the pure
+// specialization knobs (seeds, loss, distance, ARQ caps, name).
+func cacheTestPoints() []Point {
+	base := Defaults()
+	pts := []Point{base}
+	add := func(mut func(*Point)) {
+		p := base
+		mut(&p)
+		pts = append(pts, p)
+	}
+	add(func(p *Point) { p.Channel = ChannelIID; p.Loss = 0.1 })
+	add(func(p *Point) { p.Channel = ChannelBursty; p.Loss = 0.3 })
+	add(func(p *Point) { p.Curve = "B-163" })
+	add(func(p *Point) { p.Microcode = MicrocodeDoubleAndAdd; p.RPC = false })
+	add(func(p *Point) { p.XOnly = true })
+	add(func(p *Point) { p.DigitSize = 8 })
+	add(func(p *Point) { p.ClockHz = 2 * DefaultClockHz; p.VddV = 1.2 })
+	add(func(p *Point) { p.Logic = "WDDL" })
+	add(func(p *Point) { p.Logic = "SABL"; p.GlitchFree = false })
+	add(func(p *Point) { p.ResidualImbalance = 0.01; p.NoiseSigma = 0.1 })
+	add(func(p *Point) { p.Battery = BatteryNone })
+	add(func(p *Point) { p.Seed = 99; p.TRNGSeed = 7 })
+	add(func(p *Point) { p.Name = "named"; p.DistanceM = 2.5 })
+	add(func(p *Point) { p.ARQMaxTries = 3; p.ARQRetryBudget = 10 })
+	add(func(p *Point) { p.ARQRetryBudget = -1 })
+	add(func(p *Point) {
+		p.Channel = ChannelBursty
+		p.Loss = 0.5
+		p.Curve = "B-163"
+		p.DigitSize = 16
+		p.Seed = 1234
+	})
+	return pts
+}
+
+// TestCacheBuildEquivalent pins the cache's core contract: for every
+// point, Cache.Build returns a Stack deep-equal to the uncached
+// Point.Build — both on the miss path and on the hit path.
+func TestCacheBuildEquivalent(t *testing.T) {
+	c := NewCache()
+	for round := 0; round < 2; round++ { // round 0 misses, round 1 hits
+		for i, p := range cacheTestPoints() {
+			want, err := p.Build()
+			if err != nil {
+				t.Fatalf("point %d: Build: %v", i, err)
+			}
+			got, err := c.Build(p)
+			if err != nil {
+				t.Fatalf("point %d: Cache.Build: %v", i, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d point %d (%+v): cached stack differs from direct build", round, i, p)
+			}
+		}
+	}
+}
+
+// TestCacheSharesBuildsAcrossSpecializationKnobs pins the fleet-scale
+// property: points differing only in loss, distance, seeds, ARQ caps
+// or name share one build identity.
+func TestCacheSharesBuildsAcrossSpecializationKnobs(t *testing.T) {
+	c := NewCache()
+	base := Defaults()
+	variants := []Point{base}
+	for i := 0; i < 50; i++ {
+		p := base
+		p.Seed = uint64(i)
+		p.TRNGSeed = uint64(i * 3)
+		p.Channel = ChannelIID
+		p.Loss = float64(i) / 100
+		p.DistanceM = 0.5 + float64(i)/10
+		p.Name = "device"
+		variants = append(variants, p)
+	}
+	for _, p := range variants {
+		if _, err := c.Build(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Size != 1 {
+		t.Fatalf("distinct builds = %d, want 1 (specialization knobs must not split the cache)", st.Size)
+	}
+	if st.Misses != 1 || st.Hits != int64(len(variants)-1) {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, len(variants)-1)
+	}
+	if hr := st.HitRate(); hr <= 0.9 {
+		t.Fatalf("hit rate %v, want > 0.9", hr)
+	}
+}
+
+// TestCacheDistinctBuildKnobsMiss pins the converse: any build-knob
+// change is a distinct identity.
+func TestCacheDistinctBuildKnobsMiss(t *testing.T) {
+	c := NewCache()
+	pts := cacheTestPoints()
+	for _, p := range pts {
+		if _, err := c.Build(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Points 13..16 in cacheTestPoints differ from base only in
+	// specialization knobs; the channel variants (1, 2) also share the
+	// base build. Everything else is a distinct build.
+	st := c.Stats()
+	if st.Size >= len(pts) {
+		t.Fatalf("cache size %d not smaller than point count %d: specialization knobs split the cache", st.Size, len(pts))
+	}
+	if st.Size < 10 {
+		t.Fatalf("cache size %d suspiciously small: build knobs are being conflated", st.Size)
+	}
+}
+
+// TestCacheInvalidPoint pins that the cache validates exactly like the
+// uncached path.
+func TestCacheInvalidPoint(t *testing.T) {
+	c := NewCache()
+	p := Defaults()
+	p.Loss = 2
+	_, werr := p.Build()
+	_, gerr := c.Build(p)
+	if werr == nil || gerr == nil {
+		t.Fatal("invalid point accepted")
+	}
+	if werr.Error() != gerr.Error() {
+		t.Fatalf("cache error %q != build error %q", gerr, werr)
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("invalid point populated the cache: %+v", st)
+	}
+}
+
+// TestCacheConcurrent exercises the race paths (run under -race in
+// CI): many goroutines building overlapping identities concurrently.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	pts := cacheTestPoints()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				p := pts[(g+i)%len(pts)]
+				p.Seed = uint64(i)
+				s, err := c.Build(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if s.Point.Seed != uint64(i) {
+					t.Errorf("specialization lost: seed %d != %d", s.Point.Seed, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want, _ := pts[0].Build()
+	got, err := c.Build(pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cache corrupted after concurrent use")
+	}
+}
+
+// TestCacheInvalidSpecializationOnHit pins the hot path's validation:
+// once an identity is cached, only the specialization knobs can still
+// be wrong, and they must fail with the byte-identical Point.Build
+// error.
+func TestCacheInvalidSpecializationOnHit(t *testing.T) {
+	c := NewCache()
+	good := Defaults()
+	good.Channel = ChannelIID
+	good.Loss = 0.1
+	if _, err := c.Build(good); err != nil {
+		t.Fatal(err)
+	}
+	for i, mut := range []func(*Point){
+		func(p *Point) { p.Loss = 2 },
+		func(p *Point) { p.DistanceM = 0 },
+		func(p *Point) { p.ARQMaxTries = 0 },
+		func(p *Point) { p.Channel = "carrier-pigeon" },
+	} {
+		p := good
+		mut(&p)
+		_, werr := p.Build()
+		_, gerr := c.Build(p)
+		if werr == nil || gerr == nil {
+			t.Fatalf("mutation %d: invalid specialization accepted", i)
+		}
+		if werr.Error() != gerr.Error() {
+			t.Fatalf("mutation %d: cache error %q != build error %q", i, gerr, werr)
+		}
+	}
+}
+
+// TestBuildIntoZeroAllocHit gates the fleet engine's premise: on a
+// cache hit, specializing into caller-owned storage allocates
+// nothing.
+func TestBuildIntoZeroAllocHit(t *testing.T) {
+	c := NewCache()
+	p := Defaults()
+	p.Channel = ChannelIID
+	p.Loss = 0.1
+	var dst Stack
+	if err := c.BuildInto(&dst, p); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(100, func() {
+		p.Seed++
+		if err := c.BuildInto(&dst, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("BuildInto allocates %v times on a cache hit, want 0", n)
+	}
+}

@@ -201,24 +201,8 @@ const maxDigitSize = 61
 // Validate checks every knob and names the offending one in the
 // error, so a bad grid file points at the exact field to fix.
 func (p Point) Validate() error {
-	switch p.Channel {
-	case ChannelPerfect, ChannelIID, ChannelBursty:
-	default:
-		return fmt.Errorf("design: Channel %q unknown (want %q, %q or %q)",
-			p.Channel, ChannelPerfect, ChannelIID, ChannelBursty)
-	}
-	if p.Loss < 0 || p.Loss > 1 {
-		return fmt.Errorf("design: Loss %v out of range [0, 1]", p.Loss)
-	}
-	if p.Channel == ChannelPerfect && p.Loss != 0 {
-		return fmt.Errorf("design: Loss %v on a %q Channel (set Channel to %q or %q)",
-			p.Loss, ChannelPerfect, ChannelIID, ChannelBursty)
-	}
-	if p.DistanceM <= 0 {
-		return fmt.Errorf("design: DistanceM %v must be positive", p.DistanceM)
-	}
-	if p.ARQMaxTries < 1 {
-		return fmt.Errorf("design: ARQMaxTries %d must be at least 1", p.ARQMaxTries)
+	if err := p.validateSpecialization(); err != nil {
+		return err
 	}
 	if _, err := curveByName(p.Curve); err != nil {
 		return err
@@ -252,6 +236,34 @@ func (p Point) Validate() error {
 	default:
 		return fmt.Errorf("design: Battery %q unknown (want %q or %q)",
 			p.Battery, BatteryPacemaker, BatteryNone)
+	}
+	return nil
+}
+
+// validateSpecialization checks exactly the knobs buildIdentity
+// normalizes away — the ones a cached build identity cannot vouch
+// for. It is the only validation the Cache hot path pays: a few
+// comparisons instead of the full Validate walk, with the identical
+// error text when a knob is out of range.
+func (p Point) validateSpecialization() error {
+	switch p.Channel {
+	case ChannelPerfect, ChannelIID, ChannelBursty:
+	default:
+		return fmt.Errorf("design: Channel %q unknown (want %q, %q or %q)",
+			p.Channel, ChannelPerfect, ChannelIID, ChannelBursty)
+	}
+	if p.Loss < 0 || p.Loss > 1 {
+		return fmt.Errorf("design: Loss %v out of range [0, 1]", p.Loss)
+	}
+	if p.Channel == ChannelPerfect && p.Loss != 0 {
+		return fmt.Errorf("design: Loss %v on a %q Channel (set Channel to %q or %q)",
+			p.Loss, ChannelPerfect, ChannelIID, ChannelBursty)
+	}
+	if p.DistanceM <= 0 {
+		return fmt.Errorf("design: DistanceM %v must be positive", p.DistanceM)
+	}
+	if p.ARQMaxTries < 1 {
+		return fmt.Errorf("design: ARQMaxTries %d must be at least 1", p.ARQMaxTries)
 	}
 	return nil
 }

@@ -472,6 +472,18 @@ func (c *Curve) Validate(p Point) error {
 	if !c.OnCurve(p) {
 		return errors.New("ec: point not on curve")
 	}
+	if c.Cofactor == 2 {
+		// Seroussi's criterion: on a cofactor-2 binary curve
+		// y^2 + xy = x^3 + ax^2 + b, a curve point (x, y) lies in
+		// the prime-order subgroup iff Tr(x) = Tr(a), with the
+		// x = 0 order-2 point checked separately. This replaces
+		// an order-n scalar multiplication (~160 field inversions)
+		// with one trace evaluation.
+		if p.X.IsZero() || gf2m.Trace(p.X) != gf2m.Trace(c.A) {
+			return fmt.Errorf("ec: point not in the order-%s subgroup", c.Order.N())
+		}
+		return nil
+	}
 	q := c.ScalarMulDoubleAndAdd(c.Order.N(), p)
 	if !q.Inf {
 		return fmt.Errorf("ec: point not in the order-%s subgroup", c.Order.N())

@@ -1,0 +1,84 @@
+package ec
+
+import (
+	"math/rand"
+	"testing"
+
+	"medsec/internal/gf2m"
+)
+
+// slowSubgroupCheck is the pre-trace-criterion subgroup membership
+// test: n*P == O. Validate's fast path must agree with it on every
+// curve point, in and out of the prime-order subgroup.
+func slowSubgroupCheck(c *Curve, p Point) bool {
+	return c.ScalarMulDoubleAndAdd(c.Order.N(), p).Inf
+}
+
+// curvePoints yields raw curve points WITHOUT cofactor clearing, so
+// roughly half of them land in the non-trivial coset.
+func curvePoints(c *Curve, r *rand.Rand, n int) []Point {
+	pts := make([]Point, 0, n)
+	for len(pts) < n {
+		x := gf2m.FromWords(r.Uint64(), r.Uint64(), r.Uint64())
+		y, ok := c.SolveY(x)
+		if !ok {
+			continue
+		}
+		pts = append(pts, Point{X: x, Y: y})
+	}
+	return pts
+}
+
+func TestValidateTraceCriterionMatchesScalarMul(t *testing.T) {
+	for _, c := range curvesUnderTest() {
+		r := rand.New(rand.NewSource(9))
+		pts := curvePoints(c, r, 64)
+		in, out := 0, 0
+		for _, p := range pts {
+			want := slowSubgroupCheck(c, p)
+			got := c.Validate(p) == nil
+			if got != want {
+				t.Fatalf("%s: Validate(%s) = %v, slow subgroup check = %v", c.Name, p, got, want)
+			}
+			if want {
+				in++
+			} else {
+				out++
+			}
+		}
+		// The sample must actually exercise both outcomes.
+		if in == 0 || out == 0 {
+			t.Fatalf("%s: degenerate sample: %d in-subgroup, %d out-of-subgroup", c.Name, in, out)
+		}
+	}
+}
+
+func TestValidateRejectsOrderTwoAndInfinity(t *testing.T) {
+	for _, c := range curvesUnderTest() {
+		if err := c.Validate(Infinity()); err == nil {
+			t.Fatalf("%s: Validate accepted the point at infinity", c.Name)
+		}
+		two := Point{X: gf2m.Zero(), Y: gf2m.Sqrt(c.B)}
+		if !c.OnCurve(two) {
+			t.Fatalf("%s: (0, sqrt b) not on curve", c.Name)
+		}
+		if err := c.Validate(two); err == nil {
+			t.Fatalf("%s: Validate accepted the order-2 point", c.Name)
+		}
+		if err := c.Validate(c.Generator()); err != nil {
+			t.Fatalf("%s: Validate rejected the generator: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsOffCurve(t *testing.T) {
+	c := K163()
+	g := c.Generator()
+	bad := Point{X: g.X, Y: gf2m.Add(g.Y, gf2m.One())}
+	if c.OnCurve(bad) {
+		t.Fatal("perturbed point unexpectedly on curve")
+	}
+	if err := c.Validate(bad); err == nil {
+		t.Fatal("Validate accepted an off-curve point")
+	}
+}

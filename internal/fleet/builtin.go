@@ -1,0 +1,79 @@
+package fleet
+
+import "medsec/internal/design"
+
+// HospitalFleet returns the built-in heterogeneous fleet cmd/fleetlab
+// simulates by default: four cohorts spanning the paper's design
+// space — two pacemaker generations on K-163 and B-163, a body-area
+// sensor cohort on a wider datapath, and a legacy cohort with the
+// unbalanced circuit — with per-device channel jitter and battery-age
+// spread. devices is the total population (cohort sizes scale
+// proportionally); loss is the nominal ward-channel loss rate.
+func HospitalFleet(devices int, loss float64) Config {
+	share := func(frac float64) int {
+		n := int(float64(devices) * frac)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	pacemaker := design.Defaults()
+	pacemaker.Channel = design.ChannelIID
+	pacemaker.Loss = loss
+
+	legacyGen := pacemaker
+	legacyGen.Curve = "B-163"
+	legacyGen.Channel = design.ChannelBursty
+
+	sensor := pacemaker
+	sensor.DigitSize = 8
+	sensor.Battery = design.BatteryNone
+	sensor.DistanceM = 2
+
+	unbalanced := pacemaker
+	unbalanced.BalancedMux = false
+	unbalanced.ResidualImbalance = 0.05
+
+	cohorts := []Cohort{
+		{
+			Name: "pacemaker-r2", Devices: share(0.45), Point: pacemaker,
+			SessionsPerDay: 2, BatteryAgeYears: 3, AgeSpreadYears: 2,
+			FirmwareRev: "r2", SpecYears: 10,
+			LossJitter: loss / 2, DistanceJitterM: 0.4,
+		},
+		{
+			Name: "pacemaker-r1", Devices: share(0.20), Point: legacyGen,
+			SessionsPerDay: 2, BatteryAgeYears: 6, AgeSpreadYears: 2,
+			FirmwareRev: "r1", SpecYears: 10,
+			LossJitter: loss / 2, DistanceJitterM: 0.4,
+		},
+		{
+			Name: "ban-sensor", Devices: share(0.25), Point: sensor,
+			SessionsPerDay: 24, FirmwareRev: "r3",
+			LossJitter: loss / 2, DistanceJitterM: 0.8,
+		},
+		{
+			Name: "legacy-r0", Devices: share(0.10), Point: unbalanced,
+			SessionsPerDay: 1, BatteryAgeYears: 8, AgeSpreadYears: 1,
+			FirmwareRev: "r0", SpecYears: 10,
+			LossJitter: loss / 2, DistanceJitterM: 0.4,
+		},
+	}
+	// Land the population exactly on devices: the first cohort absorbs
+	// the rounding remainder.
+	n := 0
+	for _, co := range cohorts {
+		n += co.Devices
+	}
+	if diff := devices - n; diff > 0 {
+		cohorts[0].Devices += diff
+	}
+
+	return Config{
+		Cohorts:           cohorts,
+		SessionsPerDevice: 3,
+		Storm:             &StormConfig{Sessions: 2, LossBoost: 0.2},
+		Seed:              1,
+	}
+}

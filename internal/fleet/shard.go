@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"medsec/internal/campaign"
+	"medsec/internal/obs"
+	"medsec/internal/store"
+)
+
+// Checkpoint/shard file layout (internal/store codec):
+//
+//   - a mid-run checkpoint (Kind "fleet", Complete=false) carries the
+//     per-internal-shard cursors in Header.Cursors and one accumulator
+//     blob per internal shard ("accum-0000", …) — the crash-safe
+//     resume state of a single invocation;
+//   - a finished shard artifact (Kind "fleet-shard", Complete=true)
+//     carries exactly one "accum" blob — the invocation's merged
+//     accumulator over its device range [From, To) — plus the fleet
+//     config JSON in Header.Point and the cross-process shard count in
+//     Header.Shards. MergeShards folds N of these into the full-fleet
+//     report.
+
+const (
+	toolName     = "fleetlab"
+	kindRun      = "fleet"
+	kindShard    = "fleet-shard"
+	accumBlob    = "accum"
+	accumBlobFmt = "accum-%04d"
+)
+
+func configJSON(cfg Config) (json.RawMessage, error) {
+	buf, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// runHeader is the provenance header a mid-run checkpoint carries.
+func runHeader(cfg Config, lo, hi int, lay campaign.Sharding, cursors []int, complete bool) (store.Header, error) {
+	pt, err := configJSON(cfg)
+	if err != nil {
+		return store.Header{}, err
+	}
+	return store.Header{
+		Tool:     toolName,
+		Kind:     kindRun,
+		Seed:     cfg.Seed,
+		GitSHA:   obs.GitSHA(),
+		Point:    pt,
+		Cursors:  cursors,
+		From:     lo,
+		To:       hi,
+		Shards:   lay.N,
+		Complete: complete,
+	}, nil
+}
+
+// writeCheckpoint persists a mid-run snapshot: per-internal-shard
+// accumulators at the cursor prefixes, atomically (temp-fsync-rename
+// via store.Write).
+func writeCheckpoint(path string, cfg Config, _ RunOptions, lo, hi int,
+	lay campaign.Sharding, cursors []int, accums []*Accum, complete bool) error {
+	hdr, err := runHeader(cfg, lo, hi, lay, cursors, complete)
+	if err != nil {
+		return err
+	}
+	ck := &store.Checkpoint{Header: hdr, Blobs: map[string][]byte{}}
+	for s, a := range accums {
+		if a == nil {
+			a = newAccum(cfg)
+		}
+		buf, err := json.Marshal(a)
+		if err != nil {
+			return err
+		}
+		ck.Blobs[fmt.Sprintf(accumBlobFmt, s)] = buf
+	}
+	return store.Write(path, ck)
+}
+
+// readCheckpoint loads and validates a mid-run checkpoint against the
+// resuming invocation, returning the per-shard resume cursors and the
+// restored per-internal-shard accumulators.
+func readCheckpoint(path string, cfg Config, _ RunOptions, lo, hi int,
+	lay campaign.Sharding) (cursors []int, accums []*Accum, err error) {
+	ck, err := store.Read(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur, err := runHeader(cfg, lo, hi, lay, nil, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ck.Header.Match(cur); err != nil {
+		return nil, nil, fmt.Errorf("fleet: checkpoint %s does not match this run: %w", path, err)
+	}
+	if ck.Header.Complete {
+		return nil, nil, fmt.Errorf("fleet: checkpoint %s is complete; nothing to resume", path)
+	}
+	if len(ck.Header.Cursors) != lay.N {
+		return nil, nil, fmt.Errorf("fleet: checkpoint has %d cursors, layout has %d shards", len(ck.Header.Cursors), lay.N)
+	}
+	accums = make([]*Accum, lay.N)
+	for s := 0; s < lay.N; s++ {
+		buf, ok := ck.Blobs[fmt.Sprintf(accumBlobFmt, s)]
+		if !ok {
+			return nil, nil, fmt.Errorf("fleet: checkpoint missing accumulator for shard %d", s)
+		}
+		a := &Accum{}
+		if err := json.Unmarshal(buf, a); err != nil {
+			return nil, nil, fmt.Errorf("fleet: decoding shard %d accumulator: %w", s, err)
+		}
+		if len(a.Cohorts) != len(cfg.Cohorts) {
+			return nil, nil, fmt.Errorf("fleet: shard %d accumulator has %d cohorts, config has %d", s, len(a.Cohorts), len(cfg.Cohorts))
+		}
+		accums[s] = a
+	}
+	return ck.Header.Cursors, accums, nil
+}
+
+// WriteShard persists a finished invocation's report as a shard
+// artifact for MergeShards (and records the cross-process partition
+// in the header).
+func WriteShard(path string, rep *Report, shardCount int) error {
+	pt, err := configJSON(rep.Config)
+	if err != nil {
+		return err
+	}
+	buf, err := json.Marshal(rep.Accum)
+	if err != nil {
+		return err
+	}
+	return store.Write(path, &store.Checkpoint{
+		Header: store.Header{
+			Tool:     toolName,
+			Kind:     kindShard,
+			Seed:     rep.Config.Seed,
+			GitSHA:   obs.GitSHA(),
+			Point:    pt,
+			From:     rep.From,
+			To:       rep.To,
+			Shards:   shardCount,
+			Complete: true,
+		},
+		Blobs: map[string][]byte{accumBlob: buf},
+	})
+}
+
+// shardPiece is one loaded shard artifact.
+type shardPiece struct {
+	from, to int
+	accum    *Accum
+}
+
+// MergeShards folds N shard artifacts covering disjoint device ranges
+// into the full-fleet report. It refuses provenance drift (different
+// config, seed, or code), overlaps, and gaps: the shards must tile
+// [0, TotalDevices) exactly. Merge order is by device range, so the
+// result is independent of the path order given — and, because every
+// accumulator field is integer-exact, byte-identical to the
+// single-process full-fleet report.
+func MergeShards(paths []string) (*Report, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("fleet: no shard files to merge")
+	}
+	var cfg Config
+	var refPt string
+	pieces := make([]shardPiece, 0, len(paths))
+	for i, path := range paths {
+		ck, err := store.Read(path)
+		if err != nil {
+			return nil, err
+		}
+		if ck.Header.Tool != toolName || ck.Header.Kind != kindShard {
+			return nil, fmt.Errorf("fleet: %s is a %s/%s checkpoint, not a fleet shard", path, ck.Header.Tool, ck.Header.Kind)
+		}
+		if !ck.Header.Complete {
+			return nil, fmt.Errorf("fleet: %s is an unfinished shard (resume it first)", path)
+		}
+		pt := string(ck.Header.Point)
+		if i == 0 {
+			refPt = pt
+			if err := json.Unmarshal(ck.Header.Point, &cfg); err != nil {
+				return nil, fmt.Errorf("fleet: decoding config from %s: %w", path, err)
+			}
+			if err := cfg.Validate(); err != nil {
+				return nil, fmt.Errorf("fleet: config from %s: %w", path, err)
+			}
+		} else if pt != refPt {
+			return nil, fmt.Errorf("fleet: %s was produced by a different fleet config", path)
+		}
+		buf, ok := ck.Blobs[accumBlob]
+		if !ok {
+			return nil, fmt.Errorf("fleet: %s has no accumulator blob", path)
+		}
+		a := &Accum{}
+		if err := json.Unmarshal(buf, a); err != nil {
+			return nil, fmt.Errorf("fleet: decoding accumulator from %s: %w", path, err)
+		}
+		if len(a.Cohorts) != len(cfg.Cohorts) {
+			return nil, fmt.Errorf("fleet: %s accumulator has %d cohorts, config has %d", path, len(a.Cohorts), len(cfg.Cohorts))
+		}
+		pieces = append(pieces, shardPiece{from: ck.Header.From, to: ck.Header.To, accum: a})
+	}
+
+	// Coverage: sorted by range, the pieces must tile [0, total).
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].from < pieces[j].from })
+	cursor := 0
+	for _, p := range pieces {
+		if p.from != cursor {
+			return nil, fmt.Errorf("fleet: shard coverage gap or overlap at device %d (next shard starts at %d)", cursor, p.from)
+		}
+		cursor = p.to
+	}
+	total := cfg.TotalDevices()
+	if cursor != total {
+		return nil, fmt.Errorf("fleet: shards cover [0, %d), fleet has %d devices", cursor, total)
+	}
+
+	merged := newAccum(cfg)
+	for _, p := range pieces {
+		if err := merged.Merge(p.accum); err != nil {
+			return nil, err
+		}
+	}
+	return &Report{Config: cfg, From: 0, To: total, Accum: merged}, nil
+}

@@ -162,6 +162,42 @@ func NewPair(cc ChannelConfig, ac ARQConfig, seed uint64) (*Pair, error) {
 	return p, nil
 }
 
+// Reset reinitializes an existing Pair in place to the exact state
+// NewPair(cc, ac, seed) would produce, reusing the Pair's allocations
+// (endpoints, fault streams, jitter DRBGs, inbox and Log backing
+// arrays). The attached metrics bundle (Instrument) and the Record
+// flag survive the reset. This is the allocation-free path for
+// session pools that churn through millions of link lifetimes.
+func (p *Pair) Reset(cc ChannelConfig, ac ARQConfig, seed uint64) error {
+	if err := cc.validate(); err != nil {
+		return err
+	}
+	if err := ac.validate(); err != nil {
+		return err
+	}
+	p.arq = ac
+	p.clock = 0
+	p.Log = p.Log[:0]
+	sub := func(n uint64) uint64 { return seed + n*0x9E3779B97F4A7C15 }
+	p.a.reset(cc, sub(1), sub(3))
+	p.b.reset(cc, sub(2), sub(4))
+	return nil
+}
+
+// reset restores one endpoint to its NewPair state, keeping the
+// pair/peer wiring and reusing the fault-stream and jitter DRBGs.
+func (e *Endpoint) reset(cc ChannelConfig, faultSeed, jitSeed uint64) {
+	e.out.cfg = cc
+	e.out.burst = false
+	e.out.d.Reseed(faultSeed)
+	e.jit.Reseed(jitSeed)
+	e.seq = 0
+	e.expect = 0
+	e.inbox = e.inbox[:0]
+	e.retriesUsed = 0
+	e.stats = Stats{}
+}
+
 // NewLosslessPair returns the perfect-channel link: single-attempt
 // delivery, no retries ever needed. It is the baseline every energy
 // number in the repo was measured against before this package existed.

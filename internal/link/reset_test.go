@@ -1,0 +1,122 @@
+package link
+
+import (
+	"reflect"
+	"testing"
+)
+
+// driveOn pushes the same fixed schedule as drive through an existing
+// pair (so a Reset pair and a NewPair pair can be compared).
+func driveOn(t *testing.T, p *Pair) (log []Event, sa, sb Stats, delivered []string, clock int) {
+	t.Helper()
+	p.Record = true
+	a, b := p.A(), p.B()
+	schedule := []struct {
+		fromA bool
+		msg   string
+	}{
+		{true, "A=a*P................."},
+		{false, "W=y*A................."},
+		{true, "R=r*P................."},
+		{false, "e-challenge..........."},
+		{true, "s-response............"},
+	}
+	for _, s := range schedule {
+		src, dst := a, b
+		if !s.fromA {
+			src, dst = b, a
+		}
+		if err := src.Send([]byte(s.msg)); err != nil {
+			delivered = append(delivered, "ABORT:"+err.Error())
+			break
+		}
+		got, err := dst.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered = append(delivered, string(got))
+	}
+	return p.Log, a.Stats(), b.Stats(), delivered, p.Elapsed()
+}
+
+// TestResetEquivalentToNewPair pins the pool contract: after
+// Reset(cc, ac, seed) a dirtied pair is observably indistinguishable
+// from NewPair(cc, ac, seed) — same transcript, stats, payloads and
+// clock — across channel models and across config changes between
+// uses of the same pooled pair.
+func TestResetEquivalentToNewPair(t *testing.T) {
+	configs := []struct {
+		name string
+		cc   ChannelConfig
+		ac   ARQConfig
+	}{
+		{"lossless", Lossless(), DefaultARQ()},
+		{"lossy10", Lossy(0.10), DefaultARQ()},
+		{"bursty20", Bursty(0.20), DefaultARQ()},
+	}
+	pool, err := NewPair(Lossless(), DefaultARQ(), 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range configs {
+		for seed := uint64(1); seed <= 5; seed++ {
+			// Dirty the pooled pair with unrelated traffic first, so
+			// the reset has real state to clear.
+			if err := pool.Reset(Lossy(0.3), DefaultARQ(), seed*77+1); err != nil {
+				t.Fatal(err)
+			}
+			_, _, _, _, _ = driveOn(t, pool)
+
+			if err := pool.Reset(cfg.cc, cfg.ac, seed); err != nil {
+				t.Fatal(err)
+			}
+			gl, gsa, gsb, gd, gc := driveOn(t, pool)
+
+			fresh, err := NewPair(cfg.cc, cfg.ac, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, wsa, wsb, wd, wc := driveOn(t, fresh)
+
+			if !reflect.DeepEqual(gl, wl) {
+				t.Fatalf("%s seed=%d: transcript diverged after Reset", cfg.name, seed)
+			}
+			if gsa != wsa || gsb != wsb {
+				t.Fatalf("%s seed=%d: stats diverged after Reset", cfg.name, seed)
+			}
+			if !reflect.DeepEqual(gd, wd) {
+				t.Fatalf("%s seed=%d: delivered payloads diverged after Reset", cfg.name, seed)
+			}
+			if gc != wc {
+				t.Fatalf("%s seed=%d: clock diverged after Reset: %d vs %d", cfg.name, seed, gc, wc)
+			}
+		}
+	}
+}
+
+// TestResetRejectsInvalidConfig pins that Reset validates like NewPair
+// and leaves nothing half-initialized on error.
+func TestResetRejectsInvalidConfig(t *testing.T) {
+	p := NewLosslessPair()
+	if err := p.Reset(ChannelConfig{DropRate: 1.5}, DefaultARQ(), 1); err == nil {
+		t.Fatal("Reset accepted DropRate > 1")
+	}
+	if err := p.Reset(Lossless(), ARQConfig{}, 1); err == nil {
+		t.Fatal("Reset accepted a zero ARQConfig")
+	}
+}
+
+// TestResetZeroAllocs pins the reason Reset exists: resetting a pooled
+// pair must not allocate.
+func TestResetZeroAllocs(t *testing.T) {
+	p := NewLosslessPair()
+	cc, ac := Lossy(0.05), DefaultARQ()
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.Reset(cc, ac, 42); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Pair.Reset allocates %v times per run, want 0", allocs)
+	}
+}

@@ -260,16 +260,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.buckets)),
-			Count:  h.Count(),
-			Sum:    h.Sum(),
-		}
-		for i := range h.buckets {
-			hs.Counts[i] = h.buckets[i].Load()
-		}
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
 }

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+var latencyBounds = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// TestMergedShardsEqualSingleStream pins the fleet contract: split any
+// observation stream across any number of shards, merge the shard
+// histograms in any order, and the bucket counts — hence every
+// quantile — are bit-identical to observing the whole stream into one
+// histogram.
+func TestMergedShardsEqualSingleStream(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	obsStream := make([]float64, 5000)
+	for i := range obsStream {
+		obsStream[i] = math.Exp(r.NormFloat64()*1.5 + 2) // heavy-tailed latencies
+	}
+
+	single := NewHistogram(latencyBounds)
+	for _, v := range obsStream {
+		single.Observe(v)
+	}
+	want := single.Snapshot()
+
+	for _, shards := range []int{1, 3, 7} {
+		parts := make([]*Histogram, shards)
+		for s := range parts {
+			parts[s] = NewHistogram(latencyBounds)
+		}
+		for i, v := range obsStream {
+			parts[i%shards].Observe(v)
+		}
+		// Merge in a scrambled order to pin order independence.
+		order := r.Perm(shards)
+		merged := NewHistogram(latencyBounds)
+		for _, s := range order {
+			if err := merged.Merge(parts[s]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := merged.Snapshot()
+		if !reflect.DeepEqual(got.Counts, want.Counts) || got.Count != want.Count {
+			t.Fatalf("shards=%d: merged counts differ from single stream", shards)
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if g, w := got.Quantile(q), want.Quantile(q); g != w {
+				t.Fatalf("shards=%d: q%.2f = %v merged vs %v single", shards, q, g, w)
+			}
+		}
+	}
+}
+
+// TestMergeAssociative pins (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) on counts.
+func TestMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	mk := func() *Histogram {
+		h := NewHistogram(latencyBounds)
+		for i := 0; i < 500; i++ {
+			h.Observe(r.Float64() * 1200)
+		}
+		return h
+	}
+	a, b, c := mk(), mk(), mk()
+
+	left := NewHistogram(latencyBounds)
+	for _, h := range []*Histogram{a, b} {
+		if err := left.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := left.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+
+	bc := NewHistogram(latencyBounds)
+	for _, h := range []*Histogram{b, c} {
+		if err := bc.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	right := NewHistogram(latencyBounds)
+	if err := right.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+
+	ls, rs := left.Snapshot(), right.Snapshot()
+	if !reflect.DeepEqual(ls.Counts, rs.Counts) || ls.Count != rs.Count {
+		t.Fatal("merge is not associative on bucket counts")
+	}
+}
+
+// TestMergeRejectsBoundMismatch pins that incompatible histograms
+// refuse to merge instead of silently misbinning.
+func TestMergeRejectsBoundMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 3})
+	b := NewHistogram([]float64{1, 2, 4})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge accepted mismatched bounds")
+	}
+	c := NewHistogram([]float64{1, 2})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge accepted different bound counts")
+	}
+	if err := a.MergeSnapshot(HistogramSnapshot{Bounds: []float64{1, 2, 3}, Counts: []int64{1, 0, 0}, Count: 2}); err == nil {
+		t.Fatal("merge accepted a snapshot whose counts do not sum to Count")
+	}
+}
+
+// TestSnapshotRoundTrip pins NewHistogramFromSnapshot as the exact
+// inverse of Snapshot, including continued observation afterwards.
+func TestSnapshotRoundTrip(t *testing.T) {
+	h := NewHistogram(latencyBounds)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i * 13 % 700))
+	}
+	hs := h.Snapshot()
+	restored, err := NewHistogramFromSnapshot(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Snapshot(), hs) {
+		t.Fatal("restore is not the inverse of snapshot")
+	}
+	h.Observe(42)
+	restored.Observe(42)
+	a, b := h.Snapshot(), restored.Snapshot()
+	if !reflect.DeepEqual(a.Counts, b.Counts) || a.Count != b.Count {
+		t.Fatal("restored histogram diverges on continued observation")
+	}
+	if _, err := NewHistogramFromSnapshot(HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{1}}); err == nil {
+		t.Fatal("restore accepted a malformed snapshot")
+	}
+}
+
+// TestSnapshotObserveMatchesLive pins that the offline snapshot form
+// bins exactly like the live atomic histogram, and that
+// snapshot-to-snapshot Merge agrees with the live merge.
+func TestSnapshotObserveMatchesLive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	live := NewHistogram(latencyBounds)
+	off := NewHistogramSnapshot(latencyBounds)
+	for i := 0; i < 2000; i++ {
+		v := r.Float64() * 1500
+		live.Observe(v)
+		off.Observe(v)
+	}
+	ls := live.Snapshot()
+	if !reflect.DeepEqual(ls.Counts, off.Counts) || ls.Count != off.Count {
+		t.Fatal("offline snapshot bins differently from live histogram")
+	}
+	other := NewHistogramSnapshot(latencyBounds)
+	for i := 0; i < 500; i++ {
+		other.Observe(r.Float64() * 1500)
+	}
+	merged := NewHistogramSnapshot(latencyBounds)
+	if err := merged.Merge(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count != off.Count+other.Count {
+		t.Fatal("snapshot merge lost observations")
+	}
+	bad := NewHistogramSnapshot([]float64{1, 2})
+	if err := merged.Merge(bad); err == nil {
+		t.Fatal("snapshot merge accepted mismatched bounds")
+	}
+}
+
+// TestQuantileEstimator pins the estimator's anchor points on a known
+// distribution: uniform counts over [0, 100) in 10 buckets.
+func TestQuantileEstimator(t *testing.T) {
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h := NewHistogram(bounds)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 10) // 0.0 .. 99.9 uniformly
+	}
+	cases := []struct{ q, want, tol float64 }{
+		{0.5, 50, 1.0},
+		{0.95, 95, 1.0},
+		{0.99, 99, 1.0},
+		{1.0, 100, 0},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > c.tol {
+			t.Fatalf("q%.2f = %v, want %v ± %v", c.q, got, c.want, c.tol)
+		}
+	}
+	if !math.IsNaN(NewHistogram(bounds).Quantile(0.5)) {
+		t.Fatal("empty histogram must estimate NaN")
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Fatal("nil histogram must estimate NaN")
+	}
+	// Overflow observations clamp to the largest finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("overflow quantile = %v, want clamp to 100", got)
+	}
+}

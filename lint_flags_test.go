@@ -29,7 +29,7 @@ import (
 // here, to the CI smoke jobs, and keep its flag defaults on the
 // design constants.
 var expectedCmds = []string{
-	"benchlab", "designlab", "eccsim", "linklab", "reportgen", "scalab", "sweeptab",
+	"benchlab", "designlab", "eccsim", "fleetlab", "linklab", "reportgen", "scalab", "sweeptab",
 }
 
 func TestCmdRosterPinned(t *testing.T) {
