@@ -15,16 +15,25 @@
 // on every axis at once.
 //
 //	designlab [-grid points.json] [-d 1,4,8] [-logic cmos,wddl,sabl]
-//	          [-rpc on,off] [-channel iid] [-loss 0.1] [-dist 2]
-//	          [-reps 8] [-tvla 40] [-cpa 50,100,200] [-seed 1]
-//	          [-workers 0] [-shards 0] [-lanes 8] [-manifest-dir DIR]
+//	          [-rpc on,off] [-masking none,boolean1] [-channel iid]
+//	          [-loss 0.1] [-dist 2] [-reps 8] [-tvla 40]
+//	          [-cpa 50,100,200] [-seed 1] [-workers 0] [-shards 0]
+//	          [-lanes 8] [-manifest-dir DIR]
 //
 // Without -grid the built-in grid is the cross product of -d × -logic
-// × -rpc (digit width × circuit style × algorithmic countermeasure),
-// every point on the same -channel/-loss/-dist link. With -grid the
-// points come from a JSON array of design points (see
-// internal/design: unknown or out-of-range knobs are rejected by
-// name).
+// × -rpc × -masking (digit width × circuit style × algorithmic
+// countermeasure × datapath masking), every point on the same
+// -channel/-loss/-dist link. With -grid the points come from a JSON
+// array of design points (see internal/design: unknown or
+// out-of-range knobs are rejected by name).
+//
+// Masking is the fourth security axis: a boolean1 point carries every
+// datapath word as two Boolean shares, paying ~2.1× datapath area and
+// the measured two-share switching energy for first-order resistance.
+// Each point is attacked with the strongest applicable tool — masked
+// points face the centered-product (second-order) CPA, unmasked ones
+// the plain first-order CPA — so the traces-to-disclosure column
+// compares like against like.
 //
 // Evaluation fans out over the sharded campaign engine: every metric
 // of point i derives from (seed, i) alone, so the table and frontier
@@ -88,6 +97,7 @@ func run(ctx context.Context, args []string) error {
 		dList       = fs.String("d", "1,4,8", "comma-separated MALU digit sizes for the built-in grid")
 		logicList   = fs.String("logic", "cmos,wddl,sabl", "comma-separated logic styles for the built-in grid")
 		rpcList     = fs.String("rpc", "on,off", "RPC settings for the built-in grid: on,off")
+		maskList    = fs.String("masking", design.MaskingNone, "comma-separated masking settings for the built-in grid: none,boolean1")
 		channel     = fs.String("channel", design.ChannelIID, "channel profile for the built-in grid: perfect|iid|bursty")
 		loss        = fs.Float64("loss", design.DefaultSweepLoss, "channel loss rate for the built-in grid")
 		dist        = fs.Float64("dist", design.DefaultDistanceM, "TX distance in meters for the built-in grid")
@@ -107,7 +117,7 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("-reps must be positive")
 	}
 
-	pts, err := buildGrid(*gridFile, *dList, *logicList, *rpcList, *channel, *loss, *dist)
+	pts, err := buildGrid(*gridFile, *dList, *logicList, *rpcList, *maskList, *channel, *loss, *dist)
 	if err != nil {
 		return err
 	}
@@ -163,7 +173,7 @@ func run(ctx context.Context, args []string) error {
 	cpaOn := len(sizes) > 0
 	front := frontier(results, cpaOn, *tvlaN > 0)
 
-	t := tabular.New("point", "d", "logic", "rpc", "loss",
+	t := tabular.New("point", "d", "logic", "rpc", "mask", "loss",
 		"session [uJ]", "area [kGE]", "latency [ms]", "tvla max|t|", "cpa traces", "complete", "pareto")
 	for i := range pts {
 		p, r := &pts[i], &results[i]
@@ -172,6 +182,7 @@ func run(ctx context.Context, args []string) error {
 			mark = "*"
 		}
 		t.Row(p.Name, p.DigitSize, strings.ToLower(p.Logic), onOff(p.RPC),
+			p.Masking,
 			fmt.Sprintf("%.2f", p.Loss),
 			fmt.Sprintf("%.1f", r.SessionJ*1e6),
 			fmt.Sprintf("%.1f", r.AreaGE/1e3),
@@ -209,9 +220,9 @@ func run(ctx context.Context, args []string) error {
 	return nil
 }
 
-// buildGrid loads -grid, or crosses the -d × -logic × -rpc axes over
-// the shared channel settings.
-func buildGrid(gridFile, dList, logicList, rpcList, channel string, loss, dist float64) ([]design.Point, error) {
+// buildGrid loads -grid, or crosses the -d × -logic × -rpc × -masking
+// axes over the shared channel settings.
+func buildGrid(gridFile, dList, logicList, rpcList, maskList, channel string, loss, dist float64) ([]design.Point, error) {
 	if gridFile != "" {
 		pts, err := design.LoadGrid(gridFile)
 		if err != nil {
@@ -243,22 +254,40 @@ func buildGrid(gridFile, dList, logicList, rpcList, channel string, loss, dist f
 			return nil, fmt.Errorf("-rpc: %q (want on or off)", r)
 		}
 	}
-	if len(ds) == 0 || len(styles) == 0 || len(rpcs) == 0 {
+	masks := splitList(maskList)
+	for _, m := range masks {
+		if m != design.MaskingNone && m != design.MaskingBoolean1 {
+			return nil, fmt.Errorf("-masking: %q (want %s or %s)", m, design.MaskingNone, design.MaskingBoolean1)
+		}
+	}
+	if len(ds) == 0 || len(styles) == 0 || len(rpcs) == 0 || len(masks) == 0 {
 		return nil, fmt.Errorf("empty grid axis")
 	}
 	var pts []design.Point
 	for _, d := range ds {
 		for _, sty := range styles {
 			for _, rpc := range rpcs {
-				p := design.Defaults()
-				p.Channel = channel
-				p.Loss = loss
-				p.DistanceM = dist
-				p.DigitSize = d
-				p.Logic = sty
-				p.RPC = rpc
-				p.Name = fmt.Sprintf("d%d-%s-rpc_%s", d, strings.ToLower(sty), onOff(rpc))
-				pts = append(pts, p)
+				for _, msk := range masks {
+					p := design.Defaults()
+					p.Channel = channel
+					p.Loss = loss
+					p.DistanceM = dist
+					p.DigitSize = d
+					p.Logic = sty
+					p.RPC = rpc
+					p.Masking = msk
+					p.Name = fmt.Sprintf("d%d-%s-rpc_%s", d, strings.ToLower(sty), onOff(rpc))
+					if msk != design.MaskingNone {
+						// Masked scenario convention (same as scalab
+						// -masking): the residual CSWAP-select imbalance
+						// is a control-path leak Boolean masking cannot
+						// cover, so it moves out of the way and the
+						// leakage columns measure the datapath alone.
+						p.ResidualImbalance = 0
+						p.Name += "-" + msk
+					}
+					pts = append(pts, p)
+				}
 			}
 		}
 	}
@@ -335,7 +364,15 @@ func evalPoint(st *design.Stack, idx int, seed uint64, reps, tvlaN, lanes int, c
 		}
 		tgt2.Workers = 1
 		tgt2.Lanes = lanes
-		n, _, err := sca.TracesToSuccess(tgt2, cpaSizes, 4, sca.CPAOptions{},
+		// Each point faces the strongest applicable attack: first-order
+		// CPA cannot see through Boolean shares (the first moment is
+		// mask-free by construction), so masked points are attacked with
+		// the centered-product second-order distinguisher instead.
+		var opt sca.CPAOptions
+		if st.Masked() {
+			opt.Preprocess = sca.PreprocessCenteredProduct
+		}
+		n, _, err := sca.TracesToSuccess(tgt2, cpaSizes, 4, opt,
 			rng.NewDRBG(design.MixSeed(seed, idx, 7)).Uint64)
 		if err != nil {
 			return r, err

@@ -1,11 +1,12 @@
 // Command scalab runs the side-channel evaluation workflow of the
 // paper's Fig. 4 against the simulated co-processor:
 //
-//	scalab dpa    [-traces 20000] [-bits 6] [-rpc=true] [-known-masks=false] [-workers 0] [-shards 0] [-lanes 8]
+//	scalab dpa    [-traces 20000] [-bits 6] [-rpc=true] [-known-masks=false] [-masking none] [-preprocess ""]
+//	              [-workers 0] [-shards 0] [-lanes 8]
 //	              [-checkpoint ck.msckpt] [-checkpoint-interval 1000] [-resume]
-//	scalab spa    [-balanced=true] [-gating=false] [-profile 0] [-workers 0] [-shards 0] [-lanes 8]
+//	scalab spa    [-balanced=true] [-gating=false] [-profile 0] [-microcode ""] [-workers 0] [-shards 0] [-lanes 8]
 //	scalab timing [-keys 1000]
-//	scalab tvla   [-traces 500] [-rpc=true] [-early=false] [-workers 0] [-shards 0] [-lanes 8]
+//	scalab tvla   [-traces 500] [-rpc=true] [-early=false] [-order 1] [-masking none] [-workers 0] [-shards 0] [-lanes 8]
 //	              [-checkpoint ck.msckpt] [-checkpoint-interval 1000] [-resume]
 //	scalab leakmap [-traces 200] [-workers 0] [-shards 0] [-lanes 8]
 //
@@ -13,6 +14,22 @@
 // that 20 000 traces do not reveal a single key bit when randomized
 // projective coordinates are enabled; with -rpc=false it finds the
 // ~200-trace success point.
+//
+// -masking boolean1 enables the first-order Boolean masking
+// countermeasure (design.MaskingBoolean1) and switches the lab into
+// the datapath-leakage scenario: the chip's intrinsic noise floor
+// instead of the oscilloscope floor, and the residual layout imbalance
+// zeroed (it is a control-path leak that datapath masking cannot
+// cover — its own countermeasure axis). Against a masked target the
+// first-order statistics go flat; evaluate with -order 2 (second-order
+// TVLA) and -preprocess centered-product (second-order CPA with
+// Hamming-distance predictions) instead.
+//
+// spa -microcode compare runs the operation-flow SPA comparison of the
+// scalar-multiplication microcodes: the shape classifier that strips
+// the plain double-and-add bare sees a single block class against the
+// Giraud–Verneuil atomic variant, which leaks only the block count
+// (the scalar's Hamming weight).
 //
 // Acquisition campaigns fan out over the parallel campaign engine
 // (-workers 0 selects GOMAXPROCS); results are bit-identical for any
@@ -69,6 +86,7 @@ import (
 
 	"medsec/internal/campaign"
 	"medsec/internal/cliutil"
+	"medsec/internal/coproc"
 	"medsec/internal/design"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
@@ -164,6 +182,27 @@ func shardsFlag(fs *flag.FlagSet) *int {
 // acquisition width).
 func lanesFlag(fs *flag.FlagSet) *int {
 	return fs.Int("lanes", design.DefaultLanes, "traces per interpreter pass (1 = serial per-trace path); any value gives bit-identical results")
+}
+
+// maskingFlag registers the shared -masking flag (datapath masking
+// countermeasure).
+func maskingFlag(fs *flag.FlagSet) *string {
+	return fs.String("masking", design.MaskingNone,
+		"datapath masking countermeasure (none or boolean1); boolean1 evaluates at the chip noise floor with the residual imbalance zeroed")
+}
+
+// applyMasking writes the -masking flag onto a design point. The
+// masked scenario isolates datapath leakage: the oscilloscope noise
+// floor would bury the mask-induced variance the second-order
+// statistics estimate, and the residual CSWAP-select imbalance is a
+// control-path leak Boolean masking cannot cover (power.Config's own
+// countermeasure axis), so both move out of the way.
+func applyMasking(p *design.Point, masking string) {
+	p.Masking = masking
+	if masking == design.MaskingBoolean1 {
+		p.NoiseSigma = design.DefaultNoiseSigma
+		p.ResidualImbalance = 0
+	}
 }
 
 // metricsFlag registers the shared -metrics flag.
@@ -295,6 +334,9 @@ func dpaCmd(ctx context.Context, args []string) (err error) {
 	bits := fs.Int("bits", 6, "key bits to recover")
 	rpc := fs.Bool("rpc", true, "randomized projective coordinates enabled")
 	known := fs.Bool("known-masks", false, "white-box: attacker knows the RPC randomness")
+	preprocess := fs.String("preprocess", sca.PreprocessNone,
+		"trace preprocessing before correlation (\"\" = raw first-order, centered-product = second-order against masked targets)")
+	masking := maskingFlag(fs)
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
@@ -320,7 +362,9 @@ func dpaCmd(ctx context.Context, args []string) (err error) {
 			err = werr
 		}
 	}()
-	tgt, _, pt, err := newTarget(*rpc, *seed, nil)
+	tgt, _, pt, err := newTarget(*rpc, *seed, func(p *design.Point) {
+		applyMasking(p, *masking)
+	})
 	if err != nil {
 		return err
 	}
@@ -344,12 +388,12 @@ func dpaCmd(ctx context.Context, args []string) (err error) {
 		sizes = append(sizes, *traces)
 	}
 	dpaFirstIter := 162 - len(sca.DefaultKnownPrefix())
-	fmt.Printf("DPA/CPA: RPC=%v known-masks=%v, recovering %d bits, up to %d traces, seed=%d, prologue cycles skipped per trace=%d\n",
-		*rpc, *known, *bits, *traces, *seed,
+	fmt.Printf("DPA/CPA: RPC=%v known-masks=%v masking=%s preprocess=%q, recovering %d bits, up to %d traces, seed=%d, prologue cycles skipped per trace=%d\n",
+		*rpc, *known, *masking, *preprocess, *bits, *traces, *seed,
 		tgt.NewCampaign(dpaFirstIter, dpaFirstIter-*bits+1).PrologueCyclesSkipped())
 	m := newMeter(tgt, reg)
 	n, res, err := sca.TracesToSuccess(tgt, sizes, *bits,
-		sca.CPAOptions{KnownMasks: *known}, rng.NewDRBG(*seed+5).Uint64)
+		sca.CPAOptions{KnownMasks: *known, Preprocess: *preprocess}, rng.NewDRBG(*seed+5).Uint64)
 	if err != nil {
 		return interruptedHint(err, ck)
 	}
@@ -375,6 +419,7 @@ func spaCmd(ctx context.Context, args []string) (err error) {
 	balanced := fs.Bool("balanced", true, "balanced mux control encoding (Fig. 3)")
 	gating := fs.Bool("gating", false, "data-dependent clock gating")
 	profile := fs.Int("profile", 0, "profiling traces to average (0 = single trace)")
+	microcode := fs.String("microcode", "", "\"compare\" runs the operation-flow SPA comparison of the scalar-mult microcodes instead of the power SPA")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
@@ -396,6 +441,12 @@ func spaCmd(ctx context.Context, args []string) (err error) {
 			err = werr
 		}
 	}()
+	if *microcode != "" {
+		if *microcode != "compare" {
+			return fmt.Errorf("-microcode %q unsupported (want \"compare\" or empty)", *microcode)
+		}
+		return microcodeSPA(*seed, reg)
+	}
 	tgt, curve, _, err := newTarget(true, *seed, func(p *design.Point) {
 		p.BalancedMux = *balanced
 		p.DataDepClockGating = *gating
@@ -431,6 +482,80 @@ func spaCmd(ctx context.Context, args []string) (err error) {
 	t.Row("bit accuracy", fmt.Sprintf("%.3f", res.Accuracy()))
 	t.Row("cluster separation (sigma)", fmt.Sprintf("%.2f", res.MeanAbsFeatureGap()))
 	t.Render(os.Stdout)
+	return nil
+}
+
+// microcodeSPA runs the operation-flow SPA comparison of the
+// scalar-multiplication microcodes for the seed-derived device key:
+// the shape classifier (coproc.ShapeClasses) and the block-length key
+// reader (coproc.DoubleAndAddKeyFromShape) against the plain
+// double-and-add, the Giraud–Verneuil atomic repair, and the ladder.
+func microcodeSPA(seed uint64, reg *obs.Registry) error {
+	st, err := design.Defaults().Build()
+	if err != nil {
+		return err
+	}
+	key := st.DeviceKey(seed)
+	top := key.BitLen() - 1
+	trueBits := make([]uint, 0, top)
+	hw := 1 // the leading bit
+	for i := top - 1; i >= 0; i-- {
+		trueBits = append(trueBits, key.Bit(i))
+		hw += int(key.Bit(i))
+	}
+	distinct := func(classes []int) int {
+		n := 0
+		for _, c := range classes {
+			if c+1 > n {
+				n = c + 1
+			}
+		}
+		return n
+	}
+
+	t := tabular.New("microcode", "blocks", "shape classes", "single-trace SPA outcome")
+
+	ladder := coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: true})
+	lc := coproc.ShapeClasses(ladder)
+	t.Row(design.MicrocodeLadder, len(lc), distinct(lc),
+		"operation flow is key-independent by construction")
+
+	da, err := coproc.BuildDoubleAndAddProgram(key)
+	if err != nil {
+		return err
+	}
+	dac := coproc.ShapeClasses(da)
+	rec := coproc.DoubleAndAddKeyFromShape(da, st.Timing)
+	correct := 0
+	for i := range rec {
+		if i < len(trueBits) && rec[i] == trueBits[i] {
+			correct++
+		}
+	}
+	t.Row(design.MicrocodeDoubleAndAdd, len(dac), distinct(dac),
+		fmt.Sprintf("%d/%d key bits read from block shapes", correct, len(trueBits)))
+
+	atomic, err := coproc.BuildAtomicProgram(key)
+	if err != nil {
+		return err
+	}
+	atc := coproc.ShapeClasses(atomic)
+	outcome := fmt.Sprintf("0/%d key bits (indistinguishable blocks); block count still leaks HW(k)=%d",
+		len(trueBits), hw)
+	if coproc.DoubleAndAddKeyFromShape(atomic, st.Timing) != nil {
+		outcome = "UNEXPECTED: block-length attack recovered bits"
+	}
+	t.Row(design.MicrocodeAtomic, len(atc), distinct(atc), outcome)
+
+	fmt.Printf("operation-flow SPA: shape classification of the scalar-mult microcodes, seed=%d, %d key bits processed\n\n",
+		seed, len(trueBits))
+	t.Render(os.Stdout)
+
+	reg.Gauge("spa_shape_classes_ladder").Set(float64(distinct(lc)))
+	reg.Gauge("spa_shape_classes_double_and_add").Set(float64(distinct(dac)))
+	reg.Gauge("spa_shape_classes_atomic").Set(float64(distinct(atc)))
+	reg.Gauge("spa_shape_bits_recovered_double_and_add").Set(float64(correct))
+	reg.Gauge("spa_atomic_blocks").Set(float64(len(atc)))
 	return nil
 }
 
@@ -558,6 +683,8 @@ func tvlaCmd(ctx context.Context, args []string) (err error) {
 	traces := fs.Int("traces", 500, "traces per set")
 	rpc := fs.Bool("rpc", true, "randomized projective coordinates enabled")
 	early := fs.Bool("early", false, "stop as soon as |t| crosses the threshold")
+	order := fs.Int("order", 1, "statistical order of the t-test (1 = Welch on samples, 2 = centered-product against masked targets)")
+	masking := maskingFlag(fs)
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := workersFlag(fs)
 	shards := shardsFlag(fs)
@@ -580,7 +707,12 @@ func tvlaCmd(ctx context.Context, args []string) (err error) {
 			err = werr
 		}
 	}()
-	tgt, curve, pt, err := newTarget(*rpc, *seed, nil)
+	if *order != 1 && *order != 2 {
+		return fmt.Errorf("-order %d unsupported (want 1 or 2)", *order)
+	}
+	tgt, curve, pt, err := newTarget(*rpc, *seed, func(p *design.Point) {
+		applyMasking(p, *masking)
+	})
 	if err != nil {
 		return err
 	}
@@ -592,9 +724,14 @@ func tvlaCmd(ctx context.Context, args []string) (err error) {
 	// The early-stop variant folds through a different consumer and
 	// stops at a different watermark, so its checkpoints are a
 	// distinct kind: a -resume must replay the same campaign flavor.
+	// The statistical order is likewise part of the kind (on top of the
+	// accumulators' own welch/welch2 blob namespacing).
 	kind := "tvla"
+	if *order == 2 {
+		kind = "tvla2"
+	}
 	if *early {
-		kind = "tvla-until"
+		kind += "-until"
 	}
 	ck, err := newCheckpoint(*ckPath, *ckEvery, *ckResume, kind, *seed, pt)
 	if err != nil {
@@ -605,16 +742,24 @@ func tvlaCmd(ctx context.Context, args []string) (err error) {
 	randKey := func() modn.Scalar { return sca.AlgorithmOneScalar(curve, src) }
 	m := newMeter(tgt, reg)
 	var res *sca.TVLAResult
-	if *early {
+	switch {
+	case *order == 2 && *early:
+		res, err = sca.TVLA2Until(tgt, sca.FixedPoint(curve), *traces, 10, 160, 157, randKey)
+	case *order == 2:
+		res, err = sca.TVLA2(tgt, sca.FixedPoint(curve), *traces, 160, 157, randKey)
+	case *early:
 		res, err = sca.TVLAUntil(tgt, sca.FixedPoint(curve), *traces, 10, 160, 157, randKey)
-	} else {
+	default:
 		res, err = sca.TVLA(tgt, sca.FixedPoint(curve), *traces, 160, 157, randKey)
 	}
 	if err != nil {
 		return interruptedHint(err, ck)
 	}
+	reg.Gauge("sca_tvla_order").Set(float64(res.Order))
 	t := tabular.New("metric", "value")
 	t.Row("RPC", *rpc)
+	t.Row("masking", *masking)
+	t.Row("t-test order", res.Order)
 	t.Row("seed", *seed)
 	t.Row("traces per set", res.TracesPerSet)
 	t.Row("prologue cycles skipped/trace", res.PrologueCyclesSkipped)

@@ -53,6 +53,14 @@ func (g GateModel) ECCProcessorGE(d int) float64 {
 	return g.RegFileGE + g.ControlGE + g.MALUGE(d)
 }
 
+// MaskingAreaFactor is the datapath area multiplier of the
+// first-order Boolean-masked design: carrying every register and MALU
+// word as two shares doubles the datapath storage and digit rows, and
+// the mask-refresh network (one fresh-mask XOR layer per writeback)
+// adds a few percent on top. The sequencer is untouched — masking is
+// a pure datapath transformation.
+const MaskingAreaFactor = 2.1
+
 // Estimate is a per-module area breakdown of one co-processor design
 // point. The secure-zone datapath (register file and MALU) pays the
 // logic-style multiplier; the microcode sequencer stays standard CMOS
@@ -63,6 +71,9 @@ type Estimate struct {
 	// LogicFactor is the style area multiplier applied to the datapath
 	// (1 for CMOS, see power.LogicStyle.AreaFactor).
 	LogicFactor float64
+	// MaskFactor is the masking area multiplier applied to the datapath
+	// (1 for an unmasked design, MaskingAreaFactor for Boolean shares).
+	MaskFactor float64
 	// RegFileGE, MALUGE are the style-scaled datapath blocks.
 	RegFileGE float64
 	MALUGE    float64
@@ -79,11 +90,19 @@ func (e Estimate) TotalGE() float64 {
 // in a logic style costing logicFactor times CMOS area. At factor 1
 // the total equals ECCProcessorGE(d).
 func (g GateModel) Estimate(d int, logicFactor float64) Estimate {
+	return g.EstimateMasked(d, logicFactor, 1)
+}
+
+// EstimateMasked is Estimate with a masking datapath multiplier on top
+// of the logic style: the two factors compose, because the shares are
+// built from the same protected cells as the unmasked datapath.
+func (g GateModel) EstimateMasked(d int, logicFactor, maskFactor float64) Estimate {
 	return Estimate{
 		DigitSize:   d,
 		LogicFactor: logicFactor,
-		RegFileGE:   g.RegFileGE * logicFactor,
-		MALUGE:      g.MALUGE(d) * logicFactor,
+		MaskFactor:  maskFactor,
+		RegFileGE:   g.RegFileGE * logicFactor * maskFactor,
+		MALUGE:      g.MALUGE(d) * logicFactor * maskFactor,
 		ControlGE:   g.ControlGE,
 	}
 }

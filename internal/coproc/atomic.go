@@ -1,0 +1,155 @@
+package coproc
+
+import (
+	"errors"
+
+	"medsec/internal/modn"
+)
+
+// BuildAtomicProgram generates the Giraud–Verneuil atomic variant of
+// left-to-right double-and-add (PAPERS.md, arXiv:1002.4569): both the
+// point doubling and the point addition compile to one *atomic block*
+// with an identical opcode-and-cycle sequence — only the operands
+// differ. A shape classifier that reads per-segment opcode patterns
+// (the attack that strips BuildDoubleAndAddProgram bare) sees a
+// uniform stream of indistinguishable blocks and can no longer tell a
+// double from an add, so it cannot assign trace segments to key bits.
+//
+// The atomicity trick is operation padding: GF(2^m) "move" becomes an
+// addition with the constant-ROM zero, and the slots only one of the
+// two group operations needs are filled with dummy writes to a scratch
+// RAM word whose value is never consumed. Every block is therefore
+// Add, Add, [inversion], Mul, Add, Sqr, Add, Add, Add, Add, Sqr, Add,
+// Mul, Add, Add, Add — for doubles and adds alike.
+//
+// Residual leak (inherent to atomic double-and-add, and documented in
+// the Giraud–Verneuil line of work): the *number* of blocks is
+// bitlen(k)−1 doubles plus HW(k)−1 adds, so total trace length still
+// reveals the scalar's Hamming weight — just not which bits are set.
+// Blocks are labeled with sequential Iteration indices (block 0, 1,
+// ...), the segmentation an attacker actually has.
+//
+// Same preconditions as the plain double-and-add microcode: k > 0,
+// curve coefficient a = 1, and no exceptional group-law cases (holds
+// overwhelmingly for random scalars).
+func BuildAtomicProgram(k modn.Scalar) (*Program, error) {
+	if k.IsZero() {
+		return nil, errors.New("coproc: atomic double-and-add needs a nonzero scalar")
+	}
+	p := &Program{}
+	emit := func(op Op, rd, ra, rb uint8, iter int) {
+		p.Instrs = append(p.Instrs, Instr{Op: op, Rd: rd, Ra: ra, Rb: rb, KeyBit: -1, Iteration: iter})
+	}
+	// Register allocation: r0 = x, r1 = y (accumulator); r2, r3, r4
+	// scratch (r5 is the inversion's second scratch); RAM0 is the
+	// dummy sink the padding slots write to.
+	const dummy = RAM0
+	top := k.BitLen() - 1
+	emit(OpLoadConst, 0, ConstX, 0, -1)
+	emit(OpLoadConst, 1, ConstY, 0, -1)
+	emit(OpLoadConst, dummy, ConstZero, 0, -1)
+
+	// double: lambda = x + y/x; x3 = lambda^2 + lambda + a;
+	// y3 = x^2 + (lambda+1)·x3.
+	double := func(block int) {
+		emit(OpAdd, 3, 0, ConstZero, block)     // r3 = x (move-as-add)
+		emit(OpAdd, dummy, 1, ConstZero, block) // pad (add's x+xP slot)
+		emitInversionIter(p, 3, 4, 5, block)    // r3 = 1/x
+		emit(OpMul, 2, 1, 3, block)             // y/x
+		emit(OpAdd, 2, 2, 0, block)             // lambda
+		emit(OpSqr, 3, 2, 0, block)             // lambda^2
+		emit(OpAdd, 3, 3, 2, block)             // + lambda
+		emit(OpAdd, 3, 3, ConstOne, block)      // + a -> x3
+		emit(OpAdd, 2, 2, ConstOne, block)      // lambda+1
+		emit(OpAdd, dummy, 0, ConstZero, block) // pad (add's +xP slot)
+		emit(OpSqr, 4, 0, 0, block)             // x^2
+		emit(OpAdd, dummy, 0, 3, block)         // pad (add's x+x3 slot)
+		emit(OpMul, 2, 2, 3, block)             // (lambda+1)·x3
+		emit(OpAdd, 1, 4, 2, block)             // y3
+		emit(OpAdd, 0, 3, ConstZero, block)     // x = x3
+		emit(OpAdd, dummy, 1, ConstZero, block) // pad (add's +y slot)
+	}
+	// add: lambda = (y+yP)/(x+xP); x3 = lambda^2 + lambda + x + xP + a;
+	// y3 = lambda·(x+x3) + x3 + y.
+	add := func(block int) {
+		emit(OpAdd, 2, 1, ConstY, block)        // y + yP
+		emit(OpAdd, 3, 0, ConstX, block)        // x + xP
+		emitInversionIter(p, 3, 4, 5, block)    // 1/(x+xP)
+		emit(OpMul, 2, 2, 3, block)             // lambda
+		emit(OpAdd, dummy, 2, ConstZero, block) // pad (double's +x slot)
+		emit(OpSqr, 3, 2, 0, block)             // lambda^2
+		emit(OpAdd, 3, 3, 2, block)             // + lambda
+		emit(OpAdd, 3, 3, 0, block)             // + x
+		emit(OpAdd, 3, 3, ConstX, block)        // + xP
+		emit(OpAdd, 3, 3, ConstOne, block)      // + a -> x3
+		emit(OpSqr, dummy, 0, 0, block)         // pad (double's x^2 slot)
+		emit(OpAdd, 4, 0, 3, block)             // x + x3
+		emit(OpMul, 4, 2, 4, block)             // lambda·(x+x3)
+		emit(OpAdd, 4, 4, 3, block)             // + x3
+		emit(OpAdd, 1, 4, 1, block)             // y3 = ... + y
+		emit(OpAdd, 0, 3, ConstZero, block)     // x = x3
+	}
+
+	block := 0
+	for i := top - 1; i >= 0; i-- {
+		double(block)
+		block++
+		if k.Bit(i) == 1 {
+			add(block)
+			block++
+		}
+	}
+	p.ResultX, p.ResultY = 0, 1
+	return p, nil
+}
+
+// ShapeClasses is the SPA shape classifier both microcode comparisons
+// share: it partitions a program's iteration-labeled segments into
+// classes, where two segments fall in the same class iff their opcode
+// sequences are identical, and returns one class index per segment in
+// first-appearance order (class numbers also assigned in order of
+// first appearance).
+//
+// Against BuildDoubleAndAddProgram the classifier returns two classes
+// whose pattern spells out the key bits; against BuildAtomicProgram it
+// returns a single class for every block — the attacker learns only
+// the block count.
+func ShapeClasses(p *Program) []int {
+	type seg struct {
+		iter int
+		ops  []Op
+	}
+	var segs []seg
+	index := map[int]int{}
+	for _, in := range p.Instrs {
+		if in.Iteration < 0 {
+			continue
+		}
+		i, ok := index[in.Iteration]
+		if !ok {
+			i = len(segs)
+			index[in.Iteration] = i
+			segs = append(segs, seg{iter: in.Iteration})
+		}
+		segs[i].ops = append(segs[i].ops, in.Op)
+	}
+	shapeKey := func(ops []Op) string {
+		b := make([]byte, len(ops))
+		for i, op := range ops {
+			b[i] = byte(op)
+		}
+		return string(b)
+	}
+	classes := map[string]int{}
+	out := make([]int, len(segs))
+	for i, s := range segs {
+		key := shapeKey(s.ops)
+		c, ok := classes[key]
+		if !ok {
+			c = len(classes)
+			classes[key] = c
+		}
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package coproc
+
+import (
+	"math/rand"
+	"testing"
+
+	"medsec/internal/ec"
+	"medsec/internal/modn"
+)
+
+func TestAtomicMicrocodeCorrectness(t *testing.T) {
+	curve := ec.K163()
+	r := rand.New(rand.NewSource(3))
+	keys := []modn.Scalar{
+		modn.FromUint64(1),
+		modn.FromUint64(2),
+		modn.FromUint64(3),
+		modn.FromUint64(0xdeadbeef),
+		curve.Order.RandNonZero(r.Uint64),
+	}
+	for _, k := range keys {
+		prog, err := BuildAtomicProgram(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu := NewCPU(DefaultTiming())
+		cpu.SetOperandConstants(curve.Gx, curve.B, curve.Gy)
+		if _, err := cpu.Run(prog, k); err != nil {
+			t.Fatal(err)
+		}
+		want := curve.ScalarMulDoubleAndAdd(k, curve.Generator())
+		got := ec.Point{X: cpu.ResultX(prog), Y: cpu.ResultY(prog)}
+		if !got.Equal(want) {
+			t.Fatalf("atomic microcode wrong for k=%v: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestAtomicRejectsZero(t *testing.T) {
+	if _, err := BuildAtomicProgram(modn.Zero()); err == nil {
+		t.Fatal("zero scalar accepted")
+	}
+}
+
+// TestAtomicBlocksAreShapeUniform pins the atomicity property itself:
+// every iteration-labeled block of the atomic program has the same
+// opcode sequence AND the same cycle length, so a shape classifier
+// cannot tell doubles from adds, while the plain double-and-add leaks
+// exactly that distinction to the same classifier.
+func TestAtomicBlocksAreShapeUniform(t *testing.T) {
+	curve := ec.K163()
+	r := rand.New(rand.NewSource(4))
+	tim := DefaultTiming()
+	for trial := 0; trial < 3; trial++ {
+		k := curve.Order.RandNonZero(r.Uint64)
+		atomic, err := BuildAtomicProgram(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes := ShapeClasses(atomic)
+		wantBlocks := (k.BitLen() - 1) + (weight(k) - 1)
+		if len(classes) != wantBlocks {
+			t.Fatalf("k=%v: %d blocks, want %d", k, len(classes), wantBlocks)
+		}
+		for i, c := range classes {
+			if c != 0 {
+				t.Fatalf("k=%v: block %d in shape class %d — doubles and adds distinguishable", k, i, c)
+			}
+		}
+		// Cycle lengths uniform too (shape classes compare opcode
+		// sequences; equal sequences imply equal static timing, but pin
+		// it against the Spans accounting anyway).
+		lengths := map[int]int{}
+		for _, sp := range atomic.Spans(tim) {
+			if sp.Iteration >= 0 {
+				lengths[sp.Iteration] += sp.End - sp.Start
+			}
+		}
+		first := lengths[0]
+		for it, n := range lengths {
+			if n != first {
+				t.Fatalf("k=%v: block %d is %d cycles, block 0 is %d", k, it, n, first)
+			}
+		}
+
+		// The unprotected baseline under the SAME classifier: two
+		// classes whose pattern is exactly the key bits.
+		plain, err := BuildDoubleAndAddProgram(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := distinct(ShapeClasses(plain)); got != 2 {
+			t.Fatalf("double-and-add shape classes = %d, want 2", got)
+		}
+	}
+}
+
+// TestAtomicDefeatsDoubleAndAddSPA pins that the concrete shape attack
+// which reads the key off the plain double-and-add refuses the atomic
+// program rather than recovering bits.
+func TestAtomicDefeatsDoubleAndAddSPA(t *testing.T) {
+	curve := ec.K163()
+	k := curve.Order.RandNonZero(rand.New(rand.NewSource(5)).Uint64)
+	prog, err := BuildAtomicProgram(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits := DoubleAndAddKeyFromShape(prog, DefaultTiming()); bits != nil {
+		t.Fatalf("D&A shape SPA recovered %d bits from the atomic program", len(bits))
+	}
+}
+
+// TestAtomicResidualLengthLeak documents the inherent residual: block
+// count (and so total cycle count) still depends on HW(k).
+func TestAtomicResidualLengthLeak(t *testing.T) {
+	tim := DefaultTiming()
+	light, err := BuildAtomicProgram(modn.MustScalarFromHex("10000000000000000000000000000000000000001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := BuildAtomicProgram(modn.MustScalarFromHex("1ffffffffffffffffffffffffffffffffffffffff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light.CycleCount(tim) >= heavy.CycleCount(tim) {
+		t.Fatal("atomic microcode should still run longer for heavier keys (documented residual)")
+	}
+}
+
+func weight(k modn.Scalar) int {
+	w := 0
+	for i := 0; i < k.BitLen(); i++ {
+		w += int(k.Bit(i))
+	}
+	return w
+}
+
+func distinct(classes []int) int {
+	seen := map[int]bool{}
+	for _, c := range classes {
+		seen[c] = true
+	}
+	return len(seen)
+}

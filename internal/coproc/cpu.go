@@ -101,10 +101,33 @@ type CPU struct {
 	// would desynchronize an observer that skipped its noise stream to
 	// QuietCycles.
 	QuietCycles int
+	// Masked enables the first-order Boolean-masked datapath: every
+	// register-file and RAM location is carried as two shares
+	// (value XOR mask, mask), with the mask refreshed from the MaskRand
+	// stream on every writeback and on every MALU digit cycle. The
+	// architectural state (Regs/RAM) still holds the raw values — share
+	// splitting only changes the switching activity reported in
+	// CycleEvents, which is summed over both share datapaths (and
+	// RegsClocked, which doubles: both share registers take the clock
+	// edge). Cycle counts, Rand draws and results are identical to the
+	// unmasked datapath; only the power side-channel changes.
+	Masked bool
+	// MaskRand feeds the mask-refresh TRNG port; required when Masked.
+	// It is deliberately a separate stream from Rand so the RPC mask
+	// re-derivation contract (sca.Target.Masks, Snapshot.RandDraws)
+	// keeps holding on masked runs.
+	MaskRand func() uint64
 
 	Regs   [NumRegs]gf2m.Element
 	Consts [NumConsts]gf2m.Element
 	RAM    [NumRAM]gf2m.Element
+
+	// masks / ramMasks hold the current share-1 value of each masked
+	// location; the constant ROM is public and rides the operand bus
+	// unmasked.
+	masks     [NumRegs]gf2m.Element
+	ramMasks  [NumRAM]gf2m.Element
+	maskDraws int
 
 	cycle     int
 	randDraws int
@@ -129,6 +152,9 @@ func (c *CPU) Reset() {
 	c.Regs = [NumRegs]gf2m.Element{}
 	c.Consts = [NumConsts]gf2m.Element{}
 	c.RAM = [NumRAM]gf2m.Element{}
+	c.masks = [NumRegs]gf2m.Element{}
+	c.ramMasks = [NumRAM]gf2m.Element{}
+	c.maskDraws = 0
 	c.cycle = 0
 	c.randDraws = 0
 	c.ev = CycleEvent{}
@@ -138,6 +164,8 @@ func (c *CPU) Reset() {
 	c.batch = c.batch[:0]
 	c.MaxCycles = 0
 	c.QuietCycles = 0
+	c.Masked = false
+	c.MaskRand = nil
 }
 
 // drawRand feeds OpLoadRnd while counting TRNG words so a Snapshot can
@@ -145,6 +173,55 @@ func (c *CPU) Reset() {
 func (c *CPU) drawRand() uint64 {
 	c.randDraws++
 	return c.Rand()
+}
+
+// drawMaskElement draws one fresh 163-bit mask (three words, counted so
+// a Snapshot can fast-forward the stream on resume). Zero is a legal
+// mask: share refresh needs the masks uniform, not merely nonzero, or
+// the excluded value itself becomes a first-order bias.
+func (c *CPU) drawMaskElement() gf2m.Element {
+	c.maskDraws += 3
+	return gf2m.FromWords(c.MaskRand(), c.MaskRand(), c.MaskRand())
+}
+
+// maskPtr returns the mask slot backing a writable address, nil for the
+// (public, unmasked) constant ROM.
+func (c *CPU) maskPtr(a uint8) *gf2m.Element {
+	switch {
+	case a < NumRegs:
+		return &c.masks[a]
+	case a >= ramBase && a < ramBase+NumRAM:
+		return &c.ramMasks[a-ramBase]
+	}
+	return nil
+}
+
+// maskOf returns the current mask of an operand address (zero for the
+// constant ROM: public values ride the bus unmasked).
+func (c *CPU) maskOf(a uint8) gf2m.Element {
+	if p := c.maskPtr(a); p != nil {
+		return *p
+	}
+	return gf2m.Element{}
+}
+
+// maskedBusHW is the operand-bus Hamming weight of value v carried as
+// the share pair (v XOR m, m): both share buses present their weight.
+func maskedBusHW(v, m gf2m.Element) int {
+	return gf2m.Add(v, m).Weight() + m.Weight()
+}
+
+// setMaskedWrite fills the write-port activity fields for the masked
+// update (old under mask om) -> (v under mask nm), summing the flips of
+// both share registers. With nm drawn fresh and uniform, the expected
+// activity is constant (each share transition is uniformly random), so
+// the first-order mean carries no data — the data survives only in the
+// joint distribution of the two shares, i.e. in the variance, which is
+// what second-order (centered-product) statistics recover.
+func setMaskedWrite(ev *CycleEvent, old, om, v, nm gf2m.Element) {
+	os0, ns0 := gf2m.Add(old, om), gf2m.Add(v, nm)
+	ev.WriteHD = gf2m.HammingDistance(os0, ns0) + gf2m.HammingDistance(om, nm)
+	ev.Write01 = zeroToOne(os0, ns0) + zeroToOne(om, nm)
 }
 
 // SetOperandConstants loads the constant ROM for a point
@@ -280,12 +357,29 @@ func (c *CPU) runMALU(idx int, in *Instr, a, b gf2m.Element) (gf2m.Element, bool
 	if t.DigitSize <= 0 || t.DigitSize > maxDigitSize {
 		return gf2m.Element{}, false, fmt.Errorf("coproc: unsupported digit size %d", t.DigitSize)
 	}
+	// Masked mode: the digit-serial array is duplicated per share, the
+	// accumulator mask is refreshed every digit cycle, and the operand
+	// shares are derived from the architectural (raw) state plus the
+	// live mask slots. All activity fields below sum both shares.
+	var ma, mb, maskedA, maskedB gf2m.Element
+	if c.Masked {
+		ma, mb = c.maskOf(in.Ra), c.maskOf(in.Rb)
+		if in.Op == OpSqr {
+			mb = ma
+		}
+		maskedA, maskedB = gf2m.Add(a, ma), gf2m.Add(b, mb)
+	}
 	// Operand-load cycles (MulOverhead-1 of them; the final overhead
 	// cycle is the writeback).
 	for k := 0; k < t.MulOverhead-1; k++ {
 		c.resetEvent(idx, in)
-		c.ev.BusHW = a.Weight() + b.Weight()
-		c.ev.RegsClocked = 2 // MALU operand latches
+		if c.Masked {
+			c.ev.BusHW = maskedA.Weight() + ma.Weight() + maskedB.Weight() + mb.Weight()
+			c.ev.RegsClocked = 4 // both shares' operand latches
+		} else {
+			c.ev.BusHW = a.Weight() + b.Weight()
+			c.ev.RegsClocked = 2 // MALU operand latches
+		}
 		if !c.tick() {
 			return gf2m.Element{}, false, nil
 		}
@@ -298,6 +392,10 @@ func (c *CPU) runMALU(idx int, in *Instr, a, b gf2m.Element) (gf2m.Element, bool
 		shifts[i] = gf2m.ShlMod(shifts[i-1], 1)
 	}
 	var acc gf2m.Element
+	// accMask is the accumulator's live share-1 value (masked mode);
+	// starts at zero with the zeroed accumulator and is refreshed every
+	// digit cycle.
+	var accMask gf2m.Element
 	digits := t.Digits()
 	for j := digits - 1; j >= 0; j-- {
 		digit := extractDigit(b, j, t.DigitSize)
@@ -308,11 +406,25 @@ func (c *CPU) runMALU(idx int, in *Instr, a, b gf2m.Element) (gf2m.Element, bool
 			next = gf2m.Add(next, shifts[bits.TrailingZeros64(dg)])
 		}
 		c.resetEvent(idx, in)
-		c.ev.AccHD = gf2m.HammingDistance(acc, next)
-		c.ev.Acc01 = zeroToOne(acc, next)
-		c.ev.DigitHW = bits.OnesCount64(digit)
-		c.ev.BusHW = c.ev.DigitHW // the digit bus toggles with the operand
-		c.ev.RegsClocked = 1      // accumulator
+		if c.Masked {
+			nm := c.drawMaskElement()
+			c.ev.AccHD = gf2m.HammingDistance(gf2m.Add(acc, accMask), gf2m.Add(next, nm)) +
+				gf2m.HammingDistance(accMask, nm)
+			c.ev.Acc01 = zeroToOne(gf2m.Add(acc, accMask), gf2m.Add(next, nm)) +
+				zeroToOne(accMask, nm)
+			// Each share's digit selects rows of its own MALU array.
+			c.ev.DigitHW = bits.OnesCount64(extractDigit(maskedB, j, t.DigitSize)) +
+				bits.OnesCount64(extractDigit(mb, j, t.DigitSize))
+			c.ev.BusHW = c.ev.DigitHW
+			c.ev.RegsClocked = 2 // both accumulator shares
+			accMask = nm
+		} else {
+			c.ev.AccHD = gf2m.HammingDistance(acc, next)
+			c.ev.Acc01 = zeroToOne(acc, next)
+			c.ev.DigitHW = bits.OnesCount64(digit)
+			c.ev.BusHW = c.ev.DigitHW // the digit bus toggles with the operand
+			c.ev.RegsClocked = 1      // accumulator
+		}
 		acc = next
 		if !c.tick() {
 			return gf2m.Element{}, false, nil
@@ -324,9 +436,17 @@ func (c *CPU) runMALU(idx int, in *Instr, a, b gf2m.Element) (gf2m.Element, bool
 		return gf2m.Element{}, false, err
 	}
 	c.resetEvent(idx, in)
-	c.ev.WriteHD = gf2m.HammingDistance(old, acc)
-	c.ev.Write01 = zeroToOne(old, acc)
-	c.ev.RegsClocked = 1
+	if c.Masked {
+		mp := c.maskPtr(in.Rd)
+		nm := c.drawMaskElement()
+		setMaskedWrite(&c.ev, old, *mp, acc, nm)
+		*mp = nm
+		c.ev.RegsClocked = 2
+	} else {
+		c.ev.WriteHD = gf2m.HammingDistance(old, acc)
+		c.ev.Write01 = zeroToOne(old, acc)
+		c.ev.RegsClocked = 1
+	}
 	if _, err := c.writeOperand(in.Rd, acc); err != nil {
 		return gf2m.Element{}, false, err
 	}
@@ -373,10 +493,19 @@ type Snapshot struct {
 	// RandDraws is the number of TRNG words drawn so far; Resume
 	// fast-forwards a fresh stream by this many draws.
 	RandDraws int
+	// MaskDraws is the number of mask-TRNG words drawn so far on a
+	// masked run (0 on unmasked runs); Resume fast-forwards MaskRand by
+	// this many draws.
+	MaskDraws int
 
 	Regs   [NumRegs]gf2m.Element
 	Consts [NumConsts]gf2m.Element
 	RAM    [NumRAM]gf2m.Element
+
+	// Masks / RAMMasks are the live share-1 values of a masked run
+	// (zero on unmasked runs).
+	Masks    [NumRegs]gf2m.Element
+	RAMMasks [NumRAM]gf2m.Element
 }
 
 // snapshot captures the state with nextInstr as the resume point.
@@ -385,9 +514,12 @@ func (c *CPU) snapshot(nextInstr int) Snapshot {
 		Instr:     nextInstr,
 		Cycle:     c.cycle,
 		RandDraws: c.randDraws,
+		MaskDraws: c.maskDraws,
 		Regs:      c.Regs,
 		Consts:    c.Consts,
 		RAM:       c.RAM,
+		Masks:     c.masks,
+		RAMMasks:  c.ramMasks,
 	}
 }
 
@@ -398,6 +530,7 @@ func (c *CPU) snapshot(nextInstr int) Snapshot {
 func (c *CPU) Run(p *Program, key modn.Scalar) (int, error) {
 	c.cycle = 0
 	c.randDraws = 0
+	c.maskDraws = 0
 	return c.run(p, key, 0, nil)
 }
 
@@ -408,6 +541,7 @@ func (c *CPU) Run(p *Program, key modn.Scalar) (int, error) {
 func (c *CPU) RunCheckpointed(p *Program, key modn.Scalar, keep func(instrIndex, startCycle int) bool) ([]Snapshot, int, error) {
 	c.cycle = 0
 	c.randDraws = 0
+	c.maskDraws = 0
 	var snaps []Snapshot
 	n, err := c.run(p, key, 0, func(idx int) bool {
 		if keep == nil || keep(idx, c.cycle) {
@@ -431,6 +565,7 @@ func (c *CPU) SnapshotPrefix(p *Program, key modn.Scalar, nInstr int) (Snapshot,
 	}
 	c.cycle = 0
 	c.randDraws = 0
+	c.maskDraws = 0
 	if _, err := c.run(p, key, 0, func(idx int) bool { return idx < nInstr }); err != nil {
 		return Snapshot{}, err
 	}
@@ -450,13 +585,22 @@ func (c *CPU) Resume(p *Program, key modn.Scalar, snap Snapshot) (int, error) {
 	if snap.RandDraws > 0 && c.Rand == nil {
 		return 0, errors.New("coproc: resume of a randomized run requires a TRNG source")
 	}
+	if snap.MaskDraws > 0 && c.MaskRand == nil {
+		return 0, errors.New("coproc: resume of a masked run requires a mask TRNG source")
+	}
 	c.Regs = snap.Regs
 	c.Consts = snap.Consts
 	c.RAM = snap.RAM
+	c.masks = snap.Masks
+	c.ramMasks = snap.RAMMasks
 	c.cycle = snap.Cycle
 	c.randDraws = snap.RandDraws
+	c.maskDraws = snap.MaskDraws
 	for i := 0; i < snap.RandDraws; i++ {
 		c.Rand()
+	}
+	for i := 0; i < snap.MaskDraws; i++ {
+		c.MaskRand()
 	}
 	return c.run(p, key, snap.Instr, nil)
 }
@@ -469,6 +613,9 @@ func (c *CPU) Resume(p *Program, key modn.Scalar, snap Snapshot) (int, error) {
 // in-flight partial instruction when execution stops early (MaxCycles,
 // errors).
 func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx int) bool) (int, error) {
+	if c.Masked && c.MaskRand == nil {
+		return c.cycle, errors.New("coproc: masked execution requires a mask TRNG source (MaskRand)")
+	}
 	defer c.flushBatch()
 	for idx := fromInstr; idx < len(p.Instrs); idx++ {
 		if onInstr != nil && !onInstr(idx) {
@@ -508,26 +655,40 @@ func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx i
 					return c.cycle, err
 				}
 				v = gf2m.Add(a, b)
-				busHW = a.Weight() + b.Weight()
+				if c.Masked {
+					busHW = maskedBusHW(a, c.maskOf(in.Ra)) + maskedBusHW(b, c.maskOf(in.Rb))
+				} else {
+					busHW = a.Weight() + b.Weight()
+				}
 			case OpMove:
 				a, err := c.readOperand(in.Ra)
 				if err != nil {
 					return c.cycle, err
 				}
 				v = a
-				busHW = a.Weight()
+				if c.Masked {
+					busHW = maskedBusHW(a, c.maskOf(in.Ra))
+				} else {
+					busHW = a.Weight()
+				}
 			case OpLoadConst:
 				a, err := c.readOperand(in.Ra)
 				if err != nil {
 					return c.cycle, err
 				}
 				v = a
-				busHW = a.Weight()
+				if c.Masked {
+					busHW = maskedBusHW(a, c.maskOf(in.Ra))
+				} else {
+					busHW = a.Weight()
+				}
 			case OpLoadRnd:
 				if c.Rand == nil {
 					return c.cycle, errors.New("coproc: OpLoadRnd requires a TRNG source")
 				}
 				v = RandNonZeroElement(c.drawRand)
+				// The TRNG port delivers the raw word stream; share
+				// splitting happens at the register-file write below.
 				busHW = v.Weight()
 			}
 			old, err := c.writeOperand(in.Rd, v)
@@ -535,10 +696,18 @@ func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx i
 				return c.cycle, err
 			}
 			c.resetEvent(idx, in)
-			c.ev.WriteHD = gf2m.HammingDistance(old, v)
-			c.ev.Write01 = zeroToOne(old, v)
+			if c.Masked {
+				mp := c.maskPtr(in.Rd)
+				nm := c.drawMaskElement()
+				setMaskedWrite(&c.ev, old, *mp, v, nm)
+				*mp = nm
+				c.ev.RegsClocked = 2 // both share registers
+			} else {
+				c.ev.WriteHD = gf2m.HammingDistance(old, v)
+				c.ev.Write01 = zeroToOne(old, v)
+				c.ev.RegsClocked = 1
+			}
 			c.ev.BusHW = busHW
-			c.ev.RegsClocked = 1
 			if !c.tick() {
 				return c.cycle, ErrStopped
 			}
@@ -559,8 +728,18 @@ func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx i
 			c.resetEvent(idx, in)
 			c.ev.KeyBit = in.KeyBit
 			c.ev.CtrlSel = sel
-			c.ev.SwapHD = gf2m.HammingDistance(a, b)
-			c.ev.RegsClocked = 2
+			if c.Masked {
+				// The swap muxes operate per share; masks travel with
+				// their values (no refresh — CSWAP draws nothing, so the
+				// mask-draw schedule stays key-independent).
+				ma, mb := c.maskOf(in.Rd), c.maskOf(in.Ra)
+				c.ev.SwapHD = gf2m.HammingDistance(gf2m.Add(a, ma), gf2m.Add(b, mb)) +
+					gf2m.HammingDistance(ma, mb)
+				c.ev.RegsClocked = 4
+			} else {
+				c.ev.SwapHD = gf2m.HammingDistance(a, b)
+				c.ev.RegsClocked = 2
+			}
 			if sel == 1 {
 				// Functionally the swap always takes effect; whether it
 				// is a physical register exchange or a mux renaming is
@@ -570,6 +749,10 @@ func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx i
 				}
 				if _, err := c.writeOperand(in.Ra, a); err != nil {
 					return c.cycle, err
+				}
+				if c.Masked {
+					pa, pb := c.maskPtr(in.Rd), c.maskPtr(in.Ra)
+					*pa, *pb = *pb, *pa
 				}
 			}
 			if !c.tick() {
@@ -605,11 +788,12 @@ func (c *CPU) run(p *Program, key modn.Scalar, fromInstr int, onInstr func(idx i
 
 // quietExec performs one instruction's architectural effects without
 // any event bookkeeping — the QuietCycles fast path. Register writes,
-// conditional swaps and TRNG draws are exactly those of the evented
-// path; MUL/SQR results come from the one-shot field multiplier, which
-// the MALU cross-check tests pin to the digit-serial pipeline's result
-// element. The caller advances the cycle counter by the instruction's
-// static cost.
+// conditional swaps, TRNG draws and (on masked runs) mask-stream draws
+// and mask-slot updates are exactly those of the evented path; MUL/SQR
+// results come from the one-shot field multiplier, which the MALU
+// cross-check tests pin to the digit-serial pipeline's result element.
+// The caller advances the cycle counter by the instruction's static
+// cost.
 func (c *CPU) quietExec(in *Instr, key modn.Scalar) error {
 	switch in.Op {
 	case OpNop:
@@ -624,23 +808,32 @@ func (c *CPU) quietExec(in *Instr, key modn.Scalar) error {
 		if err != nil {
 			return err
 		}
-		_, err = c.writeOperand(in.Rd, gf2m.Add(a, b))
-		return err
+		if _, err := c.writeOperand(in.Rd, gf2m.Add(a, b)); err != nil {
+			return err
+		}
+		c.quietMaskWrite(in.Rd)
+		return nil
 
 	case OpMove, OpLoadConst:
 		a, err := c.readOperand(in.Ra)
 		if err != nil {
 			return err
 		}
-		_, err = c.writeOperand(in.Rd, a)
-		return err
+		if _, err := c.writeOperand(in.Rd, a); err != nil {
+			return err
+		}
+		c.quietMaskWrite(in.Rd)
+		return nil
 
 	case OpLoadRnd:
 		if c.Rand == nil {
 			return errors.New("coproc: OpLoadRnd requires a TRNG source")
 		}
-		_, err := c.writeOperand(in.Rd, RandNonZeroElement(c.drawRand))
-		return err
+		if _, err := c.writeOperand(in.Rd, RandNonZeroElement(c.drawRand)); err != nil {
+			return err
+		}
+		c.quietMaskWrite(in.Rd)
+		return nil
 
 	case OpCSwap:
 		if in.KeyBit < 0 {
@@ -661,6 +854,10 @@ func (c *CPU) quietExec(in *Instr, key modn.Scalar) error {
 			if _, err := c.writeOperand(in.Ra, a); err != nil {
 				return err
 			}
+			if c.Masked {
+				pa, pb := c.maskPtr(in.Rd), c.maskPtr(in.Ra)
+				*pa, *pb = *pb, *pa
+			}
 		}
 		return nil
 
@@ -679,11 +876,35 @@ func (c *CPU) quietExec(in *Instr, key modn.Scalar) error {
 			}
 			v = gf2m.Mul(a, b)
 		}
-		_, err = c.writeOperand(in.Rd, v)
-		return err
+		if _, err := c.writeOperand(in.Rd, v); err != nil {
+			return err
+		}
+		if c.Masked {
+			// Match the evented digit pipeline's draw schedule: one
+			// accumulator refresh per digit cycle (discarded — the
+			// accumulator mask dies with the instruction), then the
+			// writeback refresh that becomes the destination's mask.
+			for j := c.Timing.Digits(); j > 0; j-- {
+				c.drawMaskElement()
+			}
+			c.quietMaskWrite(in.Rd)
+		}
+		return nil
 
 	default:
 		return fmt.Errorf("coproc: unknown opcode %v", in.Op)
+	}
+}
+
+// quietMaskWrite applies the masked write-port refresh (fresh mask into
+// the destination's mask slot) on the quiet path; a no-op when the
+// datapath is unmasked.
+func (c *CPU) quietMaskWrite(rd uint8) {
+	if !c.Masked {
+		return
+	}
+	if mp := c.maskPtr(rd); mp != nil {
+		*mp = c.drawMaskElement()
 	}
 }
 

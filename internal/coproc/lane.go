@@ -144,6 +144,10 @@ type LaneRun struct {
 	// snapshot must lie at or before the quiet boundary so every lane
 	// reaches lockstep at the same instruction.
 	Resume *Snapshot
+	// MaskRand feeds the lane's mask-refresh TRNG port; required when
+	// the LaneCPU runs Masked (see CPU.MaskRand — a separate stream
+	// from Rand, so RPC mask re-derivation stays valid).
+	MaskRand func() uint64
 }
 
 // OperandConstants builds the constant-ROM image for a point
@@ -155,17 +159,37 @@ func OperandConstants(x, b, y gf2m.Element) [NumConsts]gf2m.Element {
 
 // laneState is the per-lane architectural and delivery state.
 type laneState struct {
-	slots     [numSlots]gf2m.Element
+	slots [numSlots]gf2m.Element
+	// masks carries the share-1 value of each writable slot on masked
+	// runs (the constant ROM above writableSlots is public).
+	masks     [writableSlots]gf2m.Element
 	key       modn.Scalar
 	rand      func() uint64
+	maskRand  func() uint64
 	sink      func(*CycleEvent)
 	randDraws int
+	maskDraws int
 	ev        CycleEvent
 }
 
 func (ls *laneState) drawRand() uint64 {
 	ls.randDraws++
 	return ls.rand()
+}
+
+// drawMaskElement mirrors CPU.drawMaskElement on a lane's mask stream.
+func (ls *laneState) drawMaskElement() gf2m.Element {
+	ls.maskDraws += 3
+	return gf2m.FromWords(ls.maskRand(), ls.maskRand(), ls.maskRand())
+}
+
+// maskOfSlot returns the current mask of a dense slot (zero for the
+// constant ROM).
+func (ls *laneState) maskOfSlot(a uint8) gf2m.Element {
+	if a < writableSlots {
+		return ls.masks[a]
+	}
+	return gf2m.Element{}
 }
 
 // LaneCPU executes a program over N lanes at once. Configure Timing,
@@ -179,6 +203,10 @@ type LaneCPU struct {
 	// lanes.
 	MaxCycles   int
 	QuietCycles int
+	// Masked selects the Boolean-masked datapath for every lane (the
+	// CPU.Masked semantics: raw architectural values, per-slot masks,
+	// share-summed activity). Each LaneRun must then supply MaskRand.
+	Masked bool
 
 	prog  *laneProgram
 	lanes []laneState
@@ -248,7 +276,10 @@ func (lc *LaneCPU) Run(p *Program, runs []LaneRun) (int, error) {
 	for l := range runs {
 		r := &runs[l]
 		ls := &lc.lanes[l]
-		*ls = laneState{key: r.Key, rand: r.Rand, sink: r.Sink}
+		*ls = laneState{key: r.Key, rand: r.Rand, sink: r.Sink, maskRand: r.MaskRand}
+		if lc.Masked && ls.maskRand == nil {
+			return 0, fmt.Errorf("coproc: masked execution requires a mask TRNG source on lane %d (MaskRand)", l)
+		}
 		from := 0
 		if snap := r.Resume; snap != nil {
 			if snap.Instr < 0 || snap.Instr > entry {
@@ -257,13 +288,22 @@ func (lc *LaneCPU) Run(p *Program, runs []LaneRun) (int, error) {
 			if snap.RandDraws > 0 && ls.rand == nil {
 				return 0, errors.New("coproc: resume of a randomized run requires a TRNG source")
 			}
+			if snap.MaskDraws > 0 && ls.maskRand == nil {
+				return 0, errors.New("coproc: resume of a masked run requires a mask TRNG source")
+			}
 			copy(ls.slots[slotRegs:slotRegs+NumRegs], snap.Regs[:])
 			copy(ls.slots[slotRAM:slotRAM+NumRAM], snap.RAM[:])
 			copy(ls.slots[slotConsts:slotConsts+NumConsts], snap.Consts[:])
+			copy(ls.masks[slotRegs:slotRegs+NumRegs], snap.Masks[:])
+			copy(ls.masks[slotRAM:slotRAM+NumRAM], snap.RAMMasks[:])
 			for i := 0; i < snap.RandDraws; i++ {
 				ls.rand()
 			}
 			ls.randDraws = snap.RandDraws
+			for i := 0; i < snap.MaskDraws; i++ {
+				ls.maskRand()
+			}
+			ls.maskDraws = snap.MaskDraws
 			from = snap.Instr
 		} else {
 			copy(ls.slots[slotConsts:slotConsts+NumConsts], r.Consts[:])
@@ -278,10 +318,12 @@ func (lc *LaneCPU) Run(p *Program, runs []LaneRun) (int, error) {
 	return lc.runEvented(d, entry)
 }
 
-// quietExecLane mirrors CPU.quietExec against a lane's slot file.
+// quietExecLane mirrors CPU.quietExec against a lane's slot file,
+// including the masked path's mask-stream draws and slot refreshes.
 func (lc *LaneCPU) quietExecLane(ls *laneState, in *laneInstr) error {
 	switch in.op {
 	case OpNop:
+		return nil
 	case OpAdd:
 		ls.slots[in.rd] = gf2m.Add(ls.slots[in.ra], ls.slots[in.rb])
 	case OpMove, OpLoadConst:
@@ -294,11 +336,25 @@ func (lc *LaneCPU) quietExecLane(ls *laneState, in *laneInstr) error {
 	case OpCSwap:
 		if ls.key.Bit(in.keyBit) == 1 {
 			ls.slots[in.rd], ls.slots[in.ra] = ls.slots[in.ra], ls.slots[in.rd]
+			if lc.Masked {
+				ls.masks[in.rd], ls.masks[in.ra] = ls.masks[in.ra], ls.masks[in.rd]
+			}
 		}
+		return nil
 	case OpSqr:
 		ls.slots[in.rd] = gf2m.Sqr(ls.slots[in.ra])
 	case OpMul:
 		ls.slots[in.rd] = gf2m.Mul(ls.slots[in.ra], ls.slots[in.rb])
+	}
+	if lc.Masked {
+		if in.op == OpMul || in.op == OpSqr {
+			// Match the evented digit pipeline's draw schedule (see
+			// CPU.quietExec): one discarded refresh per digit cycle.
+			for j := lc.Timing.Digits(); j > 0; j-- {
+				ls.drawMaskElement()
+			}
+		}
+		ls.masks[in.rd] = ls.drawMaskElement()
 	}
 	return nil
 }
@@ -386,24 +442,40 @@ func (lc *LaneCPU) execLane(ls *laneState, idx int, in *laneInstr, budget int) e
 		case OpAdd:
 			a, b := ls.slots[in.ra], ls.slots[in.rb]
 			v = gf2m.Add(a, b)
-			busHW = a.Weight() + b.Weight()
+			if lc.Masked {
+				busHW = maskedBusHW(a, ls.maskOfSlot(in.ra)) + maskedBusHW(b, ls.maskOfSlot(in.rb))
+			} else {
+				busHW = a.Weight() + b.Weight()
+			}
 		case OpMove, OpLoadConst:
 			v = ls.slots[in.ra]
-			busHW = v.Weight()
+			if lc.Masked {
+				busHW = maskedBusHW(v, ls.maskOfSlot(in.ra))
+			} else {
+				busHW = v.Weight()
+			}
 		case OpLoadRnd:
 			if ls.rand == nil {
 				return errors.New("coproc: OpLoadRnd requires a TRNG source")
 			}
 			v = RandNonZeroElement(ls.drawRand)
+			// Raw TRNG words on the port; share split happens at the write.
 			busHW = v.Weight()
 		}
 		old := ls.slots[in.rd]
 		ls.slots[in.rd] = v
 		ls.resetEvent(idx, in)
-		ls.ev.WriteHD = gf2m.HammingDistance(old, v)
-		ls.ev.Write01 = zeroToOne(old, v)
+		if lc.Masked {
+			nm := ls.drawMaskElement()
+			setMaskedWrite(&ls.ev, old, ls.masks[in.rd], v, nm)
+			ls.masks[in.rd] = nm
+			ls.ev.RegsClocked = 2
+		} else {
+			ls.ev.WriteHD = gf2m.HammingDistance(old, v)
+			ls.ev.Write01 = zeroToOne(old, v)
+			ls.ev.RegsClocked = 1
+		}
 		ls.ev.BusHW = busHW
-		ls.ev.RegsClocked = 1
 		ls.emit(lc.cycle)
 
 	case OpCSwap:
@@ -415,10 +487,20 @@ func (lc *LaneCPU) execLane(ls *laneState, idx int, in *laneInstr, budget int) e
 		ls.resetEvent(idx, in)
 		ls.ev.KeyBit = in.keyBit
 		ls.ev.CtrlSel = sel
-		ls.ev.SwapHD = gf2m.HammingDistance(a, b)
-		ls.ev.RegsClocked = 2
+		if lc.Masked {
+			ma, mb := ls.masks[in.rd], ls.masks[in.ra]
+			ls.ev.SwapHD = gf2m.HammingDistance(gf2m.Add(a, ma), gf2m.Add(b, mb)) +
+				gf2m.HammingDistance(ma, mb)
+			ls.ev.RegsClocked = 4
+		} else {
+			ls.ev.SwapHD = gf2m.HammingDistance(a, b)
+			ls.ev.RegsClocked = 2
+		}
 		if sel == 1 {
 			ls.slots[in.rd], ls.slots[in.ra] = b, a
+			if lc.Masked {
+				ls.masks[in.rd], ls.masks[in.ra] = ls.masks[in.ra], ls.masks[in.rd]
+			}
 		}
 		ls.emit(lc.cycle)
 
@@ -441,14 +523,32 @@ func (lc *LaneCPU) runMALULane(ls *laneState, idx int, in *laneInstr, a, b gf2m.
 	if t.DigitSize <= 0 || t.DigitSize > maxDigitSize {
 		return fmt.Errorf("coproc: unsupported digit size %d", t.DigitSize)
 	}
+	// Masked mode: operand shares derived from the raw slots plus the
+	// live mask slots; SQR squares a single operand so both shares take
+	// in.ra's mask (in.rb is not decoded for OpSqr).
+	var ma, mb, maskedA, maskedB gf2m.Element
+	if lc.Masked {
+		ma = ls.maskOfSlot(in.ra)
+		if in.op == OpSqr {
+			mb = ma
+		} else {
+			mb = ls.maskOfSlot(in.rb)
+		}
+		maskedA, maskedB = gf2m.Add(a, ma), gf2m.Add(b, mb)
+	}
 	cycle := lc.cycle
 	for k := 0; k < t.MulOverhead-1; k++ {
 		if budget <= 0 {
 			return nil
 		}
 		ls.resetEvent(idx, in)
-		ls.ev.BusHW = a.Weight() + b.Weight()
-		ls.ev.RegsClocked = 2
+		if lc.Masked {
+			ls.ev.BusHW = maskedA.Weight() + ma.Weight() + maskedB.Weight() + mb.Weight()
+			ls.ev.RegsClocked = 4
+		} else {
+			ls.ev.BusHW = a.Weight() + b.Weight()
+			ls.ev.RegsClocked = 2
+		}
 		ls.emit(cycle)
 		cycle++
 		budget--
@@ -459,14 +559,22 @@ func (lc *LaneCPU) runMALULane(ls *laneState, idx int, in *laneInstr, a, b gf2m.
 		shifts[i] = gf2m.ShlMod(shifts[i-1], 1)
 	}
 	var acc gf2m.Element
+	// accMask is the accumulator's live share-1 value (masked mode);
+	// starts at zero with the zeroed accumulator and is refreshed from
+	// the mask stream every digit cycle.
+	var accMask gf2m.Element
 	d := t.DigitSize
 	// One reset serves the whole digit loop: every cycle emits the same
-	// constant fields (instr, op, iteration, RegsClocked = 1, zeroed
+	// constant fields (instr, op, iteration, RegsClocked, zeroed
 	// write/swap counters) and only the accumulator fields vary, so
 	// updating those in place delivers the identical event stream
 	// without rewriting the struct each cycle.
 	ls.resetEvent(idx, in)
-	ls.ev.RegsClocked = 1
+	if lc.Masked {
+		ls.ev.RegsClocked = 2 // both accumulator shares
+	} else {
+		ls.ev.RegsClocked = 1
+	}
 	for j := t.Digits() - 1; j >= 0; j-- {
 		if budget <= 0 {
 			return nil
@@ -476,10 +584,22 @@ func (lc *LaneCPU) runMALULane(ls *laneState, idx int, in *laneInstr, a, b gf2m.
 		for dg := digit; dg != 0; dg &= dg - 1 {
 			next = gf2m.Add(next, shifts[bits.TrailingZeros64(dg)])
 		}
-		ls.ev.AccHD = gf2m.HammingDistance(acc, next)
-		ls.ev.Acc01 = zeroToOne(acc, next)
-		ls.ev.DigitHW = bits.OnesCount64(digit)
-		ls.ev.BusHW = ls.ev.DigitHW
+		if lc.Masked {
+			nm := ls.drawMaskElement()
+			ls.ev.AccHD = gf2m.HammingDistance(gf2m.Add(acc, accMask), gf2m.Add(next, nm)) +
+				gf2m.HammingDistance(accMask, nm)
+			ls.ev.Acc01 = zeroToOne(gf2m.Add(acc, accMask), gf2m.Add(next, nm)) +
+				zeroToOne(accMask, nm)
+			ls.ev.DigitHW = bits.OnesCount64(extractDigit(maskedB, j, d)) +
+				bits.OnesCount64(extractDigit(mb, j, d))
+			ls.ev.BusHW = ls.ev.DigitHW
+			accMask = nm
+		} else {
+			ls.ev.AccHD = gf2m.HammingDistance(acc, next)
+			ls.ev.Acc01 = zeroToOne(acc, next)
+			ls.ev.DigitHW = bits.OnesCount64(digit)
+			ls.ev.BusHW = ls.ev.DigitHW
+		}
 		acc = next
 		ls.emit(cycle)
 		cycle++
@@ -490,9 +610,16 @@ func (lc *LaneCPU) runMALULane(ls *laneState, idx int, in *laneInstr, a, b gf2m.
 	}
 	old := ls.slots[in.rd]
 	ls.resetEvent(idx, in)
-	ls.ev.WriteHD = gf2m.HammingDistance(old, acc)
-	ls.ev.Write01 = zeroToOne(old, acc)
-	ls.ev.RegsClocked = 1
+	if lc.Masked {
+		nm := ls.drawMaskElement()
+		setMaskedWrite(&ls.ev, old, ls.masks[in.rd], acc, nm)
+		ls.masks[in.rd] = nm
+		ls.ev.RegsClocked = 2
+	} else {
+		ls.ev.WriteHD = gf2m.HammingDistance(old, acc)
+		ls.ev.Write01 = zeroToOne(old, acc)
+		ls.ev.RegsClocked = 1
+	}
 	ls.slots[in.rd] = acc
 	ls.emit(cycle)
 	return nil

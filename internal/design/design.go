@@ -54,6 +54,23 @@ const (
 	// MicrocodeDoubleAndAdd is the key-dependent strawman the timing
 	// and SPA experiments attack.
 	MicrocodeDoubleAndAdd = "double-and-add"
+	// MicrocodeAtomic is the Giraud–Verneuil side-channel-atomic
+	// double-and-add (arXiv:1002.4569): every ladder step executes the
+	// same uniform instruction block, so SPA sees a single shape class
+	// where MicrocodeDoubleAndAdd spells out the key bits.
+	MicrocodeAtomic = "atomic"
+)
+
+// Masking countermeasures (architecture layer).
+const (
+	// MaskingNone runs the datapath on raw values.
+	MaskingNone = "none"
+	// MaskingBoolean1 enables first-order Boolean masking of the
+	// datapath (coproc.CPU.Masked): every register and RAM word is
+	// carried as two shares refreshed from the device TRNG, so
+	// first-order statistics go flat and evaluation must move to the
+	// second-order attacks (sca.TVLA2, centered-product CPA).
+	MaskingBoolean1 = "boolean1"
 )
 
 // Battery specs (platform).
@@ -141,6 +158,11 @@ type Point struct {
 	DigitSize int     `json:"digit_size"`
 	ClockHz   float64 `json:"clock_hz"`
 	VddV      float64 `json:"vdd_v"`
+	// Masking selects the datapath masking countermeasure: MaskingNone
+	// or MaskingBoolean1. Masking changes no architectural value and no
+	// cycle count — only the datapath's switching statistics (and its
+	// area/energy bill).
+	Masking string `json:"masking"`
 
 	// Circuit layer.
 	Logic              string  `json:"logic"`
@@ -179,6 +201,7 @@ func Defaults() Point {
 		DigitSize: DefaultDigitSize,
 		ClockHz:   DefaultClockHz,
 		VddV:      DefaultVdd,
+		Masking:   MaskingNone,
 
 		Logic:              "CMOS",
 		BalancedMux:        true,
@@ -208,10 +231,16 @@ func (p Point) Validate() error {
 		return err
 	}
 	switch p.Microcode {
-	case MicrocodeLadder, MicrocodeDoubleAndAdd:
+	case MicrocodeLadder, MicrocodeDoubleAndAdd, MicrocodeAtomic:
 	default:
-		return fmt.Errorf("design: Microcode %q unknown (want %q or %q)",
-			p.Microcode, MicrocodeLadder, MicrocodeDoubleAndAdd)
+		return fmt.Errorf("design: Microcode %q unknown (want %q, %q or %q)",
+			p.Microcode, MicrocodeLadder, MicrocodeDoubleAndAdd, MicrocodeAtomic)
+	}
+	switch p.Masking {
+	case MaskingNone, MaskingBoolean1:
+	default:
+		return fmt.Errorf("design: Masking %q unknown (want %q or %q)",
+			p.Masking, MaskingNone, MaskingBoolean1)
 	}
 	if p.DigitSize < 1 || p.DigitSize > maxDigitSize {
 		return fmt.Errorf("design: DigitSize %d out of range [1, %d]", p.DigitSize, maxDigitSize)
@@ -334,7 +363,7 @@ func (p Point) Build() (*Stack, error) {
 		ARQ:   link.DefaultARQ(),
 		Radio: radio.DefaultModel(),
 		Costs: radio.PaperCosts(),
-		Area:  area.DefaultGateModel().Estimate(p.DigitSize, style.AreaFactor()),
+		Area:  area.DefaultGateModel().EstimateMasked(p.DigitSize, style.AreaFactor(), maskAreaFactor(p.Masking)),
 	}
 	s.ARQ.MaxTries = p.ARQMaxTries
 	s.ARQ.RetryBudget = p.ARQRetryBudget
@@ -352,6 +381,18 @@ func (p Point) Build() (*Stack, error) {
 	return s, nil
 }
 
+// maskAreaFactor maps the Masking knob to its datapath area multiplier.
+func maskAreaFactor(masking string) float64 {
+	if masking == MaskingBoolean1 {
+		return area.MaskingAreaFactor
+	}
+	return 1
+}
+
+// Masked reports whether this point carries the datapath as Boolean
+// shares.
+func (s *Stack) Masked() bool { return s.Point.Masking == MaskingBoolean1 }
+
 // MustBuild is Build for static points in tests and examples; it
 // panics on an invalid point.
 func (p Point) MustBuild() *Stack {
@@ -368,6 +409,10 @@ func (s *Stack) Chip() (*core.Coprocessor, error) {
 	if s.Point.Microcode != MicrocodeLadder {
 		return nil, fmt.Errorf("design: Microcode %q has no chip control store (only %q)",
 			s.Point.Microcode, MicrocodeLadder)
+	}
+	if s.Point.Masking != MaskingNone {
+		return nil, fmt.Errorf("design: the core-layer chip has no %q datapath (only %q); evaluate masked points through Target",
+			s.Point.Masking, MaskingNone)
 	}
 	return core.New(core.Config{
 		Curve:    s.Curve,
@@ -390,6 +435,7 @@ func (s *Stack) Target(key modn.Scalar) (*sca.Target, error) {
 			MicrocodeLadder, s.Point.Microcode)
 	}
 	tgt := sca.NewTarget(s.Curve, key, s.Program, s.Timing, s.Power, s.Point.TRNGSeed)
+	tgt.Masked = s.Masked()
 	tgt.Lanes = DefaultLanes
 	return tgt, nil
 }
@@ -413,11 +459,14 @@ func (s *Stack) Ladder() *coproc.Program {
 }
 
 // ProgramFor returns the microcode this point executes for the given
-// key: the (key-independent) ladder, or the key-dependent
-// double-and-add strawman.
+// key: the (key-independent) ladder, the key-dependent double-and-add
+// strawman, or its side-channel-atomic repair.
 func (s *Stack) ProgramFor(key modn.Scalar) (*coproc.Program, error) {
-	if s.Point.Microcode == MicrocodeDoubleAndAdd {
+	switch s.Point.Microcode {
+	case MicrocodeDoubleAndAdd:
 		return coproc.BuildDoubleAndAddProgram(key)
+	case MicrocodeAtomic:
+		return coproc.BuildAtomicProgram(key)
 	}
 	return coproc.BuildLadderProgram(coproc.ProgramOptions{RPC: s.Point.RPC}), nil
 }
@@ -497,6 +546,14 @@ func (s *Stack) measure(key modn.Scalar, randSeed uint64,
 	return meter(model, func(probe coproc.Probe) error {
 		cpu := coproc.NewCPU(s.Timing)
 		cpu.Rand = rng.NewDRBG(randSeed).Uint64
+		if s.Masked() {
+			// The masked datapath switches both shares, so the measured
+			// energy carries the real masking overhead — no fudge factor.
+			// The mask stream is seeded independently of the RPC stream,
+			// mirroring sca.Target's maskSeed split.
+			cpu.Masked = true
+			cpu.MaskRand = rng.NewDRBG(randSeed ^ 0xd1342543de82ef95).Uint64
+		}
 		cpu.Probe = probe
 		cpu.SetOperandConstants(s.Curve.Gx, s.Curve.B, s.Curve.Gy)
 		_, err := cpu.Run(prog, key)

@@ -1,0 +1,143 @@
+package design
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"medsec/internal/area"
+)
+
+func TestMaskingKnobValidation(t *testing.T) {
+	p := Defaults()
+	if p.Masking != MaskingNone {
+		t.Fatalf("Defaults().Masking = %q, want %q", p.Masking, MaskingNone)
+	}
+	p.Masking = "boolean2"
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "boolean2") {
+		t.Fatalf("unknown Masking accepted (err=%v)", err)
+	}
+	p.Masking = MaskingBoolean1
+	if err := p.Validate(); err != nil {
+		t.Fatalf("boolean1 masking rejected: %v", err)
+	}
+}
+
+func TestMicrocodeAtomicKnob(t *testing.T) {
+	p := Defaults()
+	p.Microcode = MicrocodeAtomic
+	s, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := s.DeviceKey(3)
+	prog, err := s.ProgramFor(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog == s.Ladder() {
+		t.Fatal("atomic point returned the ladder microcode")
+	}
+	// The chip's fixed control store only holds the ladder.
+	if _, err := s.Chip(); err == nil {
+		t.Fatal("Chip() accepted the atomic microcode")
+	}
+	// Atomic microcode still computes the right point multiple: measure
+	// runs it end to end under the meter.
+	if _, err := s.MeasurePointMul(key, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskedPointStack(t *testing.T) {
+	p := Defaults()
+	p.Masking = MaskingBoolean1
+	s, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Masked() {
+		t.Fatal("masked point's stack reports unmasked")
+	}
+	tgt, err := s.Target(s.DeviceKey(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tgt.Masked {
+		t.Fatal("masked point minted an unmasked sca target")
+	}
+	if _, err := s.Chip(); err == nil || !strings.Contains(err.Error(), "boolean1") {
+		t.Fatalf("Chip() accepted a masked point (err=%v)", err)
+	}
+
+	// Area: the datapath pays the masking factor, the sequencer does
+	// not.
+	base := Defaults().MustBuild()
+	if got, want := s.Area.RegFileGE, base.Area.RegFileGE*area.MaskingAreaFactor; got != want {
+		t.Errorf("masked register file %v GE, want %v", got, want)
+	}
+	if s.Area.ControlGE != base.Area.ControlGE {
+		t.Errorf("masking scaled the sequencer (%v vs %v GE)", s.Area.ControlGE, base.Area.ControlGE)
+	}
+
+	// Energy: both shares switch, so the measured point multiplication
+	// costs strictly more than the unmasked one — and the result is the
+	// real simulated overhead, identical cycle count included.
+	key := s.DeviceKey(4)
+	masked, err := s.MeasurePointMul(key, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := base.MeasurePointMul(key, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked.Cycles != plain.Cycles {
+		t.Errorf("masking changed the cycle count: %d vs %d", masked.Cycles, plain.Cycles)
+	}
+	if masked.EnergyJ <= plain.EnergyJ {
+		t.Errorf("masked point mul %v J not above unmasked %v J", masked.EnergyJ, plain.EnergyJ)
+	}
+}
+
+func TestMaskingJSONOverlay(t *testing.T) {
+	var p Point
+	if err := json.Unmarshal([]byte(`{"masking":"boolean1","microcode":"atomic"}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Masking != MaskingBoolean1 || p.Microcode != MicrocodeAtomic {
+		t.Fatalf("overlay decoded masking=%q microcode=%q", p.Masking, p.Microcode)
+	}
+	// Old grid files that never mention masking inherit the unmasked
+	// default.
+	var q Point
+	if err := json.Unmarshal([]byte(`{"name":"legacy"}`), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Masking != MaskingNone {
+		t.Fatalf("legacy point decoded masking=%q, want %q", q.Masking, MaskingNone)
+	}
+	if err := json.Unmarshal([]byte(`{"masking":"nope"}`), &p); err == nil {
+		t.Fatal("invalid masking value decoded")
+	}
+}
+
+func TestMaskingCacheIdentity(t *testing.T) {
+	c := NewCache()
+	p := Defaults()
+	p.Masking = MaskingBoolean1
+	s1, err := c.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Build(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Size != 2 {
+		t.Fatalf("masked and unmasked points shared a build identity (cache size %d)", st.Size)
+	}
+	if !s1.Masked() || s2.Masked() {
+		t.Fatal("cache specialization lost the masking knob")
+	}
+}

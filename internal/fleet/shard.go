@@ -152,8 +152,48 @@ func WriteShard(path string, rep *Report, shardCount int) error {
 
 // shardPiece is one loaded shard artifact.
 type shardPiece struct {
+	path     string
 	from, to int
 	accum    *Accum
+}
+
+// configDiff names the first top-level config field that differs
+// between two shard headers' config JSON — the actionable part of a
+// foreign-config refusal (a raw "configs differ" sends the operator
+// diffing kilobytes of JSON by hand).
+func configDiff(got, ref json.RawMessage) string {
+	var g, r map[string]json.RawMessage
+	if json.Unmarshal(got, &g) != nil || json.Unmarshal(ref, &r) != nil {
+		return "config JSON differs"
+	}
+	keys := make([]string, 0, len(g)+len(r))
+	for k := range g {
+		keys = append(keys, k)
+	}
+	for k := range r {
+		if _, dup := g[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	trunc := func(v json.RawMessage, present bool) string {
+		if !present {
+			return "(absent)"
+		}
+		s := string(v)
+		if len(s) > 48 {
+			s = s[:45] + "..."
+		}
+		return s
+	}
+	for _, k := range keys {
+		gv, gok := g[k]
+		rv, rok := r[k]
+		if gok != rok || string(gv) != string(rv) {
+			return fmt.Sprintf("field %q is %s, reference shard has %s", k, trunc(gv, gok), trunc(rv, rok))
+		}
+	}
+	return "config JSON differs only in formatting"
 }
 
 // MergeShards folds N shard artifacts covering disjoint device ranges
@@ -168,7 +208,8 @@ func MergeShards(paths []string) (*Report, error) {
 		return nil, fmt.Errorf("fleet: no shard files to merge")
 	}
 	var cfg Config
-	var refPt string
+	var refPt, refPath string
+	var refRaw json.RawMessage
 	pieces := make([]shardPiece, 0, len(paths))
 	for i, path := range paths {
 		ck, err := store.Read(path)
@@ -183,7 +224,7 @@ func MergeShards(paths []string) (*Report, error) {
 		}
 		pt := string(ck.Header.Point)
 		if i == 0 {
-			refPt = pt
+			refPt, refPath, refRaw = pt, path, ck.Header.Point
 			if err := json.Unmarshal(ck.Header.Point, &cfg); err != nil {
 				return nil, fmt.Errorf("fleet: decoding config from %s: %w", path, err)
 			}
@@ -191,7 +232,8 @@ func MergeShards(paths []string) (*Report, error) {
 				return nil, fmt.Errorf("fleet: config from %s: %w", path, err)
 			}
 		} else if pt != refPt {
-			return nil, fmt.Errorf("fleet: %s was produced by a different fleet config", path)
+			return nil, fmt.Errorf("fleet: %s was produced by a different fleet config than %s: %s",
+				path, refPath, configDiff(ck.Header.Point, refRaw))
 		}
 		buf, ok := ck.Blobs[accumBlob]
 		if !ok {
@@ -204,21 +246,37 @@ func MergeShards(paths []string) (*Report, error) {
 		if len(a.Cohorts) != len(cfg.Cohorts) {
 			return nil, fmt.Errorf("fleet: %s accumulator has %d cohorts, config has %d", path, len(a.Cohorts), len(cfg.Cohorts))
 		}
-		pieces = append(pieces, shardPiece{from: ck.Header.From, to: ck.Header.To, accum: a})
+		if ck.Header.From < 0 || ck.Header.To < ck.Header.From {
+			return nil, fmt.Errorf("fleet: %s declares a malformed device range [%d, %d)", path, ck.Header.From, ck.Header.To)
+		}
+		pieces = append(pieces, shardPiece{path: path, from: ck.Header.From, to: ck.Header.To, accum: a})
 	}
 
 	// Coverage: sorted by range, the pieces must tile [0, total).
+	// Overlaps and gaps are distinct operator mistakes (a shard run
+	// twice vs a shard never run), so each refusal names the offending
+	// file(s) and the exact device interval in dispute.
 	sort.Slice(pieces, func(i, j int) bool { return pieces[i].from < pieces[j].from })
 	cursor := 0
+	prevPath := ""
 	for _, p := range pieces {
-		if p.from != cursor {
-			return nil, fmt.Errorf("fleet: shard coverage gap or overlap at device %d (next shard starts at %d)", cursor, p.from)
+		switch {
+		case p.from < cursor:
+			return nil, fmt.Errorf("fleet: %s covers devices [%d, %d), overlapping %s which already covers through device %d",
+				p.path, p.from, p.to, prevPath, cursor)
+		case p.from > cursor:
+			return nil, fmt.Errorf("fleet: coverage gap: devices [%d, %d) are in no shard (%s starts at device %d)",
+				cursor, p.from, p.path, p.from)
 		}
-		cursor = p.to
+		cursor, prevPath = p.to, p.path
 	}
 	total := cfg.TotalDevices()
-	if cursor != total {
-		return nil, fmt.Errorf("fleet: shards cover [0, %d), fleet has %d devices", cursor, total)
+	if cursor < total {
+		return nil, fmt.Errorf("fleet: coverage gap: devices [%d, %d) are in no shard (%s ends at device %d)",
+			cursor, total, prevPath, cursor)
+	}
+	if cursor > total {
+		return nil, fmt.Errorf("fleet: %s extends to device %d, beyond the %d-device fleet", prevPath, cursor, total)
 	}
 
 	merged := newAccum(cfg)

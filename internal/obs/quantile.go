@@ -189,11 +189,17 @@ func (hs HistogramSnapshot) Quantile(q float64) float64 {
 		if i == len(hs.Bounds) {
 			break // overflow bucket: clamp below
 		}
+		hi := hs.Bounds[i]
 		lo := 0.0
 		if i > 0 {
 			lo = hs.Bounds[i-1]
+		} else if hi <= 0 {
+			// The first bucket spans (-inf, Bounds[0]]. The zero anchor
+			// only makes sense for nonnegative data; with a non-positive
+			// upper edge it would interpolate DOWNWARD as q grows
+			// (non-monotone quantiles), so clamp to the edge instead.
+			return hi
 		}
-		hi := hs.Bounds[i]
 		return lo + (hi-lo)*((rank-prev)/float64(c))
 	}
 	if len(hs.Bounds) == 0 {

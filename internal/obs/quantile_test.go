@@ -176,6 +176,112 @@ func TestSnapshotObserveMatchesLive(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases is the boundary table: empty snapshots, all
+// mass in the overflow bucket, the q=0/q=1 anchors, out-of-range and
+// NaN q, and first buckets with non-positive upper edges (where the
+// naive zero anchor used to interpolate downward, handing out
+// non-monotone quantiles).
+func TestQuantileEdgeCases(t *testing.T) {
+	fill := func(bounds []float64, vals ...float64) HistogramSnapshot {
+		hs := NewHistogramSnapshot(bounds)
+		for _, v := range vals {
+			hs.Observe(v)
+		}
+		return hs
+	}
+	posB := []float64{10, 20, 30}
+	negB := []float64{-10, -5, 5}
+	cases := []struct {
+		name string
+		hs   HistogramSnapshot
+		q    float64
+		want float64 // NaN means "must be NaN"
+	}{
+		{"empty/q0", NewHistogramSnapshot(posB), 0, math.NaN()},
+		{"empty/q0.5", NewHistogramSnapshot(posB), 0.5, math.NaN()},
+		{"empty/q1", NewHistogramSnapshot(posB), 1, math.NaN()},
+		{"zero-value snapshot", HistogramSnapshot{}, 0.5, math.NaN()},
+		{"nan q", fill(posB, 15), math.NaN(), math.NaN()},
+
+		// All mass in the overflow bucket clamps to the largest finite
+		// bound at every q, including the anchors.
+		{"overflow-only/q0", fill(posB, 1e9, 2e9), 0, 30},
+		{"overflow-only/q0.5", fill(posB, 1e9, 2e9), 0.5, 30},
+		{"overflow-only/q1", fill(posB, 1e9, 2e9), 1, 30},
+
+		// q=0 anchors at the lower edge of the first occupied bucket,
+		// q=1 at the upper edge of the last occupied one.
+		{"anchors/q0", fill(posB, 15, 15, 25), 0, 10},
+		{"anchors/q1", fill(posB, 15, 15, 25), 1, 30},
+		{"first-bucket/q0", fill(posB, 5, 15), 0, 0},
+		{"last-finite/q1", fill(posB, 5, 15), 1, 20},
+
+		// Out-of-range q clamps to the anchors.
+		{"q below range", fill(posB, 15), -0.5, 10},
+		{"q above range", fill(posB, 15), 2, 20},
+
+		// Non-positive first bound: clamp to the edge, never
+		// interpolate away from it.
+		{"negative/q0", fill(negB, -20, -20), 0, -10},
+		{"negative/q0.5", fill(negB, -20, -20), 0.5, -10},
+		{"negative/q1", fill(negB, -20, -20), 1, -10},
+	}
+	for _, c := range cases {
+		got := c.hs.Quantile(c.q)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: got %v, want NaN", c.name, got)
+			}
+		} else if got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+
+	// Monotonicity across the negative-bound histogram: the old zero
+	// anchor made q=1 sort below q=0 when mass sat in a (-inf, b<=0]
+	// bucket.
+	mixed := fill(negB, -20, -7, -7, 0, 0, 10)
+	prev := math.Inf(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		v := mixed.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q%.2f = %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestQuantileMergedShardEdges pins that the boundary quantiles of a
+// merged set of shards — including empty shards and shards whose mass
+// is entirely in the overflow bucket — are bit-identical to the
+// single-stream histogram over the same observations.
+func TestQuantileMergedShardEdges(t *testing.T) {
+	bounds := []float64{1, 2, 5, 10}
+	streams := [][]float64{
+		{},                  // an idle shard
+		{1e9, 1e9, 1e9},     // overflow only
+		{0.5, 3, 3, 7, 1e9}, // mixed
+		{10, 10},            // exactly on the last finite edge
+	}
+	single := NewHistogramSnapshot(bounds)
+	merged := NewHistogramSnapshot(bounds)
+	for _, st := range streams {
+		shard := NewHistogramSnapshot(bounds)
+		for _, v := range st {
+			single.Observe(v)
+			shard.Observe(v)
+		}
+		if err := merged.Merge(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		if g, w := merged.Quantile(q), single.Quantile(q); g != w {
+			t.Fatalf("q%.2f: merged %v vs single %v", q, g, w)
+		}
+	}
+}
+
 // TestQuantileEstimator pins the estimator's anchor points on a known
 // distribution: uniform counts over [0, 100) in 10 buckets.
 func TestQuantileEstimator(t *testing.T) {

@@ -6,7 +6,6 @@ import (
 
 	"medsec/internal/campaign"
 	"medsec/internal/store"
-	"medsec/internal/trace"
 )
 
 // CampaignCheckpoint configures durable crash-safe checkpointing for
@@ -81,8 +80,11 @@ func (c *CampaignCheckpoint) write(h store.Header, blobs map[string][]byte) erro
 
 // tvlaSerial runs the serial-consumer TVLA engine leg with optional
 // checkpoint/resume and returns the total folded trace count,
-// including any prefix restored from a checkpoint.
-func (t *Target) tvlaSerial(w *trace.OnlineWelch, to, checkEvery int, plan *acqPlan, prepare campaign.PrepareFunc[acqJob]) (int, error) {
+// including any prefix restored from a checkpoint. blobKey names the
+// accumulator's checkpoint blob ("welch" for the first-order campaign,
+// "welch2" for the second-order one), so a checkpoint written by one
+// statistical order can never silently seed the other.
+func tvlaSerial[W welchStat[W]](t *Target, w W, blobKey string, to, checkEvery int, plan *acqPlan, prepare campaign.PrepareFunc[acqJob]) (int, error) {
 	ck := t.Ckpt
 	resumed := 0
 	prev, err := ck.load(0, to, 0)
@@ -90,8 +92,8 @@ func (t *Target) tvlaSerial(w *trace.OnlineWelch, to, checkEvery int, plan *acqP
 		return 0, err
 	}
 	if prev != nil {
-		if err := w.UnmarshalBinary(prev.Blobs["welch"]); err != nil {
-			return 0, fmt.Errorf("sca: checkpoint %s welch blob: %w", ck.Path, err)
+		if err := w.UnmarshalBinary(prev.Blobs[blobKey]); err != nil {
+			return 0, fmt.Errorf("sca: checkpoint %s %s blob: %w", ck.Path, blobKey, err)
 		}
 		if prev.Header.Complete && (prev.Header.Watermark < prev.Header.To || prev.Header.To == to) {
 			// A finished campaign: either it early-stopped (the verdict
@@ -112,7 +114,7 @@ func (t *Target) tvlaSerial(w *trace.OnlineWelch, to, checkEvery int, plan *acqP
 		}
 		h := ck.campHeader(0, to, 0)
 		h.Watermark, h.Complete = mark, complete
-		return ck.write(h, map[string][]byte{"welch": blob})
+		return ck.write(h, map[string][]byte{blobKey: blob})
 	}
 	if ck.enabled() {
 		cfg.ResumeFrom = resumed
@@ -140,7 +142,10 @@ func (t *Target) tvlaSerial(w *trace.OnlineWelch, to, checkEvery int, plan *acqP
 // including any prefix restored from a checkpoint. Periodic
 // checkpoints store the per-shard accumulators plus the per-shard
 // cursors; the completion checkpoint stores the merged accumulator.
-func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, plan *acqPlan, prepare campaign.PrepareFunc[acqJob]) (int, error) {
+// mk constructs an empty accumulator of the campaign's statistical
+// order; blobKey namespaces the checkpoint blobs exactly as in
+// tvlaSerial (per-shard blobs are "<blobKey>.<shard>").
+func tvlaSharded[W welchStat[W]](t *Target, w W, blobKey string, mk func() W, to int, plan *acqPlan, prepare campaign.PrepareFunc[acqJob]) (int, error) {
 	ck := t.Ckpt
 	lay := campaign.ShardingFor(0, to, t.Shards)
 	prev, err := ck.load(0, to, lay.N)
@@ -148,11 +153,11 @@ func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, plan *acqPlan, prepar
 		return 0, err
 	}
 	resumed := 0
-	var restored []*trace.OnlineWelch
+	var restored []W
 	if prev != nil {
 		if prev.Header.Complete {
-			if err := w.UnmarshalBinary(prev.Blobs["welch"]); err != nil {
-				return 0, fmt.Errorf("sca: checkpoint %s welch blob: %w", ck.Path, err)
+			if err := w.UnmarshalBinary(prev.Blobs[blobKey]); err != nil {
+				return 0, fmt.Errorf("sca: checkpoint %s %s blob: %w", ck.Path, blobKey, err)
 			}
 			return prev.Header.Watermark, nil
 		}
@@ -160,10 +165,10 @@ func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, plan *acqPlan, prepar
 			return 0, fmt.Errorf("sca: checkpoint %s has %d shard cursors, campaign has %d shards",
 				ck.Path, len(prev.Header.Cursors), lay.N)
 		}
-		restored = make([]*trace.OnlineWelch, lay.N)
+		restored = make([]W, lay.N)
 		for s := range restored {
-			acc := trace.NewOnlineWelch()
-			if err := acc.UnmarshalBinary(prev.Blobs[fmt.Sprintf("welch.%d", s)]); err != nil {
+			acc := mk()
+			if err := acc.UnmarshalBinary(prev.Blobs[fmt.Sprintf("%s.%d", blobKey, s)]); err != nil {
 				return 0, fmt.Errorf("sca: checkpoint %s shard %d blob: %w", ck.Path, s, err)
 			}
 			restored[s] = acc
@@ -174,9 +179,9 @@ func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, plan *acqPlan, prepar
 	// The shard bank is retained so the checkpoint hook — which runs
 	// holding every shard lock (campaign.ShardedConfig.Checkpoint) —
 	// can snapshot accumulators consistent with the cursor vector.
-	accs := make([]*trace.OnlineWelch, lay.N)
-	newShard := func(s int) *trace.OnlineWelch {
-		acc := trace.NewOnlineWelch()
+	accs := make([]W, lay.N)
+	newShard := func(s int) W {
+		acc := mk()
 		if restored != nil {
 			acc = restored[s]
 		}
@@ -196,7 +201,7 @@ func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, plan *acqPlan, prepar
 				if err != nil {
 					return err
 				}
-				blobs[fmt.Sprintf("welch.%d", s)] = blob
+				blobs[fmt.Sprintf("%s.%d", blobKey, s)] = blob
 				lo, _ := lay.Bounds(s)
 				mark += cursors[s] - lo
 			}
@@ -206,7 +211,7 @@ func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, plan *acqPlan, prepar
 		}
 	}
 	folded, err := runShardedPlanned(t, 0, to, scfg, plan, prepare,
-		newShard, welchShardFold, welchShardMerge(w))
+		newShard, welchShardFold[W], welchShardMerge(w))
 	total := folded + resumed
 	if err != nil {
 		return total, err
@@ -222,7 +227,7 @@ func (t *Target) tvlaSharded(w *trace.OnlineWelch, to int, plan *acqPlan, prepar
 		for s := range h.Cursors {
 			_, h.Cursors[s] = lay.Bounds(s)
 		}
-		if err := ck.write(h, map[string][]byte{"welch": blob}); err != nil {
+		if err := ck.write(h, map[string][]byte{blobKey: blob}); err != nil {
 			return total, err
 		}
 	}

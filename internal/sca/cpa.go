@@ -30,7 +30,23 @@ type CPAOptions struct {
 	// convention, so the default prefix is {0, 1} (bit 162 of a
 	// reduced scalar is zero, bit 161 is the conventional leading 1).
 	KnownPrefix []uint
+	// Preprocess selects the trace preprocessing applied before
+	// correlation. The default ("" / PreprocessNone) correlates the raw
+	// samples — the first-order attack. PreprocessCenteredProduct
+	// replaces each sample by its centered square (x−µ)² with µ the
+	// per-column campaign mean (trace.CenterSquare), the univariate
+	// second-order attack against a Boolean-masked target: masking pins
+	// each write's mean activity but its variance still follows
+	// HD(old, new), so the centered products are correlated against
+	// Hamming-distance predictions instead of 0→1 counts.
+	Preprocess string
 }
+
+// Preprocessing modes for CPAOptions.Preprocess.
+const (
+	PreprocessNone            = ""
+	PreprocessCenteredProduct = "centered-product"
+)
 
 // DefaultKnownPrefix is the Algorithm 1 scalar convention.
 func DefaultKnownPrefix() []uint { return []uint{0, 1} }
@@ -130,10 +146,15 @@ func popcount(v uint64) int {
 }
 
 // writePred is one predicted register write: the instruction offset
-// within the iteration's microcode and the predicted 0->1 count.
+// within the iteration's microcode, the predicted 0->1 count (the
+// first-order model) and the predicted Hamming distance (the
+// second-order model — under Boolean masking the write's variance,
+// which the centered product estimates, is an affine function of
+// HD(old, new)).
 type writePred struct {
 	offset int
 	w01    float64
+	hd     float64
 }
 
 // step advances the mirror through one ladder iteration with the given
@@ -144,7 +165,11 @@ type writePred struct {
 func (m *mirror) step(bit uint, x, b gf2m.Element, collect func(writePred)) {
 	wr := func(offset int, dst int, v gf2m.Element) {
 		if collect != nil {
-			collect(writePred{offset: offset, w01: zeroToOne(m.r[dst], v)})
+			collect(writePred{
+				offset: offset,
+				w01:    zeroToOne(m.r[dst], v),
+				hd:     float64(gf2m.HammingDistance(m.r[dst], v)),
+			})
 		}
 		m.r[dst] = v
 	}
@@ -241,6 +266,10 @@ func CPA(c *Campaign, opt CPAOptions) (*CPAResult, error) {
 	if opt.KnownPrefix == nil {
 		opt.KnownPrefix = DefaultKnownPrefix()
 	}
+	if opt.Preprocess != PreprocessNone && opt.Preprocess != PreprocessCenteredProduct {
+		return nil, fmt.Errorf("sca: unknown CPA preprocess %q (want %q or %q)",
+			opt.Preprocess, PreprocessNone, PreprocessCenteredProduct)
+	}
 	firstAttacked := 162 - len(opt.KnownPrefix)
 	if c.FirstIter < firstAttacked || firstAttacked-opt.Bits+1 < c.LastIter {
 		return nil, fmt.Errorf("sca: campaign window (iters %d..%d) does not cover attacked bits %d..%d",
@@ -274,6 +303,38 @@ func CPA(c *Campaign, opt CPAOptions) (*CPAResult, error) {
 		}
 	}
 
+	// Centered-product preprocessing: per-column campaign means once,
+	// then memoized centered-square columns ((x−µ)², trace.CenterSquare
+	// applied column-wise) materialized only for the write cycles the
+	// attack actually correlates.
+	centered := opt.Preprocess == PreprocessCenteredProduct
+	var colMean []float64
+	zCols := map[int][]float64{}
+	if centered {
+		colMean = make([]float64, c.Set.SampleLen())
+		for _, tr := range c.Set.Traces {
+			for i, v := range tr.Samples {
+				colMean[i] += v
+			}
+		}
+		inv := 1 / float64(n)
+		for i := range colMean {
+			colMean[i] *= inv
+		}
+	}
+	zCol := func(col int) []float64 {
+		if z, ok := zCols[col]; ok {
+			return z
+		}
+		z := make([]float64, n)
+		for i, tr := range c.Set.Traces {
+			d := tr.Samples[col] - colMean[col]
+			z[i] = d * d
+		}
+		zCols[col] = z
+		return z
+	}
+
 	res := &CPAResult{FirstIter: firstAttacked}
 	for b := 0; b < opt.Bits; b++ {
 		iter := firstAttacked - b
@@ -288,7 +349,11 @@ func CPA(c *Campaign, opt CPAOptions) (*CPAResult, error) {
 			for i := range mirrors {
 				next[i] = mirrors[i]
 				next[i].step(guess, c.Points[i].X, curve.B, func(w writePred) {
-					preds[w.offset] = append(preds[w.offset], w.w01)
+					h := w.w01
+					if centered {
+						h = w.hd
+					}
+					preds[w.offset] = append(preds[w.offset], h)
 				})
 			}
 			states[guess] = next
@@ -308,9 +373,15 @@ func CPA(c *Campaign, opt CPAOptions) (*CPAResult, error) {
 				if !ok || col < 0 || col >= c.Set.SampleLen() {
 					continue
 				}
-				rho, err := trace.PearsonAt(c.Set, h, col)
-				if err != nil {
-					return nil, err
+				var rho float64
+				var err error
+				if centered {
+					rho = pearsonScalar(h, zCol(col))
+				} else {
+					rho, err = trace.PearsonAt(c.Set, h, col)
+					if err != nil {
+						return nil, err
+					}
 				}
 				sum += math.Abs(rho)
 				cnt++

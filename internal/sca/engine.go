@@ -80,22 +80,26 @@ func (t *Target) acqMetrics() acqMetrics {
 // steady-state acquisition loop performs zero heap allocations per
 // trace — the gain the campaign AllocsPerRun test pins.
 type acqScratch struct {
-	cpu     *coproc.CPU
-	drbg    *rng.DRBG
-	model   *power.Model
-	col     *trace.Collector
-	randFn  func() uint64
-	batchFn coproc.BatchProbe
+	cpu      *coproc.CPU
+	drbg     *rng.DRBG
+	maskDrbg *rng.DRBG
+	model    *power.Model
+	col      *trace.Collector
+	randFn   func() uint64
+	maskFn   func() uint64
+	batchFn  coproc.BatchProbe
 }
 
 func (t *Target) newScratch() *acqScratch {
 	s := &acqScratch{
-		cpu:   coproc.NewCPU(t.Timing),
-		drbg:  rng.NewDRBG(0),
-		model: power.NewModel(t.Power),
+		cpu:      coproc.NewCPU(t.Timing),
+		drbg:     rng.NewDRBG(0),
+		maskDrbg: rng.NewDRBG(0),
+		model:    power.NewModel(t.Power),
 	}
 	s.col = trace.NewCollector(s.model, 0, 0)
 	s.randFn = s.drbg.Uint64
+	s.maskFn = s.maskDrbg.Uint64
 	s.batchFn = s.col.BatchProbe()
 	return s
 }
@@ -132,15 +136,28 @@ func (t *Target) fixedRandomPrepare(p ec.Point, randKey func() modn.Scalar) camp
 	}
 }
 
-// newWelchShard builds one reduction shard's Welch accumulator for
-// campaign.RunSharded.
-func newWelchShard(shard int) *trace.OnlineWelch { return trace.NewOnlineWelch() }
+// welchStat abstracts the two streaming fixed-vs-random accumulators —
+// first-order trace.OnlineWelch and second-order trace.OnlineWelch2 —
+// so the TVLA campaign legs (serial early-stop fold, sharded
+// reduction, checkpoint marshal/restore) are written once and
+// instantiated per statistical order. The self-referential constraint
+// (W appears in its own Merge parameter) is the usual Go shape for
+// "pointer type with these methods".
+type welchStat[W any] interface {
+	AddA(samples []float64) error
+	AddB(samples []float64) error
+	Merge(other W) error
+	T() ([]float64, error)
+	MaxT() (float64, int)
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary(data []byte) error
+}
 
 // welchShardFold is the sharded counterpart of welchConsume: it folds
 // the alternating fixed/random stream into a per-shard Welch
 // accumulator on the worker goroutines. There is no early-stop
 // variant — that is precisely what the sharded reduction gives up.
-func welchShardFold(shard int, acc *trace.OnlineWelch, idx int, j acqJob, tr trace.Trace) error {
+func welchShardFold[W welchStat[W]](shard int, acc W, idx int, j acqJob, tr trace.Trace) error {
 	var err error
 	if idx%2 == 0 {
 		err = acc.AddA(tr.Samples)
@@ -153,8 +170,8 @@ func welchShardFold(shard int, acc *trace.OnlineWelch, idx int, j acqJob, tr tra
 
 // welchShardMerge folds the per-shard accumulators into w in shard
 // order — the campaign's final reduction.
-func welchShardMerge(w *trace.OnlineWelch) func(shard int, acc *trace.OnlineWelch) error {
-	return func(shard int, acc *trace.OnlineWelch) error { return w.Merge(acc) }
+func welchShardMerge[W welchStat[W]](w W) func(shard int, acc W) error {
+	return func(shard int, acc W) error { return w.Merge(acc) }
 }
 
 // welchConsume feeds the alternating fixed/random stream into a
@@ -164,7 +181,7 @@ func welchShardMerge(w *trace.OnlineWelch) func(shard int, acc *trace.OnlineWelc
 // stops as soon as |t| exceeds TVLAThreshold. checks (nil-safe) counts
 // the predicate evaluations — how many rounds an early-stopped
 // campaign needed.
-func welchConsume(w *trace.OnlineWelch, checkEvery, minPairs int, checks *obs.Counter) campaign.ConsumeFunc[acqJob, trace.Trace] {
+func welchConsume[W welchStat[W]](w W, checkEvery, minPairs int, checks *obs.Counter) campaign.ConsumeFunc[acqJob, trace.Trace] {
 	return func(idx int, j acqJob, tr trace.Trace) (bool, error) {
 		// The accumulator folds the samples immediately; the trace is
 		// not retained, so its pooled buffers go back for reuse.

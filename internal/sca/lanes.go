@@ -27,20 +27,24 @@ import (
 // the whole batch). Both func fields are bound once at construction so
 // the steady-state batch loop allocates nothing per trace.
 type laneSlot struct {
-	drbg   *rng.DRBG
-	model  *power.Model
-	col    *trace.Collector
-	randFn func() uint64
-	sinkFn coproc.Probe
+	drbg     *rng.DRBG
+	maskDrbg *rng.DRBG
+	model    *power.Model
+	col      *trace.Collector
+	randFn   func() uint64
+	maskFn   func() uint64
+	sinkFn   coproc.Probe
 }
 
 func (t *Target) newLaneSlot() *laneSlot {
 	s := &laneSlot{
-		drbg:  rng.NewDRBG(0),
-		model: power.NewModel(t.Power),
+		drbg:     rng.NewDRBG(0),
+		maskDrbg: rng.NewDRBG(0),
+		model:    power.NewModel(t.Power),
 	}
 	s.col = trace.NewCollector(s.model, 0, 0)
 	s.randFn = s.drbg.Uint64
+	s.maskFn = s.maskDrbg.Uint64
 	s.sinkFn = s.col.LaneSink()
 	return s
 }
@@ -86,6 +90,10 @@ func (t *Target) acquireBatchPlanned(s *laneScratch, plan *acqPlan, jobs []acqJo
 		sl.model.SkipCycles(plan.quiet)
 		r := &s.runs[i]
 		*r = coproc.LaneRun{Key: j.key, Rand: sl.randFn, Sink: sl.sinkFn}
+		if t.Masked {
+			sl.maskDrbg.Reseed(t.maskSeed(j.dev))
+			r.MaskRand = sl.maskFn
+		}
 		if plan.usable(j.key) {
 			plan.met.checkpointResumes.Inc()
 			r.Resume = plan.snap
@@ -98,6 +106,7 @@ func (t *Target) acquireBatchPlanned(s *laneScratch, plan *acqPlan, jobs []acqJo
 	}
 	lc := s.lc
 	lc.Timing = t.Timing
+	lc.Masked = t.Masked
 	lc.MaxCycles = 0
 	if plan.end > 0 {
 		lc.MaxCycles = plan.end

@@ -57,7 +57,8 @@ func LeakageMap(t *Target, p ec.Point, nPerSet, firstIter, lastIter int, randKey
 		// per shard on the workers, merge in shard order.
 		_, err = runShardedPlanned(t, 0, 2*nPerSet, t.shardedConfig(), plan,
 			t.fixedRandomPrepare(p, randKey),
-			newWelchShard, welchShardFold, welchShardMerge(w))
+			func(shard int) *trace.OnlineWelch { return trace.NewOnlineWelch() },
+			welchShardFold[*trace.OnlineWelch], welchShardMerge(w))
 	} else {
 		_, err = t.runPlanned(0, 2*nPerSet, t.engineConfig(), plan,
 			t.fixedRandomPrepare(p, randKey),

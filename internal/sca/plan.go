@@ -85,6 +85,16 @@ func (t *Target) planFixedPoint(pt ec.Point, refKey modn.Scalar, start, end int)
 	if plan.quiet == 0 {
 		return plan, nil
 	}
+	if t.Masked {
+		// The Boolean-masking share refresh draws from a per-trace mask
+		// substream starting at cycle 0, so no two traces agree on the
+		// prefix state even under the same key and point — a shared
+		// snapshot would freeze one trace's masks into every resume and
+		// break bit-identity with the quiet path. The quiet layer still
+		// applies: it re-executes the prefix per trace, drawing that
+		// trace's own masks (coproc replays the draw schedule exactly).
+		return plan, nil
+	}
 	nInstr, cycle, keyBits := t.prog.PrefixBoundary(t.Timing, start)
 	if cycle == 0 {
 		return plan, nil
@@ -135,6 +145,11 @@ func (t *Target) acquirePlanned(s *acqScratch, key modn.Scalar, p ec.Point, plan
 	cpu.Timing = t.Timing
 	s.drbg.Reseed(t.traceSeed(idx))
 	cpu.Rand = s.randFn
+	if t.Masked {
+		s.maskDrbg.Reseed(t.maskSeed(idx))
+		cpu.Masked = true
+		cpu.MaskRand = s.maskFn
+	}
 	pcfg := t.Power
 	pcfg.Seed ^= (idx + 1) * 0xbf58476d1ce4e5b9
 	s.model.Reinit(pcfg)

@@ -66,6 +66,16 @@ type Target struct {
 	// TRNGSeed seeds the device-internal mask generator. Each trace
 	// uses an independent per-trace substream.
 	TRNGSeed uint64
+	// Masked runs the co-processor with the first-order Boolean masking
+	// countermeasure enabled (coproc.CPU.Masked): every register and
+	// RAM word is carried as two shares refreshed from a dedicated TRNG
+	// substream, so single-sample (first-order) statistics go flat and
+	// the evaluation must move to the second-order attacks (TVLA2,
+	// CPAOptions.Preprocess). The mask stream is derived per trace from
+	// TRNGSeed with a mixing constant distinct from the device-data
+	// stream's (maskSeed vs traceSeed), so enabling masking changes
+	// neither the RPC masks Masks replays nor any architectural value.
+	Masked bool
 	// Workers sets the acquisition parallelism: campaigns fan
 	// simulator passes over this many workers (<= 0 selects
 	// GOMAXPROCS, capped at campaign.MaxWorkers). Results are
@@ -146,6 +156,14 @@ func (t *Target) Program() *coproc.Program { return t.prog }
 
 func (t *Target) traceSeed(idx uint64) uint64 {
 	return t.TRNGSeed ^ (idx+1)*0x9e3779b97f4a7c15
+}
+
+// maskSeed derives trace idx's Boolean-masking TRNG substream. The
+// mixing constant differs from traceSeed's so the share refresh stream
+// is independent of the device-data stream: a masked run draws exactly
+// the same RPC masks and points as the unmasked run of the same index.
+func (t *Target) maskSeed(idx uint64) uint64 {
+	return t.TRNGSeed ^ 0xd1342543de82ef95 ^ (idx+1)*0x94d049bb133111eb
 }
 
 // Masks replays the device TRNG for trace idx and returns the RPC

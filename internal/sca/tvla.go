@@ -2,7 +2,9 @@ package sca
 
 import (
 	"errors"
+	"fmt"
 
+	"medsec/internal/campaign"
 	"medsec/internal/ec"
 	"medsec/internal/modn"
 	"medsec/internal/trace"
@@ -39,6 +41,10 @@ type TVLAResult struct {
 	// pipeline — checkpoint-restored or quietly executed (see
 	// Target.NoPrologueSkip).
 	PrologueCyclesSkipped int
+	// Order is the statistical order of the t-test: 1 for the plain
+	// Welch test on the samples, 2 for the centered-product
+	// (Schneider–Moradi) test that convicts first-order-masked designs.
+	Order int
 }
 
 // TVLA runs the fixed-vs-random-scalar leakage assessment over the
@@ -57,7 +63,31 @@ type TVLAResult struct {
 // against free-form scalars would flag the — public — position of the
 // leading one bit rather than genuine key leakage.
 func TVLA(t *Target, p ec.Point, nPerSet int, firstIter, lastIter int, randKey func() modn.Scalar) (*TVLAResult, error) {
-	return tvlaRun(t, p, nPerSet, 0, firstIter, lastIter, randKey)
+	return tvlaRun(t, p, nPerSet, 0, firstIter, lastIter, 1, randKey)
+}
+
+// TVLA2 is the second-order (centered-product) fixed-vs-random
+// campaign: Welch's t on the centered-squared traces, streamed through
+// trace.OnlineWelch2 so memory stays O(window) and the result is
+// bit-identical for any worker count. This is the statistic that
+// convicts a first-order-masked target (Target.Masked): masking pins
+// every sample's mean but the share-summed activity's *variance* still
+// follows the data, and the centered product is exactly the sample's
+// second central moment. Checkpoints written by TVLA2 use the "welch2"
+// blob namespace and are rejected by the first-order campaign (and
+// vice versa).
+func TVLA2(t *Target, p ec.Point, nPerSet int, firstIter, lastIter int, randKey func() modn.Scalar) (*TVLAResult, error) {
+	return tvlaRun(t, p, nPerSet, 0, firstIter, lastIter, 2, randKey)
+}
+
+// TVLA2Until is TVLA2 with the early-stop predicate of TVLAUntil (same
+// threshold, same pair cadence, same caveat about randKey's stream
+// advancing by a bounded scheduling-dependent amount on early stop).
+func TVLA2Until(t *Target, p ec.Point, maxPerSet, checkEvery int, firstIter, lastIter int, randKey func() modn.Scalar) (*TVLAResult, error) {
+	if checkEvery < 1 {
+		return nil, errors.New("sca: TVLA2Until needs a positive check interval")
+	}
+	return tvlaRun(t, p, maxPerSet, checkEvery, firstIter, lastIter, 2, randKey)
 }
 
 // TVLAUntil is TVLA with the engine's early-stop predicate enabled: it
@@ -74,10 +104,34 @@ func TVLAUntil(t *Target, p ec.Point, maxPerSet, checkEvery int, firstIter, last
 	if checkEvery < 1 {
 		return nil, errors.New("sca: TVLAUntil needs a positive check interval")
 	}
-	return tvlaRun(t, p, maxPerSet, checkEvery, firstIter, lastIter, randKey)
+	return tvlaRun(t, p, maxPerSet, checkEvery, firstIter, lastIter, 1, randKey)
 }
 
-func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter int, randKey func() modn.Scalar) (*TVLAResult, error) {
+// tvlaLeg dispatches one order's campaign between the sharded and
+// serial engine legs — the generic core shared by both statistical
+// orders (blobKey namespaces the checkpoint blobs per order).
+func tvlaLeg[W welchStat[W]](t *Target, w W, blobKey string, mk func() W, nPerSet, checkEvery int, plan *acqPlan, prepare campaign.PrepareFunc[acqJob]) (int, []float64, error) {
+	var total int
+	var err error
+	if checkEvery == 0 && t.useSharded() {
+		// Full-budget campaign: reduce through per-shard Welch
+		// accumulators folded on the worker goroutines and merged in
+		// shard order (campaign.RunSharded's determinism argument).
+		total, err = tvlaSharded(t, w, blobKey, mk, 2*nPerSet, plan, prepare)
+	} else {
+		// Early-stop campaigns stay on the serial consumer: "stop once
+		// |t| exceeds the threshold after pair k" needs a single
+		// in-order fold, which is exactly what sharding gives up.
+		total, err = tvlaSerial(t, w, blobKey, 2*nPerSet, checkEvery, plan, prepare)
+	}
+	if err != nil {
+		return total, nil, err
+	}
+	ts, err := w.T()
+	return total, ts, err
+}
+
+func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter, order int, randKey func() modn.Scalar) (*TVLAResult, error) {
 	if nPerSet < 10 {
 		return nil, errors.New("sca: TVLA needs at least 10 traces per set")
 	}
@@ -90,26 +144,19 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 		return nil, err
 	}
 	prepare := t.fixedRandomPrepare(p, randKey)
-	w := trace.NewOnlineWelch()
 	// total counts every folded trace, including a prefix restored from
 	// a checkpoint (Target.Ckpt) — the count an uninterrupted run of
 	// the same campaign would have reached.
 	var total int
-	if checkEvery == 0 && t.useSharded() {
-		// Full-budget campaign: reduce through per-shard Welch
-		// accumulators folded on the worker goroutines and merged in
-		// shard order (campaign.RunSharded's determinism argument).
-		total, err = t.tvlaSharded(w, 2*nPerSet, plan, prepare)
-	} else {
-		// Early-stop campaigns stay on the serial consumer: "stop once
-		// |t| exceeds the threshold after pair k" needs a single
-		// in-order fold, which is exactly what sharding gives up.
-		total, err = t.tvlaSerial(w, 2*nPerSet, checkEvery, plan, prepare)
+	var ts []float64
+	switch order {
+	case 1:
+		total, ts, err = tvlaLeg(t, trace.NewOnlineWelch(), "welch", trace.NewOnlineWelch, nPerSet, checkEvery, plan, prepare)
+	case 2:
+		total, ts, err = tvlaLeg(t, trace.NewOnlineWelch2(), "welch2", trace.NewOnlineWelch2, nPerSet, checkEvery, plan, prepare)
+	default:
+		return nil, fmt.Errorf("sca: unsupported TVLA order %d (want 1 or 2)", order)
 	}
-	if err != nil {
-		return nil, err
-	}
-	ts, err := w.T()
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +166,7 @@ func tvlaRun(t *Target, p ec.Point, nPerSet, checkEvery int, firstIter, lastIter
 		CyclesPerTrace:        end,
 		EarlyStopped:          total < 2*nPerSet,
 		PrologueCyclesSkipped: plan.skippedCycles(),
+		Order:                 order,
 	}
 	res.MaxT, res.MaxTSample = trace.MaxAbs(ts)
 	for _, v := range ts {

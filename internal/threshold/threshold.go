@@ -30,6 +30,13 @@ func Split(secret modn.Scalar, m *modn.Modulus, t, n int, src func() uint64) ([]
 	if uint64(n) >= 1<<32 {
 		return nil, errors.New("threshold: too many shares")
 	}
+	// The share indices 1..n must stay distinct and nonzero mod n(m);
+	// otherwise two shares would sit on the same polynomial point and
+	// Combine's Lagrange denominators would vanish. Curve orders dwarf
+	// 2^32, but the modulus is caller-supplied, so close the hole.
+	if modn.FromUint64(uint64(n)).Cmp(m.N()) >= 0 {
+		return nil, errors.New("threshold: share count not below the modulus")
+	}
 	if secret.Cmp(m.N()) >= 0 {
 		return nil, errors.New("threshold: secret not reduced")
 	}
@@ -59,29 +66,37 @@ func Combine(shares []Share, m *modn.Modulus) (modn.Scalar, error) {
 	if len(shares) == 0 {
 		return modn.Scalar{}, errors.New("threshold: no shares")
 	}
-	seen := map[uint64]bool{}
-	for _, s := range shares {
-		if s.X == 0 {
-			return modn.Scalar{}, errors.New("threshold: share index zero")
+	// Interpolation nodes live in the scalar field, so collisions are
+	// collisions of X mod n — not of the raw uint64. Two indices that
+	// are distinct as integers but congruent mod n put both shares on
+	// the same polynomial point: the Lagrange denominator vanishes and
+	// Inv(0) = 0 would silently fold a wrong term into the secret.
+	// Likewise an index that is a nonzero multiple of n IS index zero
+	// in the field (its share equals the secret's node). Both are
+	// detected on the reduced values.
+	xs := make([]modn.Scalar, len(shares))
+	seen := map[modn.Scalar]uint64{}
+	for i, s := range shares {
+		xs[i] = m.Reduce(modn.FromUint64(s.X))
+		if xs[i].IsZero() {
+			return modn.Scalar{}, fmt.Errorf("threshold: share index %d is zero mod n", s.X)
 		}
-		if seen[s.X] {
-			return modn.Scalar{}, fmt.Errorf("threshold: duplicate share index %d", s.X)
+		if prev, dup := seen[xs[i]]; dup {
+			return modn.Scalar{}, fmt.Errorf("threshold: share indices %d and %d collide mod n", prev, s.X)
 		}
-		seen[s.X] = true
+		seen[xs[i]] = s.X
 	}
 	secret := modn.Zero()
 	for i, si := range shares {
 		// lambda_i = prod_{j != i} x_j / (x_j - x_i)  evaluated mod n.
 		num := modn.One()
 		den := modn.One()
-		xi := modn.FromUint64(si.X)
-		for j, sj := range shares {
+		for j := range shares {
 			if i == j {
 				continue
 			}
-			xj := modn.FromUint64(sj.X)
-			num = m.Mul(num, xj)
-			den = m.Mul(den, m.Sub(xj, xi))
+			num = m.Mul(num, xs[j])
+			den = m.Mul(den, m.Sub(xs[j], xs[i]))
 		}
 		lambda := m.Mul(num, m.Inv(den))
 		secret = m.Add(secret, m.Mul(si.Y, lambda))

@@ -1,6 +1,7 @@
 package threshold
 
 import (
+	"strings"
 	"testing"
 
 	"medsec/internal/ec"
@@ -93,6 +94,95 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := Combine([]Share{{X: 0, Y: modn.One()}}, m); err == nil {
 		t.Fatal("index-zero share accepted")
+	}
+}
+
+func TestXCollisionModN(t *testing.T) {
+	// The interpolation nodes live in the scalar field: indices that
+	// are distinct as uint64 but congruent mod n sit on the same
+	// polynomial point. Before the reduced-value check, Combine fed the
+	// vanishing Lagrange denominator to Inv(0) = 0 and returned a
+	// silently wrong secret. A small prime modulus makes the wrap
+	// reachable (curve orders exceed 2^64, so raw uint64 indices can
+	// never collide there).
+	m := modn.MustModulusFromHex("3f1") // 1009, prime
+	d := rng.NewDRBG(6)
+	secret := modn.FromUint64(123)
+	shares, err := Split(secret, m, 2, 3, d.Uint64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X = 1010 ≡ 1 (mod 1009) collides with share index 1.
+	forged := Share{X: 1010, Y: shares[1].Y}
+	if _, err := Combine([]Share{shares[0], forged}, m); err == nil ||
+		!strings.Contains(err.Error(), "collide") {
+		t.Fatalf("colliding indices accepted (err=%v)", err)
+	}
+	// X = 2018 = 2·1009 ≡ 0 (mod 1009) is index zero in the field even
+	// though the raw uint64 is nonzero.
+	zeroish := Share{X: 2018, Y: shares[0].Y}
+	if _, err := Combine([]Share{shares[0], zeroish}, m); err == nil ||
+		!strings.Contains(err.Error(), "zero") {
+		t.Fatalf("index ≡ 0 mod n accepted (err=%v)", err)
+	}
+	// Distinct mod n still works: indices 1 and 2 reconstruct.
+	got, err := Combine(shares[:2], m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(secret) {
+		t.Fatal("reconstruction failed over the small modulus")
+	}
+	// Split refuses a share count that would wrap the index space.
+	if _, err := Split(secret, m, 2, 1009, d.Uint64); err == nil {
+		t.Fatal("Split accepted n >= modulus")
+	}
+}
+
+func TestTMinusOneSharesConsistentWithAnySecret(t *testing.T) {
+	// Perfect secrecy, constructively: given t-1 shares, EVERY candidate
+	// secret admits a completing polynomial. For each candidate s' we
+	// interpolate the degree-(t-1) polynomial through (0, s') and the
+	// two known shares, mint the missing third share from it, and watch
+	// Combine accept the triple as a sharing of s'. An attacker holding
+	// t-1 shares therefore cannot distinguish any two secrets.
+	m := ec.K163().Order
+	d := rng.NewDRBG(7)
+	secret := m.Rand(d.Uint64)
+	shares, err := Split(secret, m, 3, 5, d.Uint64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := shares[:2] // the attacker's t-1 = 2 shares
+	const forgedX = 40  // any index distinct from the known ones
+	for _, candidate := range []modn.Scalar{
+		modn.Zero(), modn.One(), modn.FromUint64(0xDEAD), m.Rand(d.Uint64),
+	} {
+		// Lagrange-evaluate the polynomial through (0, candidate),
+		// (x1, y1), (x2, y2) at forgedX.
+		nodes := []Share{{X: 0, Y: candidate}, known[0], known[1]}
+		y := modn.Zero()
+		fx := modn.FromUint64(forgedX)
+		for i, ni := range nodes {
+			num, den := modn.One(), modn.One()
+			xi := modn.FromUint64(ni.X)
+			for j, nj := range nodes {
+				if i == j {
+					continue
+				}
+				xj := modn.FromUint64(nj.X)
+				num = m.Mul(num, m.Sub(fx, xj))
+				den = m.Mul(den, m.Sub(xi, xj))
+			}
+			y = m.Add(y, m.Mul(ni.Y, m.Mul(num, m.Inv(den))))
+		}
+		got, err := Combine([]Share{known[0], known[1], {X: forgedX, Y: y}}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(candidate) {
+			t.Fatalf("candidate %v not consistent with the t-1 shares", candidate)
+		}
 	}
 }
 

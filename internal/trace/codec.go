@@ -41,11 +41,13 @@ const CodecVersion = 1
 // packages framing their state with EncodeFrame (internal/fault's
 // sweep tallies) use kinds from 16 up.
 const (
-	KindOnlineStats byte = 1
-	KindOnlineWelch byte = 2
-	KindOnlineDoM   byte = 3
-	KindOnlineCPA   byte = 4
-	KindSet         byte = 5
+	KindOnlineStats   byte = 1
+	KindOnlineWelch   byte = 2
+	KindOnlineDoM     byte = 3
+	KindOnlineCPA     byte = 4
+	KindSet           byte = 5
+	KindOnlineMoments byte = 6
+	KindOnlineWelch2  byte = 7
 )
 
 // ErrCodec is wrapped by every accumulator decoding failure, so
@@ -294,6 +296,103 @@ func (w *OnlineWelch) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	var next OnlineWelch
+	if err := next.A.UnmarshalBinary(ablob); err != nil {
+		return err
+	}
+	if err := next.B.UnmarshalBinary(bblob); err != nil {
+		return err
+	}
+	*w = next
+	return nil
+}
+
+// MarshalBinary serializes the degree-4 moment accumulator.
+func (o *OnlineMoments) MarshalBinary() ([]byte, error) {
+	p := make([]byte, 0, 12+32*len(o.mean))
+	p = binary.LittleEndian.AppendUint64(p, uint64(o.n))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(o.mean)))
+	p = appendFloats(p, o.mean)
+	p = appendFloats(p, o.m2)
+	p = appendFloats(p, o.m3)
+	p = appendFloats(p, o.m4)
+	return EncodeFrame(KindOnlineMoments, p), nil
+}
+
+// UnmarshalBinary restores the degree-4 moment accumulator, replacing
+// the receiver's state. Corrupt input returns an error wrapping
+// ErrCodec and leaves the receiver untouched.
+func (o *OnlineMoments) UnmarshalBinary(data []byte) error {
+	payload, err := DecodeFrame(data, KindOnlineMoments)
+	if err != nil {
+		return err
+	}
+	r := &payloadReader{b: payload}
+	n := r.uint64("trace count")
+	l := r.uint32("sample length")
+	mean := r.floats(int(l), "mean vector")
+	m2 := r.floats(int(l), "m2 vector")
+	m3 := r.floats(int(l), "m3 vector")
+	m4 := r.floats(int(l), "m4 vector")
+	if err := r.done(); err != nil {
+		return err
+	}
+	if err := countLen(n, l); err != nil {
+		return err
+	}
+	o.n = int(n)
+	o.mean, o.m2, o.m3, o.m4 = mean, m2, m3, m4
+	return nil
+}
+
+// MarshalBinary serializes the second-order two-population accumulator
+// as a frame whose payload is the two length-prefixed OnlineMoments
+// frames — the same composition OnlineWelch uses.
+func (w *OnlineWelch2) MarshalBinary() ([]byte, error) {
+	a, err := w.A.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	b, err := w.B.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	p := make([]byte, 0, 8+len(a)+len(b))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(a)))
+	p = append(p, a...)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(b)))
+	p = append(p, b...)
+	return EncodeFrame(KindOnlineWelch2, p), nil
+}
+
+// UnmarshalBinary restores the second-order two-population accumulator.
+func (w *OnlineWelch2) UnmarshalBinary(data []byte) error {
+	payload, err := DecodeFrame(data, KindOnlineWelch2)
+	if err != nil {
+		return err
+	}
+	r := &payloadReader{b: payload}
+	la := r.uint32("population A length")
+	if r.err == nil && (int(la) < 0 || r.off+int(la) > len(r.b)) {
+		r.fail("population A frame")
+	}
+	var ablob []byte
+	if r.err == nil {
+		ablob = r.b[r.off : r.off+int(la)]
+		r.off += int(la)
+	}
+	lb := r.uint32("population B length")
+	if r.err == nil && (int(lb) < 0 || r.off+int(lb) > len(r.b)) {
+		r.fail("population B frame")
+	}
+	var bblob []byte
+	if r.err == nil {
+		bblob = r.b[r.off : r.off+int(lb)]
+		r.off += int(lb)
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	var next OnlineWelch2
 	if err := next.A.UnmarshalBinary(ablob); err != nil {
 		return err
 	}

@@ -1,0 +1,240 @@
+package trace
+
+import "math"
+
+// Second-order streaming statistics.
+//
+// A first-order-masked implementation carries every sensitive value v
+// as two shares (v ⊕ m, m) with m fresh-uniform, so the *mean* of any
+// single sample is key-independent and first-order TVLA goes flat. The
+// key dependence survives in the second central moment: at a masked
+// register writeback the summed two-share activity S satisfies
+// Var(S) = f(HD(old,new)) — the variance, not the mean, leaks. The
+// univariate second-order attack therefore preprocesses each sample
+// into its centered product z = (x−μ)·(x−μ) and runs the first-order
+// statistic on z. Doing that exactly in one streaming pass requires
+// central moments up to order four, which is what OnlineMoments
+// maintains (Pébay's single-pass update and pairwise merge — the
+// degree-4 generalization of Welford/Chan used by OnlineStats).
+//
+// OnlineWelch2 is then the Schneider–Moradi second-order t-test: with
+// CM2 = M2/n and CM4 = M4/n per population,
+//
+//	t2 = (CM2_A − CM2_B) / sqrt((CM4_A − CM2_A²)/nA + (CM4_B − CM2_B²)/nB)
+//
+// i.e. Welch's t on the centered-squared traces, computed from moment
+// state alone — no trace retention, same O(window) footprint and same
+// fixed-order merge determinism contract as the first-order
+// accumulators.
+
+// OnlineMoments maintains per-sample central moments M2, M3, M4 (plus
+// mean and count) over a stream of equal-length traces — Pébay's
+// one-pass update, vectorized over the sample axis.
+type OnlineMoments struct {
+	n    int
+	mean []float64
+	m2   []float64
+	m3   []float64
+	m4   []float64
+}
+
+// NewOnlineMoments returns an empty accumulator; the sample length is
+// fixed by the first Add.
+func NewOnlineMoments() *OnlineMoments { return &OnlineMoments{} }
+
+// Add consumes one trace's samples.
+func (o *OnlineMoments) Add(samples []float64) error {
+	if o.mean == nil {
+		if len(samples) == 0 {
+			return ErrEmptySet
+		}
+		o.mean = make([]float64, len(samples))
+		o.m2 = make([]float64, len(samples))
+		o.m3 = make([]float64, len(samples))
+		o.m4 = make([]float64, len(samples))
+	}
+	if len(samples) != len(o.mean) {
+		return ErrSampleMismatch
+	}
+	n1 := float64(o.n)
+	o.n++
+	n := float64(o.n)
+	for i, v := range samples {
+		d := v - o.mean[i]
+		dn := d / n
+		dn2 := dn * dn
+		t1 := d * dn * n1
+		o.mean[i] += dn
+		o.m4[i] += t1*dn2*(n*n-3*n+3) + 6*dn2*o.m2[i] - 4*dn*o.m3[i]
+		o.m3[i] += t1*dn*(n-2) - 3*dn*o.m2[i]
+		o.m2[i] += t1
+	}
+	return nil
+}
+
+// Merge folds another accumulator into o — Pébay's pairwise moment
+// combination, the degree-4 analogue of OnlineStats.Merge. After the
+// merge, o describes the union of the two streams to floating-point
+// rounding; other is not modified. Merging an empty accumulator is a
+// no-op in either direction. Shard-parallel campaigns must merge in a
+// fixed shard order for bit-identical results, exactly like the
+// first-order accumulators.
+func (o *OnlineMoments) Merge(other *OnlineMoments) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if o.n == 0 {
+		o.n = other.n
+		o.mean = append(o.mean[:0], other.mean...)
+		o.m2 = append(o.m2[:0], other.m2...)
+		o.m3 = append(o.m3[:0], other.m3...)
+		o.m4 = append(o.m4[:0], other.m4...)
+		return nil
+	}
+	if len(other.mean) != len(o.mean) {
+		return ErrSampleMismatch
+	}
+	na, nb := float64(o.n), float64(other.n)
+	n := na + nb
+	for i := range o.mean {
+		d := other.mean[i] - o.mean[i]
+		d2 := d * d
+		m2a, m2b := o.m2[i], other.m2[i]
+		m3a, m3b := o.m3[i], other.m3[i]
+		o.m4[i] += other.m4[i] +
+			d2*d2*na*nb*(na*na-na*nb+nb*nb)/(n*n*n) +
+			6*d2*(na*na*m2b+nb*nb*m2a)/(n*n) +
+			4*d*(na*m3b-nb*m3a)/n
+		o.m3[i] += m3b + d*d2*na*nb*(na-nb)/(n*n) + 3*d*(na*m2b-nb*m2a)/n
+		o.mean[i] += d * nb / n
+		o.m2[i] += m2b + d2*na*nb/n
+	}
+	o.n += other.n
+	return nil
+}
+
+// N returns the number of traces consumed.
+func (o *OnlineMoments) N() int { return o.n }
+
+// SampleLen returns the per-trace sample count (0 before the first Add).
+func (o *OnlineMoments) SampleLen() int { return len(o.mean) }
+
+// Mean returns a copy of the per-sample running mean.
+func (o *OnlineMoments) Mean() ([]float64, error) {
+	if o.n == 0 {
+		return nil, ErrEmptySet
+	}
+	return append([]float64(nil), o.mean...), nil
+}
+
+// CentralMoment returns a copy of the per-sample central moment of the
+// given order (2, 3 or 4), normalized by n (population convention,
+// like OnlineStats.Variance).
+func (o *OnlineMoments) CentralMoment(order int) ([]float64, error) {
+	if o.n == 0 {
+		return nil, ErrEmptySet
+	}
+	var src []float64
+	switch order {
+	case 2:
+		src = o.m2
+	case 3:
+		src = o.m3
+	case 4:
+		src = o.m4
+	default:
+		return nil, ErrEmptySet
+	}
+	out := make([]float64, len(src))
+	inv := 1 / float64(o.n)
+	for i, v := range src {
+		out[i] = v * inv
+	}
+	return out, nil
+}
+
+// OnlineWelch2 is the streaming second-order (centered-product) TVLA:
+// Welch's t-test on the centered-squared traces of two populations,
+// computed from degree-4 moment state without retaining either set.
+type OnlineWelch2 struct {
+	A, B OnlineMoments
+}
+
+// NewOnlineWelch2 returns an empty two-population accumulator.
+func NewOnlineWelch2() *OnlineWelch2 { return &OnlineWelch2{} }
+
+// AddA consumes one trace of the first population (e.g. fixed key).
+func (w *OnlineWelch2) AddA(samples []float64) error { return w.A.Add(samples) }
+
+// AddB consumes one trace of the second population (e.g. random keys).
+func (w *OnlineWelch2) AddB(samples []float64) error { return w.B.Add(samples) }
+
+// Merge folds another two-population accumulator into w (population A
+// with A, B with B).
+func (w *OnlineWelch2) Merge(other *OnlineWelch2) error {
+	if other == nil {
+		return nil
+	}
+	if err := w.A.Merge(&other.A); err != nil {
+		return err
+	}
+	return w.B.Merge(&other.B)
+}
+
+// T returns the per-sample second-order t-statistic — the mean of each
+// population's centered-squared trace is its CM2, the variance is
+// CM4 − CM2², and the Welch denominator follows. 0 where the
+// denominator vanishes, matching the first-order convention.
+func (w *OnlineWelch2) T() ([]float64, error) {
+	if w.A.n == 0 || w.B.n == 0 {
+		return nil, ErrEmptySet
+	}
+	if w.A.SampleLen() != w.B.SampleLen() {
+		return nil, ErrEmptySet
+	}
+	na, nb := float64(w.A.n), float64(w.B.n)
+	out := make([]float64, w.A.SampleLen())
+	for i := range out {
+		cm2a := w.A.m2[i] / na
+		cm4a := w.A.m4[i] / na
+		cm2b := w.B.m2[i] / nb
+		cm4b := w.B.m4[i] / nb
+		va := cm4a - cm2a*cm2a
+		vb := cm4b - cm2b*cm2b
+		denom := math.Sqrt(va/na + vb/nb)
+		if denom == 0 || math.IsNaN(denom) {
+			continue
+		}
+		out[i] = (cm2a - cm2b) / denom
+	}
+	return out, nil
+}
+
+// MaxT returns the largest |t2| and its sample index ((0, -1) when
+// undefined) — the streaming early-stop predicate for second-order
+// TVLA campaigns.
+func (w *OnlineWelch2) MaxT() (float64, int) {
+	ts, err := w.T()
+	if err != nil {
+		return 0, -1
+	}
+	return MaxAbs(ts)
+}
+
+// CenterSquare preprocesses a retained trace set for the batch
+// second-order statistics: given the per-column means over the whole
+// set, each trace sample is replaced by its centered product
+// (x−μ)·(x−μ). The multi-pass CPA campaigns (which retain their Set
+// anyway) use this to turn the first-order Pearson machinery into the
+// univariate second-order attack; the streaming TVLA path uses
+// OnlineWelch2 instead and never materializes the products.
+func CenterSquare(samples, mean []float64) error {
+	if len(samples) != len(mean) {
+		return ErrSampleMismatch
+	}
+	for i, v := range samples {
+		d := v - mean[i]
+		samples[i] = d * d
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchCentralMoments computes per-sample central moments the naive
+// two-pass way — the reference the streaming accumulator must match.
+func batchCentralMoments(traces [][]float64, order int) []float64 {
+	n := len(traces)
+	w := len(traces[0])
+	mean := make([]float64, w)
+	for _, tr := range traces {
+		for i, v := range tr {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(n)
+	}
+	out := make([]float64, w)
+	for _, tr := range traces {
+		for i, v := range tr {
+			out[i] += math.Pow(v-mean[i], float64(order))
+		}
+	}
+	for i := range out {
+		out[i] /= float64(n)
+	}
+	return out
+}
+
+func randTraces(r *rand.Rand, n, w int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		tr := make([]float64, w)
+		for j := range tr {
+			tr[j] = r.NormFloat64()*3 + 10
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+func TestOnlineMomentsMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	traces := randTraces(r, 500, 16)
+	o := NewOnlineMoments()
+	for _, tr := range traces {
+		if err := o.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, order := range []int{2, 3, 4} {
+		want := batchCentralMoments(traces, order)
+		got, err := o.CentralMoment(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("CM%d[%d] = %g, batch %g", order, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOnlineMomentsMergeMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	traces := randTraces(r, 400, 8)
+	serial := NewOnlineMoments()
+	for _, tr := range traces {
+		if err := serial.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three unequal shards merged in order.
+	bounds := []int{0, 57, 250, len(traces)}
+	merged := NewOnlineMoments()
+	for s := 0; s < len(bounds)-1; s++ {
+		shard := NewOnlineMoments()
+		for _, tr := range traces[bounds[s]:bounds[s+1]] {
+			if err := shard.Add(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := merged.Merge(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != serial.N() {
+		t.Fatalf("merged N %d, serial %d", merged.N(), serial.N())
+	}
+	for _, order := range []int{2, 3, 4} {
+		a, _ := serial.CentralMoment(order)
+		b, _ := merged.CentralMoment(order)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9*math.Max(1, math.Abs(a[i])) {
+				t.Fatalf("CM%d[%d]: serial %g merged %g", order, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestOnlineWelch2MatchesCenteredSquareWelch pins the second-order
+// t-statistic against its definition: preprocess each trace to the
+// centered square (per-population mean) and run the batch Welch t.
+func TestOnlineWelch2MatchesCenteredSquareWelch(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	ta := randTraces(r, 300, 12)
+	tb := randTraces(r, 280, 12)
+	// Make population A's variance differ at one column.
+	for _, tr := range ta {
+		tr[5] = r.NormFloat64()*9 + 10
+	}
+	w2 := NewOnlineWelch2()
+	for _, tr := range ta {
+		if err := w2.AddA(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range tb {
+		if err := w2.AddB(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference: batch centered squares, then batch Welch.
+	center := func(traces [][]float64) [][]float64 {
+		mean := batchCentralMoments(traces, 1) // order-1 central moment is 0; compute mean directly
+		mean = make([]float64, len(traces[0]))
+		for _, tr := range traces {
+			for i, v := range tr {
+				mean[i] += v
+			}
+		}
+		for i := range mean {
+			mean[i] /= float64(len(traces))
+		}
+		out := make([][]float64, len(traces))
+		for j, tr := range traces {
+			z := append([]float64(nil), tr...)
+			if err := CenterSquare(z, mean); err != nil {
+				t.Fatal(err)
+			}
+			out[j] = z
+		}
+		return out
+	}
+	za, zb := center(ta), center(tb)
+	ws := NewOnlineWelch()
+	for _, z := range za {
+		if err := ws.AddA(z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, z := range zb {
+		if err := ws.AddB(z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ws.T()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w2.T()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("t2[%d] = %g, centered-square Welch %g", i, got[i], want[i])
+		}
+	}
+	// And the engineered variance gap is detected.
+	if m, idx := w2.MaxT(); idx != 5 || math.Abs(m) < 4.5 {
+		t.Fatalf("second-order peak at %d (|t|=%g), want column 5 above 4.5", idx, m)
+	}
+}
+
+func TestOnlineWelch2MergeMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	ta := randTraces(r, 200, 6)
+	tb := randTraces(r, 190, 6)
+	serial := NewOnlineWelch2()
+	for _, tr := range ta {
+		_ = serial.AddA(tr)
+	}
+	for _, tr := range tb {
+		_ = serial.AddB(tr)
+	}
+	shard1, shard2 := NewOnlineWelch2(), NewOnlineWelch2()
+	for i, tr := range ta {
+		if i < 80 {
+			_ = shard1.AddA(tr)
+		} else {
+			_ = shard2.AddA(tr)
+		}
+	}
+	for i, tr := range tb {
+		if i < 100 {
+			_ = shard1.AddB(tr)
+		} else {
+			_ = shard2.AddB(tr)
+		}
+	}
+	merged := NewOnlineWelch2()
+	if err := merged.Merge(shard1); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(shard2); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := serial.T()
+	b, _ := merged.T()
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9*math.Max(1, math.Abs(a[i])) {
+			t.Fatalf("t2[%d]: serial %g merged %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOnlineMomentsCodecRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	o := NewOnlineMoments()
+	for _, tr := range randTraces(r, 50, 7) {
+		if err := o.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := o.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back OnlineMoments
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.n != o.n {
+		t.Fatalf("n %d != %d", back.n, o.n)
+	}
+	for i := range o.mean {
+		if back.mean[i] != o.mean[i] || back.m2[i] != o.m2[i] ||
+			back.m3[i] != o.m3[i] || back.m4[i] != o.m4[i] {
+			t.Fatalf("moment state not bit-identical at column %d", i)
+		}
+	}
+	// Corruption must be detected.
+	blob[len(blob)-5] ^= 1
+	if err := back.UnmarshalBinary(blob); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+}
+
+func TestOnlineWelch2CodecRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	w := NewOnlineWelch2()
+	for _, tr := range randTraces(r, 40, 5) {
+		_ = w.AddA(tr)
+	}
+	for _, tr := range randTraces(r, 45, 5) {
+		_ = w.AddB(tr)
+	}
+	blob, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back OnlineWelch2
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := w.T()
+	tback, _ := back.T()
+	for i := range ta {
+		if ta[i] != tback[i] {
+			t.Fatalf("t2[%d] not bit-identical after roundtrip", i)
+		}
+	}
+	// Empty accumulator round-trips too.
+	blob2, err := NewOnlineWelch2().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty OnlineWelch2
+	if err := empty.UnmarshalBinary(blob2); err != nil {
+		t.Fatal(err)
+	}
+	if empty.A.N() != 0 || empty.B.N() != 0 {
+		t.Fatal("empty roundtrip gained traces")
+	}
+}

@@ -44,21 +44,28 @@ func TestCmdRosterPinned(t *testing.T) {
 }
 
 // sharedKnobFlags maps a flag name to the fs.* definition methods it
-// is checked on. "d" is only checked for Int definitions: a String
-// "d" is a grid *axis list* (designlab), not a single operating
-// point.
-var sharedKnobFlags = map[string][]string{
-	"loss":                {"String", "Float64"},
-	"dist":                {"String", "Float64"},
-	"tries":               {"Int"},
-	"budget":              {"Int"},
-	"clock":               {"Float64"},
-	"vdd":                 {"Float64"},
-	"residual":            {"Float64"},
-	"channel":             {"String"},
-	"d":                   {"Int"},
-	"checkpoint-interval": {"Int"},
-	"lanes":               {"Int"},
+// is checked on and the package its default must reference. "d" is
+// only checked for Int definitions: a String "d" is a grid *axis
+// list* (designlab), not a single operating point. Most knobs live in
+// internal/design; attack-layer knobs (preprocess) take their
+// defaults from internal/sca.
+var sharedKnobFlags = map[string]struct {
+	methods []string
+	pkg     string
+}{
+	"loss":                {[]string{"String", "Float64"}, "design"},
+	"dist":                {[]string{"String", "Float64"}, "design"},
+	"tries":               {[]string{"Int"}, "design"},
+	"budget":              {[]string{"Int"}, "design"},
+	"clock":               {[]string{"Float64"}, "design"},
+	"vdd":                 {[]string{"Float64"}, "design"},
+	"residual":            {[]string{"Float64"}, "design"},
+	"channel":             {[]string{"String"}, "design"},
+	"d":                   {[]string{"Int"}, "design"},
+	"checkpoint-interval": {[]string{"Int"}, "design"},
+	"lanes":               {[]string{"Int"}, "design"},
+	"masking":             {[]string{"String"}, "design"},
+	"preprocess":          {[]string{"String"}, "sca"},
 }
 
 func TestSharedFlagDefaultsComeFromDesign(t *testing.T) {
@@ -86,12 +93,12 @@ func TestSharedFlagDefaultsComeFromDesign(t *testing.T) {
 				if err != nil {
 					return true
 				}
-				methods, shared := sharedKnobFlags[name]
+				knob, shared := sharedKnobFlags[name]
 				if !shared {
 					return true
 				}
 				matched := false
-				for _, m := range methods {
+				for _, m := range knob.methods {
 					if sel.Sel.Name == m {
 						matched = true
 					}
@@ -99,9 +106,9 @@ func TestSharedFlagDefaultsComeFromDesign(t *testing.T) {
 				if !matched {
 					return true
 				}
-				if !referencesPackage(call.Args[1], "design") {
-					t.Errorf("%s: flag %q default %s re-types a literal; use the internal/design constant",
-						fset.Position(call.Pos()), name, exprString(call.Args[1]))
+				if !referencesPackage(call.Args[1], knob.pkg) {
+					t.Errorf("%s: flag %q default %s re-types a literal; use the internal/%s constant",
+						fset.Position(call.Pos()), name, exprString(call.Args[1]), knob.pkg)
 				}
 				return true
 			})
